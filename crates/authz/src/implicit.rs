@@ -1,0 +1,140 @@
+//! Access-check evaluation over implied authorizations.
+//!
+//! Ties §6's machinery together: gather every authorization the user holds
+//! on an object (explicit, via its classes, via the database grant, and via
+//! every composite ancestor), combine them with the Figure 6 rules, and
+//! decide.
+//!
+//! The decision distinguishes *prohibition* from *absence* — "positive and
+//! negative authorizations … differentiate between prohibition and absence
+//! of an authorization" — so a denied check reports which of the two it was.
+
+use corion_core::{Database, Oid};
+
+use crate::matrix::{combine_all, Cell};
+use crate::store::{AuthError, AuthStore, UserId};
+use crate::types::{AuthType, Sign};
+
+/// Outcome of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A positive authorization covers the request.
+    Granted,
+    /// A negative authorization prohibits the request.
+    Prohibited,
+    /// No authorization either way (absence ≠ prohibition).
+    NoAuthorization,
+}
+
+impl AuthStore {
+    /// Checks whether `user` may perform `ty` on `oid`.
+    ///
+    /// This is the paper's single-check benefit made concrete: for an
+    /// entire composite object the caller checks the *root* once; the
+    /// components need no separate checks because the root's authorization
+    /// implies theirs.
+    pub fn check(
+        &self,
+        db: &mut Database,
+        user: UserId,
+        ty: AuthType,
+        oid: Oid,
+    ) -> Result<Decision, AuthError> {
+        let implied = self.implied_on(db, user, oid)?;
+        let cell = combine_all(&implied);
+        let facts = match cell {
+            // A conflict among implied authorizations resolves to
+            // prohibition at check time (grants normally prevent this, but
+            // grants issued before objects were assembled can collide).
+            Cell::Conflict => return Ok(Decision::Prohibited),
+            Cell::Auths(a) => a,
+        };
+        // Close the surviving generators so sW answers a Read check, etc.
+        let closed: Vec<_> = facts.iter().flat_map(|a| a.closure()).collect();
+        if closed.iter().any(|a| a.ty == ty && a.sign == Sign::Negative) {
+            Ok(Decision::Prohibited)
+        } else if closed.iter().any(|a| a.ty == ty && a.sign == Sign::Positive) {
+            Ok(Decision::Granted)
+        } else {
+            Ok(Decision::NoAuthorization)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::AuthObject;
+    use crate::types::Authorization as A;
+    use corion_core::{ClassBuilder, CompositeSpec, Domain, Value};
+
+    fn setup() -> (Database, Oid, Oid) {
+        let mut db = Database::new();
+        let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+        let root = db
+            .define_class(ClassBuilder::new("Root").attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive: true, dependent: true },
+            ))
+            .unwrap();
+        let p = db.make(part, vec![], vec![]).unwrap();
+        let r = db.make(root, vec![("parts", Value::Set(vec![Value::Ref(p)]))], vec![]).unwrap();
+        (db, r, p)
+    }
+
+    #[test]
+    fn root_grant_answers_component_checks() {
+        let (mut db, root, part) = setup();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SW).unwrap();
+        assert_eq!(st.check(&mut db, u, AuthType::Write, part).unwrap(), Decision::Granted);
+        // sW implies sR.
+        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Granted);
+    }
+
+    #[test]
+    fn negative_grant_prohibits() {
+        let (mut db, root, part) = setup();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR).unwrap();
+        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Prohibited);
+        // ¬R implies ¬W.
+        assert_eq!(st.check(&mut db, u, AuthType::Write, part).unwrap(), Decision::Prohibited);
+    }
+
+    #[test]
+    fn absence_differs_from_prohibition() {
+        let (mut db, _root, part) = setup();
+        let st = AuthStore::new();
+        assert_eq!(
+            st.check(&mut db, UserId(1), AuthType::Read, part).unwrap(),
+            Decision::NoAuthorization
+        );
+    }
+
+    #[test]
+    fn weak_grant_is_overridden_by_strong_negative() {
+        let (mut db, root, part) = setup();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::WR).unwrap();
+        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Granted);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR).unwrap();
+        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Prohibited);
+    }
+
+    #[test]
+    fn positive_read_does_not_grant_write() {
+        let (mut db, root, part) = setup();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SR).unwrap();
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Write, part).unwrap(),
+            Decision::NoAuthorization
+        );
+    }
+}

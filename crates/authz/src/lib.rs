@@ -1,0 +1,49 @@
+//! # corion-authz
+//!
+//! Composite objects as a unit of authorization — paper §6.
+//!
+//! The ORION authorization model [RABI88] rests on three concepts the paper
+//! recounts: **implicit authorization** (authorizations are deduced from
+//! explicitly stored ones along the granularity hierarchy), **positive and
+//! negative** authorizations (prohibition vs. absence), and **strong and
+//! weak** authorizations (weak ones can be overridden; strong ones and
+//! everything they imply cannot).
+//!
+//! The paper's contribution is extending implicit authorization to
+//! **composite classes and composite objects**:
+//!
+//! > "An authorization on a composite class C implies the same
+//! > authorization on all instances of C and on all objects which are
+//! > components of the instances of C. … Similarly, an authorization on a
+//! > composite object implies the same authorization on each component of
+//! > the composite object."
+//!
+//! * [`types`] — the authorization lattice: Read/Write × ±, strong/weak,
+//!   with the implication rules (W ⇒ R, ¬R ⇒ ¬W);
+//! * [`store`] — explicit grants with the §6 conflict check (a new grant is
+//!   rejected when it contradicts an existing *implied* authorization on
+//!   any affected object);
+//! * [`implicit`] — the derivation of implied authorizations over the
+//!   granularity hierarchy and composite objects (Figures 4 and 5);
+//! * [`matrix`] — the Figure 6 conflict matrix, generated from the rules.
+//!
+//! ```
+//! use corion_authz::{combine, Cell, Authorization};
+//!
+//! // §6: "if a user receives a strong R authorization from Instance[j]
+//! // and a strong W authorization from Instance[k], the authorization
+//! // implied on Instance[o'] is a strong W authorization."
+//! assert_eq!(combine(Authorization::SR, Authorization::SW),
+//!            Cell::Auths(vec![Authorization::SW]));
+//! assert_eq!(combine(Authorization::SNR, Authorization::SW), Cell::Conflict);
+//! ```
+
+pub mod implicit;
+pub mod matrix;
+pub mod store;
+pub mod types;
+
+pub use implicit::Decision;
+pub use matrix::{combine, Cell};
+pub use store::{AuthError, AuthObject, AuthStore, UserId};
+pub use types::{AuthType, Authorization, Sign, Strength};

@@ -1,0 +1,384 @@
+//! Explicit grants and the §6 grant-time conflict check.
+//!
+//! > "When an authorization is granted on a composite object, the
+//! > authorization component of a database system must ensure that there
+//! > are no conflicts between the authorization being granted and
+//! > authorizations (either explicit or implicit) already on any of the
+//! > component objects. … If there is no conflict, the resulting
+//! > authorization on O is the strongest of all the implied authorizations
+//! > on O."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use corion_core::{ClassId, Database, DbError, Oid};
+
+use crate::matrix::{combine_all, Cell};
+use crate::types::Authorization;
+
+/// A subject of authorization (DESIGN.md §5: flat users, no role graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A unit of authorization in the granularity hierarchy, extended with
+/// composite objects (which are not separate granules — an instance grant
+/// on a composite root *implies* grants on its components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuthObject {
+    /// The whole database.
+    Database,
+    /// A class: implies its instances (and subclass instances), and the
+    /// components of those instances when the class is composite.
+    Class(ClassId),
+    /// A single object: implies its components when it roots (part of) a
+    /// composite object.
+    Instance(Oid),
+}
+
+impl fmt::Display for AuthObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthObject::Database => write!(f, "database"),
+            AuthObject::Class(c) => write!(f, "class {c}"),
+            AuthObject::Instance(o) => write!(f, "instance {o}"),
+        }
+    }
+}
+
+/// Errors raised by the authorization subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthError {
+    /// §6: "if a new authorization issued conflicts with an existing
+    /// authorization, the new authorization is rejected."
+    Conflict {
+        /// The object on which the implied authorizations collide.
+        object: Oid,
+        /// The grant being rejected.
+        granting: Authorization,
+    },
+    /// The grant references a missing object/class.
+    Db(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Conflict { object, granting } => {
+                write!(f, "granting {granting} conflicts with implied authorizations on {object}")
+            }
+            AuthError::Db(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+impl From<DbError> for AuthError {
+    fn from(e: DbError) -> Self {
+        AuthError::Db(e.to_string())
+    }
+}
+
+/// The store of explicit authorizations.
+#[derive(Debug, Default)]
+pub struct AuthStore {
+    grants: HashMap<UserId, Vec<(AuthObject, Authorization)>>,
+    /// Authorization checks performed (benchmark metric, DESIGN.md B4).
+    checks: std::cell::Cell<u64>,
+}
+
+impl AuthStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        AuthStore::default()
+    }
+
+    /// Grants `auth` to `user` on `object`, after verifying that no implied
+    /// authorization on any affected object conflicts with it.
+    pub fn grant(
+        &mut self,
+        db: &mut Database,
+        user: UserId,
+        object: AuthObject,
+        auth: Authorization,
+    ) -> Result<(), AuthError> {
+        for affected in self.affected_objects(db, object)? {
+            let mut implied = self.implied_on(db, user, affected)?;
+            implied.push(auth);
+            if combine_all(&implied) == Cell::Conflict {
+                return Err(AuthError::Conflict { object: affected, granting: auth });
+            }
+        }
+        self.grants.entry(user).or_default().push((object, auth));
+        Ok(())
+    }
+
+    /// Removes an explicit grant; returns `true` if it was present.
+    pub fn revoke(&mut self, user: UserId, object: AuthObject, auth: Authorization) -> bool {
+        if let Some(gs) = self.grants.get_mut(&user) {
+            if let Some(i) = gs.iter().position(|(o, a)| *o == object && *a == auth) {
+                gs.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The explicit grants of a user.
+    pub fn explicit(&self, user: UserId) -> &[(AuthObject, Authorization)] {
+        self.grants.get(&user).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Every live object whose implied authorizations a grant on `object`
+    /// touches: the instances it covers plus all their components.
+    fn affected_objects(
+        &self,
+        db: &mut Database,
+        object: AuthObject,
+    ) -> Result<Vec<Oid>, AuthError> {
+        let roots: Vec<Oid> = match object {
+            AuthObject::Database => {
+                db.catalog().all_classes().iter().flat_map(|&c| db.instances_of(c, false)).collect()
+            }
+            AuthObject::Class(c) => db.instances_of(c, true),
+            AuthObject::Instance(o) => vec![o],
+        };
+        let mut out = Vec::new();
+        for r in roots {
+            if !db.exists(r) {
+                continue;
+            }
+            out.push(r);
+            out.extend(db.components_of(r, &corion_core::composite::Filter::all())?);
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Every authorization `user` holds on `oid`, explicit or implied —
+    /// from the object itself, from classes covering it, from the database
+    /// grant, and from every composite ancestor (paper §6 / Figures 4–5).
+    pub fn implied_on(
+        &self,
+        db: &mut Database,
+        user: UserId,
+        oid: Oid,
+    ) -> Result<Vec<Authorization>, AuthError> {
+        self.checks.set(self.checks.get() + 1);
+        let Some(grants) = self.grants.get(&user) else { return Ok(Vec::new()) };
+        let mut carriers = vec![oid];
+        carriers.extend(db.ancestors_of(oid, &corion_core::composite::Filter::all())?);
+        let mut out = Vec::new();
+        for carrier in carriers {
+            for (object, auth) in grants {
+                let covers = match object {
+                    AuthObject::Database => true,
+                    AuthObject::Class(c) => db.is_subclass_of(carrier.class, *c),
+                    AuthObject::Instance(o) => *o == carrier,
+                };
+                if covers {
+                    out.push(*auth);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of `implied_on` evaluations performed (bench metric).
+    pub fn check_count(&self) -> u64 {
+        self.checks.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Authorization as A;
+    use corion_core::{ClassBuilder, CompositeSpec, Domain, Value};
+
+    /// Figure 4-style composite object: root with components k, m, n, o
+    /// (k and m level 1; n under m; o under n).
+    struct Fx {
+        db: Database,
+        root_class: ClassId,
+        part_class: ClassId,
+        root: Oid,
+        k: Oid,
+        m: Oid,
+        n: Oid,
+        o: Oid,
+    }
+
+    fn fixture() -> Fx {
+        let mut db = Database::new();
+        let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+        // Parts nest recursively (self-referential composite attribute).
+        db.add_attribute(
+            part,
+            corion_core::AttributeDef::composite(
+                "sub",
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive: true, dependent: true },
+            ),
+        )
+        .unwrap();
+        let root_class = db
+            .define_class(ClassBuilder::new("Root").attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive: true, dependent: true },
+            ))
+            .unwrap();
+        let o = db.make(part, vec![], vec![]).unwrap();
+        let n = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
+        let m = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![]).unwrap();
+        let k = db.make(part, vec![], vec![]).unwrap();
+        let root = db
+            .make(root_class, vec![("parts", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))], vec![])
+            .unwrap();
+        Fx { db, root_class, part_class: part, root, k, m, n, o }
+    }
+
+    #[test]
+    fn figure4_instance_grant_reaches_every_component() {
+        // "If a user is granted a Read authorization on the root of the
+        // composite object in Figure 4, the user implicitly receives a Read
+        // authorization on each of the component objects."
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR).unwrap();
+        for obj in [fx.root, fx.k, fx.m, fx.n, fx.o] {
+            let implied = st.implied_on(&mut fx.db, u, obj).unwrap();
+            assert_eq!(implied, vec![A::SR], "implied on {obj}");
+        }
+    }
+
+    #[test]
+    fn class_grant_covers_instances_and_their_components_only() {
+        // "The authorization on Vehicle does not imply the same
+        // authorization on all instances of Autobody…, since not all
+        // instances … may be components of Vehicle."
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        let loose = fx.db.make(fx.part_class, vec![], vec![]).unwrap();
+        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR).unwrap();
+        assert_eq!(st.implied_on(&mut fx.db, u, fx.o).unwrap(), vec![A::SR], "component covered");
+        assert!(
+            st.implied_on(&mut fx.db, u, loose).unwrap().is_empty(),
+            "non-component instance of the part class is NOT covered"
+        );
+    }
+
+    #[test]
+    fn conflicting_grant_on_component_class_is_rejected() {
+        // "A new authorization issued on a component class may conflict
+        // with an authorization on the class which is implied by a
+        // previously granted authorization. In this case, the authorization
+        // subsystem must reject the new authorization."
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR).unwrap();
+        let err = st
+            .grant(&mut fx.db, u, AuthObject::Class(fx.part_class), A::SNR)
+            .unwrap_err();
+        assert!(matches!(err, AuthError::Conflict { .. }));
+    }
+
+    #[test]
+    fn paper_example_snr_then_sw_on_other_root_fails() {
+        // Figure 5 narrative: o' shared between j and k; s¬R from j, then
+        // granting sW on k must fail (¬R implies ¬W, contradicting W).
+        let mut db = Database::new();
+        let comp = db.define_class(ClassBuilder::new("Comp")).unwrap();
+        let root = db
+            .define_class(ClassBuilder::new("Root2").attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(comp))),
+                CompositeSpec { exclusive: false, dependent: false },
+            ))
+            .unwrap();
+        let o_prime = db.make(comp, vec![], vec![]).unwrap();
+        let j = db
+            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .unwrap();
+        let k = db
+            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .unwrap();
+        let mut st = AuthStore::new();
+        let u = UserId(7);
+        st.grant(&mut db, u, AuthObject::Instance(j), A::SNR).unwrap();
+        let err = st.grant(&mut db, u, AuthObject::Instance(k), A::SW).unwrap_err();
+        assert!(matches!(err, AuthError::Conflict { object, .. } if object == o_prime));
+        // A weak W on k would be overridden rather than conflicting.
+        st.grant(&mut db, u, AuthObject::Instance(k), A::WW).unwrap();
+    }
+
+    #[test]
+    fn shared_component_receives_multiple_implicit_authorizations() {
+        // Figure 5: "If a user receives a Read authorization on the
+        // composite object rooted at Instance[j] … and later … rooted at
+        // Instance[k], the user again receives an implicit authorization on
+        // Instance[o']."
+        let mut db = Database::new();
+        let comp = db.define_class(ClassBuilder::new("Comp")).unwrap();
+        let root = db
+            .define_class(ClassBuilder::new("Root2").attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(comp))),
+                CompositeSpec { exclusive: false, dependent: false },
+            ))
+            .unwrap();
+        let o_prime = db.make(comp, vec![], vec![]).unwrap();
+        let j = db
+            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .unwrap();
+        let k = db
+            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .unwrap();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut db, u, AuthObject::Instance(j), A::SR).unwrap();
+        st.grant(&mut db, u, AuthObject::Instance(k), A::SW).unwrap();
+        let implied = st.implied_on(&mut db, u, o_prime).unwrap();
+        assert_eq!(implied.len(), 2);
+        assert_eq!(combine_all(&implied), Cell::Auths(vec![A::SW]));
+    }
+
+    #[test]
+    fn revoke_removes_explicit_grant() {
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR).unwrap();
+        assert!(st.revoke(u, AuthObject::Instance(fx.root), A::SR));
+        assert!(!st.revoke(u, AuthObject::Instance(fx.root), A::SR));
+        assert!(st.implied_on(&mut fx.db, u, fx.o).unwrap().is_empty());
+    }
+
+    #[test]
+    fn users_are_isolated() {
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        st.grant(&mut fx.db, UserId(1), AuthObject::Instance(fx.root), A::SR).unwrap();
+        assert!(st.implied_on(&mut fx.db, UserId(2), fx.o).unwrap().is_empty());
+    }
+
+    #[test]
+    fn database_grant_covers_everything() {
+        let mut fx = fixture();
+        let mut st = AuthStore::new();
+        let u = UserId(1);
+        st.grant(&mut fx.db, u, AuthObject::Database, A::WR).unwrap();
+        assert!(!st.implied_on(&mut fx.db, u, fx.o).unwrap().is_empty());
+    }
+}

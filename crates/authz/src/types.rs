@@ -1,0 +1,182 @@
+//! The authorization lattice.
+//!
+//! §6 works with "positive and negative (denoted by ¬), and strong (s) and
+//! weak (w) forms of two authorization types, Read (R) and Write (W)", with
+//! the implication rules from [RABI88]:
+//!
+//! > "A (positive) W authorization implies a (positive) R authorization;
+//! > and a negative R authorization implies a negative W authorization."
+
+use std::fmt;
+
+/// The two authorization types of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AuthType {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+}
+
+/// Positive (grant) or negative (prohibition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// The authorization grants the capability.
+    Positive,
+    /// The authorization prohibits the capability (¬).
+    Negative,
+}
+
+/// Strong authorizations cannot be overridden; weak ones can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strength {
+    /// Cannot be overridden (nor can anything it implies).
+    Strong,
+    /// May be overridden by other authorizations.
+    Weak,
+}
+
+/// One authorization: strength × sign × type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Authorization {
+    /// Strong or weak.
+    pub strength: Strength,
+    /// Positive or negative.
+    pub sign: Sign,
+    /// Read or Write.
+    pub ty: AuthType,
+}
+
+impl Authorization {
+    /// Shorthand constructor.
+    pub fn new(strength: Strength, sign: Sign, ty: AuthType) -> Self {
+        Authorization { strength, sign, ty }
+    }
+
+    /// `sR` — strong positive Read.
+    pub const SR: Authorization =
+        Authorization { strength: Strength::Strong, sign: Sign::Positive, ty: AuthType::Read };
+    /// `sW` — strong positive Write.
+    pub const SW: Authorization =
+        Authorization { strength: Strength::Strong, sign: Sign::Positive, ty: AuthType::Write };
+    /// `s¬R` — strong negative Read.
+    pub const SNR: Authorization =
+        Authorization { strength: Strength::Strong, sign: Sign::Negative, ty: AuthType::Read };
+    /// `s¬W` — strong negative Write.
+    pub const SNW: Authorization =
+        Authorization { strength: Strength::Strong, sign: Sign::Negative, ty: AuthType::Write };
+    /// `wR` — weak positive Read.
+    pub const WR: Authorization =
+        Authorization { strength: Strength::Weak, sign: Sign::Positive, ty: AuthType::Read };
+    /// `wW` — weak positive Write.
+    pub const WW: Authorization =
+        Authorization { strength: Strength::Weak, sign: Sign::Positive, ty: AuthType::Write };
+    /// `w¬R` — weak negative Read.
+    pub const WNR: Authorization =
+        Authorization { strength: Strength::Weak, sign: Sign::Negative, ty: AuthType::Read };
+    /// `w¬W` — weak negative Write.
+    pub const WNW: Authorization =
+        Authorization { strength: Strength::Weak, sign: Sign::Negative, ty: AuthType::Write };
+
+    /// The eight forms, in the order of Figure 6's rows/columns.
+    pub const ALL: [Authorization; 8] = [
+        Authorization::SR,
+        Authorization::SW,
+        Authorization::SNR,
+        Authorization::SNW,
+        Authorization::WR,
+        Authorization::WW,
+        Authorization::WNR,
+        Authorization::WNW,
+    ];
+
+    /// The closure of this authorization under the implication rules
+    /// (implications inherit strength, per [RABI88]: "a strong
+    /// authorization and all authorizations implied by it cannot be
+    /// overridden").
+    pub fn closure(self) -> Vec<Authorization> {
+        let mut out = vec![self];
+        match (self.sign, self.ty) {
+            // W implies R.
+            (Sign::Positive, AuthType::Write) => {
+                out.push(Authorization::new(self.strength, Sign::Positive, AuthType::Read));
+            }
+            // ¬R implies ¬W.
+            (Sign::Negative, AuthType::Read) => {
+                out.push(Authorization::new(self.strength, Sign::Negative, AuthType::Write));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// True if the two authorizations assert opposite signs for the same
+    /// type at the same strength — the paper's conflict condition for
+    /// implied authorizations.
+    pub fn contradicts(self, other: Authorization) -> bool {
+        self.ty == other.ty && self.strength == other.strength && self.sign != other.sign
+    }
+}
+
+impl fmt::Display for Authorization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            match self.strength {
+                Strength::Strong => "s",
+                Strength::Weak => "w",
+            },
+            match self.sign {
+                Sign::Positive => "",
+                Sign::Negative => "¬",
+            },
+            match self.ty {
+                AuthType::Read => "R",
+                AuthType::Write => "W",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_figure6_labels() {
+        assert_eq!(Authorization::SR.to_string(), "sR");
+        assert_eq!(Authorization::SNW.to_string(), "s¬W");
+        assert_eq!(Authorization::WNR.to_string(), "w¬R");
+        assert_eq!(Authorization::WW.to_string(), "wW");
+    }
+
+    #[test]
+    fn positive_write_implies_read() {
+        assert!(Authorization::SW.closure().contains(&Authorization::SR));
+        assert!(Authorization::WW.closure().contains(&Authorization::WR));
+        assert_eq!(Authorization::SR.closure(), vec![Authorization::SR]);
+    }
+
+    #[test]
+    fn negative_read_implies_negative_write() {
+        assert!(Authorization::SNR.closure().contains(&Authorization::SNW));
+        assert!(Authorization::WNR.closure().contains(&Authorization::WNW));
+        assert_eq!(Authorization::SNW.closure(), vec![Authorization::SNW]);
+    }
+
+    #[test]
+    fn contradiction_requires_same_type_and_strength() {
+        assert!(Authorization::SR.contradicts(Authorization::SNR));
+        assert!(!Authorization::SR.contradicts(Authorization::SNW), "different type");
+        assert!(!Authorization::SR.contradicts(Authorization::WNR), "different strength");
+        assert!(!Authorization::SR.contradicts(Authorization::SR), "same sign");
+    }
+
+    #[test]
+    fn eight_forms() {
+        assert_eq!(Authorization::ALL.len(), 8);
+        let unique: std::collections::HashSet<_> = Authorization::ALL.into_iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+}

@@ -1,0 +1,122 @@
+//! Ablation of the §2.4 storage decision:
+//!
+//! > "…we have decided to keep the reverse pointers in each component
+//! > object, rather than in a separate data structure. This approach allows
+//! > us to avoid a level of indirection in accessing the parents of a given
+//! > component, and simplifies deletion and migration of objects; however,
+//! > it causes the object size to increase."
+//!
+//! Both layouts are realised directly on the storage substrate:
+//!
+//! * **in-object** — each component record carries its reverse references
+//!   inline (the ORION/CORION choice);
+//! * **separate** — component records stay small; each component's reverse
+//!   references live in a dedicated record in a separate segment, found
+//!   through an in-memory directory (the indirection the paper avoids).
+//!
+//! Reported series (per parents-per-component p):
+//!   * `parents_in_object/p` — cold read of the component record only
+//!   * `parents_separate/p`  — cold read of component + index record
+//!   * `scan_in_object/p`    — scan all components (pays the fat records)
+//!   * `scan_separate/p`     — scan all components (lean records, fewer pages)
+//!   * page counts printed at setup
+
+use std::time::Duration;
+
+use corion::storage::{ObjectStore, PhysId, StoreConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const COMPONENTS: usize = 512;
+const BASE_PAYLOAD: usize = 48;
+const BYTES_PER_PARENT: usize = 13; // OID (12) + flags (1), the §2.4 layout
+
+struct Layout {
+    store: ObjectStore,
+    components: Vec<PhysId>,
+    /// `None` for in-object; `Some(index records)` for the separate layout.
+    index: Option<Vec<PhysId>>,
+    data_pages: usize,
+}
+
+fn build(parents: usize, in_object: bool) -> Layout {
+    let mut store = ObjectStore::new(StoreConfig { buffer_capacity: 8 });
+    let data_seg = store.create_segment();
+    let rev_size = parents * BYTES_PER_PARENT;
+    let mut components = Vec::with_capacity(COMPONENTS);
+    let mut index = Vec::with_capacity(COMPONENTS);
+    if in_object {
+        let record = vec![7u8; BASE_PAYLOAD + rev_size];
+        for _ in 0..COMPONENTS {
+            components.push(store.insert(data_seg, &record, None).unwrap());
+        }
+    } else {
+        let record = vec![7u8; BASE_PAYLOAD];
+        let rev_record = vec![9u8; rev_size.max(1)];
+        let rev_seg = store.create_segment();
+        for _ in 0..COMPONENTS {
+            components.push(store.insert(data_seg, &record, None).unwrap());
+            index.push(store.insert(rev_seg, &rev_record, None).unwrap());
+        }
+    }
+    let data_pages = store.segment_pages(data_seg).unwrap();
+    Layout {
+        store,
+        components,
+        index: if in_object { None } else { Some(index) },
+        data_pages,
+    }
+}
+
+/// `parents-of` one component: read its record, plus the index record in
+/// the separate layout.
+fn parents_of(layout: &mut Layout, i: usize) -> usize {
+    layout.store.clear_cache().unwrap();
+    let mut bytes = layout.store.read(layout.components[i]).unwrap().len();
+    if let Some(index) = &layout.index {
+        bytes += layout.store.read(index[i]).unwrap().len();
+    }
+    bytes
+}
+
+/// Scan every component record (reverse refs not needed — e.g. evaluating a
+/// predicate over the extension).
+fn scan_components(layout: &mut Layout) -> usize {
+    layout.store.clear_cache().unwrap();
+    layout
+        .components
+        .iter()
+        .map(|&id| layout.store.read(id).unwrap().len())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reverse_storage");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &parents in &[1usize, 8, 64] {
+        let mut in_obj = build(parents, true);
+        let mut separate = build(parents, false);
+        eprintln!(
+            "ablation/§2.4: parents={parents}: data pages in-object={} separate={} \
+             (the object-size cost of inline reverse references)",
+            in_obj.data_pages, separate.data_pages
+        );
+
+        group.bench_with_input(BenchmarkId::new("parents_in_object", parents), &parents, |b, _| {
+            b.iter(|| parents_of(&mut in_obj, 100))
+        });
+        group.bench_with_input(BenchmarkId::new("parents_separate", parents), &parents, |b, _| {
+            b.iter(|| parents_of(&mut separate, 100))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_in_object", parents), &parents, |b, _| {
+            b.iter(|| scan_components(&mut in_obj))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_separate", parents), &parents, |b, _| {
+            b.iter(|| scan_components(&mut separate))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

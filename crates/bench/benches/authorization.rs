@@ -1,0 +1,86 @@
+//! B4 (DESIGN.md §4): composite objects as a unit of authorization.
+//!
+//! Paper claim (§6): "the user … needs to grant authorization on the
+//! composite object as a single unit, rather than on each of the component
+//! objects. Further, when a composite object is accessed, the system needs
+//! to check only one authorization (for the entire composite object),
+//! rather than authorizations on all component objects."
+//!
+//! Reported series (per components-per-object n):
+//!   * `grant_composite/n`  — one grant on the root
+//!   * `grant_per_object/n` — one grant per component (the baseline)
+//!   * `check_root/n`       — access check at the root only
+//!   * `check_components/n` — an access check at every component
+
+use std::time::Duration;
+
+use corion::workload::{DagParams, GeneratedDag};
+use corion::{AuthObject, AuthStore, AuthType, Authorization, Database, Filter, Oid, UserId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build(n: usize) -> (Database, Oid, Vec<Oid>) {
+    let mut db = Database::new();
+    let depth = ((n as f64).log(4.0).ceil() as usize).max(1);
+    let dag = GeneratedDag::generate(
+        &mut db,
+        DagParams { depth, fanout: 4, roots: 1, share_fraction: 0.0, dependent_fraction: 1.0, seed: 5 },
+    )
+    .unwrap();
+    let root = dag.roots[0];
+    let comps = db.components_of(root, &Filter::all()).unwrap();
+    (db, root, comps)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("authorization");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &n in &[4usize, 20, 84] {
+        let (db, root, comps) = build(n);
+        eprintln!("authorization/B4: root {root} with {} components", comps.len());
+        let db = std::cell::RefCell::new(db);
+
+        group.bench_with_input(BenchmarkId::new("grant_composite", n), &n, |b, _| {
+            b.iter(|| {
+                let mut st = AuthStore::new();
+                st.grant(&mut db.borrow_mut(), UserId(1), AuthObject::Instance(root), Authorization::SR)
+                    .unwrap();
+                st
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grant_per_object", n), &n, |b, _| {
+            b.iter(|| {
+                let mut st = AuthStore::new();
+                let mut dbm = db.borrow_mut();
+                st.grant(&mut dbm, UserId(1), AuthObject::Instance(root), Authorization::SR).unwrap();
+                for &c in &comps {
+                    st.grant(&mut dbm, UserId(1), AuthObject::Instance(c), Authorization::SR).unwrap();
+                }
+                st
+            })
+        });
+
+        // Checks: reading the whole composite object under each regime.
+        let mut st_root = AuthStore::new();
+        st_root
+            .grant(&mut db.borrow_mut(), UserId(1), AuthObject::Instance(root), Authorization::SR)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("check_root", n), &n, |b, _| {
+            b.iter(|| {
+                st_root.check(&mut db.borrow_mut(), UserId(1), AuthType::Read, root).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("check_components", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dbm = db.borrow_mut();
+                for &c in &comps {
+                    st_root.check(&mut dbm, UserId(1), AuthType::Read, c).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! B6 (DESIGN.md §4): physical clustering via the `:parent` clause (§2.3).
+//!
+//! Paper claim: "the parent keyword in the make statement is used also for
+//! clustering purposes" — components placed near their parent make reading
+//! a whole composite object cheap. The experiment builds the same composite
+//! objects twice — components clustered with their parent vs. scattered
+//! round-robin across unrelated pages — and reads them back with a cold
+//! cache, reporting both wall-clock and physical page reads.
+//!
+//! Reported series (per composite-object size n):
+//!   * `clustered/n` — cold read of one composite object, clustered layout
+//!   * `scattered/n` — cold read, interleaved layout
+//!   * page-read counts printed at setup
+
+use std::time::Duration;
+
+use corion::storage::StoreConfig;
+use corion::{ClassBuilder, CompositeSpec, Database, DbConfig, Domain, Filter, Oid, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds `groups` composite objects of `n` components each. When
+/// `clustered`, children are created with a `:parent` clause; otherwise the
+/// whole population of components is created first (interleaved round-robin
+/// across parents), then assembled — defeating locality.
+fn build(groups: usize, n: usize, clustered: bool) -> (Database, Vec<Oid>) {
+    // Tiny buffer pool so cold reads hit the simulated disk.
+    let mut db = Database::with_config(DbConfig {
+        store: StoreConfig { buffer_capacity: 8 },
+        ..DbConfig::default()
+    });
+    let part = db.define_class(ClassBuilder::new("Part").attr("payload", Domain::String)).unwrap();
+    let asm = db
+        .define_class(
+            ClassBuilder::new("Asm")
+                .same_segment_as(part)
+                .attr_composite(
+                    "parts",
+                    Domain::SetOf(Box::new(Domain::Class(part))),
+                    CompositeSpec { exclusive: true, dependent: true },
+                ),
+        )
+        .unwrap();
+    let payload = "x".repeat(120); // make objects big enough that a page holds ~30
+    let roots: Vec<Oid> =
+        (0..groups).map(|_| db.make(asm, vec![], vec![]).unwrap()).collect();
+    if clustered {
+        for &root in &roots {
+            for _ in 0..n {
+                db.make(part, vec![("payload", Value::Str(payload.clone()))], vec![(root, "parts")])
+                    .unwrap();
+            }
+        }
+    } else {
+        // Round-robin creation interleaves every group's components on the
+        // same pages.
+        let mut children: Vec<Vec<Oid>> = vec![Vec::new(); groups];
+        for i in 0..(groups * n) {
+            let g = i % groups;
+            let c = db
+                .make(part, vec![("payload", Value::Str(payload.clone()))], vec![])
+                .unwrap();
+            children[g].push(c);
+        }
+        for (g, root) in roots.iter().enumerate() {
+            for &c in &children[g] {
+                db.make_component(c, *root, "parts").unwrap();
+            }
+        }
+    }
+    (db, roots)
+}
+
+fn cold_read(db: &mut Database, root: Oid) -> usize {
+    db.clear_cache().unwrap();
+    db.reset_io_stats();
+    let comps = db.components_of(root, &Filter::all()).unwrap();
+    comps.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+
+    for &n in &[16usize, 64, 256] {
+        let groups = 8;
+        let (mut db_c, roots_c) = build(groups, n, true);
+        let (mut db_s, roots_s) = build(groups, n, false);
+        // Report physical reads for one cold composite-object traversal.
+        cold_read(&mut db_c, roots_c[3]);
+        let reads_clustered = db_c.disk_stats().reads;
+        cold_read(&mut db_s, roots_s[3]);
+        let reads_scattered = db_s.disk_stats().reads;
+        eprintln!(
+            "clustering/B6: {n} components/object: cold page reads clustered={reads_clustered} \
+             scattered={reads_scattered}"
+        );
+
+        let db_c = std::cell::RefCell::new(db_c);
+        let db_s = std::cell::RefCell::new(db_s);
+        group.bench_with_input(BenchmarkId::new("clustered", n), &n, |b, _| {
+            b.iter(|| cold_read(&mut db_c.borrow_mut(), roots_c[3]))
+        });
+        group.bench_with_input(BenchmarkId::new("scattered", n), &n, |b, _| {
+            b.iter(|| cold_read(&mut db_s.borrow_mut(), roots_s[3]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

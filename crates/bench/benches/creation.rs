@@ -1,0 +1,86 @@
+//! B9 (DESIGN.md §4): bottom-up vs top-down composite creation.
+//!
+//! [KIM87b] "forces a top-down creation of a composite object; that is,
+//! before a component object may be created, its parent object must already
+//! exist" (§1, second shortcoming). The revisited model supports both; this
+//! bench shows they cost the same order — removing the restriction is free
+//! — and measures the `make-component` assembly path against creation with
+//! inline values.
+//!
+//! Reported series (per components n):
+//!   * `top_down/n`   — parent first, children created with `:parent`
+//!   * `bottom_up/n`  — children first, then one `make` with the set value
+//!   * `assemble/n`   — children first, empty parent, n × `make-component`
+
+use std::time::Duration;
+
+use corion::{ClassBuilder, ClassId, CompositeSpec, Database, Domain, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn schema(db: &mut Database) -> (ClassId, ClassId) {
+    let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+    let asm = db
+        .define_class(ClassBuilder::new("Asm").same_segment_as(part).attr_composite(
+            "parts",
+            Domain::SetOf(Box::new(Domain::Class(part))),
+            CompositeSpec { exclusive: true, dependent: true },
+        ))
+        .unwrap();
+    (part, asm)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("creation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &n in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("top_down", n), &n, |b, &n| {
+            b.iter_batched(
+                Database::new,
+                |mut db| {
+                    let (part, asm) = schema(&mut db);
+                    let root = db.make(asm, vec![], vec![]).unwrap();
+                    for _ in 0..n {
+                        db.make(part, vec![], vec![(root, "parts")]).unwrap();
+                    }
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("bottom_up", n), &n, |b, &n| {
+            b.iter_batched(
+                Database::new,
+                |mut db| {
+                    let (part, asm) = schema(&mut db);
+                    let parts: Vec<Value> = (0..n)
+                        .map(|_| Value::Ref(db.make(part, vec![], vec![]).unwrap()))
+                        .collect();
+                    db.make(asm, vec![("parts", Value::Set(parts))], vec![]).unwrap();
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("assemble", n), &n, |b, &n| {
+            b.iter_batched(
+                Database::new,
+                |mut db| {
+                    let (part, asm) = schema(&mut db);
+                    let parts: Vec<corion::Oid> =
+                        (0..n).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+                    let root = db.make(asm, vec![], vec![]).unwrap();
+                    for p in parts {
+                        db.make_component(p, root, "parts").unwrap();
+                    }
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

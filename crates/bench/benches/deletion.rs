@@ -1,0 +1,104 @@
+//! B7 (DESIGN.md §4): the Deletion Rule (§2.2).
+//!
+//! Paper claim: dependent references free "the applications from having to
+//! search and delete all nested components of a deleted object" — the
+//! system-side cascade cost scales with the component count; independent
+//! references bound deletion to the root (plus reverse-reference cleanup).
+//! Dependent-shared deletion additionally pays the DS-set membership test.
+//!
+//! Reported series (per hierarchy size n):
+//!   * `dependent_cascade/n`   — delete root, everything cascades
+//!   * `independent_detach/n`  — delete root, components survive
+//!   * `shared_last_parent/n`  — two roots share everything dependently;
+//!     deleting both (second triggers the cascade)
+
+use std::time::Duration;
+
+use corion::workload::{DagParams, GeneratedDag};
+use corion::{ClassBuilder, CompositeSpec, Database, Domain, Oid, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dag(dependent: bool, n_hint: usize, seed: u64) -> (Database, Oid) {
+    let mut db = Database::new();
+    let depth = ((n_hint as f64).log(4.0).ceil() as usize).max(1);
+    let d = GeneratedDag::generate(
+        &mut db,
+        DagParams {
+            depth,
+            fanout: 4,
+            roots: 1,
+            share_fraction: 0.0,
+            dependent_fraction: if dependent { 1.0 } else { 0.0 },
+            seed,
+        },
+    )
+    .unwrap();
+    (db, d.roots[0])
+}
+
+/// Two roots, both holding every leaf through dependent-shared references.
+fn shared_pair(n: usize) -> (Database, Oid, Oid) {
+    let mut db = Database::new();
+    let leaf = db.define_class(ClassBuilder::new("Leaf")).unwrap();
+    let root = db
+        .define_class(ClassBuilder::new("Root").attr_composite(
+            "parts",
+            Domain::SetOf(Box::new(Domain::Class(leaf))),
+            CompositeSpec { exclusive: false, dependent: true },
+        ))
+        .unwrap();
+    let leaves: Vec<Value> =
+        (0..n).map(|_| Value::Ref(db.make(leaf, vec![], vec![]).unwrap())).collect();
+    let r1 = db.make(root, vec![("parts", Value::Set(leaves.clone()))], vec![]).unwrap();
+    let r2 = db.make(root, vec![("parts", Value::Set(leaves))], vec![]).unwrap();
+    (db, r1, r2)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deletion");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &n in &[20usize, 84, 340] {
+        group.bench_with_input(BenchmarkId::new("dependent_cascade", n), &n, |b, &n| {
+            b.iter_batched(
+                || dag(true, n, 1),
+                |(mut db, root)| {
+                    let deleted = db.delete(root).unwrap();
+                    assert!(deleted.len() > n / 2, "cascade really ran");
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("independent_detach", n), &n, |b, &n| {
+            b.iter_batched(
+                || dag(false, n, 1),
+                |(mut db, root)| {
+                    let deleted = db.delete(root).unwrap();
+                    assert_eq!(deleted.len(), 1, "only the root goes");
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("shared_last_parent", n), &n, |b, &n| {
+            b.iter_batched(
+                || shared_pair(n),
+                |(mut db, r1, r2)| {
+                    // First deletion decrements DS sets only…
+                    let d1 = db.delete(r1).unwrap();
+                    assert_eq!(d1.len(), 1);
+                    // …second triggers the full cascade.
+                    let d2 = db.delete(r2).unwrap();
+                    assert_eq!(d2.len(), 1 + n);
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation (DESIGN.md §5 / paper §7 closing): incremental locking for
+//! long-duration transactions vs the composite protocol.
+//!
+//! The composite protocol is O(classes) locks regardless of how little of
+//! the composite object a transaction touches; incremental locking pays
+//! two locks per *touched* component. The crossover the granularity
+//! trade-off predicts: composite wins when transactions touch most of the
+//! object, incremental wins when they touch a few components — and
+//! escalation bounds the worst case.
+//!
+//! Reported series (per touch count t out of 256 components):
+//!   * `composite/t`            — full §7 lock set, regardless of t
+//!   * `incremental/t`          — 2 locks per touched component
+//!   * `incremental_escalate/t` — threshold 0.5, so high t escalates
+
+use std::time::Duration;
+
+use corion::lock::incremental::IncrementalAccess;
+use corion::lock::protocol::composite_lockset;
+use corion::workload::{DagParams, GeneratedDag};
+use corion::{Database, LockIntent, LockManager, Oid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build() -> (Database, Oid, Vec<Oid>) {
+    let mut db = Database::new();
+    let dag = GeneratedDag::generate(
+        &mut db,
+        DagParams { depth: 4, fanout: 4, roots: 1, share_fraction: 0.0, dependent_fraction: 1.0, seed: 3 },
+    )
+    .unwrap();
+    let root = dag.roots[0];
+    let comps = db.components_of(root, &corion::Filter::all()).unwrap();
+    (db, root, comps)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_locking");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    let (db, root, comps) = build();
+    eprintln!("incremental_locking: composite object with {} components", comps.len());
+    let composite = composite_lockset(&db, root, LockIntent::Write);
+    let db = std::cell::RefCell::new(db);
+
+    for &touch in &[2usize, 16, 64, 256] {
+        let touch = touch.min(comps.len());
+        group.bench_with_input(BenchmarkId::new("composite", touch), &touch, |b, _| {
+            let lm = LockManager::new();
+            b.iter(|| {
+                let t = lm.begin();
+                composite.try_acquire(&lm, t).unwrap();
+                lm.release_all(t);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", touch), &touch, |b, &touch| {
+            let lm = LockManager::new();
+            b.iter(|| {
+                let mut dbm = db.borrow_mut();
+                let t = lm.begin();
+                let mut acc = IncrementalAccess::open(&mut dbm, &lm, t, root, true, 1.1).unwrap();
+                for &c in &comps[..touch] {
+                    acc.touch(&mut dbm, &lm, t, c).unwrap();
+                }
+                lm.release_all(t);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_escalate", touch),
+            &touch,
+            |b, &touch| {
+                let lm = LockManager::new();
+                b.iter(|| {
+                    let mut dbm = db.borrow_mut();
+                    let t = lm.begin();
+                    let mut acc =
+                        IncrementalAccess::open(&mut dbm, &lm, t, root, true, 0.5).unwrap();
+                    for &c in &comps[..touch] {
+                        acc.touch(&mut dbm, &lm, t, c).unwrap();
+                    }
+                    lm.release_all(t);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

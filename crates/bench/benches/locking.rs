@@ -1,0 +1,138 @@
+//! B3 (DESIGN.md §4): composite-object locking vs per-object locking.
+//!
+//! Paper claim (§7, implicit): locking a composite object as a single
+//! granule costs a constant number of lock requests (root class + root +
+//! one per component class), while conventional locking grows with the
+//! number of component objects. The crossover is immediate; the factor
+//! grows linearly with composite-object size.
+//!
+//! Reported series (per components-per-object n):
+//!   * `composite/n`  — §7 protocol lock set, acquire + release
+//!   * `per_object/n` — class + every component instance, acquire + release
+//!
+//! The lock-request counts themselves are printed once per size at setup.
+
+use std::time::Duration;
+
+use corion::lock::protocol::{composite_lockset, per_object_lockset};
+use corion::workload::{DagParams, GeneratedDag};
+use corion::{Database, LockIntent, LockManager, Oid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// One root with ~n components (exclusive hierarchy).
+fn build(n: usize) -> (Database, Oid) {
+    let mut db = Database::new();
+    // depth d, fanout f -> f + f^2 + ... ≈ n; use fanout 4.
+    let depth = ((n as f64).log(4.0).ceil() as usize).max(1);
+    let dag = GeneratedDag::generate(
+        &mut db,
+        DagParams {
+            depth,
+            fanout: 4,
+            roots: 1,
+            share_fraction: 0.0,
+            dependent_fraction: 1.0,
+            seed: 7,
+        },
+    )
+    .unwrap();
+    (db, dag.roots[0])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+
+    for &n in &[4usize, 20, 84, 340] {
+        let (mut db, root) = build(n);
+        let composite = composite_lockset(&db, root, LockIntent::Write);
+        let per_object = per_object_lockset(&mut db, root, true).unwrap();
+        eprintln!(
+            "locking/B3: components≈{n}: composite protocol = {} lock requests, \
+             per-object = {} lock requests",
+            composite.len(),
+            per_object.len()
+        );
+
+        group.bench_with_input(BenchmarkId::new("composite", n), &n, |b, _| {
+            let lm = LockManager::new();
+            b.iter(|| {
+                let t = lm.begin();
+                composite.try_acquire(&lm, t).unwrap();
+                lm.release_all(t);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("per_object", n), &n, |b, _| {
+            let lm = LockManager::new();
+            b.iter(|| {
+                let t = lm.begin();
+                per_object.try_acquire(&lm, t).unwrap();
+                lm.release_all(t);
+            })
+        });
+    }
+    group.finish();
+
+    // Throughput under contention: disjoint writers with the composite
+    // protocol proceed in parallel; per-object locking with the same mix
+    // pays per-component acquisition on every transaction.
+    let mut group = c.benchmark_group("locking_mix");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let mut db = Database::new();
+    let fleet = corion::workload::Fleet::generate(&mut db, 8, 6).unwrap();
+    let mix = corion::workload::txmix::generate(corion::workload::TxMixParams {
+        ops: 64,
+        roots: fleet.vehicles.len(),
+        write_fraction: 0.25,
+        hot_fraction: 0.0,
+        seed: 11,
+    });
+    let composite_sets: Vec<_> = fleet
+        .vehicles
+        .iter()
+        .map(|&v| {
+            (
+                composite_lockset(&db, v, LockIntent::Read),
+                composite_lockset(&db, v, LockIntent::Write),
+            )
+        })
+        .collect();
+    let per_object_sets: Vec<_> = fleet
+        .vehicles
+        .iter()
+        .map(|&v| {
+            (
+                per_object_lockset(&mut db, v, false).unwrap(),
+                per_object_lockset(&mut db, v, true).unwrap(),
+            )
+        })
+        .collect();
+    group.bench_function("composite_mix64", |b| {
+        let lm = LockManager::new();
+        b.iter(|| {
+            for op in &mix {
+                let t = lm.begin();
+                let (r, w) = &composite_sets[op.root_index];
+                let set = if op.kind == corion::workload::AccessKind::Write { w } else { r };
+                set.try_acquire(&lm, t).unwrap();
+                lm.release_all(t);
+            }
+        })
+    });
+    group.bench_function("per_object_mix64", |b| {
+        let lm = LockManager::new();
+        b.iter(|| {
+            for op in &mix {
+                let t = lm.begin();
+                let (r, w) = &per_object_sets[op.root_index];
+                let set = if op.kind == corion::workload::AccessKind::Write { w } else { r };
+                set.try_acquire(&lm, t).unwrap();
+                lm.release_all(t);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

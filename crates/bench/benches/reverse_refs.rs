@@ -1,0 +1,116 @@
+//! B5 (DESIGN.md §4): the reverse-composite-reference trade-off of §2.4.
+//!
+//! Paper claim: keeping reverse pointers in each component "allows us to
+//! avoid a level of indirection in accessing the parents of a given
+//! component, and simplifies deletion and migration of objects; however, it
+//! causes the object size to increase."
+//!
+//! Reported series:
+//!   * `parents_via_reverse_refs/n` — `parents-of` answered from the
+//!     component's reverse references (O(parents))
+//!   * `parents_via_scan/n`         — the same question answered the way a
+//!     system *without* reverse references must: scan every instance of
+//!     every referencing class (O(database))
+//!   * object-size overhead printed at setup (bytes with vs without
+//!     reverse references)
+
+use std::time::Duration;
+
+use corion::workload::{Corpus, CorpusParams};
+use corion::{Database, Filter, Oid, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Finds parents of `target` without reverse references: scan all documents
+/// and sections for values referencing it.
+fn parents_by_scan(db: &mut Database, corpus: &Corpus, target: Oid) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for class in [corpus.schema.document, corpus.schema.section] {
+        for oid in db.instances_of(class, false) {
+            let obj = db.get(oid).unwrap();
+            if obj.attrs.iter().any(|v| v.references(target)) {
+                out.push(oid);
+            }
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_refs");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &docs in &[10usize, 50, 200] {
+        let mut db = Database::new();
+        let corpus = Corpus::generate(
+            &mut db,
+            CorpusParams { documents: docs, share_fraction: 0.5, ..CorpusParams::default() },
+        )
+        .unwrap();
+        let target = corpus.sections[corpus.sections.len() / 2];
+
+        // Size overhead: encoded size with reverse refs vs stripped.
+        let obj = db.get(target).unwrap();
+        let with = obj.encoded_size();
+        let mut stripped = obj.clone();
+        stripped.reverse_refs.clear();
+        eprintln!(
+            "reverse_refs/B5: corpus {docs} docs — section object {} bytes with {} reverse refs, \
+             {} bytes without (+{} bytes)",
+            with,
+            obj.reverse_refs.len(),
+            stripped.encoded_size(),
+            with - stripped.encoded_size()
+        );
+
+        let db = std::cell::RefCell::new(db);
+        group.bench_with_input(BenchmarkId::new("parents_via_reverse_refs", docs), &docs, |b, _| {
+            b.iter(|| db.borrow_mut().parents_of(target, &Filter::all()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parents_via_scan", docs), &docs, |b, _| {
+            b.iter(|| parents_by_scan(&mut db.borrow_mut(), &corpus, target))
+        });
+        // Sanity: both answers agree (scan finds annotation parents too, so
+        // compare as sets on the composite parents only).
+        let via_refs = db.borrow_mut().parents_of(target, &Filter::all()).unwrap();
+        let via_scan = parents_by_scan(&mut db.borrow_mut(), &corpus, target);
+        for p in &via_refs {
+            assert!(via_scan.contains(p), "scan misses parent {p}");
+        }
+    }
+    group.finish();
+
+    // Maintenance overhead: attach/detach cost as reverse-ref lists grow.
+    let mut group = c.benchmark_group("reverse_ref_maintenance");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for &parents in &[1usize, 16, 128] {
+        let mut db = Database::new();
+        let schema = corion::workload::DocumentSchema::define(&mut db).unwrap();
+        let sec = db.make(schema.section, vec![], vec![]).unwrap();
+        let docs: Vec<Oid> = (0..parents)
+            .map(|_| {
+                let d = db.make(schema.document, vec![], vec![]).unwrap();
+                db.make_component(sec, d, "Sections").unwrap();
+                d
+            })
+            .collect();
+        let extra = db.make(schema.document, vec![], vec![]).unwrap();
+        let db = std::cell::RefCell::new(db);
+        group.bench_with_input(BenchmarkId::new("attach_detach", parents), &parents, |b, _| {
+            b.iter(|| {
+                let mut dbm = db.borrow_mut();
+                dbm.make_component(sec, extra, "Sections").unwrap();
+                dbm.remove_component(sec, extra, "Sections").unwrap();
+            })
+        });
+        let _ = docs;
+        // Keep one value-read in the loop honest.
+        assert_eq!(
+            db.borrow_mut().get_attr(extra, "Sections").unwrap(),
+            Value::Set(vec![])
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

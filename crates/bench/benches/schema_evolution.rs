@@ -1,0 +1,139 @@
+//! B1 + B2 (DESIGN.md §4): schema evolution — immediate vs deferred
+//! state-independent changes, and the cost of state-dependent changes.
+//!
+//! Paper claim (§4.3): state-independent changes "may be made 'immediately'
+//! or 'deferred' until the objects actually need to be accessed"; deferring
+//! wins when only a fraction of the extension is subsequently touched.
+//! State-dependent change D2 "may be very expensive, since there is no
+//! reverse reference corresponding to a weak reference" — its cost scales
+//! with the full referencing extension.
+//!
+//! Reported series (per extension size n):
+//!   * `immediate/n`      — I2 change applied eagerly to all n instances
+//!   * `deferred_touch10/n` — I2 change logged, then 10% of instances read
+//!   * `deferred_touch_all/n` — I2 logged, then every instance read
+//!   * `d2_weak_to_shared/n` — the state-dependent full-extension scan
+
+use std::time::Duration;
+
+use corion::core::evolution::{AttrTypeChange, Maintenance};
+use corion::{ClassBuilder, ClassId, CompositeSpec, Database, Domain, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds `n` holder->item pairs with an exclusive dependent `slot`
+/// attribute (for I2) and a weak `wref` attribute (for D2).
+fn build(n: usize) -> (Database, ClassId) {
+    let mut db = Database::new();
+    let item = db.define_class(ClassBuilder::new("Item")).unwrap();
+    let holder = db
+        .define_class(
+            ClassBuilder::new("Holder")
+                .attr_composite(
+                    "slot",
+                    Domain::Class(item),
+                    CompositeSpec { exclusive: true, dependent: true },
+                )
+                .attr("wref", Domain::Class(item)),
+        )
+        .unwrap();
+    for _ in 0..n {
+        let i = db.make(item, vec![], vec![]).unwrap();
+        let w = db.make(item, vec![], vec![]).unwrap();
+        db.make(holder, vec![("slot", Value::Ref(i)), ("wref", Value::Ref(w))], vec![]).unwrap();
+    }
+    (db, holder)
+}
+
+fn items_of(db: &Database) -> Vec<corion::Oid> {
+    let item = db.class_by_name("Item").unwrap();
+    db.instances_of(item, false)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_evolution");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &n in &[100usize, 1000, 4000] {
+        // B1a: immediate I2 — pays O(n) at change time.
+        group.bench_with_input(BenchmarkId::new("immediate", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |(mut db, holder)| {
+                    db.change_attribute_type(
+                        holder,
+                        "slot",
+                        AttrTypeChange::ExclusiveToShared,
+                        Maintenance::Immediate,
+                    )
+                    .unwrap();
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        // B1b: deferred I2 + touching 10% — pays O(1) + O(n/10).
+        group.bench_with_input(BenchmarkId::new("deferred_touch10", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |(mut db, holder)| {
+                    db.change_attribute_type(
+                        holder,
+                        "slot",
+                        AttrTypeChange::ExclusiveToShared,
+                        Maintenance::Deferred,
+                    )
+                    .unwrap();
+                    let items = items_of(&db);
+                    for oid in items.iter().step_by(10) {
+                        let _ = db.get(*oid).unwrap();
+                    }
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        // B1c: deferred I2 + touching everything — should approach the
+        // immediate cost (the crossover the paper's design implies).
+        group.bench_with_input(BenchmarkId::new("deferred_touch_all", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |(mut db, holder)| {
+                    db.change_attribute_type(
+                        holder,
+                        "slot",
+                        AttrTypeChange::ExclusiveToShared,
+                        Maintenance::Deferred,
+                    )
+                    .unwrap();
+                    let items = items_of(&db);
+                    for oid in items {
+                        let _ = db.get(oid).unwrap();
+                    }
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        // B2: state-dependent D2 — full extension scan + verification.
+        group.bench_with_input(BenchmarkId::new("d2_weak_to_shared", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |(mut db, holder)| {
+                    db.change_attribute_type(
+                        holder,
+                        "wref",
+                        AttrTypeChange::WeakToShared { dependent: false },
+                        Maintenance::Immediate,
+                    )
+                    .unwrap();
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! B8 (DESIGN.md §4): version derivation and ref-count maintenance (§5).
+//!
+//! Paper claim (§5.3, implicit): reverse composite *generic* references
+//! with ref-counts make binding/unbinding between versioned objects O(1)
+//! per reference, and derivation cost scales with the number of composite
+//! references the source version holds (each needs the CV-2X rebinding
+//! decision).
+//!
+//! Reported series:
+//!   * `derive/n`        — derive a version holding n composite references
+//!   * `bind_unbind/n`   — static bind + unbind against a generic with n
+//!     existing reverse generic references
+//!   * `resolve_dynamic` — default-version resolution
+
+use std::time::Duration;
+
+use corion::{ClassBuilder, ClassId, CompositeSpec, Database, Domain, Value, VersionManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn schema() -> (VersionManager, ClassId, ClassId) {
+    let mut db = Database::new();
+    let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+    let c = db
+        .define_class(ClassBuilder::new("C").versionable().attr_composite(
+            "parts",
+            Domain::SetOf(Box::new(Domain::Class(d))),
+            CompositeSpec { exclusive: false, dependent: false },
+        ))
+        .unwrap();
+    (VersionManager::new(db), c, d)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versions");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    for &n in &[1usize, 16, 64] {
+        // derive/n: source version holds n shared static references.
+        group.bench_with_input(BenchmarkId::new("derive", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (mut vm, c, d) = schema();
+                    let mut refs = Vec::new();
+                    for _ in 0..n {
+                        let (_g, v) = vm.create(d, vec![]).unwrap();
+                        refs.push(Value::Ref(v));
+                    }
+                    let (_gc, c1) = vm.create(c, vec![("parts", Value::Set(refs))]).unwrap();
+                    (vm, c1)
+                },
+                |(mut vm, c1)| {
+                    vm.derive(c1).unwrap();
+                    vm
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+
+        // bind_unbind/n against a generic with n existing parents.
+        group.bench_with_input(BenchmarkId::new("bind_unbind", n), &n, |b, &n| {
+            let (mut vm, c, d) = schema();
+            let (_g_d, d1) = vm.create(d, vec![]).unwrap();
+            for _ in 0..n {
+                let (_gc, ci) = vm.create(c, vec![]).unwrap();
+                vm.bind_static(ci, "parts", d1).unwrap();
+            }
+            let (_gx, extra) = vm.create(c, vec![]).unwrap();
+            b.iter(|| {
+                vm.bind_static(extra, "parts", d1).unwrap();
+                vm.unbind(extra, "parts", d1).unwrap();
+            })
+        });
+    }
+
+    // resolve_dynamic over a long derivation chain.
+    group.bench_function("resolve_dynamic_chain64", |b| {
+        let (mut vm, c, _d) = schema();
+        let (g, mut v) = vm.create(c, vec![]).unwrap();
+        for _ in 0..64 {
+            v = vm.derive(v).unwrap();
+        }
+        b.iter(|| vm.resolve(g).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared helpers for the CORION benchmark harness.
+//!
+//! The benches (one per experiment in DESIGN.md §4) live in `benches/`;
+//! this library hosts the setup routines they share so Criterion timing
+//! loops measure only the operation under study.
+
+use corion::workload::{CorpusParams, DagParams, GeneratedDag};
+use corion::{Database, DbConfig};
+
+/// A database tuned for benchmarking (small buffer pool so cold-cache
+/// clustering effects are visible).
+pub fn bench_db(buffer_pages: usize) -> Database {
+    Database::with_config(DbConfig {
+        store: corion::storage::StoreConfig { buffer_capacity: buffer_pages },
+        ..DbConfig::default()
+    })
+}
+
+/// A fresh hierarchy of roughly `size_hint` objects with the given sharing.
+pub fn dag_of(db: &mut Database, depth: usize, fanout: usize, share: f64, seed: u64) -> GeneratedDag {
+    GeneratedDag::generate(
+        db,
+        DagParams {
+            depth,
+            fanout,
+            roots: 1,
+            share_fraction: share,
+            dependent_fraction: 0.5,
+            seed,
+        },
+    )
+    .expect("generation succeeds")
+}
+
+/// Default corpus parameters scaled by a document count.
+pub fn corpus_params(documents: usize, share: f64, seed: u64) -> CorpusParams {
+    CorpusParams {
+        documents,
+        sections_per_doc: 5,
+        paras_per_section: 4,
+        share_fraction: share,
+        figures_per_doc: 2,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_working_fixtures() {
+        let mut db = bench_db(64);
+        let dag = dag_of(&mut db, 2, 3, 0.2, 1);
+        assert_eq!(dag.len(), 1 + 3 + 9);
+        let p = corpus_params(4, 0.5, 2);
+        assert_eq!(p.documents, 4);
+    }
+}

@@ -1,0 +1,512 @@
+//! Operations on composite objects (paper §3).
+//!
+//! §3.1: `components-of`, `parents-of`, `ancestors-of`, each taking an
+//! optional class list and Exclusive/Shared switches; `components-of` also
+//! takes a Level bound ("a level n component of O' if the shortest path
+//! between O and O' has n composite references").
+//!
+//! §3.2: the predicates `compositep`, `exclusive-compositep`,
+//! `shared-compositep`, `dependent-compositep` on classes, and
+//! `component-of`, `child-of`, `exclusive-component-of`,
+//! `shared-component-of` on instances.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::oid::{ClassId, Oid};
+
+/// Argument bundle for the §3.1 traversal messages: `[ListofClasses]
+/// [Exclusive] [Shared]` (+ `[Level]` for `components-of`).
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    /// Restrict results to instances of these classes (subclass instances
+    /// included). `None` = all classes.
+    pub classes: Option<Vec<ClassId>>,
+    /// "If Exclusive is True, only the exclusive components are retrieved."
+    pub exclusive: bool,
+    /// "If Shared is True, only shared components are retrieved."
+    pub shared: bool,
+    /// "Return components of a given object up to the specified Level."
+    /// `None` = unbounded. Only honoured by `components-of`.
+    pub level: Option<usize>,
+}
+
+impl Filter {
+    /// No restriction: all components/parents/ancestors.
+    pub fn all() -> Self {
+        Filter::default()
+    }
+
+    /// Restrict to the given classes.
+    pub fn classes(mut self, classes: Vec<ClassId>) -> Self {
+        self.classes = Some(classes);
+        self
+    }
+
+    /// Only exclusive references.
+    pub fn exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+
+    /// Only shared references.
+    pub fn shared(mut self) -> Self {
+        self.shared = true;
+        self
+    }
+
+    /// Bound the traversal depth.
+    pub fn level(mut self, n: usize) -> Self {
+        self.level = Some(n);
+        self
+    }
+
+    /// Does an edge of the given exclusivity pass the Exclusive/Shared
+    /// switches? "If both Exclusive and Shared are Nil, all components are
+    /// retrieved."
+    fn admits_edge(&self, edge_exclusive: bool) -> bool {
+        match (self.exclusive, self.shared) {
+            (false, false) | (true, true) => true,
+            (true, false) => edge_exclusive,
+            (false, true) => !edge_exclusive,
+        }
+    }
+
+    fn admits_class(&self, db: &Database, class: ClassId) -> bool {
+        match &self.classes {
+            None => true,
+            Some(cs) => cs.iter().any(|&c| db.is_subclass_of(class, c)),
+        }
+    }
+}
+
+impl Database {
+    /// `(components-of Object [ListofClasses] [Exclusive] [Shared] [Level])`
+    ///
+    /// Returns the component set of `object`: "all objects directly or
+    /// indirectly referenced from O via composite references" (§2.2), BFS
+    /// order (so level-n components appear before level-n+1 ones).
+    pub fn components_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        if !self.exists(object) {
+            return Err(DbError::NoSuchObject(object));
+        }
+        let mut seen: HashSet<Oid> = HashSet::new();
+        seen.insert(object);
+        let mut out = Vec::new();
+        let mut frontier: VecDeque<(Oid, usize)> = VecDeque::new();
+        frontier.push_back((object, 0));
+        while let Some((oid, depth)) = frontier.pop_front() {
+            if let Some(max) = filter.level {
+                if depth >= max {
+                    continue;
+                }
+            }
+            for (spec, child) in self.forward_composite_refs(oid)? {
+                if !filter.admits_edge(spec.exclusive) {
+                    continue;
+                }
+                if !self.exists(child) || !seen.insert(child) {
+                    continue;
+                }
+                if filter.admits_class(self, child.class) {
+                    out.push(child);
+                }
+                frontier.push_back((child, depth + 1));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `(parents-of Object [ListofClasses] [Exclusive] [Shared])` — the
+    /// *parent set*: objects with a **direct** composite reference to
+    /// `object`, answered from its reverse composite references (§2.4).
+    pub fn parents_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let obj = self.get(object)?;
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for rr in &obj.reverse_refs {
+            if !filter.admits_edge(rr.exclusive) {
+                continue;
+            }
+            if !filter.admits_class(self, rr.parent.class) {
+                continue;
+            }
+            if seen.insert(rr.parent) {
+                out.push(rr.parent);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `(ancestors-of Object [ListofClasses] [Exclusive] [Shared])` — the
+    /// *ancestor set*: objects with a direct **or indirect** composite
+    /// reference to `object`.
+    pub fn ancestors_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        if !self.exists(object) {
+            return Err(DbError::NoSuchObject(object));
+        }
+        let mut seen: HashSet<Oid> = HashSet::new();
+        seen.insert(object);
+        let mut out = Vec::new();
+        let mut frontier: VecDeque<Oid> = VecDeque::new();
+        frontier.push_back(object);
+        while let Some(oid) = frontier.pop_front() {
+            let obj = self.get(oid)?;
+            for rr in obj.reverse_refs.clone() {
+                if !filter.admits_edge(rr.exclusive) {
+                    continue;
+                }
+                if !self.exists(rr.parent) || !seen.insert(rr.parent) {
+                    continue;
+                }
+                if filter.admits_class(self, rr.parent.class) {
+                    out.push(rr.parent);
+                }
+                frontier.push_back(rr.parent);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The roots of every composite object containing `object`: its
+    /// ancestors (plus itself) that have no composite parents.
+    pub fn roots_of(&mut self, object: Oid) -> DbResult<Vec<Oid>> {
+        let mut candidates = self.ancestors_of(object, &Filter::all())?;
+        candidates.insert(0, object);
+        let mut out = Vec::new();
+        for c in candidates {
+            if self.get(c)?.reverse_refs.is_empty() {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2 predicates — classes
+    // ------------------------------------------------------------------
+
+    /// `(compositep Class [AttributeName])`.
+    pub fn compositep(&self, class: ClassId, attr: Option<&str>) -> DbResult<bool> {
+        let c = self.catalog.class(class)?;
+        Ok(match attr {
+            None => c.compositep(),
+            Some(name) => c
+                .attr(name)
+                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?
+                .composite
+                .is_some(),
+        })
+    }
+
+    /// `(exclusive-compositep Class [AttributeName])`.
+    pub fn exclusive_compositep(&self, class: ClassId, attr: Option<&str>) -> DbResult<bool> {
+        self.compositep_matching(class, attr, |s| s.exclusive)
+    }
+
+    /// `(shared-compositep Class [AttributeName])`.
+    pub fn shared_compositep(&self, class: ClassId, attr: Option<&str>) -> DbResult<bool> {
+        self.compositep_matching(class, attr, |s| !s.exclusive)
+    }
+
+    /// `(dependent-compositep Class [AttributeName])`.
+    pub fn dependent_compositep(&self, class: ClassId, attr: Option<&str>) -> DbResult<bool> {
+        self.compositep_matching(class, attr, |s| s.dependent)
+    }
+
+    fn compositep_matching(
+        &self,
+        class: ClassId,
+        attr: Option<&str>,
+        pred: impl Fn(crate::schema::attr::CompositeSpec) -> bool,
+    ) -> DbResult<bool> {
+        let c = self.catalog.class(class)?;
+        Ok(match attr {
+            None => c.attrs.iter().any(|a| a.composite.map(&pred).unwrap_or(false)),
+            Some(name) => c
+                .attr(name)
+                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?
+                .composite
+                .map(pred)
+                .unwrap_or(false),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2 predicates — instances
+    // ------------------------------------------------------------------
+
+    /// `(component-of Object1 Object2)`: is `o1` a direct or indirect
+    /// component of `o2`? Answered by walking **up** from `o1` through
+    /// reverse references, which is bounded by `o1`'s ancestor set rather
+    /// than `o2`'s (usually much larger) component set.
+    pub fn component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        if !self.exists(o1) {
+            return Err(DbError::NoSuchObject(o1));
+        }
+        if o1 == o2 {
+            return Ok(false);
+        }
+        let mut seen = HashSet::new();
+        let mut frontier = vec![o1];
+        while let Some(oid) = frontier.pop() {
+            if !seen.insert(oid) {
+                continue;
+            }
+            let obj = self.get(oid)?;
+            for rr in &obj.reverse_refs {
+                if rr.parent == o2 {
+                    return Ok(true);
+                }
+                frontier.push(rr.parent);
+            }
+        }
+        Ok(false)
+    }
+
+    /// `(child-of Object1 Object2)`: is `o1` a **direct** component of `o2`?
+    pub fn child_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        Ok(self.get(o1)?.reverse_refs.iter().any(|rr| rr.parent == o2))
+    }
+
+    /// `(exclusive-component-of Object1 Object2)`: True if `o1` is an
+    /// exclusive component of `o2`; Nil if it is not a component at all or a
+    /// shared one.
+    pub fn exclusive_component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let is_exclusive = self.get(o1)?.has_exclusive_reverse_ref();
+        Ok(is_exclusive && self.component_of(o1, o2)?)
+    }
+
+    /// `(shared-component-of Object1 Object2)`: True if `o1` is a shared
+    /// component of `o2`. The paper notes this equals `component-of` ∧
+    /// ¬`exclusive-component-of`, which by Topology Rule 3 reduces to a flag
+    /// test on `o1`.
+    pub fn shared_component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let obj = self.get(o1)?;
+        let is_shared = obj.reverse_refs.iter().any(|rr| !rr.exclusive);
+        Ok(is_shared && self.component_of(o1, o2)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr::{CompositeSpec, Domain};
+    use crate::schema::class::ClassBuilder;
+    use crate::value::Value;
+
+    /// Three-level hierarchy: Book --(excl dep)--> Chapter --(shared dep)-->
+    /// Paragraph, plus Book --(ind shared)--> Image.
+    struct Fixture {
+        db: Database,
+        book: ClassId,
+        chapter: ClassId,
+        paragraph: ClassId,
+        image: ClassId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut db = Database::new();
+        let paragraph = db.define_class(ClassBuilder::new("Paragraph")).unwrap();
+        let image = db.define_class(ClassBuilder::new("Image")).unwrap();
+        let chapter = db
+            .define_class(ClassBuilder::new("Chapter").attr_composite(
+                "paras",
+                Domain::SetOf(Box::new(Domain::Class(paragraph))),
+                CompositeSpec { exclusive: false, dependent: true },
+            ))
+            .unwrap();
+        let book = db
+            .define_class(
+                ClassBuilder::new("Book")
+                    .attr_composite(
+                        "chapters",
+                        Domain::SetOf(Box::new(Domain::Class(chapter))),
+                        CompositeSpec { exclusive: true, dependent: true },
+                    )
+                    .attr_composite(
+                        "figures",
+                        Domain::SetOf(Box::new(Domain::Class(image))),
+                        CompositeSpec { exclusive: false, dependent: false },
+                    ),
+            )
+            .unwrap();
+        Fixture { db, book, chapter, paragraph, image }
+    }
+
+    struct Built {
+        book: Oid,
+        ch1: Oid,
+        ch2: Oid,
+        p1: Oid,
+        p2: Oid,
+        img: Oid,
+    }
+
+    fn build(f: &mut Fixture) -> Built {
+        let db = &mut f.db;
+        let p1 = db.make(f.paragraph, vec![], vec![]).unwrap();
+        let p2 = db.make(f.paragraph, vec![], vec![]).unwrap();
+        let img = db.make(f.image, vec![], vec![]).unwrap();
+        let ch1 = db
+            .make(f.chapter, vec![("paras", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))], vec![])
+            .unwrap();
+        let ch2 = db
+            .make(f.chapter, vec![("paras", Value::Set(vec![Value::Ref(p2)]))], vec![])
+            .unwrap();
+        let book = db
+            .make(
+                f.book,
+                vec![
+                    ("chapters", Value::Set(vec![Value::Ref(ch1), Value::Ref(ch2)])),
+                    ("figures", Value::Set(vec![Value::Ref(img)])),
+                ],
+                vec![],
+            )
+            .unwrap();
+        Built { book, ch1, ch2, p1, p2, img }
+    }
+
+    #[test]
+    fn components_of_returns_full_component_set() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let comps = f.db.components_of(b.book, &Filter::all()).unwrap();
+        let set: HashSet<Oid> = comps.iter().copied().collect();
+        assert_eq!(set, [b.ch1, b.ch2, b.p1, b.p2, b.img].into_iter().collect());
+    }
+
+    #[test]
+    fn components_of_level_one_is_direct_children() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let comps = f.db.components_of(b.book, &Filter::all().level(1)).unwrap();
+        let set: HashSet<Oid> = comps.iter().copied().collect();
+        assert_eq!(set, [b.ch1, b.ch2, b.img].into_iter().collect());
+    }
+
+    #[test]
+    fn components_of_class_filter() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let paragraph = f.paragraph;
+        let comps =
+            f.db.components_of(b.book, &Filter::all().classes(vec![paragraph])).unwrap();
+        let set: HashSet<Oid> = comps.iter().copied().collect();
+        assert_eq!(set, [b.p1, b.p2].into_iter().collect());
+    }
+
+    #[test]
+    fn components_of_exclusive_only_follows_exclusive_edges() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let comps = f.db.components_of(b.book, &Filter::all().exclusive()).unwrap();
+        let set: HashSet<Oid> = comps.iter().copied().collect();
+        // Only chapters reach via exclusive edges; paragraphs hang off
+        // shared edges and the image is shared too.
+        assert_eq!(set, [b.ch1, b.ch2].into_iter().collect());
+    }
+
+    #[test]
+    fn components_of_shared_only() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let comps = f.db.components_of(b.book, &Filter::all().shared()).unwrap();
+        let set: HashSet<Oid> = comps.iter().copied().collect();
+        // Shared-only traversal cannot pass the exclusive book->chapter
+        // edges, so only the image is reached.
+        assert_eq!(set, [b.img].into_iter().collect());
+    }
+
+    #[test]
+    fn bfs_order_is_by_level() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let comps = f.db.components_of(b.book, &Filter::all()).unwrap();
+        let pos = |o: Oid| comps.iter().position(|&x| x == o).expect("component present");
+        assert!(pos(b.ch1) < pos(b.p1), "level-1 before level-2");
+    }
+
+    #[test]
+    fn parents_and_ancestors() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let parents = f.db.parents_of(b.p2, &Filter::all()).unwrap();
+        let pset: HashSet<Oid> = parents.iter().copied().collect();
+        assert_eq!(pset, [b.ch1, b.ch2].into_iter().collect());
+        let anc = f.db.ancestors_of(b.p2, &Filter::all()).unwrap();
+        let aset: HashSet<Oid> = anc.iter().copied().collect();
+        assert_eq!(aset, [b.ch1, b.ch2, b.book].into_iter().collect());
+    }
+
+    #[test]
+    fn parents_of_with_shared_filter() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        assert_eq!(f.db.parents_of(b.ch1, &Filter::all().shared()).unwrap(), Vec::<Oid>::new());
+        assert_eq!(f.db.parents_of(b.ch1, &Filter::all().exclusive()).unwrap(), vec![b.book]);
+    }
+
+    #[test]
+    fn roots_of_finds_hierarchy_roots() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        assert_eq!(f.db.roots_of(b.p1).unwrap(), vec![b.book]);
+        assert_eq!(f.db.roots_of(b.book).unwrap(), vec![b.book], "a root's root is itself");
+    }
+
+    #[test]
+    fn class_predicates() {
+        let f = fixture();
+        let db = &f.db;
+        assert!(db.compositep(f.book, None).unwrap());
+        assert!(db.compositep(f.book, Some("chapters")).unwrap());
+        assert!(!db.compositep(f.paragraph, None).unwrap());
+        assert!(db.exclusive_compositep(f.book, Some("chapters")).unwrap());
+        assert!(!db.exclusive_compositep(f.book, Some("figures")).unwrap());
+        assert!(db.shared_compositep(f.book, Some("figures")).unwrap());
+        assert!(db.dependent_compositep(f.book, Some("chapters")).unwrap());
+        assert!(!db.dependent_compositep(f.book, Some("figures")).unwrap());
+        assert!(db.shared_compositep(f.chapter, None).unwrap());
+        assert!(db.compositep(f.book, Some("missing")).is_err());
+    }
+
+    #[test]
+    fn instance_predicates() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let db = &mut f.db;
+        assert!(db.component_of(b.p1, b.book).unwrap(), "indirect component");
+        assert!(db.component_of(b.ch1, b.book).unwrap(), "direct component");
+        assert!(!db.component_of(b.book, b.p1).unwrap(), "not symmetric");
+        assert!(!db.component_of(b.book, b.book).unwrap(), "not reflexive");
+        assert!(db.child_of(b.ch1, b.book).unwrap());
+        assert!(!db.child_of(b.p1, b.book).unwrap(), "child-of is direct only");
+        assert!(db.exclusive_component_of(b.ch1, b.book).unwrap());
+        assert!(!db.shared_component_of(b.ch1, b.book).unwrap());
+        assert!(db.shared_component_of(b.p1, b.book).unwrap());
+        assert!(!db.exclusive_component_of(b.p1, b.book).unwrap());
+    }
+
+    #[test]
+    fn ancestors_answer_the_reverse_component_question() {
+        // §3.2: "there is no need to define a message for determining if an
+        // Object1 belongs to the ancestor set of an Object2, since … the
+        // message component-of can be used" with swapped arguments.
+        let mut f = fixture();
+        let b = build(&mut f);
+        assert!(f.db.component_of(b.p1, b.book).unwrap());
+        let anc = f.db.ancestors_of(b.p1, &Filter::all()).unwrap();
+        assert!(anc.contains(&b.book));
+    }
+
+    #[test]
+    fn traversals_reject_missing_objects() {
+        let mut f = fixture();
+        let ghost = Oid::new(f.paragraph, 999);
+        assert!(f.db.components_of(ghost, &Filter::all()).is_err());
+        assert!(f.db.ancestors_of(ghost, &Filter::all()).is_err());
+        assert!(f.db.parents_of(ghost, &Filter::all()).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Parent sets and the Topology Rules (paper §2.2).
+//!
+//! > "Different types of reference partition the set of objects which
+//! > reference a given object into four different sets of objects."
+//!
+//! Definition 1 gives the four sets `IX(O)`, `DX(O)`, `IS(O)`, `DS(O)`.
+//! Topology Rules 1–4 constrain the "object topologies" these sets may
+//! form, and the Make-Component Rule gates every new composite reference.
+
+use crate::error::{DbError, DbResult};
+use crate::object::Object;
+use crate::oid::Oid;
+use crate::refs::RefKind;
+use crate::schema::attr::CompositeSpec;
+
+/// The four parent sets of Definition 1, materialised from an object's
+/// reverse composite references.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParentSets {
+    /// Independent exclusive composite parents.
+    pub ix: Vec<Oid>,
+    /// Dependent exclusive composite parents.
+    pub dx: Vec<Oid>,
+    /// Independent shared composite parents.
+    pub is: Vec<Oid>,
+    /// Dependent shared composite parents.
+    pub ds: Vec<Oid>,
+}
+
+impl ParentSets {
+    /// Computes the parent sets of `obj`.
+    pub fn of(obj: &Object) -> Self {
+        ParentSets { ix: obj.ix(), dx: obj.dx(), is: obj.is_(), ds: obj.ds() }
+    }
+
+    /// Total number of composite references to the object.
+    pub fn total(&self) -> usize {
+        self.ix.len() + self.dx.len() + self.is.len() + self.ds.len()
+    }
+
+    /// Checks Topology Rules 1–3 (Rule 4 — any number of *weak* references —
+    /// is trivially satisfied because weak references are not recorded in
+    /// reverse references at all).
+    pub fn check(&self, object: Oid) -> DbResult<()> {
+        // Rule 1: card(IX(O)) <= 1, card(DX(O)) <= 1.
+        if self.ix.len() > 1 || self.dx.len() > 1 {
+            return Err(DbError::TopologyViolation {
+                rule: 1,
+                object,
+                detail: format!(
+                    "card(IX)={}, card(DX)={}; each must be at most 1",
+                    self.ix.len(),
+                    self.dx.len()
+                ),
+            });
+        }
+        // Rule 2: IX and DX are mutually exclusive.
+        if !self.ix.is_empty() && !self.dx.is_empty() {
+            return Err(DbError::TopologyViolation {
+                rule: 2,
+                object,
+                detail: "independent and dependent exclusive references cannot coexist".into(),
+            });
+        }
+        // Rule 3: exclusive and shared references are mutually exclusive.
+        let has_exclusive = !self.ix.is_empty() || !self.dx.is_empty();
+        let has_shared = !self.is.is_empty() || !self.ds.is_empty();
+        if has_exclusive && has_shared {
+            return Err(DbError::TopologyViolation {
+                rule: 3,
+                object,
+                detail: "exclusive and shared composite references cannot coexist".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The Make-Component Rule (§2.2): may a composite reference of `spec` be
+/// added to `obj`?
+///
+/// 1. "If A is an exclusive composite attribute, O must not already have any
+///    composite reference to it (exclusive or shared)."
+/// 2. "If A is a shared composite attribute, O must not already have an
+///    exclusive composite reference."
+pub fn check_make_component(obj: &Object, spec: CompositeSpec) -> DbResult<()> {
+    let adding = RefKind::Composite { exclusive: spec.exclusive, dependent: spec.dependent };
+    if spec.exclusive {
+        if !obj.reverse_refs.is_empty() {
+            return Err(DbError::MakeComponentViolation {
+                object: obj.oid,
+                adding,
+                detail: format!(
+                    "object already has {} composite reference(s); an exclusive reference \
+                     requires none",
+                    obj.reverse_refs.len()
+                ),
+            });
+        }
+    } else if obj.has_exclusive_reverse_ref() {
+        return Err(DbError::MakeComponentViolation {
+            object: obj.oid,
+            adding,
+            detail: "object already has an exclusive composite reference".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::ClassId;
+    use crate::refs::ReverseRef;
+
+    fn oid(s: u64) -> Oid {
+        Oid::new(ClassId(1), s)
+    }
+
+    fn obj_with(refs: &[(u64, bool, bool)]) -> Object {
+        let mut o = Object::new(oid(0), vec![], 0);
+        for &(p, dependent, exclusive) in refs {
+            o.reverse_refs.push(ReverseRef::new(oid(p), dependent, exclusive));
+        }
+        o
+    }
+
+    #[test]
+    fn parent_sets_partition() {
+        let o = obj_with(&[(1, false, true), (2, true, false), (3, false, false)]);
+        let ps = ParentSets::of(&o);
+        assert_eq!(ps.ix, vec![oid(1)]);
+        assert_eq!(ps.ds, vec![oid(2)]);
+        assert_eq!(ps.is, vec![oid(3)]);
+        assert!(ps.dx.is_empty());
+        assert_eq!(ps.total(), 3);
+    }
+
+    #[test]
+    fn rule1_caps_exclusive_cardinality() {
+        let o = obj_with(&[(1, false, true), (2, false, true)]);
+        let err = ParentSets::of(&o).check(o.oid).unwrap_err();
+        assert!(matches!(err, DbError::TopologyViolation { rule: 1, .. }));
+    }
+
+    #[test]
+    fn rule2_ix_dx_mutually_exclusive() {
+        let o = obj_with(&[(1, false, true), (2, true, true)]);
+        let err = ParentSets::of(&o).check(o.oid).unwrap_err();
+        assert!(matches!(err, DbError::TopologyViolation { rule: 2, .. }));
+    }
+
+    #[test]
+    fn rule3_exclusive_shared_mutually_exclusive() {
+        let o = obj_with(&[(1, true, true), (2, true, false)]);
+        let err = ParentSets::of(&o).check(o.oid).unwrap_err();
+        assert!(matches!(err, DbError::TopologyViolation { rule: 3, .. }));
+    }
+
+    #[test]
+    fn many_shared_references_are_legal() {
+        let o = obj_with(&[(1, true, false), (2, true, false), (3, false, false)]);
+        assert!(ParentSets::of(&o).check(o.oid).is_ok());
+    }
+
+    #[test]
+    fn single_exclusive_reference_is_legal() {
+        for dependent in [false, true] {
+            let o = obj_with(&[(1, dependent, true)]);
+            assert!(ParentSets::of(&o).check(o.oid).is_ok());
+        }
+    }
+
+    #[test]
+    fn make_component_rule_blocks_second_composite_for_exclusive() {
+        let excl = CompositeSpec { exclusive: true, dependent: false };
+        let shared = CompositeSpec { exclusive: false, dependent: true };
+        // Fresh object: both fine.
+        let free = obj_with(&[]);
+        assert!(check_make_component(&free, excl).is_ok());
+        assert!(check_make_component(&free, shared).is_ok());
+        // Already shared: exclusive blocked, shared fine.
+        let has_shared = obj_with(&[(1, true, false)]);
+        assert!(check_make_component(&has_shared, excl).is_err());
+        assert!(check_make_component(&has_shared, shared).is_ok());
+        // Already exclusive: both blocked.
+        let has_excl = obj_with(&[(1, false, true)]);
+        assert!(check_make_component(&has_excl, excl).is_err());
+        assert!(check_make_component(&has_excl, shared).is_err());
+    }
+}

@@ -1,0 +1,697 @@
+//! The database engine: catalog + object storage + the composite-object
+//! semantics entry points.
+//!
+//! The public API mirrors the ORION messages of the paper:
+//!
+//! | paper (§2.3, §3) | here |
+//! |---|---|
+//! | `(make-class 'C …)` | [`Database::define_class`] |
+//! | `(make C :parent (…) :A v …)` | [`Database::make`] |
+//! | `(components-of o …)` | [`Database::components_of`] |
+//! | `(parents-of o …)` / `(ancestors-of o …)` | [`Database::parents_of`] / [`Database::ancestors_of`] |
+//! | predicates of §3.2 | [`Database::compositep`] and friends |
+//!
+//! Schema-evolution messages live in [`crate::evolution`]; the Make-Component
+//! algorithm and Deletion Rule in [`crate::composite`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use corion_storage::{ObjectStore, PhysId, SegmentId, StoreConfig};
+
+use crate::error::{DbError, DbResult};
+use crate::evolution::oplog::OperationLog;
+use crate::object::Object;
+use crate::oid::{ClassId, Oid};
+use crate::schema::attr::Domain;
+use crate::schema::catalog::Catalog;
+use crate::schema::class::{Class, ClassBuilder};
+use crate::schema::lattice;
+use crate::value::Value;
+
+/// What happens to a dependent component when its *last* dependent parent
+/// reference is removed (not deleted — removal of the reference itself).
+///
+/// The paper specifies deletion semantics only for `del(O')` (§2.2); for
+/// reference *removal* it is explicit about the motivating example — "for a
+/// paragraph to exist, there must be at least one section containing it"
+/// (§2.3 Example 2) — which the default policy implements. See DESIGN.md §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrphanPolicy {
+    /// Removing the last dependent composite reference deletes the orphan
+    /// (cascading per the Deletion Rule).
+    #[default]
+    DeleteDependentOrphans,
+    /// Orphans survive; only explicit `delete` removes objects.
+    KeepOrphans,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbConfig {
+    /// Orphan handling on reference removal.
+    pub orphan_policy: OrphanPolicy,
+    /// Storage tuning.
+    pub store: StoreConfig,
+}
+
+/// The CORION database engine.
+pub struct Database {
+    pub(crate) catalog: Catalog,
+    pub(crate) store: ObjectStore,
+    pub(crate) object_table: HashMap<Oid, PhysId>,
+    pub(crate) extensions: HashMap<ClassId, BTreeSet<Oid>>,
+    pub(crate) oplogs: HashMap<ClassId, OperationLog>,
+    pub(crate) next_serial: u64,
+    pub(crate) config: DbConfig,
+    pub(crate) undo: Option<crate::undo::UndoLog>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an engine with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default())
+    }
+
+    /// Creates an engine with explicit configuration.
+    pub fn with_config(config: DbConfig) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            store: ObjectStore::new(config.store),
+            object_table: HashMap::new(),
+            extensions: HashMap::new(),
+            oplogs: HashMap::new(),
+            next_serial: 0,
+            config,
+            undo: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema
+    // ------------------------------------------------------------------
+
+    /// Defines a class — the `make-class` message (§2.3).
+    ///
+    /// Instances are placed in a fresh storage segment unless the builder
+    /// requested co-location (`same_segment_as`), which is what enables
+    /// parent clustering between the two classes.
+    pub fn define_class(&mut self, builder: ClassBuilder) -> DbResult<ClassId> {
+        self.undo_forbid_ddl()?;
+        let segment = match builder.share_segment_with {
+            Some(other) => self.catalog.class(other)?.segment,
+            None => self.store.create_segment(),
+        };
+        let id = self.catalog.define(builder, segment)?;
+        self.extensions.insert(id, BTreeSet::new());
+        Ok(id)
+    }
+
+    /// Looks up a class by id.
+    pub fn class(&self, id: ClassId) -> DbResult<&Class> {
+        self.catalog.class(id)
+    }
+
+    /// Looks up a class id by name.
+    pub fn class_by_name(&self, name: &str) -> DbResult<ClassId> {
+        self.catalog.by_name(name)
+    }
+
+    /// The schema catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// True if `sub` IS-A `sup` (reflexive).
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        lattice::is_subclass_of(&self.catalog, sub, sup)
+    }
+
+    // ------------------------------------------------------------------
+    // Object access
+    // ------------------------------------------------------------------
+
+    /// True if `oid` resolves to a live object.
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.object_table.contains_key(&oid)
+    }
+
+    /// Loads an object, applying any pending deferred schema-evolution
+    /// changes first (§4.3: "when an instance of C is accessed, the CC of
+    /// the instance is checked against the CC in the operation log").
+    pub fn get(&mut self, oid: Oid) -> DbResult<Object> {
+        let phys = *self.object_table.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let bytes = self.store.read(phys)?;
+        let mut obj = Object::decode(&bytes)?;
+        if self.apply_pending_changes(&mut obj)? {
+            self.save(&obj)?;
+        }
+        Ok(obj)
+    }
+
+    /// Applies pending deferred flag changes; returns `true` if the object
+    /// was modified. Implemented in `evolution::deferred`.
+    pub(crate) fn apply_pending_changes(&self, obj: &mut Object) -> DbResult<bool> {
+        crate::evolution::deferred::apply_pending(self, obj)
+    }
+
+    /// Persists an object at its current address (relocating if it grew).
+    pub(crate) fn save(&mut self, obj: &Object) -> DbResult<()> {
+        let phys = *self.object_table.get(&obj.oid).ok_or(DbError::NoSuchObject(obj.oid))?;
+        if self.undo.is_some() {
+            let before = Object::decode(&self.store.read(phys)?)?;
+            self.undo_note_touch(obj.oid, Some(before));
+        }
+        let mut buf = Vec::new();
+        obj.encode(&mut buf);
+        let new_phys = self.store.update(phys, &buf)?;
+        if new_phys != phys {
+            self.object_table.insert(obj.oid, new_phys);
+        }
+        Ok(())
+    }
+
+    /// Inserts a brand-new object, clustered near `near` when possible.
+    pub(crate) fn insert_object(&mut self, obj: &Object, near: Option<Oid>) -> DbResult<()> {
+        let segment = self.catalog.class(obj.oid.class)?.segment;
+        let near_phys = near.and_then(|o| self.object_table.get(&o).copied());
+        let mut buf = Vec::new();
+        obj.encode(&mut buf);
+        let phys = self.store.insert(segment, &buf, near_phys)?;
+        self.object_table.insert(obj.oid, phys);
+        self.extensions.entry(obj.oid.class).or_default().insert(obj.oid);
+        self.undo_note_touch(obj.oid, None);
+        Ok(())
+    }
+
+    /// Removes an object from storage and the object table (no semantics —
+    /// the Deletion Rule lives in [`crate::composite::delete`]).
+    pub(crate) fn erase(&mut self, oid: Oid) -> DbResult<()> {
+        let phys = self.object_table.remove(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        if self.undo.is_some() {
+            let before = Object::decode(&self.store.read(phys)?)?;
+            self.undo_note_touch(oid, Some(before));
+        }
+        self.store.delete(phys)?;
+        if let Some(ext) = self.extensions.get_mut(&oid.class) {
+            ext.remove(&oid);
+        }
+        Ok(())
+    }
+
+    /// Direct instances of `class`; with `deep`, instances of subclasses too.
+    pub fn instances_of(&self, class: ClassId, deep: bool) -> Vec<Oid> {
+        let mut out: Vec<Oid> =
+            self.extensions.get(&class).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        if deep {
+            for sub in lattice::descendants(&self.catalog, class) {
+                if let Some(ext) = self.extensions.get(&sub) {
+                    out.extend(ext.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.object_table.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Instance creation — the `make` message (§2.3)
+    // ------------------------------------------------------------------
+
+    /// Creates an instance.
+    ///
+    /// * `values` assigns attributes by name; unassigned attributes take
+    ///   their `:init` default.
+    /// * `parents` is the `:parent` clause: `(ParentObject ParentAttributeName)`
+    ///   pairs. If the named parent attribute is a composite attribute the
+    ///   new instance becomes part of that parent; when more than one parent
+    ///   pair names composite attributes, "these attributes must be shared
+    ///   composite attributes" (Topology Rule 3 enforcement, §2.3).
+    /// * The new object is physically clustered with the *first* parent,
+    ///   "if the classes of the two objects are stored in the same physical
+    ///   segment".
+    pub fn make(
+        &mut self,
+        class: ClassId,
+        values: Vec<(&str, Value)>,
+        parents: Vec<(Oid, &str)>,
+    ) -> DbResult<Oid> {
+        let class_def = self.catalog.class(class)?.clone();
+        // Build the attribute vector: defaults, then overrides.
+        let mut attrs: Vec<Value> = class_def.attrs.iter().map(|a| a.init.clone()).collect();
+        for (name, value) in values {
+            let idx = class_def
+                .attr_index(name)
+                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?;
+            self.check_domain(&class_def.attrs[idx], &value)?;
+            attrs[idx] = value;
+        }
+
+        // Validate the :parent clause before creating anything.
+        let mut composite_parents: Vec<(Oid, String)> = Vec::new();
+        let mut weak_parents: Vec<(Oid, String)> = Vec::new();
+        for (pobj, pattr) in &parents {
+            let pclass = self.catalog.class(pobj.class)?;
+            let def = pclass
+                .attr(pattr)
+                .ok_or_else(|| DbError::NoSuchAttribute { class: pobj.class, attr: (*pattr).into() })?;
+            if let Some(dc) = def.domain.referenced_class() {
+                if !self.is_subclass_of(class, dc) {
+                    return Err(DbError::DomainMismatch {
+                        attr: (*pattr).into(),
+                        expected: def.domain.describe(),
+                        got: format!("instance of {class}"),
+                    });
+                }
+            }
+            if !self.exists(*pobj) {
+                return Err(DbError::NoSuchObject(*pobj));
+            }
+            if def.composite.is_some() {
+                composite_parents.push((*pobj, (*pattr).into()));
+            } else if def.is_reference() {
+                weak_parents.push((*pobj, (*pattr).into()));
+            } else {
+                return Err(DbError::NotComposite { class: pobj.class, attr: (*pattr).into() });
+            }
+        }
+        if composite_parents.len() > 1 {
+            // §2.3: simultaneous multi-parent creation requires shared
+            // composite attributes (else Topology Rule 3 would be violated).
+            for (pobj, pattr) in &composite_parents {
+                let def = self.catalog.class(pobj.class)?.attr(pattr).expect("checked above");
+                let spec = def.composite.expect("composite parent");
+                if spec.exclusive {
+                    return Err(DbError::TopologyViolation {
+                        rule: 3,
+                        object: *pobj,
+                        detail: format!(
+                            "multi-parent creation through exclusive attribute {pattr:?}"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let oid = Oid::new(class, self.next_serial);
+        self.next_serial += 1;
+        let obj = Object::new(oid, attrs, class_def.change_count);
+        let cluster_near = parents.first().map(|(p, _)| *p);
+        self.insert_object(&obj, cluster_near)?;
+
+        // Wire up composite references *from* the new object's own composite
+        // attributes (the new object is a parent of those targets).
+        let result: DbResult<()> = (|| {
+            for (idx, def) in class_def.attrs.iter().enumerate() {
+                if let Some(spec) = def.composite {
+                    let obj = self.get(oid)?;
+                    for child in obj.attrs[idx].refs() {
+                        self.attach_child(child, oid, spec)?;
+                    }
+                }
+            }
+            // Wire up the :parent clause.
+            for (pobj, pattr) in &composite_parents {
+                self.add_to_parent_attr(oid, *pobj, pattr)?;
+            }
+            for (pobj, pattr) in &weak_parents {
+                self.add_to_parent_attr(oid, *pobj, pattr)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            // Roll the half-created instance back so a failed make is a no-op.
+            let _ = crate::composite::delete::delete_raw(self, oid);
+            return Err(e);
+        }
+        Ok(oid)
+    }
+
+    /// Adds `child` to `parent`'s attribute `attr` (forward reference), with
+    /// composite bookkeeping when the attribute is composite. Idempotent:
+    /// adding a child the attribute already references is a no-op. A scalar
+    /// attribute's previous component is displaced (detached with orphan
+    /// handling), exactly as if `set_attr` had replaced it.
+    pub(crate) fn add_to_parent_attr(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+        let pclass = self.catalog.class(parent.class)?;
+        let idx = pclass
+            .attr_index(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?;
+        let def = pclass.attrs[idx].clone();
+        if self.get(parent)?.attrs[idx].references(child) {
+            return Ok(());
+        }
+        if let Some(spec) = def.composite {
+            self.attach_child(child, parent, spec)?;
+        }
+        let mut pobj = self.get(parent)?;
+        let displaced: Vec<Oid> =
+            if def.domain.is_set() { Vec::new() } else { pobj.attrs[idx].refs() };
+        pobj.attrs[idx].add_ref(child, def.domain.is_set());
+        self.save(&pobj)?;
+        if let Some(spec) = def.composite {
+            for d in displaced {
+                self.detach_child(d, parent, spec)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute access
+    // ------------------------------------------------------------------
+
+    /// Reads one attribute by name.
+    pub fn get_attr(&mut self, oid: Oid, attr: &str) -> DbResult<Value> {
+        let idx = self
+            .catalog
+            .class(oid.class)?
+            .attr_index(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+        Ok(self.get(oid)?.attrs[idx].clone())
+    }
+
+    /// Writes one attribute by name, maintaining composite semantics:
+    /// references added to a composite attribute go through the
+    /// Make-Component Rule; references removed are detached (with orphan
+    /// handling per [`OrphanPolicy`]).
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        let class = self.catalog.class(oid.class)?;
+        let idx = class
+            .attr_index(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+        let def = class.attrs[idx].clone();
+        self.check_domain(&def, &value)?;
+        let old = self.get(oid)?.attrs[idx].clone();
+        if let Some(spec) = def.composite {
+            let old_refs: BTreeSet<Oid> = old.refs().into_iter().collect();
+            let new_refs: BTreeSet<Oid> = value.refs().into_iter().collect();
+            for added in new_refs.difference(&old_refs) {
+                self.attach_child(*added, oid, spec)?;
+            }
+            // Write the new value before detaching, so orphan cascades see
+            // the parent's forward reference already gone.
+            let mut obj = self.get(oid)?;
+            obj.attrs[idx] = value;
+            self.save(&obj)?;
+            for removed in old_refs.difference(&new_refs) {
+                self.detach_child(*removed, oid, spec)?;
+            }
+            Ok(())
+        } else {
+            let mut obj = self.get(oid)?;
+            obj.attrs[idx] = value;
+            self.save(&obj)
+        }
+    }
+
+    /// Writes one attribute **without composite bookkeeping**: the value is
+    /// domain-checked but references in it are treated as weak.
+    ///
+    /// This is the extension point for layers that manage their own
+    /// reference semantics — specifically `corion-versions`, where dynamic
+    /// bindings to *generic instances* (paper §5.1) follow the CV rules
+    /// (§5.2) rather than the Make-Component Rule, and the reverse
+    /// information lives in the generic instance with a ref-count (§5.3).
+    /// Application code should use [`Database::set_attr`].
+    pub fn set_attr_weak(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        let class = self.catalog.class(oid.class)?;
+        let idx = class
+            .attr_index(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+        let def = class.attrs[idx].clone();
+        self.check_domain(&def, &value)?;
+        let mut obj = self.get(oid)?;
+        obj.attrs[idx] = value;
+        self.save(&obj)
+    }
+
+    /// Checks `value` against an attribute's domain: shape, and class
+    /// membership of every referenced object.
+    pub(crate) fn check_domain(
+        &self,
+        def: &crate::schema::attr::AttributeDef,
+        value: &Value,
+    ) -> DbResult<()> {
+        if !def.domain.admits_shape(value) {
+            return Err(DbError::DomainMismatch {
+                attr: def.name.clone(),
+                expected: def.domain.describe(),
+                got: format!("{value}"),
+            });
+        }
+        if let Some(dc) = def.domain.referenced_class() {
+            for r in value.refs() {
+                if !self.exists(r) {
+                    return Err(DbError::NoSuchObject(r));
+                }
+                if !self.is_subclass_of(r.class, dc) {
+                    return Err(DbError::DomainMismatch {
+                        attr: def.name.clone(),
+                        expected: def.domain.describe(),
+                        got: format!("{r} (instance of {})", r.class),
+                    });
+                }
+            }
+        } else if matches!(def.domain, Domain::Any) {
+            for r in value.refs() {
+                if !self.exists(r) {
+                    return Err(DbError::NoSuchObject(r));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Storage statistics (for benches and examples)
+    // ------------------------------------------------------------------
+
+    /// Buffer-pool counters.
+    pub fn buffer_stats(&self) -> corion_storage::BufferStats {
+        self.store.buffer_stats()
+    }
+
+    /// Physical I/O counters.
+    pub fn disk_stats(&self) -> corion_storage::DiskStats {
+        self.store.disk_stats()
+    }
+
+    /// Resets storage counters.
+    pub fn reset_io_stats(&mut self) {
+        self.store.reset_stats();
+    }
+
+    /// Flushes and empties the page cache (cold-cache experiments).
+    pub fn clear_cache(&mut self) -> DbResult<()> {
+        Ok(self.store.clear_cache()?)
+    }
+
+    /// The storage segment a class's instances live in.
+    pub fn segment_of(&self, class: ClassId) -> DbResult<SegmentId> {
+        Ok(self.catalog.class(class)?.segment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr::CompositeSpec;
+
+    fn simple_db() -> (Database, ClassId, ClassId) {
+        let mut db = Database::new();
+        let part = db
+            .define_class(ClassBuilder::new("Part").attr("name", Domain::String))
+            .unwrap();
+        let asm = db
+            .define_class(
+                ClassBuilder::new("Assembly")
+                    .attr("label", Domain::String)
+                    .attr_composite(
+                        "parts",
+                        Domain::SetOf(Box::new(Domain::Class(part))),
+                        CompositeSpec { exclusive: true, dependent: true },
+                    ),
+            )
+            .unwrap();
+        (db, part, asm)
+    }
+
+    #[test]
+    fn make_applies_defaults_and_overrides() {
+        let mut db = Database::new();
+        let c = db
+            .define_class(
+                ClassBuilder::new("C")
+                    .attr("a", Domain::Integer)
+                    .attr("b", Domain::String),
+            )
+            .unwrap();
+        let o = db.make(c, vec![("b", Value::Str("x".into()))], vec![]).unwrap();
+        assert_eq!(db.get_attr(o, "a").unwrap(), Value::Null);
+        assert_eq!(db.get_attr(o, "b").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn make_rejects_unknown_attribute_and_bad_domain() {
+        let (mut db, part, _asm) = simple_db();
+        assert!(db.make(part, vec![("nope", Value::Int(1))], vec![]).is_err());
+        assert!(db.make(part, vec![("name", Value::Int(1))], vec![]).is_err());
+    }
+
+    #[test]
+    fn composite_value_at_make_wires_reverse_refs() {
+        let (mut db, part, asm) = simple_db();
+        let p1 = db.make(part, vec![], vec![]).unwrap();
+        let p2 = db.make(part, vec![], vec![]).unwrap();
+        let a = db
+            .make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))], vec![])
+            .unwrap();
+        let p1_obj = db.get(p1).unwrap();
+        assert_eq!(p1_obj.dx(), vec![a]);
+        assert_eq!(db.get(p2).unwrap().dx(), vec![a]);
+    }
+
+    #[test]
+    fn parent_clause_makes_new_instance_a_component() {
+        let (mut db, part, asm) = simple_db();
+        let a = db.make(asm, vec![], vec![]).unwrap();
+        let p = db.make(part, vec![], vec![(a, "parts")]).unwrap();
+        assert!(db.get_attr(a, "parts").unwrap().references(p));
+        assert_eq!(db.get(p).unwrap().dx(), vec![a]);
+    }
+
+    #[test]
+    fn multi_parent_creation_requires_shared_attributes() {
+        let (mut db, part, asm) = simple_db();
+        let a1 = db.make(asm, vec![], vec![]).unwrap();
+        let a2 = db.make(asm, vec![], vec![]).unwrap();
+        let err = db.make(part, vec![], vec![(a1, "parts"), (a2, "parts")]).unwrap_err();
+        assert!(matches!(err, DbError::TopologyViolation { rule: 3, .. }));
+        // And the failed make must not leave a half-created instance behind.
+        assert_eq!(db.instances_of(part, false).len(), 0);
+    }
+
+    #[test]
+    fn multi_parent_creation_through_shared_attributes_succeeds() {
+        let mut db = Database::new();
+        let sec = db.define_class(ClassBuilder::new("Section")).unwrap();
+        let doc = db
+            .define_class(ClassBuilder::new("Document").attr_composite(
+                "sections",
+                Domain::SetOf(Box::new(Domain::Class(sec))),
+                CompositeSpec { exclusive: false, dependent: true },
+            ))
+            .unwrap();
+        let d1 = db.make(doc, vec![], vec![]).unwrap();
+        let d2 = db.make(doc, vec![], vec![]).unwrap();
+        let s = db.make(sec, vec![], vec![(d1, "sections"), (d2, "sections")]).unwrap();
+        let sobj = db.get(s).unwrap();
+        let mut ds = sobj.ds();
+        ds.sort();
+        assert_eq!(ds, vec![d1, d2]);
+    }
+
+    #[test]
+    fn set_attr_detaches_removed_components() {
+        let (mut db, part, asm) = simple_db();
+        let p1 = db.make(part, vec![], vec![]).unwrap();
+        let a = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1)]))], vec![]).unwrap();
+        // Replace the set with an empty one: p1 is a dependent orphan and is
+        // deleted under the default policy.
+        db.set_attr(a, "parts", Value::Set(vec![])).unwrap();
+        assert!(!db.exists(p1));
+    }
+
+    #[test]
+    fn keep_orphans_policy_preserves_detached_components() {
+        let mut db = Database::with_config(DbConfig {
+            orphan_policy: OrphanPolicy::KeepOrphans,
+            ..DbConfig::default()
+        });
+        let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+        let asm = db
+            .define_class(ClassBuilder::new("Assembly").attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive: true, dependent: true },
+            ))
+            .unwrap();
+        let p1 = db.make(part, vec![], vec![]).unwrap();
+        let a = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1)]))], vec![]).unwrap();
+        db.set_attr(a, "parts", Value::Set(vec![])).unwrap();
+        assert!(db.exists(p1));
+        assert!(db.get(p1).unwrap().reverse_refs.is_empty());
+    }
+
+    #[test]
+    fn instances_of_with_subclasses() {
+        let mut db = Database::new();
+        let a = db.define_class(ClassBuilder::new("A")).unwrap();
+        let b = db.define_class(ClassBuilder::new("B").superclass(a)).unwrap();
+        let _oa = db.make(a, vec![], vec![]).unwrap();
+        let _ob = db.make(b, vec![], vec![]).unwrap();
+        assert_eq!(db.instances_of(a, false).len(), 1);
+        assert_eq!(db.instances_of(a, true).len(), 2);
+    }
+
+    #[test]
+    fn clustering_places_child_near_first_parent() {
+        let mut db = Database::new();
+        let asm = db.define_class(ClassBuilder::new("Assembly")).unwrap();
+        let part = db
+            .define_class(ClassBuilder::new("Part").same_segment_as(asm))
+            .unwrap();
+        assert_eq!(db.segment_of(asm).unwrap(), db.segment_of(part).unwrap());
+        let _ = part;
+    }
+
+    #[test]
+    fn get_nonexistent_object_fails() {
+        let mut db = Database::new();
+        let c = db.define_class(ClassBuilder::new("C")).unwrap();
+        let ghost = Oid::new(c, 999);
+        assert!(matches!(db.get(ghost), Err(DbError::NoSuchObject(_))));
+        assert!(!db.exists(ghost));
+    }
+
+    #[test]
+    fn weak_reference_needs_live_target() {
+        let mut db = Database::new();
+        let t = db.define_class(ClassBuilder::new("T")).unwrap();
+        let c = db
+            .define_class(ClassBuilder::new("C").attr("friend", Domain::Class(t)))
+            .unwrap();
+        let ghost = Oid::new(t, 12345);
+        assert!(db.make(c, vec![("friend", Value::Ref(ghost))], vec![]).is_err());
+        let live = db.make(t, vec![], vec![]).unwrap();
+        let o = db.make(c, vec![("friend", Value::Ref(live))], vec![]).unwrap();
+        // Weak references carry no IS-PART-OF semantics: no reverse ref.
+        assert!(db.get(live).unwrap().reverse_refs.is_empty());
+        assert_eq!(db.get_attr(o, "friend").unwrap(), Value::Ref(live));
+    }
+
+    #[test]
+    fn ref_domain_enforces_class_membership() {
+        let mut db = Database::new();
+        let t = db.define_class(ClassBuilder::new("T")).unwrap();
+        let u = db.define_class(ClassBuilder::new("U")).unwrap();
+        let c = db
+            .define_class(ClassBuilder::new("C").attr("friend", Domain::Class(t)))
+            .unwrap();
+        let wrong = db.make(u, vec![], vec![]).unwrap();
+        assert!(matches!(
+            db.make(c, vec![("friend", Value::Ref(wrong))], vec![]),
+            Err(DbError::DomainMismatch { .. })
+        ));
+    }
+}

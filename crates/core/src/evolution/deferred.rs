@@ -1,0 +1,62 @@
+//! Deferred application of state-independent changes (paper §4.3).
+//!
+//! > "When an instance of C is accessed, the CC of the instance is checked
+//! > against the CC in the operation log associated with the class: if
+//! > CC(instance) < CC(class), then the flags in the reverse composite
+//! > references in the instance must be modified. … Once the changes have
+//! > been applied, the CC in the instance is set to the highest CC in the
+//! > operation log. When a new instance of the class C is created, the CC
+//! > of the instance is set to the current value of the CC of the class."
+//!
+//! This hook is called from [`crate::Database::get`], i.e. on *every*
+//! access path (reads, traversals, deletion), so no stale flags can ever be
+//! observed.
+
+use crate::db::Database;
+use crate::error::DbResult;
+use crate::object::Object;
+use crate::oid::ClassId;
+use crate::schema::lattice;
+
+use super::oplog::FlagChange;
+
+/// Applies every pending log entry to `obj`; returns `true` if the object
+/// changed (including a bare CC bump) and must be re-persisted.
+pub(crate) fn apply_pending(db: &Database, obj: &mut Object) -> DbResult<bool> {
+    let class_cc = db.catalog.class(obj.oid.class)?.change_count;
+    if obj.cc >= class_cc {
+        return Ok(false);
+    }
+    if let Some(log) = db.oplogs.get(&obj.oid.class) {
+        for entry in log.pending_since(obj.cc) {
+            apply_one(db, obj, entry.change, entry.source_class);
+        }
+    }
+    obj.cc = class_cc;
+    Ok(true)
+}
+
+fn apply_one(db: &Database, obj: &mut Object, change: FlagChange, source: ClassId) {
+    let from_source =
+        |parent_class: ClassId| lattice::is_subclass_of(&db.catalog, parent_class, source);
+    match change {
+        FlagChange::DropReverse => {
+            obj.reverse_refs.retain(|rr| !from_source(rr.parent.class));
+        }
+        FlagChange::ClearX => {
+            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+                rr.exclusive = false;
+            }
+        }
+        FlagChange::ClearD => {
+            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+                rr.dependent = false;
+            }
+        }
+        FlagChange::SetD => {
+            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+                rr.dependent = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Objects: attribute values plus reverse composite references.
+//!
+//! Paper §2.4: "we have decided to keep the reverse pointers in each
+//! component object, rather than in a separate data structure. This approach
+//! allows us to avoid a level of indirection in accessing the parents of a
+//! given component, and simplifies deletion and migration of objects;
+//! however, it causes the object size to increase." The size increase is
+//! measurable here: [`Object::encoded_size`] is what lands on a page, and
+//! the `reverse_refs` bench (DESIGN.md B5) reports it.
+
+use bytes::BufMut;
+use corion_storage::codec::{self, Reader};
+use corion_storage::StorageResult;
+
+use crate::oid::{ClassId, Oid};
+use crate::refs::ReverseRef;
+use crate::value::Value;
+
+/// A stored object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// The object's identifier.
+    pub oid: Oid,
+    /// Attribute values, positionally aligned with the class's effective
+    /// attribute list at the object's current layout.
+    pub attrs: Vec<Value>,
+    /// Reverse composite references (§2.4): one per composite reference to
+    /// this object.
+    pub reverse_refs: Vec<ReverseRef>,
+    /// Change count for deferred schema evolution (§4.3): the value of the
+    /// class's CC that this instance has been brought up to date with.
+    pub cc: u64,
+}
+
+impl Object {
+    /// Creates an object with the given attribute values.
+    pub fn new(oid: Oid, attrs: Vec<Value>, cc: u64) -> Self {
+        Object { oid, attrs, reverse_refs: Vec::new(), cc }
+    }
+
+    /// The parents reachable through reverse composite references, i.e. the
+    /// union IX(O) ∪ DX(O) ∪ IS(O) ∪ DS(O) of §2.2.
+    pub fn composite_parents(&self) -> Vec<Oid> {
+        self.reverse_refs.iter().map(|r| r.parent).collect()
+    }
+
+    /// IX(O): parents holding an independent exclusive composite reference.
+    pub fn ix(&self) -> Vec<Oid> {
+        self.reverse_refs
+            .iter()
+            .filter(|r| r.exclusive && !r.dependent)
+            .map(|r| r.parent)
+            .collect()
+    }
+
+    /// DX(O): parents holding a dependent exclusive composite reference.
+    pub fn dx(&self) -> Vec<Oid> {
+        self.reverse_refs
+            .iter()
+            .filter(|r| r.exclusive && r.dependent)
+            .map(|r| r.parent)
+            .collect()
+    }
+
+    /// IS(O): parents holding an independent shared composite reference.
+    pub fn is_(&self) -> Vec<Oid> {
+        self.reverse_refs
+            .iter()
+            .filter(|r| !r.exclusive && !r.dependent)
+            .map(|r| r.parent)
+            .collect()
+    }
+
+    /// DS(O): parents holding a dependent shared composite reference.
+    pub fn ds(&self) -> Vec<Oid> {
+        self.reverse_refs
+            .iter()
+            .filter(|r| !r.exclusive && r.dependent)
+            .map(|r| r.parent)
+            .collect()
+    }
+
+    /// True if any reverse reference has the X flag set.
+    pub fn has_exclusive_reverse_ref(&self) -> bool {
+        self.reverse_refs.iter().any(|r| r.exclusive)
+    }
+
+    /// Removes one reverse reference to `parent` with the given flags.
+    /// Returns `true` if one was found and removed.
+    pub fn remove_reverse_ref(&mut self, parent: Oid, dependent: bool, exclusive: bool) -> bool {
+        if let Some(i) = self
+            .reverse_refs
+            .iter()
+            .position(|r| r.parent == parent && r.dependent == dependent && r.exclusive == exclusive)
+        {
+            self.reverse_refs.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every reverse reference to `parent` regardless of flags,
+    /// returning how many were removed (used when `parent` is deleted).
+    pub fn remove_reverse_refs_to(&mut self, parent: Oid) -> usize {
+        let before = self.reverse_refs.len();
+        self.reverse_refs.retain(|r| r.parent != parent);
+        before - self.reverse_refs.len()
+    }
+
+    /// Serialized size in bytes — what the object occupies on a page.
+    pub fn encoded_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Serializes the object (everything but the OID, which is the key).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        codec::put_u32(buf, self.oid.class.0);
+        codec::put_u64(buf, self.oid.serial);
+        codec::put_u64(buf, self.cc);
+        codec::put_varint(buf, self.attrs.len() as u64);
+        for v in &self.attrs {
+            v.encode(buf);
+        }
+        codec::put_varint(buf, self.reverse_refs.len() as u64);
+        for r in &self.reverse_refs {
+            r.encode(buf);
+        }
+    }
+
+    /// Deserializes an object.
+    pub fn decode(bytes: &[u8]) -> StorageResult<Object> {
+        let mut r = Reader::new(bytes);
+        let class = ClassId(r.u32("object class")?);
+        let serial = r.u64("object serial")?;
+        let cc = r.u64("object cc")?;
+        let n_attrs = r.varint("attr count")? as usize;
+        let mut attrs = Vec::with_capacity(n_attrs.min(1024));
+        for _ in 0..n_attrs {
+            attrs.push(Value::decode(&mut r)?);
+        }
+        let n_refs = r.varint("reverse ref count")? as usize;
+        let mut reverse_refs = Vec::with_capacity(n_refs.min(1024));
+        for _ in 0..n_refs {
+            reverse_refs.push(ReverseRef::decode(&mut r)?);
+        }
+        Ok(Object { oid: Oid::new(class, serial), attrs, reverse_refs, cc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(c: u32, s: u64) -> Oid {
+        Oid::new(ClassId(c), s)
+    }
+
+    fn sample() -> Object {
+        let mut o = Object::new(oid(1, 10), vec![Value::Int(5), Value::Ref(oid(2, 3))], 7);
+        o.reverse_refs.push(ReverseRef::new(oid(3, 1), true, true));
+        o.reverse_refs.push(ReverseRef::new(oid(3, 2), false, false));
+        o
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let o = sample();
+        let mut buf = Vec::new();
+        o.encode(&mut buf);
+        assert_eq!(Object::decode(&buf).unwrap(), o);
+        assert_eq!(o.encoded_size(), buf.len());
+    }
+
+    #[test]
+    fn parent_sets_partition_by_flags() {
+        let mut o = Object::new(oid(1, 1), vec![], 0);
+        o.reverse_refs.push(ReverseRef::new(oid(9, 1), true, true)); // DX
+        o.reverse_refs.push(ReverseRef::new(oid(9, 2), false, true)); // IX
+        o.reverse_refs.push(ReverseRef::new(oid(9, 3), true, false)); // DS
+        o.reverse_refs.push(ReverseRef::new(oid(9, 4), false, false)); // IS
+        assert_eq!(o.dx(), vec![oid(9, 1)]);
+        assert_eq!(o.ix(), vec![oid(9, 2)]);
+        assert_eq!(o.ds(), vec![oid(9, 3)]);
+        assert_eq!(o.is_(), vec![oid(9, 4)]);
+        assert_eq!(o.composite_parents().len(), 4);
+        assert!(o.has_exclusive_reverse_ref());
+    }
+
+    #[test]
+    fn remove_reverse_ref_matches_flags_exactly() {
+        let mut o = sample();
+        assert!(!o.remove_reverse_ref(oid(3, 1), false, true), "flags must match");
+        assert!(o.remove_reverse_ref(oid(3, 1), true, true));
+        assert_eq!(o.reverse_refs.len(), 1);
+    }
+
+    #[test]
+    fn remove_all_reverse_refs_to_parent() {
+        let mut o = Object::new(oid(1, 1), vec![], 0);
+        o.reverse_refs.push(ReverseRef::new(oid(9, 1), true, false));
+        o.reverse_refs.push(ReverseRef::new(oid(9, 1), false, false));
+        o.reverse_refs.push(ReverseRef::new(oid(9, 2), false, false));
+        assert_eq!(o.remove_reverse_refs_to(oid(9, 1)), 2);
+        assert_eq!(o.reverse_refs.len(), 1);
+    }
+
+    #[test]
+    fn reverse_refs_grow_encoded_size() {
+        let mut o = Object::new(oid(1, 1), vec![Value::Int(1)], 0);
+        let small = o.encoded_size();
+        for i in 0..10 {
+            o.reverse_refs.push(ReverseRef::new(oid(2, i), true, false));
+        }
+        assert!(o.encoded_size() > small, "paper: reverse refs increase object size");
+    }
+
+    #[test]
+    fn truncated_object_is_rejected() {
+        let o = sample();
+        let mut buf = Vec::new();
+        o.encode(&mut buf);
+        assert!(Object::decode(&buf[..buf.len() - 1]).is_err());
+    }
+}

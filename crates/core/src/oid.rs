@@ -1,0 +1,63 @@
+//! Object and class identifiers.
+//!
+//! Paper §2.1: "We say that an object O' has a reference to another object
+//! O, if O' contains the object identifier (UID) of O." ORION UIDs embed the
+//! class; [`Oid`] does the same, pairing a [`ClassId`] with a database-wide
+//! serial number. Serials are never reused, so a dangling reference to a
+//! deleted object can never silently resolve to a new one.
+
+use std::fmt;
+
+/// Identifier of a class in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of an object: the class it was created in plus a unique serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    /// Class the object is a direct instance of.
+    pub class: ClassId,
+    /// Database-wide unique serial (never reused).
+    pub serial: u64,
+}
+
+impl Oid {
+    /// Builds an OID from its parts.
+    pub fn new(class: ClassId, serial: u64) -> Self {
+        Oid { class, serial }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.i{}", self.class, self.serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_embeds_class_and_serial() {
+        let o = Oid::new(ClassId(3), 17);
+        assert_eq!(o.to_string(), "c3.i17");
+    }
+
+    #[test]
+    fn oids_hash_and_order() {
+        let a = Oid::new(ClassId(1), 1);
+        let b = Oid::new(ClassId(1), 2);
+        let c = Oid::new(ClassId(2), 1);
+        let set: HashSet<Oid> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(a < b && a < c);
+    }
+}

@@ -1,0 +1,363 @@
+//! Queries over class extensions.
+//!
+//! ORION supported associative queries against class extensions alongside
+//! the navigational messages of §3. The reproduction needs them too — the
+//! paper's examples keep asking questions like "the vehicles whose body is
+//! shared", "the documents containing this paragraph" — so this module
+//! provides a small, composable predicate algebra evaluated against a class
+//! extension (optionally including subclass instances), with predicates
+//! over attribute values *and* over composite structure.
+//!
+//! ```
+//! use corion_core::{Database, ClassBuilder, Domain, Value};
+//! use corion_core::query::{Query, Predicate as P};
+//!
+//! let mut db = Database::new();
+//! let part = db.define_class(ClassBuilder::new("Part").attr("n", Domain::Integer)).unwrap();
+//! for i in 0..10 {
+//!     db.make(part, vec![("n", Value::Int(i))], vec![]).unwrap();
+//! }
+//! let heavy = Query::over(part).filter(P::gt("n", Value::Int(6))).run(&mut db).unwrap();
+//! assert_eq!(heavy.len(), 3);
+//! ```
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::oid::{ClassId, Oid};
+use crate::value::Value;
+
+/// A predicate over one object.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true (the empty filter).
+    True,
+    /// `attr == value`.
+    Eq(String, Value),
+    /// `attr != value`.
+    Ne(String, Value),
+    /// `attr < value` (numeric or string ordering; Null never compares).
+    Lt(String, Value),
+    /// `attr > value`.
+    Gt(String, Value),
+    /// The attribute's value references `target` (directly or inside a set).
+    References(String, Oid),
+    /// The object is a (direct or indirect) component of `target` (§3.2
+    /// `component-of` as a predicate).
+    ComponentOf(Oid),
+    /// The object has at least one composite parent (it is not a root).
+    HasCompositeParent,
+    /// The object has a component that is an instance of `class` (deep).
+    HasComponentOfClass(ClassId),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr == value`.
+    pub fn eq(attr: impl Into<String>, value: Value) -> Self {
+        Predicate::Eq(attr.into(), value)
+    }
+
+    /// `attr != value`.
+    pub fn ne(attr: impl Into<String>, value: Value) -> Self {
+        Predicate::Ne(attr.into(), value)
+    }
+
+    /// `attr < value`.
+    pub fn lt(attr: impl Into<String>, value: Value) -> Self {
+        Predicate::Lt(attr.into(), value)
+    }
+
+    /// `attr > value`.
+    pub fn gt(attr: impl Into<String>, value: Value) -> Self {
+        Predicate::Gt(attr.into(), value)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Self {
+        match self {
+            Predicate::And(mut ps) => {
+                ps.push(other);
+                Predicate::And(ps)
+            }
+            p => Predicate::And(vec![p, other]),
+        }
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Self {
+        match self {
+            Predicate::Or(mut ps) => {
+                ps.push(other);
+                Predicate::Or(ps)
+            }
+            p => Predicate::Or(vec![p, other]),
+        }
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    fn eval(&self, db: &mut Database, oid: Oid) -> DbResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(attr, v) => &db.get_attr(oid, attr)? == v,
+            Predicate::Ne(attr, v) => &db.get_attr(oid, attr)? != v,
+            Predicate::Lt(attr, v) => compare(&db.get_attr(oid, attr)?, v) == Some(std::cmp::Ordering::Less),
+            Predicate::Gt(attr, v) => {
+                compare(&db.get_attr(oid, attr)?, v) == Some(std::cmp::Ordering::Greater)
+            }
+            Predicate::References(attr, target) => db.get_attr(oid, attr)?.references(*target),
+            Predicate::ComponentOf(target) => db.component_of(oid, *target)?,
+            Predicate::HasCompositeParent => !db.get(oid)?.reverse_refs.is_empty(),
+            Predicate::HasComponentOfClass(class) => {
+                let filter = crate::composite::Filter::all().classes(vec![*class]);
+                !db.components_of(oid, &filter)?.is_empty()
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval(db, oid)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.eval(db, oid)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval(db, oid)?,
+        })
+    }
+}
+
+/// Orders two values of the same primitive kind.
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// A query over one class extension.
+#[derive(Debug, Clone)]
+pub struct Query {
+    class: ClassId,
+    deep: bool,
+    predicate: Predicate,
+    limit: Option<usize>,
+}
+
+impl Query {
+    /// Starts a query over the instances of `class` (subclass instances
+    /// included — use [`Query::shallow`] to restrict to direct instances).
+    pub fn over(class: ClassId) -> Self {
+        Query { class, deep: true, predicate: Predicate::True, limit: None }
+    }
+
+    /// Restricts to direct instances of the class.
+    pub fn shallow(mut self) -> Self {
+        self.deep = false;
+        self
+    }
+
+    /// Adds a predicate (ANDed with any existing one).
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicate = match self.predicate {
+            Predicate::True => p,
+            existing => existing.and(p),
+        };
+        self
+    }
+
+    /// Stops after `n` matches.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Evaluates the query.
+    pub fn run(&self, db: &mut Database) -> DbResult<Vec<Oid>> {
+        db.class(self.class)?; // validate
+        let mut out = Vec::new();
+        for oid in db.instances_of(self.class, self.deep) {
+            if !db.exists(oid) {
+                continue;
+            }
+            match self.predicate.eval(db, oid) {
+                Ok(true) => {
+                    out.push(oid);
+                    if Some(out.len()) == self.limit {
+                        break;
+                    }
+                }
+                Ok(false) => {}
+                // A predicate naming an attribute some subclass lacks is a
+                // real error; propagate.
+                Err(e @ DbError::NoSuchAttribute { .. }) => return Err(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates and counts without materialising.
+    pub fn count(&self, db: &mut Database) -> DbResult<usize> {
+        Ok(self.run(db)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Predicate as P;
+    use super::*;
+    use crate::schema::attr::{CompositeSpec, Domain};
+    use crate::schema::class::ClassBuilder;
+
+    fn world() -> (Database, ClassId, ClassId, Vec<Oid>, Vec<Oid>) {
+        let mut db = Database::new();
+        let part = db
+            .define_class(
+                ClassBuilder::new("Part").attr("n", Domain::Integer).attr("tag", Domain::String),
+            )
+            .unwrap();
+        let asm = db
+            .define_class(ClassBuilder::new("Asm").attr("label", Domain::String).attr_composite(
+                "parts",
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive: false, dependent: false },
+            ))
+            .unwrap();
+        let parts: Vec<Oid> = (0..10)
+            .map(|i| {
+                db.make(
+                    part,
+                    vec![
+                        ("n", Value::Int(i)),
+                        ("tag", Value::Str(if i % 2 == 0 { "even" } else { "odd" }.into())),
+                    ],
+                    vec![],
+                )
+                .unwrap()
+            })
+            .collect();
+        let asms: Vec<Oid> = (0..3)
+            .map(|i| {
+                let members: Vec<Value> =
+                    parts[i * 3..i * 3 + 3].iter().map(|&p| Value::Ref(p)).collect();
+                db.make(
+                    asm,
+                    vec![("label", Value::Str(format!("a{i}"))), ("parts", Value::Set(members))],
+                    vec![],
+                )
+                .unwrap()
+            })
+            .collect();
+        (db, part, asm, parts, asms)
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let (mut db, part, ..) = world();
+        assert_eq!(Query::over(part).filter(P::gt("n", Value::Int(6))).run(&mut db).unwrap().len(), 3);
+        assert_eq!(Query::over(part).filter(P::lt("n", Value::Int(2))).run(&mut db).unwrap().len(), 2);
+        assert_eq!(
+            Query::over(part).filter(P::eq("tag", Value::Str("even".into()))).count(&mut db).unwrap(),
+            5
+        );
+        assert_eq!(
+            Query::over(part).filter(P::ne("tag", Value::Str("even".into()))).count(&mut db).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let (mut db, part, ..) = world();
+        let q = Query::over(part)
+            .filter(P::gt("n", Value::Int(2)).and(P::lt("n", Value::Int(7))));
+        assert_eq!(q.count(&mut db).unwrap(), 4, "3..=6");
+        let q = Query::over(part)
+            .filter(P::eq("n", Value::Int(0)).or(P::eq("n", Value::Int(9))));
+        assert_eq!(q.count(&mut db).unwrap(), 2);
+        let q = Query::over(part).filter(P::eq("tag", Value::Str("even".into())).not());
+        assert_eq!(q.count(&mut db).unwrap(), 5);
+    }
+
+    #[test]
+    fn composite_structure_predicates() {
+        let (mut db, part, asm, parts, asms) = world();
+        // Parts 0..9: only 0..=8 are components (3 assemblies × 3 parts).
+        let members =
+            Query::over(part).filter(P::HasCompositeParent).run(&mut db).unwrap();
+        assert_eq!(members.len(), 9);
+        assert!(!members.contains(&parts[9]));
+        // component-of as a predicate.
+        let of_a1 = Query::over(part).filter(P::ComponentOf(asms[1])).run(&mut db).unwrap();
+        assert_eq!(of_a1, parts[3..6].to_vec());
+        // Which assemblies contain parts at all?
+        let with_parts =
+            Query::over(asm).filter(P::HasComponentOfClass(part)).run(&mut db).unwrap();
+        assert_eq!(with_parts.len(), 3);
+        // References: the assembly whose set holds parts[4].
+        let holding = Query::over(asm)
+            .filter(P::References("parts".into(), parts[4]))
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(holding, vec![asms[1]]);
+    }
+
+    #[test]
+    fn deep_queries_span_subclasses() {
+        let mut db = Database::new();
+        let base = db.define_class(ClassBuilder::new("Base").attr("n", Domain::Integer)).unwrap();
+        let derived = db.define_class(ClassBuilder::new("Derived").superclass(base)).unwrap();
+        db.make(base, vec![("n", Value::Int(1))], vec![]).unwrap();
+        db.make(derived, vec![("n", Value::Int(2))], vec![]).unwrap();
+        assert_eq!(Query::over(base).count(&mut db).unwrap(), 2);
+        assert_eq!(Query::over(base).shallow().count(&mut db).unwrap(), 1);
+        assert_eq!(
+            Query::over(base).filter(P::gt("n", Value::Int(1))).count(&mut db).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        let (mut db, part, ..) = world();
+        let some = Query::over(part).limit(4).run(&mut db).unwrap();
+        assert_eq!(some.len(), 4);
+    }
+
+    #[test]
+    fn null_never_compares() {
+        let mut db = Database::new();
+        let c = db.define_class(ClassBuilder::new("C").attr("n", Domain::Integer)).unwrap();
+        db.make(c, vec![], vec![]).unwrap(); // n = Null
+        assert_eq!(Query::over(c).filter(P::gt("n", Value::Int(0))).count(&mut db).unwrap(), 0);
+        assert_eq!(Query::over(c).filter(P::lt("n", Value::Int(0))).count(&mut db).unwrap(), 0);
+        assert_eq!(Query::over(c).filter(P::eq("n", Value::Null)).count(&mut db).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (mut db, part, ..) = world();
+        assert!(Query::over(part).filter(P::eq("nope", Value::Int(1))).run(&mut db).is_err());
+        assert!(Query::over(ClassId(99)).run(&mut db).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Reference kinds and reverse composite references.
+//!
+//! Paper §2.1 distinguishes **five types of reference** between a pair of
+//! objects:
+//!
+//! 1. weak reference,
+//! 2. dependent exclusive composite reference,
+//! 3. independent exclusive composite reference,
+//! 4. dependent shared composite reference,
+//! 5. independent shared composite reference.
+//!
+//! §2.4 implements composite references with **reverse composite
+//! references** stored in each component: "a reverse composite reference
+//! actually consists of a couple of flags in addition to the object
+//! identifier of a parent. One flag (D) indicates whether the object is a
+//! dependent component of the parent; while the other flag (X) indicates
+//! whether the object is an exclusive component of the parent."
+
+use bytes::BufMut;
+use corion_storage::codec::{self, Reader};
+use corion_storage::StorageResult;
+
+use crate::oid::{ClassId, Oid};
+
+/// The kind of reference an attribute carries (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// "The standard reference in object-oriented systems"; carries no
+    /// IS-PART-OF semantics.
+    Weak,
+    /// A reference with the IS-PART-OF relationship superimposed.
+    Composite {
+        /// `true`: the component is part of only this parent (exclusive);
+        /// `false`: it may be part of several parents (shared).
+        exclusive: bool,
+        /// `true`: the component's existence depends on the parent's.
+        dependent: bool,
+    },
+}
+
+impl RefKind {
+    /// All four composite kinds plus weak, in the paper's §2.1 numbering.
+    pub const ALL: [RefKind; 5] = [
+        RefKind::Weak,
+        RefKind::Composite { exclusive: true, dependent: true },
+        RefKind::Composite { exclusive: true, dependent: false },
+        RefKind::Composite { exclusive: false, dependent: true },
+        RefKind::Composite { exclusive: false, dependent: false },
+    ];
+
+    /// True for any of the four composite kinds.
+    pub fn is_composite(self) -> bool {
+        matches!(self, RefKind::Composite { .. })
+    }
+
+    /// True for exclusive composite references.
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, RefKind::Composite { exclusive: true, .. })
+    }
+
+    /// True for shared composite references.
+    pub fn is_shared(self) -> bool {
+        matches!(self, RefKind::Composite { exclusive: false, .. })
+    }
+
+    /// True for dependent composite references.
+    pub fn is_dependent(self) -> bool {
+        matches!(self, RefKind::Composite { dependent: true, .. })
+    }
+}
+
+impl std::fmt::Display for RefKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefKind::Weak => write!(f, "weak"),
+            RefKind::Composite { exclusive, dependent } => write!(
+                f,
+                "{} {} composite",
+                if *dependent { "dependent" } else { "independent" },
+                if *exclusive { "exclusive" } else { "shared" },
+            ),
+        }
+    }
+}
+
+/// A reverse composite reference (§2.4): the parent's OID plus the D and X
+/// flags. The attribute name is deliberately *not* stored, matching the
+/// paper's layout; see DESIGN.md §5 for the consequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReverseRef {
+    /// The parent object holding the forward composite reference.
+    pub parent: Oid,
+    /// D flag: the component's existence depends on `parent`.
+    pub dependent: bool,
+    /// X flag: the component is exclusive to `parent`.
+    pub exclusive: bool,
+}
+
+impl ReverseRef {
+    /// Builds a reverse reference matching a forward composite reference of
+    /// the given flags.
+    pub fn new(parent: Oid, dependent: bool, exclusive: bool) -> Self {
+        ReverseRef { parent, dependent, exclusive }
+    }
+
+    /// The composite [`RefKind`] this reverse reference mirrors.
+    pub fn kind(&self) -> RefKind {
+        RefKind::Composite { exclusive: self.exclusive, dependent: self.dependent }
+    }
+
+    /// Serializes the reverse reference (OID + one flag byte).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        codec::put_u32(buf, self.parent.class.0);
+        codec::put_u64(buf, self.parent.serial);
+        let flags = u8::from(self.dependent) | (u8::from(self.exclusive) << 1);
+        codec::put_u8(buf, flags);
+    }
+
+    /// Deserializes a reverse reference.
+    pub fn decode(r: &mut Reader<'_>) -> StorageResult<ReverseRef> {
+        let class = ClassId(r.u32("reverse ref class")?);
+        let serial = r.u64("reverse ref serial")?;
+        let flags = r.u8("reverse ref flags")?;
+        Ok(ReverseRef {
+            parent: Oid::new(class, serial),
+            dependent: flags & 1 != 0,
+            exclusive: flags & 2 != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_reference_types() {
+        assert_eq!(RefKind::ALL.len(), 5);
+        assert!(!RefKind::Weak.is_composite());
+        let dep_excl = RefKind::Composite { exclusive: true, dependent: true };
+        assert!(dep_excl.is_composite() && dep_excl.is_exclusive() && dep_excl.is_dependent());
+        let ind_shared = RefKind::Composite { exclusive: false, dependent: false };
+        assert!(ind_shared.is_shared() && !ind_shared.is_dependent());
+    }
+
+    #[test]
+    fn display_names_match_paper_terminology() {
+        assert_eq!(RefKind::Weak.to_string(), "weak");
+        assert_eq!(
+            RefKind::Composite { exclusive: true, dependent: true }.to_string(),
+            "dependent exclusive composite"
+        );
+        assert_eq!(
+            RefKind::Composite { exclusive: false, dependent: false }.to_string(),
+            "independent shared composite"
+        );
+    }
+
+    #[test]
+    fn reverse_ref_roundtrips_all_flag_combinations() {
+        let parent = Oid::new(ClassId(9), 1234);
+        for dependent in [false, true] {
+            for exclusive in [false, true] {
+                let rr = ReverseRef::new(parent, dependent, exclusive);
+                let mut buf = Vec::new();
+                rr.encode(&mut buf);
+                let mut r = Reader::new(&buf);
+                assert_eq!(ReverseRef::decode(&mut r).unwrap(), rr);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_ref_kind_mirrors_flags() {
+        let rr = ReverseRef::new(Oid::new(ClassId(1), 1), true, false);
+        assert_eq!(rr.kind(), RefKind::Composite { exclusive: false, dependent: true });
+    }
+}

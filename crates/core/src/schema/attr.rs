@@ -1,0 +1,288 @@
+//! Attribute definitions and domains.
+//!
+//! Paper §2.3 extends the ORION attribute specification with three keywords:
+//!
+//! ```text
+//! (AttributeName [:domain DomainSpec]
+//!                [:composite TrueOrNil]
+//!                [:exclusive TrueOrNil]
+//!                [:dependent TrueOrNil] ...)
+//! ```
+//!
+//! "The default value for both the exclusive and dependent keywords is True
+//! (to be compatible with the semantics of composite objects currently
+//! supported in ORION)" — see [`CompositeSpec::default`].
+
+use bytes::BufMut;
+use corion_storage::codec::{self, Reader};
+use corion_storage::{StorageError, StorageResult};
+
+use crate::error::{DbError, DbResult};
+use crate::oid::ClassId;
+use crate::value::Value;
+
+/// The domain (type) of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// Primitive class `integer`.
+    Integer,
+    /// Primitive class `float`.
+    Float,
+    /// Primitive class `boolean`.
+    Boolean,
+    /// Primitive class `string`.
+    String,
+    /// Instances of a non-primitive class (or any of its subclasses).
+    Class(ClassId),
+    /// `(set-of …)` of the element domain.
+    SetOf(Box<Domain>),
+    /// Untyped (ORION allowed attributes without a domain).
+    Any,
+}
+
+impl Domain {
+    /// The referenced class, if the domain is `Class(c)` or `SetOf(Class(c))`.
+    /// Composite attributes must have such a domain.
+    pub fn referenced_class(&self) -> Option<ClassId> {
+        match self {
+            Domain::Class(c) => Some(*c),
+            Domain::SetOf(inner) => inner.referenced_class(),
+            _ => None,
+        }
+    }
+
+    /// True for `(set-of …)` domains.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Domain::SetOf(_))
+    }
+
+    /// Human-readable form used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Domain::Integer => "integer".into(),
+            Domain::Float => "float".into(),
+            Domain::Boolean => "boolean".into(),
+            Domain::String => "string".into(),
+            Domain::Class(c) => format!("instance of {c}"),
+            Domain::SetOf(inner) => format!("(set-of {})", inner.describe()),
+            Domain::Any => "any".into(),
+        }
+    }
+
+    /// Serializes the domain (used by database dump/restore).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Domain::Integer => codec::put_u8(buf, 0),
+            Domain::Float => codec::put_u8(buf, 1),
+            Domain::Boolean => codec::put_u8(buf, 2),
+            Domain::String => codec::put_u8(buf, 3),
+            Domain::Class(c) => {
+                codec::put_u8(buf, 4);
+                codec::put_u32(buf, c.0);
+            }
+            Domain::SetOf(inner) => {
+                codec::put_u8(buf, 5);
+                inner.encode(buf);
+            }
+            Domain::Any => codec::put_u8(buf, 6),
+        }
+    }
+
+    /// Deserializes a domain.
+    pub fn decode(r: &mut Reader<'_>) -> StorageResult<Domain> {
+        Ok(match r.u8("domain tag")? {
+            0 => Domain::Integer,
+            1 => Domain::Float,
+            2 => Domain::Boolean,
+            3 => Domain::String,
+            4 => Domain::Class(ClassId(r.u32("domain class")?)),
+            5 => Domain::SetOf(Box::new(Domain::decode(r)?)),
+            6 => Domain::Any,
+            _ => return Err(StorageError::Corrupt { context: "domain tag" }),
+        })
+    }
+
+    /// Checks a value against the domain. Class-membership (is the referenced
+    /// object's class a subclass of the domain class?) is checked by the
+    /// database, which knows the lattice; here we check shape only.
+    pub fn admits_shape(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (Domain::Any, _) => true,
+            (Domain::Integer, Value::Int(_)) => true,
+            (Domain::Float, Value::Float(_) | Value::Int(_)) => true,
+            (Domain::Boolean, Value::Bool(_)) => true,
+            (Domain::String, Value::Str(_)) => true,
+            (Domain::Class(_), Value::Ref(_)) => true,
+            (Domain::SetOf(inner), Value::Set(items)) => {
+                items.iter().all(|v| inner.admits_shape(v))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The composite keywords of a composite attribute (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompositeSpec {
+    /// `:exclusive` — the component may be part of only this parent.
+    pub exclusive: bool,
+    /// `:dependent` — the component's existence depends on the parent.
+    pub dependent: bool,
+}
+
+impl Default for CompositeSpec {
+    /// Paper §2.3: both keywords default to True, matching [KIM87b]'s
+    /// dependent-exclusive-only model.
+    fn default() -> Self {
+        CompositeSpec { exclusive: true, dependent: true }
+    }
+}
+
+/// One attribute of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDef {
+    /// Attribute name, unique within the class (including inherited names).
+    pub name: String,
+    /// The attribute's domain.
+    pub domain: Domain,
+    /// `Some` when the attribute is a composite attribute; `None` for weak
+    /// references and non-reference attributes.
+    pub composite: Option<CompositeSpec>,
+    /// `:init` — initial value for new instances.
+    pub init: Value,
+    /// The class that introduced this attribute (`None` = defined locally on
+    /// the owning class). Used by schema evolution when IS-A edges change.
+    pub inherited_from: Option<ClassId>,
+}
+
+impl AttributeDef {
+    /// A plain (weak or non-reference) attribute.
+    pub fn plain(name: impl Into<String>, domain: Domain) -> Self {
+        AttributeDef { name: name.into(), domain, composite: None, init: Value::Null, inherited_from: None }
+    }
+
+    /// A composite attribute with the given spec.
+    pub fn composite(name: impl Into<String>, domain: Domain, spec: CompositeSpec) -> Self {
+        AttributeDef {
+            name: name.into(),
+            domain,
+            composite: Some(spec),
+            init: Value::Null,
+            inherited_from: None,
+        }
+    }
+
+    /// Validates internal consistency: composite attributes must reference a
+    /// class (directly or through `set-of`).
+    pub fn validate(&self) -> DbResult<()> {
+        if self.composite.is_some() && self.domain.referenced_class().is_none() {
+            return Err(DbError::SchemaChangeRejected {
+                reason: format!(
+                    "composite attribute {:?} must have a class (or set-of class) domain, got {}",
+                    self.name,
+                    self.domain.describe()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the definition (used by database dump/restore).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        codec::put_string(buf, &self.name);
+        self.domain.encode(buf);
+        match self.composite {
+            None => codec::put_u8(buf, 0),
+            Some(spec) => {
+                codec::put_u8(buf, 1 | (u8::from(spec.exclusive) << 1) | (u8::from(spec.dependent) << 2));
+            }
+        }
+        self.init.encode(buf);
+        match self.inherited_from {
+            None => codec::put_u8(buf, 0),
+            Some(c) => {
+                codec::put_u8(buf, 1);
+                codec::put_u32(buf, c.0);
+            }
+        }
+    }
+
+    /// Deserializes a definition.
+    pub fn decode(r: &mut Reader<'_>) -> StorageResult<AttributeDef> {
+        let name = r.string("attr name")?;
+        let domain = Domain::decode(r)?;
+        let cflags = r.u8("attr composite flags")?;
+        let composite = if cflags & 1 != 0 {
+            Some(CompositeSpec { exclusive: cflags & 2 != 0, dependent: cflags & 4 != 0 })
+        } else {
+            None
+        };
+        let init = Value::decode(r)?;
+        let inherited_from = if r.u8("attr inherited flag")? != 0 {
+            Some(ClassId(r.u32("attr inherited class")?))
+        } else {
+            None
+        };
+        Ok(AttributeDef { name, domain, composite, init, inherited_from })
+    }
+
+    /// True if the attribute can hold object references at all.
+    pub fn is_reference(&self) -> bool {
+        self.domain.referenced_class().is_some() || matches!(self.domain, Domain::Any)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::Oid;
+
+    #[test]
+    fn default_spec_matches_kim87b() {
+        let spec = CompositeSpec::default();
+        assert!(spec.exclusive && spec.dependent);
+    }
+
+    #[test]
+    fn referenced_class_sees_through_set_of() {
+        let d = Domain::SetOf(Box::new(Domain::Class(ClassId(7))));
+        assert_eq!(d.referenced_class(), Some(ClassId(7)));
+        assert!(d.is_set());
+        assert_eq!(Domain::Integer.referenced_class(), None);
+    }
+
+    #[test]
+    fn admits_shape_checks_structure() {
+        let d = Domain::SetOf(Box::new(Domain::Class(ClassId(1))));
+        let o = Oid::new(ClassId(1), 1);
+        assert!(d.admits_shape(&Value::Set(vec![Value::Ref(o)])));
+        assert!(d.admits_shape(&Value::Null));
+        assert!(!d.admits_shape(&Value::Ref(o)), "bare ref is not a set");
+        assert!(!d.admits_shape(&Value::Set(vec![Value::Int(1)])));
+        assert!(Domain::Float.admits_shape(&Value::Int(3)), "int widens to float");
+    }
+
+    #[test]
+    fn composite_attribute_requires_class_domain() {
+        let bad = AttributeDef::composite("Body", Domain::Integer, CompositeSpec::default());
+        assert!(bad.validate().is_err());
+        let good = AttributeDef::composite("Body", Domain::Class(ClassId(0)), CompositeSpec::default());
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn plain_attribute_is_not_composite() {
+        let a = AttributeDef::plain("Color", Domain::String);
+        assert!(a.composite.is_none());
+        assert!(!a.is_reference());
+        let w = AttributeDef::plain("Owner", Domain::Class(ClassId(2)));
+        assert!(w.is_reference(), "weak reference attribute");
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let d = Domain::SetOf(Box::new(Domain::Class(ClassId(3))));
+        assert_eq!(d.describe(), "(set-of instance of c3)");
+    }
+}

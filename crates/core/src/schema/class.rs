@@ -1,0 +1,201 @@
+//! Classes and the class builder.
+//!
+//! A class owns *local* attribute definitions; the catalog flattens local +
+//! inherited definitions into the **effective attribute list** that instance
+//! layouts follow. Name conflicts among superclasses resolve in superclass
+//! order (first wins), the ORION rule from [BANE87a].
+
+use corion_storage::SegmentId;
+
+use crate::oid::ClassId;
+use crate::schema::attr::{AttributeDef, CompositeSpec, Domain};
+use crate::value::Value;
+
+/// A class in the catalog.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// The class's id.
+    pub id: ClassId,
+    /// The class's unique name.
+    pub name: String,
+    /// Direct superclasses, in declaration order (order matters for
+    /// attribute-conflict resolution).
+    pub superclasses: Vec<ClassId>,
+    /// Direct subclasses (maintained by the lattice).
+    pub subclasses: Vec<ClassId>,
+    /// Locally defined attributes.
+    pub local_attrs: Vec<AttributeDef>,
+    /// Effective attributes: inherited then local, flattened by the catalog.
+    pub attrs: Vec<AttributeDef>,
+    /// Whether instances are versionable (paper §5.1).
+    pub versionable: bool,
+    /// The storage segment instances are placed in. Classes sharing a
+    /// segment can be co-clustered (§2.3).
+    pub segment: SegmentId,
+    /// Change count for deferred schema evolution (§4.3): incremented each
+    /// time the type of an attribute *whose domain is this class* changes.
+    pub change_count: u64,
+}
+
+impl Class {
+    /// Position of the effective attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The effective attribute `name`.
+    pub fn attr(&self, name: &str) -> Option<&AttributeDef> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// True if the class has at least one composite attribute —
+    /// the zero-argument form of the `compositep` predicate (§3.2).
+    pub fn compositep(&self) -> bool {
+        self.attrs.iter().any(|a| a.composite.is_some())
+    }
+
+    /// Names of every composite attribute.
+    pub fn composite_attrs(&self) -> impl Iterator<Item = &AttributeDef> {
+        self.attrs.iter().filter(|a| a.composite.is_some())
+    }
+}
+
+/// Builder for [`crate::Database::define_class`], mirroring the `make-class`
+/// message of §2.3.
+#[derive(Debug, Clone)]
+pub struct ClassBuilder {
+    pub(crate) name: String,
+    pub(crate) superclasses: Vec<ClassId>,
+    pub(crate) attrs: Vec<AttributeDef>,
+    pub(crate) versionable: bool,
+    pub(crate) share_segment_with: Option<ClassId>,
+}
+
+impl ClassBuilder {
+    /// Starts a class definition: `(make-class 'Name ...)`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassBuilder {
+            name: name.into(),
+            superclasses: Vec::new(),
+            attrs: Vec::new(),
+            versionable: false,
+            share_segment_with: None,
+        }
+    }
+
+    /// Adds a direct superclass (`:superclasses`).
+    pub fn superclass(mut self, c: ClassId) -> Self {
+        self.superclasses.push(c);
+        self
+    }
+
+    /// Adds a plain attribute (`:domain` only).
+    pub fn attr(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.attrs.push(AttributeDef::plain(name, domain));
+        self
+    }
+
+    /// Adds a composite attribute (`:composite true` with `:exclusive` /
+    /// `:dependent`).
+    pub fn attr_composite(
+        mut self,
+        name: impl Into<String>,
+        domain: Domain,
+        spec: CompositeSpec,
+    ) -> Self {
+        self.attrs.push(AttributeDef::composite(name, domain, spec));
+        self
+    }
+
+    /// Adds a fully specified attribute.
+    pub fn attr_def(mut self, def: AttributeDef) -> Self {
+        self.attrs.push(def);
+        self
+    }
+
+    /// Sets an `:init` value on the most recently added attribute.
+    ///
+    /// # Panics
+    /// Panics if no attribute has been added yet.
+    pub fn init(mut self, value: Value) -> Self {
+        self.attrs.last_mut().expect("init requires a preceding attr").init = value;
+        self
+    }
+
+    /// Marks instances versionable (§5.1).
+    pub fn versionable(mut self) -> Self {
+        self.versionable = true;
+        self
+    }
+
+    /// Places instances in the same storage segment as `other`, enabling
+    /// parent clustering between the two classes (§2.3).
+    pub fn same_segment_as(mut self, other: ClassId) -> Self {
+        self.share_segment_with = Some(other);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_class() -> Class {
+        Class {
+            id: ClassId(0),
+            name: "Vehicle".into(),
+            superclasses: vec![],
+            subclasses: vec![],
+            local_attrs: vec![],
+            attrs: vec![
+                AttributeDef::plain("Manufacturer", Domain::String),
+                AttributeDef::composite(
+                    "Body",
+                    Domain::Class(ClassId(1)),
+                    CompositeSpec { exclusive: true, dependent: false },
+                ),
+            ],
+            versionable: false,
+            segment: SegmentId(0),
+            change_count: 0,
+        }
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let c = sample_class();
+        assert_eq!(c.attr_index("Body"), Some(1));
+        assert!(c.attr("Manufacturer").is_some());
+        assert!(c.attr("Missing").is_none());
+    }
+
+    #[test]
+    fn compositep_zero_arg_form() {
+        let c = sample_class();
+        assert!(c.compositep());
+        assert_eq!(c.composite_attrs().count(), 1);
+    }
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let b = ClassBuilder::new("Document")
+            .attr("Title", Domain::String)
+            .init(Value::Str("untitled".into()))
+            .attr_composite(
+                "Sections",
+                Domain::SetOf(Box::new(Domain::Class(ClassId(5)))),
+                CompositeSpec { exclusive: false, dependent: true },
+            )
+            .versionable();
+        assert_eq!(b.attrs.len(), 2);
+        assert_eq!(b.attrs[0].init, Value::Str("untitled".into()));
+        assert!(b.versionable);
+        assert_eq!(b.attrs[1].composite, Some(CompositeSpec { exclusive: false, dependent: true }));
+    }
+
+    #[test]
+    #[should_panic(expected = "preceding attr")]
+    fn init_without_attr_panics() {
+        let _ = ClassBuilder::new("X").init(Value::Int(1));
+    }
+}

@@ -1,0 +1,172 @@
+//! IS-A lattice traversals.
+//!
+//! ORION organises classes in a rooted DAG (multiple inheritance). Schema
+//! changes of §4 manipulate this lattice: adding/removing superclass edges,
+//! dropping classes (whose "subclasses become immediate subclasses of the
+//! superclasses"). These helpers are pure graph traversals over the catalog.
+
+use std::collections::HashSet;
+
+use crate::oid::ClassId;
+use crate::schema::catalog::Catalog;
+
+/// True if `sub` equals `sup` or is a (transitive) subclass of it.
+pub fn is_subclass_of(catalog: &Catalog, sub: ClassId, sup: ClassId) -> bool {
+    if sub == sup {
+        return true;
+    }
+    let mut seen = HashSet::new();
+    let mut stack = vec![sub];
+    while let Some(c) = stack.pop() {
+        if !seen.insert(c) {
+            continue;
+        }
+        if let Ok(class) = catalog.class(c) {
+            for &s in &class.superclasses {
+                if s == sup {
+                    return true;
+                }
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// All (transitive) superclasses of `class`, excluding `class` itself.
+pub fn ancestors(catalog: &Catalog, class: ClassId) -> Vec<ClassId> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    let mut stack: Vec<ClassId> = catalog
+        .class(class)
+        .map(|c| c.superclasses.clone())
+        .unwrap_or_default();
+    while let Some(c) = stack.pop() {
+        if seen.insert(c) {
+            out.push(c);
+            if let Ok(cl) = catalog.class(c) {
+                stack.extend(cl.superclasses.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+/// All (transitive) subclasses of `class`, excluding `class` itself.
+pub fn descendants(catalog: &Catalog, class: ClassId) -> Vec<ClassId> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    let mut stack: Vec<ClassId> = catalog
+        .class(class)
+        .map(|c| c.subclasses.clone())
+        .unwrap_or_default();
+    while let Some(c) = stack.pop() {
+        if seen.insert(c) {
+            out.push(c);
+            if let Ok(cl) = catalog.class(c) {
+                stack.extend(cl.subclasses.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+/// `class` followed by its descendants in a parents-before-children order,
+/// suitable for recomputing effective attributes top-down.
+pub fn self_and_descendants_topo(catalog: &Catalog, class: ClassId) -> Vec<ClassId> {
+    let mut affected: HashSet<ClassId> = descendants(catalog, class).into_iter().collect();
+    affected.insert(class);
+    // Kahn's algorithm restricted to the affected set.
+    let mut in_deg: std::collections::HashMap<ClassId, usize> = affected
+        .iter()
+        .map(|&c| {
+            let deg = catalog
+                .class(c)
+                .map(|cl| cl.superclasses.iter().filter(|s| affected.contains(s)).count())
+                .unwrap_or(0);
+            (c, deg)
+        })
+        .collect();
+    let mut ready: Vec<ClassId> = in_deg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&c, _)| c)
+        .collect();
+    ready.sort(); // determinism
+    let mut out = Vec::with_capacity(affected.len());
+    while let Some(c) = ready.pop() {
+        out.push(c);
+        if let Ok(cl) = catalog.class(c) {
+            let mut newly = Vec::new();
+            for &sub in &cl.subclasses {
+                if let Some(d) = in_deg.get_mut(&sub) {
+                    *d -= 1;
+                    if *d == 0 {
+                        newly.push(sub);
+                    }
+                }
+            }
+            newly.sort();
+            ready.extend(newly);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::class::ClassBuilder;
+
+    fn diamond() -> (Catalog, ClassId, ClassId, ClassId, ClassId) {
+        // a <- b, a <- c, (b,c) <- d
+        let mut cat = Catalog::new();
+        let a = cat.define(ClassBuilder::new("A"), corion_storage::SegmentId(0)).unwrap();
+        let b = cat
+            .define(ClassBuilder::new("B").superclass(a), corion_storage::SegmentId(0))
+            .unwrap();
+        let c = cat
+            .define(ClassBuilder::new("C").superclass(a), corion_storage::SegmentId(0))
+            .unwrap();
+        let d = cat
+            .define(
+                ClassBuilder::new("D").superclass(b).superclass(c),
+                corion_storage::SegmentId(0),
+            )
+            .unwrap();
+        (cat, a, b, c, d)
+    }
+
+    #[test]
+    fn subclass_checks_follow_the_diamond() {
+        let (cat, a, b, c, d) = diamond();
+        assert!(is_subclass_of(&cat, d, a));
+        assert!(is_subclass_of(&cat, d, b));
+        assert!(is_subclass_of(&cat, d, c));
+        assert!(is_subclass_of(&cat, b, a));
+        assert!(!is_subclass_of(&cat, a, d));
+        assert!(is_subclass_of(&cat, a, a), "reflexive");
+        assert!(!is_subclass_of(&cat, b, c));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (cat, a, b, c, d) = diamond();
+        let anc: std::collections::HashSet<_> = ancestors(&cat, d).into_iter().collect();
+        assert_eq!(anc, [a, b, c].into_iter().collect());
+        let desc: std::collections::HashSet<_> = descendants(&cat, a).into_iter().collect();
+        assert_eq!(desc, [b, c, d].into_iter().collect());
+        assert!(descendants(&cat, d).is_empty());
+    }
+
+    #[test]
+    fn topo_order_puts_parents_first() {
+        let (cat, a, b, c, d) = diamond();
+        let order = self_and_descendants_topo(&cat, a);
+        let pos =
+            |x: ClassId| order.iter().position(|&c| c == x).expect("class present in topo order");
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+        assert_eq!(order.len(), 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Class model: attributes, classes, the IS-A lattice, and the catalog.
+//!
+//! The composite-object semantics of the paper are defined over ORION's
+//! class model [BANE87a]: classes with typed attributes, multiple
+//! inheritance over a class lattice, and `(set-of …)` domains. Composite
+//! attribute specifications (`:composite`, `:exclusive`, `:dependent`,
+//! §2.3) live on [`attr::AttributeDef`].
+
+pub mod attr;
+pub mod catalog;
+pub mod class;
+pub mod lattice;
+
+pub use attr::{AttributeDef, CompositeSpec, Domain};
+pub use catalog::Catalog;
+pub use class::{Class, ClassBuilder};

@@ -1,0 +1,226 @@
+//! Object-level undo — the transaction-rollback substrate.
+//!
+//! §7's protocols come from ORION's transaction management [GARZ88], which
+//! pairs locking with the ability to abort. The engine supports that here
+//! with before-image undo scoped to one active transaction:
+//!
+//! * [`Database::begin_undo`] opens an undo scope;
+//! * every object mutation inside the scope records the object's first
+//!   before-image (creations and deletions record themselves);
+//! * [`Database::rollback_undo`] restores every touched object —
+//!   attribute values, reverse references, CCs, extensions — to its state
+//!   at `begin_undo`; [`Database::commit_undo`] discards the log.
+//!
+//! Scope: *object* state only. Schema changes (§4) are DDL and are not
+//! undone — ORION likewise treated schema evolution as non-transactional —
+//! and the engine rejects them inside an undo scope to keep the log sound.
+//! Physical placement is not restored (a rolled-back object may live at a
+//! different PhysId; OIDs are the stable names).
+
+use std::collections::HashMap;
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::object::Object;
+use crate::oid::Oid;
+
+/// The undo log of one open transaction.
+#[derive(Default)]
+pub(crate) struct UndoLog {
+    /// First before-image of every object touched (None = did not exist).
+    before: HashMap<Oid, Option<Object>>,
+    /// Serial counter at `begin_undo`, restored on rollback so aborted
+    /// creations don't burn OIDs forever (serials stay unique regardless).
+    next_serial: u64,
+}
+
+impl Database {
+    /// Opens an undo scope. Fails if one is already open (undo scopes do
+    /// not nest — the lock layer's transactions are flat too).
+    pub fn begin_undo(&mut self) -> DbResult<()> {
+        if self.undo.is_some() {
+            return Err(DbError::SchemaChangeRejected {
+                reason: "an undo scope is already open".into(),
+            });
+        }
+        self.undo = Some(UndoLog { before: HashMap::new(), next_serial: self.next_serial });
+        Ok(())
+    }
+
+    /// True while an undo scope is open.
+    pub fn in_undo_scope(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Discards the undo log, making every change since `begin_undo`
+    /// permanent.
+    pub fn commit_undo(&mut self) -> DbResult<()> {
+        self.undo.take().map(|_| ()).ok_or(DbError::SchemaChangeRejected {
+            reason: "no undo scope is open".into(),
+        })
+    }
+
+    /// Restores every object touched since `begin_undo` to its state at
+    /// that point and closes the scope.
+    pub fn rollback_undo(&mut self) -> DbResult<()> {
+        let log = self.undo.take().ok_or(DbError::SchemaChangeRejected {
+            reason: "no undo scope is open".into(),
+        })?;
+        for (oid, before) in log.before {
+            match before {
+                Some(obj) => {
+                    if self.exists(oid) {
+                        // Touched or recreated: restore the before-image.
+                        self.save(&obj)?;
+                    } else {
+                        // Deleted during the scope: resurrect.
+                        self.insert_object(&obj, None)?;
+                    }
+                }
+                None => {
+                    // Created during the scope: remove.
+                    if self.exists(oid) {
+                        self.erase(oid)?;
+                    }
+                }
+            }
+        }
+        self.next_serial = self.next_serial.max(log.next_serial);
+        Ok(())
+    }
+
+    /// Records the before-image of `oid` (only the first touch matters).
+    pub(crate) fn undo_note_touch(&mut self, oid: Oid, before: Option<Object>) {
+        if let Some(log) = self.undo.as_mut() {
+            log.before.entry(oid).or_insert(before);
+        }
+    }
+
+    /// Guard used by schema-evolution entry points: DDL inside an undo
+    /// scope would make the log unsound, so it is rejected.
+    pub(crate) fn undo_forbid_ddl(&self) -> DbResult<()> {
+        if self.undo.is_some() {
+            return Err(DbError::SchemaChangeRejected {
+                reason: "schema changes are not allowed inside an undo scope".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr::{CompositeSpec, Domain};
+    use crate::schema::class::ClassBuilder;
+    use crate::value::Value;
+    use crate::ClassId;
+
+    fn setup() -> (Database, ClassId, ClassId) {
+        let mut db = Database::new();
+        let item = db.define_class(ClassBuilder::new("Item").attr("n", Domain::Integer)).unwrap();
+        let holder = db
+            .define_class(ClassBuilder::new("Holder").attr_composite(
+                "slot",
+                Domain::Class(item),
+                CompositeSpec { exclusive: true, dependent: true },
+            ))
+            .unwrap();
+        (db, item, holder)
+    }
+
+    #[test]
+    fn rollback_restores_attribute_values() {
+        let (mut db, item, _) = setup();
+        let o = db.make(item, vec![("n", Value::Int(1))], vec![]).unwrap();
+        db.begin_undo().unwrap();
+        db.set_attr(o, "n", Value::Int(99)).unwrap();
+        assert_eq!(db.get_attr(o, "n").unwrap(), Value::Int(99));
+        db.rollback_undo().unwrap();
+        assert_eq!(db.get_attr(o, "n").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn rollback_removes_created_objects() {
+        let (mut db, item, _) = setup();
+        db.begin_undo().unwrap();
+        let o = db.make(item, vec![], vec![]).unwrap();
+        assert!(db.exists(o));
+        db.rollback_undo().unwrap();
+        assert!(!db.exists(o));
+        assert!(db.instances_of(item, false).is_empty());
+    }
+
+    #[test]
+    fn rollback_resurrects_deleted_composite_objects() {
+        let (mut db, item, holder) = setup();
+        let i = db.make(item, vec![("n", Value::Int(7))], vec![]).unwrap();
+        let h = db.make(holder, vec![("slot", Value::Ref(i))], vec![]).unwrap();
+        db.begin_undo().unwrap();
+        db.delete(h).unwrap();
+        assert!(!db.exists(h) && !db.exists(i), "dependent cascade ran");
+        db.rollback_undo().unwrap();
+        assert!(db.exists(h) && db.exists(i), "both resurrected");
+        assert_eq!(db.get_attr(h, "slot").unwrap(), Value::Ref(i));
+        assert_eq!(db.get(i).unwrap().dx(), vec![h], "reverse reference restored");
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn rollback_undoes_component_attachment() {
+        let (mut db, item, holder) = setup();
+        let i = db.make(item, vec![], vec![]).unwrap();
+        let h = db.make(holder, vec![], vec![]).unwrap();
+        db.begin_undo().unwrap();
+        db.make_component(i, h, "slot").unwrap();
+        db.rollback_undo().unwrap();
+        assert_eq!(db.get_attr(h, "slot").unwrap(), Value::Null);
+        assert!(db.get(i).unwrap().reverse_refs.is_empty());
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn commit_makes_changes_permanent() {
+        let (mut db, item, _) = setup();
+        let o = db.make(item, vec![("n", Value::Int(1))], vec![]).unwrap();
+        db.begin_undo().unwrap();
+        db.set_attr(o, "n", Value::Int(2)).unwrap();
+        db.commit_undo().unwrap();
+        assert_eq!(db.get_attr(o, "n").unwrap(), Value::Int(2));
+        assert!(db.rollback_undo().is_err(), "scope already closed");
+    }
+
+    #[test]
+    fn scopes_do_not_nest_and_ddl_is_rejected() {
+        let (mut db, item, _) = setup();
+        db.begin_undo().unwrap();
+        assert!(db.begin_undo().is_err());
+        assert!(db
+            .add_attribute(item, crate::schema::attr::AttributeDef::plain("x", Domain::Integer))
+            .is_err());
+        assert!(db.drop_attribute(item, "n").is_err());
+        db.commit_undo().unwrap();
+        // Outside the scope DDL works again.
+        db.add_attribute(item, crate::schema::attr::AttributeDef::plain("x", Domain::Integer))
+            .unwrap();
+    }
+
+    #[test]
+    fn interleaved_mutations_restore_exactly() {
+        let (mut db, item, holder) = setup();
+        let i1 = db.make(item, vec![("n", Value::Int(1))], vec![]).unwrap();
+        let h = db.make(holder, vec![("slot", Value::Ref(i1))], vec![]).unwrap();
+        db.begin_undo().unwrap();
+        // A messy transaction: detach, create, attach the new one, mutate.
+        db.set_attr(h, "slot", Value::Null).unwrap(); // deletes i1 (dependent orphan)
+        let i2 = db.make(item, vec![("n", Value::Int(2))], vec![]).unwrap();
+        db.make_component(i2, h, "slot").unwrap();
+        db.set_attr(i2, "n", Value::Int(3)).unwrap();
+        db.rollback_undo().unwrap();
+        assert!(db.exists(i1), "orphan-deleted component resurrected");
+        assert!(!db.exists(i2), "created component removed");
+        assert_eq!(db.get_attr(h, "slot").unwrap(), Value::Ref(i1));
+        assert_eq!(db.get_attr(i1, "n").unwrap(), Value::Int(1));
+        db.verify_integrity().unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Attribute values.
+//!
+//! "An object has a number of attributes; the value of an attribute is
+//! itself an object" (paper §1). Primitive classes (integer, string, …) are
+//! represented inline; references to non-primitive objects are [`Oid`]s.
+//! `(set-of X)` domains (paper §2.3, e.g. `(set-of Section)`) are [`Value::Set`].
+
+use bytes::BufMut;
+use corion_storage::codec::{self, Reader};
+use corion_storage::{StorageError, StorageResult};
+
+use crate::oid::{ClassId, Oid};
+
+/// The value of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// ORION's `nil`: no value / removed reference.
+    Null,
+    /// Instance of the primitive class `integer`.
+    Int(i64),
+    /// Instance of the primitive class `float`.
+    Float(f64),
+    /// Instance of the primitive class `boolean`.
+    Bool(bool),
+    /// Instance of the primitive class `string`.
+    Str(String),
+    /// Reference to a non-primitive object (a UID, §2.1).
+    Ref(Oid),
+    /// A `(set-of …)` value. Element order is not meaningful; duplicates of
+    /// `Ref`s are rejected at the schema layer.
+    Set(Vec<Value>),
+}
+
+impl Value {
+    /// Every object reference contained in this value (directly or inside a
+    /// set). For a composite attribute these are the component objects.
+    pub fn refs(&self) -> Vec<Oid> {
+        match self {
+            Value::Ref(o) => vec![*o],
+            Value::Set(items) => items.iter().flat_map(Value::refs).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if the value contains a reference to `target`.
+    pub fn references(&self, target: Oid) -> bool {
+        match self {
+            Value::Ref(o) => *o == target,
+            Value::Set(items) => items.iter().any(|v| v.references(target)),
+            _ => false,
+        }
+    }
+
+    /// Removes every reference to `target`, replacing a direct `Ref` with
+    /// `Null` and deleting matching elements from sets. Returns how many
+    /// references were removed.
+    pub fn remove_ref(&mut self, target: Oid) -> usize {
+        match self {
+            Value::Ref(o) if *o == target => {
+                *self = Value::Null;
+                1
+            }
+            Value::Set(items) => {
+                let before = items.len();
+                items.retain(|v| !v.references(target));
+                before - items.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Adds `target` to a set value; turns `Null` into a one-element set
+    /// when `make_set`, or into a direct `Ref` otherwise. Returns `false`
+    /// (and leaves the value unchanged) if `target` is already present.
+    pub fn add_ref(&mut self, target: Oid, make_set: bool) -> bool {
+        match self {
+            Value::Set(items) => {
+                if items.iter().any(|v| v.references(target)) {
+                    return false;
+                }
+                items.push(Value::Ref(target));
+                true
+            }
+            Value::Null => {
+                *self = if make_set {
+                    Value::Set(vec![Value::Ref(target)])
+                } else {
+                    Value::Ref(target)
+                };
+                true
+            }
+            Value::Ref(o) if *o == target => false,
+            _ => {
+                *self = Value::Ref(target);
+                true
+            }
+        }
+    }
+
+    /// Serializes the value.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Value::Null => codec::put_u8(buf, 0),
+            Value::Int(v) => {
+                codec::put_u8(buf, 1);
+                codec::put_i64(buf, *v);
+            }
+            Value::Float(v) => {
+                codec::put_u8(buf, 2);
+                codec::put_f64(buf, *v);
+            }
+            Value::Bool(v) => {
+                codec::put_u8(buf, 3);
+                codec::put_u8(buf, u8::from(*v));
+            }
+            Value::Str(v) => {
+                codec::put_u8(buf, 4);
+                codec::put_string(buf, v);
+            }
+            Value::Ref(o) => {
+                codec::put_u8(buf, 5);
+                codec::put_u32(buf, o.class.0);
+                codec::put_u64(buf, o.serial);
+            }
+            Value::Set(items) => {
+                codec::put_u8(buf, 6);
+                codec::put_varint(buf, items.len() as u64);
+                for item in items {
+                    item.encode(buf);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a value.
+    pub fn decode(r: &mut Reader<'_>) -> StorageResult<Value> {
+        let tag = r.u8("value tag")?;
+        Ok(match tag {
+            0 => Value::Null,
+            1 => Value::Int(r.i64("int value")?),
+            2 => Value::Float(r.f64("float value")?),
+            3 => Value::Bool(r.u8("bool value")? != 0),
+            4 => Value::Str(r.string("string value")?),
+            5 => {
+                let class = ClassId(r.u32("ref class")?);
+                let serial = r.u64("ref serial")?;
+                Value::Ref(Oid::new(class, serial))
+            }
+            6 => {
+                let n = r.varint("set length")? as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(Value::decode(r)?);
+                }
+                Value::Set(items)
+            }
+            _ => return Err(StorageError::Corrupt { context: "value tag" }),
+        })
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "nil"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{}", if *v { "t" } else { "nil" }),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let out = Value::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn encode_decode_all_variants() {
+        let oid = Oid::new(ClassId(4), 99);
+        for v in [
+            Value::Null,
+            Value::Int(-5),
+            Value::Float(2.75),
+            Value::Bool(true),
+            Value::Str("chapter".into()),
+            Value::Ref(oid),
+            Value::Set(vec![Value::Ref(oid), Value::Int(1), Value::Set(vec![Value::Null])]),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn refs_are_collected_recursively() {
+        let a = Oid::new(ClassId(1), 1);
+        let b = Oid::new(ClassId(1), 2);
+        let v = Value::Set(vec![Value::Ref(a), Value::Set(vec![Value::Ref(b)]), Value::Int(0)]);
+        assert_eq!(v.refs(), vec![a, b]);
+        assert!(v.references(a));
+        assert!(!v.references(Oid::new(ClassId(1), 3)));
+    }
+
+    #[test]
+    fn remove_ref_nullifies_and_prunes() {
+        let a = Oid::new(ClassId(1), 1);
+        let b = Oid::new(ClassId(1), 2);
+        let mut direct = Value::Ref(a);
+        assert_eq!(direct.remove_ref(a), 1);
+        assert_eq!(direct, Value::Null);
+
+        let mut set = Value::Set(vec![Value::Ref(a), Value::Ref(b)]);
+        assert_eq!(set.remove_ref(a), 1);
+        assert_eq!(set, Value::Set(vec![Value::Ref(b)]));
+        assert_eq!(set.remove_ref(a), 0);
+    }
+
+    #[test]
+    fn add_ref_deduplicates() {
+        let a = Oid::new(ClassId(1), 1);
+        let mut v = Value::Null;
+        assert!(v.add_ref(a, true));
+        assert!(!v.add_ref(a, true), "duplicate insert is a no-op");
+        assert_eq!(v, Value::Set(vec![Value::Ref(a)]));
+
+        let mut single = Value::Null;
+        assert!(single.add_ref(a, false));
+        assert_eq!(single, Value::Ref(a));
+        assert!(!single.add_ref(a, false));
+    }
+
+    #[test]
+    fn display_is_lisp_flavoured() {
+        let a = Oid::new(ClassId(2), 7);
+        assert_eq!(Value::Null.to_string(), "nil");
+        assert_eq!(Value::Set(vec![Value::Ref(a), Value::Int(3)]).to_string(), "{c2.i7 3}");
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        let buf = [200u8];
+        let mut r = Reader::new(&buf);
+        assert!(Value::decode(&mut r).is_err());
+    }
+}

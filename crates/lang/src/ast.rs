@@ -1,0 +1,102 @@
+//! S-expression AST.
+
+use std::fmt;
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    /// A bare symbol: `Vehicle`, `make-class`, `t`, `nil`.
+    Sym(String),
+    /// A keyword: `:domain`, `:composite`.
+    Kw(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A parenthesised list.
+    List(Vec<SExpr>),
+    /// A quoted expression: `'Vehicle`, `'((a :domain X))`.
+    Quote(Box<SExpr>),
+}
+
+impl SExpr {
+    /// The symbol's name, if this is a symbol (quoted or not).
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            SExpr::Sym(s) => Some(s),
+            SExpr::Quote(inner) => inner.as_sym(),
+            _ => None,
+        }
+    }
+
+    /// The list's items, if this is a list (quoted or not).
+    pub fn as_list(&self) -> Option<&[SExpr]> {
+        match self {
+            SExpr::List(items) => Some(items),
+            SExpr::Quote(inner) => inner.as_list(),
+            _ => None,
+        }
+    }
+
+    /// True for the symbol `nil` (Lisp false/empty).
+    pub fn is_nil(&self) -> bool {
+        matches!(self.as_sym(), Some("nil"))
+    }
+
+    /// True for the symbol `t` or `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self.as_sym(), Some("t" | "true"))
+    }
+}
+
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SExpr::Sym(s) => write!(f, "{s}"),
+            SExpr::Kw(s) => write!(f, ":{s}"),
+            SExpr::Int(i) => write!(f, "{i}"),
+            SExpr::Float(x) => write!(f, "{x}"),
+            SExpr::Str(s) => write!(f, "{s:?}"),
+            SExpr::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            SExpr::Quote(inner) => write!(f, "'{inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_see_through_quotes() {
+        let q = SExpr::Quote(Box::new(SExpr::Sym("Vehicle".into())));
+        assert_eq!(q.as_sym(), Some("Vehicle"));
+        let ql = SExpr::Quote(Box::new(SExpr::List(vec![SExpr::Int(1)])));
+        assert_eq!(ql.as_list().map(|l| l.len()), Some(1));
+        assert!(SExpr::Sym("nil".into()).is_nil());
+        assert!(SExpr::Sym("t".into()).is_true());
+        assert!(!SExpr::Int(0).is_true());
+    }
+
+    #[test]
+    fn display_round_shape() {
+        let e = SExpr::List(vec![
+            SExpr::Sym("make".into()),
+            SExpr::Kw("domain".into()),
+            SExpr::Quote(Box::new(SExpr::Sym("X".into()))),
+            SExpr::Str("hi".into()),
+        ]);
+        assert_eq!(e.to_string(), "(make :domain 'X \"hi\")");
+    }
+}

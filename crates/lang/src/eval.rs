@@ -1,0 +1,1392 @@
+//! The message interpreter.
+//!
+//! Binds the ORION messages of §2.3 and §3 to the CORION engine (and the §5
+//! version operations to the version manager). Object-valued results are
+//! bound into a symbol environment with `define`, mirroring how the paper's
+//! examples name instances (`Vi`, `Instance[j]`, …).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use corion_core::composite::Filter;
+use corion_core::{
+    AttributeDef, ClassBuilder, ClassId, CompositeSpec, Database, DbError, Domain, Oid, Value,
+};
+use corion_versions::{VersionError, VersionManager};
+
+use crate::ast::SExpr;
+use crate::parser::{parse_all, ParseError};
+
+/// A value in the message language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangValue {
+    /// `nil` — false / absent.
+    Nil,
+    /// `t` — true.
+    T,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// An object reference.
+    Obj(Oid),
+    /// A class.
+    Class(ClassId),
+    /// A list of values (also the result of set-valued attributes).
+    List(Vec<LangValue>),
+}
+
+impl fmt::Display for LangValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangValue::Nil => write!(f, "nil"),
+            LangValue::T => write!(f, "t"),
+            LangValue::Int(i) => write!(f, "{i}"),
+            LangValue::Float(x) => write!(f, "{x}"),
+            LangValue::Str(s) => write!(f, "{s:?}"),
+            LangValue::Obj(o) => write!(f, "#<{o}>"),
+            LangValue::Class(c) => write!(f, "#<class {c}>"),
+            LangValue::List(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl LangValue {
+    fn truthy(b: bool) -> LangValue {
+        if b {
+            LangValue::T
+        } else {
+            LangValue::Nil
+        }
+    }
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Parse failure in `eval_str`.
+    Parse(ParseError),
+    /// Engine error.
+    Db(DbError),
+    /// Version-layer error.
+    Version(VersionError),
+    /// An unbound symbol was referenced.
+    Unbound(String),
+    /// A form was syntactically malformed.
+    BadForm(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Parse(e) => write!(f, "{e}"),
+            EvalError::Db(e) => write!(f, "{e}"),
+            EvalError::Version(e) => write!(f, "{e}"),
+            EvalError::Unbound(s) => write!(f, "unbound symbol {s}"),
+            EvalError::BadForm(m) => write!(f, "bad form: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> Self {
+        EvalError::Parse(e)
+    }
+}
+impl From<DbError> for EvalError {
+    fn from(e: DbError) -> Self {
+        EvalError::Db(e)
+    }
+}
+impl From<VersionError> for EvalError {
+    fn from(e: VersionError) -> Self {
+        EvalError::Version(e)
+    }
+}
+
+type R = Result<LangValue, EvalError>;
+
+/// The interpreter: a version manager (wrapping the engine) plus a symbol
+/// environment.
+pub struct Interpreter {
+    vm: VersionManager,
+    env: HashMap<String, LangValue>,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter over a fresh database.
+    pub fn new() -> Self {
+        Interpreter { vm: VersionManager::new(Database::new()), env: HashMap::new() }
+    }
+
+    /// Creates an interpreter over an existing database.
+    pub fn with_db(db: Database) -> Self {
+        Interpreter { vm: VersionManager::new(db), env: HashMap::new() }
+    }
+
+    /// The underlying engine.
+    pub fn db(&self) -> &Database {
+        self.vm.db()
+    }
+
+    /// Mutable engine access.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.vm.db_mut()
+    }
+
+    /// Evaluates every expression in `src`, returning the last result.
+    pub fn eval_str(&mut self, src: &str) -> R {
+        let exprs = parse_all(src)?;
+        let mut last = LangValue::Nil;
+        for e in exprs {
+            last = self.eval(&e)?;
+        }
+        Ok(last)
+    }
+
+    /// Evaluates one expression.
+    pub fn eval(&mut self, expr: &SExpr) -> R {
+        match expr {
+            SExpr::Int(i) => Ok(LangValue::Int(*i)),
+            SExpr::Float(x) => Ok(LangValue::Float(*x)),
+            SExpr::Str(s) => Ok(LangValue::Str(s.clone())),
+            SExpr::Kw(k) => Err(EvalError::BadForm(format!("keyword :{k} outside a message"))),
+            SExpr::Quote(inner) => self.eval_quoted(inner),
+            SExpr::Sym(s) => self.lookup(s),
+            SExpr::List(items) => self.eval_form(items),
+        }
+    }
+
+    fn eval_quoted(&mut self, inner: &SExpr) -> R {
+        // Quoted symbols evaluate to class handles when a class of that name
+        // exists, else to strings (symbols-as-data).
+        match inner {
+            SExpr::Sym(s) => {
+                if let Ok(c) = self.vm.db().class_by_name(s) {
+                    Ok(LangValue::Class(c))
+                } else {
+                    Ok(LangValue::Str(s.clone()))
+                }
+            }
+            other => Err(EvalError::BadForm(format!("cannot evaluate quoted {other}"))),
+        }
+    }
+
+    fn lookup(&mut self, s: &str) -> R {
+        match s {
+            "nil" => return Ok(LangValue::Nil),
+            "t" | "true" => return Ok(LangValue::T),
+            _ => {}
+        }
+        if let Some(v) = self.env.get(s) {
+            return Ok(v.clone());
+        }
+        if let Ok(c) = self.vm.db().class_by_name(s) {
+            return Ok(LangValue::Class(c));
+        }
+        Err(EvalError::Unbound(s.into()))
+    }
+
+    fn eval_form(&mut self, items: &[SExpr]) -> R {
+        let head = items
+            .first()
+            .and_then(SExpr::as_sym)
+            .ok_or_else(|| EvalError::BadForm("empty or non-symbol form".into()))?;
+        let args = &items[1..];
+        match head {
+            "define" => self.f_define(args),
+            "make-class" => self.f_make_class(args),
+            "make" => self.f_make(args),
+            "get" => self.f_get(args),
+            "set!" => self.f_set(args),
+            "delete" => self.f_delete(args),
+            "instances-of" => self.f_instances_of(args),
+            "make-component" => self.f_make_component(args),
+            "remove-component" => self.f_remove_component(args),
+            "components-of" => self.f_traverse(args, Traverse::Components),
+            "parents-of" => self.f_traverse(args, Traverse::Parents),
+            "ancestors-of" => self.f_traverse(args, Traverse::Ancestors),
+            "compositep" => self.f_classpred(args, ClassPred::Composite),
+            "exclusive-compositep" => self.f_classpred(args, ClassPred::Exclusive),
+            "shared-compositep" => self.f_classpred(args, ClassPred::Shared),
+            "dependent-compositep" => self.f_classpred(args, ClassPred::Dependent),
+            "component-of" => self.f_instpred(args, InstPred::Component),
+            "child-of" => self.f_instpred(args, InstPred::Child),
+            "exclusive-component-of" => self.f_instpred(args, InstPred::ExclusiveComponent),
+            "shared-component-of" => self.f_instpred(args, InstPred::SharedComponent),
+            "select" => self.f_select(args),
+            "describe" => self.f_describe(args),
+            "save-database" => self.f_save_database(args),
+            "verify-integrity" => self.f_verify(args),
+            "drop-attribute" => self.f_drop_attribute(args),
+            "add-attribute" => self.f_add_attribute(args),
+            "add-superclass" => self.f_superclass_edge(args, true),
+            "remove-superclass" => self.f_superclass_edge(args, false),
+            "drop-class" => self.f_drop_class(args),
+            "change-attribute-type" => self.f_change_attribute_type(args),
+            "create-versioned" => self.f_create_versioned(args),
+            "derive-version" => self.f_derive(args),
+            "default-version" => self.f_default_version(args),
+            "set-default-version" => self.f_set_default_version(args),
+            "resolve" => self.f_resolve(args),
+            "set" | "list" => {
+                let vals = args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
+                Ok(LangValue::List(vals))
+            }
+            other => Err(EvalError::BadForm(format!("unknown message {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn want_obj(&mut self, e: &SExpr) -> Result<Oid, EvalError> {
+        match self.eval(e)? {
+            LangValue::Obj(o) => Ok(o),
+            other => Err(EvalError::BadForm(format!("expected an object, got {other}"))),
+        }
+    }
+
+    fn want_class(&mut self, e: &SExpr) -> Result<ClassId, EvalError> {
+        match self.eval(e)? {
+            // Re-validate: the class may have been dropped since the symbol
+            // was bound.
+            LangValue::Class(c) => {
+                self.vm.db().class(c)?;
+                Ok(c)
+            }
+            LangValue::Str(s) => Ok(self.vm.db().class_by_name(&s)?),
+            other => Err(EvalError::BadForm(format!("expected a class, got {other}"))),
+        }
+    }
+
+    fn attr_name(e: &SExpr) -> Result<String, EvalError> {
+        e.as_sym()
+            .map(str::to_owned)
+            .or_else(|| match e {
+                SExpr::Str(s) => Some(s.clone()),
+                SExpr::Kw(k) => Some(k.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| EvalError::BadForm(format!("expected an attribute name, got {e}")))
+    }
+
+    fn lang_to_db(&mut self, v: LangValue) -> Result<Value, EvalError> {
+        Ok(match v {
+            LangValue::Nil => Value::Null,
+            LangValue::T => Value::Bool(true),
+            LangValue::Int(i) => Value::Int(i),
+            LangValue::Float(x) => Value::Float(x),
+            LangValue::Str(s) => Value::Str(s),
+            LangValue::Obj(o) => Value::Ref(o),
+            LangValue::Class(c) => {
+                return Err(EvalError::BadForm(format!("class {c} is not an attribute value")))
+            }
+            LangValue::List(items) => Value::Set(
+                items.into_iter().map(|i| self.lang_to_db(i)).collect::<Result<Vec<_>, _>>()?,
+            ),
+        })
+    }
+
+    fn from_db_value(v: Value) -> LangValue {
+        match v {
+            Value::Null => LangValue::Nil,
+            Value::Int(i) => LangValue::Int(i),
+            Value::Float(x) => LangValue::Float(x),
+            Value::Bool(b) => LangValue::truthy(b),
+            Value::Str(s) => LangValue::Str(s),
+            Value::Ref(o) => LangValue::Obj(o),
+            Value::Set(items) => {
+                LangValue::List(items.into_iter().map(Self::from_db_value).collect())
+            }
+        }
+    }
+
+    fn parse_domain(&mut self, e: &SExpr) -> Result<Domain, EvalError> {
+        if let Some(name) = e.as_sym() {
+            return Ok(match name {
+                "Integer" | "integer" => Domain::Integer,
+                "Float" | "float" => Domain::Float,
+                "String" | "string" => Domain::String,
+                "Boolean" | "boolean" => Domain::Boolean,
+                "Any" | "any" => Domain::Any,
+                other => Domain::Class(self.vm.db().class_by_name(other)?),
+            });
+        }
+        if let Some(list) = e.as_list() {
+            if list.len() == 2 && list[0].as_sym() == Some("set-of") {
+                return Ok(Domain::SetOf(Box::new(self.parse_domain(&list[1])?)));
+            }
+        }
+        Err(EvalError::BadForm(format!("bad domain {e}")))
+    }
+
+    // ------------------------------------------------------------------
+    // forms
+    // ------------------------------------------------------------------
+
+    fn f_define(&mut self, args: &[SExpr]) -> R {
+        let [name, value] = args else {
+            return Err(EvalError::BadForm("(define name expr)".into()));
+        };
+        let name = name
+            .as_sym()
+            .ok_or_else(|| EvalError::BadForm("define needs a symbol".into()))?
+            .to_owned();
+        let v = self.eval(value)?;
+        self.env.insert(name, v.clone());
+        Ok(v)
+    }
+
+    /// `(make-class 'Name [:superclasses (A B)|nil] [:versionable t]
+    ///   [:attributes '((AttrName :domain D :composite t :exclusive nil
+    ///                   :dependent t :init v) ...)])`
+    fn f_make_class(&mut self, args: &[SExpr]) -> R {
+        let name = args
+            .first()
+            .and_then(SExpr::as_sym)
+            .ok_or_else(|| EvalError::BadForm("(make-class 'Name ...)".into()))?
+            .to_owned();
+        let mut builder = ClassBuilder::new(&name);
+        let mut i = 1;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+            };
+            let value =
+                args.get(i + 1).ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            match kw.as_str() {
+                "superclasses" => {
+                    if !value.is_nil() {
+                        for sup in value
+                            .as_list()
+                            .ok_or_else(|| EvalError::BadForm(":superclasses needs a list".into()))?
+                        {
+                            let sup_name = sup
+                                .as_sym()
+                                .ok_or_else(|| EvalError::BadForm("superclass must be a symbol".into()))?;
+                            builder = builder.superclass(self.vm.db().class_by_name(sup_name)?);
+                        }
+                    }
+                }
+                "versionable" => {
+                    if value.is_true() {
+                        builder = builder.versionable();
+                    }
+                }
+                "attributes" | "attribute" => {
+                    let attrs = value
+                        .as_list()
+                        .ok_or_else(|| EvalError::BadForm(":attributes needs a list".into()))?;
+                    for spec in attrs {
+                        builder = builder.attr_def(self.parse_attr_spec(spec)?);
+                    }
+                }
+                other => return Err(EvalError::BadForm(format!("unknown keyword :{other}"))),
+            }
+            i += 2;
+        }
+        let id = self.vm.db_mut().define_class(builder)?;
+        self.env.insert(name, LangValue::Class(id));
+        Ok(LangValue::Class(id))
+    }
+
+    fn parse_attr_spec(&mut self, spec: &SExpr) -> Result<AttributeDef, EvalError> {
+        let list = spec
+            .as_list()
+            .ok_or_else(|| EvalError::BadForm(format!("attribute spec must be a list, got {spec}")))?;
+        let name = list
+            .first()
+            .and_then(SExpr::as_sym)
+            .ok_or_else(|| EvalError::BadForm("attribute spec needs a name".into()))?
+            .to_owned();
+        let mut domain = Domain::Any;
+        let mut composite = false;
+        // §2.3: "The default value for both the exclusive and dependent
+        // keywords is True."
+        let mut exclusive = true;
+        let mut dependent = true;
+        let mut init = Value::Null;
+        let mut i = 1;
+        while i < list.len() {
+            let SExpr::Kw(kw) = &list[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword in attribute spec, got {}", list[i])));
+            };
+            let value = list
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            match kw.as_str() {
+                "domain" => domain = self.parse_domain(value)?,
+                "composite" => composite = value.is_true(),
+                "exclusive" => exclusive = value.is_true(),
+                "dependent" => dependent = value.is_true(),
+                "init" => {
+                    let v = self.eval(value)?;
+                    init = self.lang_to_db(v)?;
+                }
+                other => return Err(EvalError::BadForm(format!("unknown keyword :{other}"))),
+            }
+            i += 2;
+        }
+        let mut def = if composite {
+            AttributeDef::composite(name, domain, CompositeSpec { exclusive, dependent })
+        } else {
+            AttributeDef::plain(name, domain)
+        };
+        def.init = init;
+        Ok(def)
+    }
+
+    /// `(make Class [:parent ((p attr) ...)] :Attr value ...)`
+    fn f_make(&mut self, args: &[SExpr]) -> R {
+        let class = self.want_class(args.first().ok_or_else(|| {
+            EvalError::BadForm("(make Class ...)".into())
+        })?)?;
+        let mut parents: Vec<(Oid, String)> = Vec::new();
+        let mut values: Vec<(String, Value)> = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            if kw == "parent" {
+                let pairs = value
+                    .as_list()
+                    .ok_or_else(|| EvalError::BadForm(":parent needs a list of (obj attr)".into()))?
+                    .to_vec();
+                for pair in pairs {
+                    let pl = pair
+                        .as_list()
+                        .ok_or_else(|| EvalError::BadForm(":parent entries are (obj attr)".into()))?;
+                    let [pobj, pattr] = pl else {
+                        return Err(EvalError::BadForm(":parent entries are (obj attr)".into()));
+                    };
+                    let o = self.want_obj(pobj)?;
+                    parents.push((o, Self::attr_name(pattr)?));
+                }
+            } else {
+                let v = self.eval(value)?;
+                values.push((kw.clone(), self.lang_to_db(v)?));
+            }
+            i += 2;
+        }
+        let value_refs: Vec<(&str, Value)> =
+            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let parent_refs: Vec<(Oid, &str)> =
+            parents.iter().map(|(o, a)| (*o, a.as_str())).collect();
+        let oid = self.vm.db_mut().make(class, value_refs, parent_refs)?;
+        Ok(LangValue::Obj(oid))
+    }
+
+    fn f_get(&mut self, args: &[SExpr]) -> R {
+        let [obj, attr] = args else {
+            return Err(EvalError::BadForm("(get obj attr)".into()));
+        };
+        let o = self.want_obj(obj)?;
+        let a = Self::attr_name(attr)?;
+        Ok(Self::from_db_value(self.vm.db_mut().get_attr(o, &a)?))
+    }
+
+    fn f_set(&mut self, args: &[SExpr]) -> R {
+        let [obj, attr, value] = args else {
+            return Err(EvalError::BadForm("(set! obj attr value)".into()));
+        };
+        let o = self.want_obj(obj)?;
+        let a = Self::attr_name(attr)?;
+        let v = self.eval(value)?;
+        let dv = self.lang_to_db(v)?;
+        self.vm.db_mut().set_attr(o, &a, dv)?;
+        Ok(LangValue::Obj(o))
+    }
+
+    fn f_delete(&mut self, args: &[SExpr]) -> R {
+        let [obj] = args else {
+            return Err(EvalError::BadForm("(delete obj)".into()));
+        };
+        let o = self.want_obj(obj)?;
+        let deleted = self.vm.db_mut().delete(o)?;
+        Ok(LangValue::List(deleted.into_iter().map(LangValue::Obj).collect()))
+    }
+
+    fn f_instances_of(&mut self, args: &[SExpr]) -> R {
+        let class = self.want_class(args.first().ok_or_else(|| {
+            EvalError::BadForm("(instances-of Class)".into())
+        })?)?;
+        let deep = args.get(1).map(|e| e.is_true()).unwrap_or(true);
+        Ok(LangValue::List(
+            self.vm.db().instances_of(class, deep).into_iter().map(LangValue::Obj).collect(),
+        ))
+    }
+
+    fn f_make_component(&mut self, args: &[SExpr]) -> R {
+        let [child, parent, attr] = args else {
+            return Err(EvalError::BadForm("(make-component child parent attr)".into()));
+        };
+        let c = self.want_obj(child)?;
+        let p = self.want_obj(parent)?;
+        let a = Self::attr_name(attr)?;
+        self.vm.db_mut().make_component(c, p, &a)?;
+        Ok(LangValue::T)
+    }
+
+    fn f_remove_component(&mut self, args: &[SExpr]) -> R {
+        let [child, parent, attr] = args else {
+            return Err(EvalError::BadForm("(remove-component child parent attr)".into()));
+        };
+        let c = self.want_obj(child)?;
+        let p = self.want_obj(parent)?;
+        let a = Self::attr_name(attr)?;
+        self.vm.db_mut().remove_component(c, p, &a)?;
+        Ok(LangValue::T)
+    }
+
+    fn f_traverse(&mut self, args: &[SExpr], which: Traverse) -> R {
+        let obj = self.want_obj(args.first().ok_or_else(|| {
+            EvalError::BadForm("traversal needs an object".into())
+        })?)?;
+        let mut filter = Filter::all();
+        let mut i = 1;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            match kw.as_str() {
+                "classes" => {
+                    let classes = value
+                        .as_list()
+                        .ok_or_else(|| EvalError::BadForm(":classes needs a list".into()))?
+                        .iter()
+                        .map(|e| self.want_class(e))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    filter = filter.classes(classes);
+                }
+                "exclusive" => {
+                    if value.is_true() {
+                        filter = filter.exclusive();
+                    }
+                }
+                "shared" => {
+                    if value.is_true() {
+                        filter = filter.shared();
+                    }
+                }
+                "level" => {
+                    if let SExpr::Int(n) = value {
+                        filter = filter.level(*n as usize);
+                    } else {
+                        return Err(EvalError::BadForm(":level needs an integer".into()));
+                    }
+                }
+                other => return Err(EvalError::BadForm(format!("unknown keyword :{other}"))),
+            }
+            i += 2;
+        }
+        let db = self.vm.db_mut();
+        let out = match which {
+            Traverse::Components => db.components_of(obj, &filter)?,
+            Traverse::Parents => db.parents_of(obj, &filter)?,
+            Traverse::Ancestors => db.ancestors_of(obj, &filter)?,
+        };
+        Ok(LangValue::List(out.into_iter().map(LangValue::Obj).collect()))
+    }
+
+    fn f_classpred(&mut self, args: &[SExpr], which: ClassPred) -> R {
+        let class = self.want_class(args.first().ok_or_else(|| {
+            EvalError::BadForm("predicate needs a class".into())
+        })?)?;
+        let attr = args.get(1).map(Self::attr_name).transpose()?;
+        let db = self.vm.db();
+        let b = match which {
+            ClassPred::Composite => db.compositep(class, attr.as_deref())?,
+            ClassPred::Exclusive => db.exclusive_compositep(class, attr.as_deref())?,
+            ClassPred::Shared => db.shared_compositep(class, attr.as_deref())?,
+            ClassPred::Dependent => db.dependent_compositep(class, attr.as_deref())?,
+        };
+        Ok(LangValue::truthy(b))
+    }
+
+    fn f_instpred(&mut self, args: &[SExpr], which: InstPred) -> R {
+        let [o1, o2] = args else {
+            return Err(EvalError::BadForm("instance predicate needs two objects".into()));
+        };
+        let a = self.want_obj(o1)?;
+        let b = self.want_obj(o2)?;
+        let db = self.vm.db_mut();
+        let r = match which {
+            InstPred::Component => db.component_of(a, b)?,
+            InstPred::Child => db.child_of(a, b)?,
+            InstPred::ExclusiveComponent => db.exclusive_component_of(a, b)?,
+            InstPred::SharedComponent => db.shared_component_of(a, b)?,
+        };
+        Ok(LangValue::truthy(r))
+    }
+
+    /// `(select Class [:where pred] [:limit n] [:shallow t])` — associative
+    /// queries over a class extension. Predicates:
+    /// `(= attr v)`, `(!= attr v)`, `(< attr v)`, `(> attr v)`,
+    /// `(references attr obj)`, `(component-of obj)`,
+    /// `(has-composite-parent)`, `(has-component-of Class)`,
+    /// `(and p ...)`, `(or p ...)`, `(not p)`.
+    fn f_select(&mut self, args: &[SExpr]) -> R {
+        use corion_core::query::Query;
+        let class = self.want_class(args.first().ok_or_else(|| {
+            EvalError::BadForm("(select Class [:where pred] ...)".into())
+        })?)?;
+        let mut q = Query::over(class);
+        let mut i = 1;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            match kw.as_str() {
+                "where" => q = q.filter(self.parse_predicate(value)?),
+                "limit" => {
+                    let SExpr::Int(n) = value else {
+                        return Err(EvalError::BadForm(":limit needs an integer".into()));
+                    };
+                    q = q.limit(*n as usize);
+                }
+                "shallow" => {
+                    if value.is_true() {
+                        q = q.shallow();
+                    }
+                }
+                other => return Err(EvalError::BadForm(format!("unknown keyword :{other}"))),
+            }
+            i += 2;
+        }
+        let out = q.run(self.vm.db_mut())?;
+        Ok(LangValue::List(out.into_iter().map(LangValue::Obj).collect()))
+    }
+
+    fn parse_predicate(&mut self, e: &SExpr) -> Result<corion_core::query::Predicate, EvalError> {
+        use corion_core::query::Predicate as P;
+        let list = e
+            .as_list()
+            .ok_or_else(|| EvalError::BadForm(format!("predicate must be a list, got {e}")))?;
+        let head = list
+            .first()
+            .and_then(SExpr::as_sym)
+            .ok_or_else(|| EvalError::BadForm("predicate needs an operator".into()))?;
+        let rest = &list[1..];
+        Ok(match head {
+            "=" | "!=" | "<" | ">" => {
+                let [attr, value] = rest else {
+                    return Err(EvalError::BadForm(format!("({head} attr value)")));
+                };
+                let attr = Self::attr_name(attr)?;
+                let v = self.eval(value)?;
+                let v = self.lang_to_db(v)?;
+                match head {
+                    "=" => P::eq(attr, v),
+                    "!=" => P::ne(attr, v),
+                    "<" => P::lt(attr, v),
+                    _ => P::gt(attr, v),
+                }
+            }
+            "references" => {
+                let [attr, obj] = rest else {
+                    return Err(EvalError::BadForm("(references attr obj)".into()));
+                };
+                P::References(Self::attr_name(attr)?, self.want_obj(obj)?)
+            }
+            "component-of" => {
+                let [obj] = rest else {
+                    return Err(EvalError::BadForm("(component-of obj)".into()));
+                };
+                P::ComponentOf(self.want_obj(obj)?)
+            }
+            "has-composite-parent" => P::HasCompositeParent,
+            "has-component-of" => {
+                let [class] = rest else {
+                    return Err(EvalError::BadForm("(has-component-of Class)".into()));
+                };
+                P::HasComponentOfClass(self.want_class(class)?)
+            }
+            "and" => P::And(rest.iter().map(|p| self.parse_predicate(p)).collect::<Result<_, _>>()?),
+            "or" => P::Or(rest.iter().map(|p| self.parse_predicate(p)).collect::<Result<_, _>>()?),
+            "not" => {
+                let [p] = rest else {
+                    return Err(EvalError::BadForm("(not pred)".into()));
+                };
+                self.parse_predicate(p)?.not()
+            }
+            other => return Err(EvalError::BadForm(format!("unknown predicate {other}"))),
+        })
+    }
+
+    /// `(describe Class)` — regenerates the §2.3 `make-class` form for a
+    /// class from the live catalog (a pretty-printer for schemas).
+    fn f_describe(&mut self, args: &[SExpr]) -> R {
+        let [class] = args else {
+            return Err(EvalError::BadForm("(describe Class)".into()));
+        };
+        let c = self.want_class(class)?;
+        let def = self.vm.db().class(c).map_err(EvalError::Db)?.clone();
+        let mut out = format!("(make-class '{}", def.name);
+        if !def.superclasses.is_empty() {
+            out.push_str(" :superclasses (");
+            for (i, s) in def.superclasses.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(
+                    &self.vm.db().class(*s).map(|c| c.name.clone()).unwrap_or_else(|_| s.to_string()),
+                );
+            }
+            out.push(')');
+        }
+        if def.versionable {
+            out.push_str(" :versionable t");
+        }
+        if !def.attrs.is_empty() {
+            out.push_str("\n  :attributes (");
+            for a in &def.attrs {
+                out.push_str(&format!("\n    ({} :domain {}", a.name, self.describe_domain(&a.domain)));
+                if let Some(spec) = a.composite {
+                    out.push_str(&format!(
+                        " :composite t :exclusive {} :dependent {}",
+                        if spec.exclusive { "t" } else { "nil" },
+                        if spec.dependent { "t" } else { "nil" }
+                    ));
+                }
+                if a.inherited_from.is_some() {
+                    out.push_str(" ; inherited");
+                }
+                out.push(')');
+            }
+            out.push(')');
+        }
+        out.push(')');
+        Ok(LangValue::Str(out))
+    }
+
+    fn describe_domain(&self, d: &Domain) -> String {
+        match d {
+            Domain::Integer => "Integer".into(),
+            Domain::Float => "Float".into(),
+            Domain::Boolean => "Boolean".into(),
+            Domain::String => "String".into(),
+            Domain::Any => "Any".into(),
+            Domain::Class(c) => self
+                .vm
+                .db()
+                .class(*c)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|_| c.to_string()),
+            Domain::SetOf(inner) => format!("(set-of {})", self.describe_domain(inner)),
+        }
+    }
+
+    /// `(save-database "path")` — dumps the database image to a file.
+    fn f_save_database(&mut self, args: &[SExpr]) -> R {
+        let [path] = args else {
+            return Err(EvalError::BadForm("(save-database \"path\")".into()));
+        };
+        let LangValue::Str(path) = self.eval(path)? else {
+            return Err(EvalError::BadForm("path must be a string".into()));
+        };
+        self.vm.db_mut().save_to_file(&path)?;
+        Ok(LangValue::T)
+    }
+
+    /// `(verify-integrity)` — runs the whole-database audit.
+    fn f_verify(&mut self, args: &[SExpr]) -> R {
+        if !args.is_empty() {
+            return Err(EvalError::BadForm("(verify-integrity)".into()));
+        }
+        let report = self.vm.db_mut().verify_integrity()?;
+        Ok(LangValue::List(vec![
+            LangValue::Int(report.objects as i64),
+            LangValue::Int(report.composite_edges as i64),
+            LangValue::Int(report.weak_refs as i64),
+        ]))
+    }
+
+    // ------------------------------------------------------------------
+    // schema evolution messages (§4)
+    // ------------------------------------------------------------------
+
+    /// `(drop-attribute Class AttrName)` — §4.1 (1).
+    fn f_drop_attribute(&mut self, args: &[SExpr]) -> R {
+        let [class, attr] = args else {
+            return Err(EvalError::BadForm("(drop-attribute Class attr)".into()));
+        };
+        let c = self.want_class(class)?;
+        let a = Self::attr_name(attr)?;
+        self.vm.db_mut().drop_attribute(c, &a)?;
+        Ok(LangValue::T)
+    }
+
+    /// `(add-attribute Class (Name :domain D [:composite ...] [:init v]))`.
+    fn f_add_attribute(&mut self, args: &[SExpr]) -> R {
+        let [class, spec] = args else {
+            return Err(EvalError::BadForm("(add-attribute Class (Name :domain D ...))".into()));
+        };
+        let c = self.want_class(class)?;
+        let def = self.parse_attr_spec(spec)?;
+        self.vm.db_mut().add_attribute(c, def)?;
+        Ok(LangValue::T)
+    }
+
+    /// `(add-superclass Class Super)` / `(remove-superclass Class Super)` —
+    /// §4.1 (3).
+    fn f_superclass_edge(&mut self, args: &[SExpr], add: bool) -> R {
+        let [class, sup] = args else {
+            return Err(EvalError::BadForm("(add/remove-superclass Class Super)".into()));
+        };
+        let c = self.want_class(class)?;
+        let s = self.want_class(sup)?;
+        if add {
+            self.vm.db_mut().add_superclass(c, s)?;
+        } else {
+            self.vm.db_mut().remove_superclass(c, s)?;
+        }
+        Ok(LangValue::T)
+    }
+
+    /// `(drop-class Class)` — §4.1 (4).
+    fn f_drop_class(&mut self, args: &[SExpr]) -> R {
+        let [class] = args else {
+            return Err(EvalError::BadForm("(drop-class Class)".into()));
+        };
+        let c = self.want_class(class)?;
+        self.vm.db_mut().drop_class(c)?;
+        Ok(LangValue::T)
+    }
+
+    /// `(change-attribute-type Class attr Change [:deferred t])` — §4.2.
+    /// Change is one of: to-non-composite, exclusive-to-shared,
+    /// to-independent, to-dependent, weak-to-exclusive, weak-to-shared,
+    /// shared-to-exclusive; the weak-to-* forms accept `:dependent t/nil`.
+    fn f_change_attribute_type(&mut self, args: &[SExpr]) -> R {
+        use corion_core::evolution::{AttrTypeChange, Maintenance};
+        if args.len() < 3 {
+            return Err(EvalError::BadForm(
+                "(change-attribute-type Class attr change [:deferred t] [:dependent t])".into(),
+            ));
+        }
+        let c = self.want_class(&args[0])?;
+        let a = Self::attr_name(&args[1])?;
+        let change_name = args[2]
+            .as_sym()
+            .ok_or_else(|| EvalError::BadForm("change must be a symbol".into()))?;
+        let mut deferred = false;
+        let mut dependent = true;
+        let mut i = 3;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            match kw.as_str() {
+                "deferred" => deferred = value.is_true(),
+                "dependent" => dependent = value.is_true(),
+                other => return Err(EvalError::BadForm(format!("unknown keyword :{other}"))),
+            }
+            i += 2;
+        }
+        let change = match change_name {
+            "to-non-composite" => AttrTypeChange::ToNonComposite,
+            "exclusive-to-shared" => AttrTypeChange::ExclusiveToShared,
+            "to-independent" => AttrTypeChange::ToIndependent,
+            "to-dependent" => AttrTypeChange::ToDependent,
+            "weak-to-exclusive" => AttrTypeChange::WeakToExclusive { dependent },
+            "weak-to-shared" => AttrTypeChange::WeakToShared { dependent },
+            "shared-to-exclusive" => AttrTypeChange::SharedToExclusive,
+            other => return Err(EvalError::BadForm(format!("unknown change {other}"))),
+        };
+        let maintenance = if deferred { Maintenance::Deferred } else { Maintenance::Immediate };
+        self.vm.db_mut().change_attribute_type(c, &a, change, maintenance)?;
+        Ok(LangValue::T)
+    }
+
+    fn f_create_versioned(&mut self, args: &[SExpr]) -> R {
+        let class = self.want_class(args.first().ok_or_else(|| {
+            EvalError::BadForm("(create-versioned Class :Attr v ...)".into())
+        })?)?;
+        let mut values: Vec<(String, Value)> = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            let SExpr::Kw(kw) = &args[i] else {
+                return Err(EvalError::BadForm("expected keyword".into()));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            let v = self.eval(value)?;
+            values.push((kw.clone(), self.lang_to_db(v)?));
+            i += 2;
+        }
+        let value_refs: Vec<(&str, Value)> =
+            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let (generic, v1) = self.vm.create(class, value_refs)?;
+        Ok(LangValue::List(vec![LangValue::Obj(generic), LangValue::Obj(v1)]))
+    }
+
+    fn f_derive(&mut self, args: &[SExpr]) -> R {
+        let [from] = args else {
+            return Err(EvalError::BadForm("(derive-version v)".into()));
+        };
+        let v = self.want_obj(from)?;
+        Ok(LangValue::Obj(self.vm.derive(v)?))
+    }
+
+    fn f_default_version(&mut self, args: &[SExpr]) -> R {
+        let [g] = args else {
+            return Err(EvalError::BadForm("(default-version g)".into()));
+        };
+        let g = self.want_obj(g)?;
+        Ok(LangValue::Obj(self.vm.default_version(g)?))
+    }
+
+    fn f_set_default_version(&mut self, args: &[SExpr]) -> R {
+        let [g, v] = args else {
+            return Err(EvalError::BadForm("(set-default-version g v)".into()));
+        };
+        let g = self.want_obj(g)?;
+        let v = self.want_obj(v)?;
+        self.vm.set_default_version(g, v)?;
+        Ok(LangValue::T)
+    }
+
+    fn f_resolve(&mut self, args: &[SExpr]) -> R {
+        let [o] = args else {
+            return Err(EvalError::BadForm("(resolve o)".into()));
+        };
+        let o = self.want_obj(o)?;
+        Ok(LangValue::Obj(self.vm.resolve(o)?))
+    }
+}
+
+enum Traverse {
+    Components,
+    Parents,
+    Ancestors,
+}
+
+enum ClassPred {
+    Composite,
+    Exclusive,
+    Shared,
+    Dependent,
+}
+
+enum InstPred {
+    Component,
+    Child,
+    ExclusiveComponent,
+    SharedComponent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interp_with_vehicle() -> Interpreter {
+        let mut it = Interpreter::new();
+        // The paper's Example 1 (§2.3), verbatim modulo reader syntax.
+        it.eval_str(
+            r#"
+            (make-class 'Company)
+            (make-class 'AutoBody)
+            (make-class 'AutoDrivetrain)
+            (make-class 'AutoTires)
+            (make-class 'Vehicle :superclasses nil
+              :attributes ((Manufacturer :domain Company)
+                           (Body :domain AutoBody
+                                 :composite t :exclusive t :dependent nil)
+                           (Drivetrain :domain AutoDrivetrain
+                                 :composite t :exclusive t :dependent nil)
+                           (Tires :domain (set-of AutoTires)
+                                 :composite t :exclusive t :dependent nil)
+                           (Color :domain String)))
+            "#,
+        )
+        .unwrap();
+        it
+    }
+
+    #[test]
+    fn example1_vehicle_class_definition() {
+        let it = interp_with_vehicle();
+        let vehicle = it.db().class_by_name("Vehicle").unwrap();
+        assert!(it.db().compositep(vehicle, Some("Body")).unwrap());
+        assert!(it.db().exclusive_compositep(vehicle, Some("Body")).unwrap());
+        assert!(!it.db().dependent_compositep(vehicle, Some("Body")).unwrap());
+        assert!(!it.db().compositep(vehicle, Some("Color")).unwrap());
+    }
+
+    #[test]
+    fn make_with_components_and_traversals() {
+        let mut it = interp_with_vehicle();
+        let out = it
+            .eval_str(
+                r#"
+                (define b (make AutoBody))
+                (define d (make AutoDrivetrain))
+                (define v (make Vehicle :Body b :Drivetrain d :Color "red"))
+                (components-of v)
+                "#,
+            )
+            .unwrap();
+        let LangValue::List(comps) = out else { panic!("expected list") };
+        assert_eq!(comps.len(), 2);
+        assert_eq!(it.eval_str("(child-of b v)").unwrap(), LangValue::T);
+        assert_eq!(it.eval_str("(exclusive-component-of b v)").unwrap(), LangValue::T);
+        assert_eq!(it.eval_str("(shared-component-of b v)").unwrap(), LangValue::Nil);
+        assert_eq!(it.eval_str("(get v Color)").unwrap(), LangValue::Str("red".into()));
+    }
+
+    #[test]
+    fn parent_clause_in_make() {
+        let mut it = interp_with_vehicle();
+        it.eval_str("(define v (make Vehicle))").unwrap();
+        it.eval_str("(define b (make AutoBody :parent ((v Body))))").unwrap();
+        assert_eq!(it.eval_str("(child-of b v)").unwrap(), LangValue::T);
+    }
+
+    #[test]
+    fn defaults_for_exclusive_and_dependent_are_true() {
+        // §2.3: omitted :exclusive/:dependent default to True.
+        let mut it = Interpreter::new();
+        it.eval_str(
+            "(make-class 'Leaf) (make-class 'Node :attributes ((kid :domain Leaf :composite t)))",
+        )
+        .unwrap();
+        let node = it.db().class_by_name("Node").unwrap();
+        assert!(it.db().exclusive_compositep(node, Some("kid")).unwrap());
+        assert!(it.db().dependent_compositep(node, Some("kid")).unwrap());
+    }
+
+    #[test]
+    fn delete_cascades_are_reported() {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            "(make-class 'Leaf) (make-class 'Node :attributes ((kid :domain Leaf :composite t)))",
+        )
+        .unwrap();
+        let out = it
+            .eval_str(
+                "(define l (make Leaf)) (define n (make Node :kid l)) (delete n)",
+            )
+            .unwrap();
+        let LangValue::List(deleted) = out else { panic!() };
+        assert_eq!(deleted.len(), 2, "dependent exclusive child cascades");
+    }
+
+    #[test]
+    fn set_bang_maintains_composite_semantics() {
+        let mut it = interp_with_vehicle();
+        it.eval_str("(define v (make Vehicle)) (define b (make AutoBody))").unwrap();
+        it.eval_str("(set! v Body b)").unwrap();
+        assert_eq!(it.eval_str("(component-of b v)").unwrap(), LangValue::T);
+        it.eval_str("(set! v Body nil)").unwrap();
+        assert_eq!(it.eval_str("(component-of b v)").unwrap(), LangValue::Nil);
+        // Independent exclusive: b survives the dismantling for reuse.
+        assert_eq!(it.eval_str("(instances-of AutoBody)").unwrap(),
+            LangValue::List(vec![it.eval_str("b").unwrap()]));
+    }
+
+    #[test]
+    fn versioned_objects_through_the_language() {
+        let mut it = Interpreter::new();
+        it.eval_str("(make-class 'Design :versionable t :attributes ((name :domain String)))")
+            .unwrap();
+        it.eval_str(r#"(define gv (create-versioned Design :name "d0"))"#).unwrap();
+        let LangValue::List(pair) = it.eval_str("gv").unwrap() else { panic!() };
+        assert_eq!(pair.len(), 2);
+        // Bind the pieces and derive.
+        it.env.insert("g".into(), pair[0].clone());
+        it.env.insert("v1".into(), pair[1].clone());
+        it.eval_str("(define v2 (derive-version v1))").unwrap();
+        assert_eq!(it.eval_str("(default-version g)").unwrap(), it.eval_str("v2").unwrap());
+        it.eval_str("(set-default-version g v1)").unwrap();
+        assert_eq!(it.eval_str("(resolve g)").unwrap(), it.eval_str("v1").unwrap());
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let mut it = Interpreter::new();
+        assert!(matches!(it.eval_str("(frobnicate 1)"), Err(EvalError::BadForm(_))));
+        assert!(matches!(it.eval_str("unknown-sym"), Err(EvalError::Unbound(_))));
+        assert!(matches!(it.eval_str("(make NoSuchClass)"), Err(EvalError::Unbound(_))));
+        it.eval_str("(make-class 'C)").unwrap();
+        assert!(matches!(it.eval_str("(make C :nope 1)"), Err(EvalError::Db(_))));
+        assert!(matches!(it.eval_str("(define)"), Err(EvalError::BadForm(_))));
+    }
+
+    #[test]
+    fn filters_in_components_of() {
+        let mut it = interp_with_vehicle();
+        it.eval_str(
+            r#"
+            (define b (make AutoBody))
+            (define t1 (make AutoTires))
+            (define v (make Vehicle :Body b :Tires (set t1)))
+            "#,
+        )
+        .unwrap();
+        let out = it.eval_str("(components-of v :classes (AutoTires))").unwrap();
+        let LangValue::List(comps) = out else { panic!() };
+        assert_eq!(comps.len(), 1);
+        let out = it.eval_str("(components-of v :level 1)").unwrap();
+        let LangValue::List(comps) = out else { panic!() };
+        assert_eq!(comps.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod evolution_message_tests {
+    use super::*;
+
+    fn world() -> Interpreter {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            r#"
+            (make-class 'Item)
+            (make-class 'Holder
+              :attributes ((slot :domain Item :composite t :exclusive t :dependent t)
+                           (tag  :domain String)))
+            (define i (make Item))
+            (define h (make Holder :slot i :tag "x"))
+            "#,
+        )
+        .unwrap();
+        it
+    }
+
+    #[test]
+    fn change_attribute_type_messages() {
+        let mut it = world();
+        it.eval_str("(change-attribute-type Holder slot exclusive-to-shared)").unwrap();
+        assert_eq!(it.eval_str("(shared-compositep Holder slot)").unwrap(), LangValue::T);
+        it.eval_str("(change-attribute-type Holder slot to-independent :deferred t)").unwrap();
+        assert_eq!(it.eval_str("(dependent-compositep Holder slot)").unwrap(), LangValue::Nil);
+        it.eval_str("(change-attribute-type Holder slot shared-to-exclusive)").unwrap();
+        assert_eq!(it.eval_str("(exclusive-compositep Holder slot)").unwrap(), LangValue::T);
+        assert!(it.eval_str("(change-attribute-type Holder slot frobnicate)").is_err());
+    }
+
+    #[test]
+    fn drop_and_add_attribute_messages() {
+        let mut it = world();
+        it.eval_str("(drop-attribute Holder slot)").unwrap();
+        assert!(it.eval_str("(get h slot)").is_err());
+        // The dependent target cascaded away with the attribute.
+        assert!(it.eval_str("(parents-of i)").is_err());
+        it.eval_str("(add-attribute Holder (rank :domain Integer :init 5))").unwrap();
+        assert_eq!(it.eval_str("(get h rank)").unwrap(), LangValue::Int(5));
+    }
+
+    #[test]
+    fn superclass_and_drop_class_messages() {
+        let mut it = world();
+        it.eval_str("(make-class 'Base :attributes ((extra :domain Integer)))").unwrap();
+        it.eval_str("(add-superclass Holder Base)").unwrap();
+        assert_eq!(it.eval_str("(get h extra)").unwrap(), LangValue::Nil);
+        it.eval_str("(remove-superclass Holder Base)").unwrap();
+        assert!(it.eval_str("(get h extra)").is_err());
+        it.eval_str("(drop-class Holder)").unwrap();
+        assert!(it.eval_str("(instances-of Holder)").is_err());
+    }
+
+    #[test]
+    fn weak_to_composite_message_with_dependence() {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            r#"
+            (make-class 'Item)
+            (make-class 'Holder :attributes ((w :domain Item)))
+            (define i (make Item))
+            (define h (make Holder :w i))
+            (change-attribute-type Holder w weak-to-shared :dependent nil)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(it.eval_str("(shared-compositep Holder w)").unwrap(), LangValue::T);
+        assert_eq!(it.eval_str("(dependent-compositep Holder w)").unwrap(), LangValue::Nil);
+        assert_eq!(it.eval_str("(component-of i h)").unwrap(), LangValue::T);
+    }
+}
+
+#[cfg(test)]
+mod describe_tests {
+    use super::*;
+
+    #[test]
+    fn describe_regenerates_make_class_shape() {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            r#"
+            (make-class 'AutoBody)
+            (make-class 'Vehicle
+              :attributes ((Body :domain AutoBody :composite t :exclusive t :dependent nil)
+                           (Color :domain String)))
+            "#,
+        )
+        .unwrap();
+        let LangValue::Str(s) = it.eval_str("(describe Vehicle)").unwrap() else { panic!() };
+        assert!(s.contains("(make-class 'Vehicle"));
+        assert!(s.contains("(Body :domain AutoBody :composite t :exclusive t :dependent nil)"));
+        assert!(s.contains("(Color :domain String)"));
+    }
+
+    #[test]
+    fn describe_marks_inherited_attributes_and_supers() {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            "(make-class 'Base :attributes ((x :domain Integer)))
+             (make-class 'Derived :superclasses (Base) :versionable t)",
+        )
+        .unwrap();
+        let LangValue::Str(s) = it.eval_str("(describe Derived)").unwrap() else { panic!() };
+        assert!(s.contains(":superclasses (Base)"));
+        assert!(s.contains(":versionable t"));
+        assert!(s.contains("; inherited"));
+    }
+
+    #[test]
+    fn verify_integrity_message_reports_census() {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            "(make-class 'Leaf)
+             (make-class 'Node :attributes ((kid :domain Leaf :composite t)))
+             (define l (make Leaf)) (define n (make Node :kid l))",
+        )
+        .unwrap();
+        assert_eq!(
+            it.eval_str("(verify-integrity)").unwrap(),
+            LangValue::List(vec![LangValue::Int(2), LangValue::Int(1), LangValue::Int(0)])
+        );
+    }
+
+    #[test]
+    fn save_database_writes_a_loadable_image() {
+        let mut it = Interpreter::new();
+        it.eval_str("(make-class 'Leaf) (define l (make Leaf))").unwrap();
+        let dir = std::env::temp_dir().join(format!("corion_lang_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repl.corion");
+        it.eval_str(&format!("(save-database {:?})", path.to_str().unwrap())).unwrap();
+        let mut back =
+            Database::load_from_file(&path, corion_core::DbConfig::default()).unwrap();
+        assert_eq!(back.object_count(), 1);
+        back.verify_integrity().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod select_tests {
+    use super::*;
+
+    fn world() -> Interpreter {
+        let mut it = Interpreter::new();
+        it.eval_str(
+            r#"
+            (make-class 'Part :attributes ((n :domain Integer) (tag :domain String)))
+            (make-class 'Asm
+              :attributes ((parts :domain (set-of Part)
+                                  :composite t :exclusive nil :dependent nil)))
+            (define p0 (make Part :n 0 :tag "even"))
+            (define p1 (make Part :n 1 :tag "odd"))
+            (define p2 (make Part :n 2 :tag "even"))
+            (define p3 (make Part :n 3 :tag "odd"))
+            (define a (make Asm :parts (set p0 p1)))
+            "#,
+        )
+        .unwrap();
+        it
+    }
+
+    #[test]
+    fn select_with_comparisons_and_combinators() {
+        let mut it = world();
+        let LangValue::List(r) = it.eval_str("(select Part :where (> n 1))").unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+        let LangValue::List(r) = it
+            .eval_str(r#"(select Part :where (and (= tag "even") (< n 2)))"#)
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 1);
+        let LangValue::List(r) =
+            it.eval_str("(select Part :where (or (= n 0) (= n 3)) :limit 1)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_with_composite_predicates() {
+        let mut it = world();
+        let LangValue::List(r) =
+            it.eval_str("(select Part :where (component-of a))").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+        let LangValue::List(r) =
+            it.eval_str("(select Part :where (not (has-composite-parent)))").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2, "p2 and p3 are free");
+        let LangValue::List(r) =
+            it.eval_str("(select Asm :where (has-component-of Part))").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 1);
+        let LangValue::List(r) =
+            it.eval_str("(select Asm :where (references parts p0))").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_errors_are_reported() {
+        let mut it = world();
+        assert!(it.eval_str("(select Part :where (= missing 1))").is_err());
+        assert!(it.eval_str("(select Part :where (frob n 1))").is_err());
+        assert!(it.eval_str("(select Part :limit x)").is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Tokeniser for the ORION message syntax.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `'`
+    Quote,
+    /// `:keyword`
+    Keyword(String),
+    /// A bare symbol.
+    Symbol(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Quote => write!(f, "'"),
+            Token::Keyword(k) => write!(f, ":{k}"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Lexer errors, with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A string literal was not closed before end of input.
+    UnterminatedString {
+        /// Offset of the opening quote.
+        start: usize,
+    },
+    /// An unexpected character.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Its byte offset.
+        at: usize,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedString { start } => {
+                write!(f, "unterminated string starting at byte {start}")
+            }
+            LexError::UnexpectedChar { ch, at } => {
+                write!(f, "unexpected character {ch:?} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_alphanumeric() || "-_!?*+/<>=.".contains(c)
+}
+
+/// Tokenises `input`; `;` starts a comment to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (at, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' => {
+                while i < chars.len() && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '\'' => {
+                out.push(Token::Quote);
+                i += 1;
+            }
+            '"' => {
+                let start = at;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError::UnterminatedString { start });
+                    }
+                    let (_, c) = chars[i];
+                    i += 1;
+                    match c {
+                        '"' => break,
+                        '\\' if i < chars.len() => {
+                            let (_, esc) = chars[i];
+                            i += 1;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            ':' => {
+                i += 1;
+                let mut s = String::new();
+                while i < chars.len() && is_symbol_char(chars[i].1) {
+                    s.push(chars[i].1);
+                    i += 1;
+                }
+                if s.is_empty() {
+                    return Err(LexError::UnexpectedChar { ch: ':', at });
+                }
+                out.push(Token::Keyword(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && i + 1 < chars.len()
+                    && chars[i + 1].1.is_ascii_digit()) =>
+            {
+                let mut s = String::new();
+                s.push(c);
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].1.is_ascii_digit() || chars[i].1 == '.')
+                {
+                    if chars[i].1 == '.' {
+                        is_float = true;
+                    }
+                    s.push(chars[i].1);
+                    i += 1;
+                }
+                if is_float {
+                    out.push(Token::Float(s.parse().map_err(|_| LexError::UnexpectedChar {
+                        ch: '.',
+                        at,
+                    })?));
+                } else {
+                    out.push(Token::Int(s.parse().map_err(|_| LexError::UnexpectedChar {
+                        ch: c,
+                        at,
+                    })?));
+                }
+            }
+            c if is_symbol_char(c) => {
+                let mut s = String::new();
+                while i < chars.len() && is_symbol_char(chars[i].1) {
+                    s.push(chars[i].1);
+                    i += 1;
+                }
+                out.push(Token::Symbol(s));
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, at }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_make_class_shape() {
+        let toks = lex("(make-class 'Vehicle :superclasses nil)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Symbol("make-class".into()),
+                Token::Quote,
+                Token::Symbol("Vehicle".into()),
+                Token::Keyword("superclasses".into()),
+                Token::Symbol("nil".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_strings_comments() {
+        let toks = lex("42 -7 3.5 \"hi \\\"x\\\"\" ; comment\n next").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Str("hi \"x\"".into()),
+                Token::Symbol("next".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(lex("\"open"), Err(LexError::UnterminatedString { start: 0 })));
+        assert!(matches!(lex("a § b"), Err(LexError::UnexpectedChar { ch: '§', .. })));
+        assert!(matches!(lex(": x"), Err(LexError::UnexpectedChar { ch: ':', .. })));
+    }
+
+    #[test]
+    fn hyphenated_and_predicate_symbols() {
+        let toks = lex("components-of exclusive-compositep set!").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[2], Token::Symbol("set!".into()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # corion-lang
+//!
+//! The ORION message syntax of the paper, §2.3 and §3, as an executable
+//! s-expression language over the CORION engine:
+//!
+//! ```text
+//! (make-class 'Vehicle :superclasses nil
+//!   :attributes '((Manufacturer :domain String)
+//!                 (Body :domain AutoBody
+//!                       :composite true :exclusive true :dependent nil)))
+//! (define v1 (make Vehicle :Manufacturer "MCC"))
+//! (components-of v1)
+//! ```
+//!
+//! * [`lexer`] / [`parser`] — s-expression reader (symbols, keywords,
+//!   numbers, strings, `'quote`, `;` comments);
+//! * [`eval`] — the interpreter binding the messages of §2.3 (`make-class`,
+//!   `make` with `:parent`) and §3 (`components-of`, `parents-of`,
+//!   `ancestors-of`, the predicates) plus a few conveniences (`define`,
+//!   `get`, `set!`, `delete`) to the engine.
+
+//! ```
+//! use corion_lang::{Interpreter, LangValue};
+//!
+//! let mut orion = Interpreter::new();
+//! orion.eval_str("
+//!     (make-class 'AutoBody)
+//!     (make-class 'Vehicle
+//!       :attributes ((Body :domain AutoBody :composite t :exclusive t :dependent nil)))
+//!     (define b (make AutoBody))
+//!     (define v (make Vehicle :Body b))
+//! ").unwrap();
+//! assert_eq!(orion.eval_str("(child-of b v)").unwrap(), LangValue::T);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::SExpr;
+pub use eval::{EvalError, Interpreter, LangValue};
+pub use parser::{parse, parse_all, ParseError};

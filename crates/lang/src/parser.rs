@@ -1,0 +1,143 @@
+//! Parser: tokens → [`SExpr`].
+
+use std::fmt;
+
+use crate::ast::SExpr;
+use crate::lexer::{lex, LexError, Token};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenisation failed.
+    Lex(LexError),
+    /// Input ended inside a list or after a quote.
+    UnexpectedEof,
+    /// A `)` with no matching `(`.
+    UnbalancedClose,
+    /// Extra tokens after a complete expression (single-expression parse).
+    TrailingTokens,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseError::UnbalancedClose => write!(f, "unbalanced ')'"),
+            ParseError::TrailingTokens => write!(f, "trailing tokens after expression"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<SExpr, ParseError> {
+        match self.next().ok_or(ParseError::UnexpectedEof)? {
+            Token::LParen => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(Token::RParen) => {
+                            self.pos += 1;
+                            return Ok(SExpr::List(items));
+                        }
+                        Some(_) => items.push(self.expr()?),
+                        None => return Err(ParseError::UnexpectedEof),
+                    }
+                }
+            }
+            Token::RParen => Err(ParseError::UnbalancedClose),
+            Token::Quote => Ok(SExpr::Quote(Box::new(self.expr()?))),
+            Token::Keyword(k) => Ok(SExpr::Kw(k)),
+            Token::Symbol(s) => Ok(SExpr::Sym(s)),
+            Token::Int(i) => Ok(SExpr::Int(i)),
+            Token::Float(x) => Ok(SExpr::Float(x)),
+            Token::Str(s) => Ok(SExpr::Str(s)),
+        }
+    }
+}
+
+/// Parses exactly one expression.
+pub fn parse(input: &str) -> Result<SExpr, ParseError> {
+    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(ParseError::TrailingTokens);
+    }
+    Ok(e)
+}
+
+/// Parses a sequence of expressions (a program / REPL buffer).
+pub fn parse_all(input: &str) -> Result<Vec<SExpr>, ParseError> {
+    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.expr()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_quoted_structure() {
+        let e = parse("(make-class 'Section :attributes '((Content :domain (set-of Paragraph))))")
+            .unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items[0].as_sym(), Some("make-class"));
+        assert_eq!(items[1].as_sym(), Some("Section"));
+        let attrs = items[3].as_list().unwrap();
+        let content = attrs[0].as_list().unwrap();
+        assert_eq!(content[0].as_sym(), Some("Content"));
+        let dom = content[2].as_list().unwrap();
+        assert_eq!(dom[0].as_sym(), Some("set-of"));
+    }
+
+    #[test]
+    fn parse_all_handles_programs() {
+        let prog = parse_all("(a 1) ; mid comment\n(b 2.5 \"s\")").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse("(a"), Err(ParseError::UnexpectedEof)));
+        assert!(matches!(parse(")"), Err(ParseError::UnbalancedClose)));
+        assert!(matches!(parse("a b"), Err(ParseError::TrailingTokens)));
+        assert!(matches!(parse("'"), Err(ParseError::UnexpectedEof)));
+        assert!(matches!(parse("(\"x"), Err(ParseError::Lex(_))));
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        let src = "(make Vehicle :Body b1 :Weight 42)";
+        let e = parse(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+}

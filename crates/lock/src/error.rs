@@ -1,0 +1,88 @@
+//! Lock-layer errors.
+
+use std::fmt;
+
+use crate::manager::{Lockable, TxnId};
+use crate::modes::LockMode;
+
+/// Result alias for lock operations.
+pub type LockResult<T> = Result<T, LockError>;
+
+/// Errors raised by the lock manager and protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockError {
+    /// Granting the request would block (returned by `try_lock`).
+    WouldBlock {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contested resource.
+        resource: Lockable,
+        /// The requested mode.
+        mode: LockMode,
+    },
+    /// The request closed a cycle in the waits-for graph; the requester is
+    /// chosen as the deadlock victim and should abort.
+    Deadlock {
+        /// The victim transaction.
+        txn: TxnId,
+        /// The transactions on the detected cycle.
+        cycle: Vec<TxnId>,
+    },
+    /// The transaction id is unknown or already finished.
+    UnknownTxn(TxnId),
+    /// The wait timed out (used by tests to bound blocking).
+    Timeout {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contested resource.
+        resource: Lockable,
+    },
+    /// An engine error surfaced while the protocol traversed the database.
+    Db(String),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::WouldBlock { txn, resource, mode } => {
+                write!(f, "txn {txn} would block requesting {mode} on {resource}")
+            }
+            LockError::Deadlock { txn, cycle } => {
+                write!(f, "deadlock: txn {txn} victim, cycle ")?;
+                for (i, t) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            LockError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            LockError::Timeout { txn, resource } => {
+                write!(f, "txn {txn} timed out waiting for {resource}")
+            }
+            LockError::Db(msg) => write!(f, "database error during locking: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<corion_core::DbError> for LockError {
+    fn from(e: corion_core::DbError) -> Self {
+        LockError::Db(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = LockError::Deadlock { txn: TxnId(1), cycle: vec![TxnId(1), TxnId(2)] };
+        assert!(e.to_string().contains("deadlock"));
+        let e = LockError::UnknownTxn(TxnId(9));
+        assert!(e.to_string().contains("t9"));
+    }
+}

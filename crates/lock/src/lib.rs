@@ -1,0 +1,56 @@
+//! # corion-lock
+//!
+//! Composite objects as a unit of locking — paper §7.
+//!
+//! [KIM87b, GARZ88] introduced a granularity-locking protocol that treats a
+//! composite object as a single lockable granule, adding three lock modes —
+//! **ISO, IXO, SIXO** — beside Gray's classic IS, IX, S, SIX, X. This paper
+//! extends the protocol to *shared* composite references with three more —
+//! **ISOS, IXOS, SIXOS**.
+//!
+//! * [`modes`] — the 11 lock modes and their compatibility matrices
+//!   (Figures 7 and 8);
+//! * [`manager`] — a blocking lock manager with waits-for-graph deadlock
+//!   detection;
+//! * [`txn`] — two-phase-locking transaction handles;
+//! * [`protocol`] — the composite locking protocols of §7 (lock the root
+//!   class, the root instance, and every component class in the appropriate
+//!   O/OS mode);
+//! * [`rootlock`] — the alternative [GARZ88] root-locking algorithm and a
+//!   demonstration of why "the algorithm cannot be used for shared
+//!   composite references" (the Figure 5 anomaly);
+//! * [`incremental`] — the paper's stated open problem (locking for
+//!   long-duration transactions) implemented as an extension: lock
+//!   components on first touch, escalate to the composite protocol past a
+//!   threshold.
+//!
+//! ```
+//! use corion_lock::{LockManager, LockMode, Lockable, modes::compatible};
+//! use corion_core::{ClassId, Oid};
+//!
+//! // "While IS and IX modes do not conflict, the ISO mode conflicts with
+//! // IX mode" (§7):
+//! assert!(compatible(LockMode::IS, LockMode::IX));
+//! assert!(!compatible(LockMode::ISO, LockMode::IX));
+//!
+//! let lm = LockManager::new();
+//! let (t1, t2) = (lm.begin(), lm.begin());
+//! let class = Lockable::Class(ClassId(0));
+//! lm.try_lock(t1, class, LockMode::ISO).unwrap();
+//! assert!(lm.try_lock(t2, class, LockMode::IX).is_err());
+//! ```
+
+pub mod error;
+pub mod incremental;
+pub mod manager;
+pub mod modes;
+pub mod protocol;
+pub mod rootlock;
+pub mod txn;
+
+pub use error::{LockError, LockResult};
+pub use incremental::IncrementalAccess;
+pub use manager::{LockManager, Lockable, TxnId};
+pub use modes::LockMode;
+pub use protocol::{CompositeLockSet, LockIntent};
+pub use txn::Transaction;

@@ -1,0 +1,393 @@
+//! Lock modes and compatibility (paper §7, Figures 7 and 8).
+//!
+//! Eleven modes: Gray's five granularity modes, the three composite-object
+//! modes of [KIM87b/GARZ88] for component classes reached through
+//! *exclusive* composite references, and this paper's three for component
+//! classes reached through *shared* composite references.
+//!
+//! The printed Figure 8 is partially illegible in the available scan; the
+//! matrix here is derived from the paper's stated semantics (every quoted
+//! constraint is asserted verbatim in the tests):
+//!
+//! 1. "While IS and IX modes do not conflict, the ISO mode conflicts with
+//!    IX mode, and IXO and SIXO modes conflict with both IS and IX modes."
+//! 2. "This protocol allows us to have several readers **and** writers on a
+//!    component class of exclusive references" — ISO/IXO are mutually
+//!    compatible: concurrent composite readers/writers of *different*
+//!    composite objects are arbitrated by the S/X locks on the root
+//!    instances, and exclusively-referenced components belong to exactly
+//!    one composite object.
+//! 3. "…and several readers and **one** writer on a component class of
+//!    shared references" — a shared component can belong to several
+//!    composite objects, so root arbitration is insufficient: IXOS excludes
+//!    every other composite-path mode on the class (readers of shared
+//!    components included — see §7's worked examples, where example 3 is
+//!    incompatible with the reader example 2 precisely at the shared
+//!    class).
+//! 4. §7 worked examples: example 1 (IXO on C) ∥ example 2 (ISOS on C);
+//!    example 3 (IXOS on C, IXO on W) conflicts with both.
+
+use std::fmt;
+
+/// The eleven lock modes of the extended protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum LockMode {
+    /// Intention shared (Gray).
+    IS,
+    /// Intention exclusive (Gray).
+    IX,
+    /// Shared (Gray).
+    S,
+    /// Shared + intention exclusive (Gray).
+    SIX,
+    /// Exclusive (Gray).
+    X,
+    /// Intention shared object: a component class of exclusive references,
+    /// while a composite object of the hierarchy is read in its entirety.
+    ISO,
+    /// Intention exclusive object: same, while a composite object is
+    /// updated.
+    IXO,
+    /// Shared + intention exclusive object.
+    SIXO,
+    /// ISO for a component class of shared references.
+    ISOS,
+    /// IXO for a component class of shared references.
+    IXOS,
+    /// SIXO for a component class of shared references.
+    SIXOS,
+}
+
+impl LockMode {
+    /// All modes, in Figure 8 order.
+    pub const ALL: [LockMode; 11] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+        LockMode::ISO,
+        LockMode::IXO,
+        LockMode::SIXO,
+        LockMode::ISOS,
+        LockMode::IXOS,
+        LockMode::SIXOS,
+    ];
+
+    /// The eight modes of Figure 7 (exclusive hierarchies only).
+    pub const FIGURE7: [LockMode; 8] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+        LockMode::ISO,
+        LockMode::IXO,
+        LockMode::SIXO,
+    ];
+
+    /// True for the composite-object modes (O and OS families).
+    pub fn is_composite_mode(self) -> bool {
+        matches!(
+            self,
+            LockMode::ISO
+                | LockMode::IXO
+                | LockMode::SIXO
+                | LockMode::ISOS
+                | LockMode::IXOS
+                | LockMode::SIXOS
+        )
+    }
+
+    /// True for the shared-reference composite modes (OS family).
+    pub fn is_shared_composite_mode(self) -> bool {
+        matches!(self, LockMode::ISOS | LockMode::IXOS | LockMode::SIXOS)
+    }
+
+    /// Does this mode allow any write (directly or through the composite
+    /// path)?
+    pub fn is_writing(self) -> bool {
+        matches!(
+            self,
+            LockMode::IX
+                | LockMode::SIX
+                | LockMode::X
+                | LockMode::IXO
+                | LockMode::SIXO
+                | LockMode::IXOS
+                | LockMode::SIXOS
+        )
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+            LockMode::ISO => "ISO",
+            LockMode::IXO => "IXO",
+            LockMode::SIXO => "SIXO",
+            LockMode::ISOS => "ISOS",
+            LockMode::IXOS => "IXOS",
+            LockMode::SIXOS => "SIXOS",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compatibility of a `requested` mode against a `current` (granted) mode.
+/// The relation is symmetric.
+pub fn compatible(requested: LockMode, current: LockMode) -> bool {
+    use LockMode::*;
+    match (requested, current) {
+        // --- Gray's classic matrix -----------------------------------
+        (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX) => true,
+        (IX, IS) | (IX, IX) => true,
+        (S, IS) | (S, S) => true,
+        (SIX, IS) => true,
+        // X conflicts with everything (incl. itself); remaining classic
+        // pairs conflict.
+        (IS | IX | S | SIX | X, IS | IX | S | SIX | X) => false,
+
+        // --- direct modes vs composite modes -------------------------
+        // ISO/ISOS: a composite object is being *read*; direct readers are
+        // fine, any direct writer intent is not ("the ISO mode conflicts
+        // with IX mode").
+        (ISO | ISOS, IS | S) | (IS | S, ISO | ISOS) => true,
+        (ISO | ISOS, IX | SIX | X) | (IX | SIX | X, ISO | ISOS) => false,
+        // IXO/SIXO/IXOS/SIXOS: a composite object is being *updated*; no
+        // direct access at all ("IXO and SIXO modes conflict with both IS
+        // and IX modes").
+        (IXO | SIXO | IXOS | SIXOS, IS | IX | S | SIX | X) => false,
+        (IS | IX | S | SIX | X, IXO | SIXO | IXOS | SIXOS) => false,
+
+        // --- O family vs O family (exclusive references) -------------
+        // "Several readers and writers on a component class of exclusive
+        // references": root-instance S/X locks arbitrate, and exclusive
+        // components belong to exactly one composite object.
+        (ISO, ISO | IXO | SIXO) | (IXO | SIXO, ISO) => true,
+        (IXO, IXO) => true,
+        // SIXO carries a class-wide read (the S half), which an IXO/SIXO
+        // writer elsewhere in the class would invalidate.
+        (SIXO, IXO | SIXO) | (IXO, SIXO) => false,
+
+        // --- OS family vs OS family (shared references) ---------------
+        // "Several readers and one writer": a shared component may belong
+        // to several composite objects, so root arbitration cannot separate
+        // two composite paths — one writer excludes all other OS access.
+        (ISOS, ISOS) => true,
+        (ISOS, IXOS | SIXOS) | (IXOS | SIXOS, ISOS) => false,
+        (IXOS | SIXOS, IXOS | SIXOS) => false,
+
+        // --- O family vs OS family ------------------------------------
+        // A class may be an exclusive-reference component of one hierarchy
+        // and a shared-reference component of another (class C in Figure
+        // 9). Exclusive components are private to their single composite
+        // object, so composite *readers* on the exclusive path coexist with
+        // anything on the shared path that does not write the whole class…
+        (ISO, ISOS) | (ISOS, ISO) => true,
+        (ISO, IXOS | SIXOS) | (IXOS | SIXOS, ISO) => true,
+        (IXO, ISOS) | (ISOS, IXO) => true, // §7: examples 1 and 2 are compatible
+        // …but two composite writers on one class conflict once sharing is
+        // involved: §7 example 3 (IXOS) is incompatible with example 1
+        // (IXO).
+        (IXO, IXOS | SIXOS) | (IXOS | SIXOS, IXO) => false,
+        // SIXO's writes stay on exclusive paths (private), so shared-path
+        // readers coexist with it just as they do with IXO…
+        (SIXO, ISOS) | (ISOS, SIXO) => true,
+        // …while shared-path writers invalidate SIXO's class-wide read.
+        (SIXO, IXOS | SIXOS) | (IXOS | SIXOS, SIXO) => false,
+    }
+}
+
+/// Renders a compatibility matrix over `modes` in the paper's figure style
+/// (`✓` compatible, `No` conflicting).
+pub fn render_matrix(modes: &[LockMode]) -> String {
+    let mut out = String::new();
+    out.push_str("        ");
+    for m in modes {
+        out.push_str(&format!("{:>6}", m.to_string()));
+    }
+    out.push('\n');
+    for req in modes {
+        out.push_str(&format!("{:>6} |", req.to_string()));
+        for cur in modes {
+            out.push_str(&format!("{:>6}", if compatible(*req, *cur) { "✓" } else { "No" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+    use super::*;
+
+    #[test]
+    fn relation_is_symmetric() {
+        for &a in &LockMode::ALL {
+            for &b in &LockMode::ALL {
+                assert_eq!(compatible(a, b), compatible(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grays_classic_matrix() {
+        // The standard granularity sub-matrix [GRAY78].
+        let classic = [IS, IX, S, SIX, X];
+        let expected = [
+            // IS     IX     S      SIX    X
+            [true, true, true, true, false],   // IS
+            [true, true, false, false, false], // IX
+            [true, false, true, false, false], // S
+            [true, false, false, false, false],// SIX
+            [false, false, false, false, false],// X
+        ];
+        for (i, &a) in classic.iter().enumerate() {
+            for (j, &b) in classic.iter().enumerate() {
+                assert_eq!(compatible(a, b), expected[i][j], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_quoted_constraints() {
+        // "While IS and IX modes do not conflict,
+        assert!(compatible(IS, IX));
+        // the ISO mode conflicts with IX mode,
+        assert!(!compatible(ISO, IX));
+        // and IXO and SIXO modes conflict with both IS and IX modes."
+        for m in [IXO, SIXO] {
+            assert!(!compatible(m, IS), "{m} vs IS");
+            assert!(!compatible(m, IX), "{m} vs IX");
+        }
+    }
+
+    #[test]
+    fn several_readers_and_writers_on_exclusive_component_class() {
+        assert!(compatible(ISO, ISO));
+        assert!(compatible(ISO, IXO));
+        assert!(compatible(IXO, IXO));
+    }
+
+    #[test]
+    fn several_readers_one_writer_on_shared_component_class() {
+        assert!(compatible(ISOS, ISOS), "several readers");
+        assert!(!compatible(IXOS, IXOS), "one writer");
+        assert!(!compatible(ISOS, IXOS), "the writer excludes shared-path readers");
+    }
+
+    #[test]
+    fn section7_worked_examples() {
+        // Example 1 (update composite at Instance[i]): C in IXO.
+        // Example 2 (read composite at Instance[k]):   C in ISOS, W in ISO.
+        // Example 3 (update composite at Instance[j]): C in IXOS, W in IXO.
+        // "Examples 1 and 2 are compatible,
+        assert!(compatible(IXO, ISOS));
+        // while example 3 is incompatible with both 1 and 2."
+        assert!(!compatible(IXOS, IXO), "3 vs 1 at class C");
+        assert!(!compatible(IXOS, ISOS), "3 vs 2 at class C");
+    }
+
+    #[test]
+    fn composite_readers_allow_direct_readers_only() {
+        for reader in [ISO, ISOS] {
+            assert!(compatible(reader, IS));
+            assert!(compatible(reader, S));
+            assert!(!compatible(reader, SIX));
+            assert!(!compatible(reader, X));
+        }
+    }
+
+    #[test]
+    fn composite_writers_exclude_all_direct_access() {
+        for writer in [IXO, SIXO, IXOS, SIXOS] {
+            for direct in [IS, IX, S, SIX, X] {
+                assert!(!compatible(writer, direct), "{writer} vs {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn six_variants_carry_class_wide_reads() {
+        assert!(!compatible(SIXO, IXO), "SIXO's S half sees IXO's writes");
+        assert!(!compatible(SIXO, SIXO));
+        assert!(compatible(SIXO, ISO));
+        assert!(!compatible(SIXOS, ISOS));
+    }
+
+    #[test]
+    fn x_conflicts_with_every_mode() {
+        for &m in &LockMode::ALL {
+            assert!(!compatible(X, m), "X vs {m}");
+        }
+    }
+
+    #[test]
+    fn mode_class_predicates() {
+        assert!(ISO.is_composite_mode() && !ISO.is_shared_composite_mode());
+        assert!(IXOS.is_composite_mode() && IXOS.is_shared_composite_mode());
+        assert!(!IS.is_composite_mode());
+        assert!(IXOS.is_writing() && !ISOS.is_writing());
+        assert!(SIX.is_writing() && !S.is_writing());
+    }
+
+    #[test]
+    fn render_matrix_covers_all_cells() {
+        let rendered = render_matrix(&LockMode::ALL);
+        assert_eq!(rendered.lines().count(), 12, "header + 11 rows");
+        assert!(rendered.contains("SIXOS"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mode_strategy() -> impl Strategy<Value = LockMode> {
+        (0..LockMode::ALL.len()).prop_map(|i| LockMode::ALL[i])
+    }
+
+    proptest! {
+        #[test]
+        fn compatibility_is_symmetric(a in mode_strategy(), b in mode_strategy()) {
+            prop_assert_eq!(compatible(a, b), compatible(b, a));
+        }
+
+        #[test]
+        fn self_compatible_modes_are_the_shareable_ones(m in mode_strategy()) {
+            // A mode is self-compatible iff it permits concurrent holders of
+            // its own kind; the writers that exclude their own kind are
+            // exactly S-carrying or single-writer modes.
+            let self_ok = compatible(m, m);
+            let expected = matches!(
+                m,
+                LockMode::IS | LockMode::IX | LockMode::S
+                    | LockMode::ISO | LockMode::IXO | LockMode::ISOS
+            );
+            prop_assert_eq!(self_ok, expected, "{}", m);
+        }
+
+        #[test]
+        fn x_is_the_absorbing_conflict(m in mode_strategy()) {
+            prop_assert!(!compatible(LockMode::X, m));
+        }
+
+        #[test]
+        fn composite_writers_never_admit_direct_modes(m in mode_strategy()) {
+            if matches!(m, LockMode::IXO | LockMode::SIXO | LockMode::IXOS | LockMode::SIXOS) {
+                for d in [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X] {
+                    prop_assert!(!compatible(m, d));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The composite locking protocols of §7.
+//!
+//! > "To lock an entire composite object using this protocol, the root
+//! > object is locked in S or X mode, and the root class is locked in IS,
+//! > IX, S, SIX, or X mode. Further, the component classes of the
+//! > composite class hierarchy are locked in ISO, IXO, S, SIXO, or X mode,
+//! > respectively."
+//!
+//! The extension for shared references swaps in ISOS / IXOS / SIXOS for
+//! "component class[es] of shared references": "Information needs to be
+//! maintained about the component classes of a composite class hierarchy,
+//! and the nature of the references to the component classes."
+//!
+//! The lock-set computation walks the *composite class hierarchy* — the
+//! classes reachable from the root class through composite attributes — and
+//! tags each component class by whether any composite reference reaching it
+//! within this hierarchy is shared.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use corion_core::{ClassId, Database, Oid};
+
+use crate::error::LockResult;
+use crate::manager::{Lockable, TxnId};
+use crate::manager::LockManager;
+use crate::modes::LockMode;
+
+/// How a transaction intends to touch a composite object (or the whole
+/// composite class hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockIntent {
+    /// Read one composite object in its entirety (protocol example 1:
+    /// root class IS, root instance S, component classes ISO/ISOS).
+    Read,
+    /// Update one composite object (example 2: IX, X, IXO/IXOS).
+    Write,
+    /// Read every composite object of the hierarchy (root class S,
+    /// component classes S).
+    ReadAll,
+    /// Read every composite object, update some (root class SIX, component
+    /// classes SIXO/SIXOS; updated roots additionally X-locked).
+    ReadAllWriteSome,
+    /// Exclusive access to the whole hierarchy (X everywhere).
+    WriteAll,
+}
+
+impl LockIntent {
+    fn root_class_mode(self) -> LockMode {
+        match self {
+            LockIntent::Read => LockMode::IS,
+            LockIntent::Write => LockMode::IX,
+            LockIntent::ReadAll => LockMode::S,
+            LockIntent::ReadAllWriteSome => LockMode::SIX,
+            LockIntent::WriteAll => LockMode::X,
+        }
+    }
+
+    fn root_instance_mode(self) -> Option<LockMode> {
+        match self {
+            LockIntent::Read => Some(LockMode::S),
+            LockIntent::Write => Some(LockMode::X),
+            // Class-wide intents cover every instance implicitly.
+            LockIntent::ReadAll | LockIntent::ReadAllWriteSome | LockIntent::WriteAll => None,
+        }
+    }
+
+    fn component_class_mode(self, shared: bool) -> LockMode {
+        match (self, shared) {
+            (LockIntent::Read, false) => LockMode::ISO,
+            (LockIntent::Read, true) => LockMode::ISOS,
+            (LockIntent::Write, false) => LockMode::IXO,
+            (LockIntent::Write, true) => LockMode::IXOS,
+            (LockIntent::ReadAll, _) => LockMode::S,
+            (LockIntent::ReadAllWriteSome, false) => LockMode::SIXO,
+            (LockIntent::ReadAllWriteSome, true) => LockMode::SIXOS,
+            (LockIntent::WriteAll, _) => LockMode::X,
+        }
+    }
+}
+
+/// The ordered set of locks the composite protocol acquires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeLockSet {
+    /// `(resource, mode)` pairs in acquisition order: root class, then root
+    /// instance, then component classes.
+    pub locks: Vec<(Lockable, LockMode)>,
+}
+
+impl CompositeLockSet {
+    /// Acquires every lock in order through `manager` (blocking).
+    pub fn acquire(&self, manager: &LockManager, txn: TxnId) -> LockResult<()> {
+        for (resource, mode) in &self.locks {
+            manager.lock(txn, *resource, *mode)?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking acquisition; on conflict, nothing is rolled back (the
+    /// caller owns the transaction and releases at abort).
+    pub fn try_acquire(&self, manager: &LockManager, txn: TxnId) -> LockResult<()> {
+        for (resource, mode) in &self.locks {
+            manager.try_lock(txn, *resource, *mode)?;
+        }
+        Ok(())
+    }
+
+    /// Number of lock requests in the set (the benchmark metric).
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+/// The composite class hierarchy below `root_class`: every component class
+/// (including subclasses of attribute domains, whose instances can appear as
+/// components) tagged with whether any composite reference reaching it is
+/// shared.
+pub fn composite_class_hierarchy(db: &Database, root_class: ClassId) -> Vec<(ClassId, bool)> {
+    let mut shared_tag: HashMap<ClassId, bool> = HashMap::new();
+    let mut order: Vec<ClassId> = Vec::new();
+    let mut queue: VecDeque<ClassId> = VecDeque::new();
+    queue.push_back(root_class);
+    let mut visited: HashSet<ClassId> = [root_class].into();
+    while let Some(c) = queue.pop_front() {
+        let Ok(class) = db.class(c) else { continue };
+        for attr in class.attrs.clone() {
+            let Some(spec) = attr.composite else { continue };
+            let Some(domain) = attr.domain.referenced_class() else { continue };
+            let mut targets = vec![domain];
+            // Instances of subclasses of the domain can be components too.
+            targets.extend(
+                corion_core::schema::lattice::descendants(db.catalog(), domain),
+            );
+            for t in targets {
+                let entry = shared_tag.entry(t).or_insert_with(|| {
+                    order.push(t);
+                    false
+                });
+                *entry |= !spec.exclusive;
+                if visited.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    order.into_iter().map(|c| (c, shared_tag[&c])).collect()
+}
+
+/// Computes the §7 lock set for accessing the composite object rooted at
+/// `root` with the given intent.
+pub fn composite_lockset(
+    db: &Database,
+    root: Oid,
+    intent: LockIntent,
+) -> CompositeLockSet {
+    let mut locks = Vec::new();
+    locks.push((Lockable::Class(root.class), intent.root_class_mode()));
+    if let Some(mode) = intent.root_instance_mode() {
+        locks.push((Lockable::Instance(root), mode));
+    }
+    for (class, shared) in composite_class_hierarchy(db, root.class) {
+        locks.push((Lockable::Class(class), intent.component_class_mode(shared)));
+    }
+    CompositeLockSet { locks }
+}
+
+/// The conventional per-object alternative the paper argues against: lock
+/// the class in IS/IX and every object of the composite object individually
+/// in S/X. Used as the baseline in the locking benchmark (DESIGN.md B3).
+pub fn per_object_lockset(
+    db: &mut Database,
+    root: Oid,
+    write: bool,
+) -> LockResult<CompositeLockSet> {
+    let (class_mode, obj_mode) =
+        if write { (LockMode::IX, LockMode::X) } else { (LockMode::IS, LockMode::S) };
+    let mut locks = vec![
+        (Lockable::Class(root.class), class_mode),
+        (Lockable::Instance(root), obj_mode),
+    ];
+    let components = db.components_of(root, &corion_core::composite::Filter::all())?;
+    for c in &components {
+        locks.push((Lockable::Class(c.class), class_mode));
+        locks.push((Lockable::Instance(*c), obj_mode));
+    }
+    Ok(CompositeLockSet { locks })
+}
+
+/// The direct-access protocol for a single (non-composite-path) object:
+/// class in IS/IX, instance in S/X.
+pub fn direct_lockset(oid: Oid, write: bool) -> CompositeLockSet {
+    let (class_mode, obj_mode) =
+        if write { (LockMode::IX, LockMode::X) } else { (LockMode::IS, LockMode::S) };
+    CompositeLockSet {
+        locks: vec![(Lockable::Class(oid.class), class_mode), (Lockable::Instance(oid), obj_mode)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::{ClassBuilder, CompositeSpec, Domain, Value};
+
+    /// Vehicle-style schema: Vehicle --excl--> Body, Vehicle --excl-->
+    /// (set-of Tire); Document-style: Doc --shared--> (set-of Section).
+    struct Fx {
+        db: Database,
+        vehicle: ClassId,
+        body: ClassId,
+        tire: ClassId,
+        doc: ClassId,
+        section: ClassId,
+    }
+
+    fn fixture() -> Fx {
+        let mut db = Database::new();
+        let body = db.define_class(ClassBuilder::new("Body")).unwrap();
+        let tire = db.define_class(ClassBuilder::new("Tire")).unwrap();
+        let vehicle = db
+            .define_class(
+                ClassBuilder::new("Vehicle")
+                    .attr_composite(
+                        "body",
+                        Domain::Class(body),
+                        CompositeSpec { exclusive: true, dependent: false },
+                    )
+                    .attr_composite(
+                        "tires",
+                        Domain::SetOf(Box::new(Domain::Class(tire))),
+                        CompositeSpec { exclusive: true, dependent: false },
+                    ),
+            )
+            .unwrap();
+        let section = db.define_class(ClassBuilder::new("Section")).unwrap();
+        let doc = db
+            .define_class(ClassBuilder::new("Doc").attr_composite(
+                "sections",
+                Domain::SetOf(Box::new(Domain::Class(section))),
+                CompositeSpec { exclusive: false, dependent: true },
+            ))
+            .unwrap();
+        Fx { db, vehicle, body, tire, doc, section }
+    }
+
+    #[test]
+    fn hierarchy_tags_reference_nature() {
+        let fx = fixture();
+        let h: HashMap<ClassId, bool> =
+            composite_class_hierarchy(&fx.db, fx.vehicle).into_iter().collect();
+        assert_eq!(h.get(&fx.body), Some(&false), "exclusive reference");
+        assert_eq!(h.get(&fx.tire), Some(&false));
+        let h: HashMap<ClassId, bool> =
+            composite_class_hierarchy(&fx.db, fx.doc).into_iter().collect();
+        assert_eq!(h.get(&fx.section), Some(&true), "shared reference");
+    }
+
+    #[test]
+    fn read_protocol_locks_match_section7_example1() {
+        // "1. Access the vehicle composite object Vi: a. lock vehicle class
+        // object in IS mode; b. lock the vehicle composite instance Vi in S
+        // mode; c. lock the component class objects in ISO mode."
+        let mut fx = fixture();
+        let v = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
+        let set = composite_lockset(&fx.db, v, LockIntent::Read);
+        assert_eq!(set.locks[0], (Lockable::Class(fx.vehicle), LockMode::IS));
+        assert_eq!(set.locks[1], (Lockable::Instance(v), LockMode::S));
+        let comp_modes: HashSet<(Lockable, LockMode)> = set.locks[2..].iter().copied().collect();
+        assert!(comp_modes.contains(&(Lockable::Class(fx.body), LockMode::ISO)));
+        assert!(comp_modes.contains(&(Lockable::Class(fx.tire), LockMode::ISO)));
+    }
+
+    #[test]
+    fn write_protocol_locks_match_section7_example2() {
+        // "2. Update the vehicle Vi or its components: IX / X / IXO."
+        let mut fx = fixture();
+        let v = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
+        let set = composite_lockset(&fx.db, v, LockIntent::Write);
+        assert_eq!(set.locks[0], (Lockable::Class(fx.vehicle), LockMode::IX));
+        assert_eq!(set.locks[1], (Lockable::Instance(v), LockMode::X));
+        assert!(set.locks[2..].iter().all(|(_, m)| *m == LockMode::IXO));
+    }
+
+    #[test]
+    fn shared_hierarchy_uses_os_modes() {
+        let mut fx = fixture();
+        let d = fx.db.make(fx.doc, vec![], vec![]).unwrap();
+        let read = composite_lockset(&fx.db, d, LockIntent::Read);
+        assert!(read.locks.contains(&(Lockable::Class(fx.section), LockMode::ISOS)));
+        let write = composite_lockset(&fx.db, d, LockIntent::Write);
+        assert!(write.locks.contains(&(Lockable::Class(fx.section), LockMode::IXOS)));
+        let rws = composite_lockset(&fx.db, d, LockIntent::ReadAllWriteSome);
+        assert!(rws.locks.contains(&(Lockable::Class(fx.section), LockMode::SIXOS)));
+    }
+
+    #[test]
+    fn readers_and_writers_of_different_vehicles_coexist() {
+        // "This protocol allows multiple users to read and update different
+        // composite objects that share the same composite class hierarchy."
+        let mut fx = fixture();
+        let v1 = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
+        let v2 = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
+        let lm = LockManager::new();
+        let (t1, t2) = (lm.begin(), lm.begin());
+        composite_lockset(&fx.db, v1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+        composite_lockset(&fx.db, v2, LockIntent::Read).try_acquire(&lm, t2).unwrap();
+        // But the same vehicle conflicts at the root instance.
+        let t3 = lm.begin();
+        assert!(composite_lockset(&fx.db, v1, LockIntent::Read).try_acquire(&lm, t3).is_err());
+    }
+
+    #[test]
+    fn composite_writer_blocks_direct_component_reader() {
+        // The restriction the paper states: composite-path access excludes
+        // direct access to component-class instances.
+        let mut fx = fixture();
+        let b = fx.db.make(fx.body, vec![], vec![]).unwrap();
+        let v = fx
+            .db
+            .make(fx.vehicle, vec![("body", Value::Ref(b))], vec![])
+            .unwrap();
+        let lm = LockManager::new();
+        let (t1, t2) = (lm.begin(), lm.begin());
+        composite_lockset(&fx.db, v, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+        // Direct read of the body: class Body IS + instance S. The IS on
+        // Body conflicts with t1's IXO.
+        assert!(direct_lockset(b, false).try_acquire(&lm, t2).is_err());
+    }
+
+    #[test]
+    fn shared_class_single_writer() {
+        let mut fx = fixture();
+        let d1 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
+        let d2 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
+        let lm = LockManager::new();
+        let (t1, t2) = (lm.begin(), lm.begin());
+        composite_lockset(&fx.db, d1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+        // A second writer on a *different* document still conflicts at the
+        // shared Section class (IXOS vs IXOS): one writer per shared class.
+        assert!(composite_lockset(&fx.db, d2, LockIntent::Write)
+            .try_acquire(&lm, t2)
+            .is_err());
+        // A reader of d2 conflicts too (ISOS vs IXOS).
+        let t3 = lm.begin();
+        assert!(composite_lockset(&fx.db, d2, LockIntent::Read)
+            .try_acquire(&lm, t3)
+            .is_err());
+    }
+
+    #[test]
+    fn shared_class_multiple_readers() {
+        let mut fx = fixture();
+        let d1 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
+        let d2 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
+        let lm = LockManager::new();
+        let (t1, t2) = (lm.begin(), lm.begin());
+        composite_lockset(&fx.db, d1, LockIntent::Read).try_acquire(&lm, t1).unwrap();
+        composite_lockset(&fx.db, d2, LockIntent::Read).try_acquire(&lm, t2).unwrap();
+    }
+
+    #[test]
+    fn per_object_baseline_locks_every_component() {
+        let mut fx = fixture();
+        let b = fx.db.make(fx.body, vec![], vec![]).unwrap();
+        let t1 = fx.db.make(fx.tire, vec![], vec![]).unwrap();
+        let t2 = fx.db.make(fx.tire, vec![], vec![]).unwrap();
+        let v = fx
+            .db
+            .make(
+                fx.vehicle,
+                vec![
+                    ("body", Value::Ref(b)),
+                    ("tires", Value::Set(vec![Value::Ref(t1), Value::Ref(t2)])),
+                ],
+                vec![],
+            )
+            .unwrap();
+        let per_obj = per_object_lockset(&mut fx.db, v, false).unwrap();
+        let composite = composite_lockset(&fx.db, v, LockIntent::Read);
+        // Baseline grows with component count; composite protocol does not.
+        assert!(per_obj.len() > composite.len());
+        assert_eq!(per_obj.locks.iter().filter(|(r, _)| matches!(r, Lockable::Instance(_))).count(), 4);
+    }
+
+    #[test]
+    fn read_all_and_write_all_modes() {
+        let mut fx = fixture();
+        let v = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
+        let ra = composite_lockset(&fx.db, v, LockIntent::ReadAll);
+        assert_eq!(ra.locks[0].1, LockMode::S);
+        assert!(ra.locks[1..].iter().all(|(_, m)| *m == LockMode::S));
+        let wa = composite_lockset(&fx.db, v, LockIntent::WriteAll);
+        assert!(wa.locks.iter().all(|(_, m)| *m == LockMode::X));
+        let rws = composite_lockset(&fx.db, v, LockIntent::ReadAllWriteSome);
+        assert_eq!(rws.locks[0].1, LockMode::SIX);
+        assert!(rws.locks[1..].iter().all(|(_, m)| *m == LockMode::SIXO));
+    }
+
+    #[test]
+    fn nested_hierarchy_collects_transitive_component_classes() {
+        let mut db = Database::new();
+        let leaf = db.define_class(ClassBuilder::new("Leaf")).unwrap();
+        let mid = db
+            .define_class(ClassBuilder::new("Mid").attr_composite(
+                "leaves",
+                Domain::SetOf(Box::new(Domain::Class(leaf))),
+                CompositeSpec { exclusive: false, dependent: true },
+            ))
+            .unwrap();
+        let top = db
+            .define_class(ClassBuilder::new("Top").attr_composite(
+                "mid",
+                Domain::Class(mid),
+                CompositeSpec { exclusive: true, dependent: true },
+            ))
+            .unwrap();
+        let h: HashMap<ClassId, bool> = composite_class_hierarchy(&db, top).into_iter().collect();
+        assert_eq!(h.get(&mid), Some(&false));
+        assert_eq!(h.get(&leaf), Some(&true), "reached through a shared edge");
+    }
+}

@@ -1,0 +1,113 @@
+//! Two-phase-locking transaction handles.
+//!
+//! The protocols of §7 are defined for "conventional short transactions"
+//! under strict 2PL: every lock acquired during the transaction is held
+//! until commit or abort. A [`Transaction`] is a guard object — dropping it
+//! without committing aborts it and releases its locks.
+
+use std::sync::Arc;
+
+use crate::error::LockResult;
+use crate::manager::{LockManager, Lockable, TxnId};
+use crate::modes::LockMode;
+
+/// A strict-2PL transaction handle.
+pub struct Transaction {
+    manager: Arc<LockManager>,
+    id: TxnId,
+    finished: bool,
+}
+
+impl Transaction {
+    /// Begins a transaction on `manager`.
+    pub fn begin(manager: Arc<LockManager>) -> Self {
+        let id = manager.begin();
+        Transaction { manager, id, finished: false }
+    }
+
+    /// The transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Acquires a lock, blocking until granted (or deadlock/timeout).
+    pub fn lock(&self, resource: Lockable, mode: LockMode) -> LockResult<()> {
+        self.manager.lock(self.id, resource, mode)
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self, resource: Lockable, mode: LockMode) -> LockResult<()> {
+        self.manager.try_lock(self.id, resource, mode)
+    }
+
+    /// Commits: releases every lock (the shrink phase happens atomically at
+    /// commit, i.e. strict 2PL).
+    pub fn commit(mut self) {
+        self.manager.release_all(self.id);
+        self.finished = true;
+    }
+
+    /// Aborts: identical lock-wise to commit in this substrate (the engine
+    /// above decides what to undo).
+    pub fn abort(mut self) {
+        self.manager.release_all(self.id);
+        self.finished = true;
+    }
+
+    /// Every `(resource, mode)` currently held.
+    pub fn held(&self) -> Vec<(Lockable, LockMode)> {
+        self.manager.held_by(self.id)
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.manager.release_all(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::{ClassId, Oid};
+
+    fn res(n: u64) -> Lockable {
+        Lockable::Instance(Oid::new(ClassId(0), n))
+    }
+
+    #[test]
+    fn commit_releases_locks() {
+        let lm = LockManager::shared();
+        let t1 = Transaction::begin(lm.clone());
+        t1.lock(res(1), LockMode::X).unwrap();
+        assert_eq!(t1.held().len(), 1);
+        t1.commit();
+        let t2 = Transaction::begin(lm);
+        t2.try_lock(res(1), LockMode::X).unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let lm = LockManager::shared();
+        {
+            let t1 = Transaction::begin(lm.clone());
+            t1.lock(res(1), LockMode::X).unwrap();
+        } // dropped here
+        let t2 = Transaction::begin(lm);
+        t2.try_lock(res(1), LockMode::X).unwrap();
+    }
+
+    #[test]
+    fn locks_accumulate_until_commit() {
+        let lm = LockManager::shared();
+        let t1 = Transaction::begin(lm.clone());
+        t1.lock(res(1), LockMode::S).unwrap();
+        t1.lock(res(2), LockMode::S).unwrap();
+        let t2 = Transaction::begin(lm);
+        assert!(t2.try_lock(res(1), LockMode::X).is_err(), "still held (2PL)");
+        t1.commit();
+        t2.try_lock(res(1), LockMode::X).unwrap();
+    }
+}

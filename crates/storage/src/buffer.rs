@@ -1,0 +1,250 @@
+//! Buffer pool: an LRU page cache over the simulated disk.
+//!
+//! Composite-object clustering (paper §2.3) only pays off because the buffer
+//! pool turns co-located components into buffer hits. The pool exposes hit /
+//! miss / eviction counters that the clustering benchmark (DESIGN.md B6)
+//! reports alongside physical I/O counts.
+
+use std::collections::HashMap;
+
+use crate::disk::SimDisk;
+use crate::error::{StorageError, StorageResult};
+use crate::page::Page;
+
+/// Counters describing cache behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Fetches satisfied from the pool.
+    pub hits: u64,
+    /// Fetches that went to disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back on eviction or flush.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    /// Logical clock value of the most recent access, for LRU.
+    last_used: u64,
+}
+
+/// A fixed-capacity LRU buffer pool.
+///
+/// Callers fetch pages with [`BufferPool::with_page`] /
+/// [`BufferPool::with_page_mut`], which pin the frame only for the duration
+/// of the closure; this keeps the API misuse-proof (no dangling pins) while
+/// still letting the replacement policy skip in-use frames.
+pub struct BufferPool {
+    disk: SimDisk,
+    frames: HashMap<u64, Frame>,
+    capacity: usize,
+    clock: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `disk`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(disk: SimDisk, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool { disk, frames: HashMap::new(), capacity, clock: 0, stats: BufferStats::default() }
+    }
+
+    /// Allocates a fresh page on the underlying disk.
+    pub fn allocate(&mut self) -> u64 {
+        self.disk.allocate()
+    }
+
+    /// Number of pages on the underlying disk.
+    pub fn page_count(&self) -> u64 {
+        self.disk.page_count()
+    }
+
+    /// Runs `f` with read access to page `id`.
+    pub fn with_page<R>(&mut self, id: u64, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        self.load(id)?;
+        let frame = self.frames.get_mut(&id).expect("frame was just loaded");
+        frame.pins += 1;
+        let out = f(&frame.page);
+        let frame = self.frames.get_mut(&id).expect("frame still resident");
+        frame.pins -= 1;
+        Ok(out)
+    }
+
+    /// Runs `f` with write access to page `id`; the frame is marked dirty.
+    pub fn with_page_mut<R>(&mut self, id: u64, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
+        self.load(id)?;
+        let frame = self.frames.get_mut(&id).expect("frame was just loaded");
+        frame.pins += 1;
+        frame.dirty = true;
+        let out = f(&mut frame.page);
+        let frame = self.frames.get_mut(&id).expect("frame still resident");
+        frame.pins -= 1;
+        Ok(out)
+    }
+
+    fn load(&mut self, id: u64) -> StorageResult<()> {
+        self.clock += 1;
+        if let Some(frame) = self.frames.get_mut(&id) {
+            frame.last_used = self.clock;
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        if self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        let page = self.disk.read(id)?;
+        self.frames.insert(id, Frame { page, dirty: false, pins: 0, last_used: self.clock });
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> StorageResult<()> {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(&id, _)| id)
+            .ok_or(StorageError::PoolExhausted)?;
+        let frame = self.frames.remove(&victim).expect("victim exists");
+        if frame.dirty {
+            self.disk.write(victim, &frame.page)?;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Writes every dirty frame back to disk.
+    pub fn flush_all(&mut self) -> StorageResult<()> {
+        let dirty: Vec<u64> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("frame resident");
+            self.disk.write(id, &frame.page)?;
+            frame.dirty = false;
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Physical I/O counters of the underlying disk.
+    pub fn disk_stats(&self) -> crate::disk::DiskStats {
+        self.disk.stats()
+    }
+
+    /// Arms disk-level failure injection (see [`SimDisk::fail_after`]).
+    pub fn fail_after(&mut self, ops: u64) {
+        self.disk.fail_after(ops);
+    }
+
+    /// Disarms failure injection.
+    pub fn heal(&mut self) {
+        self.disk.heal();
+    }
+
+    /// Clears both cache and disk counters (used between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+        self.disk.reset_stats();
+    }
+
+    /// Drops every clean frame and flushes dirty ones, so subsequent fetches
+    /// hit the disk — used by benchmarks to measure cold-cache behaviour.
+    pub fn clear_cache(&mut self) -> StorageResult<()> {
+        self.flush_all()?;
+        self.frames.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(SimDisk::new(), capacity)
+    }
+
+    #[test]
+    fn repeated_access_hits_cache() {
+        let mut bp = pool(4);
+        let id = bp.allocate();
+        bp.with_page(id, |_| ()).unwrap();
+        bp.with_page(id, |_| ()).unwrap();
+        bp.with_page(id, |_| ()).unwrap();
+        let s = bp.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut bp = pool(2);
+        let a = bp.allocate();
+        let b = bp.allocate();
+        let c = bp.allocate();
+        bp.with_page(a, |_| ()).unwrap();
+        bp.with_page(b, |_| ()).unwrap();
+        bp.with_page(a, |_| ()).unwrap(); // a is now MRU
+        bp.with_page(c, |_| ()).unwrap(); // evicts b
+        assert_eq!(bp.stats().evictions, 1);
+        bp.with_page(a, |_| ()).unwrap(); // still resident
+        assert_eq!(bp.stats().hits, 2);
+        bp.with_page(b, |_| ()).unwrap(); // miss: was evicted
+        assert_eq!(bp.stats().misses, 4);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let mut bp = pool(1);
+        let a = bp.allocate();
+        let b = bp.allocate();
+        let slot = bp.with_page_mut(a, |p| p.insert(b"dirty").unwrap()).unwrap();
+        bp.with_page(b, |_| ()).unwrap(); // evicts a, forcing writeback
+        assert_eq!(bp.stats().writebacks, 1);
+        let data = bp.with_page(a, |p| p.read(slot).unwrap().to_vec()).unwrap();
+        assert_eq!(data, b"dirty");
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let mut bp = pool(4);
+        let a = bp.allocate();
+        let slot = bp.with_page_mut(a, |p| p.insert(b"flushed").unwrap()).unwrap();
+        bp.flush_all().unwrap();
+        bp.clear_cache().unwrap();
+        let data = bp.with_page(a, |p| p.read(slot).unwrap().to_vec()).unwrap();
+        assert_eq!(data, b"flushed");
+    }
+
+    #[test]
+    fn clear_cache_makes_next_access_cold() {
+        let mut bp = pool(4);
+        let a = bp.allocate();
+        bp.with_page(a, |_| ()).unwrap();
+        bp.clear_cache().unwrap();
+        bp.reset_stats();
+        bp.with_page(a, |_| ()).unwrap();
+        assert_eq!(bp.stats().misses, 1);
+        assert_eq!(bp.stats().hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = pool(0);
+    }
+}

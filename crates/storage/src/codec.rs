@@ -1,0 +1,229 @@
+//! Low-level byte readers and writers.
+//!
+//! The object serializer in `corion-core` is hand-rolled (DESIGN.md §6) so
+//! that the reverse-composite-reference flags of paper §2.4 have an exact,
+//! inspectable byte layout. This module provides the primitives: little-
+//! endian fixed-width integers, LEB128-style varints, and length-prefixed
+//! byte strings, all over [`bytes::BufMut`] / a borrowed cursor.
+
+use bytes::BufMut;
+
+use crate::error::{StorageError, StorageResult};
+
+/// A borrowing cursor over encoded bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> StorageResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> StorageResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> StorageResult<u16> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> StorageResult<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> StorageResult<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, context: &'static str) -> StorageResult<i64> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self, context: &'static str) -> StorageResult<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn varint(&mut self, context: &'static str) -> StorageResult<u64> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(context)?;
+            if shift >= 64 {
+                return Err(StorageError::Corrupt { context });
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint-length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> StorageResult<&'a [u8]> {
+        let len = self.varint(context)? as usize;
+        self.take(len, context)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn string(&mut self, context: &'static str) -> StorageResult<String> {
+        let raw = self.bytes(context)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| StorageError::Corrupt { context })
+    }
+}
+
+/// Writes one byte.
+pub fn put_u8(buf: &mut impl BufMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Writes a little-endian `u16`.
+pub fn put_u16(buf: &mut impl BufMut, v: u16) {
+    buf.put_u16_le(v);
+}
+
+/// Writes a little-endian `u32`.
+pub fn put_u32(buf: &mut impl BufMut, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Writes a little-endian `u64`.
+pub fn put_u64(buf: &mut impl BufMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Writes a little-endian `i64`.
+pub fn put_i64(buf: &mut impl BufMut, v: i64) {
+    buf.put_u64_le(v as u64);
+}
+
+/// Writes a little-endian `f64`.
+pub fn put_f64(buf: &mut impl BufMut, v: f64) {
+    buf.put_u64_le(v.to_bits());
+}
+
+/// Writes an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Writes a varint-length-prefixed byte string.
+pub fn put_bytes(buf: &mut impl BufMut, v: &[u8]) {
+    put_varint(buf, v.len() as u64);
+    buf.put_slice(v);
+}
+
+/// Writes a varint-length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut impl BufMut, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xab);
+        put_u16(&mut buf, 0x1234);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, 3.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("t").unwrap(), 0xab);
+        assert_eq!(r.u16("t").unwrap(), 0x1234);
+        assert_eq!(r.u32("t").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("t").unwrap(), -42);
+        assert_eq!(r.f64("t").unwrap(), 3.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint("v").unwrap(), v, "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn string_roundtrip_including_unicode() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "composite ⊂ objects");
+        put_string(&mut buf, "");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.string("s").unwrap(), "composite ⊂ objects");
+        assert_eq!(r.string("s").unwrap(), "");
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 7);
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64("t"), Err(StorageError::Truncated { .. })));
+    }
+
+    #[test]
+    fn overlong_varint_is_corrupt() {
+        let buf = [0xffu8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.varint("v"), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.string("s"), Err(StorageError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulated disk.
+//!
+//! The paper's clustering and locking arguments are about *counts* — page
+//! I/Os saved by placing a component next to its parent, locks saved by
+//! locking a composite object as one granule. A simulated disk that stores
+//! pages in memory and counts every physical read and write lets the
+//! benchmark harness report those counts deterministically, replacing the
+//! authors' Symbolics-era hardware (substitution documented in DESIGN.md §2).
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PAGE_SIZE};
+
+/// Counters of physical page traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Pages read from the disk image.
+    pub reads: u64,
+    /// Pages written to the disk image.
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+/// An in-memory array of pages with I/O accounting.
+pub struct SimDisk {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    stats: DiskStats,
+    /// Failure injection: `Some(n)` makes the n-th subsequent I/O (and every
+    /// one after it) fail, for driving error-path tests.
+    fail_after: Option<u64>,
+}
+
+impl Default for SimDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimDisk {
+    /// Creates an empty disk.
+    pub fn new() -> Self {
+        SimDisk { pages: Vec::new(), stats: DiskStats::default(), fail_after: None }
+    }
+
+    /// Allocates a fresh zeroed page and returns its id.
+    pub fn allocate(&mut self) -> u64 {
+        let id = self.pages.len() as u64;
+        let page = Page::new();
+        self.pages.push(Box::new(*page.as_bytes()));
+        self.stats.allocations += 1;
+        id
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Arms failure injection: after `ops` more successful I/Os, every
+    /// read and write fails with [`StorageError::InjectedFault`] until
+    /// [`SimDisk::heal`] is called.
+    pub fn fail_after(&mut self, ops: u64) {
+        self.fail_after = Some(ops);
+    }
+
+    /// Disarms failure injection.
+    pub fn heal(&mut self) {
+        self.fail_after = None;
+    }
+
+    fn tick(&mut self, op: &'static str) -> StorageResult<()> {
+        if let Some(left) = self.fail_after.as_mut() {
+            if *left == 0 {
+                return Err(StorageError::InjectedFault { op });
+            }
+            *left -= 1;
+        }
+        Ok(())
+    }
+
+    /// Reads page `id` (counted).
+    pub fn read(&mut self, id: u64) -> StorageResult<Page> {
+        self.tick("read")?;
+        let raw = self
+            .pages
+            .get(id as usize)
+            .ok_or(StorageError::InvalidPage { page: id })?;
+        self.stats.reads += 1;
+        Ok(Page::from_bytes(raw))
+    }
+
+    /// Writes page `id` (counted).
+    pub fn write(&mut self, id: u64, page: &Page) -> StorageResult<()> {
+        self.tick("write")?;
+        let slot = self
+            .pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::InvalidPage { page: id })?;
+        **slot = *page.as_bytes();
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Resets the I/O counters (not the contents) — used between benchmark
+    /// phases so setup traffic does not pollute measurements.
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats { allocations: self.stats.allocations, ..DiskStats::default() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let mut d = SimDisk::new();
+        let id = d.allocate();
+        let mut p = d.read(id).unwrap();
+        let slot = p.insert(b"on disk").unwrap();
+        d.write(id, &p).unwrap();
+        let p2 = d.read(id).unwrap();
+        assert_eq!(p2.read(slot).unwrap(), b"on disk");
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut d = SimDisk::new();
+        let id = d.allocate();
+        let p = d.read(id).unwrap();
+        d.write(id, &p).unwrap();
+        d.read(id).unwrap();
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.allocations, 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic_keeps_allocations() {
+        let mut d = SimDisk::new();
+        let id = d.allocate();
+        d.read(id).unwrap();
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.stats().allocations, 1);
+    }
+
+    #[test]
+    fn invalid_page_is_rejected() {
+        let mut d = SimDisk::new();
+        assert!(matches!(d.read(0), Err(StorageError::InvalidPage { page: 0 })));
+        assert!(d.write(5, &Page::new()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn injected_fault_fires_after_countdown() {
+        let mut d = SimDisk::new();
+        let id = d.allocate();
+        d.fail_after(2);
+        d.read(id).unwrap();
+        d.read(id).unwrap();
+        assert!(matches!(d.read(id), Err(StorageError::InjectedFault { .. })));
+        assert!(matches!(d.write(id, &Page::new()), Err(StorageError::InjectedFault { .. })));
+        d.heal();
+        d.read(id).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by pages, segments, the buffer pool, and the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record larger than the usable page payload was inserted.
+    RecordTooLarge {
+        /// Size of the rejected record in bytes.
+        len: usize,
+        /// Maximum payload a page can hold.
+        max: usize,
+    },
+    /// A slot id that does not exist (or has been deleted) was dereferenced.
+    InvalidSlot {
+        /// Page the slot was looked up on.
+        page: u64,
+        /// The offending slot index.
+        slot: u16,
+    },
+    /// A page id beyond the end of the disk was requested.
+    InvalidPage {
+        /// The offending page id.
+        page: u64,
+    },
+    /// A segment id that was never created was referenced.
+    InvalidSegment {
+        /// The offending segment id.
+        segment: u32,
+    },
+    /// The buffer pool has no evictable frame (everything is pinned).
+    PoolExhausted,
+    /// A physical record address did not resolve to a live record.
+    DanglingPhysId {
+        /// Segment component of the address.
+        segment: u32,
+        /// Page component of the address.
+        page: u64,
+        /// Slot component of the address.
+        slot: u16,
+    },
+    /// A fault injected by the test harness fired (failure-injection
+    /// mode of the simulated disk).
+    InjectedFault {
+        /// The operation that hit the fault.
+        op: &'static str,
+    },
+    /// The byte decoder ran off the end of its input.
+    Truncated {
+        /// What was being decoded when input ran out.
+        context: &'static str,
+    },
+    /// The byte decoder met an invalid tag or malformed payload.
+    Corrupt {
+        /// Description of the malformed construct.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page payload of {max} bytes")
+            }
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "slot {slot} on page {page} does not hold a live record")
+            }
+            StorageError::InvalidPage { page } => write!(f, "page {page} does not exist"),
+            StorageError::InvalidSegment { segment } => {
+                write!(f, "segment {segment} does not exist")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: every frame is pinned")
+            }
+            StorageError::DanglingPhysId { segment, page, slot } => {
+                write!(f, "physical id {segment}:{page}:{slot} does not resolve to a record")
+            }
+            StorageError::InjectedFault { op } => {
+                write!(f, "injected disk fault during {op}")
+            }
+            StorageError::Truncated { context } => {
+                write!(f, "decoder ran out of input while reading {context}")
+            }
+            StorageError::Corrupt { context } => {
+                write!(f, "malformed storage bytes: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StorageError::RecordTooLarge { len: 9000, max: 4000 };
+        assert!(e.to_string().contains("9000"));
+        let e = StorageError::InvalidSlot { page: 3, slot: 7 };
+        assert!(e.to_string().contains("slot 7"));
+        let e = StorageError::PoolExhausted;
+        assert!(e.to_string().contains("pinned"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::InvalidPage { page: 1 },
+            StorageError::InvalidPage { page: 1 }
+        );
+        assert_ne!(
+            StorageError::InvalidPage { page: 1 },
+            StorageError::InvalidPage { page: 2 }
+        );
+    }
+}

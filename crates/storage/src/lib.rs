@@ -1,0 +1,54 @@
+//! # corion-storage
+//!
+//! Page-based storage substrate for the CORION object-oriented database,
+//! a reproduction of *Composite Objects Revisited* (Kim, Bertino, Garza,
+//! SIGMOD 1989).
+//!
+//! ORION stored objects in segments on disk and clustered composite objects
+//! by placing components near their parents (the `:parent` keyword of the
+//! `make` message doubles as a clustering directive, paper §2.3). This crate
+//! provides the equivalent substrate:
+//!
+//! * [`page`] — 4 KiB slotted pages with a slot directory, in-page
+//!   compaction, and tombstoned deletes;
+//! * [`disk`] — a simulated disk that counts physical reads and writes, so
+//!   clustering experiments report I/O counts instead of 1989 wall-clock;
+//! * [`buffer`] — a pinning LRU buffer pool over the simulated disk;
+//! * [`segment`] — growable page collections with a free-space map; each
+//!   class (or group of co-clustered classes) maps to one segment, as in
+//!   ORION where clustering "is only performed if the classes of the two
+//!   objects are stored in the same physical segment";
+//! * [`store`] — record-level CRUD with *cluster-near* placement hints and
+//!   relocation on growth;
+//! * [`codec`] — little-endian primitive readers/writers used by the object
+//!   serializer in `corion-core`.
+//!
+//! The substrate is deliberately synchronous and single-node: the paper's
+//! claims about clustering and locking are about algorithmic shape (page
+//! I/Os saved, locks acquired), which this layer makes observable.
+
+//! ```
+//! use corion_storage::{ObjectStore, StoreConfig};
+//!
+//! let mut store = ObjectStore::new(StoreConfig::default());
+//! let seg = store.create_segment();
+//! let parent = store.insert(seg, b"assembly", None).unwrap();
+//! // The `near` hint is the paper's `:parent` clustering directive.
+//! let child = store.insert(seg, b"component", Some(parent)).unwrap();
+//! assert_eq!(parent.page, child.page);
+//! ```
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod segment;
+pub mod store;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::{DiskStats, SimDisk};
+pub use error::{StorageError, StorageResult};
+pub use page::{Page, SlotId, PAGE_SIZE};
+pub use segment::{Segment, SegmentId};
+pub use store::{ObjectStore, PhysId, StoreConfig};

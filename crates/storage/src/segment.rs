@@ -1,0 +1,145 @@
+//! Segments: growable collections of pages with a free-space map.
+//!
+//! ORION assigned classes to physical segments; composite clustering only
+//! happens "if the classes of the two objects are stored in the same
+//! physical segment" (paper §2.3). A [`Segment`] here is the bookkeeping
+//! side only — the pages themselves live on the shared disk behind the
+//! buffer pool, so co-clustered classes simply share a segment id.
+
+use crate::page::PAGE_SIZE;
+
+/// Identifier of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Bookkeeping for one segment: its pages, in allocation order, with an
+/// approximate free-space figure per page.
+///
+/// The free-space figures are *hints* — the authoritative answer is the page
+/// itself — but they let placement skip pages that certainly will not fit,
+/// the same way free-space maps do in production systems.
+pub struct Segment {
+    id: SegmentId,
+    pages: Vec<u64>,
+    free_hint: Vec<u16>,
+}
+
+impl Segment {
+    /// Creates an empty segment.
+    pub fn new(id: SegmentId) -> Self {
+        Segment { id, pages: Vec::new(), free_hint: Vec::new() }
+    }
+
+    /// The segment's id.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Pages of the segment in allocation order.
+    pub fn pages(&self) -> &[u64] {
+        &self.pages
+    }
+
+    /// Number of pages in the segment.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Records a newly allocated page as belonging to this segment.
+    pub fn adopt_page(&mut self, page: u64) {
+        self.pages.push(page);
+        self.free_hint.push(PAGE_SIZE as u16);
+    }
+
+    /// Position of `page` within the segment, if it belongs to it.
+    pub fn position_of(&self, page: u64) -> Option<usize> {
+        self.pages.iter().position(|&p| p == page)
+    }
+
+    /// Updates the free-space hint for `page`.
+    pub fn set_free_hint(&mut self, page: u64, free: usize) {
+        if let Some(i) = self.position_of(page) {
+            self.free_hint[i] = free.min(PAGE_SIZE) as u16;
+        }
+    }
+
+    /// The recorded free-space hint for `page`, or `None` if the page is not
+    /// in this segment.
+    pub fn free_hint(&self, page: u64) -> Option<usize> {
+        self.position_of(page).map(|i| self.free_hint[i] as usize)
+    }
+
+    /// Candidate pages for placing a record of `len` bytes, best-effort
+    /// ordered: pages adjacent to `near` first (clustering), then the rest in
+    /// reverse allocation order (recent pages tend to have room).
+    pub fn placement_candidates(&self, len: usize, near: Option<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Some(near) = near {
+            if let Some(i) = self.position_of(near) {
+                // The hint page itself, then its neighbours, widening.
+                out.push(self.pages[i]);
+                for d in 1..=2usize {
+                    if i >= d {
+                        out.push(self.pages[i - d]);
+                    }
+                    if i + d < self.pages.len() {
+                        out.push(self.pages[i + d]);
+                    }
+                }
+            }
+        }
+        for (i, &p) in self.pages.iter().enumerate().rev() {
+            if !out.contains(&p) && (self.free_hint[i] as usize) >= len {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adopt_and_position() {
+        let mut s = Segment::new(SegmentId(1));
+        s.adopt_page(10);
+        s.adopt_page(20);
+        assert_eq!(s.page_count(), 2);
+        assert_eq!(s.position_of(20), Some(1));
+        assert_eq!(s.position_of(99), None);
+    }
+
+    #[test]
+    fn near_hint_orders_neighbours_first() {
+        let mut s = Segment::new(SegmentId(0));
+        for p in 0..6 {
+            s.adopt_page(p);
+        }
+        let c = s.placement_candidates(10, Some(3));
+        assert_eq!(c[0], 3);
+        assert!(c[1..5].contains(&2) && c[1..5].contains(&4));
+    }
+
+    #[test]
+    fn free_hint_filters_full_pages() {
+        let mut s = Segment::new(SegmentId(0));
+        s.adopt_page(0);
+        s.adopt_page(1);
+        s.set_free_hint(0, 4);
+        let c = s.placement_candidates(100, None);
+        assert_eq!(c, vec![1], "page 0 is too full to be a candidate");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SegmentId(7).to_string(), "seg7");
+    }
+}

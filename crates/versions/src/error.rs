@@ -1,0 +1,88 @@
+//! Version-layer errors.
+
+use std::fmt;
+
+use corion_core::{DbError, Oid};
+
+/// Result alias for version operations.
+pub type VersionResult<T> = Result<T, VersionError>;
+
+/// Errors raised by the version manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VersionError {
+    /// The class is not declared versionable (§5.1 requires an explicit
+    /// declaration).
+    NotVersionable(corion_core::ClassId),
+    /// The OID is not a known generic instance.
+    NotAGeneric(Oid),
+    /// The OID is not a known version instance.
+    NotAVersion(Oid),
+    /// Rule CV-2X: a generic instance may carry multiple exclusive
+    /// composite references only from within one version-derivation
+    /// hierarchy.
+    Cv2xViolation {
+        /// The generic instance receiving the reference.
+        generic: Oid,
+        /// Explanation.
+        detail: String,
+    },
+    /// Rule CV-3X consequence: version instances of different versionable
+    /// objects cannot hold exclusive references to different versions of
+    /// the same object.
+    Cv3xViolation {
+        /// The versionable object being referenced.
+        generic: Oid,
+        /// Explanation.
+        detail: String,
+    },
+    /// The underlying engine reported an error.
+    Db(DbError),
+}
+
+impl fmt::Display for VersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersionError::NotVersionable(c) => {
+                write!(f, "class {c} is not declared versionable")
+            }
+            VersionError::NotAGeneric(o) => write!(f, "{o} is not a generic instance"),
+            VersionError::NotAVersion(o) => write!(f, "{o} is not a version instance"),
+            VersionError::Cv2xViolation { generic, detail } => {
+                write!(f, "rule CV-2X violated at generic {generic}: {detail}")
+            }
+            VersionError::Cv3xViolation { generic, detail } => {
+                write!(f, "rule CV-3X violated at generic {generic}: {detail}")
+            }
+            VersionError::Db(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VersionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VersionError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for VersionError {
+    fn from(e: DbError) -> Self {
+        VersionError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::ClassId;
+
+    #[test]
+    fn display_and_source() {
+        let e = VersionError::NotVersionable(ClassId(2));
+        assert!(e.to_string().contains("c2"));
+        let e: VersionError = DbError::NoSuchObject(Oid::new(ClassId(1), 1)).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,217 @@
+//! Generic instances (paper §5.1) and reverse composite generic references
+//! (§5.3).
+
+use corion_core::Oid;
+
+/// One version instance's record in the derivation hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The version instance's OID.
+    pub oid: Oid,
+    /// Version number within the hierarchy (1-based, assignment order).
+    pub number: u32,
+    /// The version this one was derived from (`None` for the initial one).
+    pub derived_from: Option<Oid>,
+    /// Logical creation timestamp — "the system determines the system
+    /// default on the basis of a timestamp ordering of the creation of the
+    /// version instances" (§5.1).
+    pub created_at: u64,
+}
+
+/// A reverse composite generic reference (§5.3): stored in a generic
+/// instance, pointing at the referencing object (a generic instance when the
+/// referencer is versionable, the object itself otherwise), with a ref-count
+/// of how many version-level composite references it stands for.
+///
+/// > "A reverse composite reference from g of O to g' of O' … has
+/// > associated with it a counter, called ref-count, which keeps track of
+/// > the number of composite references from version instances of O' to
+/// > version instances of O. The ref-count is used to determine when a
+/// > reverse composite generic reference must be removed."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericReverseRef {
+    /// The referencing side: a generic instance or a plain object.
+    pub parent: Oid,
+    /// D flag of the underlying composite references.
+    pub dependent: bool,
+    /// X flag of the underlying composite references.
+    pub exclusive: bool,
+    /// Number of version-level composite references this entry stands for.
+    pub ref_count: u32,
+}
+
+/// A generic instance: the version-derivation hierarchy of one versionable
+/// object plus its reverse composite generic references.
+#[derive(Debug, Clone, Default)]
+pub struct GenericInstance {
+    /// The version instances, in creation order.
+    pub versions: Vec<VersionInfo>,
+    /// User-specified default version, if any (§5.1: "The user may specify
+    /// the default version instance for any given versionable object").
+    pub user_default: Option<Oid>,
+    /// Reverse composite generic references (§5.3).
+    pub reverse_generic_refs: Vec<GenericReverseRef>,
+    next_number: u32,
+}
+
+impl GenericInstance {
+    /// Creates an empty hierarchy.
+    pub fn new() -> Self {
+        GenericInstance::default()
+    }
+
+    /// Registers a new version instance derived from `derived_from`.
+    pub fn add_version(&mut self, oid: Oid, derived_from: Option<Oid>, now: u64) -> u32 {
+        self.next_number += 1;
+        self.versions.push(VersionInfo {
+            oid,
+            number: self.next_number,
+            derived_from,
+            created_at: now,
+        });
+        self.next_number
+    }
+
+    /// Removes a version instance from the hierarchy; returns `true` if it
+    /// was present. Children derived from it keep their `derived_from` OID
+    /// as history (ORION keeps derivation history in the generic instance).
+    pub fn remove_version(&mut self, oid: Oid) -> bool {
+        let before = self.versions.len();
+        self.versions.retain(|v| v.oid != oid);
+        if self.user_default == Some(oid) {
+            self.user_default = None;
+        }
+        before != self.versions.len()
+    }
+
+    /// True if `oid` is a version instance of this hierarchy.
+    pub fn has_version(&self, oid: Oid) -> bool {
+        self.versions.iter().any(|v| v.oid == oid)
+    }
+
+    /// The default version: the user default if set, else the most recently
+    /// created version (timestamp ordering, §5.1).
+    pub fn default_version(&self) -> Option<Oid> {
+        self.user_default
+            .or_else(|| self.versions.iter().max_by_key(|v| v.created_at).map(|v| v.oid))
+    }
+
+    /// Direct descendants of `oid` in the derivation hierarchy.
+    pub fn derived_from(&self, oid: Oid) -> Vec<Oid> {
+        self.versions.iter().filter(|v| v.derived_from == Some(oid)).map(|v| v.oid).collect()
+    }
+
+    /// Increments (or creates) the reverse generic ref for `parent`,
+    /// returning the new count.
+    pub fn incr_ref(&mut self, parent: Oid, dependent: bool, exclusive: bool) -> u32 {
+        if let Some(r) = self
+            .reverse_generic_refs
+            .iter_mut()
+            .find(|r| r.parent == parent && r.dependent == dependent && r.exclusive == exclusive)
+        {
+            r.ref_count += 1;
+            r.ref_count
+        } else {
+            self.reverse_generic_refs.push(GenericReverseRef {
+                parent,
+                dependent,
+                exclusive,
+                ref_count: 1,
+            });
+            1
+        }
+    }
+
+    /// Decrements the reverse generic ref for `parent`; removes the entry
+    /// when the count reaches zero (the Figure 3 narrative). Returns the
+    /// remaining count, or `None` if no such entry existed.
+    pub fn decr_ref(&mut self, parent: Oid, dependent: bool, exclusive: bool) -> Option<u32> {
+        let idx = self
+            .reverse_generic_refs
+            .iter()
+            .position(|r| r.parent == parent && r.dependent == dependent && r.exclusive == exclusive)?;
+        let r = &mut self.reverse_generic_refs[idx];
+        r.ref_count -= 1;
+        let left = r.ref_count;
+        if left == 0 {
+            self.reverse_generic_refs.remove(idx);
+        }
+        Some(left)
+    }
+
+    /// The parents recorded in reverse generic refs — what `parents-of`
+    /// answers on a generic instance (Figure 3.b: "the result would be the
+    /// instance a1, even if all composite references are statically bound").
+    pub fn generic_parents(&self) -> Vec<Oid> {
+        self.reverse_generic_refs.iter().map(|r| r.parent).collect()
+    }
+
+    /// True if an exclusive reverse generic ref exists from a parent other
+    /// than `from` (the CV-2X check support).
+    pub fn has_exclusive_ref_from_other(&self, from: Oid) -> bool {
+        self.reverse_generic_refs.iter().any(|r| r.exclusive && r.parent != from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::ClassId;
+
+    fn oid(s: u64) -> Oid {
+        Oid::new(ClassId(1), s)
+    }
+
+    #[test]
+    fn versions_accumulate_with_numbers() {
+        let mut g = GenericInstance::new();
+        assert_eq!(g.add_version(oid(1), None, 10), 1);
+        assert_eq!(g.add_version(oid(2), Some(oid(1)), 20), 2);
+        assert!(g.has_version(oid(1)));
+        assert_eq!(g.derived_from(oid(1)), vec![oid(2)]);
+    }
+
+    #[test]
+    fn default_is_latest_unless_user_set() {
+        let mut g = GenericInstance::new();
+        g.add_version(oid(1), None, 10);
+        g.add_version(oid(2), Some(oid(1)), 20);
+        assert_eq!(g.default_version(), Some(oid(2)), "timestamp ordering");
+        g.user_default = Some(oid(1));
+        assert_eq!(g.default_version(), Some(oid(1)), "user default wins");
+        g.remove_version(oid(1));
+        assert_eq!(g.default_version(), Some(oid(2)), "user default cleared on removal");
+    }
+
+    #[test]
+    fn ref_count_lifecycle_matches_figure3() {
+        let mut g = GenericInstance::new();
+        // Two version-level references from the same parent a1 (Figure 3.b:
+        // ref-count 2).
+        assert_eq!(g.incr_ref(oid(100), false, true), 1);
+        assert_eq!(g.incr_ref(oid(100), false, true), 2);
+        // Remove one: entry stays, count 1.
+        assert_eq!(g.decr_ref(oid(100), false, true), Some(1));
+        assert_eq!(g.generic_parents(), vec![oid(100)]);
+        // Remove the second: entry removed.
+        assert_eq!(g.decr_ref(oid(100), false, true), Some(0));
+        assert!(g.generic_parents().is_empty());
+        assert_eq!(g.decr_ref(oid(100), false, true), None);
+    }
+
+    #[test]
+    fn refs_with_different_flags_are_distinct_entries() {
+        let mut g = GenericInstance::new();
+        g.incr_ref(oid(1), true, false);
+        g.incr_ref(oid(1), false, false);
+        assert_eq!(g.reverse_generic_refs.len(), 2);
+    }
+
+    #[test]
+    fn exclusive_ref_from_other_detection() {
+        let mut g = GenericInstance::new();
+        g.incr_ref(oid(1), false, true);
+        assert!(!g.has_exclusive_ref_from_other(oid(1)), "same hierarchy is fine");
+        assert!(g.has_exclusive_ref_from_other(oid(2)));
+    }
+}

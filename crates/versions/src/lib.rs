@@ -1,0 +1,44 @@
+//! # corion-versions
+//!
+//! Versions of composite objects — paper §5.
+//!
+//! The ORION version model [CHOU86, CHOU88] (§5.1): a class may be declared
+//! *versionable*; an instance is then a **versionable object** — a logical
+//! collection of **version instances** organised in a *version-derivation
+//! hierarchy*, with the derivation history kept in a **generic instance**.
+//! A reference can be **statically bound** (to a specific version instance)
+//! or **dynamically bound** (to the generic instance, resolved to the
+//! default version on access).
+//!
+//! §5.2 extends composite-reference semantics to versioned objects with
+//! rules **CV-1X…CV-4X**; §5.3 implements them with *reverse composite
+//! generic references* carrying a **ref-count**. Both live in
+//! [`manager::VersionManager`], layered over `corion-core` (version
+//! instances are ordinary objects; generic instances are ordinary objects
+//! whose composite semantics this crate owns through
+//! [`corion_core::Database::set_attr_weak`]).
+
+//! ```
+//! use corion_core::{Database, ClassBuilder, Domain, Value};
+//! use corion_versions::VersionManager;
+//!
+//! let mut db = Database::new();
+//! let design = db
+//!     .define_class(ClassBuilder::new("Design").versionable().attr("rev", Domain::Integer))
+//!     .unwrap();
+//! let mut vm = VersionManager::new(db);
+//! let (generic, v1) = vm.create(design, vec![("rev", Value::Int(1))]).unwrap();
+//! let v2 = vm.derive(v1).unwrap();
+//! // Dynamic binding resolves to the default version (latest by default).
+//! assert_eq!(vm.resolve(generic).unwrap(), v2);
+//! vm.set_default_version(generic, v1).unwrap();
+//! assert_eq!(vm.resolve(generic).unwrap(), v1);
+//! ```
+
+pub mod error;
+pub mod generic;
+pub mod manager;
+
+pub use error::{VersionError, VersionResult};
+pub use generic::{GenericInstance, GenericReverseRef, VersionInfo};
+pub use manager::VersionManager;

@@ -1,0 +1,779 @@
+//! The version manager: rules CV-1X…CV-4X (paper §5.2) and the reverse
+//! composite generic reference bookkeeping of §5.3.
+
+use std::collections::HashMap;
+
+use corion_core::{ClassId, Database, DbError, Oid, Value};
+
+use crate::error::{VersionError, VersionResult};
+use crate::generic::GenericInstance;
+
+/// One version-level composite reference the manager tracks for ref-count
+/// maintenance: `parent` (a version instance or plain object) references
+/// `target` (a version instance or a generic instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    parent: Oid,
+    target: Oid,
+    dependent: bool,
+    exclusive: bool,
+}
+
+/// Manages versionable objects over a [`Database`].
+///
+/// Version instances are ordinary objects (their version-to-version
+/// composite references use the engine's reverse references and Deletion
+/// Rule). Generic instances are ordinary objects *owned by this manager*:
+/// references to them (dynamic bindings) bypass the Make-Component Rule —
+/// their legality is governed by rule CV-2X instead, and their reverse
+/// information lives in [`GenericInstance::reverse_generic_refs`] with
+/// ref-counts.
+pub struct VersionManager {
+    db: Database,
+    generics: HashMap<Oid, GenericInstance>,
+    version_to_generic: HashMap<Oid, Oid>,
+    edges: Vec<Edge>,
+    clock: u64,
+}
+
+impl VersionManager {
+    /// Wraps an engine.
+    pub fn new(db: Database) -> Self {
+        VersionManager {
+            db,
+            generics: HashMap::new(),
+            version_to_generic: HashMap::new(),
+            edges: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Read access to the engine.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the engine (for non-versioned operations).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Unwraps the engine.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    // ------------------------------------------------------------------
+    // Creation and derivation
+    // ------------------------------------------------------------------
+
+    /// Creates a versionable object: a generic instance plus its first
+    /// version instance (with the given attribute values). The class must
+    /// be declared versionable (§5.1).
+    pub fn create(
+        &mut self,
+        class: ClassId,
+        values: Vec<(&str, Value)>,
+    ) -> VersionResult<(Oid, Oid)> {
+        if !self.db.class(class)?.versionable {
+            return Err(VersionError::NotVersionable(class));
+        }
+        let generic = self.db.make(class, vec![], vec![])?;
+        let v1 = self.db.make(class, values, vec![])?;
+        self.clock += 1;
+        let mut g = GenericInstance::new();
+        g.add_version(v1, None, self.clock);
+        self.generics.insert(generic, g);
+        self.version_to_generic.insert(v1, generic);
+        self.register_initial_edges(v1)?;
+        Ok((generic, v1))
+    }
+
+    /// Records edges (and generic ref-counts) for composite references the
+    /// engine wired during a `make`.
+    fn register_initial_edges(&mut self, parent: Oid) -> VersionResult<()> {
+        let class = self.db.class(parent.class)?.clone();
+        let obj = self.db.get(parent)?;
+        for (idx, def) in class.attrs.iter().enumerate() {
+            if let Some(spec) = def.composite {
+                for target in obj.attrs[idx].refs() {
+                    self.note_edge(parent, target, spec.dependent, spec.exclusive);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if `oid` is a generic instance.
+    pub fn is_generic(&self, oid: Oid) -> bool {
+        self.generics.contains_key(&oid)
+    }
+
+    /// True if `oid` is a version instance.
+    pub fn is_version(&self, oid: Oid) -> bool {
+        self.version_to_generic.contains_key(&oid)
+    }
+
+    /// The generic instance owning a version instance.
+    pub fn generic_of(&self, version: Oid) -> VersionResult<Oid> {
+        self.version_to_generic.get(&version).copied().ok_or(VersionError::NotAVersion(version))
+    }
+
+    /// The derivation hierarchy of a generic instance.
+    pub fn generic(&self, generic: Oid) -> VersionResult<&GenericInstance> {
+        self.generics.get(&generic).ok_or(VersionError::NotAGeneric(generic))
+    }
+
+    /// Sets the user default version (§5.1).
+    pub fn set_default_version(&mut self, generic: Oid, version: Oid) -> VersionResult<()> {
+        let g = self.generics.get_mut(&generic).ok_or(VersionError::NotAGeneric(generic))?;
+        if !g.has_version(version) {
+            return Err(VersionError::NotAVersion(version));
+        }
+        g.user_default = Some(version);
+        Ok(())
+    }
+
+    /// The default version: user-specified, else latest by timestamp.
+    pub fn default_version(&self, generic: Oid) -> VersionResult<Oid> {
+        self.generic(generic)?
+            .default_version()
+            .ok_or(VersionError::NotAGeneric(generic))
+    }
+
+    /// Resolves a dynamically bound reference: a generic instance resolves
+    /// to its default version; anything else resolves to itself.
+    pub fn resolve(&self, oid: Oid) -> VersionResult<Oid> {
+        if self.is_generic(oid) {
+            self.default_version(oid)
+        } else {
+            Ok(oid)
+        }
+    }
+
+    /// Derives a new version instance from `from` — rule CV-2X's copy
+    /// semantics (Figure 1):
+    ///
+    /// * a **shared** static reference is copied as-is (any number of
+    ///   shared references to a version instance are legal);
+    /// * an **independent exclusive** static reference to a version
+    ///   instance is re-bound "to the generic instance g-d of the
+    ///   referenced version instance" (Figure 1.b);
+    /// * a **dependent** exclusive reference "is set to Nil";
+    /// * dynamic references (to generic instances) are copied as-is
+    ///   (CV-1X: any number of version instances of g-c may share the
+    ///   composite reference to g-d).
+    pub fn derive(&mut self, from: Oid) -> VersionResult<Oid> {
+        let generic = self.generic_of(from)?;
+        let class = self.db.class(from.class)?.clone();
+        let src = self.db.get(from)?;
+
+        // Partition attribute values into those the engine may wire
+        // normally (plain values + shared static refs) and dynamic refs the
+        // manager wires itself.
+        let mut static_values: Vec<(String, Value)> = Vec::new();
+        let mut dynamic_values: Vec<(String, Value)> = Vec::new();
+        for (idx, def) in class.attrs.iter().enumerate() {
+            let value = src.attrs[idx].clone();
+            match def.composite {
+                None => static_values.push((def.name.clone(), value)),
+                Some(spec) => {
+                    let mut statics: Vec<Value> = Vec::new();
+                    let mut dynamics: Vec<Value> = Vec::new();
+                    for r in value.refs() {
+                        if self.is_generic(r) {
+                            dynamics.push(Value::Ref(r));
+                        } else if spec.exclusive {
+                            if spec.dependent {
+                                // CV-2X: dependent exclusive -> Nil.
+                            } else if let Ok(g) = self.generic_of(r) {
+                                // CV-2X: rebind to the generic instance.
+                                dynamics.push(Value::Ref(g));
+                            }
+                            // Exclusive reference to a non-versionable
+                            // object: copying would create a second
+                            // exclusive reference, so it is dropped (Nil),
+                            // the conservative reading of CV-2X.
+                        } else {
+                            statics.push(Value::Ref(r));
+                        }
+                    }
+                    let is_set = def.domain.is_set();
+                    static_values.push((def.name.clone(), pack(statics, is_set)));
+                    if !dynamics.is_empty() {
+                        dynamic_values.push((def.name.clone(), pack(dynamics, is_set)));
+                    }
+                }
+            }
+        }
+
+        let value_refs: Vec<(&str, Value)> =
+            static_values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let new_version = self.db.make(from.class, value_refs, vec![])?;
+        self.clock += 1;
+        self.generics
+            .get_mut(&generic)
+            .expect("generic of a version exists")
+            .add_version(new_version, Some(from), self.clock);
+        self.version_to_generic.insert(new_version, generic);
+        self.register_initial_edges(new_version)?;
+
+        // Wire dynamic references (manager-owned semantics).
+        for (attr, value) in dynamic_values {
+            let def = class.attr(&attr).expect("attr from class").clone();
+            let spec = def.composite.expect("dynamic values only on composite attrs");
+            for target_generic in value.refs() {
+                self.bind_dynamic_inner(new_version, &attr, target_generic, spec.dependent, spec.exclusive, def.domain.is_set())?;
+            }
+        }
+        Ok(new_version)
+    }
+
+    // ------------------------------------------------------------------
+    // Binding
+    // ------------------------------------------------------------------
+
+    /// Statically binds: makes version instance (or plain object) `target` a
+    /// component of `parent` through composite attribute `attr`.
+    ///
+    /// The engine enforces the version-instance half of CV-2X (at most one
+    /// exclusive reference / any number of shared ones); the manager
+    /// enforces the generic half — exclusive references to version
+    /// instances of one versionable object must all come from a single
+    /// version-derivation hierarchy (which also yields CV-3X).
+    pub fn bind_static(&mut self, parent: Oid, attr: &str, target: Oid) -> VersionResult<()> {
+        let def = self
+            .db
+            .class(parent.class)?
+            .attr(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?
+            .clone();
+        let spec = def.composite.ok_or_else(|| {
+            VersionError::Db(DbError::NotComposite { class: parent.class, attr: attr.into() })
+        })?;
+        if spec.exclusive {
+            if let Ok(target_generic) = self.generic_of(target) {
+                let parent_key = self.parent_key(parent);
+                let g = self.generic(target_generic)?;
+                if g.has_exclusive_ref_from_other(parent_key) {
+                    return Err(VersionError::Cv3xViolation {
+                        generic: target_generic,
+                        detail: format!(
+                            "version instances of different versionable objects cannot hold \
+                             exclusive references to versions of {target_generic}"
+                        ),
+                    });
+                }
+            }
+        }
+        self.db.make_component(target, parent, attr)?;
+        self.note_edge(parent, target, spec.dependent, spec.exclusive);
+        Ok(())
+    }
+
+    /// Dynamically binds: points `parent.attr` at generic instance
+    /// `target_generic`; dereferences resolve to the default version.
+    pub fn bind_dynamic(
+        &mut self,
+        parent: Oid,
+        attr: &str,
+        target_generic: Oid,
+    ) -> VersionResult<()> {
+        if !self.is_generic(target_generic) {
+            return Err(VersionError::NotAGeneric(target_generic));
+        }
+        let def = self
+            .db
+            .class(parent.class)?
+            .attr(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?
+            .clone();
+        let spec = def.composite.ok_or_else(|| {
+            VersionError::Db(DbError::NotComposite { class: parent.class, attr: attr.into() })
+        })?;
+        self.bind_dynamic_inner(parent, attr, target_generic, spec.dependent, spec.exclusive, def.domain.is_set())
+    }
+
+    fn bind_dynamic_inner(
+        &mut self,
+        parent: Oid,
+        attr: &str,
+        target_generic: Oid,
+        dependent: bool,
+        exclusive: bool,
+        is_set: bool,
+    ) -> VersionResult<()> {
+        let parent_key = self.parent_key(parent);
+        {
+            let g = self
+                .generics
+                .get(&target_generic)
+                .ok_or(VersionError::NotAGeneric(target_generic))?;
+            if exclusive && g.has_exclusive_ref_from_other(parent_key) {
+                // CV-2X: "A generic instance may have more than one
+                // exclusive composite reference to it, only if all
+                // references are from objects that belong to the same
+                // version-derivation hierarchy."
+                return Err(VersionError::Cv2xViolation {
+                    generic: target_generic,
+                    detail: "exclusive references from multiple version-derivation hierarchies"
+                        .into(),
+                });
+            }
+        }
+        let mut value = self.db.get_attr(parent, attr)?;
+        if value.add_ref(target_generic, is_set) {
+            self.db.set_attr_weak(parent, attr, value)?;
+            self.note_edge(parent, target_generic, dependent, exclusive);
+        }
+        Ok(())
+    }
+
+    /// Removes the composite reference `parent.attr -> target` (static or
+    /// dynamic), decrementing the generic ref-count — the Figure 3
+    /// narrative: the reverse composite generic reference is removed only
+    /// when its ref-count reaches zero.
+    pub fn unbind(&mut self, parent: Oid, attr: &str, target: Oid) -> VersionResult<()> {
+        if self.is_generic(target) {
+            let mut value = self.db.get_attr(parent, attr)?;
+            if value.remove_ref(target) == 0 {
+                return Err(VersionError::Db(DbError::NoSuchObject(target)));
+            }
+            self.db.set_attr_weak(parent, attr, value)?;
+        } else {
+            self.db.remove_component(target, parent, attr)?;
+        }
+        self.drop_edge(parent, target);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion (rule CV-4X)
+    // ------------------------------------------------------------------
+
+    /// Deletes a version instance. Statically bound dependent components
+    /// cascade through the engine's Deletion Rule ("the deletion of a
+    /// version instance causes a recursive deletion of all version
+    /// instances statically bound to it through dependent references").
+    /// If the last version of a generic instance dies, the generic dies
+    /// with it, cascading per CV-4X.
+    pub fn delete_version(&mut self, version: Oid) -> VersionResult<Vec<Oid>> {
+        self.generic_of(version)?;
+        let deleted = self.db.delete(version)?;
+        let emptied = self.after_deletion(&deleted)?;
+        let mut all = deleted;
+        // "If the deleted version instance c-i is the only version of the
+        // object O, its generic instance g-c is also deleted…" — and the
+        // cascade may have emptied other hierarchies too.
+        for g in emptied {
+            if self.is_generic(g) {
+                all.extend(self.delete_generic(g)?);
+            }
+        }
+        Ok(all)
+    }
+
+    /// Deletes a generic instance: "all generic instances to which it has
+    /// exclusive references are recursively deleted. Further, if a generic
+    /// instance is deleted, all its version instances are deleted."
+    pub fn delete_generic(&mut self, generic: Oid) -> VersionResult<Vec<Oid>> {
+        if !self.is_generic(generic) {
+            return Err(VersionError::NotAGeneric(generic));
+        }
+        let mut all_deleted = Vec::new();
+        let mut queue = vec![generic];
+        while let Some(g_oid) = queue.pop() {
+            let Some(g) = self.generics.remove(&g_oid) else { continue };
+            // Exclusive references from this hierarchy to other generics
+            // cascade (CV-4X).
+            let members: Vec<Oid> =
+                g.versions.iter().map(|v| v.oid).chain([g_oid]).collect();
+            for e in self.edges.clone() {
+                if e.exclusive && members.contains(&e.parent) {
+                    if let Some(&target_generic) = self.version_to_generic.get(&e.target) {
+                        queue.push(target_generic);
+                    } else if self.generics.contains_key(&e.target) {
+                        queue.push(e.target);
+                    }
+                }
+            }
+            // Delete every version instance, then the generic object itself.
+            // Cascades may empty other hierarchies; those follow per CV-4X.
+            for v in &g.versions {
+                if self.db.exists(v.oid) {
+                    let deleted = self.db.delete(v.oid)?;
+                    queue.extend(self.after_deletion(&deleted)?);
+                    all_deleted.extend(deleted);
+                }
+                self.version_to_generic.remove(&v.oid);
+            }
+            if self.db.exists(g_oid) {
+                let deleted = self.db.delete(g_oid)?;
+                queue.extend(self.after_deletion(&deleted)?);
+                all_deleted.extend(deleted);
+            }
+        }
+        Ok(all_deleted)
+    }
+
+    /// Updates manager bookkeeping after the engine deleted `deleted`:
+    /// drops every edge touching a dead object (decrementing generic
+    /// ref-counts — while the dead object's generic mapping is still known,
+    /// so §5.3's parent keys resolve correctly), then removes dead versions
+    /// from their hierarchies. Returns generics left without versions; the
+    /// caller cascades them per CV-4X.
+    fn after_deletion(&mut self, deleted: &[Oid]) -> VersionResult<Vec<Oid>> {
+        for &oid in deleted {
+            let dead_edges: Vec<Edge> = self
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| e.parent == oid || e.target == oid)
+                .collect();
+            for e in dead_edges {
+                self.drop_edge(e.parent, e.target);
+            }
+        }
+        let mut emptied = Vec::new();
+        for &oid in deleted {
+            if let Some(generic) = self.version_to_generic.remove(&oid) {
+                if let Some(g) = self.generics.get_mut(&generic) {
+                    g.remove_version(oid);
+                    if g.versions.is_empty() && !emptied.contains(&generic) {
+                        emptied.push(generic);
+                    }
+                }
+            }
+        }
+        Ok(emptied)
+    }
+
+    // ------------------------------------------------------------------
+    // Reverse composite generic references (§5.3)
+    // ------------------------------------------------------------------
+
+    /// §5.3's referencing key: "if O' is a versionable object, a reverse
+    /// composite reference to the generic instance g' of O' is stored";
+    /// otherwise to O' itself.
+    fn parent_key(&self, parent: Oid) -> Oid {
+        self.version_to_generic.get(&parent).copied().unwrap_or(parent)
+    }
+
+    /// The generic-level key of a reference target: the generic owning a
+    /// version instance, the generic itself for a dynamic binding, `None`
+    /// for a non-versioned target.
+    fn target_generic(&self, target: Oid) -> Option<Oid> {
+        if self.generics.contains_key(&target) {
+            Some(target)
+        } else {
+            self.version_to_generic.get(&target).copied()
+        }
+    }
+
+    fn note_edge(&mut self, parent: Oid, target: Oid, dependent: bool, exclusive: bool) {
+        self.edges.push(Edge { parent, target, dependent, exclusive });
+        if let Some(tg) = self.target_generic(target) {
+            let key = self.parent_key(parent);
+            if let Some(g) = self.generics.get_mut(&tg) {
+                g.incr_ref(key, dependent, exclusive);
+            }
+        }
+    }
+
+    fn drop_edge(&mut self, parent: Oid, target: Oid) {
+        let Some(idx) = self.edges.iter().position(|e| e.parent == parent && e.target == target)
+        else {
+            return;
+        };
+        let e = self.edges.remove(idx);
+        if let Some(tg) = self.target_generic(target) {
+            let key = self.parent_key(parent);
+            if let Some(g) = self.generics.get_mut(&tg) {
+                g.decr_ref(key, e.dependent, e.exclusive);
+            }
+        }
+    }
+
+    /// `parents-of` on a generic instance: answered from the reverse
+    /// composite generic references — Figure 3.b: "if the operation
+    /// parents-of is applied on the generic instance b1, the result would
+    /// be the instance a1, even if all composite references are statically
+    /// bound."
+    pub fn parents_of_generic(&self, generic: Oid) -> VersionResult<Vec<Oid>> {
+        Ok(self.generic(generic)?.generic_parents())
+    }
+
+    /// The ref-count of the reverse composite generic reference from
+    /// `generic` to `parent_key`, if present (test/bench introspection).
+    pub fn generic_ref_count(&self, generic: Oid, parent_key: Oid) -> Option<u32> {
+        self.generics.get(&generic).and_then(|g| {
+            g.reverse_generic_refs
+                .iter()
+                .filter(|r| r.parent == parent_key)
+                .map(|r| r.ref_count)
+                .max()
+        })
+    }
+}
+
+/// Packs a list of refs back into a scalar or set value.
+fn pack(mut refs: Vec<Value>, is_set: bool) -> Value {
+    if is_set {
+        Value::Set(refs)
+    } else if refs.is_empty() {
+        Value::Null
+    } else {
+        refs.swap_remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::{ClassBuilder, CompositeSpec, Domain};
+
+    /// Versionable classes C and D; C has composite attribute `part` with
+    /// domain D, parameterised by spec.
+    fn setup(exclusive: bool, dependent: bool) -> (VersionManager, ClassId, ClassId) {
+        let mut db = Database::new();
+        let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+        let c = db
+            .define_class(
+                ClassBuilder::new("C")
+                    .versionable()
+                    .attr_composite("part", Domain::Class(d), CompositeSpec { exclusive, dependent }),
+            )
+            .unwrap();
+        (VersionManager::new(db), c, d)
+    }
+
+    #[test]
+    fn create_requires_versionable_class() {
+        let mut db = Database::new();
+        let plain = db.define_class(ClassBuilder::new("Plain")).unwrap();
+        let mut vm = VersionManager::new(db);
+        assert!(matches!(vm.create(plain, vec![]), Err(VersionError::NotVersionable(_))));
+    }
+
+    #[test]
+    fn create_and_derive_builds_hierarchy() {
+        let (mut vm, c, _d) = setup(true, false);
+        let (g, v1) = vm.create(c, vec![]).unwrap();
+        let v2 = vm.derive(v1).unwrap();
+        let v3 = vm.derive(v1).unwrap();
+        let gi = vm.generic(g).unwrap();
+        assert_eq!(gi.versions.len(), 3);
+        assert_eq!(gi.derived_from(v1), vec![v2, v3]);
+        assert!(vm.is_version(v2) && vm.is_generic(g));
+        assert_eq!(vm.generic_of(v3).unwrap(), g);
+    }
+
+    #[test]
+    fn default_version_is_latest_then_user_choice() {
+        let (mut vm, c, _d) = setup(true, false);
+        let (g, v1) = vm.create(c, vec![]).unwrap();
+        let v2 = vm.derive(v1).unwrap();
+        assert_eq!(vm.default_version(g).unwrap(), v2);
+        vm.set_default_version(g, v1).unwrap();
+        assert_eq!(vm.default_version(g).unwrap(), v1);
+        assert_eq!(vm.resolve(g).unwrap(), v1);
+        assert_eq!(vm.resolve(v2).unwrap(), v2, "non-generics resolve to themselves");
+    }
+
+    #[test]
+    fn figure1_derive_rebinds_independent_exclusive_to_generic() {
+        // Figure 1: c-i has an exclusive (independent) reference to d-k;
+        // the copy c-j's reference is set to the generic g-d.
+        let (mut vm, c, d) = setup(true, false);
+        let (g_d, d_k) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c_i) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c_i, "part", d_k).unwrap();
+        let c_j = vm.derive(c_i).unwrap();
+        assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Ref(g_d));
+        // The original static binding is untouched.
+        assert_eq!(vm.db_mut().get_attr(c_i, "part").unwrap(), Value::Ref(d_k));
+    }
+
+    #[test]
+    fn figure1_derive_nils_dependent_exclusive() {
+        // "However, if the reference is a dependent composite reference, it
+        // is set to Nil."
+        let (mut vm, c, d) = setup(true, true);
+        let (_g_d, d_k) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c_i) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c_i, "part", d_k).unwrap();
+        let c_j = vm.derive(c_i).unwrap();
+        assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn derive_copies_shared_static_references() {
+        let (mut vm, c, d) = setup(false, false);
+        let (_g_d, d_k) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c_i) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c_i, "part", d_k).unwrap();
+        let c_j = vm.derive(c_i).unwrap();
+        assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Ref(d_k));
+        // d_k now carries two shared reverse references.
+        assert_eq!(vm.db_mut().get(d_k).unwrap().is_().len(), 2);
+    }
+
+    #[test]
+    fn derive_copies_dynamic_bindings() {
+        // CV-1X: any number of version instances of g-c may have the same
+        // composite reference to g-d.
+        let (mut vm, c, d) = setup(true, false);
+        let (g_d, _d1) = vm.create(d, vec![]).unwrap();
+        let (g_c, c_i) = vm.create(c, vec![]).unwrap();
+        vm.bind_dynamic(c_i, "part", g_d).unwrap();
+        let c_j = vm.derive(c_i).unwrap();
+        assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Ref(g_d));
+        assert_eq!(vm.generic_ref_count(g_d, g_c), Some(2), "two version-level refs");
+    }
+
+    #[test]
+    fn figure2_versions_may_reference_different_versions() {
+        // Different version instances of g-c reference different version
+        // instances of g-d, each with one exclusive reference.
+        let (mut vm, c, d) = setup(true, false);
+        let (_g_d, d1) = vm.create(d, vec![]).unwrap();
+        let d2 = vm.derive(d1).unwrap();
+        let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+        let c2 = vm.derive(c1).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        vm.bind_static(c2, "part", d2).unwrap();
+        assert_eq!(vm.db_mut().get(d1).unwrap().ix(), vec![c1]);
+        assert_eq!(vm.db_mut().get(d2).unwrap().ix(), vec![c2]);
+    }
+
+    #[test]
+    fn cv2x_version_instance_single_exclusive_reference() {
+        let (mut vm, c, d) = setup(true, false);
+        let (_g_d, d1) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+        let (_g_c2, c1b) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        assert!(vm.bind_static(c1b, "part", d1).is_err(), "second exclusive ref rejected");
+    }
+
+    #[test]
+    fn cv3x_exclusive_refs_to_one_generic_from_one_hierarchy_only() {
+        // Versions of *different* versionable objects may not hold
+        // exclusive references to different versions of the same object O.
+        let (mut vm, c, d) = setup(true, false);
+        let (_g_d, d1) = vm.create(d, vec![]).unwrap();
+        let d2 = vm.derive(d1).unwrap();
+        let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+        let (_g_c2, x1) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        let err = vm.bind_static(x1, "part", d2).unwrap_err();
+        assert!(matches!(err, VersionError::Cv3xViolation { .. }));
+        // A version from the *same* hierarchy is fine (CV-2X).
+        let c2 = vm.derive(c1).unwrap();
+        vm.bind_static(c2, "part", d2).unwrap();
+    }
+
+    #[test]
+    fn cv2x_generic_exclusive_dynamic_bindings_one_hierarchy() {
+        let (mut vm, c, d) = setup(true, false);
+        let (g_d, _d1) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+        let (_g_x, x1) = vm.create(c, vec![]).unwrap();
+        vm.bind_dynamic(c1, "part", g_d).unwrap();
+        let err = vm.bind_dynamic(x1, "part", g_d).unwrap_err();
+        assert!(matches!(err, VersionError::Cv2xViolation { .. }));
+        // Same hierarchy: allowed.
+        let c2 = vm.derive(c1).unwrap();
+        // derive already copied the dynamic binding; binding again is a
+        // no-op rather than an error.
+        vm.bind_dynamic(c2, "part", g_d).unwrap();
+    }
+
+    #[test]
+    fn figure3_ref_count_lifecycle() {
+        // Figure 3.b: a1.v0 -> b1.v0 and a1.v1 -> b1.v1 give the reverse
+        // composite generic reference from b1 to a1 a ref-count of 2.
+        let (mut vm, c, d) = setup(true, false);
+        let (g_b, b_v0) = vm.create(d, vec![]).unwrap();
+        let b_v1 = vm.derive(b_v0).unwrap();
+        let (g_a, a_v0) = vm.create(c, vec![]).unwrap();
+        let a_v1 = vm.derive(a_v0).unwrap();
+        vm.bind_static(a_v0, "part", b_v0).unwrap();
+        vm.bind_static(a_v1, "part", b_v1).unwrap();
+        assert_eq!(vm.generic_ref_count(g_b, g_a), Some(2));
+        // "Suppose the reference from a1.v0 to b1.v0 is removed… the
+        // reverse composite generic reference from b1 to a1 is not removed;
+        // only the ref-count is decremented by one."
+        vm.unbind(a_v0, "part", b_v0).unwrap();
+        assert_eq!(vm.generic_ref_count(g_b, g_a), Some(1));
+        assert!(vm.db_mut().get(b_v0).unwrap().reverse_refs.is_empty());
+        // "Now if the composite reference from a1.v1 to b1.v1 is removed…
+        // the reverse composite generic reference from b1 to a1 is also
+        // removed, since decrementing ref-count by one will set it to zero."
+        vm.unbind(a_v1, "part", b_v1).unwrap();
+        assert_eq!(vm.generic_ref_count(g_b, g_a), None);
+        // parents-of on the generic now yields nothing.
+        assert!(vm.parents_of_generic(g_b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn figure3_parents_of_generic_sees_static_binders() {
+        let (mut vm, c, d) = setup(true, false);
+        let (g_b, b_v0) = vm.create(d, vec![]).unwrap();
+        let (g_a, a_v0) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(a_v0, "part", b_v0).unwrap();
+        assert_eq!(vm.parents_of_generic(g_b).unwrap(), vec![g_a]);
+    }
+
+    #[test]
+    fn cv4x_deleting_last_version_deletes_generic() {
+        let (mut vm, c, _d) = setup(true, false);
+        let (g, v1) = vm.create(c, vec![]).unwrap();
+        let v2 = vm.derive(v1).unwrap();
+        vm.delete_version(v1).unwrap();
+        assert!(vm.is_generic(g), "one version remains");
+        vm.delete_version(v2).unwrap();
+        assert!(!vm.is_generic(g), "last version gone -> generic gone");
+        assert!(!vm.db().exists(g), "generic object removed from the engine");
+    }
+
+    #[test]
+    fn cv4x_generic_deletion_cascades_exclusive_references() {
+        // "When a generic instance g-c is deleted, all generic instances to
+        // which it has exclusive references are recursively deleted."
+        let (mut vm, c, d) = setup(true, false);
+        let (g_d, d1) = vm.create(d, vec![]).unwrap();
+        let (g_c, c1) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        vm.delete_generic(g_c).unwrap();
+        assert!(!vm.is_generic(g_c));
+        assert!(!vm.is_generic(g_d), "exclusively referenced generic cascades");
+        assert!(!vm.db().exists(d1));
+    }
+
+    #[test]
+    fn cv4x_shared_references_do_not_cascade_generics() {
+        let (mut vm, c, d) = setup(false, false);
+        let (g_d, d1) = vm.create(d, vec![]).unwrap();
+        let (g_c, c1) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        vm.delete_generic(g_c).unwrap();
+        assert!(vm.is_generic(g_d), "shared reference does not cascade");
+        assert!(vm.db().exists(d1));
+        // …and the generic ref-count bookkeeping was cleaned up.
+        assert_eq!(vm.generic_ref_count(g_d, g_c), None);
+    }
+
+    #[test]
+    fn dependent_static_binding_cascades_on_version_delete() {
+        // CV-2X + CV-4X: deleting a version recursively deletes version
+        // instances statically bound through dependent references.
+        let (mut vm, c, d) = setup(true, true);
+        let (g_d, d1) = vm.create(d, vec![]).unwrap();
+        let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+        vm.bind_static(c1, "part", d1).unwrap();
+        vm.delete_version(c1).unwrap();
+        assert!(!vm.db().exists(d1), "dependent statically-bound version deleted");
+        assert!(!vm.is_generic(g_d), "its generic followed (last version died)");
+    }
+}

@@ -1,0 +1,216 @@
+//! Parameterised random part hierarchies.
+//!
+//! Generates "object topologies" (paper §2.2) that respect the Topology
+//! Rules by construction: a pool of `Part` objects arranged in levels, each
+//! non-root level attached to the level above through exclusive or shared
+//! composite references. The sharing fraction selects, per object, whether
+//! it is an exclusive component (exactly one parent) or a shared component
+//! (one or more parents) — exercising the benchmark knobs of DESIGN.md
+//! (B3, B5, B7).
+
+use corion_core::{
+    AttributeDef, ClassBuilder, ClassId, CompositeSpec, Database, DbResult, Domain, Oid,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DagParams {
+    /// Number of levels below the roots.
+    pub depth: usize,
+    /// Children created per parent.
+    pub fanout: usize,
+    /// Number of root objects.
+    pub roots: usize,
+    /// Probability that a child is attached through the *shared* attribute
+    /// (and then to 1–3 parents) rather than the exclusive one.
+    pub share_fraction: f64,
+    /// Probability that a composite edge is dependent.
+    pub dependent_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            depth: 3,
+            fanout: 3,
+            roots: 2,
+            share_fraction: 0.25,
+            dependent_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated hierarchy.
+pub struct GeneratedDag {
+    /// The single `Part` class used for every node.
+    pub class: ClassId,
+    /// Root objects (no composite parents).
+    pub roots: Vec<Oid>,
+    /// All objects by level (`levels[0]` = roots).
+    pub levels: Vec<Vec<Oid>>,
+    /// Total composite edges created.
+    pub edges: usize,
+}
+
+impl GeneratedDag {
+    /// All objects in the hierarchy.
+    pub fn all(&self) -> Vec<Oid> {
+        self.levels.iter().flatten().copied().collect()
+    }
+
+    /// Total object count.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// True if empty (never, for positive parameters).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generates a hierarchy per `params` into `db`.
+    ///
+    /// The `Part` class carries four self-referential set attributes — one
+    /// per composite reference kind — so any mix the parameters ask for is
+    /// expressible:
+    /// `kids_de`, `kids_ie` (exclusive), `kids_ds`, `kids_is` (shared).
+    pub fn generate(db: &mut Database, params: DagParams) -> DbResult<GeneratedDag> {
+        let class = db.define_class(ClassBuilder::new(format!("Part_{}", params.seed)))?;
+        for (name, exclusive, dependent) in [
+            ("kids_de", true, true),
+            ("kids_ie", true, false),
+            ("kids_ds", false, true),
+            ("kids_is", false, false),
+        ] {
+            db.add_attribute(
+                class,
+                AttributeDef::composite(
+                    name,
+                    Domain::SetOf(Box::new(Domain::Class(class))),
+                    CompositeSpec { exclusive, dependent },
+                ),
+            )?;
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut levels: Vec<Vec<Oid>> = Vec::with_capacity(params.depth + 1);
+        let roots: Vec<Oid> = (0..params.roots)
+            .map(|_| db.make(class, vec![], vec![]))
+            .collect::<DbResult<_>>()?;
+        levels.push(roots.clone());
+        let mut edges = 0;
+        for _ in 0..params.depth {
+            let parents = levels.last().expect("at least roots").clone();
+            let mut level = Vec::new();
+            for &parent in &parents {
+                for _ in 0..params.fanout {
+                    let shared = rng.gen_bool(params.share_fraction);
+                    let dependent = rng.gen_bool(params.dependent_fraction);
+                    let attr = match (shared, dependent) {
+                        (false, true) => "kids_de",
+                        (false, false) => "kids_ie",
+                        (true, true) => "kids_ds",
+                        (true, false) => "kids_is",
+                    };
+                    // Create the child clustered with its (first) parent.
+                    let child = db.make(class, vec![], vec![(parent, attr)])?;
+                    edges += 1;
+                    if shared {
+                        // Attach to up to two more parents at this level.
+                        for _ in 0..rng.gen_range(0..=2usize) {
+                            let extra = parents[rng.gen_range(0..parents.len())];
+                            if extra != parent && db.make_component(child, extra, attr).is_ok() {
+                                edges += 1;
+                            }
+                        }
+                    }
+                    level.push(child);
+                }
+            }
+            levels.push(level);
+        }
+        Ok(GeneratedDag { class, roots, levels, edges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::composite::Filter;
+
+    #[test]
+    fn generation_matches_requested_shape() {
+        let mut db = Database::new();
+        let dag = GeneratedDag::generate(&mut db, DagParams::default()).unwrap();
+        assert_eq!(dag.levels.len(), 4, "roots + 3 levels");
+        assert_eq!(dag.levels[0].len(), 2);
+        assert_eq!(dag.levels[1].len(), 2 * 3);
+        assert_eq!(dag.levels[3].len(), 2 * 3 * 3 * 3);
+        assert!(!dag.is_empty());
+        assert_eq!(dag.len(), 2 + 6 + 18 + 54);
+    }
+
+    #[test]
+    fn exclusive_only_dag_is_a_forest() {
+        let mut db = Database::new();
+        let dag = GeneratedDag::generate(
+            &mut db,
+            DagParams { share_fraction: 0.0, ..DagParams::default() },
+        )
+        .unwrap();
+        for o in dag.all() {
+            let parents = db.get(o).unwrap().reverse_refs.len();
+            assert!(parents <= 1, "forest: every node has at most one parent");
+        }
+        assert_eq!(dag.edges, dag.len() - dag.roots.len());
+    }
+
+    #[test]
+    fn shared_dag_contains_multi_parent_nodes() {
+        let mut db = Database::new();
+        let dag = GeneratedDag::generate(
+            &mut db,
+            DagParams { share_fraction: 0.9, seed: 3, ..DagParams::default() },
+        )
+        .unwrap();
+        let multi = dag
+            .all()
+            .iter()
+            .filter(|&&o| db.get(o).unwrap().reverse_refs.len() > 1)
+            .count();
+        assert!(multi > 0);
+        assert!(dag.edges > dag.len() - dag.roots.len());
+    }
+
+    #[test]
+    fn every_generated_topology_satisfies_the_rules() {
+        for seed in 0..5 {
+            let mut db = Database::new();
+            let dag = GeneratedDag::generate(
+                &mut db,
+                DagParams { seed, share_fraction: 0.5, ..DagParams::default() },
+            )
+            .unwrap();
+            for o in dag.all() {
+                let obj = db.get(o).unwrap();
+                corion_core::composite::ParentSets::of(&obj).check(o).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn roots_reach_their_levels() {
+        let mut db = Database::new();
+        let dag = GeneratedDag::generate(
+            &mut db,
+            DagParams { roots: 1, depth: 2, fanout: 2, share_fraction: 0.0, ..DagParams::default() },
+        )
+        .unwrap();
+        let comps = db.components_of(dag.roots[0], &Filter::all()).unwrap();
+        assert_eq!(comps.len(), 2 + 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! The electronic-document logical part hierarchy of §2.3 Example 2.
+//!
+//! "A document consists of a title, authors and a number of sections. A
+//! section in turn is composed of paragraphs. A document may share entire
+//! sections or section paragraphs with other documents. Annotations may be
+//! added to documents; however, they are not shared among different
+//! documents. Further, documents may contain images that are extracted
+//! from files."
+
+use corion_core::{ClassBuilder, ClassId, CompositeSpec, Database, DbResult, Domain, Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The classes of the document schema.
+#[derive(Debug, Clone, Copy)]
+pub struct DocumentSchema {
+    /// `Paragraph`.
+    pub paragraph: ClassId,
+    /// `Image`.
+    pub image: ClassId,
+    /// `Section` — `Content: (set-of Paragraph)`, shared + dependent.
+    pub section: ClassId,
+    /// `Document` — `Sections` shared + dependent, `Figures` shared +
+    /// independent, `Annotations` exclusive + dependent.
+    pub document: ClassId,
+}
+
+impl DocumentSchema {
+    /// Defines the Example 2 schema, attribute-for-attribute.
+    pub fn define(db: &mut Database) -> DbResult<Self> {
+        let paragraph = db.define_class(ClassBuilder::new("Paragraph"))?;
+        let image = db.define_class(ClassBuilder::new("Image"))?;
+        let section = db.define_class(ClassBuilder::new("Section").attr_composite(
+            "Content",
+            Domain::SetOf(Box::new(Domain::Class(paragraph))),
+            CompositeSpec { exclusive: false, dependent: true },
+        ))?;
+        let document = db.define_class(
+            ClassBuilder::new("Document")
+                .attr("Title", Domain::String)
+                .attr("Authors", Domain::SetOf(Box::new(Domain::String)))
+                .attr_composite(
+                    "Sections",
+                    Domain::SetOf(Box::new(Domain::Class(section))),
+                    CompositeSpec { exclusive: false, dependent: true },
+                )
+                .attr_composite(
+                    "Figures",
+                    Domain::SetOf(Box::new(Domain::Class(image))),
+                    CompositeSpec { exclusive: false, dependent: false },
+                )
+                .attr_composite(
+                    "Annotations",
+                    Domain::SetOf(Box::new(Domain::Class(paragraph))),
+                    CompositeSpec { exclusive: true, dependent: true },
+                ),
+        )?;
+        Ok(DocumentSchema { paragraph, image, section, document })
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusParams {
+    /// Number of documents.
+    pub documents: usize,
+    /// Sections per document.
+    pub sections_per_doc: usize,
+    /// Paragraphs per section.
+    pub paras_per_section: usize,
+    /// Probability that a section is *shared from an earlier document*
+    /// instead of freshly written (the logical-part-hierarchy knob).
+    pub share_fraction: f64,
+    /// Images per document (independent components).
+    pub figures_per_doc: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for CorpusParams {
+    fn default() -> Self {
+        CorpusParams {
+            documents: 10,
+            sections_per_doc: 5,
+            paras_per_section: 4,
+            share_fraction: 0.3,
+            figures_per_doc: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated corpus.
+pub struct Corpus {
+    /// The schema used.
+    pub schema: DocumentSchema,
+    /// Document roots.
+    pub documents: Vec<Oid>,
+    /// All sections (shared ones appear once).
+    pub sections: Vec<Oid>,
+    /// How many of the document→section references reused an existing
+    /// section.
+    pub shared_section_refs: usize,
+}
+
+impl Corpus {
+    /// Generates a corpus per `params`.
+    pub fn generate(db: &mut Database, params: CorpusParams) -> DbResult<Corpus> {
+        let schema = DocumentSchema::define(db)?;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut documents = Vec::with_capacity(params.documents);
+        let mut sections: Vec<Oid> = Vec::new();
+        let mut shared_section_refs = 0;
+        for d in 0..params.documents {
+            let mut doc_sections: Vec<Value> = Vec::new();
+            let mut chosen: Vec<Oid> = Vec::new();
+            for _ in 0..params.sections_per_doc {
+                let reuse = !sections.is_empty() && rng.gen_bool(params.share_fraction);
+                let sec = if reuse {
+                    let pick = sections[rng.gen_range(0..sections.len())];
+                    if chosen.contains(&pick) {
+                        // A set attribute holds each component once.
+                        Self::fresh_section(db, &schema, params.paras_per_section)?
+                    } else {
+                        shared_section_refs += 1;
+                        pick
+                    }
+                } else {
+                    Self::fresh_section(db, &schema, params.paras_per_section)?
+                };
+                if !sections.contains(&sec) {
+                    sections.push(sec);
+                }
+                chosen.push(sec);
+                doc_sections.push(Value::Ref(sec));
+            }
+            let figures: Vec<Value> = (0..params.figures_per_doc)
+                .map(|_| db.make(schema.image, vec![], vec![]).map(Value::Ref))
+                .collect::<DbResult<_>>()?;
+            let annotation = db.make(schema.paragraph, vec![], vec![])?;
+            let doc = db.make(
+                schema.document,
+                vec![
+                    ("Title", Value::Str(format!("doc-{d}"))),
+                    ("Authors", Value::Set(vec![Value::Str("kim".into()), Value::Str("bertino".into())])),
+                    ("Sections", Value::Set(doc_sections)),
+                    ("Figures", Value::Set(figures)),
+                    ("Annotations", Value::Set(vec![Value::Ref(annotation)])),
+                ],
+                vec![],
+            )?;
+            documents.push(doc);
+        }
+        Ok(Corpus { schema, documents, sections, shared_section_refs })
+    }
+
+    fn fresh_section(
+        db: &mut Database,
+        schema: &DocumentSchema,
+        paras: usize,
+    ) -> DbResult<Oid> {
+        let content: Vec<Value> = (0..paras)
+            .map(|_| db.make(schema.paragraph, vec![], vec![]).map(Value::Ref))
+            .collect::<DbResult<_>>()?;
+        db.make(schema.section, vec![("Content", Value::Set(content))], vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::composite::Filter;
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let mut db1 = Database::new();
+        let mut db2 = Database::new();
+        let p = CorpusParams { seed: 7, ..CorpusParams::default() };
+        let c1 = Corpus::generate(&mut db1, p).unwrap();
+        let c2 = Corpus::generate(&mut db2, p).unwrap();
+        assert_eq!(c1.shared_section_refs, c2.shared_section_refs);
+        assert_eq!(c1.sections.len(), c2.sections.len());
+    }
+
+    #[test]
+    fn sharing_fraction_zero_means_disjoint_documents() {
+        let mut db = Database::new();
+        let c = Corpus::generate(
+            &mut db,
+            CorpusParams { share_fraction: 0.0, documents: 4, ..CorpusParams::default() },
+        )
+        .unwrap();
+        assert_eq!(c.shared_section_refs, 0);
+        assert_eq!(c.sections.len(), 4 * 5);
+    }
+
+    #[test]
+    fn sharing_creates_multi_parent_sections() {
+        let mut db = Database::new();
+        let c = Corpus::generate(
+            &mut db,
+            CorpusParams { share_fraction: 0.8, documents: 12, ..CorpusParams::default() },
+        )
+        .unwrap();
+        assert!(c.shared_section_refs > 0);
+        let multi_parent = c
+            .sections
+            .iter()
+            .filter(|&&s| db.get(s).unwrap().ds().len() > 1)
+            .count();
+        assert!(multi_parent > 0, "some sections belong to several documents");
+    }
+
+    #[test]
+    fn deleting_one_document_keeps_shared_sections_alive() {
+        let mut db = Database::new();
+        let c = Corpus::generate(
+            &mut db,
+            CorpusParams { share_fraction: 0.9, documents: 8, ..CorpusParams::default() },
+        )
+        .unwrap();
+        // Find a section shared by >= 2 documents.
+        let shared = c
+            .sections
+            .iter()
+            .copied()
+            .find(|&s| db.get(s).unwrap().ds().len() >= 2)
+            .expect("high share fraction produces shared sections");
+        let parents = db.get(shared).unwrap().ds();
+        db.delete(parents[0]).unwrap();
+        assert!(db.exists(shared), "still held by the other document");
+        db.delete(parents[1]).unwrap();
+        // Either deleted (no more dependent parents) or still shared.
+        if db.exists(shared) {
+            assert!(!db.get(shared).unwrap().ds().is_empty());
+        }
+    }
+
+    #[test]
+    fn annotations_are_exclusive_figures_independent() {
+        let mut db = Database::new();
+        let c = Corpus::generate(&mut db, CorpusParams { documents: 1, ..CorpusParams::default() })
+            .unwrap();
+        let doc = c.documents[0];
+        let annotations = db.get_attr(doc, "Annotations").unwrap().refs();
+        let figures = db.get_attr(doc, "Figures").unwrap().refs();
+        assert!(db.get(annotations[0]).unwrap().dx() == vec![doc]);
+        assert!(db.get(figures[0]).unwrap().is_() == vec![doc]);
+        // Deleting the document kills annotations, not figures.
+        db.delete(doc).unwrap();
+        assert!(!db.exists(annotations[0]));
+        assert!(db.exists(figures[0]));
+    }
+
+    #[test]
+    fn components_of_document_spans_levels() {
+        let mut db = Database::new();
+        let c = Corpus::generate(
+            &mut db,
+            CorpusParams {
+                documents: 1,
+                sections_per_doc: 2,
+                paras_per_section: 3,
+                figures_per_doc: 1,
+                share_fraction: 0.0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let comps = db.components_of(c.documents[0], &Filter::all()).unwrap();
+        // 2 sections + 6 paragraphs + 1 figure + 1 annotation paragraph.
+        assert_eq!(comps.len(), 10);
+    }
+}

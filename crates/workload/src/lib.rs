@@ -1,0 +1,31 @@
+//! # corion-workload
+//!
+//! Workload generators for the CORION examples, tests, and benchmarks.
+//!
+//! The paper motivates composite objects with two application domains, both
+//! generated here: mechanical-CAD style **physical part hierarchies**
+//! (§2.3 Example 1 — vehicles built from exclusively-owned, reusable parts)
+//! and **electronic documents** (§2.3 Example 2 — documents sharing
+//! sections and paragraphs, with exclusive annotations and independent
+//! figures). [`dag`] generalises both into parameterised random part
+//! hierarchies (fan-out, depth, sharing fraction, reference-kind mix), and
+//! [`txmix`] generates the transaction mixes the locking benchmarks replay.
+
+//! ```
+//! use corion_core::Database;
+//! use corion_workload::{Corpus, CorpusParams};
+//!
+//! let mut db = Database::new();
+//! let corpus = Corpus::generate(&mut db, CorpusParams::default()).unwrap();
+//! assert_eq!(corpus.documents.len(), 10);
+//! ```
+
+pub mod dag;
+pub mod documents;
+pub mod txmix;
+pub mod vehicles;
+
+pub use dag::{DagParams, GeneratedDag};
+pub use documents::{Corpus, CorpusParams, DocumentSchema};
+pub use txmix::{AccessKind, TxMixParams, TxOp};
+pub use vehicles::{Fleet, VehicleSchema};

@@ -1,0 +1,107 @@
+//! Transaction mixes for the locking benchmarks (DESIGN.md B3).
+//!
+//! Each generated operation touches one composite object (by root index)
+//! for reading or writing; the benchmark replays the mix under the §7
+//! composite protocol and under per-object locking and compares lock
+//! counts and conflict rates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read the whole composite object.
+    Read,
+    /// Update the composite object.
+    Write,
+}
+
+/// One operation in a mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxOp {
+    /// Index into the workload's root list.
+    pub root_index: usize,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// Mix parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TxMixParams {
+    /// Number of operations.
+    pub ops: usize,
+    /// Number of composite-object roots to spread over.
+    pub roots: usize,
+    /// Fraction of writes.
+    pub write_fraction: f64,
+    /// Zipf-ish skew: probability mass concentrated on the first root
+    /// (0.0 = uniform).
+    pub hot_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TxMixParams {
+    fn default() -> Self {
+        TxMixParams { ops: 100, roots: 10, write_fraction: 0.2, hot_fraction: 0.0, seed: 42 }
+    }
+}
+
+/// Generates a deterministic mix.
+pub fn generate(params: TxMixParams) -> Vec<TxOp> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.ops)
+        .map(|_| {
+            let root_index = if params.hot_fraction > 0.0 && rng.gen_bool(params.hot_fraction) {
+                0
+            } else {
+                rng.gen_range(0..params.roots)
+            };
+            let kind = if rng.gen_bool(params.write_fraction) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            TxOp { root_index, kind }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(TxMixParams::default());
+        let b = generate(TxMixParams::default());
+        assert_eq!(a, b);
+        let c = generate(TxMixParams { seed: 1, ..TxMixParams::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_fraction_is_respected_approximately() {
+        let mix = generate(TxMixParams { ops: 2000, write_fraction: 0.3, ..TxMixParams::default() });
+        let writes = mix.iter().filter(|op| op.kind == AccessKind::Write).count();
+        let frac = writes as f64 / mix.len() as f64;
+        assert!((0.25..0.35).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn hot_fraction_skews_to_first_root() {
+        let mix = generate(TxMixParams { ops: 1000, hot_fraction: 0.9, ..TxMixParams::default() });
+        let hot = mix.iter().filter(|op| op.root_index == 0).count();
+        assert!(hot > 800);
+        let uniform = generate(TxMixParams { ops: 1000, hot_fraction: 0.0, ..TxMixParams::default() });
+        let hot = uniform.iter().filter(|op| op.root_index == 0).count();
+        assert!(hot < 300);
+    }
+
+    #[test]
+    fn indices_stay_in_range() {
+        let mix = generate(TxMixParams { ops: 500, roots: 3, ..TxMixParams::default() });
+        assert!(mix.iter().all(|op| op.root_index < 3));
+    }
+}

@@ -1,0 +1,153 @@
+//! The Vehicle physical part hierarchy of §2.3 Example 1.
+//!
+//! "We require that a vehicle part may be used for only one vehicle at any
+//! point in time; however, vehicle parts may be re-used for other
+//! vehicles" — independent exclusive composite references throughout.
+
+use corion_core::{ClassBuilder, ClassId, CompositeSpec, Database, DbResult, Domain, Oid, Value};
+
+/// The classes of the vehicle schema.
+#[derive(Debug, Clone, Copy)]
+pub struct VehicleSchema {
+    /// `Company` (weak reference domain for `Manufacturer`).
+    pub company: ClassId,
+    /// `AutoBody`.
+    pub body: ClassId,
+    /// `AutoDrivetrain`.
+    pub drivetrain: ClassId,
+    /// `AutoTires`.
+    pub tires: ClassId,
+    /// `Vehicle`.
+    pub vehicle: ClassId,
+}
+
+impl VehicleSchema {
+    /// Defines the Example 1 schema. Component classes share the vehicle
+    /// segment so `:parent` clustering applies.
+    pub fn define(db: &mut Database) -> DbResult<Self> {
+        let company = db.define_class(ClassBuilder::new("Company"))?;
+        let ind_excl = CompositeSpec { exclusive: true, dependent: false };
+        let vehicle_builder = ClassBuilder::new("Vehicle");
+        // Define Vehicle first so components can share its segment.
+        let body_tmp = db.define_class(ClassBuilder::new("AutoBody"))?;
+        let drivetrain = db.define_class(ClassBuilder::new("AutoDrivetrain").same_segment_as(body_tmp))?;
+        let tires = db.define_class(ClassBuilder::new("AutoTires").same_segment_as(body_tmp))?;
+        let vehicle = db.define_class(
+            vehicle_builder
+                .same_segment_as(body_tmp)
+                .attr("Manufacturer", Domain::Class(company))
+                .attr_composite("Body", Domain::Class(body_tmp), ind_excl)
+                .attr_composite("Drivetrain", Domain::Class(drivetrain), ind_excl)
+                .attr_composite("Tires", Domain::SetOf(Box::new(Domain::Class(tires))), ind_excl)
+                .attr("Color", Domain::String),
+        )?;
+        Ok(VehicleSchema { company, body: body_tmp, drivetrain, tires, vehicle })
+    }
+
+    /// Builds one vehicle bottom-up: parts first, then the vehicle
+    /// assembling them (the capability [KIM87b] lacked).
+    pub fn build_vehicle(
+        &self,
+        db: &mut Database,
+        color: &str,
+        tire_count: usize,
+    ) -> DbResult<Oid> {
+        let body = db.make(self.body, vec![], vec![])?;
+        let drivetrain = db.make(self.drivetrain, vec![], vec![])?;
+        let tires: Vec<Value> = (0..tire_count)
+            .map(|_| db.make(self.tires, vec![], vec![]).map(Value::Ref))
+            .collect::<DbResult<_>>()?;
+        db.make(
+            self.vehicle,
+            vec![
+                ("Body", Value::Ref(body)),
+                ("Drivetrain", Value::Ref(drivetrain)),
+                ("Tires", Value::Set(tires)),
+                ("Color", Value::Str(color.into())),
+            ],
+            vec![],
+        )
+    }
+
+    /// Dismantles a vehicle, returning its parts to the free pool: removes
+    /// every composite reference (parts survive — independent) and deletes
+    /// the bare vehicle.
+    pub fn dismantle(&self, db: &mut Database, vehicle: Oid) -> DbResult<Vec<Oid>> {
+        let parts = db.components_of(vehicle, &corion_core::composite::Filter::all())?;
+        db.delete(vehicle)?;
+        Ok(parts)
+    }
+}
+
+/// A generated fleet.
+pub struct Fleet {
+    /// The schema used.
+    pub schema: VehicleSchema,
+    /// Vehicle roots.
+    pub vehicles: Vec<Oid>,
+}
+
+impl Fleet {
+    /// Generates `n` vehicles with `tires_per` tires each.
+    pub fn generate(db: &mut Database, n: usize, tires_per: usize) -> DbResult<Fleet> {
+        let schema = VehicleSchema::define(db)?;
+        let vehicles = (0..n)
+            .map(|i| schema.build_vehicle(db, if i % 2 == 0 { "red" } else { "blue" }, tires_per))
+            .collect::<DbResult<_>>()?;
+        Ok(Fleet { schema, vehicles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corion_core::composite::Filter;
+
+    #[test]
+    fn fleet_builds_composite_vehicles() {
+        let mut db = Database::new();
+        let fleet = Fleet::generate(&mut db, 3, 4).unwrap();
+        assert_eq!(fleet.vehicles.len(), 3);
+        for &v in &fleet.vehicles {
+            let comps = db.components_of(v, &Filter::all()).unwrap();
+            assert_eq!(comps.len(), 6, "body + drivetrain + 4 tires");
+        }
+    }
+
+    #[test]
+    fn parts_are_exclusive_to_one_vehicle() {
+        let mut db = Database::new();
+        let schema = VehicleSchema::define(&mut db).unwrap();
+        let v1 = schema.build_vehicle(&mut db, "red", 2).unwrap();
+        let v2 = schema.build_vehicle(&mut db, "blue", 2).unwrap();
+        let body1 = db.get_attr(v1, "Body").unwrap().refs()[0];
+        // Using v1's body for v2 violates exclusivity.
+        assert!(db.set_attr(v2, "Body", Value::Ref(body1)).is_err());
+    }
+
+    #[test]
+    fn dismantled_parts_are_reusable() {
+        // §2.3: "since the exclusive references are independent, the
+        // components can be re-used for other vehicles, if the vehicle
+        // which they constitute is dismantled later."
+        let mut db = Database::new();
+        let schema = VehicleSchema::define(&mut db).unwrap();
+        let v1 = schema.build_vehicle(&mut db, "red", 2).unwrap();
+        let body = db.get_attr(v1, "Body").unwrap().refs()[0];
+        let parts = schema.dismantle(&mut db, v1).unwrap();
+        assert!(parts.contains(&body));
+        assert!(db.exists(body), "parts survive dismantling");
+        // Re-use the body in a new vehicle.
+        let v2 = db.make(schema.vehicle, vec![("Body", Value::Ref(body))], vec![]).unwrap();
+        assert!(db.child_of(body, v2).unwrap());
+    }
+
+    #[test]
+    fn components_share_the_vehicle_segment() {
+        let mut db = Database::new();
+        let schema = VehicleSchema::define(&mut db).unwrap();
+        assert_eq!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.body).unwrap());
+        assert_eq!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.tires).unwrap());
+        assert_ne!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.company).unwrap());
+    }
+}

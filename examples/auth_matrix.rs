@@ -1,0 +1,21 @@
+//! Prints the Figure 6 implicit-authorization conflict matrix and the
+//! Figure 7 / Figure 8 lock compatibility matrices, regenerated from the
+//! rules (see EXPERIMENTS.md F6–F8).
+//!
+//! Run with: `cargo run --example auth_matrix`
+
+use corion::authz::matrix::render_figure6;
+use corion::lock::modes::render_matrix;
+use corion::LockMode;
+
+fn main() {
+    println!("Figure 6 — implicit authorizations on a component shared by two");
+    println!("composite objects (rows: grant via Instance[j]; cols: via Instance[k]):\n");
+    println!("{}", render_figure6());
+
+    println!("Figure 7 — compatibility matrix, granularity + exclusive composite modes:\n");
+    println!("{}", render_matrix(&LockMode::FIGURE7));
+
+    println!("Figure 8 — expanded matrix with shared-reference modes (ISOS/IXOS/SIXOS):\n");
+    println!("{}", render_matrix(&LockMode::ALL));
+}

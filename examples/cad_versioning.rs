@@ -1,0 +1,75 @@
+//! Versioned mechanical-CAD designs — §5.
+//!
+//! A CAD assembly references its subassembly; both evolve through versions.
+//! Demonstrates static vs. dynamic binding, the Figure 1 derivation
+//! semantics, default versions, and the ref-counted reverse composite
+//! generic references of §5.3.
+//!
+//! Run with: `cargo run --example cad_versioning`
+
+use corion::{ClassBuilder, CompositeSpec, Database, Domain, Value, VersionManager};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    let wing = db.define_class(ClassBuilder::new("Wing").versionable().attr("span", Domain::Float))?;
+    let aircraft = db.define_class(
+        ClassBuilder::new("Aircraft")
+            .versionable()
+            .attr("name", Domain::String)
+            .attr_composite(
+                "wing",
+                Domain::Class(wing),
+                CompositeSpec { exclusive: true, dependent: false },
+            ),
+    )?;
+    let mut vm = VersionManager::new(db);
+
+    // Versionable objects: a generic instance + version instances.
+    let (g_wing, wing_v1) = vm.create(wing, vec![("span", Value::Float(30.0))])?;
+    let (g_plane, plane_v1) = vm.create(aircraft, vec![("name", Value::Str("P-1".into()))])?;
+    println!("wing generic {g_wing} v1 {wing_v1}; aircraft generic {g_plane} v1 {plane_v1}");
+
+    // Static binding: P-1 v1 uses exactly wing v1.
+    vm.bind_static(plane_v1, "wing", wing_v1)?;
+    println!("statically bound plane v1 -> wing v1");
+
+    // Derive a new wing (longer span) and a new plane version.
+    let wing_v2 = vm.derive(wing_v1)?;
+    vm.db_mut().set_attr(wing_v2, "span", Value::Float(34.5))?;
+    let plane_v2 = vm.derive(plane_v1)?;
+    // Figure 1: the derived plane's exclusive independent wing reference was
+    // re-bound to the wing's *generic* instance (dynamic binding).
+    let bound = vm.db_mut().get_attr(plane_v2, "wing")?;
+    println!("derived plane v2 wing reference: {bound} (the generic — dynamic binding)");
+    assert_eq!(bound, Value::Ref(g_wing));
+
+    // Dynamic resolution follows the default version (latest by default).
+    let resolved = vm.resolve(g_wing)?;
+    println!("dynamic binding resolves to {resolved} (wing v2)");
+    assert_eq!(resolved, wing_v2);
+
+    // Pin the default back to v1 — §5.1's user-specified default.
+    vm.set_default_version(g_wing, wing_v1)?;
+    println!("after set-default-version: resolves to {}", vm.resolve(g_wing)?);
+
+    // §5.3 ref-counts: the wing generic records one reference from the
+    // plane hierarchy per version-level reference.
+    println!(
+        "reverse composite generic ref-count wing<-plane: {:?}",
+        vm.generic_ref_count(g_wing, g_plane)
+    );
+    println!("parents-of generic wing: {:?}", vm.parents_of_generic(g_wing)?);
+
+    // CV-4X: deleting all plane versions deletes the plane generic; the
+    // wing is independent, so it survives.
+    vm.delete_version(plane_v1)?;
+    vm.delete_version(plane_v2)?;
+    assert!(!vm.is_generic(g_plane));
+    assert!(vm.is_generic(g_wing));
+    println!(
+        "deleted both plane versions: plane generic gone, wing generic survives \
+         (ref-count now {:?})",
+        vm.generic_ref_count(g_wing, g_plane)
+    );
+    Ok(())
+}

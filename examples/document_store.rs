@@ -1,0 +1,82 @@
+//! A document store over the logical part hierarchy of §2.3 Example 2,
+//! at corpus scale: documents share sections, deletion reference-counts
+//! dependent shared components, annotations are private, figures are
+//! independent.
+//!
+//! Run with: `cargo run --example document_store`
+
+use corion::workload::{Corpus, CorpusParams};
+use corion::{Database, Filter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    let corpus = Corpus::generate(
+        &mut db,
+        CorpusParams {
+            documents: 20,
+            sections_per_doc: 6,
+            paras_per_section: 5,
+            share_fraction: 0.4,
+            figures_per_doc: 2,
+            seed: 1989,
+        },
+    )?;
+    println!(
+        "corpus: {} documents, {} distinct sections, {} section references reused",
+        corpus.documents.len(),
+        corpus.sections.len(),
+        corpus.shared_section_refs
+    );
+
+    // How shared is the corpus? Count sections by number of owning docs.
+    let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
+    for &s in &corpus.sections {
+        let owners = db.get(s)?.ds().len();
+        *histogram.entry(owners).or_default() += 1;
+    }
+    for (owners, count) in &histogram {
+        println!("  sections in {owners} document(s): {count}");
+    }
+
+    // Pick the most-shared section and show the §3 operations on it.
+    let most_shared = corpus
+        .sections
+        .iter()
+        .copied()
+        .max_by_key(|&s| db.get(s).map(|o| o.ds().len()).unwrap_or(0))
+        .expect("non-empty corpus");
+    let owners = db.parents_of(most_shared, &Filter::all())?;
+    println!("most shared section {most_shared} belongs to {} documents", owners.len());
+
+    // Delete owners one at a time: the section survives until the last
+    // dependent parent goes (the paper's reference-counted deletion).
+    let total_before = db.object_count();
+    for (i, &owner) in owners.iter().enumerate() {
+        if !db.exists(owner) {
+            continue;
+        }
+        db.delete(owner)?;
+        let alive = db.exists(most_shared);
+        println!(
+            "  deleted owner {}/{} -> section alive: {alive}",
+            i + 1,
+            owners.len()
+        );
+        if i + 1 < owners.len() {
+            assert!(alive, "section must survive while dependent parents remain");
+        }
+    }
+    assert!(!db.exists(most_shared), "last dependent parent deleted the section");
+    println!(
+        "objects: {} -> {} (cascades removed private annotations and orphaned paragraphs; \
+         independent figures survive)",
+        total_before,
+        db.object_count()
+    );
+
+    // Independent figures from the deleted documents are still there.
+    let images_alive = db.instances_of(corpus.schema.image, false).len();
+    println!("figures still alive: {images_alive}");
+    assert!(images_alive > 0);
+    Ok(())
+}

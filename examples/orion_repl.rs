@@ -1,0 +1,89 @@
+//! An interactive REPL for the ORION message syntax of §2.3/§3.
+//!
+//! ```text
+//! $ cargo run --example orion_repl
+//! orion> (make-class 'Part)
+//! #<class c0>
+//! orion> (define p (make Part))
+//! #<c0.i0>
+//! ```
+//!
+//! Piping a script works too:
+//! `cargo run --example orion_repl < script.lisp`
+
+use std::io::{self, BufRead, Write};
+
+use corion::Interpreter;
+
+const BANNER: &str = "\
+CORION — Composite Objects Revisited (SIGMOD 1989) message REPL
+Messages: make-class, make, get, set!, delete, make-component,
+          remove-component, components-of, parents-of, ancestors-of,
+          compositep, exclusive-compositep, shared-compositep,
+          dependent-compositep, component-of, child-of,
+          exclusive-component-of, shared-component-of, instances-of,
+          select, describe, verify-integrity, save-database,
+          drop-attribute, add-attribute, add-superclass,
+          remove-superclass, drop-class, change-attribute-type,
+          create-versioned, derive-version, default-version,
+          set-default-version, resolve, define.
+Ctrl-D to exit.";
+
+fn main() {
+    println!("{BANNER}");
+    let mut interp = Interpreter::new();
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    let mut buffer = String::new();
+    loop {
+        if interactive && buffer.is_empty() {
+            print!("orion> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        buffer.push_str(&line);
+        // Evaluate once parentheses balance (multi-line input support).
+        if paren_balance(&buffer) > 0 {
+            continue;
+        }
+        let src = std::mem::take(&mut buffer);
+        if src.trim().is_empty() {
+            continue;
+        }
+        match interp.eval_str(&src) {
+            Ok(v) => println!("{v}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn paren_balance(s: &str) -> i64 {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut prev = '\0';
+    for c in s.chars() {
+        match c {
+            '"' if prev != '\\' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev = c;
+    }
+    depth
+}
+
+/// Best-effort interactivity probe without external crates: treat stdin as
+/// interactive unless the `CORION_BATCH` env var is set (scripts/pipes work
+/// either way; the probe only controls the prompt).
+fn atty_stdin() -> bool {
+    std::env::var_os("CORION_BATCH").is_none()
+}

@@ -1,0 +1,96 @@
+//! Quickstart: the composite-object model in five minutes.
+//!
+//! Builds the paper's running example — documents sharing sections — and
+//! walks through the five reference types, bottom-up creation, the
+//! operations of §3, and the Deletion Rule.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use corion::{ClassBuilder, CompositeSpec, Database, Domain, Filter, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // --- schema ---------------------------------------------------------
+    // (make-class 'Paragraph), (make-class 'Section ...), (make-class
+    // 'Document ...) — §2.3 Example 2.
+    let paragraph = db.define_class(ClassBuilder::new("Paragraph"))?;
+    let image = db.define_class(ClassBuilder::new("Image"))?;
+    let section = db.define_class(ClassBuilder::new("Section").attr_composite(
+        "Content",
+        Domain::SetOf(Box::new(Domain::Class(paragraph))),
+        CompositeSpec { exclusive: false, dependent: true }, // shared + dependent
+    ))?;
+    let document = db.define_class(
+        ClassBuilder::new("Document")
+            .attr("Title", Domain::String)
+            .attr_composite(
+                "Sections",
+                Domain::SetOf(Box::new(Domain::Class(section))),
+                CompositeSpec { exclusive: false, dependent: true },
+            )
+            .attr_composite(
+                "Figures",
+                Domain::SetOf(Box::new(Domain::Class(image))),
+                CompositeSpec { exclusive: false, dependent: false }, // independent
+            ),
+    )?;
+
+    // --- bottom-up creation ----------------------------------------------
+    // [KIM87b] forced top-down creation; the revisited model assembles
+    // existing objects.
+    let p1 = db.make(paragraph, vec![], vec![])?;
+    let p2 = db.make(paragraph, vec![], vec![])?;
+    let intro = db.make(
+        section,
+        vec![("Content", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))],
+        vec![],
+    )?;
+    let figure = db.make(image, vec![], vec![])?;
+
+    let thesis = db.make(
+        document,
+        vec![
+            ("Title", Value::Str("Composite Objects Revisited".into())),
+            ("Sections", Value::Set(vec![Value::Ref(intro)])),
+            ("Figures", Value::Set(vec![Value::Ref(figure)])),
+        ],
+        vec![],
+    )?;
+    // The identical section becomes part of a second document — a *logical*
+    // part hierarchy, impossible under [KIM87b]'s exclusive-only model.
+    let survey = db.make(
+        document,
+        vec![
+            ("Title", Value::Str("A Survey".into())),
+            ("Sections", Value::Set(vec![Value::Ref(intro)])),
+        ],
+        vec![],
+    )?;
+
+    // --- operations (§3) --------------------------------------------------
+    println!("components-of thesis  = {:?}", db.components_of(thesis, &Filter::all())?);
+    println!("parents-of intro      = {:?}", db.parents_of(intro, &Filter::all())?);
+    println!("ancestors-of p1       = {:?}", db.ancestors_of(p1, &Filter::all())?);
+    println!("component-of p1 thesis          = {}", db.component_of(p1, thesis)?);
+    println!("shared-component-of intro thesis = {}", db.shared_component_of(intro, thesis)?);
+    assert!(db.component_of(intro, thesis)? && db.component_of(intro, survey)?);
+
+    // --- the Deletion Rule (§2.2) -----------------------------------------
+    // Deleting the thesis does NOT delete the shared section: DS(intro)
+    // still contains the survey.
+    db.delete(thesis)?;
+    assert!(db.exists(intro));
+    println!("after deleting thesis: intro survives, held by {:?}", db.parents_of(intro, &Filter::all())?);
+    // The figure is independent — it survives no matter what.
+    assert!(db.exists(figure));
+
+    // Deleting the survey removes the last dependent parent: the section
+    // and (transitively) its paragraphs go with it.
+    db.delete(survey)?;
+    assert!(!db.exists(intro) && !db.exists(p1) && !db.exists(p2));
+    assert!(db.exists(figure), "independent components always survive");
+    println!("after deleting survey: section and paragraphs cascaded, figure survives");
+    println!("objects remaining: {}", db.object_count());
+    Ok(())
+}

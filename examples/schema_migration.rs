@@ -1,0 +1,98 @@
+//! Schema evolution in a living database — §4.
+//!
+//! A CAD shop's parts catalogue evolves: parts become shareable between
+//! assemblies (I2, deferred), then independent of them (I3); an audit
+//! attribute arrives mid-flight; a weak supplier link is promoted to a
+//! composite reference (D2) — all while instances exist and without any
+//! stop-the-world rewrite for the state-independent steps.
+//!
+//! Run with: `cargo run --example schema_migration`
+
+use corion::core::evolution::{AttrTypeChange, Maintenance};
+use corion::{AttributeDef, ClassBuilder, CompositeSpec, Database, Domain, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    let supplier = db.define_class(ClassBuilder::new("Supplier"))?;
+    let part = db.define_class(
+        ClassBuilder::new("Part")
+            .attr("name", Domain::String)
+            .attr("source", Domain::Class(supplier)), // weak, for now
+    )?;
+    let assembly = db.define_class(ClassBuilder::new("Assembly").attr_composite(
+        "parts",
+        Domain::SetOf(Box::new(Domain::Class(part))),
+        CompositeSpec { exclusive: true, dependent: true }, // the [KIM87b] default
+    ))?;
+
+    // Populate: 1000 parts in 100 assemblies, each from one supplier.
+    let acme = db.make(supplier, vec![], vec![])?;
+    let mut assemblies = Vec::new();
+    for a in 0..100 {
+        let parts: Vec<Value> = (0..10)
+            .map(|p| {
+                db.make(
+                    part,
+                    vec![
+                        ("name", Value::Str(format!("part-{a}-{p}"))),
+                        ("source", Value::Ref(acme)),
+                    ],
+                    vec![],
+                )
+                .map(Value::Ref)
+            })
+            .collect::<Result<_, _>>()?;
+        assemblies.push(db.make(assembly, vec![("parts", Value::Set(parts))], vec![])?);
+    }
+    println!("populated: {} objects", db.object_count());
+
+    // --- I2, deferred: parts become shareable --------------------------
+    db.change_attribute_type(assembly, "parts", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)?;
+    println!("I2 exclusive->shared issued (deferred): no instance was touched");
+    // The flags catch up lazily; sharing works immediately for whatever we
+    // touch.
+    let borrowed = db.get_attr(assemblies[0], "parts")?.refs()[0];
+    db.make_component(borrowed, assemblies[1], "parts")?;
+    println!("part {borrowed} is now shared by two assemblies");
+
+    // --- I3, deferred: parts outlive their assemblies -------------------
+    db.change_attribute_type(assembly, "parts", AttrTypeChange::ToIndependent, Maintenance::Deferred)?;
+    let victim = assemblies[2];
+    let survivors = db.components_of(victim, &corion::Filter::all())?;
+    db.delete(victim)?;
+    assert!(survivors.iter().all(|&p| db.exists(p)));
+    println!("deleted an assembly; its {} parts survive (now independent)", survivors.len());
+
+    // --- add an attribute mid-flight ------------------------------------
+    let mut audit = AttributeDef::plain("audited", Domain::Boolean);
+    audit.init = Value::Bool(false);
+    db.add_attribute(part, audit)?;
+    println!("added Part.audited; existing instance reads {:?}", db.get_attr(borrowed, "audited")?);
+
+    // --- D2: promote the weak supplier link to a shared composite -------
+    // State-dependent: the engine scans the full Part extension ("may be
+    // very expensive") and verifies Topology Rule 3 before committing.
+    db.change_attribute_type(
+        part,
+        "source",
+        AttrTypeChange::WeakToShared { dependent: false },
+        Maintenance::Immediate,
+    )?;
+    println!("D2 weak->shared verified against {} parts", db.instances_of(part, false).len());
+    // Each part now holds a shared composite reference to the supplier —
+    // the supplier is a component of every part that sources from it.
+    assert!(db.component_of(acme, borrowed)?);
+    println!(
+        "supplier {} is now a shared component of {} parts",
+        acme,
+        db.parents_of(acme, &corion::Filter::all())?.len()
+    );
+
+    // Everything above preserved the §2 invariants:
+    let report = db.verify_integrity()?;
+    println!(
+        "integrity: {} objects, {} composite edges, {} weak refs — all invariants hold",
+        report.objects, report.composite_edges, report.weak_refs
+    );
+    Ok(())
+}

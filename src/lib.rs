@@ -1,0 +1,5 @@
+//! Root facade for the repository: re-exports [`corion`].
+//!
+//! Integration tests in `tests/` and runnable examples in `examples/`
+//! exercise the workspace through this crate.
+pub use corion::*;

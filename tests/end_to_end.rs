@@ -1,0 +1,166 @@
+//! End-to-end scenario stitching every subsystem together: a design
+//! database evolves its schema (§4), versions its assemblies (§5), guards
+//! them with composite authorization (§6), and serialises access with
+//! composite locking (§7) — on one engine instance.
+
+use corion::core::evolution::{AttrTypeChange, Maintenance};
+use corion::lock::protocol::composite_lockset;
+use corion::{
+    AttributeDef, AuthObject, AuthStore, AuthType, Authorization, ClassBuilder, CompositeSpec,
+    Database, Decision, Domain, Filter, LockIntent, LockManager, UserId, Value, VersionManager,
+};
+
+#[test]
+fn design_database_lifecycle() {
+    let mut db = Database::new();
+
+    // --- 1. schema: a CAD-ish assembly/part design ------------------------
+    let part = db.define_class(ClassBuilder::new("Part").attr("weight", Domain::Integer)).unwrap();
+    let assembly = db
+        .define_class(
+            ClassBuilder::new("Assembly")
+                .versionable()
+                .attr("name", Domain::String)
+                .attr_composite(
+                    "parts",
+                    Domain::SetOf(Box::new(Domain::Class(part))),
+                    CompositeSpec { exclusive: true, dependent: true },
+                ),
+        )
+        .unwrap();
+
+    // --- 2. build two assemblies bottom-up --------------------------------
+    let mut parts = Vec::new();
+    for w in [10, 20, 30, 40] {
+        parts.push(db.make(part, vec![("weight", Value::Int(w))], vec![]).unwrap());
+    }
+    let a1 = db
+        .make(
+            assembly,
+            vec![
+                ("name", Value::Str("engine".into())),
+                ("parts", Value::Set(vec![Value::Ref(parts[0]), Value::Ref(parts[1])])),
+            ],
+            vec![],
+        )
+        .unwrap();
+    let a2 = db
+        .make(
+            assembly,
+            vec![
+                ("name", Value::Str("chassis".into())),
+                ("parts", Value::Set(vec![Value::Ref(parts[2]), Value::Ref(parts[3])])),
+            ],
+            vec![],
+        )
+        .unwrap();
+
+    // --- 3. schema evolution: the design team decides parts are reusable
+    //        (I3 dependent -> independent) and shareable (I2), deferred ----
+    db.change_attribute_type(assembly, "parts", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
+        .unwrap();
+    db.change_attribute_type(assembly, "parts", AttrTypeChange::ToIndependent, Maintenance::Deferred)
+        .unwrap();
+    // The flags catch up on first touch.
+    let p0 = db.get(parts[0]).unwrap();
+    assert_eq!(p0.is_(), vec![a1], "flags now independent shared");
+    // A part can now serve two assemblies.
+    db.make_component(parts[0], a2, "parts").unwrap();
+    assert_eq!(db.get(parts[0]).unwrap().is_().len(), 2);
+
+    // --- 4. add an attribute mid-flight ------------------------------------
+    let mut def = AttributeDef::plain("revision", Domain::Integer);
+    def.init = Value::Int(1);
+    db.add_attribute(assembly, def).unwrap();
+    assert_eq!(db.get_attr(a1, "revision").unwrap(), Value::Int(1));
+
+    // --- 5. authorization: alice owns a1's tree, bob is read-only ---------
+    let mut auth = AuthStore::new();
+    let (alice, bob) = (UserId(1), UserId(2));
+    auth.grant(&mut db, alice, AuthObject::Instance(a1), Authorization::SW).unwrap();
+    auth.grant(&mut db, bob, AuthObject::Instance(a1), Authorization::SR).unwrap();
+    assert_eq!(auth.check(&mut db, alice, AuthType::Write, parts[1]).unwrap(), Decision::Granted);
+    assert_eq!(auth.check(&mut db, bob, AuthType::Write, parts[1]).unwrap(), Decision::NoAuthorization);
+    assert_eq!(auth.check(&mut db, bob, AuthType::Read, parts[1]).unwrap(), Decision::Granted);
+    // parts[0] is shared with a2: bob's grant reaches it through a1 anyway.
+    assert_eq!(auth.check(&mut db, bob, AuthType::Read, parts[0]).unwrap(), Decision::Granted);
+
+    // --- 6. locking: writer on a1 and reader on a2 — note the shared
+    //        Part class now forces IXOS vs ISOS (one writer per shared
+    //        class), so these CONFLICT after the schema change ------------
+    let lm = LockManager::new();
+    let t1 = lm.begin();
+    composite_lockset(&db, a1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+    let t2 = lm.begin();
+    assert!(
+        composite_lockset(&db, a2, LockIntent::Read).try_acquire(&lm, t2).is_err(),
+        "shared component class admits one writer"
+    );
+    lm.release_all(t1);
+    lm.release_all(t2);
+
+    // --- 7. versions: derive the engine design ----------------------------
+    let mut vm = VersionManager::new(db);
+    let (g, v1) = vm.create(assembly, vec![("name", Value::Str("gearbox".into()))]).unwrap();
+    vm.bind_static(v1, "parts", parts[1]).unwrap();
+    let v2 = vm.derive(v1).unwrap();
+    // shared static refs are copied; parts[1] now serves both versions.
+    assert_eq!(vm.db_mut().get_attr(v2, "parts").unwrap().refs(), vec![parts[1]]);
+    assert_eq!(vm.default_version(g).unwrap(), v2);
+
+    // --- 8. deletion: remove a1; shared/independent parts survive ---------
+    let db = vm.db_mut();
+    db.delete(a1).unwrap();
+    for &p in &parts {
+        assert!(db.exists(p), "independent parts survive their assembly");
+    }
+    // a2 still sees its parts.
+    let comps = db.components_of(a2, &Filter::all()).unwrap();
+    assert!(comps.contains(&parts[0]) && comps.contains(&parts[2]));
+}
+
+#[test]
+fn orphan_policy_interacts_with_schema_change() {
+    // Changing dependent->independent mid-life must change what deletion
+    // does, including for pre-existing references maintained lazily.
+    let mut db = Database::new();
+    let leaf = db.define_class(ClassBuilder::new("Leaf")).unwrap();
+    let node = db
+        .define_class(ClassBuilder::new("Node").attr_composite(
+            "kid",
+            Domain::Class(leaf),
+            CompositeSpec { exclusive: true, dependent: true },
+        ))
+        .unwrap();
+    let l1 = db.make(leaf, vec![], vec![]).unwrap();
+    let n1 = db.make(node, vec![("kid", Value::Ref(l1))], vec![]).unwrap();
+    let l2 = db.make(leaf, vec![], vec![]).unwrap();
+    let n2 = db.make(node, vec![("kid", Value::Ref(l2))], vec![]).unwrap();
+    // Deferred change; n1's leaf is never touched before deletion, so the
+    // deferred application must happen *during* the deletion traversal.
+    db.change_attribute_type(node, "kid", AttrTypeChange::ToIndependent, Maintenance::Deferred)
+        .unwrap();
+    db.delete(n1).unwrap();
+    assert!(db.exists(l1), "deferred flag change applied on access during deletion");
+    db.delete(n2).unwrap();
+    assert!(db.exists(l2));
+}
+
+#[test]
+fn interpreter_and_engine_share_semantics() {
+    // The same scenario through the message language gives the same result
+    // as the Rust API (lang is a thin veneer, not a parallel semantics).
+    let mut it = corion::Interpreter::new();
+    it.eval_str(
+        r#"
+        (make-class 'Leaf)
+        (make-class 'Node :attributes ((kid :domain Leaf :composite t :exclusive t :dependent t)))
+        (define l (make Leaf))
+        (define n (make Node :kid l))
+        "#,
+    )
+    .unwrap();
+    let deleted = it.eval_str("(delete n)").unwrap();
+    let corion::lang::LangValue::List(items) = deleted else { panic!() };
+    assert_eq!(items.len(), 2);
+}

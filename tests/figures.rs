@@ -1,0 +1,353 @@
+//! Reproductions of the paper's figures (experiment ids F1–F5, F9 in
+//! DESIGN.md §4). Each test replays the figure's narrative and asserts the
+//! outcome the paper states.
+
+use corion::authz::matrix::{combine_all, Cell};
+use corion::lock::protocol::{composite_lockset, direct_lockset};
+use corion::lock::rootlock::{audit_missed_conflicts, implicit_locks, lock_via_roots};
+use corion::{
+    AuthObject, AuthStore, Authorization, ClassBuilder, ClassId, CompositeSpec, Database, Domain,
+    Filter, LockIntent, LockManager, LockMode, Oid, UserId, Value, VersionManager,
+};
+
+// ---------------------------------------------------------------------
+// F1–F3: versions of composite objects (§5, Figures 1–3)
+// ---------------------------------------------------------------------
+
+fn versioned_pair(exclusive: bool, dependent: bool) -> (VersionManager, ClassId, ClassId) {
+    let mut db = Database::new();
+    let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+    let c = db
+        .define_class(ClassBuilder::new("C").versionable().attr_composite(
+            "part",
+            Domain::Class(d),
+            CompositeSpec { exclusive, dependent },
+        ))
+        .unwrap();
+    (VersionManager::new(db), c, d)
+}
+
+#[test]
+fn fig1_derive_version_rebinds_exclusive_reference_to_generic() {
+    // Figure 1.a -> 1.b: deriving c-j from c-i, whose exclusive independent
+    // reference targets version d-k, rebinds the copy to the generic g-d.
+    let (mut vm, c, d) = versioned_pair(true, false);
+    let (g_d, d_k) = vm.create(d, vec![]).unwrap();
+    let (_g_c, c_i) = vm.create(c, vec![]).unwrap();
+    vm.bind_static(c_i, "part", d_k).unwrap();
+    let c_j = vm.derive(c_i).unwrap();
+    assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Ref(g_d));
+    assert_eq!(vm.db_mut().get_attr(c_i, "part").unwrap(), Value::Ref(d_k));
+}
+
+#[test]
+fn fig1_derive_version_nils_dependent_reference() {
+    let (mut vm, c, d) = versioned_pair(true, true);
+    let (_g_d, d_k) = vm.create(d, vec![]).unwrap();
+    let (_g_c, c_i) = vm.create(c, vec![]).unwrap();
+    vm.bind_static(c_i, "part", d_k).unwrap();
+    let c_j = vm.derive(c_i).unwrap();
+    assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Null);
+}
+
+#[test]
+fn fig2_versioned_composite_objects() {
+    // Different version instances of g-c hold exclusive references to
+    // *different* version instances of g-d — each target has exactly one
+    // exclusive reference, satisfying CV-2X.
+    let (mut vm, c, d) = versioned_pair(true, false);
+    let (_g_d, d1) = vm.create(d, vec![]).unwrap();
+    let d2 = vm.derive(d1).unwrap();
+    let d3 = vm.derive(d2).unwrap();
+    let (_g_c, c1) = vm.create(c, vec![]).unwrap();
+    let c2 = vm.derive(c1).unwrap();
+    let c3 = vm.derive(c2).unwrap();
+    vm.bind_static(c1, "part", d1).unwrap();
+    vm.bind_static(c2, "part", d2).unwrap();
+    vm.bind_static(c3, "part", d3).unwrap();
+    for (ci, di) in [(c1, d1), (c2, d2), (c3, d3)] {
+        assert_eq!(vm.db_mut().get(di).unwrap().ix(), vec![ci]);
+    }
+}
+
+#[test]
+fn fig3_reverse_generic_refs_with_ref_counts() {
+    // Figure 3.b replayed end-to-end (also unit-tested in corion-versions):
+    // two statically-bound references, removed one at a time.
+    let (mut vm, c, d) = versioned_pair(true, false);
+    let (g_b, b_v0) = vm.create(d, vec![]).unwrap();
+    let b_v1 = vm.derive(b_v0).unwrap();
+    let (g_a, a_v0) = vm.create(c, vec![]).unwrap();
+    let a_v1 = vm.derive(a_v0).unwrap();
+    vm.bind_static(a_v0, "part", b_v0).unwrap();
+    vm.bind_static(a_v1, "part", b_v1).unwrap();
+    assert_eq!(vm.generic_ref_count(g_b, g_a), Some(2));
+    assert_eq!(vm.parents_of_generic(g_b).unwrap(), vec![g_a]);
+    vm.unbind(a_v0, "part", b_v0).unwrap();
+    assert_eq!(vm.generic_ref_count(g_b, g_a), Some(1));
+    vm.unbind(a_v1, "part", b_v1).unwrap();
+    assert_eq!(vm.generic_ref_count(g_b, g_a), None);
+}
+
+// ---------------------------------------------------------------------
+// F4–F5: authorization (§6, Figures 4–5)
+// ---------------------------------------------------------------------
+
+/// Figure 4: Instance[i] roots a composite object with components
+/// Instance[k], Instance[m], Instance[n] (under m), Instance[o] (under n).
+struct Fig4 {
+    db: Database,
+    i: Oid,
+    k: Oid,
+    m: Oid,
+    n: Oid,
+    o: Oid,
+}
+
+fn figure4() -> Fig4 {
+    let mut db = Database::new();
+    let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+    db.add_attribute(
+        part,
+        corion::AttributeDef::composite(
+            "sub",
+            Domain::SetOf(Box::new(Domain::Class(part))),
+            CompositeSpec { exclusive: true, dependent: true },
+        ),
+    )
+    .unwrap();
+    let o = db.make(part, vec![], vec![]).unwrap();
+    let n = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
+    let m = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![]).unwrap();
+    let k = db.make(part, vec![], vec![]).unwrap();
+    let i = db
+        .make(part, vec![("sub", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))], vec![])
+        .unwrap();
+    Fig4 { db, i, k, m, n, o }
+}
+
+#[test]
+fn fig4_implicit_authorization_reaches_all_components() {
+    let mut fx = figure4();
+    let mut st = AuthStore::new();
+    let u = UserId(1);
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.i), Authorization::SR).unwrap();
+    for obj in [fx.k, fx.m, fx.n, fx.o] {
+        assert_eq!(
+            st.implied_on(&mut fx.db, u, obj).unwrap(),
+            vec![Authorization::SR],
+            "Read reaches {obj}"
+        );
+        assert_eq!(
+            st.check(&mut fx.db, u, corion::AuthType::Read, obj).unwrap(),
+            corion::Decision::Granted
+        );
+    }
+}
+
+/// Figure 5: Instance[j] -> {p, o'}; Instance[k] -> {o', o, q}; o' shared.
+struct Fig5 {
+    db: Database,
+    j: Oid,
+    k: Oid,
+    o_prime: Oid,
+    o: Oid,
+    q: Oid,
+}
+
+fn figure5() -> Fig5 {
+    let mut db = Database::new();
+    let comp = db.define_class(ClassBuilder::new("Comp")).unwrap();
+    let root = db
+        .define_class(ClassBuilder::new("Root").attr_composite(
+            "parts",
+            Domain::SetOf(Box::new(Domain::Class(comp))),
+            CompositeSpec { exclusive: false, dependent: false },
+        ))
+        .unwrap();
+    let p = db.make(comp, vec![], vec![]).unwrap();
+    let o_prime = db.make(comp, vec![], vec![]).unwrap();
+    let o = db.make(comp, vec![], vec![]).unwrap();
+    let q = db.make(comp, vec![], vec![]).unwrap();
+    let j = db
+        .make(root, vec![("parts", Value::Set(vec![Value::Ref(p), Value::Ref(o_prime)]))], vec![])
+        .unwrap();
+    let k = db
+        .make(
+            root,
+            vec![("parts", Value::Set(vec![Value::Ref(o_prime), Value::Ref(o), Value::Ref(q)]))],
+            vec![],
+        )
+        .unwrap();
+    Fig5 { db, j, k, o_prime, o, q }
+}
+
+#[test]
+fn fig5_shared_component_accumulates_implicit_authorizations() {
+    let mut fx = figure5();
+    let mut st = AuthStore::new();
+    let u = UserId(1);
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.j), Authorization::SR).unwrap();
+    assert_eq!(st.implied_on(&mut fx.db, u, fx.o_prime).unwrap().len(), 1);
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW).unwrap();
+    let implied = st.implied_on(&mut fx.db, u, fx.o_prime).unwrap();
+    assert_eq!(implied.len(), 2, "one implicit authorization per composite object");
+    // Figure 6's sR + sW cell: sW (implying sR).
+    assert_eq!(combine_all(&implied), Cell::Auths(vec![Authorization::SW]));
+    // Objects exclusive to k receive only k's.
+    assert_eq!(st.implied_on(&mut fx.db, u, fx.o).unwrap(), vec![Authorization::SW]);
+}
+
+#[test]
+fn fig5_conflicting_grants_rejected_at_grant_time() {
+    let mut fx = figure5();
+    let mut st = AuthStore::new();
+    let u = UserId(1);
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.j), Authorization::SNR).unwrap();
+    let err = st.grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW).unwrap_err();
+    assert!(matches!(err, corion::authz::AuthError::Conflict { object, .. } if object == fx.o_prime));
+}
+
+#[test]
+fn fig5_garz88_root_locking_anomaly() {
+    // §7: T1 S-locks o' -> roots j,k locked S, implicitly covering o and q.
+    // T2 X-locks o -> root k locked X by the algorithm... which the
+    // *explicit* table would catch at k; the published failure is about the
+    // implicit coverage ("implicitly locks Instance[q] in X mode, which of
+    // course conflicts with the implicit S lock which T1 holds").
+    let mut fx = figure5();
+    let lm = LockManager::new();
+    let t1 = lm.begin();
+    let roots = lock_via_roots(&mut fx.db, &lm, t1, fx.o_prime, LockMode::S).unwrap();
+    assert_eq!(roots.len(), 2, "o' has two roots");
+    // Materialise T1's implicit coverage: both composite objects entirely.
+    let cover = implicit_locks(&mut fx.db, &[(fx.j, LockMode::S), (fx.k, LockMode::S)]).unwrap();
+    assert!(cover.contains_key(&fx.o) && cover.contains_key(&fx.q));
+    // T2's X on o (root k): the audit finds the conflicts the algorithm's
+    // lock table cannot represent.
+    let missed =
+        audit_missed_conflicts(&mut fx.db, &[(fx.j, LockMode::S), (fx.k, LockMode::S)], &[(fx.k, LockMode::X)])
+            .unwrap();
+    assert!(missed.iter().any(|c| c.object == fx.q), "the Instance[q] conflict of the paper");
+    assert!(missed.iter().any(|c| c.object == fx.o));
+}
+
+// ---------------------------------------------------------------------
+// F9: the §7 protocol walk-through over the Figure 9 topology
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig9_protocol_examples_1_2_compatible_3_conflicts() {
+    // Topology: class I --exclusive--> C; classes J, K --shared--> C and
+    // --exclusive--> W (simplified to the classes the walk-through locks).
+    let mut db = Database::new();
+    let c_class = db.define_class(ClassBuilder::new("C")).unwrap();
+    let w_class = db.define_class(ClassBuilder::new("W")).unwrap();
+    let i_class = db
+        .define_class(ClassBuilder::new("I").attr_composite(
+            "c",
+            Domain::Class(c_class),
+            CompositeSpec { exclusive: true, dependent: false },
+        ))
+        .unwrap();
+    let jk_class = db
+        .define_class(
+            ClassBuilder::new("JK")
+                .attr_composite(
+                    "c",
+                    Domain::SetOf(Box::new(Domain::Class(c_class))),
+                    CompositeSpec { exclusive: false, dependent: false },
+                )
+                .attr_composite(
+                    "w",
+                    Domain::Class(w_class),
+                    CompositeSpec { exclusive: true, dependent: false },
+                ),
+        )
+        .unwrap();
+    let instance_i = db.make(i_class, vec![], vec![]).unwrap();
+    let instance_j = db.make(jk_class, vec![], vec![]).unwrap();
+    let instance_k = db.make(jk_class, vec![], vec![]).unwrap();
+
+    // Example 1: update the composite object rooted at Instance[i]:
+    // class I in IX, Instance[i] in X, class C in IXO (exclusive path).
+    let ex1 = composite_lockset(&db, instance_i, LockIntent::Write);
+    assert!(ex1.locks.contains(&(corion::Lockable::Class(c_class), LockMode::IXO)));
+    // Example 2: access the composite object rooted at Instance[k]:
+    // class JK in IS, Instance[k] in S, class C in ISOS, class W in ISO.
+    let ex2 = composite_lockset(&db, instance_k, LockIntent::Read);
+    assert!(ex2.locks.contains(&(corion::Lockable::Class(c_class), LockMode::ISOS)));
+    assert!(ex2.locks.contains(&(corion::Lockable::Class(w_class), LockMode::ISO)));
+    // Example 3: update the composite object rooted at Instance[j]:
+    // class C in IXOS, class W in IXO.
+    let ex3 = composite_lockset(&db, instance_j, LockIntent::Write);
+    assert!(ex3.locks.contains(&(corion::Lockable::Class(c_class), LockMode::IXOS)));
+    assert!(ex3.locks.contains(&(corion::Lockable::Class(w_class), LockMode::IXO)));
+
+    // "Examples 1 and 2 are compatible, while example 3 is incompatible
+    // with both 1 and 2."
+    let lm = LockManager::new();
+    let (t1, t2, t3) = (lm.begin(), lm.begin(), lm.begin());
+    ex1.try_acquire(&lm, t1).unwrap();
+    ex2.try_acquire(&lm, t2).unwrap();
+    assert!(ex3.try_acquire(&lm, t3).is_err(), "example 3 conflicts while 1 and 2 hold");
+    lm.release_all(t3); // discard t3's partial acquisition
+    lm.release_all(t1);
+    let t3b = lm.begin();
+    assert!(ex3.try_acquire(&lm, t3b).is_err(), "still conflicts with example 2 alone");
+    lm.release_all(t2);
+    lm.release_all(t3b);
+    let t3c = lm.begin();
+    ex3.try_acquire(&lm, t3c).unwrap();
+}
+
+#[test]
+fn fig9_composite_writer_excludes_direct_access() {
+    // The §7 restriction: composite-path access excludes direct access to
+    // component instances, in the conflicting direction.
+    let mut db = Database::new();
+    let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+    let asm = db
+        .define_class(ClassBuilder::new("Asm").attr_composite(
+            "p",
+            Domain::Class(part),
+            CompositeSpec { exclusive: true, dependent: true },
+        ))
+        .unwrap();
+    let p = db.make(part, vec![], vec![]).unwrap();
+    let a = db.make(asm, vec![("p", Value::Ref(p))], vec![]).unwrap();
+    let lm = LockManager::new();
+    // Composite reader vs direct reader: compatible.
+    let (t1, t2) = (lm.begin(), lm.begin());
+    composite_lockset(&db, a, LockIntent::Read).try_acquire(&lm, t1).unwrap();
+    direct_lockset(p, false).try_acquire(&lm, t2).unwrap();
+    // Composite reader vs direct writer: conflict.
+    let t3 = lm.begin();
+    assert!(direct_lockset(p, true).try_acquire(&lm, t3).is_err());
+    lm.release_all(t1);
+    lm.release_all(t2);
+    lm.release_all(t3);
+    // Composite writer vs any direct access: conflict.
+    let t4 = lm.begin();
+    composite_lockset(&db, a, LockIntent::Write).try_acquire(&lm, t4).unwrap();
+    let t5 = lm.begin();
+    assert!(direct_lockset(p, false).try_acquire(&lm, t5).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Cross-check: components-of / filters on the Figure 4 object
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig4_levels_match_definition() {
+    // "O is a level n component of O' if the shortest path between O and O'
+    // has n composite references."
+    let mut fx = figure4();
+    let l1 = fx.db.components_of(fx.i, &Filter::all().level(1)).unwrap();
+    assert_eq!(l1.len(), 2, "k and m");
+    let l2 = fx.db.components_of(fx.i, &Filter::all().level(2)).unwrap();
+    assert_eq!(l2.len(), 3, "k, m, n");
+    let l3 = fx.db.components_of(fx.i, &Filter::all().level(3)).unwrap();
+    assert_eq!(l3.len(), 4, "k, m, n, o");
+    assert!(l3.contains(&fx.o));
+}

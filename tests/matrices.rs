@@ -1,0 +1,205 @@
+//! F6–F8 (DESIGN.md §4): the conflict and compatibility matrices, asserted
+//! cell-by-cell against everything the paper states in prose, plus the
+//! structural properties any such matrix must have. The full matrices are
+//! printed by `cargo run --example auth_matrix` and recorded in
+//! EXPERIMENTS.md.
+
+use corion::authz::matrix::{combine, render_figure6, Cell};
+use corion::lock::modes::{compatible, render_matrix};
+use corion::{Authorization as A, LockMode};
+
+// ---------------------------------------------------------------------
+// F6 — Figure 6, the implicit-authorization matrix
+// ---------------------------------------------------------------------
+
+#[test]
+fn f6_quoted_cells() {
+    // §6 prose states three cells outright:
+    assert_eq!(combine(A::SR, A::SW), Cell::Auths(vec![A::SW]), "sR + sW = sW (implies sR)");
+    assert_eq!(combine(A::SNR, A::SNW), Cell::Auths(vec![A::SNR]), "s¬R + s¬W = s¬R (implies s¬W)");
+    assert_eq!(combine(A::SNR, A::SW), Cell::Conflict, "s¬R vs sW: ¬R implies ¬W, contradiction");
+}
+
+#[test]
+fn f6_full_diagonal_and_symmetry() {
+    for a in A::ALL {
+        assert_eq!(combine(a, a), Cell::Auths(vec![a]));
+        for b in A::ALL {
+            assert_eq!(combine(a, b), combine(b, a));
+        }
+    }
+}
+
+#[test]
+fn f6_strong_row_by_row() {
+    use Cell::*;
+    // Row sR: sR sW s¬R s¬W wR wW w¬R w¬W
+    let expected_sr = [
+        Auths(vec![A::SR]),
+        Auths(vec![A::SW]),
+        Conflict,
+        Auths(vec![A::SR, A::SNW]),
+        Auths(vec![A::SR]),
+        Auths(vec![A::SR, A::WW]),
+        Auths(vec![A::SR]), // w¬R overridden by sR
+        Auths(vec![A::SR, A::WNW]),
+    ];
+    for (col, want) in A::ALL.into_iter().zip(expected_sr) {
+        assert_eq!(combine(A::SR, col), want, "sR + {col}");
+    }
+    // Row sW.
+    let expected_sw = [
+        Auths(vec![A::SW]),
+        Auths(vec![A::SW]),
+        Conflict,
+        Conflict,
+        Auths(vec![A::SW]),
+        Auths(vec![A::SW]),
+        Auths(vec![A::SW]),
+        Auths(vec![A::SW]),
+    ];
+    for (col, want) in A::ALL.into_iter().zip(expected_sw) {
+        assert_eq!(combine(A::SW, col), want, "sW + {col}");
+    }
+    // Row s¬R: negative read dominates everything weak and conflicts with
+    // strong positives.
+    let expected_snr = [
+        Conflict,
+        Conflict,
+        Auths(vec![A::SNR]),
+        Auths(vec![A::SNR]),
+        Auths(vec![A::SNR]),
+        Auths(vec![A::SNR]),
+        Auths(vec![A::SNR]),
+        Auths(vec![A::SNR]),
+    ];
+    for (col, want) in A::ALL.into_iter().zip(expected_snr) {
+        assert_eq!(combine(A::SNR, col), want, "s¬R + {col}");
+    }
+}
+
+#[test]
+fn f6_weak_block_mirrors_strong_block() {
+    use Cell::*;
+    // Within the weak strengths the same implication structure holds.
+    assert_eq!(combine(A::WR, A::WW), Auths(vec![A::WW]));
+    assert_eq!(combine(A::WNR, A::WNW), Auths(vec![A::WNR]));
+    assert_eq!(combine(A::WNR, A::WW), Conflict);
+    assert_eq!(combine(A::WR, A::WNR), Conflict);
+    assert_eq!(combine(A::WR, A::WNW), Auths(vec![A::WR, A::WNW]));
+}
+
+#[test]
+fn f6_exactly_twelve_conflict_cells() {
+    let conflicts = A::ALL
+        .into_iter()
+        .flat_map(|a| A::ALL.into_iter().map(move |b| (a, b)))
+        .filter(|(a, b)| combine(*a, *b) == Cell::Conflict)
+        .count();
+    assert_eq!(conflicts, 12, "3 contradictory pairs per strength × 2 orders × 2 strengths");
+    let rendered = render_figure6();
+    assert_eq!(rendered.matches("Conflict").count(), 12);
+}
+
+// ---------------------------------------------------------------------
+// F7 — Figure 7, granularity + exclusive composite locking
+// ---------------------------------------------------------------------
+
+#[test]
+fn f7_full_matrix() {
+    // Expected 8×8 matrix, rows = requested, cols = current, Figure 7
+    // order. Derivation in EXPERIMENTS.md §F7.
+    let modes = LockMode::FIGURE7;
+    let expected: [[bool; 8]; 8] = [
+        // IS     IX     S      SIX    X      ISO    IXO    SIXO
+        [true, true, true, true, false, true, false, false],  // IS
+        [true, true, false, false, false, false, false, false], // IX
+        [true, false, true, false, false, true, false, false], // S
+        [true, false, false, false, false, false, false, false], // SIX
+        [false; 8],                                             // X
+        [true, false, true, false, false, true, true, true],   // ISO
+        [false, false, false, false, false, true, true, false], // IXO
+        [false, false, false, false, false, true, false, false], // SIXO
+    ];
+    for (i, &req) in modes.iter().enumerate() {
+        for (j, &cur) in modes.iter().enumerate() {
+            assert_eq!(compatible(req, cur), expected[i][j], "{req} vs {cur}");
+        }
+    }
+}
+
+#[test]
+fn f7_quoted_main_points() {
+    use LockMode::*;
+    // "While IS and IX modes do not conflict, the ISO mode conflicts with
+    // IX mode, and IXO and SIXO modes conflict with both IS and IX modes."
+    assert!(compatible(IS, IX));
+    assert!(!compatible(ISO, IX));
+    assert!(!compatible(IXO, IS) && !compatible(IXO, IX));
+    assert!(!compatible(SIXO, IS) && !compatible(SIXO, IX));
+}
+
+// ---------------------------------------------------------------------
+// F8 — Figure 8, the expanded 11-mode matrix
+// ---------------------------------------------------------------------
+
+#[test]
+fn f8_full_matrix() {
+    let modes = LockMode::ALL;
+    // Derivation in EXPERIMENTS.md §F8; prose constraints in
+    // `f8_quoted_semantics` below.
+    let expected: [[bool; 11]; 11] = [
+        // IS    IX     S     SIX    X     ISO   IXO   SIXO  ISOS  IXOS  SIXOS
+        [true, true, true, true, false, true, false, false, true, false, false], // IS
+        [true, true, false, false, false, false, false, false, false, false, false], // IX
+        [true, false, true, false, false, true, false, false, true, false, false], // S
+        [true, false, false, false, false, false, false, false, false, false, false], // SIX
+        [false; 11],                                                                  // X
+        [true, false, true, false, false, true, true, true, true, true, true],       // ISO
+        [false, false, false, false, false, true, true, false, true, false, false],  // IXO
+        [false, false, false, false, false, true, false, false, true, false, false], // SIXO
+        [true, false, true, false, false, true, true, true, true, false, false],     // ISOS
+        [false, false, false, false, false, true, false, false, false, false, false], // IXOS
+        [false, false, false, false, false, true, false, false, false, false, false], // SIXOS
+    ];
+    for (i, &req) in modes.iter().enumerate() {
+        for (j, &cur) in modes.iter().enumerate() {
+            assert_eq!(compatible(req, cur), expected[i][j], "{req} vs {cur}");
+        }
+    }
+}
+
+#[test]
+fn f8_quoted_semantics() {
+    use LockMode::{ISO, ISOS, IXO, IXOS};
+    // "Several readers and writers on a component class of exclusive
+    // references":
+    assert!(compatible(ISO, ISO) && compatible(ISO, IXO) && compatible(IXO, IXO));
+    // "…and several readers and one writer on a component class of shared
+    // references":
+    assert!(compatible(ISOS, ISOS));
+    assert!(!compatible(IXOS, IXOS));
+    // §7 worked examples: 1 ∥ 2; 3 conflicts with both.
+    assert!(compatible(IXO, ISOS), "examples 1 and 2 are compatible");
+    assert!(!compatible(IXOS, IXO), "example 3 vs example 1 (class C)");
+    assert!(!compatible(IXOS, ISOS), "example 3 vs example 2 (class C)");
+}
+
+#[test]
+fn f8_symmetry_and_x_row() {
+    for &a in &LockMode::ALL {
+        for &b in &LockMode::ALL {
+            assert_eq!(compatible(a, b), compatible(b, a), "{a} vs {b}");
+        }
+        assert!(!compatible(LockMode::X, a));
+    }
+}
+
+#[test]
+fn f8_renders_both_figures() {
+    let f7 = render_matrix(&LockMode::FIGURE7);
+    let f8 = render_matrix(&LockMode::ALL);
+    assert_eq!(f7.lines().count(), 9);
+    assert_eq!(f8.lines().count(), 12);
+    assert!(!f7.contains("ISOS") && f8.contains("ISOS"));
+}

@@ -1,0 +1,202 @@
+//! E1 and E2 (DESIGN.md §4): the paper's §2.3 examples, entered through the
+//! ORION message syntax exactly as printed (modulo reader syntax), then
+//! exercised through the behaviours the prose promises.
+
+use corion::lang::LangValue;
+use corion::Interpreter;
+
+/// §2.3 Example 1 — the Vehicle composite hierarchy, verbatim.
+const EXAMPLE_1: &str = r#"
+(make-class 'Company)
+(make-class 'AutoBody)
+(make-class 'AutoDrivetrain)
+(make-class 'AutoTires)
+(make-class 'Vehicle :superclasses nil
+  :attributes ((Manufacturer :domain Company)
+               (Body        :domain AutoBody
+                            :composite t :exclusive t :dependent nil)
+               (Drivetrain  :domain AutoDrivetrain
+                            :composite t :exclusive t :dependent nil)
+               (Tires       :domain (set-of AutoTires)
+                            :composite t :exclusive t :dependent nil)
+               (Color       :domain String)))
+"#;
+
+/// §2.3 Example 2 — Document and Section, verbatim.
+const EXAMPLE_2: &str = r#"
+(make-class 'Paragraph)
+(make-class 'Image)
+(make-class 'Section :superclasses nil
+  :attributes ((Content :domain (set-of Paragraph)
+                        :composite t :exclusive nil :dependent t)))
+(make-class 'Document :superclasses nil
+  :attributes ((Title       :domain String)
+               (Authors     :domain (set-of String))
+               (Sections    :domain (set-of Section)
+                            :composite t :exclusive nil :dependent t)
+               (Figures     :domain (set-of Image)
+                            :composite t :exclusive nil :dependent nil)
+               (Annotations :domain (set-of Paragraph)
+                            :composite t :exclusive t :dependent t)))
+"#;
+
+#[test]
+fn e1_vehicle_schema_has_the_stated_reference_kinds() {
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_1).unwrap();
+    for attr in ["Body", "Drivetrain", "Tires"] {
+        assert_eq!(
+            it.eval_str(&format!("(exclusive-compositep Vehicle {attr})")).unwrap(),
+            LangValue::T,
+            "{attr} is exclusive"
+        );
+        assert_eq!(
+            it.eval_str(&format!("(dependent-compositep Vehicle {attr})")).unwrap(),
+            LangValue::Nil,
+            "{attr} is independent"
+        );
+    }
+    assert_eq!(it.eval_str("(compositep Vehicle Manufacturer)").unwrap(), LangValue::Nil);
+    assert_eq!(it.eval_str("(compositep Vehicle)").unwrap(), LangValue::T);
+}
+
+#[test]
+fn e1_parts_used_for_one_vehicle_but_reusable() {
+    // "a set of vehicle components may be used for only one vehicle.
+    // However, since the exclusive references are independent, the
+    // components can be re-used for other vehicles, if the vehicle which
+    // they constitute is dismantled later. The vehicle components may exist
+    // even if they are not part of any vehicle."
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_1).unwrap();
+    it.eval_str(
+        r#"
+        (define body (make AutoBody))
+        (define v1 (make Vehicle :Body body :Color "red"))
+        (define v2 (make Vehicle :Color "blue"))
+        "#,
+    )
+    .unwrap();
+    // Only one vehicle at a time.
+    assert!(it.eval_str("(set! v2 Body body)").is_err());
+    // Dismantle v1: delete it; the body survives (independent)…
+    it.eval_str("(delete v1)").unwrap();
+    assert_eq!(it.eval_str("(parents-of body)").unwrap(), LangValue::List(vec![]));
+    // …and is reused for v2.
+    it.eval_str("(set! v2 Body body)").unwrap();
+    assert_eq!(it.eval_str("(child-of body v2)").unwrap(), LangValue::T);
+}
+
+#[test]
+fn e2_document_schema_semantics() {
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_2).unwrap();
+    // "The attribute Content, defined as a set, is a shared composite
+    // reference."
+    assert_eq!(it.eval_str("(shared-compositep Section Content)").unwrap(), LangValue::T);
+    assert_eq!(it.eval_str("(dependent-compositep Section Content)").unwrap(), LangValue::T);
+    // "In the case of Annotations … the reference is exclusive."
+    assert_eq!(it.eval_str("(exclusive-compositep Document Annotations)").unwrap(), LangValue::T);
+    // "The attribute Figures is defined as an independent composite
+    // reference."
+    assert_eq!(it.eval_str("(dependent-compositep Document Figures)").unwrap(), LangValue::Nil);
+    assert_eq!(it.eval_str("(shared-compositep Document Figures)").unwrap(), LangValue::T);
+}
+
+#[test]
+fn e2_identical_chapter_in_two_books() {
+    // §1: "an identical chapter may be a part of two different books" — the
+    // first shortcoming of [KIM87b] this paper removes.
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_2).unwrap();
+    it.eval_str(
+        r#"
+        (define p1 (make Paragraph))
+        (define sec (make Section :Content (set p1)))
+        (define book1 (make Document :Title "Book One" :Sections (set sec)))
+        (define book2 (make Document :Title "Book Two" :Sections (set sec)))
+        "#,
+    )
+    .unwrap();
+    assert_eq!(it.eval_str("(component-of sec book1)").unwrap(), LangValue::T);
+    assert_eq!(it.eval_str("(component-of sec book2)").unwrap(), LangValue::T);
+    assert_eq!(it.eval_str("(shared-component-of sec book1)").unwrap(), LangValue::T);
+    // "A section exists, if it belongs to at least one document."
+    it.eval_str("(delete book1)").unwrap();
+    let parents = it.eval_str("(parents-of sec)").unwrap();
+    assert_eq!(parents, LangValue::List(vec![it.eval_str("book2").unwrap()]));
+    it.eval_str("(delete book2)").unwrap();
+    assert!(it.eval_str("(parents-of sec)").is_err(), "section deleted with its last document");
+    // "For a paragraph to exist, there must be at least one section
+    // containing it."
+    assert!(it.eval_str("(get p1 Content)").is_err() || it.eval_str("(ancestors-of p1)").is_err());
+}
+
+#[test]
+fn e2_multi_parent_creation_with_parent_clause() {
+    // §2.3: "(make Class :parent ((ParentObject.1 ParentAttributeName.1)
+    // (ParentObject.2 ParentAttributeName.2) ...))" — "the instance being
+    // created is simultaneously made a part of all the specified objects."
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_2).unwrap();
+    it.eval_str(
+        r#"
+        (define d1 (make Document :Title "A"))
+        (define d2 (make Document :Title "B"))
+        (define shared-sec (make Section :parent ((d1 Sections) (d2 Sections))))
+        "#,
+    )
+    .unwrap();
+    assert_eq!(it.eval_str("(child-of shared-sec d1)").unwrap(), LangValue::T);
+    assert_eq!(it.eval_str("(child-of shared-sec d2)").unwrap(), LangValue::T);
+    // Multi-parent creation through an *exclusive* attribute violates
+    // Topology Rule 3 and must fail.
+    assert!(it
+        .eval_str("(make Paragraph :parent ((d1 Annotations) (d2 Annotations)))")
+        .is_err());
+}
+
+#[test]
+fn e2_annotations_die_with_their_document_figures_do_not() {
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_2).unwrap();
+    it.eval_str(
+        r#"
+        (define note (make Paragraph))
+        (define img (make Image))
+        (define doc (make Document :Annotations (set note) :Figures (set img)))
+        (delete doc)
+        "#,
+    )
+    .unwrap();
+    assert!(it.eval_str("(parents-of note)").is_err(), "annotation deleted with document");
+    assert_eq!(it.eval_str("(parents-of img)").unwrap(), LangValue::List(vec![]), "figure survives");
+}
+
+#[test]
+fn components_of_message_with_all_filters() {
+    let mut it = Interpreter::new();
+    it.eval_str(EXAMPLE_2).unwrap();
+    it.eval_str(
+        r#"
+        (define p1 (make Paragraph))
+        (define p2 (make Paragraph))
+        (define s (make Section :Content (set p1 p2)))
+        (define img (make Image))
+        (define doc (make Document :Sections (set s) :Figures (set img)))
+        "#,
+    )
+    .unwrap();
+    let all = it.eval_str("(components-of doc)").unwrap();
+    let LangValue::List(items) = all else { panic!() };
+    assert_eq!(items.len(), 4);
+    let paras = it.eval_str("(components-of doc :classes (Paragraph))").unwrap();
+    let LangValue::List(items) = paras else { panic!() };
+    assert_eq!(items.len(), 2);
+    let level1 = it.eval_str("(components-of doc :level 1)").unwrap();
+    let LangValue::List(items) = level1 else { panic!() };
+    assert_eq!(items.len(), 2, "section + image");
+    let ancestors = it.eval_str("(ancestors-of p1)").unwrap();
+    let LangValue::List(items) = ancestors else { panic!() };
+    assert_eq!(items.len(), 2, "section + document");
+}

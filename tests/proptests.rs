@@ -1,0 +1,322 @@
+//! Property-based tests over the core invariants.
+//!
+//! Strategy: random operation sequences (attach, detach, delete, schema
+//! flag changes) are applied to a generated part hierarchy; after every
+//! step a full-database audit checks the invariants the paper's rules
+//! guarantee:
+//!
+//! 1. **Topology Rules 1–3** hold at every object (§2.2);
+//! 2. **Bidirectional consistency**: every forward composite reference has
+//!    exactly one matching reverse reference with the attribute's current
+//!    D/X flags, and vice versa (§2.4);
+//! 3. **No dangling composite references** after deletion (the Deletion
+//!    Rule cleans surviving parents);
+//! 4. storage and codec roundtrips.
+
+use std::collections::HashMap;
+
+use corion::core::composite::ParentSets;
+use corion::{
+    AttributeDef, ClassBuilder, CompositeSpec, Database, Domain, Filter, Oid, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// The audit
+// ---------------------------------------------------------------------
+
+/// Checks invariants 1–3 over the whole database.
+fn audit(db: &mut Database) {
+    let classes = db.catalog().all_classes();
+    // forward[(child)] = multiset of (parent, dependent, exclusive)
+    let mut forward: HashMap<Oid, Vec<(Oid, bool, bool)>> = HashMap::new();
+    let mut all_objects: Vec<Oid> = Vec::new();
+    for class in &classes {
+        for oid in db.instances_of(*class, false) {
+            all_objects.push(oid);
+            let cdef = db.class(oid.class).unwrap().clone();
+            let obj = db.get(oid).unwrap();
+            for (idx, def) in cdef.attrs.iter().enumerate() {
+                let refs = obj.attrs[idx].refs();
+                if let Some(spec) = def.composite {
+                    for r in refs {
+                        assert!(db.exists(r), "dangling composite ref {oid}.{} -> {r}", def.name);
+                        forward.entry(r).or_default().push((oid, spec.dependent, spec.exclusive));
+                    }
+                }
+            }
+        }
+    }
+    for oid in all_objects {
+        let obj = db.get(oid).unwrap();
+        // Invariant 1: topology rules.
+        ParentSets::of(&obj).check(oid).unwrap();
+        // Invariant 2: reverse refs == forward refs (as multisets).
+        let mut actual: Vec<(Oid, bool, bool)> =
+            obj.reverse_refs.iter().map(|r| (r.parent, r.dependent, r.exclusive)).collect();
+        let mut expected = forward.remove(&oid).unwrap_or_default();
+        actual.sort();
+        expected.sort();
+        assert_eq!(actual, expected, "reverse refs of {oid} out of sync");
+    }
+    // No reverse refs without forward refs (leftovers would remain in
+    // `forward` keyed by OIDs that don't exist — covered by the dangling
+    // check above).
+    assert!(forward.is_empty(), "forward refs to objects missing from extensions");
+}
+
+// ---------------------------------------------------------------------
+// Random operation sequences over a part hierarchy
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Attach { child: usize, parent: usize, attr: usize },
+    Detach { child: usize, parent: usize, attr: usize },
+    Delete { obj: usize },
+    SetWeak { obj: usize, target: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Create),
+        5 => (0..64usize, 0..64usize, 0..4usize)
+            .prop_map(|(child, parent, attr)| Op::Attach { child, parent, attr }),
+        2 => (0..64usize, 0..64usize, 0..4usize)
+            .prop_map(|(child, parent, attr)| Op::Detach { child, parent, attr }),
+        2 => (0..64usize).prop_map(|obj| Op::Delete { obj }),
+        1 => (0..64usize, 0..64usize).prop_map(|(obj, target)| Op::SetWeak { obj, target }),
+    ]
+}
+
+const ATTRS: [&str; 4] = ["kids_de", "kids_ie", "kids_ds", "kids_is"];
+
+fn part_db() -> (Database, corion::ClassId) {
+    let mut db = Database::new();
+    let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+    for (name, exclusive, dependent) in [
+        ("kids_de", true, true),
+        ("kids_ie", true, false),
+        ("kids_ds", false, true),
+        ("kids_is", false, false),
+    ] {
+        db.add_attribute(
+            part,
+            AttributeDef::composite(
+                name,
+                Domain::SetOf(Box::new(Domain::Class(part))),
+                CompositeSpec { exclusive, dependent },
+            ),
+        )
+        .unwrap();
+    }
+    db.add_attribute(part, AttributeDef::plain("buddy", Domain::Class(part))).unwrap();
+    (db, part)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_operation_sequences_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let (mut db, part) = part_db();
+        let mut pool: Vec<Oid> = (0..6).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+        for op in ops {
+            match op {
+                Op::Create => {
+                    pool.push(db.make(part, vec![], vec![]).unwrap());
+                }
+                Op::Attach { child, parent, attr } => {
+                    if pool.is_empty() { continue; }
+                    let c = pool[child % pool.len()];
+                    let p = pool[parent % pool.len()];
+                    if db.exists(c) && db.exists(p) {
+                        // May legitimately fail (topology rules, cycles) —
+                        // failure must leave the database consistent.
+                        let _ = db.make_component(c, p, ATTRS[attr % 4]);
+                    }
+                }
+                Op::Detach { child, parent, attr } => {
+                    if pool.is_empty() { continue; }
+                    let c = pool[child % pool.len()];
+                    let p = pool[parent % pool.len()];
+                    if db.exists(c) && db.exists(p) {
+                        let _ = db.remove_component(c, p, ATTRS[attr % 4]);
+                    }
+                }
+                Op::Delete { obj } => {
+                    if pool.is_empty() { continue; }
+                    let o = pool[obj % pool.len()];
+                    if db.exists(o) {
+                        db.delete(o).unwrap();
+                    }
+                }
+                Op::SetWeak { obj, target } => {
+                    if pool.is_empty() { continue; }
+                    let o = pool[obj % pool.len()];
+                    let t = pool[target % pool.len()];
+                    if db.exists(o) && db.exists(t) {
+                        let _ = db.set_attr(o, "buddy", Value::Ref(t));
+                    }
+                }
+            }
+            audit(&mut db);
+        }
+    }
+
+    #[test]
+    fn deletion_of_any_root_leaves_no_dangling_composite_refs(
+        seed in 0u64..500,
+        share in 0.0f64..1.0,
+        victim in 0usize..100,
+    ) {
+        let mut db = Database::new();
+        let dag = corion::workload::GeneratedDag::generate(
+            &mut db,
+            corion::workload::DagParams {
+                depth: 3, fanout: 2, roots: 2,
+                share_fraction: share, dependent_fraction: 0.5, seed,
+            },
+        ).unwrap();
+        let all = dag.all();
+        let target = all[victim % all.len()];
+        db.delete(target).unwrap();
+        audit(&mut db);
+    }
+
+    #[test]
+    fn components_and_ancestors_are_inverse_relations(seed in 0u64..200) {
+        let mut db = Database::new();
+        let dag = corion::workload::GeneratedDag::generate(
+            &mut db,
+            corion::workload::DagParams {
+                depth: 3, fanout: 2, roots: 2,
+                share_fraction: 0.4, dependent_fraction: 0.5, seed,
+            },
+        ).unwrap();
+        for &root in &dag.roots {
+            for c in db.components_of(root, &Filter::all()).unwrap() {
+                prop_assert!(db.component_of(c, root).unwrap());
+                prop_assert!(db.ancestors_of(c, &Filter::all()).unwrap().contains(&root));
+            }
+        }
+    }
+
+    #[test]
+    fn flag_changes_keep_reverse_refs_in_sync_immediate_and_deferred(
+        seed in 0u64..100,
+        deferred in any::<bool>(),
+    ) {
+        use corion::core::evolution::{AttrTypeChange, Maintenance};
+        let mut db = Database::new();
+        let item = db.define_class(ClassBuilder::new("Item")).unwrap();
+        let holder = db.define_class(
+            ClassBuilder::new("Holder").attr_composite(
+                "slot",
+                Domain::Class(item),
+                CompositeSpec { exclusive: true, dependent: true },
+            )
+        ).unwrap();
+        // A few holder/item pairs.
+        for i in 0..(seed % 5 + 1) {
+            let it = db.make(item, vec![], vec![]).unwrap();
+            let _h = db.make(holder, vec![("slot", Value::Ref(it))], vec![]).unwrap();
+            let _ = i;
+        }
+        let m = if deferred { Maintenance::Deferred } else { Maintenance::Immediate };
+        db.change_attribute_type(holder, "slot", AttrTypeChange::ExclusiveToShared, m).unwrap();
+        db.change_attribute_type(holder, "slot", AttrTypeChange::ToIndependent, m).unwrap();
+        audit(&mut db);
+        // Every item's reverse ref now reflects independent + shared.
+        for oid in db.instances_of(item, false) {
+            let obj = db.get(oid).unwrap();
+            for rr in &obj.reverse_refs {
+                prop_assert!(!rr.exclusive && !rr.dependent);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage and codec roundtrips
+// ---------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
+        (0u32..64, 0u64..4096).prop_map(|(c, s)| Value::Ref(Oid::new(corion::ClassId(c), s))),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(Value::Set)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn value_codec_roundtrips(v in value_strategy()) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = corion::storage::codec::Reader::new(&buf);
+        let back = Value::decode(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        corion::storage::codec::put_varint(&mut buf, v);
+        let mut r = corion::storage::codec::Reader::new(&buf);
+        prop_assert_eq!(r.varint("v").unwrap(), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_model_under_random_ops(
+        ops in prop::collection::vec((0u8..4, prop::collection::vec(any::<u8>(), 0..512)), 1..80)
+    ) {
+        use corion::storage::{ObjectStore, StoreConfig};
+        let mut store = ObjectStore::new(StoreConfig { buffer_capacity: 4 });
+        let seg = store.create_segment();
+        let mut model: Vec<(corion::storage::PhysId, Vec<u8>)> = Vec::new();
+        for (kind, bytes) in ops {
+            match kind {
+                0 => {
+                    let id = store.insert(seg, &bytes, model.last().map(|(id, _)| *id)).unwrap();
+                    model.push((id, bytes));
+                }
+                1 if !model.is_empty() => {
+                    let slot = bytes.first().copied().unwrap_or(0) as usize % model.len();
+                    let new_id = store.update(model[slot].0, &bytes).unwrap();
+                    model[slot] = (new_id, bytes);
+                }
+                2 if !model.is_empty() => {
+                    let slot = bytes.first().copied().unwrap_or(0) as usize % model.len();
+                    let (id, _) = model.remove(slot);
+                    store.delete(id).unwrap();
+                }
+                _ => {
+                    // Cache pressure: flush everything.
+                    store.clear_cache().unwrap();
+                }
+            }
+            // Full readback against the model.
+            for (id, expected) in &model {
+                prop_assert_eq!(&store.read(*id).unwrap(), expected);
+            }
+            let live = store.scan(seg).unwrap().len();
+            prop_assert_eq!(live, model.len());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Deeper §5 scenarios: versioned composite objects at document scale,
+//! mixed static/dynamic binding across derivation chains, and interaction
+//! between version deletion and the §2 Deletion Rule.
+
+use corion::{ClassBuilder, ClassId, CompositeSpec, Database, Domain, Value, VersionManager};
+
+/// Versionable Document sharing non-versioned Sections (dependent shared),
+/// referencing versionable Figures (independent exclusive).
+struct World {
+    vm: VersionManager,
+    section: ClassId,
+    document: ClassId,
+    figure: ClassId,
+}
+
+fn world() -> World {
+    let mut db = Database::new();
+    let section = db.define_class(ClassBuilder::new("Section")).unwrap();
+    let figure = db
+        .define_class(ClassBuilder::new("Figure").versionable().attr("caption", Domain::String))
+        .unwrap();
+    let document = db
+        .define_class(
+            ClassBuilder::new("Document")
+                .versionable()
+                .attr("title", Domain::String)
+                .attr_composite(
+                    "sections",
+                    Domain::SetOf(Box::new(Domain::Class(section))),
+                    CompositeSpec { exclusive: false, dependent: true },
+                )
+                .attr_composite(
+                    "figure",
+                    Domain::Class(figure),
+                    CompositeSpec { exclusive: true, dependent: false },
+                ),
+        )
+        .unwrap();
+    World { vm: VersionManager::new(db), section, document, figure }
+}
+
+#[test]
+fn document_versions_share_sections_dependently() {
+    let mut w = world();
+    let sec = w.vm.db_mut().make(w.section, vec![], vec![]).unwrap();
+    let (_g, v1) = w
+        .vm
+        .create(w.document, vec![("title", Value::Str("draft".into()))])
+        .unwrap();
+    w.vm.bind_static(v1, "sections", sec).unwrap();
+    // Deriving copies the shared static reference: the section now belongs
+    // to both versions.
+    let v2 = w.vm.derive(v1).unwrap();
+    assert_eq!(w.vm.db_mut().get(sec).unwrap().ds().len(), 2);
+    // Deleting one version decrements; the section survives until the last
+    // dependent parent version goes.
+    w.vm.delete_version(v1).unwrap();
+    assert!(w.vm.db().exists(sec));
+    assert_eq!(w.vm.db_mut().get(sec).unwrap().ds(), vec![v2]);
+    w.vm.delete_version(v2).unwrap();
+    assert!(!w.vm.db().exists(sec), "last dependent parent version deleted the section");
+}
+
+#[test]
+fn derivation_chain_mixes_static_and_dynamic_bindings() {
+    let mut w = world();
+    let (g_fig, fig_v1) = w
+        .vm
+        .create(w.figure, vec![("caption", Value::Str("fig 1".into()))])
+        .unwrap();
+    let (_g_doc, d1) = w.vm.create(w.document, vec![]).unwrap();
+    // d1 statically pinned to fig v1.
+    w.vm.bind_static(d1, "figure", fig_v1).unwrap();
+    // d2: derivation rebinds the independent exclusive ref to the generic.
+    let d2 = w.vm.derive(d1).unwrap();
+    assert_eq!(w.vm.db_mut().get_attr(d2, "figure").unwrap(), Value::Ref(g_fig));
+    // New figure versions change what d2 sees, not what d1 sees.
+    let fig_v2 = w.vm.derive(fig_v1).unwrap();
+    let bound = w.vm.db_mut().get_attr(d2, "figure").unwrap().refs()[0];
+    let resolved = w.vm.resolve(bound).unwrap();
+    assert_eq!(resolved, fig_v2);
+    assert_eq!(w.vm.db_mut().get_attr(d1, "figure").unwrap(), Value::Ref(fig_v1));
+    // d3 derives from d2: the dynamic binding is copied (CV-1X), ref-count
+    // climbs.
+    let d3 = w.vm.derive(d2).unwrap();
+    assert_eq!(w.vm.db_mut().get_attr(d3, "figure").unwrap(), Value::Ref(g_fig));
+}
+
+#[test]
+fn deleting_the_figure_hierarchy_cleans_dynamic_binders() {
+    let mut w = world();
+    let (g_fig, fig_v1) = w.vm.create(w.figure, vec![]).unwrap();
+    let (_g_doc, d1) = w.vm.create(w.document, vec![]).unwrap();
+    w.vm.bind_dynamic(d1, "figure", g_fig).unwrap();
+    // Deleting the figure's only version deletes the generic (CV-4X); the
+    // document's dynamic reference dangles ORION-style (the generic object
+    // is gone from the engine).
+    w.vm.delete_version(fig_v1).unwrap();
+    assert!(!w.vm.is_generic(g_fig));
+    let leftover = w.vm.db_mut().get_attr(d1, "figure").unwrap();
+    if let Value::Ref(r) = leftover {
+        assert!(!w.vm.db().exists(r), "dangling dynamic reference to a dead generic");
+    }
+}
+
+#[test]
+fn default_version_tracks_deletions() {
+    let mut w = world();
+    let (g, v1) = w.vm.create(w.document, vec![]).unwrap();
+    let v2 = w.vm.derive(v1).unwrap();
+    let v3 = w.vm.derive(v2).unwrap();
+    assert_eq!(w.vm.default_version(g).unwrap(), v3);
+    w.vm.delete_version(v3).unwrap();
+    assert_eq!(w.vm.default_version(g).unwrap(), v2, "falls back to latest survivor");
+    w.vm.set_default_version(g, v1).unwrap();
+    w.vm.delete_version(v1).unwrap();
+    assert_eq!(
+        w.vm.default_version(g).unwrap(),
+        v2,
+        "user default cleared when its version dies"
+    );
+}
+
+#[test]
+fn branching_derivation_hierarchy() {
+    // "Any number of new version instances may be derived from any version
+    // instance" (§5.1) — build a tree and check the recorded history.
+    let mut w = world();
+    let (g, root) = w.vm.create(w.document, vec![]).unwrap();
+    let a = w.vm.derive(root).unwrap();
+    let b = w.vm.derive(root).unwrap();
+    let a1 = w.vm.derive(a).unwrap();
+    let gi = w.vm.generic(g).unwrap();
+    assert_eq!(gi.versions.len(), 4);
+    assert_eq!(gi.derived_from(root).len(), 2);
+    assert_eq!(gi.derived_from(a), vec![a1]);
+    assert!(gi.derived_from(b).is_empty());
+    // Version numbers are assigned in creation order.
+    let numbers: Vec<u32> = gi.versions.iter().map(|v| v.number).collect();
+    assert_eq!(numbers, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn versioned_and_plain_objects_interoperate() {
+    // A non-versionable object may reference a versioned one and appear in
+    // the generic's reverse refs under its own OID (§5.3 storage rule 1).
+    let mut w = world();
+    let binder_class = w
+        .vm
+        .db_mut()
+        .define_class(ClassBuilder::new("Binder").attr_composite(
+            "doc",
+            Domain::Class(w.document),
+            CompositeSpec { exclusive: false, dependent: false },
+        ))
+        .unwrap();
+    let (g_doc, d1) = w.vm.create(w.document, vec![]).unwrap();
+    let binder = w.vm.db_mut().make(binder_class, vec![], vec![]).unwrap();
+    w.vm.bind_static(binder, "doc", d1).unwrap();
+    // The reverse generic ref names the binder itself (not a generic).
+    assert_eq!(w.vm.parents_of_generic(g_doc).unwrap(), vec![binder]);
+    w.vm.unbind(binder, "doc", d1).unwrap();
+    assert!(w.vm.parents_of_generic(g_doc).unwrap().is_empty());
+}
+
+#[test]
+fn engine_integrity_holds_under_version_churn() {
+    let mut w = world();
+    let (g, mut tip) = w.vm.create(w.document, vec![]).unwrap();
+    for i in 0..10 {
+        let sec = w.vm.db_mut().make(w.section, vec![], vec![]).unwrap();
+        w.vm.bind_static(tip, "sections", sec).unwrap();
+        tip = w.vm.derive(tip).unwrap();
+        if i % 3 == 0 {
+            let gi = w.vm.generic(g).unwrap();
+            let oldest = gi.versions.first().unwrap().oid;
+            if oldest != tip {
+                w.vm.delete_version(oldest).unwrap();
+            }
+        }
+        w.vm.db_mut().verify_integrity().unwrap();
+    }
+}
