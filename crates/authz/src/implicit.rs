@@ -51,9 +51,15 @@ impl AuthStore {
         };
         // Close the surviving generators so sW answers a Read check, etc.
         let closed: Vec<_> = facts.iter().flat_map(|a| a.closure()).collect();
-        if closed.iter().any(|a| a.ty == ty && a.sign == Sign::Negative) {
+        if closed
+            .iter()
+            .any(|a| a.ty == ty && a.sign == Sign::Negative)
+        {
             Ok(Decision::Prohibited)
-        } else if closed.iter().any(|a| a.ty == ty && a.sign == Sign::Positive) {
+        } else if closed
+            .iter()
+            .any(|a| a.ty == ty && a.sign == Sign::Positive)
+        {
             Ok(Decision::Granted)
         } else {
             Ok(Decision::NoAuthorization)
@@ -75,11 +81,20 @@ mod tests {
             .define_class(ClassBuilder::new("Root").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let p = db.make(part, vec![], vec![]).unwrap();
-        let r = db.make(root, vec![("parts", Value::Set(vec![Value::Ref(p)]))], vec![]).unwrap();
+        let r = db
+            .make(
+                root,
+                vec![("parts", Value::Set(vec![Value::Ref(p)]))],
+                vec![],
+            )
+            .unwrap();
         (db, r, p)
     }
 
@@ -88,10 +103,17 @@ mod tests {
         let (mut db, root, part) = setup();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut db, u, AuthObject::Instance(root), A::SW).unwrap();
-        assert_eq!(st.check(&mut db, u, AuthType::Write, part).unwrap(), Decision::Granted);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SW)
+            .unwrap();
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Write, part).unwrap(),
+            Decision::Granted
+        );
         // sW implies sR.
-        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Granted);
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Read, part).unwrap(),
+            Decision::Granted
+        );
     }
 
     #[test]
@@ -99,10 +121,17 @@ mod tests {
         let (mut db, root, part) = setup();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR).unwrap();
-        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Prohibited);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR)
+            .unwrap();
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Read, part).unwrap(),
+            Decision::Prohibited
+        );
         // ¬R implies ¬W.
-        assert_eq!(st.check(&mut db, u, AuthType::Write, part).unwrap(), Decision::Prohibited);
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Write, part).unwrap(),
+            Decision::Prohibited
+        );
     }
 
     #[test]
@@ -120,10 +149,18 @@ mod tests {
         let (mut db, root, part) = setup();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut db, u, AuthObject::Instance(root), A::WR).unwrap();
-        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Granted);
-        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR).unwrap();
-        assert_eq!(st.check(&mut db, u, AuthType::Read, part).unwrap(), Decision::Prohibited);
+        st.grant(&mut db, u, AuthObject::Instance(root), A::WR)
+            .unwrap();
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Read, part).unwrap(),
+            Decision::Granted
+        );
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SNR)
+            .unwrap();
+        assert_eq!(
+            st.check(&mut db, u, AuthType::Read, part).unwrap(),
+            Decision::Prohibited
+        );
     }
 
     #[test]
@@ -131,7 +168,8 @@ mod tests {
         let (mut db, root, part) = setup();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut db, u, AuthObject::Instance(root), A::SR).unwrap();
+        st.grant(&mut db, u, AuthObject::Instance(root), A::SR)
+            .unwrap();
         assert_eq!(
             st.check(&mut db, u, AuthType::Write, part).unwrap(),
             Decision::NoAuthorization

@@ -248,8 +248,14 @@ mod tests {
         // "If an instance is a component of more than one composite object,
         // a user can receive more than one implicit authorization on that
         // instance."
-        assert_eq!(combine_all(&[A::SR, A::WR, A::SW]), Cell::Auths(vec![A::SW]));
-        assert_eq!(combine_all(&[A::WR, A::SNR, A::WNW]), Cell::Auths(vec![A::SNR]));
+        assert_eq!(
+            combine_all(&[A::SR, A::WR, A::SW]),
+            Cell::Auths(vec![A::SW])
+        );
+        assert_eq!(
+            combine_all(&[A::WR, A::SNR, A::WNW]),
+            Cell::Auths(vec![A::SNR])
+        );
         assert_eq!(combine_all(&[]), Cell::Auths(vec![]));
     }
 }

@@ -70,7 +70,10 @@ impl fmt::Display for AuthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuthError::Conflict { object, granting } => {
-                write!(f, "granting {granting} conflicts with implied authorizations on {object}")
+                write!(
+                    f,
+                    "granting {granting} conflicts with implied authorizations on {object}"
+                )
             }
             AuthError::Db(m) => write!(f, "engine error: {m}"),
         }
@@ -112,7 +115,10 @@ impl AuthStore {
             let mut implied = self.implied_on(db, user, affected)?;
             implied.push(auth);
             if combine_all(&implied) == Cell::Conflict {
-                return Err(AuthError::Conflict { object: affected, granting: auth });
+                return Err(AuthError::Conflict {
+                    object: affected,
+                    granting: auth,
+                });
             }
         }
         self.grants.entry(user).or_default().push((object, auth));
@@ -143,9 +149,12 @@ impl AuthStore {
         object: AuthObject,
     ) -> Result<Vec<Oid>, AuthError> {
         let roots: Vec<Oid> = match object {
-            AuthObject::Database => {
-                db.catalog().all_classes().iter().flat_map(|&c| db.instances_of(c, false)).collect()
-            }
+            AuthObject::Database => db
+                .catalog()
+                .all_classes()
+                .iter()
+                .flat_map(|&c| db.instances_of(c, false))
+                .collect(),
             AuthObject::Class(c) => db.instances_of(c, true),
             AuthObject::Instance(o) => vec![o],
         };
@@ -172,7 +181,9 @@ impl AuthStore {
         oid: Oid,
     ) -> Result<Vec<Authorization>, AuthError> {
         self.checks.set(self.checks.get() + 1);
-        let Some(grants) = self.grants.get(&user) else { return Ok(Vec::new()) };
+        let Some(grants) = self.grants.get(&user) else {
+            return Ok(Vec::new());
+        };
         let mut carriers = vec![oid];
         carriers.extend(db.ancestors_of(oid, &corion_core::composite::Filter::all())?);
         let mut out = Vec::new();
@@ -225,7 +236,10 @@ mod tests {
             corion_core::AttributeDef::composite(
                 "sub",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ),
         )
         .unwrap();
@@ -233,17 +247,37 @@ mod tests {
             .define_class(ClassBuilder::new("Root").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let o = db.make(part, vec![], vec![]).unwrap();
-        let n = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
-        let m = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![]).unwrap();
+        let n = db
+            .make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .unwrap();
+        let m = db
+            .make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![])
+            .unwrap();
         let k = db.make(part, vec![], vec![]).unwrap();
         let root = db
-            .make(root_class, vec![("parts", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))], vec![])
+            .make(
+                root_class,
+                vec![("parts", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))],
+                vec![],
+            )
             .unwrap();
-        Fx { db, root_class, part_class: part, root, k, m, n, o }
+        Fx {
+            db,
+            root_class,
+            part_class: part,
+            root,
+            k,
+            m,
+            n,
+            o,
+        }
     }
 
     #[test]
@@ -254,7 +288,8 @@ mod tests {
         let mut fx = fixture();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR).unwrap();
+        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR)
+            .unwrap();
         for obj in [fx.root, fx.k, fx.m, fx.n, fx.o] {
             let implied = st.implied_on(&mut fx.db, u, obj).unwrap();
             assert_eq!(implied, vec![A::SR], "implied on {obj}");
@@ -270,8 +305,13 @@ mod tests {
         let mut st = AuthStore::new();
         let u = UserId(1);
         let loose = fx.db.make(fx.part_class, vec![], vec![]).unwrap();
-        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR).unwrap();
-        assert_eq!(st.implied_on(&mut fx.db, u, fx.o).unwrap(), vec![A::SR], "component covered");
+        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR)
+            .unwrap();
+        assert_eq!(
+            st.implied_on(&mut fx.db, u, fx.o).unwrap(),
+            vec![A::SR],
+            "component covered"
+        );
         assert!(
             st.implied_on(&mut fx.db, u, loose).unwrap().is_empty(),
             "non-component instance of the part class is NOT covered"
@@ -287,7 +327,8 @@ mod tests {
         let mut fx = fixture();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR).unwrap();
+        st.grant(&mut fx.db, u, AuthObject::Class(fx.root_class), A::SR)
+            .unwrap();
         let err = st
             .grant(&mut fx.db, u, AuthObject::Class(fx.part_class), A::SNR)
             .unwrap_err();
@@ -304,23 +345,38 @@ mod tests {
             .define_class(ClassBuilder::new("Root2").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(comp))),
-                CompositeSpec { exclusive: false, dependent: false },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
             ))
             .unwrap();
         let o_prime = db.make(comp, vec![], vec![]).unwrap();
         let j = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .make(
+                root,
+                vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))],
+                vec![],
+            )
             .unwrap();
         let k = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .make(
+                root,
+                vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))],
+                vec![],
+            )
             .unwrap();
         let mut st = AuthStore::new();
         let u = UserId(7);
-        st.grant(&mut db, u, AuthObject::Instance(j), A::SNR).unwrap();
-        let err = st.grant(&mut db, u, AuthObject::Instance(k), A::SW).unwrap_err();
+        st.grant(&mut db, u, AuthObject::Instance(j), A::SNR)
+            .unwrap();
+        let err = st
+            .grant(&mut db, u, AuthObject::Instance(k), A::SW)
+            .unwrap_err();
         assert!(matches!(err, AuthError::Conflict { object, .. } if object == o_prime));
         // A weak W on k would be overridden rather than conflicting.
-        st.grant(&mut db, u, AuthObject::Instance(k), A::WW).unwrap();
+        st.grant(&mut db, u, AuthObject::Instance(k), A::WW)
+            .unwrap();
     }
 
     #[test]
@@ -335,20 +391,33 @@ mod tests {
             .define_class(ClassBuilder::new("Root2").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(comp))),
-                CompositeSpec { exclusive: false, dependent: false },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
             ))
             .unwrap();
         let o_prime = db.make(comp, vec![], vec![]).unwrap();
         let j = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .make(
+                root,
+                vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))],
+                vec![],
+            )
             .unwrap();
         let k = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))], vec![])
+            .make(
+                root,
+                vec![("parts", Value::Set(vec![Value::Ref(o_prime)]))],
+                vec![],
+            )
             .unwrap();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut db, u, AuthObject::Instance(j), A::SR).unwrap();
-        st.grant(&mut db, u, AuthObject::Instance(k), A::SW).unwrap();
+        st.grant(&mut db, u, AuthObject::Instance(j), A::SR)
+            .unwrap();
+        st.grant(&mut db, u, AuthObject::Instance(k), A::SW)
+            .unwrap();
         let implied = st.implied_on(&mut db, u, o_prime).unwrap();
         assert_eq!(implied.len(), 2);
         assert_eq!(combine_all(&implied), Cell::Auths(vec![A::SW]));
@@ -359,7 +428,8 @@ mod tests {
         let mut fx = fixture();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR).unwrap();
+        st.grant(&mut fx.db, u, AuthObject::Instance(fx.root), A::SR)
+            .unwrap();
         assert!(st.revoke(u, AuthObject::Instance(fx.root), A::SR));
         assert!(!st.revoke(u, AuthObject::Instance(fx.root), A::SR));
         assert!(st.implied_on(&mut fx.db, u, fx.o).unwrap().is_empty());
@@ -369,8 +439,12 @@ mod tests {
     fn users_are_isolated() {
         let mut fx = fixture();
         let mut st = AuthStore::new();
-        st.grant(&mut fx.db, UserId(1), AuthObject::Instance(fx.root), A::SR).unwrap();
-        assert!(st.implied_on(&mut fx.db, UserId(2), fx.o).unwrap().is_empty());
+        st.grant(&mut fx.db, UserId(1), AuthObject::Instance(fx.root), A::SR)
+            .unwrap();
+        assert!(st
+            .implied_on(&mut fx.db, UserId(2), fx.o)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -378,7 +452,8 @@ mod tests {
         let mut fx = fixture();
         let mut st = AuthStore::new();
         let u = UserId(1);
-        st.grant(&mut fx.db, u, AuthObject::Database, A::WR).unwrap();
+        st.grant(&mut fx.db, u, AuthObject::Database, A::WR)
+            .unwrap();
         assert!(!st.implied_on(&mut fx.db, u, fx.o).unwrap().is_empty());
     }
 }

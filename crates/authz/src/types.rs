@@ -54,29 +54,53 @@ impl Authorization {
     }
 
     /// `sR` — strong positive Read.
-    pub const SR: Authorization =
-        Authorization { strength: Strength::Strong, sign: Sign::Positive, ty: AuthType::Read };
+    pub const SR: Authorization = Authorization {
+        strength: Strength::Strong,
+        sign: Sign::Positive,
+        ty: AuthType::Read,
+    };
     /// `sW` — strong positive Write.
-    pub const SW: Authorization =
-        Authorization { strength: Strength::Strong, sign: Sign::Positive, ty: AuthType::Write };
+    pub const SW: Authorization = Authorization {
+        strength: Strength::Strong,
+        sign: Sign::Positive,
+        ty: AuthType::Write,
+    };
     /// `s¬R` — strong negative Read.
-    pub const SNR: Authorization =
-        Authorization { strength: Strength::Strong, sign: Sign::Negative, ty: AuthType::Read };
+    pub const SNR: Authorization = Authorization {
+        strength: Strength::Strong,
+        sign: Sign::Negative,
+        ty: AuthType::Read,
+    };
     /// `s¬W` — strong negative Write.
-    pub const SNW: Authorization =
-        Authorization { strength: Strength::Strong, sign: Sign::Negative, ty: AuthType::Write };
+    pub const SNW: Authorization = Authorization {
+        strength: Strength::Strong,
+        sign: Sign::Negative,
+        ty: AuthType::Write,
+    };
     /// `wR` — weak positive Read.
-    pub const WR: Authorization =
-        Authorization { strength: Strength::Weak, sign: Sign::Positive, ty: AuthType::Read };
+    pub const WR: Authorization = Authorization {
+        strength: Strength::Weak,
+        sign: Sign::Positive,
+        ty: AuthType::Read,
+    };
     /// `wW` — weak positive Write.
-    pub const WW: Authorization =
-        Authorization { strength: Strength::Weak, sign: Sign::Positive, ty: AuthType::Write };
+    pub const WW: Authorization = Authorization {
+        strength: Strength::Weak,
+        sign: Sign::Positive,
+        ty: AuthType::Write,
+    };
     /// `w¬R` — weak negative Read.
-    pub const WNR: Authorization =
-        Authorization { strength: Strength::Weak, sign: Sign::Negative, ty: AuthType::Read };
+    pub const WNR: Authorization = Authorization {
+        strength: Strength::Weak,
+        sign: Sign::Negative,
+        ty: AuthType::Read,
+    };
     /// `w¬W` — weak negative Write.
-    pub const WNW: Authorization =
-        Authorization { strength: Strength::Weak, sign: Sign::Negative, ty: AuthType::Write };
+    pub const WNW: Authorization = Authorization {
+        strength: Strength::Weak,
+        sign: Sign::Negative,
+        ty: AuthType::Write,
+    };
 
     /// The eight forms, in the order of Figure 6's rows/columns.
     pub const ALL: [Authorization; 8] = [
@@ -99,11 +123,19 @@ impl Authorization {
         match (self.sign, self.ty) {
             // W implies R.
             (Sign::Positive, AuthType::Write) => {
-                out.push(Authorization::new(self.strength, Sign::Positive, AuthType::Read));
+                out.push(Authorization::new(
+                    self.strength,
+                    Sign::Positive,
+                    AuthType::Read,
+                ));
             }
             // ¬R implies ¬W.
             (Sign::Negative, AuthType::Read) => {
-                out.push(Authorization::new(self.strength, Sign::Negative, AuthType::Write));
+                out.push(Authorization::new(
+                    self.strength,
+                    Sign::Negative,
+                    AuthType::Write,
+                ));
             }
             _ => {}
         }
@@ -168,9 +200,18 @@ mod tests {
     #[test]
     fn contradiction_requires_same_type_and_strength() {
         assert!(Authorization::SR.contradicts(Authorization::SNR));
-        assert!(!Authorization::SR.contradicts(Authorization::SNW), "different type");
-        assert!(!Authorization::SR.contradicts(Authorization::WNR), "different strength");
-        assert!(!Authorization::SR.contradicts(Authorization::SR), "same sign");
+        assert!(
+            !Authorization::SR.contradicts(Authorization::SNW),
+            "different type"
+        );
+        assert!(
+            !Authorization::SR.contradicts(Authorization::WNR),
+            "different strength"
+        );
+        assert!(
+            !Authorization::SR.contradicts(Authorization::SR),
+            "same sign"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ fn scan_components(layout: &mut Layout) -> usize {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reverse_storage");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &parents in &[1usize, 8, 64] {
         let mut in_obj = build(parents, true);
@@ -102,18 +105,26 @@ fn bench(c: &mut Criterion) {
             in_obj.data_pages, separate.data_pages
         );
 
-        group.bench_with_input(BenchmarkId::new("parents_in_object", parents), &parents, |b, _| {
-            b.iter(|| parents_of(&mut in_obj, 100))
-        });
-        group.bench_with_input(BenchmarkId::new("parents_separate", parents), &parents, |b, _| {
-            b.iter(|| parents_of(&mut separate, 100))
-        });
-        group.bench_with_input(BenchmarkId::new("scan_in_object", parents), &parents, |b, _| {
-            b.iter(|| scan_components(&mut in_obj))
-        });
-        group.bench_with_input(BenchmarkId::new("scan_separate", parents), &parents, |b, _| {
-            b.iter(|| scan_components(&mut separate))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parents_in_object", parents),
+            &parents,
+            |b, _| b.iter(|| parents_of(&mut in_obj, 100)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parents_separate", parents),
+            &parents,
+            |b, _| b.iter(|| parents_of(&mut separate, 100)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_in_object", parents),
+            &parents,
+            |b, _| b.iter(|| scan_components(&mut in_obj)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_separate", parents),
+            &parents,
+            |b, _| b.iter(|| scan_components(&mut separate)),
+        );
     }
     group.finish();
 }

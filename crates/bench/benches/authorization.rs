@@ -23,7 +23,14 @@ fn build(n: usize) -> (Database, Oid, Vec<Oid>) {
     let depth = ((n as f64).log(4.0).ceil() as usize).max(1);
     let dag = GeneratedDag::generate(
         &mut db,
-        DagParams { depth, fanout: 4, roots: 1, share_fraction: 0.0, dependent_fraction: 1.0, seed: 5 },
+        DagParams {
+            depth,
+            fanout: 4,
+            roots: 1,
+            share_fraction: 0.0,
+            dependent_fraction: 1.0,
+            seed: 5,
+        },
     )
     .unwrap();
     let root = dag.roots[0];
@@ -33,18 +40,29 @@ fn build(n: usize) -> (Database, Oid, Vec<Oid>) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("authorization");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &n in &[4usize, 20, 84] {
         let (db, root, comps) = build(n);
-        eprintln!("authorization/B4: root {root} with {} components", comps.len());
+        eprintln!(
+            "authorization/B4: root {root} with {} components",
+            comps.len()
+        );
         let db = std::cell::RefCell::new(db);
 
         group.bench_with_input(BenchmarkId::new("grant_composite", n), &n, |b, _| {
             b.iter(|| {
                 let mut st = AuthStore::new();
-                st.grant(&mut db.borrow_mut(), UserId(1), AuthObject::Instance(root), Authorization::SR)
-                    .unwrap();
+                st.grant(
+                    &mut db.borrow_mut(),
+                    UserId(1),
+                    AuthObject::Instance(root),
+                    Authorization::SR,
+                )
+                .unwrap();
                 st
             })
         });
@@ -52,9 +70,21 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut st = AuthStore::new();
                 let mut dbm = db.borrow_mut();
-                st.grant(&mut dbm, UserId(1), AuthObject::Instance(root), Authorization::SR).unwrap();
+                st.grant(
+                    &mut dbm,
+                    UserId(1),
+                    AuthObject::Instance(root),
+                    Authorization::SR,
+                )
+                .unwrap();
                 for &c in &comps {
-                    st.grant(&mut dbm, UserId(1), AuthObject::Instance(c), Authorization::SR).unwrap();
+                    st.grant(
+                        &mut dbm,
+                        UserId(1),
+                        AuthObject::Instance(c),
+                        Authorization::SR,
+                    )
+                    .unwrap();
                 }
                 st
             })
@@ -63,18 +93,27 @@ fn bench(c: &mut Criterion) {
         // Checks: reading the whole composite object under each regime.
         let mut st_root = AuthStore::new();
         st_root
-            .grant(&mut db.borrow_mut(), UserId(1), AuthObject::Instance(root), Authorization::SR)
+            .grant(
+                &mut db.borrow_mut(),
+                UserId(1),
+                AuthObject::Instance(root),
+                Authorization::SR,
+            )
             .unwrap();
         group.bench_with_input(BenchmarkId::new("check_root", n), &n, |b, _| {
             b.iter(|| {
-                st_root.check(&mut db.borrow_mut(), UserId(1), AuthType::Read, root).unwrap()
+                st_root
+                    .check(&mut db.borrow_mut(), UserId(1), AuthType::Read, root)
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("check_components", n), &n, |b, _| {
             b.iter(|| {
                 let mut dbm = db.borrow_mut();
                 for &c in &comps {
-                    st_root.check(&mut dbm, UserId(1), AuthType::Read, c).unwrap();
+                    st_root
+                        .check(&mut dbm, UserId(1), AuthType::Read, c)
+                        .unwrap();
                 }
             })
         });

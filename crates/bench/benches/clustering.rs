@@ -28,7 +28,9 @@ fn build(groups: usize, n: usize, clustered: bool) -> (Database, Vec<Oid>) {
         store: StoreConfig { buffer_capacity: 8 },
         ..DbConfig::default()
     });
-    let part = db.define_class(ClassBuilder::new("Part").attr("payload", Domain::String)).unwrap();
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("payload", Domain::String))
+        .unwrap();
     let asm = db
         .define_class(
             ClassBuilder::new("Asm")
@@ -36,18 +38,26 @@ fn build(groups: usize, n: usize, clustered: bool) -> (Database, Vec<Oid>) {
                 .attr_composite(
                     "parts",
                     Domain::SetOf(Box::new(Domain::Class(part))),
-                    CompositeSpec { exclusive: true, dependent: true },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
                 ),
         )
         .unwrap();
     let payload = "x".repeat(120); // make objects big enough that a page holds ~30
-    let roots: Vec<Oid> =
-        (0..groups).map(|_| db.make(asm, vec![], vec![]).unwrap()).collect();
+    let roots: Vec<Oid> = (0..groups)
+        .map(|_| db.make(asm, vec![], vec![]).unwrap())
+        .collect();
     if clustered {
         for &root in &roots {
             for _ in 0..n {
-                db.make(part, vec![("payload", Value::Str(payload.clone()))], vec![(root, "parts")])
-                    .unwrap();
+                db.make(
+                    part,
+                    vec![("payload", Value::Str(payload.clone()))],
+                    vec![(root, "parts")],
+                )
+                .unwrap();
             }
         }
     } else {
@@ -79,7 +89,10 @@ fn cold_read(db: &mut Database, root: Oid) -> usize {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
 
     for &n in &[16usize, 64, 256] {
         let groups = 8;

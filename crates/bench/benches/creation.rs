@@ -20,18 +20,28 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn schema(db: &mut Database) -> (ClassId, ClassId) {
     let part = db.define_class(ClassBuilder::new("Part")).unwrap();
     let asm = db
-        .define_class(ClassBuilder::new("Asm").same_segment_as(part).attr_composite(
-            "parts",
-            Domain::SetOf(Box::new(Domain::Class(part))),
-            CompositeSpec { exclusive: true, dependent: true },
-        ))
+        .define_class(
+            ClassBuilder::new("Asm")
+                .same_segment_as(part)
+                .attr_composite(
+                    "parts",
+                    Domain::SetOf(Box::new(Domain::Class(part))),
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
+                ),
+        )
         .unwrap();
     (part, asm)
 }
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("creation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &n in &[8usize, 64, 256] {
         group.bench_with_input(BenchmarkId::new("top_down", n), &n, |b, &n| {
@@ -56,7 +66,8 @@ fn bench(c: &mut Criterion) {
                     let parts: Vec<Value> = (0..n)
                         .map(|_| Value::Ref(db.make(part, vec![], vec![]).unwrap()))
                         .collect();
-                    db.make(asm, vec![("parts", Value::Set(parts))], vec![]).unwrap();
+                    db.make(asm, vec![("parts", Value::Set(parts))], vec![])
+                        .unwrap();
                     db
                 },
                 criterion::BatchSize::SmallInput,
@@ -67,8 +78,9 @@ fn bench(c: &mut Criterion) {
                 Database::new,
                 |mut db| {
                     let (part, asm) = schema(&mut db);
-                    let parts: Vec<corion::Oid> =
-                        (0..n).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+                    let parts: Vec<corion::Oid> = (0..n)
+                        .map(|_| db.make(part, vec![], vec![]).unwrap())
+                        .collect();
                     let root = db.make(asm, vec![], vec![]).unwrap();
                     for p in parts {
                         db.make_component(p, root, "parts").unwrap();

@@ -44,19 +44,30 @@ fn shared_pair(n: usize) -> (Database, Oid, Oid) {
         .define_class(ClassBuilder::new("Root").attr_composite(
             "parts",
             Domain::SetOf(Box::new(Domain::Class(leaf))),
-            CompositeSpec { exclusive: false, dependent: true },
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
         ))
         .unwrap();
-    let leaves: Vec<Value> =
-        (0..n).map(|_| Value::Ref(db.make(leaf, vec![], vec![]).unwrap())).collect();
-    let r1 = db.make(root, vec![("parts", Value::Set(leaves.clone()))], vec![]).unwrap();
-    let r2 = db.make(root, vec![("parts", Value::Set(leaves))], vec![]).unwrap();
+    let leaves: Vec<Value> = (0..n)
+        .map(|_| Value::Ref(db.make(leaf, vec![], vec![]).unwrap()))
+        .collect();
+    let r1 = db
+        .make(root, vec![("parts", Value::Set(leaves.clone()))], vec![])
+        .unwrap();
+    let r2 = db
+        .make(root, vec![("parts", Value::Set(leaves))], vec![])
+        .unwrap();
     (db, r1, r2)
 }
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("deletion");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &n in &[20usize, 84, 340] {
         group.bench_with_input(BenchmarkId::new("dependent_cascade", n), &n, |b, &n| {

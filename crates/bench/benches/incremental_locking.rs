@@ -25,7 +25,14 @@ fn build() -> (Database, Oid, Vec<Oid>) {
     let mut db = Database::new();
     let dag = GeneratedDag::generate(
         &mut db,
-        DagParams { depth: 4, fanout: 4, roots: 1, share_fraction: 0.0, dependent_fraction: 1.0, seed: 3 },
+        DagParams {
+            depth: 4,
+            fanout: 4,
+            roots: 1,
+            share_fraction: 0.0,
+            dependent_fraction: 1.0,
+            seed: 3,
+        },
     )
     .unwrap();
     let root = dag.roots[0];
@@ -35,10 +42,16 @@ fn build() -> (Database, Oid, Vec<Oid>) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("incremental_locking");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     let (db, root, comps) = build();
-    eprintln!("incremental_locking: composite object with {} components", comps.len());
+    eprintln!(
+        "incremental_locking: composite object with {} components",
+        comps.len()
+    );
     let composite = composite_lockset(&db, root, LockIntent::Write);
     let db = std::cell::RefCell::new(db);
 
@@ -52,18 +65,23 @@ fn bench(c: &mut Criterion) {
                 lm.release_all(t);
             })
         });
-        group.bench_with_input(BenchmarkId::new("incremental", touch), &touch, |b, &touch| {
-            let lm = LockManager::new();
-            b.iter(|| {
-                let mut dbm = db.borrow_mut();
-                let t = lm.begin();
-                let mut acc = IncrementalAccess::open(&mut dbm, &lm, t, root, true, 1.1).unwrap();
-                for &c in &comps[..touch] {
-                    acc.touch(&mut dbm, &lm, t, c).unwrap();
-                }
-                lm.release_all(t);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental", touch),
+            &touch,
+            |b, &touch| {
+                let lm = LockManager::new();
+                b.iter(|| {
+                    let mut dbm = db.borrow_mut();
+                    let t = lm.begin();
+                    let mut acc =
+                        IncrementalAccess::open(&mut dbm, &lm, t, root, true, 1.1).unwrap();
+                    for &c in &comps[..touch] {
+                        acc.touch(&mut dbm, &lm, t, c).unwrap();
+                    }
+                    lm.release_all(t);
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("incremental_escalate", touch),
             &touch,

@@ -41,7 +41,10 @@ fn build(n: usize) -> (Database, Oid) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("locking");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
 
     for &n in &[4usize, 20, 84, 340] {
         let (mut db, root) = build(n);
@@ -77,7 +80,10 @@ fn bench(c: &mut Criterion) {
     // protocol proceed in parallel; per-object locking with the same mix
     // pays per-component acquisition on every transaction.
     let mut group = c.benchmark_group("locking_mix");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let mut db = Database::new();
     let fleet = corion::workload::Fleet::generate(&mut db, 8, 6).unwrap();
     let mix = corion::workload::txmix::generate(corion::workload::TxMixParams {
@@ -113,7 +119,11 @@ fn bench(c: &mut Criterion) {
             for op in &mix {
                 let t = lm.begin();
                 let (r, w) = &composite_sets[op.root_index];
-                let set = if op.kind == corion::workload::AccessKind::Write { w } else { r };
+                let set = if op.kind == corion::workload::AccessKind::Write {
+                    w
+                } else {
+                    r
+                };
                 set.try_acquire(&lm, t).unwrap();
                 lm.release_all(t);
             }
@@ -125,7 +135,11 @@ fn bench(c: &mut Criterion) {
             for op in &mix {
                 let t = lm.begin();
                 let (r, w) = &per_object_sets[op.root_index];
-                let set = if op.kind == corion::workload::AccessKind::Write { w } else { r };
+                let set = if op.kind == corion::workload::AccessKind::Write {
+                    w
+                } else {
+                    r
+                };
                 set.try_acquire(&lm, t).unwrap();
                 lm.release_all(t);
             }

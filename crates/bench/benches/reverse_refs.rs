@@ -13,16 +13,23 @@
 //!     every referencing class (O(database))
 //!   * object-size overhead printed at setup (bytes with vs without
 //!     reverse references)
+//!
+//! Plus the traversal-cache ablation: repeat `components-of` /
+//! `ancestors-of` over a ~10k-object hierarchy with the generation-
+//! invalidated cache on (`components_of`) and off (`components_of_uncached`),
+//! and the same batch fanned out over scoped threads. The warm cached
+//! traversal must be at least 2× faster than the uncached walk — asserted,
+//! not just reported.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use corion::workload::{Corpus, CorpusParams};
+use corion::workload::{Corpus, CorpusParams, DagParams, GeneratedDag};
 use corion::{Database, Filter, Oid, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Finds parents of `target` without reverse references: scan all documents
 /// and sections for values referencing it.
-fn parents_by_scan(db: &mut Database, corpus: &Corpus, target: Oid) -> Vec<Oid> {
+fn parents_by_scan(db: &Database, corpus: &Corpus, target: Oid) -> Vec<Oid> {
     let mut out = Vec::new();
     for class in [corpus.schema.document, corpus.schema.section] {
         for oid in db.instances_of(class, false) {
@@ -37,13 +44,20 @@ fn parents_by_scan(db: &mut Database, corpus: &Corpus, target: Oid) -> Vec<Oid> 
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("reverse_refs");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &docs in &[10usize, 50, 200] {
         let mut db = Database::new();
         let corpus = Corpus::generate(
             &mut db,
-            CorpusParams { documents: docs, share_fraction: 0.5, ..CorpusParams::default() },
+            CorpusParams {
+                documents: docs,
+                share_fraction: 0.5,
+                ..CorpusParams::default()
+            },
         )
         .unwrap();
         let target = corpus.sections[corpus.sections.len() / 2];
@@ -62,17 +76,18 @@ fn bench(c: &mut Criterion) {
             with - stripped.encoded_size()
         );
 
-        let db = std::cell::RefCell::new(db);
-        group.bench_with_input(BenchmarkId::new("parents_via_reverse_refs", docs), &docs, |b, _| {
-            b.iter(|| db.borrow_mut().parents_of(target, &Filter::all()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parents_via_reverse_refs", docs),
+            &docs,
+            |b, _| b.iter(|| db.parents_of(target, &Filter::all()).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("parents_via_scan", docs), &docs, |b, _| {
-            b.iter(|| parents_by_scan(&mut db.borrow_mut(), &corpus, target))
+            b.iter(|| parents_by_scan(&db, &corpus, target))
         });
         // Sanity: both answers agree (scan finds annotation parents too, so
         // compare as sets on the composite parents only).
-        let via_refs = db.borrow_mut().parents_of(target, &Filter::all()).unwrap();
-        let via_scan = parents_by_scan(&mut db.borrow_mut(), &corpus, target);
+        let via_refs = db.parents_of(target, &Filter::all()).unwrap();
+        let via_scan = parents_by_scan(&db, &corpus, target);
         for p in &via_refs {
             assert!(via_scan.contains(p), "scan misses parent {p}");
         }
@@ -81,7 +96,10 @@ fn bench(c: &mut Criterion) {
 
     // Maintenance overhead: attach/detach cost as reverse-ref lists grow.
     let mut group = c.benchmark_group("reverse_ref_maintenance");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for &parents in &[1usize, 16, 128] {
         let mut db = Database::new();
         let schema = corion::workload::DocumentSchema::define(&mut db).unwrap();
@@ -94,23 +112,108 @@ fn bench(c: &mut Criterion) {
             })
             .collect();
         let extra = db.make(schema.document, vec![], vec![]).unwrap();
-        let db = std::cell::RefCell::new(db);
-        group.bench_with_input(BenchmarkId::new("attach_detach", parents), &parents, |b, _| {
-            b.iter(|| {
-                let mut dbm = db.borrow_mut();
-                dbm.make_component(sec, extra, "Sections").unwrap();
-                dbm.remove_component(sec, extra, "Sections").unwrap();
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("attach_detach", parents),
+            &parents,
+            |b, _| {
+                b.iter(|| {
+                    db.make_component(sec, extra, "Sections").unwrap();
+                    db.remove_component(sec, extra, "Sections").unwrap();
+                })
+            },
+        );
         let _ = docs;
         // Keep one value-read in the loop honest.
-        assert_eq!(
-            db.borrow_mut().get_attr(extra, "Sections").unwrap(),
-            Value::Set(vec![])
-        );
+        assert_eq!(db.get_attr(extra, "Sections").unwrap(), Value::Set(vec![]));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Times `op` over `iters` repetitions (after one warm-up call).
+fn time_repeats(iters: u32, mut op: impl FnMut()) -> Duration {
+    op();
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed()
+}
+
+/// The traversal-cache ablation on a ~10k-object hierarchy (one root,
+/// fanout 10, depth 4 → 11 111 parts): repeat traversals with the
+/// hierarchy cache versus the uncached oracle walk.
+fn bench_traversal_cache(c: &mut Criterion) {
+    let mut db = Database::new();
+    let dag = GeneratedDag::generate(
+        &mut db,
+        DagParams {
+            depth: 4,
+            fanout: 10,
+            roots: 1,
+            share_fraction: 0.3,
+            dependent_fraction: 0.5,
+            seed: 42,
+        },
+    )
+    .unwrap();
+    let root = dag.roots[0];
+    let all = dag.all();
+    let leaf = *all.last().unwrap();
+    let n = all.len();
+    eprintln!(
+        "traversal_cache: hierarchy of {n} objects, {} edges",
+        dag.edges
+    );
+
+    let mut group = c.benchmark_group("traversal_cache");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group.bench_function(BenchmarkId::new("components_repeat_cached", n), |b| {
+        b.iter(|| db.components_of(root, &Filter::all()).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("components_repeat_uncached", n), |b| {
+        b.iter(|| db.components_of_uncached(root, &Filter::all()).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("ancestors_repeat_cached", n), |b| {
+        b.iter(|| db.ancestors_of(leaf, &Filter::all()).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("ancestors_repeat_uncached", n), |b| {
+        b.iter(|| db.ancestors_of_uncached(leaf, &Filter::all()).unwrap())
+    });
+    // Parallel batch over every object, sharing one warm cache.
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("ancestors_of_many_parallel", n), |b| {
+        b.iter(|| db.ancestors_of_many(&all, &Filter::all()))
+    });
+    group.finish();
+
+    // The acceptance gate: warm cached repeat-traversal must beat the
+    // uncached walk by at least 2× on this hierarchy.
+    let cached = time_repeats(10, || {
+        db.components_of(root, &Filter::all()).unwrap();
+    });
+    let uncached = time_repeats(10, || {
+        db.components_of_uncached(root, &Filter::all()).unwrap();
+    });
+    let speedup = uncached.as_secs_f64() / cached.as_secs_f64();
+    eprintln!(
+        "traversal_cache: cached {:?} vs uncached {:?} per 10 repeats — {speedup:.1}× speedup",
+        cached, uncached
+    );
+    assert!(
+        speedup >= 2.0,
+        "cached repeat traversal must be ≥2× faster than uncached (got {speedup:.2}×)"
+    );
+    let stats = db.traversal_cache_stats();
+    eprintln!(
+        "traversal_cache: {} hits, {} misses, {} invalidations at generation {}",
+        stats.hits, stats.misses, stats.invalidations, stats.generation
+    );
+}
+
+criterion_group!(benches, bench, bench_traversal_cache);
 criterion_main!(benches);

@@ -31,7 +31,10 @@ fn build(n: usize) -> (Database, ClassId) {
                 .attr_composite(
                     "slot",
                     Domain::Class(item),
-                    CompositeSpec { exclusive: true, dependent: true },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
                 )
                 .attr("wref", Domain::Class(item)),
         )
@@ -39,7 +42,12 @@ fn build(n: usize) -> (Database, ClassId) {
     for _ in 0..n {
         let i = db.make(item, vec![], vec![]).unwrap();
         let w = db.make(item, vec![], vec![]).unwrap();
-        db.make(holder, vec![("slot", Value::Ref(i)), ("wref", Value::Ref(w))], vec![]).unwrap();
+        db.make(
+            holder,
+            vec![("slot", Value::Ref(i)), ("wref", Value::Ref(w))],
+            vec![],
+        )
+        .unwrap();
     }
     (db, holder)
 }
@@ -51,7 +59,10 @@ fn items_of(db: &Database) -> Vec<corion::Oid> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("schema_evolution");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &n in &[100usize, 1000, 4000] {
         // B1a: immediate I2 — pays O(n) at change time.

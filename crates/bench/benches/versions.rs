@@ -19,12 +19,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn schema() -> (VersionManager, ClassId, ClassId) {
     let mut db = Database::new();
-    let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+    let d = db
+        .define_class(ClassBuilder::new("D").versionable())
+        .unwrap();
     let c = db
         .define_class(ClassBuilder::new("C").versionable().attr_composite(
             "parts",
             Domain::SetOf(Box::new(Domain::Class(d))),
-            CompositeSpec { exclusive: false, dependent: false },
+            CompositeSpec {
+                exclusive: false,
+                dependent: false,
+            },
         ))
         .unwrap();
     (VersionManager::new(db), c, d)
@@ -32,7 +37,10 @@ fn schema() -> (VersionManager, ClassId, ClassId) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("versions");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     for &n in &[1usize, 16, 64] {
         // derive/n: source version holds n shared static references.

@@ -11,13 +11,21 @@ use corion::{Database, DbConfig};
 /// clustering effects are visible).
 pub fn bench_db(buffer_pages: usize) -> Database {
     Database::with_config(DbConfig {
-        store: corion::storage::StoreConfig { buffer_capacity: buffer_pages },
+        store: corion::storage::StoreConfig {
+            buffer_capacity: buffer_pages,
+        },
         ..DbConfig::default()
     })
 }
 
 /// A fresh hierarchy of roughly `size_hint` objects with the given sharing.
-pub fn dag_of(db: &mut Database, depth: usize, fanout: usize, share: f64, seed: u64) -> GeneratedDag {
+pub fn dag_of(
+    db: &mut Database,
+    depth: usize,
+    fanout: usize,
+    share: f64,
+    seed: u64,
+) -> GeneratedDag {
     GeneratedDag::generate(
         db,
         DagParams {

@@ -39,7 +39,7 @@ impl Database {
             }
             // 1. Detach children: remove this parent's reverse reference and
             //    decide whether deletion propagates.
-            for (spec, child) in self.forward_composite_refs(oid)? {
+            for &(spec, child) in self.forward_composite_refs(oid)?.iter() {
                 if deleted.contains(&child) || !self.exists(child) {
                     continue;
                 }
@@ -78,14 +78,29 @@ impl Database {
         Ok(order)
     }
 
-    /// Every forward composite reference held by `oid`:
-    /// `(attribute spec, referenced component)` pairs.
+    /// Every forward composite reference held by `oid` — its *level-1
+    /// component set* — as `(attribute spec, referenced component)` pairs.
+    /// Memoised in the traversal cache.
     pub(crate) fn forward_composite_refs(
-        &mut self,
+        &self,
+        oid: Oid,
+    ) -> DbResult<std::sync::Arc<Vec<(CompositeSpec, Oid)>>> {
+        if let Some(cached) = self.traversal_cache.children(oid) {
+            return Ok(cached);
+        }
+        let out = std::sync::Arc::new(self.forward_composite_refs_uncached(oid)?);
+        self.traversal_cache.store_children(oid, out.clone());
+        Ok(out)
+    }
+
+    /// [`Database::forward_composite_refs`] recomputed from storage,
+    /// bypassing the traversal cache (the equivalence oracle).
+    pub(crate) fn forward_composite_refs_uncached(
+        &self,
         oid: Oid,
     ) -> DbResult<Vec<(CompositeSpec, Oid)>> {
-        let class = self.catalog.class(oid.class)?.clone();
         let obj = self.get(oid)?;
+        let class = self.catalog.class(oid.class)?;
         let mut out = Vec::new();
         for (idx, def) in class.attrs.iter().enumerate() {
             if let Some(spec) = def.composite {
@@ -106,7 +121,7 @@ pub(crate) fn delete_raw(db: &mut Database, oid: Oid) -> DbResult<()> {
     if !db.exists(oid) {
         return Ok(());
     }
-    for (spec, child) in db.forward_composite_refs(oid)? {
+    for &(spec, child) in db.forward_composite_refs(oid)?.iter() {
         if db.exists(child) {
             let mut cobj = db.get(child)?;
             cobj.remove_reverse_ref(oid, spec.dependent, spec.exclusive);
@@ -144,22 +159,34 @@ mod tests {
                     .attr_composite(
                         "dep_excl",
                         Domain::Class(item),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     )
                     .attr_composite(
                         "ind_excl",
                         Domain::Class(item),
-                        CompositeSpec { exclusive: true, dependent: false },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: false,
+                        },
                     )
                     .attr_composite(
                         "dep_shared",
                         Domain::SetOf(Box::new(Domain::Class(item))),
-                        CompositeSpec { exclusive: false, dependent: true },
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: true,
+                        },
                     )
                     .attr_composite(
                         "ind_shared",
                         Domain::SetOf(Box::new(Domain::Class(item))),
-                        CompositeSpec { exclusive: false, dependent: false },
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: false,
+                        },
                     )
                     .attr("weak", Domain::Class(item)),
             )
@@ -176,7 +203,9 @@ mod tests {
         // del(O') => del(O) for dependent exclusive.
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
-        let h = db.make(holder, vec![("dep_excl", Value::Ref(o))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("dep_excl", Value::Ref(o))], vec![])
+            .unwrap();
         let deleted = db.delete(h).unwrap();
         assert!(deleted.contains(&o));
         assert!(!db.exists(o));
@@ -187,10 +216,15 @@ mod tests {
         // del(O') =/=> del(O) for independent exclusive.
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
-        let h = db.make(holder, vec![("ind_excl", Value::Ref(o))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("ind_excl", Value::Ref(o))], vec![])
+            .unwrap();
         db.delete(h).unwrap();
         assert!(db.exists(o));
-        assert!(db.get(o).unwrap().reverse_refs.is_empty(), "reverse ref cleaned");
+        assert!(
+            db.get(o).unwrap().reverse_refs.is_empty(),
+            "reverse ref cleaned"
+        );
     }
 
     #[test]
@@ -198,7 +232,11 @@ mod tests {
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
         let h = db
-            .make(holder, vec![("ind_shared", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .make(
+                holder,
+                vec![("ind_shared", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
             .unwrap();
         db.delete(h).unwrap();
         assert!(db.exists(o));
@@ -210,10 +248,18 @@ mod tests {
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
         let h1 = db
-            .make(holder, vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .make(
+                holder,
+                vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
             .unwrap();
         let h2 = db
-            .make(holder, vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .make(
+                holder,
+                vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
             .unwrap();
         db.delete(h1).unwrap();
         assert!(db.exists(o), "DS(o) still contains h2");
@@ -232,19 +278,29 @@ mod tests {
             .define_class(ClassBuilder::new("Mid").attr_composite(
                 "child",
                 Domain::Class(leaf),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let top = db
             .define_class(ClassBuilder::new("Top").attr_composite(
                 "child",
                 Domain::Class(mid),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let o = db.make(leaf, vec![], vec![]).unwrap();
-        let m = db.make(mid, vec![("child", Value::Ref(o))], vec![]).unwrap();
-        let h = db.make(top, vec![("child", Value::Ref(m))], vec![]).unwrap();
+        let m = db
+            .make(mid, vec![("child", Value::Ref(o))], vec![])
+            .unwrap();
+        let h = db
+            .make(top, vec![("child", Value::Ref(m))], vec![])
+            .unwrap();
         let deleted = db.delete(h).unwrap();
         assert_eq!(deleted.len(), 3);
         assert!(!db.exists(m) && !db.exists(o));
@@ -260,21 +316,30 @@ mod tests {
             .define_class(ClassBuilder::new("C2").attr_composite(
                 "next",
                 Domain::Class(c3),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let c1 = db
             .define_class(ClassBuilder::new("C1").attr_composite(
                 "next",
                 Domain::Class(c2),
-                CompositeSpec { exclusive: true, dependent: false },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: false,
+                },
             ))
             .unwrap();
         let top = db
             .define_class(ClassBuilder::new("TopC").attr_composite(
                 "next",
                 Domain::Class(c1),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let c = db.make(c3, vec![], vec![]).unwrap();
@@ -296,21 +361,43 @@ mod tests {
             .define_class(ClassBuilder::new("Mid").attr_composite(
                 "content",
                 Domain::SetOf(Box::new(Domain::Class(leaf))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let root = db
             .define_class(ClassBuilder::new("Root").attr_composite(
                 "mids",
                 Domain::SetOf(Box::new(Domain::Class(mid))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let o = db.make(leaf, vec![], vec![]).unwrap();
-        let m1 = db.make(mid, vec![("content", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
-        let m2 = db.make(mid, vec![("content", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
+        let m1 = db
+            .make(
+                mid,
+                vec![("content", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
+            .unwrap();
+        let m2 = db
+            .make(
+                mid,
+                vec![("content", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
+            .unwrap();
         let r = db
-            .make(root, vec![("mids", Value::Set(vec![Value::Ref(m1), Value::Ref(m2)]))], vec![])
+            .make(
+                root,
+                vec![("mids", Value::Set(vec![Value::Ref(m1), Value::Ref(m2)]))],
+                vec![],
+            )
             .unwrap();
         let deleted = db.delete(r).unwrap();
         assert_eq!(deleted.len(), 4, "r, m1, m2 and finally o");
@@ -325,13 +412,24 @@ mod tests {
         // h2; deleting h2 (the only dependent parent) deletes o, and h1's
         // forward reference must be scrubbed.
         let h1 = db
-            .make(holder, vec![("ind_shared", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .make(
+                holder,
+                vec![("ind_shared", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
             .unwrap();
         let h2 = db
-            .make(holder, vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))], vec![])
+            .make(
+                holder,
+                vec![("dep_shared", Value::Set(vec![Value::Ref(o)]))],
+                vec![],
+            )
             .unwrap();
         db.delete(h2).unwrap();
-        assert!(!db.exists(o), "paper's literal rule: DS(o) = {{h2}} triggers deletion");
+        assert!(
+            !db.exists(o),
+            "paper's literal rule: DS(o) = {{h2}} triggers deletion"
+        );
         assert_eq!(db.get_attr(h1, "ind_shared").unwrap(), Value::Set(vec![]));
     }
 
@@ -339,7 +437,9 @@ mod tests {
     fn weak_references_dangle_after_delete() {
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
-        let h = db.make(holder, vec![("weak", Value::Ref(o))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("weak", Value::Ref(o))], vec![])
+            .unwrap();
         db.delete(o).unwrap();
         // ORION-style: the weak reference still holds the dead UID…
         assert_eq!(db.get_attr(h, "weak").unwrap(), Value::Ref(o));
@@ -351,7 +451,9 @@ mod tests {
     fn delete_reports_deletion_order_root_first() {
         let (mut db, holder, itemc) = full_db();
         let o = item(&mut db, itemc);
-        let h = db.make(holder, vec![("dep_excl", Value::Ref(o))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("dep_excl", Value::Ref(o))], vec![])
+            .unwrap();
         let deleted = db.delete(h).unwrap();
         assert_eq!(deleted[0], h);
         assert_eq!(deleted.len(), 2);

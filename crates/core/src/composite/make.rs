@@ -30,11 +30,15 @@ impl Database {
     /// cycle.
     pub fn make_component(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
         let pclass = self.catalog.class(parent.class)?;
-        let def = pclass
-            .attr(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?;
+        let def = pclass.attr(attr).ok_or_else(|| DbError::NoSuchAttribute {
+            class: parent.class,
+            attr: attr.into(),
+        })?;
         if def.composite.is_none() {
-            return Err(DbError::NotComposite { class: parent.class, attr: attr.into() });
+            return Err(DbError::NotComposite {
+                class: parent.class,
+                attr: attr.into(),
+            });
         }
         if let Some(dc) = def.domain.referenced_class() {
             if !self.is_subclass_of(child.class, dc) {
@@ -54,10 +58,16 @@ impl Database {
         let pclass = self.catalog.class(parent.class)?;
         let idx = pclass
             .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: parent.class,
+                attr: attr.into(),
+            })?;
         let def = pclass.attrs[idx].clone();
         let Some(spec) = def.composite else {
-            return Err(DbError::NotComposite { class: parent.class, attr: attr.into() });
+            return Err(DbError::NotComposite {
+                class: parent.class,
+                attr: attr.into(),
+            });
         };
         let mut pobj = self.get(parent)?;
         if pobj.attrs[idx].remove_ref(child) == 0 {
@@ -87,7 +97,11 @@ impl Database {
         }
         let mut cobj = self.get(child)?;
         super::topology::check_make_component(&cobj, spec)?;
-        cobj.reverse_refs.push(crate::refs::ReverseRef::new(parent, spec.dependent, spec.exclusive));
+        cobj.reverse_refs.push(crate::refs::ReverseRef::new(
+            parent,
+            spec.dependent,
+            spec.exclusive,
+        ));
         debug_assert!(super::topology::ParentSets::of(&cobj).check(child).is_ok());
         self.save(&cobj)
     }
@@ -126,8 +140,7 @@ impl Database {
         if !cobj.remove_reverse_ref(parent, spec.dependent, spec.exclusive) {
             return Ok(());
         }
-        let lost_last_dependent =
-            spec.dependent && cobj.dx().is_empty() && cobj.ds().is_empty();
+        let lost_last_dependent = spec.dependent && cobj.dx().is_empty() && cobj.ds().is_empty();
         self.save(&cobj)?;
         if lost_last_dependent && delete_orphans {
             self.delete(child)?;
@@ -156,12 +169,18 @@ mod tests {
                     .attr_composite(
                         "content",
                         Domain::SetOf(Box::new(Domain::Class(sec))),
-                        CompositeSpec { exclusive: false, dependent: true },
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: true,
+                        },
                     )
                     .attr_composite(
                         "annex",
                         Domain::Class(sec),
-                        CompositeSpec { exclusive: true, dependent: false },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: false,
+                        },
                     ),
             )
             .unwrap();
@@ -221,7 +240,10 @@ mod tests {
             .unwrap();
         let o = db.make(t, vec![], vec![]).unwrap();
         let p = db.make(c, vec![], vec![]).unwrap();
-        assert!(matches!(db.make_component(o, p, "w"), Err(DbError::NotComposite { .. })));
+        assert!(matches!(
+            db.make_component(o, p, "w"),
+            Err(DbError::NotComposite { .. })
+        ));
     }
 
     #[test]
@@ -229,23 +251,30 @@ mod tests {
         let mut db = Database::new();
         let node = db.define_class(ClassBuilder::new("Node")).unwrap();
         // Self-referential composite class.
-        db.catalog
-            .class_mut(node)
-            .unwrap()
-            .local_attrs
-            .push(crate::schema::attr::AttributeDef::composite(
+        db.catalog.class_mut(node).unwrap().local_attrs.push(
+            crate::schema::attr::AttributeDef::composite(
                 "children",
                 Domain::SetOf(Box::new(Domain::Class(node))),
-                CompositeSpec { exclusive: false, dependent: false },
-            ));
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
+            ),
+        );
         db.catalog.reflatten_from(node);
         let a = db.make(node, vec![], vec![]).unwrap();
         let b = db.make(node, vec![], vec![]).unwrap();
         let c = db.make(node, vec![], vec![]).unwrap();
         db.make_component(b, a, "children").unwrap();
         db.make_component(c, b, "children").unwrap();
-        assert!(matches!(db.make_component(a, c, "children"), Err(DbError::CycleDetected { .. })));
-        assert!(matches!(db.make_component(a, a, "children"), Err(DbError::CycleDetected { .. })));
+        assert!(matches!(
+            db.make_component(a, c, "children"),
+            Err(DbError::CycleDetected { .. })
+        ));
+        assert!(matches!(
+            db.make_component(a, a, "children"),
+            Err(DbError::CycleDetected { .. })
+        ));
     }
 
     #[test]
@@ -255,7 +284,13 @@ mod tests {
         // object."
         let (mut db, doc, sec) = doc_db();
         let s = db.make(sec, vec![], vec![]).unwrap();
-        let d = db.make(doc, vec![("content", Value::Set(vec![Value::Ref(s)]))], vec![]).unwrap();
+        let d = db
+            .make(
+                doc,
+                vec![("content", Value::Set(vec![Value::Ref(s)]))],
+                vec![],
+            )
+            .unwrap();
         // d is currently a root. Build a bigger document that absorbs... a
         // Document cannot contain a Document in this schema; use a fresh
         // schema trick: d gains a shared parent through another document's
@@ -276,7 +311,10 @@ mod tests {
         assert!(db.exists(s), "still held by d2");
         assert_eq!(db.get(s).unwrap().ds(), vec![d2]);
         db.remove_component(s, d2, "content").unwrap();
-        assert!(!db.exists(s), "last dependent parent removed -> orphan deleted");
+        assert!(
+            !db.exists(s),
+            "last dependent parent removed -> orphan deleted"
+        );
     }
 
     #[test]
@@ -286,7 +324,10 @@ mod tests {
         let d = db.make(doc, vec![], vec![]).unwrap();
         db.make_component(s, d, "annex").unwrap();
         db.remove_component(s, d, "annex").unwrap();
-        assert!(db.exists(s), "independent components are reusable after dismantling");
+        assert!(
+            db.exists(s),
+            "independent components are reusable after dismantling"
+        );
         assert!(db.get(s).unwrap().reverse_refs.is_empty());
     }
 

@@ -6,12 +6,16 @@
 //!   component (attach/detach with reverse-reference bookkeeping);
 //! * [`delete`] — the recursive Deletion Rule;
 //! * [`ops`] — `components-of`, `parents-of`, `ancestors-of` and the
-//!   predicate messages of §3.
+//!   predicate messages of §3;
+//! * [`cache`] — the generation-invalidated hierarchy cache behind the
+//!   shared-read (`&self`) traversal engine.
 
+pub mod cache;
 pub mod delete;
 pub mod make;
 pub mod ops;
 pub mod topology;
 
+pub use cache::TraversalCacheStats;
 pub use ops::Filter;
 pub use topology::ParentSets;

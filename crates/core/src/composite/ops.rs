@@ -11,10 +11,12 @@
 //! `shared-component-of` on instances.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use crate::oid::{ClassId, Oid};
+use crate::refs::ReverseRef;
 
 /// Argument bundle for the §3.1 traversal messages: `[ListofClasses]
 /// [Exclusive] [Shared]` (+ `[Level]` for `components-of`).
@@ -64,8 +66,9 @@ impl Filter {
 
     /// Does an edge of the given exclusivity pass the Exclusive/Shared
     /// switches? "If both Exclusive and Shared are Nil, all components are
-    /// retrieved."
-    fn admits_edge(&self, edge_exclusive: bool) -> bool {
+    /// retrieved" — and both True likewise admits every edge (asking for
+    /// exclusive *and* shared components is asking for all of them).
+    pub fn admits_edge(&self, edge_exclusive: bool) -> bool {
         match (self.exclusive, self.shared) {
             (false, false) | (true, true) => true,
             (true, false) => edge_exclusive,
@@ -79,15 +82,44 @@ impl Filter {
             Some(cs) => cs.iter().any(|&c| db.is_subclass_of(class, c)),
         }
     }
+
+    /// True if the filter admits every edge and every class — the traversal
+    /// result is then a pure function of the hierarchy and can be served
+    /// from the closure caches.
+    fn is_transparent(&self) -> bool {
+        self.classes.is_none() && self.exclusive == self.shared
+    }
 }
 
 impl Database {
+    /// The reverse composite references of `oid` (§2.4), post-deferred-
+    /// maintenance, memoised in the traversal cache.
+    pub(crate) fn reverse_composite_refs(&self, oid: Oid) -> DbResult<Arc<Vec<ReverseRef>>> {
+        if let Some(cached) = self.traversal_cache.parents(oid) {
+            return Ok(cached);
+        }
+        let out = Arc::new(self.get(oid)?.reverse_refs.clone());
+        self.traversal_cache.store_parents(oid, out.clone());
+        Ok(out)
+    }
+
     /// `(components-of Object [ListofClasses] [Exclusive] [Shared] [Level])`
     ///
     /// Returns the component set of `object`: "all objects directly or
     /// indirectly referenced from O via composite references" (§2.2), BFS
     /// order (so level-n components appear before level-n+1 ones).
-    pub fn components_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+    pub fn components_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        self.components_walk(object, filter, true)
+    }
+
+    /// [`Database::components_of`] recomputed from storage, bypassing the
+    /// traversal cache — the oracle the equivalence test suite compares
+    /// cached traversals against.
+    pub fn components_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        self.components_walk(object, filter, false)
+    }
+
+    fn components_walk(&self, object: Oid, filter: &Filter, cached: bool) -> DbResult<Vec<Oid>> {
         if !self.exists(object) {
             return Err(DbError::NoSuchObject(object));
         }
@@ -102,7 +134,12 @@ impl Database {
                     continue;
                 }
             }
-            for (spec, child) in self.forward_composite_refs(oid)? {
+            let edges = if cached {
+                self.forward_composite_refs(oid)?
+            } else {
+                Arc::new(self.forward_composite_refs_uncached(oid)?)
+            };
+            for &(spec, child) in edges.iter() {
                 if !filter.admits_edge(spec.exclusive) {
                     continue;
                 }
@@ -121,11 +158,21 @@ impl Database {
     /// `(parents-of Object [ListofClasses] [Exclusive] [Shared])` — the
     /// *parent set*: objects with a **direct** composite reference to
     /// `object`, answered from its reverse composite references (§2.4).
-    pub fn parents_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+    pub fn parents_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let rrs = self.reverse_composite_refs(object)?;
+        Ok(self.filter_parents(&rrs, filter))
+    }
+
+    /// [`Database::parents_of`] bypassing the traversal cache.
+    pub fn parents_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
         let obj = self.get(object)?;
+        Ok(self.filter_parents(&obj.reverse_refs, filter))
+    }
+
+    fn filter_parents(&self, rrs: &[ReverseRef], filter: &Filter) -> Vec<Oid> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        for rr in &obj.reverse_refs {
+        for rr in rrs {
             if !filter.admits_edge(rr.exclusive) {
                 continue;
             }
@@ -136,13 +183,35 @@ impl Database {
                 out.push(rr.parent);
             }
         }
-        Ok(out)
+        out
     }
 
     /// `(ancestors-of Object [ListofClasses] [Exclusive] [Shared])` — the
     /// *ancestor set*: objects with a direct **or indirect** composite
-    /// reference to `object`.
-    pub fn ancestors_of(&mut self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+    /// reference to `object`. The unfiltered closure is memoised per
+    /// object; filtered queries walk edge-by-edge (a filtered closure is
+    /// not derivable from the unfiltered one) but still hit the cached
+    /// reverse-reference lists.
+    pub fn ancestors_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        if filter.is_transparent() {
+            if let Some(cached) = self.traversal_cache.ancestors(object) {
+                return Ok((*cached).clone());
+            }
+            let out = self.ancestors_walk(object, filter, true)?;
+            self.traversal_cache
+                .store_ancestors(object, Arc::new(out.clone()));
+            return Ok(out);
+        }
+        self.ancestors_walk(object, filter, true)
+    }
+
+    /// [`Database::ancestors_of`] recomputed from storage, bypassing the
+    /// traversal cache.
+    pub fn ancestors_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        self.ancestors_walk(object, filter, false)
+    }
+
+    fn ancestors_walk(&self, object: Oid, filter: &Filter, cached: bool) -> DbResult<Vec<Oid>> {
         if !self.exists(object) {
             return Err(DbError::NoSuchObject(object));
         }
@@ -152,8 +221,12 @@ impl Database {
         let mut frontier: VecDeque<Oid> = VecDeque::new();
         frontier.push_back(object);
         while let Some(oid) = frontier.pop_front() {
-            let obj = self.get(oid)?;
-            for rr in obj.reverse_refs.clone() {
+            let rrs = if cached {
+                self.reverse_composite_refs(oid)?
+            } else {
+                Arc::new(self.get(oid)?.reverse_refs.clone())
+            };
+            for rr in rrs.iter() {
                 if !filter.admits_edge(rr.exclusive) {
                     continue;
                 }
@@ -170,9 +243,29 @@ impl Database {
     }
 
     /// The roots of every composite object containing `object`: its
-    /// ancestors (plus itself) that have no composite parents.
-    pub fn roots_of(&mut self, object: Oid) -> DbResult<Vec<Oid>> {
+    /// ancestors (plus itself) that have no composite parents. Memoised per
+    /// object.
+    pub fn roots_of(&self, object: Oid) -> DbResult<Vec<Oid>> {
+        if let Some(cached) = self.traversal_cache.roots(object) {
+            return Ok((*cached).clone());
+        }
         let mut candidates = self.ancestors_of(object, &Filter::all())?;
+        candidates.insert(0, object);
+        let mut out = Vec::new();
+        for c in candidates {
+            if self.reverse_composite_refs(c)?.is_empty() {
+                out.push(c);
+            }
+        }
+        self.traversal_cache
+            .store_roots(object, Arc::new(out.clone()));
+        Ok(out)
+    }
+
+    /// [`Database::roots_of`] recomputed from storage, bypassing the
+    /// traversal cache.
+    pub fn roots_of_uncached(&self, object: Oid) -> DbResult<Vec<Oid>> {
+        let mut candidates = self.ancestors_of_uncached(object, &Filter::all())?;
         candidates.insert(0, object);
         let mut out = Vec::new();
         for c in candidates {
@@ -181,6 +274,55 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel batch traversals
+    // ------------------------------------------------------------------
+
+    /// [`Database::components_of`] for a batch of objects, fanned out over
+    /// scoped threads (the read path is `&self` and internally
+    /// synchronised). Results align with `objects`, each carrying its own
+    /// per-object verdict.
+    pub fn components_of_many(&self, objects: &[Oid], filter: &Filter) -> Vec<DbResult<Vec<Oid>>> {
+        self.fan_out(objects, |db, oid| db.components_of(oid, filter))
+    }
+
+    /// [`Database::ancestors_of`] for a batch of objects, fanned out over
+    /// scoped threads. Results align with `objects`.
+    pub fn ancestors_of_many(&self, objects: &[Oid], filter: &Filter) -> Vec<DbResult<Vec<Oid>>> {
+        self.fan_out(objects, |db, oid| db.ancestors_of(oid, filter))
+    }
+
+    /// Runs `op` over `objects` on up to `available_parallelism` scoped
+    /// threads, each taking a contiguous chunk. Falls back to the calling
+    /// thread for batches of one (or machines reporting one core).
+    fn fan_out<T: Send>(
+        &self,
+        objects: &[Oid],
+        op: impl Fn(&Self, Oid) -> DbResult<T> + Sync,
+    ) -> Vec<DbResult<T>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(objects.len());
+        if workers <= 1 {
+            return objects.iter().map(|&o| op(self, o)).collect();
+        }
+        let chunk = objects.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = objects
+                .chunks(chunk)
+                .map(|part| {
+                    let op = &op;
+                    scope.spawn(move || part.iter().map(|&o| op(self, o)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("traversal worker panicked"))
+                .collect()
+        })
     }
 
     // ------------------------------------------------------------------
@@ -194,7 +336,10 @@ impl Database {
             None => c.compositep(),
             Some(name) => c
                 .attr(name)
-                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?
+                .ok_or_else(|| DbError::NoSuchAttribute {
+                    class,
+                    attr: name.into(),
+                })?
                 .composite
                 .is_some(),
         })
@@ -223,10 +368,16 @@ impl Database {
     ) -> DbResult<bool> {
         let c = self.catalog.class(class)?;
         Ok(match attr {
-            None => c.attrs.iter().any(|a| a.composite.map(&pred).unwrap_or(false)),
+            None => c
+                .attrs
+                .iter()
+                .any(|a| a.composite.map(&pred).unwrap_or(false)),
             Some(name) => c
                 .attr(name)
-                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?
+                .ok_or_else(|| DbError::NoSuchAttribute {
+                    class,
+                    attr: name.into(),
+                })?
                 .composite
                 .map(pred)
                 .unwrap_or(false),
@@ -241,7 +392,7 @@ impl Database {
     /// component of `o2`? Answered by walking **up** from `o1` through
     /// reverse references, which is bounded by `o1`'s ancestor set rather
     /// than `o2`'s (usually much larger) component set.
-    pub fn component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
+    pub fn component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
         if !self.exists(o1) {
             return Err(DbError::NoSuchObject(o1));
         }
@@ -254,8 +405,7 @@ impl Database {
             if !seen.insert(oid) {
                 continue;
             }
-            let obj = self.get(oid)?;
-            for rr in &obj.reverse_refs {
+            for rr in self.reverse_composite_refs(oid)?.iter() {
                 if rr.parent == o2 {
                     return Ok(true);
                 }
@@ -266,15 +416,21 @@ impl Database {
     }
 
     /// `(child-of Object1 Object2)`: is `o1` a **direct** component of `o2`?
-    pub fn child_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
-        Ok(self.get(o1)?.reverse_refs.iter().any(|rr| rr.parent == o2))
+    pub fn child_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        Ok(self
+            .reverse_composite_refs(o1)?
+            .iter()
+            .any(|rr| rr.parent == o2))
     }
 
     /// `(exclusive-component-of Object1 Object2)`: True if `o1` is an
     /// exclusive component of `o2`; Nil if it is not a component at all or a
     /// shared one.
-    pub fn exclusive_component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
-        let is_exclusive = self.get(o1)?.has_exclusive_reverse_ref();
+    pub fn exclusive_component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let is_exclusive = self
+            .reverse_composite_refs(o1)?
+            .iter()
+            .any(|rr| rr.exclusive);
         Ok(is_exclusive && self.component_of(o1, o2)?)
     }
 
@@ -282,9 +438,11 @@ impl Database {
     /// component of `o2`. The paper notes this equals `component-of` ∧
     /// ¬`exclusive-component-of`, which by Topology Rule 3 reduces to a flag
     /// test on `o1`.
-    pub fn shared_component_of(&mut self, o1: Oid, o2: Oid) -> DbResult<bool> {
-        let obj = self.get(o1)?;
-        let is_shared = obj.reverse_refs.iter().any(|rr| !rr.exclusive);
+    pub fn shared_component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let is_shared = self
+            .reverse_composite_refs(o1)?
+            .iter()
+            .any(|rr| !rr.exclusive);
         Ok(is_shared && self.component_of(o1, o2)?)
     }
 }
@@ -314,7 +472,10 @@ mod tests {
             .define_class(ClassBuilder::new("Chapter").attr_composite(
                 "paras",
                 Domain::SetOf(Box::new(Domain::Class(paragraph))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let book = db
@@ -323,16 +484,28 @@ mod tests {
                     .attr_composite(
                         "chapters",
                         Domain::SetOf(Box::new(Domain::Class(chapter))),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     )
                     .attr_composite(
                         "figures",
                         Domain::SetOf(Box::new(Domain::Class(image))),
-                        CompositeSpec { exclusive: false, dependent: false },
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: false,
+                        },
                     ),
             )
             .unwrap();
-        Fixture { db, book, chapter, paragraph, image }
+        Fixture {
+            db,
+            book,
+            chapter,
+            paragraph,
+            image,
+        }
     }
 
     struct Built {
@@ -350,22 +523,40 @@ mod tests {
         let p2 = db.make(f.paragraph, vec![], vec![]).unwrap();
         let img = db.make(f.image, vec![], vec![]).unwrap();
         let ch1 = db
-            .make(f.chapter, vec![("paras", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))], vec![])
+            .make(
+                f.chapter,
+                vec![("paras", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))],
+                vec![],
+            )
             .unwrap();
         let ch2 = db
-            .make(f.chapter, vec![("paras", Value::Set(vec![Value::Ref(p2)]))], vec![])
+            .make(
+                f.chapter,
+                vec![("paras", Value::Set(vec![Value::Ref(p2)]))],
+                vec![],
+            )
             .unwrap();
         let book = db
             .make(
                 f.book,
                 vec![
-                    ("chapters", Value::Set(vec![Value::Ref(ch1), Value::Ref(ch2)])),
+                    (
+                        "chapters",
+                        Value::Set(vec![Value::Ref(ch1), Value::Ref(ch2)]),
+                    ),
                     ("figures", Value::Set(vec![Value::Ref(img)])),
                 ],
                 vec![],
             )
             .unwrap();
-        Built { book, ch1, ch2, p1, p2, img }
+        Built {
+            book,
+            ch1,
+            ch2,
+            p1,
+            p2,
+            img,
+        }
     }
 
     #[test]
@@ -392,7 +583,8 @@ mod tests {
         let b = build(&mut f);
         let paragraph = f.paragraph;
         let comps =
-            f.db.components_of(b.book, &Filter::all().classes(vec![paragraph])).unwrap();
+            f.db.components_of(b.book, &Filter::all().classes(vec![paragraph]))
+                .unwrap();
         let set: HashSet<Oid> = comps.iter().copied().collect();
         assert_eq!(set, [b.p1, b.p2].into_iter().collect());
     }
@@ -401,7 +593,9 @@ mod tests {
     fn components_of_exclusive_only_follows_exclusive_edges() {
         let mut f = fixture();
         let b = build(&mut f);
-        let comps = f.db.components_of(b.book, &Filter::all().exclusive()).unwrap();
+        let comps =
+            f.db.components_of(b.book, &Filter::all().exclusive())
+                .unwrap();
         let set: HashSet<Oid> = comps.iter().copied().collect();
         // Only chapters reach via exclusive edges; paragraphs hang off
         // shared edges and the image is shared too.
@@ -424,7 +618,12 @@ mod tests {
         let mut f = fixture();
         let b = build(&mut f);
         let comps = f.db.components_of(b.book, &Filter::all()).unwrap();
-        let pos = |o: Oid| comps.iter().position(|&x| x == o).expect("component present");
+        let pos = |o: Oid| {
+            comps
+                .iter()
+                .position(|&x| x == o)
+                .expect("component present")
+        };
         assert!(pos(b.ch1) < pos(b.p1), "level-1 before level-2");
     }
 
@@ -444,8 +643,14 @@ mod tests {
     fn parents_of_with_shared_filter() {
         let mut f = fixture();
         let b = build(&mut f);
-        assert_eq!(f.db.parents_of(b.ch1, &Filter::all().shared()).unwrap(), Vec::<Oid>::new());
-        assert_eq!(f.db.parents_of(b.ch1, &Filter::all().exclusive()).unwrap(), vec![b.book]);
+        assert_eq!(
+            f.db.parents_of(b.ch1, &Filter::all().shared()).unwrap(),
+            Vec::<Oid>::new()
+        );
+        assert_eq!(
+            f.db.parents_of(b.ch1, &Filter::all().exclusive()).unwrap(),
+            vec![b.book]
+        );
     }
 
     #[test]
@@ -453,7 +658,11 @@ mod tests {
         let mut f = fixture();
         let b = build(&mut f);
         assert_eq!(f.db.roots_of(b.p1).unwrap(), vec![b.book]);
-        assert_eq!(f.db.roots_of(b.book).unwrap(), vec![b.book], "a root's root is itself");
+        assert_eq!(
+            f.db.roots_of(b.book).unwrap(),
+            vec![b.book],
+            "a root's root is itself"
+        );
     }
 
     #[test]
@@ -482,7 +691,10 @@ mod tests {
         assert!(!db.component_of(b.book, b.p1).unwrap(), "not symmetric");
         assert!(!db.component_of(b.book, b.book).unwrap(), "not reflexive");
         assert!(db.child_of(b.ch1, b.book).unwrap());
-        assert!(!db.child_of(b.p1, b.book).unwrap(), "child-of is direct only");
+        assert!(
+            !db.child_of(b.p1, b.book).unwrap(),
+            "child-of is direct only"
+        );
         assert!(db.exclusive_component_of(b.ch1, b.book).unwrap());
         assert!(!db.shared_component_of(b.ch1, b.book).unwrap());
         assert!(db.shared_component_of(b.p1, b.book).unwrap());
@@ -503,10 +715,174 @@ mod tests {
 
     #[test]
     fn traversals_reject_missing_objects() {
-        let mut f = fixture();
+        let f = fixture();
         let ghost = Oid::new(f.paragraph, 999);
         assert!(f.db.components_of(ghost, &Filter::all()).is_err());
         assert!(f.db.ancestors_of(ghost, &Filter::all()).is_err());
         assert!(f.db.parents_of(ghost, &Filter::all()).is_err());
+        assert!(f.db.components_of_uncached(ghost, &Filter::all()).is_err());
+        assert!(f.db.ancestors_of_uncached(ghost, &Filter::all()).is_err());
+        assert!(f.db.parents_of_uncached(ghost, &Filter::all()).is_err());
+        assert!(f.db.roots_of_uncached(ghost).is_err());
+    }
+
+    #[test]
+    fn admits_edge_switch_semantics() {
+        // "If both Exclusive and Shared are Nil, all components are
+        // retrieved" — and both True likewise admits everything.
+        for filter in [Filter::all(), Filter::all().exclusive().shared()] {
+            assert!(filter.admits_edge(true));
+            assert!(filter.admits_edge(false));
+        }
+        // Exclusive-only admits exactly the exclusive edges…
+        let excl = Filter::all().exclusive();
+        assert!(excl.admits_edge(true));
+        assert!(!excl.admits_edge(false));
+        // …and shared-only exactly the shared ones.
+        let shared = Filter::all().shared();
+        assert!(!shared.admits_edge(true));
+        assert!(shared.admits_edge(false));
+    }
+
+    /// Diamond of shared references: root -> {a, b} -> leaf. The leaf's
+    /// shortest path from the root has two composite references, so it is a
+    /// level-2 component (§3.1) and must appear exactly once despite being
+    /// reachable along both arms.
+    fn diamond() -> (Database, Oid, Oid, Oid, Oid) {
+        let mut db = Database::new();
+        let node = db.define_class(ClassBuilder::new("Node")).unwrap();
+        db.add_attribute(
+            node,
+            crate::schema::attr::AttributeDef::composite(
+                "kids",
+                Domain::SetOf(Box::new(Domain::Class(node))),
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
+            ),
+        )
+        .unwrap();
+        let leaf = db.make(node, vec![], vec![]).unwrap();
+        let a = db
+            .make(
+                node,
+                vec![("kids", Value::Set(vec![Value::Ref(leaf)]))],
+                vec![],
+            )
+            .unwrap();
+        let b = db
+            .make(
+                node,
+                vec![("kids", Value::Set(vec![Value::Ref(leaf)]))],
+                vec![],
+            )
+            .unwrap();
+        let root = db
+            .make(
+                node,
+                vec![("kids", Value::Set(vec![Value::Ref(a), Value::Ref(b)]))],
+                vec![],
+            )
+            .unwrap();
+        (db, root, a, b, leaf)
+    }
+
+    #[test]
+    fn level_bounded_components_on_shared_diamond() {
+        let (db, root, a, b, leaf) = diamond();
+        let level1 = db.components_of(root, &Filter::all().level(1)).unwrap();
+        assert_eq!(
+            level1.iter().copied().collect::<HashSet<_>>(),
+            [a, b].into()
+        );
+        let level2 = db.components_of(root, &Filter::all().level(2)).unwrap();
+        assert_eq!(
+            level2.iter().copied().collect::<HashSet<_>>(),
+            [a, b, leaf].into()
+        );
+        assert_eq!(level2.len(), 3, "shared leaf reported once, not per-path");
+        // Unbounded equals the level-2 bound here (the diamond is 2 deep),
+        // and a level-0 bound yields nothing.
+        assert_eq!(db.components_of(root, &Filter::all()).unwrap(), level2);
+        assert_eq!(
+            db.components_of(root, &Filter::all().level(0)).unwrap(),
+            vec![]
+        );
+        // The leaf's ancestors see the whole diamond from below.
+        let anc = db.ancestors_of(leaf, &Filter::all()).unwrap();
+        assert_eq!(
+            anc.iter().copied().collect::<HashSet<_>>(),
+            [a, b, root].into()
+        );
+    }
+
+    #[test]
+    fn batch_traversals_match_single_object_calls() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        let objects = [
+            b.book,
+            b.ch1,
+            b.ch2,
+            b.p1,
+            b.p2,
+            b.img,
+            Oid::new(f.paragraph, 999),
+        ];
+        for filter in [
+            Filter::all(),
+            Filter::all().exclusive(),
+            Filter::all().level(1),
+        ] {
+            let batch = f.db.components_of_many(&objects, &filter);
+            assert_eq!(batch.len(), objects.len());
+            for (&oid, got) in objects.iter().zip(&batch) {
+                assert_eq!(
+                    got.as_ref().ok(),
+                    f.db.components_of(oid, &filter).as_ref().ok()
+                );
+            }
+            assert!(
+                batch.last().unwrap().is_err(),
+                "missing object reports its own error"
+            );
+            let batch = f.db.ancestors_of_many(&objects, &filter);
+            for (&oid, got) in objects.iter().zip(&batch) {
+                assert_eq!(
+                    got.as_ref().ok(),
+                    f.db.ancestors_of(oid, &filter).as_ref().ok()
+                );
+            }
+        }
+        assert!(f.db.components_of_many(&[], &Filter::all()).is_empty());
+    }
+
+    #[test]
+    fn traversal_cache_serves_repeat_reads_and_invalidates_on_write() {
+        let mut f = fixture();
+        let b = build(&mut f);
+        f.db.reset_io_stats();
+        let first = f.db.components_of(b.book, &Filter::all()).unwrap();
+        let warm_misses = f.db.traversal_cache_stats().misses;
+        assert!(warm_misses > 0, "cold traversal populates the cache");
+        let second = f.db.components_of(b.book, &Filter::all()).unwrap();
+        assert_eq!(first, second);
+        let stats = f.db.traversal_cache_stats();
+        assert_eq!(stats.misses, warm_misses, "repeat traversal is all hits");
+        assert!(stats.hits > 0);
+        // A write bumps the generation; the next read drops the cache and
+        // sees the new hierarchy.
+        let gen_before = f.db.hierarchy_generation();
+        f.db.delete(b.ch2).unwrap();
+        assert!(f.db.hierarchy_generation() > gen_before);
+        let after = f.db.components_of(b.book, &Filter::all()).unwrap();
+        let set: HashSet<Oid> = after.iter().copied().collect();
+        assert_eq!(set, [b.ch1, b.p1, b.p2, b.img].into_iter().collect());
+        assert!(f.db.traversal_cache_stats().invalidations >= 1);
+        assert_eq!(
+            after,
+            f.db.components_of_uncached(b.book, &Filter::all()).unwrap()
+        );
     }
 }

@@ -30,7 +30,12 @@ pub struct ParentSets {
 impl ParentSets {
     /// Computes the parent sets of `obj`.
     pub fn of(obj: &Object) -> Self {
-        ParentSets { ix: obj.ix(), dx: obj.dx(), is: obj.is_(), ds: obj.ds() }
+        ParentSets {
+            ix: obj.ix(),
+            dx: obj.dx(),
+            is: obj.is_(),
+            ds: obj.ds(),
+        }
     }
 
     /// Total number of composite references to the object.
@@ -84,7 +89,10 @@ impl ParentSets {
 /// 2. "If A is a shared composite attribute, O must not already have an
 ///    exclusive composite reference."
 pub fn check_make_component(obj: &Object, spec: CompositeSpec) -> DbResult<()> {
-    let adding = RefKind::Composite { exclusive: spec.exclusive, dependent: spec.dependent };
+    let adding = RefKind::Composite {
+        exclusive: spec.exclusive,
+        dependent: spec.dependent,
+    };
     if spec.exclusive {
         if !obj.reverse_refs.is_empty() {
             return Err(DbError::MakeComponentViolation {
@@ -120,7 +128,8 @@ mod tests {
     fn obj_with(refs: &[(u64, bool, bool)]) -> Object {
         let mut o = Object::new(oid(0), vec![], 0);
         for &(p, dependent, exclusive) in refs {
-            o.reverse_refs.push(ReverseRef::new(oid(p), dependent, exclusive));
+            o.reverse_refs
+                .push(ReverseRef::new(oid(p), dependent, exclusive));
         }
         o
     }
@@ -173,8 +182,14 @@ mod tests {
 
     #[test]
     fn make_component_rule_blocks_second_composite_for_exclusive() {
-        let excl = CompositeSpec { exclusive: true, dependent: false };
-        let shared = CompositeSpec { exclusive: false, dependent: true };
+        let excl = CompositeSpec {
+            exclusive: true,
+            dependent: false,
+        };
+        let shared = CompositeSpec {
+            exclusive: false,
+            dependent: true,
+        };
         // Fresh object: both fine.
         let free = obj_with(&[]);
         assert!(check_make_component(&free, excl).is_ok());

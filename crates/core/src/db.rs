@@ -55,6 +55,12 @@ pub struct DbConfig {
 }
 
 /// The CORION database engine.
+///
+/// The read path — [`Database::get`], [`Database::get_attr`], and every §3
+/// traversal/predicate — takes `&self` and is internally synchronised, so
+/// any number of threads may read one engine concurrently (`Database:
+/// Sync`); see [`Database::components_of_many`]. Mutations take `&mut self`
+/// and therefore never race a reader.
 pub struct Database {
     pub(crate) catalog: Catalog,
     pub(crate) store: ObjectStore,
@@ -64,7 +70,15 @@ pub struct Database {
     pub(crate) next_serial: u64,
     pub(crate) config: DbConfig,
     pub(crate) undo: Option<crate::undo::UndoLog>,
+    pub(crate) traversal_cache: crate::composite::cache::TraversalCache,
 }
+
+/// The shared-read contract: the whole engine must stay usable from many
+/// threads at once through `&Database`.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Database>();
+};
 
 impl Default for Database {
     fn default() -> Self {
@@ -89,6 +103,7 @@ impl Database {
             next_serial: 0,
             config,
             undo: None,
+            traversal_cache: crate::composite::cache::TraversalCache::new(),
         }
     }
 
@@ -103,6 +118,7 @@ impl Database {
     /// parent clustering between the two classes.
     pub fn define_class(&mut self, builder: ClassBuilder) -> DbResult<ClassId> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let segment = match builder.share_segment_with {
             Some(other) => self.catalog.class(other)?.segment,
             None => self.store.create_segment(),
@@ -144,13 +160,20 @@ impl Database {
     /// Loads an object, applying any pending deferred schema-evolution
     /// changes first (§4.3: "when an instance of C is accessed, the CC of
     /// the instance is checked against the CC in the operation log").
-    pub fn get(&mut self, oid: Oid) -> DbResult<Object> {
-        let phys = *self.object_table.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+    ///
+    /// Takes `&self`: deferred changes are applied to the returned copy
+    /// only, so a pure read never writes. Persistence is lazy — the next
+    /// `save` of the object stores the caught-up image, and reapplying the
+    /// pending log entries on every read until then is idempotent (the
+    /// operation log is never pruned, and each flag change is a fixpoint).
+    pub fn get(&self, oid: Oid) -> DbResult<Object> {
+        let phys = *self
+            .object_table
+            .get(&oid)
+            .ok_or(DbError::NoSuchObject(oid))?;
         let bytes = self.store.read(phys)?;
         let mut obj = Object::decode(&bytes)?;
-        if self.apply_pending_changes(&mut obj)? {
-            self.save(&obj)?;
-        }
+        self.apply_pending_changes(&mut obj)?;
         Ok(obj)
     }
 
@@ -162,7 +185,11 @@ impl Database {
 
     /// Persists an object at its current address (relocating if it grew).
     pub(crate) fn save(&mut self, obj: &Object) -> DbResult<()> {
-        let phys = *self.object_table.get(&obj.oid).ok_or(DbError::NoSuchObject(obj.oid))?;
+        self.traversal_cache.bump();
+        let phys = *self
+            .object_table
+            .get(&obj.oid)
+            .ok_or(DbError::NoSuchObject(obj.oid))?;
         if self.undo.is_some() {
             let before = Object::decode(&self.store.read(phys)?)?;
             self.undo_note_touch(obj.oid, Some(before));
@@ -178,13 +205,17 @@ impl Database {
 
     /// Inserts a brand-new object, clustered near `near` when possible.
     pub(crate) fn insert_object(&mut self, obj: &Object, near: Option<Oid>) -> DbResult<()> {
+        self.traversal_cache.bump();
         let segment = self.catalog.class(obj.oid.class)?.segment;
         let near_phys = near.and_then(|o| self.object_table.get(&o).copied());
         let mut buf = Vec::new();
         obj.encode(&mut buf);
         let phys = self.store.insert(segment, &buf, near_phys)?;
         self.object_table.insert(obj.oid, phys);
-        self.extensions.entry(obj.oid.class).or_default().insert(obj.oid);
+        self.extensions
+            .entry(obj.oid.class)
+            .or_default()
+            .insert(obj.oid);
         self.undo_note_touch(obj.oid, None);
         Ok(())
     }
@@ -192,7 +223,11 @@ impl Database {
     /// Removes an object from storage and the object table (no semantics —
     /// the Deletion Rule lives in [`crate::composite::delete`]).
     pub(crate) fn erase(&mut self, oid: Oid) -> DbResult<()> {
-        let phys = self.object_table.remove(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        self.traversal_cache.bump();
+        let phys = self
+            .object_table
+            .remove(&oid)
+            .ok_or(DbError::NoSuchObject(oid))?;
         if self.undo.is_some() {
             let before = Object::decode(&self.store.read(phys)?)?;
             self.undo_note_touch(oid, Some(before));
@@ -206,8 +241,11 @@ impl Database {
 
     /// Direct instances of `class`; with `deep`, instances of subclasses too.
     pub fn instances_of(&self, class: ClassId, deep: bool) -> Vec<Oid> {
-        let mut out: Vec<Oid> =
-            self.extensions.get(&class).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut out: Vec<Oid> = self
+            .extensions
+            .get(&class)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         if deep {
             for sub in lattice::descendants(&self.catalog, class) {
                 if let Some(ext) = self.extensions.get(&sub) {
@@ -251,7 +289,10 @@ impl Database {
         for (name, value) in values {
             let idx = class_def
                 .attr_index(name)
-                .ok_or_else(|| DbError::NoSuchAttribute { class, attr: name.into() })?;
+                .ok_or_else(|| DbError::NoSuchAttribute {
+                    class,
+                    attr: name.into(),
+                })?;
             self.check_domain(&class_def.attrs[idx], &value)?;
             attrs[idx] = value;
         }
@@ -261,9 +302,10 @@ impl Database {
         let mut weak_parents: Vec<(Oid, String)> = Vec::new();
         for (pobj, pattr) in &parents {
             let pclass = self.catalog.class(pobj.class)?;
-            let def = pclass
-                .attr(pattr)
-                .ok_or_else(|| DbError::NoSuchAttribute { class: pobj.class, attr: (*pattr).into() })?;
+            let def = pclass.attr(pattr).ok_or_else(|| DbError::NoSuchAttribute {
+                class: pobj.class,
+                attr: (*pattr).into(),
+            })?;
             if let Some(dc) = def.domain.referenced_class() {
                 if !self.is_subclass_of(class, dc) {
                     return Err(DbError::DomainMismatch {
@@ -281,14 +323,21 @@ impl Database {
             } else if def.is_reference() {
                 weak_parents.push((*pobj, (*pattr).into()));
             } else {
-                return Err(DbError::NotComposite { class: pobj.class, attr: (*pattr).into() });
+                return Err(DbError::NotComposite {
+                    class: pobj.class,
+                    attr: (*pattr).into(),
+                });
             }
         }
         if composite_parents.len() > 1 {
             // §2.3: simultaneous multi-parent creation requires shared
             // composite attributes (else Topology Rule 3 would be violated).
             for (pobj, pattr) in &composite_parents {
-                let def = self.catalog.class(pobj.class)?.attr(pattr).expect("checked above");
+                let def = self
+                    .catalog
+                    .class(pobj.class)?
+                    .attr(pattr)
+                    .expect("checked above");
                 let spec = def.composite.expect("composite parent");
                 if spec.exclusive {
                     return Err(DbError::TopologyViolation {
@@ -341,11 +390,19 @@ impl Database {
     /// adding a child the attribute already references is a no-op. A scalar
     /// attribute's previous component is displaced (detached with orphan
     /// handling), exactly as if `set_attr` had replaced it.
-    pub(crate) fn add_to_parent_attr(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+    pub(crate) fn add_to_parent_attr(
+        &mut self,
+        child: Oid,
+        parent: Oid,
+        attr: &str,
+    ) -> DbResult<()> {
         let pclass = self.catalog.class(parent.class)?;
         let idx = pclass
             .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: parent.class,
+                attr: attr.into(),
+            })?;
         let def = pclass.attrs[idx].clone();
         if self.get(parent)?.attrs[idx].references(child) {
             return Ok(());
@@ -354,8 +411,11 @@ impl Database {
             self.attach_child(child, parent, spec)?;
         }
         let mut pobj = self.get(parent)?;
-        let displaced: Vec<Oid> =
-            if def.domain.is_set() { Vec::new() } else { pobj.attrs[idx].refs() };
+        let displaced: Vec<Oid> = if def.domain.is_set() {
+            Vec::new()
+        } else {
+            pobj.attrs[idx].refs()
+        };
         pobj.attrs[idx].add_ref(child, def.domain.is_set());
         self.save(&pobj)?;
         if let Some(spec) = def.composite {
@@ -371,12 +431,15 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Reads one attribute by name.
-    pub fn get_attr(&mut self, oid: Oid, attr: &str) -> DbResult<Value> {
+    pub fn get_attr(&self, oid: Oid, attr: &str) -> DbResult<Value> {
         let idx = self
             .catalog
             .class(oid.class)?
             .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: oid.class,
+                attr: attr.into(),
+            })?;
         Ok(self.get(oid)?.attrs[idx].clone())
     }
 
@@ -388,7 +451,10 @@ impl Database {
         let class = self.catalog.class(oid.class)?;
         let idx = class
             .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: oid.class,
+                attr: attr.into(),
+            })?;
         let def = class.attrs[idx].clone();
         self.check_domain(&def, &value)?;
         let old = self.get(oid)?.attrs[idx].clone();
@@ -427,7 +493,10 @@ impl Database {
         let class = self.catalog.class(oid.class)?;
         let idx = class
             .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: oid.class, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: oid.class,
+                attr: attr.into(),
+            })?;
         let def = class.attrs[idx].clone();
         self.check_domain(&def, &value)?;
         let mut obj = self.get(oid)?;
@@ -486,13 +555,26 @@ impl Database {
         self.store.disk_stats()
     }
 
-    /// Resets storage counters.
-    pub fn reset_io_stats(&mut self) {
+    /// Traversal-cache counters (hits, misses, invalidations, generation).
+    pub fn traversal_cache_stats(&self) -> crate::composite::cache::TraversalCacheStats {
+        self.traversal_cache.stats()
+    }
+
+    /// The current hierarchy generation — bumped by every object write and
+    /// every DDL entry point; the traversal cache is valid for exactly one
+    /// generation.
+    pub fn hierarchy_generation(&self) -> u64 {
+        self.traversal_cache.generation()
+    }
+
+    /// Resets storage and traversal-cache counters (not the generation).
+    pub fn reset_io_stats(&self) {
         self.store.reset_stats();
+        self.traversal_cache.reset_stats();
     }
 
     /// Flushes and empties the page cache (cold-cache experiments).
-    pub fn clear_cache(&mut self) -> DbResult<()> {
+    pub fn clear_cache(&self) -> DbResult<()> {
         Ok(self.store.clear_cache()?)
     }
 
@@ -519,7 +601,10 @@ mod tests {
                     .attr_composite(
                         "parts",
                         Domain::SetOf(Box::new(Domain::Class(part))),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     ),
             )
             .unwrap();
@@ -536,7 +621,9 @@ mod tests {
                     .attr("b", Domain::String),
             )
             .unwrap();
-        let o = db.make(c, vec![("b", Value::Str("x".into()))], vec![]).unwrap();
+        let o = db
+            .make(c, vec![("b", Value::Str("x".into()))], vec![])
+            .unwrap();
         assert_eq!(db.get_attr(o, "a").unwrap(), Value::Null);
         assert_eq!(db.get_attr(o, "b").unwrap(), Value::Str("x".into()));
     }
@@ -544,8 +631,12 @@ mod tests {
     #[test]
     fn make_rejects_unknown_attribute_and_bad_domain() {
         let (mut db, part, _asm) = simple_db();
-        assert!(db.make(part, vec![("nope", Value::Int(1))], vec![]).is_err());
-        assert!(db.make(part, vec![("name", Value::Int(1))], vec![]).is_err());
+        assert!(db
+            .make(part, vec![("nope", Value::Int(1))], vec![])
+            .is_err());
+        assert!(db
+            .make(part, vec![("name", Value::Int(1))], vec![])
+            .is_err());
     }
 
     #[test]
@@ -554,7 +645,11 @@ mod tests {
         let p1 = db.make(part, vec![], vec![]).unwrap();
         let p2 = db.make(part, vec![], vec![]).unwrap();
         let a = db
-            .make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))], vec![])
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p1), Value::Ref(p2)]))],
+                vec![],
+            )
             .unwrap();
         let p1_obj = db.get(p1).unwrap();
         assert_eq!(p1_obj.dx(), vec![a]);
@@ -575,7 +670,9 @@ mod tests {
         let (mut db, part, asm) = simple_db();
         let a1 = db.make(asm, vec![], vec![]).unwrap();
         let a2 = db.make(asm, vec![], vec![]).unwrap();
-        let err = db.make(part, vec![], vec![(a1, "parts"), (a2, "parts")]).unwrap_err();
+        let err = db
+            .make(part, vec![], vec![(a1, "parts"), (a2, "parts")])
+            .unwrap_err();
         assert!(matches!(err, DbError::TopologyViolation { rule: 3, .. }));
         // And the failed make must not leave a half-created instance behind.
         assert_eq!(db.instances_of(part, false).len(), 0);
@@ -589,12 +686,17 @@ mod tests {
             .define_class(ClassBuilder::new("Document").attr_composite(
                 "sections",
                 Domain::SetOf(Box::new(Domain::Class(sec))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let d1 = db.make(doc, vec![], vec![]).unwrap();
         let d2 = db.make(doc, vec![], vec![]).unwrap();
-        let s = db.make(sec, vec![], vec![(d1, "sections"), (d2, "sections")]).unwrap();
+        let s = db
+            .make(sec, vec![], vec![(d1, "sections"), (d2, "sections")])
+            .unwrap();
         let sobj = db.get(s).unwrap();
         let mut ds = sobj.ds();
         ds.sort();
@@ -605,7 +707,13 @@ mod tests {
     fn set_attr_detaches_removed_components() {
         let (mut db, part, asm) = simple_db();
         let p1 = db.make(part, vec![], vec![]).unwrap();
-        let a = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1)]))], vec![]).unwrap();
+        let a = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p1)]))],
+                vec![],
+            )
+            .unwrap();
         // Replace the set with an empty one: p1 is a dependent orphan and is
         // deleted under the default policy.
         db.set_attr(a, "parts", Value::Set(vec![])).unwrap();
@@ -623,11 +731,20 @@ mod tests {
             .define_class(ClassBuilder::new("Assembly").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let p1 = db.make(part, vec![], vec![]).unwrap();
-        let a = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1)]))], vec![]).unwrap();
+        let a = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p1)]))],
+                vec![],
+            )
+            .unwrap();
         db.set_attr(a, "parts", Value::Set(vec![])).unwrap();
         assert!(db.exists(p1));
         assert!(db.get(p1).unwrap().reverse_refs.is_empty());
@@ -637,7 +754,9 @@ mod tests {
     fn instances_of_with_subclasses() {
         let mut db = Database::new();
         let a = db.define_class(ClassBuilder::new("A")).unwrap();
-        let b = db.define_class(ClassBuilder::new("B").superclass(a)).unwrap();
+        let b = db
+            .define_class(ClassBuilder::new("B").superclass(a))
+            .unwrap();
         let _oa = db.make(a, vec![], vec![]).unwrap();
         let _ob = db.make(b, vec![], vec![]).unwrap();
         assert_eq!(db.instances_of(a, false).len(), 1);
@@ -672,9 +791,13 @@ mod tests {
             .define_class(ClassBuilder::new("C").attr("friend", Domain::Class(t)))
             .unwrap();
         let ghost = Oid::new(t, 12345);
-        assert!(db.make(c, vec![("friend", Value::Ref(ghost))], vec![]).is_err());
+        assert!(db
+            .make(c, vec![("friend", Value::Ref(ghost))], vec![])
+            .is_err());
         let live = db.make(t, vec![], vec![]).unwrap();
-        let o = db.make(c, vec![("friend", Value::Ref(live))], vec![]).unwrap();
+        let o = db
+            .make(c, vec![("friend", Value::Ref(live))], vec![])
+            .unwrap();
         // Weak references carry no IS-PART-OF semantics: no reverse ref.
         assert!(db.get(live).unwrap().reverse_refs.is_empty());
         assert_eq!(db.get_attr(o, "friend").unwrap(), Value::Ref(live));

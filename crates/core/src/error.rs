@@ -109,26 +109,47 @@ impl fmt::Display for DbError {
             DbError::DuplicateAttribute { class, attr } => {
                 write!(f, "class {class} already has attribute {attr:?}")
             }
-            DbError::DomainMismatch { attr, expected, got } => {
+            DbError::DomainMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute {attr:?} expects {expected}, got {got}")
             }
-            DbError::TopologyViolation { rule, object, detail } => {
+            DbError::TopologyViolation {
+                rule,
+                object,
+                detail,
+            } => {
                 write!(f, "topology rule {rule} violated at {object}: {detail}")
             }
-            DbError::MakeComponentViolation { object, adding, detail } => {
+            DbError::MakeComponentViolation {
+                object,
+                adding,
+                detail,
+            } => {
                 write!(f, "cannot add {adding} reference to {object}: {detail}")
             }
             DbError::CycleDetected { child, parent } => {
-                write!(f, "making {child} part of {parent} would create a part-hierarchy cycle")
+                write!(
+                    f,
+                    "making {child} part of {parent} would create a part-hierarchy cycle"
+                )
             }
             DbError::SchemaChangeRejected { reason } => {
                 write!(f, "schema change rejected: {reason}")
             }
             DbError::LatticeCycle { class, superclass } => {
-                write!(f, "adding {superclass} as superclass of {class} would create an IS-A cycle")
+                write!(
+                    f,
+                    "adding {superclass} as superclass of {class} would create an IS-A cycle"
+                )
             }
             DbError::NotComposite { class, attr } => {
-                write!(f, "attribute {attr:?} of class {class} is not a composite attribute")
+                write!(
+                    f,
+                    "attribute {attr:?} of class {class} is not a composite attribute"
+                )
             }
             DbError::Storage(e) => write!(f, "storage error: {e}"),
         }

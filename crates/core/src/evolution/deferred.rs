@@ -44,17 +44,29 @@ fn apply_one(db: &Database, obj: &mut Object, change: FlagChange, source: ClassI
             obj.reverse_refs.retain(|rr| !from_source(rr.parent.class));
         }
         FlagChange::ClearX => {
-            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+            for rr in obj
+                .reverse_refs
+                .iter_mut()
+                .filter(|rr| from_source(rr.parent.class))
+            {
                 rr.exclusive = false;
             }
         }
         FlagChange::ClearD => {
-            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+            for rr in obj
+                .reverse_refs
+                .iter_mut()
+                .filter(|rr| from_source(rr.parent.class))
+            {
                 rr.dependent = false;
             }
         }
         FlagChange::SetD => {
-            for rr in obj.reverse_refs.iter_mut().filter(|rr| from_source(rr.parent.class)) {
+            for rr in obj
+                .reverse_refs
+                .iter_mut()
+                .filter(|rr| from_source(rr.parent.class))
+            {
                 rr.dependent = true;
             }
         }

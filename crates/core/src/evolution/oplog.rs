@@ -85,7 +85,11 @@ mod tests {
     fn pending_since_partitions_by_cc() {
         let mut log = OperationLog::new();
         for cc in 1..=4 {
-            log.push(LogEntry { cc, change: FlagChange::ClearX, source_class: ClassId(1) });
+            log.push(LogEntry {
+                cc,
+                change: FlagChange::ClearX,
+                source_class: ClassId(1),
+            });
         }
         assert_eq!(log.pending_since(0).len(), 4);
         assert_eq!(log.pending_since(2).len(), 2);

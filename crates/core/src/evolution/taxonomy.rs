@@ -30,10 +30,12 @@ impl Database {
     /// remove the IS-A edge or drop it on the definer).
     pub fn drop_attribute(&mut self, class: ClassId, attr: &str) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let c = self.catalog.class(class)?;
-        let def = c
-            .attr(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class, attr: attr.into() })?;
+        let def = c.attr(attr).ok_or_else(|| DbError::NoSuchAttribute {
+            class,
+            attr: attr.into(),
+        })?;
         if let Some(provider) = def.inherited_from {
             return Err(DbError::SchemaChangeRejected {
                 reason: format!(
@@ -43,7 +45,10 @@ impl Database {
             });
         }
         let old = self.old_layouts(class);
-        self.catalog.class_mut(class)?.local_attrs.retain(|a| a.name != attr);
+        self.catalog
+            .class_mut(class)?
+            .local_attrs
+            .retain(|a| a.name != attr);
         self.catalog.reflatten_from(class);
         self.detach_lost_and_realign(&old)
     }
@@ -52,10 +57,14 @@ impl Database {
     /// and of inheriting subclasses) take the attribute's `:init` value.
     pub fn add_attribute(&mut self, class: ClassId, def: AttributeDef) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         def.validate()?;
         let c = self.catalog.class(class)?;
         if c.attr(&def.name).is_some() {
-            return Err(DbError::DuplicateAttribute { class, attr: def.name });
+            return Err(DbError::DuplicateAttribute {
+                class,
+                attr: def.name,
+            });
         }
         let old = self.old_layouts(class);
         self.catalog.class_mut(class)?.local_attrs.push(def);
@@ -67,6 +76,7 @@ impl Database {
     /// newly inherited attributes at their `:init` values.
     pub fn add_superclass(&mut self, class: ClassId, superclass: ClassId) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let old = self.old_layouts(class);
         self.catalog.add_superclass(class, superclass)?;
         self.detach_lost_and_realign(&old)
@@ -78,6 +88,7 @@ impl Database {
     /// deleted according to (1)."
     pub fn remove_superclass(&mut self, class: ClassId, superclass: ClassId) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let old = self.old_layouts(class);
         self.catalog.remove_superclass(class, superclass)?;
         self.detach_lost_and_realign(&old)
@@ -93,6 +104,7 @@ impl Database {
     /// provided.
     pub fn drop_class(&mut self, class: ClassId) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         self.catalog.class(class)?;
         // Delete direct instances first — their composite references cascade
         // per the Deletion Rule.
@@ -106,8 +118,7 @@ impl Database {
         self.extensions.remove(&class);
         self.oplogs.remove(&class);
         // Subclass instances lose the attributes C provided.
-        let old_without_self: Vec<_> =
-            old.into_iter().filter(|(c, _)| *c != class).collect();
+        let old_without_self: Vec<_> = old.into_iter().filter(|(c, _)| *c != class).collect();
         self.detach_lost_and_realign(&old_without_self)
     }
 
@@ -124,6 +135,7 @@ impl Database {
         provider: ClassId,
     ) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let old = self.old_layouts(class);
         self.catalog.set_preferred_provider(class, attr, provider)?;
         // Force re-initialisation of this attribute by pretending the old
@@ -169,7 +181,13 @@ impl Database {
     /// Snapshot of the effective attribute lists of `class` and all its
     /// descendants, taken before a schema change.
     fn old_layouts(&self, class: ClassId) -> Vec<(ClassId, Vec<AttributeDef>)> {
-        let mut out = vec![(class, self.catalog.class(class).map(|c| c.attrs.clone()).unwrap_or_default())];
+        let mut out = vec![(
+            class,
+            self.catalog
+                .class(class)
+                .map(|c| c.attrs.clone())
+                .unwrap_or_default(),
+        )];
         for d in lattice::descendants(&self.catalog, class) {
             if let Ok(c) = self.catalog.class(d) {
                 out.push((d, c.attrs.clone()));
@@ -183,9 +201,14 @@ impl Database {
     /// semantics), then realigns instance layouts by attribute name.
     fn detach_lost_and_realign(&mut self, old: &[(ClassId, Vec<AttributeDef>)]) -> DbResult<()> {
         for (class, old_attrs) in old {
-            let Ok(new_class) = self.catalog.class(*class) else { continue };
-            let new_names: HashMap<&str, ()> =
-                new_class.attrs.iter().map(|a| (a.name.as_str(), ())).collect();
+            let Ok(new_class) = self.catalog.class(*class) else {
+                continue;
+            };
+            let new_names: HashMap<&str, ()> = new_class
+                .attrs
+                .iter()
+                .map(|a| (a.name.as_str(), ()))
+                .collect();
             let lost: Vec<(usize, AttributeDef)> = old_attrs
                 .iter()
                 .enumerate()
@@ -219,7 +242,10 @@ impl Database {
         let new_attrs = self.catalog.class(class)?.attrs.clone();
         // Nothing to do when the layout is name-identical in order.
         if new_attrs.len() == old_attrs.len()
-            && new_attrs.iter().zip(old_attrs).all(|(a, b)| a.name == b.name)
+            && new_attrs
+                .iter()
+                .zip(old_attrs)
+                .all(|(a, b)| a.name == b.name)
         {
             return Ok(());
         }
@@ -259,12 +285,18 @@ mod tests {
                     .attr_composite(
                         "dep",
                         Domain::Class(item),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     )
                     .attr_composite(
                         "ind",
                         Domain::Class(item),
-                        CompositeSpec { exclusive: true, dependent: false },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: false,
+                        },
                     ),
             )
             .unwrap();
@@ -293,7 +325,10 @@ mod tests {
         let (mut db, holder, item) = setup();
         let (h, dep_target, ind_target) = wire(&mut db, holder, item);
         db.drop_attribute(holder, "dep").unwrap();
-        assert!(!db.exists(dep_target), "dependent component dropped per Deletion Rule");
+        assert!(
+            !db.exists(dep_target),
+            "dependent component dropped per Deletion Rule"
+        );
         assert!(db.exists(ind_target));
         // Layout shrank but remaining values survive.
         assert_eq!(db.get_attr(h, "tag").unwrap(), Value::Str("h".into()));
@@ -306,7 +341,10 @@ mod tests {
         let (mut db, holder, item) = setup();
         let (_h, dep_target, ind_target) = wire(&mut db, holder, item);
         db.drop_attribute(holder, "ind").unwrap();
-        assert!(db.exists(ind_target), "independent component survives the drop");
+        assert!(
+            db.exists(ind_target),
+            "independent component survives the drop"
+        );
         assert!(db.get(ind_target).unwrap().reverse_refs.is_empty());
         assert!(db.exists(dep_target));
     }
@@ -314,11 +352,16 @@ mod tests {
     #[test]
     fn drop_attribute_applies_to_inheriting_subclasses() {
         let (mut db, holder, item) = setup();
-        let sub = db.define_class(ClassBuilder::new("SubHolder").superclass(holder)).unwrap();
+        let sub = db
+            .define_class(ClassBuilder::new("SubHolder").superclass(holder))
+            .unwrap();
         let t = db.make(item, vec![], vec![]).unwrap();
         let s = db.make(sub, vec![("dep", Value::Ref(t))], vec![]).unwrap();
         db.drop_attribute(holder, "dep").unwrap();
-        assert!(!db.exists(t), "subclass instance's dependent component dropped too");
+        assert!(
+            !db.exists(t),
+            "subclass instance's dependent component dropped too"
+        );
         assert!(db.get_attr(s, "dep").is_err());
         assert_eq!(db.class(sub).unwrap().attrs.len(), 2);
     }
@@ -326,7 +369,9 @@ mod tests {
     #[test]
     fn drop_inherited_attribute_is_rejected() {
         let (mut db, holder, _item) = setup();
-        let sub = db.define_class(ClassBuilder::new("SubHolder").superclass(holder)).unwrap();
+        let sub = db
+            .define_class(ClassBuilder::new("SubHolder").superclass(holder))
+            .unwrap();
         assert!(matches!(
             db.drop_attribute(sub, "dep"),
             Err(DbError::SchemaChangeRejected { .. })
@@ -341,7 +386,11 @@ mod tests {
         def.init = Value::Int(1);
         db.add_attribute(holder, def).unwrap();
         assert_eq!(db.get_attr(h, "rank").unwrap(), Value::Int(1));
-        assert_eq!(db.get_attr(h, "tag").unwrap(), Value::Str("h".into()), "old values intact");
+        assert_eq!(
+            db.get_attr(h, "tag").unwrap(),
+            Value::Str("h".into()),
+            "old values intact"
+        );
         assert!(db
             .add_attribute(holder, AttributeDef::plain("rank", Domain::Integer))
             .is_err());
@@ -355,15 +404,26 @@ mod tests {
             .define_class(ClassBuilder::new("Base").attr_composite(
                 "dep",
                 Domain::Class(item),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let derived = db
-            .define_class(ClassBuilder::new("Derived").superclass(base).attr("own", Domain::Integer))
+            .define_class(
+                ClassBuilder::new("Derived")
+                    .superclass(base)
+                    .attr("own", Domain::Integer),
+            )
             .unwrap();
         let t = db.make(item, vec![], vec![]).unwrap();
         let d = db
-            .make(derived, vec![("dep", Value::Ref(t)), ("own", Value::Int(3))], vec![])
+            .make(
+                derived,
+                vec![("dep", Value::Ref(t)), ("own", Value::Int(3))],
+                vec![],
+            )
             .unwrap();
         db.remove_superclass(derived, base).unwrap();
         assert!(!db.exists(t), "lost dependent composite attribute cascades");
@@ -374,11 +434,19 @@ mod tests {
     #[test]
     fn add_superclass_grants_attributes_to_existing_instances() {
         let mut db = Database::new();
-        let base = db.define_class(ClassBuilder::new("Base").attr("x", Domain::Integer)).unwrap();
-        let solo = db.define_class(ClassBuilder::new("Solo").attr("y", Domain::Integer)).unwrap();
+        let base = db
+            .define_class(ClassBuilder::new("Base").attr("x", Domain::Integer))
+            .unwrap();
+        let solo = db
+            .define_class(ClassBuilder::new("Solo").attr("y", Domain::Integer))
+            .unwrap();
         let o = db.make(solo, vec![("y", Value::Int(9))], vec![]).unwrap();
         db.add_superclass(solo, base).unwrap();
-        assert_eq!(db.get_attr(o, "x").unwrap(), Value::Null, "new inherited attr at init");
+        assert_eq!(
+            db.get_attr(o, "x").unwrap(),
+            Value::Null,
+            "new inherited attr at init"
+        );
         assert_eq!(db.get_attr(o, "y").unwrap(), Value::Int(9));
     }
 
@@ -386,16 +454,25 @@ mod tests {
     fn drop_class_deletes_instances_and_reattaches_subclasses() {
         let mut db = Database::new();
         let item = db.define_class(ClassBuilder::new("Item")).unwrap();
-        let top = db.define_class(ClassBuilder::new("Top").attr("t", Domain::Integer)).unwrap();
+        let top = db
+            .define_class(ClassBuilder::new("Top").attr("t", Domain::Integer))
+            .unwrap();
         let mid = db
             .define_class(ClassBuilder::new("Mid").superclass(top).attr_composite(
                 "dep",
                 Domain::Class(item),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let bot = db
-            .define_class(ClassBuilder::new("Bot").superclass(mid).attr("b", Domain::Integer))
+            .define_class(
+                ClassBuilder::new("Bot")
+                    .superclass(mid)
+                    .attr("b", Domain::Integer),
+            )
             .unwrap();
         // A Mid instance with a dependent component…
         let t1 = db.make(item, vec![], vec![]).unwrap();
@@ -403,15 +480,33 @@ mod tests {
         // …and a Bot instance with its own dependent component.
         let t2 = db.make(item, vec![], vec![]).unwrap();
         let b = db
-            .make(bot, vec![("dep", Value::Ref(t2)), ("b", Value::Int(1)), ("t", Value::Int(2))], vec![])
+            .make(
+                bot,
+                vec![
+                    ("dep", Value::Ref(t2)),
+                    ("b", Value::Int(1)),
+                    ("t", Value::Int(2)),
+                ],
+                vec![],
+            )
             .unwrap();
         db.drop_class(mid).unwrap();
-        assert!(!db.exists(m), "direct instances of the dropped class are deleted");
+        assert!(
+            !db.exists(m),
+            "direct instances of the dropped class are deleted"
+        );
         assert!(!db.exists(t1), "…cascading per the Deletion Rule");
         assert!(db.exists(b), "subclass instances survive");
-        assert!(!db.exists(t2), "but lose the attribute Mid provided, cascading");
+        assert!(
+            !db.exists(t2),
+            "but lose the attribute Mid provided, cascading"
+        );
         assert!(db.get_attr(b, "dep").is_err());
-        assert_eq!(db.get_attr(b, "t").unwrap(), Value::Int(2), "Top's attr survives via re-attachment");
+        assert_eq!(
+            db.get_attr(b, "t").unwrap(),
+            Value::Int(2),
+            "Top's attr survives via re-attachment"
+        );
         assert_eq!(db.class(bot).unwrap().superclasses, vec![top]);
     }
 
@@ -423,11 +518,18 @@ mod tests {
             .define_class(ClassBuilder::new("A").attr_composite(
                 "x",
                 Domain::Class(item),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
-        let b = db.define_class(ClassBuilder::new("B").attr("x", Domain::Integer)).unwrap();
-        let c = db.define_class(ClassBuilder::new("C").superclass(a).superclass(b)).unwrap();
+        let b = db
+            .define_class(ClassBuilder::new("B").attr("x", Domain::Integer))
+            .unwrap();
+        let c = db
+            .define_class(ClassBuilder::new("C").superclass(a).superclass(b))
+            .unwrap();
         let t = db.make(item, vec![], vec![]).unwrap();
         let o = db.make(c, vec![("x", Value::Ref(t))], vec![]).unwrap();
         // Switch x to inherit from B: the composite value is dropped (its
@@ -435,6 +537,9 @@ mod tests {
         db.change_attribute_inheritance(c, "x", b).unwrap();
         assert!(!db.exists(t));
         assert_eq!(db.get_attr(o, "x").unwrap(), Value::Null);
-        assert_eq!(db.class(c).unwrap().attr("x").unwrap().domain, Domain::Integer);
+        assert_eq!(
+            db.class(c).unwrap().attr("x").unwrap().domain,
+            Domain::Integer
+        );
     }
 }

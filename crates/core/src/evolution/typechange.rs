@@ -84,31 +84,31 @@ impl Database {
         maintenance: Maintenance,
     ) -> DbResult<()> {
         self.undo_forbid_ddl()?;
+        self.traversal_cache.bump();
         let class = self.catalog.class(referencing)?;
         let def = class
             .attr(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: referencing, attr: attr.into() })?
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: referencing,
+                attr: attr.into(),
+            })?
             .clone();
         // The change is applied where the attribute is defined, so every
         // inheriting subclass sees it after reflattening.
         let defining = def.inherited_from.unwrap_or(referencing);
-        let domain_class = def.domain.referenced_class().ok_or_else(|| {
-            DbError::SchemaChangeRejected {
-                reason: format!("attribute {attr:?} has no class domain"),
-            }
-        })?;
+        let domain_class =
+            def.domain
+                .referenced_class()
+                .ok_or_else(|| DbError::SchemaChangeRejected {
+                    reason: format!("attribute {attr:?} has no class domain"),
+                })?;
         let spec = def.composite;
 
         match change {
             AttrTypeChange::ToNonComposite => {
                 self.require_composite(&def, attr)?;
                 self.set_spec(defining, attr, None)?;
-                self.state_independent(
-                    domain_class,
-                    defining,
-                    FlagChange::DropReverse,
-                    maintenance,
-                )
+                self.state_independent(domain_class, defining, FlagChange::DropReverse, maintenance)
             }
             AttrTypeChange::ExclusiveToShared => {
                 let s = self.require_composite(&def, attr)?;
@@ -117,7 +117,14 @@ impl Database {
                         reason: format!("attribute {attr:?} is already shared"),
                     });
                 }
-                self.set_spec(defining, attr, Some(CompositeSpec { exclusive: false, ..s }))?;
+                self.set_spec(
+                    defining,
+                    attr,
+                    Some(CompositeSpec {
+                        exclusive: false,
+                        ..s
+                    }),
+                )?;
                 self.state_independent(domain_class, defining, FlagChange::ClearX, maintenance)
             }
             AttrTypeChange::ToIndependent => {
@@ -127,7 +134,14 @@ impl Database {
                         reason: format!("attribute {attr:?} is already independent"),
                     });
                 }
-                self.set_spec(defining, attr, Some(CompositeSpec { dependent: false, ..s }))?;
+                self.set_spec(
+                    defining,
+                    attr,
+                    Some(CompositeSpec {
+                        dependent: false,
+                        ..s
+                    }),
+                )?;
                 self.state_independent(domain_class, defining, FlagChange::ClearD, maintenance)
             }
             AttrTypeChange::ToDependent => {
@@ -137,7 +151,14 @@ impl Database {
                         reason: format!("attribute {attr:?} is already dependent"),
                     });
                 }
-                self.set_spec(defining, attr, Some(CompositeSpec { dependent: true, ..s }))?;
+                self.set_spec(
+                    defining,
+                    attr,
+                    Some(CompositeSpec {
+                        dependent: true,
+                        ..s
+                    }),
+                )?;
                 self.state_independent(domain_class, defining, FlagChange::SetD, maintenance)
             }
             AttrTypeChange::WeakToExclusive { dependent } => {
@@ -190,7 +211,10 @@ impl Database {
             .local_attrs
             .iter_mut()
             .find(|a| a.name == attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: defining, attr: attr.into() })?;
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: defining,
+                attr: attr.into(),
+            })?;
         def.composite = spec;
         self.catalog.reflatten_from(defining);
         Ok(())
@@ -233,10 +257,11 @@ impl Database {
                         class.change_count += 1;
                         class.change_count
                     };
-                    self.oplogs
-                        .entry(c)
-                        .or_default()
-                        .push(LogEntry { cc, change, source_class: owner });
+                    self.oplogs.entry(c).or_default().push(LogEntry {
+                        cc,
+                        change,
+                        source_class: owner,
+                    });
                 }
                 Ok(())
             }
@@ -266,7 +291,9 @@ impl Database {
         let mut referencing_classes = vec![defining];
         referencing_classes.extend(lattice::descendants(&self.catalog, defining));
         for rc in referencing_classes {
-            let Some(idx) = self.catalog.class(rc)?.attr_index(attr) else { continue };
+            let Some(idx) = self.catalog.class(rc)?.attr_index(attr) else {
+                continue;
+            };
             for parent in self.instances_of(rc, false) {
                 let obj = self.get(parent)?;
                 for target in obj.attrs[idx].refs() {
@@ -312,10 +339,18 @@ impl Database {
                 continue;
             }
             let mut tobj = self.get(target)?;
-            tobj.reverse_refs.push(ReverseRef::new(parent, dependent, exclusive));
+            tobj.reverse_refs
+                .push(ReverseRef::new(parent, dependent, exclusive));
             self.save(&tobj)?;
         }
-        self.set_spec(defining, attr, Some(CompositeSpec { exclusive, dependent }))
+        self.set_spec(
+            defining,
+            attr,
+            Some(CompositeSpec {
+                exclusive,
+                dependent,
+            }),
+        )
     }
 
     /// D3 (§4.3): shared → exclusive.
@@ -365,7 +400,14 @@ impl Database {
                 self.save(&obj)?;
             }
         }
-        self.set_spec(defining, attr, Some(CompositeSpec { exclusive: true, ..spec }))
+        self.set_spec(
+            defining,
+            attr,
+            Some(CompositeSpec {
+                exclusive: true,
+                ..spec
+            }),
+        )
     }
 }
 
@@ -430,21 +472,31 @@ mod tests {
                     .attr_composite(
                         "slot",
                         Domain::Class(item),
-                        CompositeSpec { exclusive, dependent },
+                        CompositeSpec {
+                            exclusive,
+                            dependent,
+                        },
                     )
                     .attr("wref", Domain::Class(item)),
             )
             .unwrap();
         let i = db.make(item, vec![], vec![]).unwrap();
-        let h = db.make(holder, vec![("slot", Value::Ref(i))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("slot", Value::Ref(i))], vec![])
+            .unwrap();
         (db, holder, item, h, i)
     }
 
     #[test]
     fn i1_to_non_composite_immediate() {
         let (mut db, holder, item, _h, i) = setup(true, true);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ToNonComposite, Maintenance::Immediate)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ToNonComposite,
+            Maintenance::Immediate,
+        )
+        .unwrap();
         assert!(db.get(i).unwrap().reverse_refs.is_empty());
         assert!(!db.compositep(holder, Some("slot")).unwrap());
         let _ = item;
@@ -468,11 +520,21 @@ mod tests {
     #[test]
     fn i3_i4_toggle_dependence() {
         let (mut db, holder, _item, h, i) = setup(true, true);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ToIndependent, Maintenance::Immediate)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ToIndependent,
+            Maintenance::Immediate,
+        )
+        .unwrap();
         assert_eq!(db.get(i).unwrap().ix(), vec![h]);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ToDependent, Maintenance::Immediate)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ToDependent,
+            Maintenance::Immediate,
+        )
+        .unwrap();
         assert_eq!(db.get(i).unwrap().dx(), vec![h]);
     }
 
@@ -497,10 +559,20 @@ mod tests {
     #[test]
     fn deferred_changes_compose_in_order() {
         let (mut db, holder, _item, h, i) = setup(true, true);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-            .unwrap();
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ExclusiveToShared,
+            Maintenance::Deferred,
+        )
+        .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ToIndependent,
+            Maintenance::Deferred,
+        )
+        .unwrap();
         let obj = db.get(i).unwrap();
         assert_eq!(obj.is_(), vec![h], "both X and D cleared, in order");
     }
@@ -508,11 +580,20 @@ mod tests {
     #[test]
     fn new_instances_start_at_current_cc() {
         let (mut db, holder, item, _h, _i) = setup(true, true);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::ExclusiveToShared,
+            Maintenance::Deferred,
+        )
+        .unwrap();
         let fresh = db.make(item, vec![], vec![]).unwrap();
         let obj = db.get(fresh).unwrap();
-        assert_eq!(obj.cc, db.class(item).unwrap().change_count, "no stale pending changes");
+        assert_eq!(
+            obj.cc,
+            db.class(item).unwrap().change_count,
+            "no stale pending changes"
+        );
     }
 
     #[test]
@@ -559,8 +640,12 @@ mod tests {
             .define_class(ClassBuilder::new("Holder").attr("wref", Domain::Class(item)))
             .unwrap();
         let i = db.make(item, vec![], vec![]).unwrap();
-        let _h1 = db.make(holder, vec![("wref", Value::Ref(i))], vec![]).unwrap();
-        let _h2 = db.make(holder, vec![("wref", Value::Ref(i))], vec![]).unwrap();
+        let _h1 = db
+            .make(holder, vec![("wref", Value::Ref(i))], vec![])
+            .unwrap();
+        let _h2 = db
+            .make(holder, vec![("wref", Value::Ref(i))], vec![])
+            .unwrap();
         let err = db
             .change_attribute_type(
                 holder,
@@ -595,8 +680,12 @@ mod tests {
             .define_class(ClassBuilder::new("Holder").attr("wref", Domain::Class(item)))
             .unwrap();
         let i = db.make(item, vec![], vec![]).unwrap();
-        let h1 = db.make(holder, vec![("wref", Value::Ref(i))], vec![]).unwrap();
-        let h2 = db.make(holder, vec![("wref", Value::Ref(i))], vec![]).unwrap();
+        let h1 = db
+            .make(holder, vec![("wref", Value::Ref(i))], vec![])
+            .unwrap();
+        let h2 = db
+            .make(holder, vec![("wref", Value::Ref(i))], vec![])
+            .unwrap();
         db.change_attribute_type(
             holder,
             "wref",
@@ -613,8 +702,13 @@ mod tests {
     fn d3_shared_to_exclusive_verifies_cardinality() {
         // One shared parent: OK.
         let (mut db, holder, _item, h, i) = setup(false, true);
-        db.change_attribute_type(holder, "slot", AttrTypeChange::SharedToExclusive, Maintenance::Immediate)
-            .unwrap();
+        db.change_attribute_type(
+            holder,
+            "slot",
+            AttrTypeChange::SharedToExclusive,
+            Maintenance::Immediate,
+        )
+        .unwrap();
         assert_eq!(db.get(i).unwrap().dx(), vec![h]);
         assert!(db.exclusive_compositep(holder, Some("slot")).unwrap());
     }
@@ -627,12 +721,19 @@ mod tests {
             .define_class(ClassBuilder::new("Holder").attr_composite(
                 "slot",
                 Domain::Class(item),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let i = db.make(item, vec![], vec![]).unwrap();
-        let _h1 = db.make(holder, vec![("slot", Value::Ref(i))], vec![]).unwrap();
-        let _h2 = db.make(holder, vec![("slot", Value::Ref(i))], vec![]).unwrap();
+        let _h1 = db
+            .make(holder, vec![("slot", Value::Ref(i))], vec![])
+            .unwrap();
+        let _h2 = db
+            .make(holder, vec![("slot", Value::Ref(i))], vec![])
+            .unwrap();
         let err = db
             .change_attribute_type(
                 holder,
@@ -651,11 +752,21 @@ mod tests {
         let (mut db, holder, _item, _h, _i) = setup(false, false);
         // shared attr: exclusive->shared is a no-op request.
         assert!(db
-            .change_attribute_type(holder, "slot", AttrTypeChange::ExclusiveToShared, Maintenance::Immediate)
+            .change_attribute_type(
+                holder,
+                "slot",
+                AttrTypeChange::ExclusiveToShared,
+                Maintenance::Immediate
+            )
             .is_err());
         // independent attr: ->independent rejected.
         assert!(db
-            .change_attribute_type(holder, "slot", AttrTypeChange::ToIndependent, Maintenance::Immediate)
+            .change_attribute_type(
+                holder,
+                "slot",
+                AttrTypeChange::ToIndependent,
+                Maintenance::Immediate
+            )
             .is_err());
         // composite attr: weak->composite rejected.
         assert!(db
@@ -668,7 +779,12 @@ mod tests {
             .is_err());
         // weak attr: shared->exclusive rejected (not composite).
         assert!(db
-            .change_attribute_type(holder, "wref", AttrTypeChange::SharedToExclusive, Maintenance::Immediate)
+            .change_attribute_type(
+                holder,
+                "wref",
+                AttrTypeChange::SharedToExclusive,
+                Maintenance::Immediate
+            )
             .is_err());
     }
 
@@ -680,16 +796,28 @@ mod tests {
             .define_class(ClassBuilder::new("Base").attr_composite(
                 "slot",
                 Domain::Class(item),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
-        let derived = db.define_class(ClassBuilder::new("Derived").superclass(base)).unwrap();
+        let derived = db
+            .define_class(ClassBuilder::new("Derived").superclass(base))
+            .unwrap();
         let i = db.make(item, vec![], vec![]).unwrap();
-        let d = db.make(derived, vec![("slot", Value::Ref(i))], vec![]).unwrap();
+        let d = db
+            .make(derived, vec![("slot", Value::Ref(i))], vec![])
+            .unwrap();
         // Change issued against the *subclass*; must land on Base and apply
         // to refs from Derived instances too.
-        db.change_attribute_type(derived, "slot", AttrTypeChange::ExclusiveToShared, Maintenance::Immediate)
-            .unwrap();
+        db.change_attribute_type(
+            derived,
+            "slot",
+            AttrTypeChange::ExclusiveToShared,
+            Maintenance::Immediate,
+        )
+        .unwrap();
         assert!(db.shared_compositep(base, Some("slot")).unwrap());
         assert!(db.shared_compositep(derived, Some("slot")).unwrap());
         assert_eq!(db.get(i).unwrap().ds(), vec![d]);

@@ -70,10 +70,11 @@ impl Database {
                                 if !self.exists(r) {
                                     return Err(DbError::NoSuchObject(r));
                                 }
-                                forward
-                                    .entry(r)
-                                    .or_default()
-                                    .push((oid, spec.dependent, spec.exclusive));
+                                forward.entry(r).or_default().push((
+                                    oid,
+                                    spec.dependent,
+                                    spec.exclusive,
+                                ));
                             }
                         }
                         None => weak_refs += refs.len(),
@@ -85,8 +86,11 @@ impl Database {
         for oid in &all_objects {
             let obj = self.get(*oid)?;
             ParentSets::of(&obj).check(*oid)?;
-            let mut actual: Vec<(Oid, bool, bool)> =
-                obj.reverse_refs.iter().map(|r| (r.parent, r.dependent, r.exclusive)).collect();
+            let mut actual: Vec<(Oid, bool, bool)> = obj
+                .reverse_refs
+                .iter()
+                .map(|r| (r.parent, r.dependent, r.exclusive))
+                .collect();
             let mut expected = forward.remove(oid).unwrap_or_default();
             actual.sort();
             expected.sort();
@@ -103,7 +107,11 @@ impl Database {
         if let Some((target, _)) = forward.into_iter().next() {
             return Err(DbError::NoSuchObject(target));
         }
-        Ok(IntegrityReport { objects: all_objects.len(), composite_edges, weak_refs })
+        Ok(IntegrityReport {
+            objects: all_objects.len(),
+            composite_edges,
+            weak_refs,
+        })
     }
 }
 
@@ -124,7 +132,10 @@ mod tests {
                     .attr_composite(
                         "parts",
                         Domain::SetOf(Box::new(Domain::Class(part))),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     )
                     .attr("note", Domain::Class(part)),
             )
@@ -158,7 +169,10 @@ mod tests {
         let _h = db.make(holder, vec![("w", Value::Ref(p))], vec![]).unwrap();
         db.delete(p).unwrap();
         let report = db.verify_integrity().unwrap();
-        assert_eq!(report.weak_refs, 1, "dangling weak ref counted, not rejected");
+        assert_eq!(
+            report.weak_refs, 1,
+            "dangling weak ref counted, not rejected"
+        );
     }
 
     #[test]
@@ -170,11 +184,16 @@ mod tests {
             crate::schema::attr::AttributeDef::composite(
                 "kids",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: false, dependent: false },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
             ),
         )
         .unwrap();
-        let objs: Vec<_> = (0..20).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+        let objs: Vec<_> = (0..20)
+            .map(|_| db.make(part, vec![], vec![]).unwrap())
+            .collect();
         for i in 0..20 {
             for j in 0..20 {
                 if i != j && (i + j) % 3 == 0 {

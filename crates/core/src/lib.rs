@@ -56,10 +56,12 @@ pub mod oid;
 pub mod persist;
 pub mod query;
 pub mod refs;
-pub mod undo;
 pub mod schema;
+pub mod undo;
 pub mod value;
 
+pub use composite::cache::TraversalCacheStats;
+pub use composite::Filter;
 pub use db::{Database, DbConfig, OrphanPolicy};
 pub use error::{DbError, DbResult};
 pub use integrity::IntegrityReport;

@@ -35,7 +35,12 @@ pub struct Object {
 impl Object {
     /// Creates an object with the given attribute values.
     pub fn new(oid: Oid, attrs: Vec<Value>, cc: u64) -> Self {
-        Object { oid, attrs, reverse_refs: Vec::new(), cc }
+        Object {
+            oid,
+            attrs,
+            reverse_refs: Vec::new(),
+            cc,
+        }
     }
 
     /// The parents reachable through reverse composite references, i.e. the
@@ -88,11 +93,9 @@ impl Object {
     /// Removes one reverse reference to `parent` with the given flags.
     /// Returns `true` if one was found and removed.
     pub fn remove_reverse_ref(&mut self, parent: Oid, dependent: bool, exclusive: bool) -> bool {
-        if let Some(i) = self
-            .reverse_refs
-            .iter()
-            .position(|r| r.parent == parent && r.dependent == dependent && r.exclusive == exclusive)
-        {
+        if let Some(i) = self.reverse_refs.iter().position(|r| {
+            r.parent == parent && r.dependent == dependent && r.exclusive == exclusive
+        }) {
             self.reverse_refs.swap_remove(i);
             true
         } else {
@@ -146,7 +149,12 @@ impl Object {
         for _ in 0..n_refs {
             reverse_refs.push(ReverseRef::decode(&mut r)?);
         }
-        Ok(Object { oid: Oid::new(class, serial), attrs, reverse_refs, cc })
+        Ok(Object {
+            oid: Oid::new(class, serial),
+            attrs,
+            reverse_refs,
+            cc,
+        })
     }
 }
 
@@ -161,7 +169,8 @@ mod tests {
     fn sample() -> Object {
         let mut o = Object::new(oid(1, 10), vec![Value::Int(5), Value::Ref(oid(2, 3))], 7);
         o.reverse_refs.push(ReverseRef::new(oid(3, 1), true, true));
-        o.reverse_refs.push(ReverseRef::new(oid(3, 2), false, false));
+        o.reverse_refs
+            .push(ReverseRef::new(oid(3, 2), false, false));
         o
     }
 
@@ -180,7 +189,8 @@ mod tests {
         o.reverse_refs.push(ReverseRef::new(oid(9, 1), true, true)); // DX
         o.reverse_refs.push(ReverseRef::new(oid(9, 2), false, true)); // IX
         o.reverse_refs.push(ReverseRef::new(oid(9, 3), true, false)); // DS
-        o.reverse_refs.push(ReverseRef::new(oid(9, 4), false, false)); // IS
+        o.reverse_refs
+            .push(ReverseRef::new(oid(9, 4), false, false)); // IS
         assert_eq!(o.dx(), vec![oid(9, 1)]);
         assert_eq!(o.ix(), vec![oid(9, 2)]);
         assert_eq!(o.ds(), vec![oid(9, 3)]);
@@ -192,7 +202,10 @@ mod tests {
     #[test]
     fn remove_reverse_ref_matches_flags_exactly() {
         let mut o = sample();
-        assert!(!o.remove_reverse_ref(oid(3, 1), false, true), "flags must match");
+        assert!(
+            !o.remove_reverse_ref(oid(3, 1), false, true),
+            "flags must match"
+        );
         assert!(o.remove_reverse_ref(oid(3, 1), true, true));
         assert_eq!(o.reverse_refs.len(), 1);
     }
@@ -201,8 +214,10 @@ mod tests {
     fn remove_all_reverse_refs_to_parent() {
         let mut o = Object::new(oid(1, 1), vec![], 0);
         o.reverse_refs.push(ReverseRef::new(oid(9, 1), true, false));
-        o.reverse_refs.push(ReverseRef::new(oid(9, 1), false, false));
-        o.reverse_refs.push(ReverseRef::new(oid(9, 2), false, false));
+        o.reverse_refs
+            .push(ReverseRef::new(oid(9, 1), false, false));
+        o.reverse_refs
+            .push(ReverseRef::new(oid(9, 2), false, false));
         assert_eq!(o.remove_reverse_refs_to(oid(9, 1)), 2);
         assert_eq!(o.reverse_refs.len(), 1);
     }
@@ -214,7 +229,10 @@ mod tests {
         for i in 0..10 {
             o.reverse_refs.push(ReverseRef::new(oid(2, i), true, false));
         }
-        assert!(o.encoded_size() > small, "paper: reverse refs increase object size");
+        assert!(
+            o.encoded_size() > small,
+            "paper: reverse refs increase object size"
+        );
     }
 
     #[test]

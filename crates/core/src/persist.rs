@@ -100,7 +100,9 @@ impl Database {
             *b = r.u8("magic")?;
         }
         if &magic != MAGIC {
-            return Err(DbError::Storage(StorageError::Corrupt { context: "dump magic" }));
+            return Err(DbError::Storage(StorageError::Corrupt {
+                context: "dump magic",
+            }));
         }
         let catalog = Catalog::decode(&mut r)?;
         let next_serial = r.u64("next serial")?;
@@ -117,10 +119,18 @@ impl Database {
                     1 => FlagChange::ClearX,
                     2 => FlagChange::ClearD,
                     3 => FlagChange::SetD,
-                    _ => return Err(DbError::Storage(StorageError::Corrupt { context: "oplog change" })),
+                    _ => {
+                        return Err(DbError::Storage(StorageError::Corrupt {
+                            context: "oplog change",
+                        }))
+                    }
                 };
                 let source_class = ClassId(r.u32("oplog source")?);
-                log.push(LogEntry { cc, change, source_class });
+                log.push(LogEntry {
+                    cc,
+                    change,
+                    source_class,
+                });
             }
             oplogs.insert(class, log);
         }
@@ -156,7 +166,10 @@ impl Database {
                 let phys = db.store.insert(seg, bytes, prev)?;
                 prev = Some(phys);
                 db.object_table.insert(obj.oid, phys);
-                db.extensions.entry(obj.oid.class).or_default().insert(obj.oid);
+                db.extensions
+                    .entry(obj.oid.class)
+                    .or_default()
+                    .insert(obj.oid);
             }
         }
         Ok(db)
@@ -192,7 +205,9 @@ mod tests {
 
     fn populated() -> Database {
         let mut db = Database::new();
-        let part = db.define_class(ClassBuilder::new("Part").attr("n", Domain::Integer)).unwrap();
+        let part = db
+            .define_class(ClassBuilder::new("Part").attr("n", Domain::Integer))
+            .unwrap();
         let asm = db
             .define_class(
                 ClassBuilder::new("Asm")
@@ -201,7 +216,10 @@ mod tests {
                     .attr_composite(
                         "parts",
                         Domain::SetOf(Box::new(Domain::Class(part))),
-                        CompositeSpec { exclusive: true, dependent: true },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
                     ),
             )
             .unwrap();
@@ -240,7 +258,9 @@ mod tests {
             .into_iter()
             .find(|&o| back.get_attr(o, "label").unwrap() == Value::Str("a0".into()))
             .unwrap();
-        let comps = back.components_of(a0, &crate::composite::Filter::all()).unwrap();
+        let comps = back
+            .components_of(a0, &crate::composite::Filter::all())
+            .unwrap();
         assert_eq!(comps.len(), 2);
     }
 
@@ -261,15 +281,23 @@ mod tests {
     fn pending_deferred_changes_survive_the_round_trip() {
         let mut db = populated();
         let asm = db.class_by_name("Asm").unwrap();
-        db.change_attribute_type(asm, "parts", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-            .unwrap();
+        db.change_attribute_type(
+            asm,
+            "parts",
+            AttrTypeChange::ExclusiveToShared,
+            Maintenance::Deferred,
+        )
+        .unwrap();
         // Dump immediately: instances still carry stale flags + pending log.
         let image = db.dump().unwrap();
         let mut back = Database::restore(&image, DbConfig::default()).unwrap();
         let part = back.class_by_name("Part").unwrap();
         let some_part = back.instances_of(part, false)[0];
         let obj = back.get(some_part).unwrap();
-        assert!(!obj.reverse_refs[0].exclusive, "deferred change applied on first access after restore");
+        assert!(
+            !obj.reverse_refs[0].exclusive,
+            "deferred change applied on first access after restore"
+        );
         back.verify_integrity().unwrap();
     }
 
@@ -280,14 +308,18 @@ mod tests {
         db.reset_io_stats();
         let asm = db.class_by_name("Asm").unwrap();
         let a = db.instances_of(asm, false)[5];
-        let _ = db.components_of(a, &crate::composite::Filter::all()).unwrap();
+        let _ = db
+            .components_of(a, &crate::composite::Filter::all())
+            .unwrap();
         let reads_before = db.disk_stats().reads;
 
         let image = db.dump().unwrap();
-        let mut back = Database::restore(&image, DbConfig::default()).unwrap();
+        let back = Database::restore(&image, DbConfig::default()).unwrap();
         back.clear_cache().unwrap();
         back.reset_io_stats();
-        let _ = back.components_of(a, &crate::composite::Filter::all()).unwrap();
+        let _ = back
+            .components_of(a, &crate::composite::Filter::all())
+            .unwrap();
         let reads_after = back.disk_stats().reads;
         assert!(
             reads_after <= reads_before + 1,
@@ -299,9 +331,15 @@ mod tests {
     fn corrupt_images_are_rejected() {
         let mut db = populated();
         let mut image = db.dump().unwrap();
-        assert!(Database::restore(&image[..4], DbConfig::default()).is_err(), "truncated");
+        assert!(
+            Database::restore(&image[..4], DbConfig::default()).is_err(),
+            "truncated"
+        );
         image[0] = b'X';
-        assert!(Database::restore(&image, DbConfig::default()).is_err(), "bad magic");
+        assert!(
+            Database::restore(&image, DbConfig::default()).is_err(),
+            "bad magic"
+        );
     }
 
     #[test]

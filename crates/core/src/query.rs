@@ -110,7 +110,9 @@ impl Predicate {
             Predicate::True => true,
             Predicate::Eq(attr, v) => &db.get_attr(oid, attr)? == v,
             Predicate::Ne(attr, v) => &db.get_attr(oid, attr)? != v,
-            Predicate::Lt(attr, v) => compare(&db.get_attr(oid, attr)?, v) == Some(std::cmp::Ordering::Less),
+            Predicate::Lt(attr, v) => {
+                compare(&db.get_attr(oid, attr)?, v) == Some(std::cmp::Ordering::Less)
+            }
             Predicate::Gt(attr, v) => {
                 compare(&db.get_attr(oid, attr)?, v) == Some(std::cmp::Ordering::Greater)
             }
@@ -167,7 +169,12 @@ impl Query {
     /// Starts a query over the instances of `class` (subclass instances
     /// included — use [`Query::shallow`] to restrict to direct instances).
     pub fn over(class: ClassId) -> Self {
-        Query { class, deep: true, predicate: Predicate::True, limit: None }
+        Query {
+            class,
+            deep: true,
+            predicate: Predicate::True,
+            limit: None,
+        }
     }
 
     /// Restricts to direct instances of the class.
@@ -233,15 +240,24 @@ mod tests {
         let mut db = Database::new();
         let part = db
             .define_class(
-                ClassBuilder::new("Part").attr("n", Domain::Integer).attr("tag", Domain::String),
+                ClassBuilder::new("Part")
+                    .attr("n", Domain::Integer)
+                    .attr("tag", Domain::String),
             )
             .unwrap();
         let asm = db
-            .define_class(ClassBuilder::new("Asm").attr("label", Domain::String).attr_composite(
-                "parts",
-                Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: false, dependent: false },
-            ))
+            .define_class(
+                ClassBuilder::new("Asm")
+                    .attr("label", Domain::String)
+                    .attr_composite(
+                        "parts",
+                        Domain::SetOf(Box::new(Domain::Class(part))),
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: false,
+                        },
+                    ),
+            )
             .unwrap();
         let parts: Vec<Oid> = (0..10)
             .map(|i| {
@@ -249,7 +265,10 @@ mod tests {
                     part,
                     vec![
                         ("n", Value::Int(i)),
-                        ("tag", Value::Str(if i % 2 == 0 { "even" } else { "odd" }.into())),
+                        (
+                            "tag",
+                            Value::Str(if i % 2 == 0 { "even" } else { "odd" }.into()),
+                        ),
                     ],
                     vec![],
                 )
@@ -258,11 +277,16 @@ mod tests {
             .collect();
         let asms: Vec<Oid> = (0..3)
             .map(|i| {
-                let members: Vec<Value> =
-                    parts[i * 3..i * 3 + 3].iter().map(|&p| Value::Ref(p)).collect();
+                let members: Vec<Value> = parts[i * 3..i * 3 + 3]
+                    .iter()
+                    .map(|&p| Value::Ref(p))
+                    .collect();
                 db.make(
                     asm,
-                    vec![("label", Value::Str(format!("a{i}"))), ("parts", Value::Set(members))],
+                    vec![
+                        ("label", Value::Str(format!("a{i}"))),
+                        ("parts", Value::Set(members)),
+                    ],
                     vec![],
                 )
                 .unwrap()
@@ -274,14 +298,34 @@ mod tests {
     #[test]
     fn comparison_predicates() {
         let (mut db, part, ..) = world();
-        assert_eq!(Query::over(part).filter(P::gt("n", Value::Int(6))).run(&mut db).unwrap().len(), 3);
-        assert_eq!(Query::over(part).filter(P::lt("n", Value::Int(2))).run(&mut db).unwrap().len(), 2);
         assert_eq!(
-            Query::over(part).filter(P::eq("tag", Value::Str("even".into()))).count(&mut db).unwrap(),
+            Query::over(part)
+                .filter(P::gt("n", Value::Int(6)))
+                .run(&mut db)
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(
+            Query::over(part)
+                .filter(P::lt("n", Value::Int(2)))
+                .run(&mut db)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            Query::over(part)
+                .filter(P::eq("tag", Value::Str("even".into())))
+                .count(&mut db)
+                .unwrap(),
             5
         );
         assert_eq!(
-            Query::over(part).filter(P::ne("tag", Value::Str("even".into()))).count(&mut db).unwrap(),
+            Query::over(part)
+                .filter(P::ne("tag", Value::Str("even".into())))
+                .count(&mut db)
+                .unwrap(),
             5
         );
     }
@@ -289,11 +333,9 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let (mut db, part, ..) = world();
-        let q = Query::over(part)
-            .filter(P::gt("n", Value::Int(2)).and(P::lt("n", Value::Int(7))));
+        let q = Query::over(part).filter(P::gt("n", Value::Int(2)).and(P::lt("n", Value::Int(7))));
         assert_eq!(q.count(&mut db).unwrap(), 4, "3..=6");
-        let q = Query::over(part)
-            .filter(P::eq("n", Value::Int(0)).or(P::eq("n", Value::Int(9))));
+        let q = Query::over(part).filter(P::eq("n", Value::Int(0)).or(P::eq("n", Value::Int(9))));
         assert_eq!(q.count(&mut db).unwrap(), 2);
         let q = Query::over(part).filter(P::eq("tag", Value::Str("even".into())).not());
         assert_eq!(q.count(&mut db).unwrap(), 5);
@@ -303,16 +345,23 @@ mod tests {
     fn composite_structure_predicates() {
         let (mut db, part, asm, parts, asms) = world();
         // Parts 0..9: only 0..=8 are components (3 assemblies × 3 parts).
-        let members =
-            Query::over(part).filter(P::HasCompositeParent).run(&mut db).unwrap();
+        let members = Query::over(part)
+            .filter(P::HasCompositeParent)
+            .run(&mut db)
+            .unwrap();
         assert_eq!(members.len(), 9);
         assert!(!members.contains(&parts[9]));
         // component-of as a predicate.
-        let of_a1 = Query::over(part).filter(P::ComponentOf(asms[1])).run(&mut db).unwrap();
+        let of_a1 = Query::over(part)
+            .filter(P::ComponentOf(asms[1]))
+            .run(&mut db)
+            .unwrap();
         assert_eq!(of_a1, parts[3..6].to_vec());
         // Which assemblies contain parts at all?
-        let with_parts =
-            Query::over(asm).filter(P::HasComponentOfClass(part)).run(&mut db).unwrap();
+        let with_parts = Query::over(asm)
+            .filter(P::HasComponentOfClass(part))
+            .run(&mut db)
+            .unwrap();
         assert_eq!(with_parts.len(), 3);
         // References: the assembly whose set holds parts[4].
         let holding = Query::over(asm)
@@ -325,14 +374,22 @@ mod tests {
     #[test]
     fn deep_queries_span_subclasses() {
         let mut db = Database::new();
-        let base = db.define_class(ClassBuilder::new("Base").attr("n", Domain::Integer)).unwrap();
-        let derived = db.define_class(ClassBuilder::new("Derived").superclass(base)).unwrap();
+        let base = db
+            .define_class(ClassBuilder::new("Base").attr("n", Domain::Integer))
+            .unwrap();
+        let derived = db
+            .define_class(ClassBuilder::new("Derived").superclass(base))
+            .unwrap();
         db.make(base, vec![("n", Value::Int(1))], vec![]).unwrap();
-        db.make(derived, vec![("n", Value::Int(2))], vec![]).unwrap();
+        db.make(derived, vec![("n", Value::Int(2))], vec![])
+            .unwrap();
         assert_eq!(Query::over(base).count(&mut db).unwrap(), 2);
         assert_eq!(Query::over(base).shallow().count(&mut db).unwrap(), 1);
         assert_eq!(
-            Query::over(base).filter(P::gt("n", Value::Int(1))).count(&mut db).unwrap(),
+            Query::over(base)
+                .filter(P::gt("n", Value::Int(1)))
+                .count(&mut db)
+                .unwrap(),
             1
         );
     }
@@ -347,17 +404,40 @@ mod tests {
     #[test]
     fn null_never_compares() {
         let mut db = Database::new();
-        let c = db.define_class(ClassBuilder::new("C").attr("n", Domain::Integer)).unwrap();
+        let c = db
+            .define_class(ClassBuilder::new("C").attr("n", Domain::Integer))
+            .unwrap();
         db.make(c, vec![], vec![]).unwrap(); // n = Null
-        assert_eq!(Query::over(c).filter(P::gt("n", Value::Int(0))).count(&mut db).unwrap(), 0);
-        assert_eq!(Query::over(c).filter(P::lt("n", Value::Int(0))).count(&mut db).unwrap(), 0);
-        assert_eq!(Query::over(c).filter(P::eq("n", Value::Null)).count(&mut db).unwrap(), 1);
+        assert_eq!(
+            Query::over(c)
+                .filter(P::gt("n", Value::Int(0)))
+                .count(&mut db)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            Query::over(c)
+                .filter(P::lt("n", Value::Int(0)))
+                .count(&mut db)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            Query::over(c)
+                .filter(P::eq("n", Value::Null))
+                .count(&mut db)
+                .unwrap(),
+            1
+        );
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
         let (mut db, part, ..) = world();
-        assert!(Query::over(part).filter(P::eq("nope", Value::Int(1))).run(&mut db).is_err());
+        assert!(Query::over(part)
+            .filter(P::eq("nope", Value::Int(1)))
+            .run(&mut db)
+            .is_err());
         assert!(Query::over(ClassId(99)).run(&mut db).is_err());
     }
 }

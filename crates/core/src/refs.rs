@@ -42,10 +42,22 @@ impl RefKind {
     /// All four composite kinds plus weak, in the paper's §2.1 numbering.
     pub const ALL: [RefKind; 5] = [
         RefKind::Weak,
-        RefKind::Composite { exclusive: true, dependent: true },
-        RefKind::Composite { exclusive: true, dependent: false },
-        RefKind::Composite { exclusive: false, dependent: true },
-        RefKind::Composite { exclusive: false, dependent: false },
+        RefKind::Composite {
+            exclusive: true,
+            dependent: true,
+        },
+        RefKind::Composite {
+            exclusive: true,
+            dependent: false,
+        },
+        RefKind::Composite {
+            exclusive: false,
+            dependent: true,
+        },
+        RefKind::Composite {
+            exclusive: false,
+            dependent: false,
+        },
     ];
 
     /// True for any of the four composite kinds.
@@ -55,17 +67,35 @@ impl RefKind {
 
     /// True for exclusive composite references.
     pub fn is_exclusive(self) -> bool {
-        matches!(self, RefKind::Composite { exclusive: true, .. })
+        matches!(
+            self,
+            RefKind::Composite {
+                exclusive: true,
+                ..
+            }
+        )
     }
 
     /// True for shared composite references.
     pub fn is_shared(self) -> bool {
-        matches!(self, RefKind::Composite { exclusive: false, .. })
+        matches!(
+            self,
+            RefKind::Composite {
+                exclusive: false,
+                ..
+            }
+        )
     }
 
     /// True for dependent composite references.
     pub fn is_dependent(self) -> bool {
-        matches!(self, RefKind::Composite { dependent: true, .. })
+        matches!(
+            self,
+            RefKind::Composite {
+                dependent: true,
+                ..
+            }
+        )
     }
 }
 
@@ -73,10 +103,17 @@ impl std::fmt::Display for RefKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RefKind::Weak => write!(f, "weak"),
-            RefKind::Composite { exclusive, dependent } => write!(
+            RefKind::Composite {
+                exclusive,
+                dependent,
+            } => write!(
                 f,
                 "{} {} composite",
-                if *dependent { "dependent" } else { "independent" },
+                if *dependent {
+                    "dependent"
+                } else {
+                    "independent"
+                },
                 if *exclusive { "exclusive" } else { "shared" },
             ),
         }
@@ -100,12 +137,19 @@ impl ReverseRef {
     /// Builds a reverse reference matching a forward composite reference of
     /// the given flags.
     pub fn new(parent: Oid, dependent: bool, exclusive: bool) -> Self {
-        ReverseRef { parent, dependent, exclusive }
+        ReverseRef {
+            parent,
+            dependent,
+            exclusive,
+        }
     }
 
     /// The composite [`RefKind`] this reverse reference mirrors.
     pub fn kind(&self) -> RefKind {
-        RefKind::Composite { exclusive: self.exclusive, dependent: self.dependent }
+        RefKind::Composite {
+            exclusive: self.exclusive,
+            dependent: self.dependent,
+        }
     }
 
     /// Serializes the reverse reference (OID + one flag byte).
@@ -137,9 +181,15 @@ mod tests {
     fn five_reference_types() {
         assert_eq!(RefKind::ALL.len(), 5);
         assert!(!RefKind::Weak.is_composite());
-        let dep_excl = RefKind::Composite { exclusive: true, dependent: true };
+        let dep_excl = RefKind::Composite {
+            exclusive: true,
+            dependent: true,
+        };
         assert!(dep_excl.is_composite() && dep_excl.is_exclusive() && dep_excl.is_dependent());
-        let ind_shared = RefKind::Composite { exclusive: false, dependent: false };
+        let ind_shared = RefKind::Composite {
+            exclusive: false,
+            dependent: false,
+        };
         assert!(ind_shared.is_shared() && !ind_shared.is_dependent());
     }
 
@@ -147,11 +197,19 @@ mod tests {
     fn display_names_match_paper_terminology() {
         assert_eq!(RefKind::Weak.to_string(), "weak");
         assert_eq!(
-            RefKind::Composite { exclusive: true, dependent: true }.to_string(),
+            RefKind::Composite {
+                exclusive: true,
+                dependent: true
+            }
+            .to_string(),
             "dependent exclusive composite"
         );
         assert_eq!(
-            RefKind::Composite { exclusive: false, dependent: false }.to_string(),
+            RefKind::Composite {
+                exclusive: false,
+                dependent: false
+            }
+            .to_string(),
             "independent shared composite"
         );
     }
@@ -173,6 +231,12 @@ mod tests {
     #[test]
     fn reverse_ref_kind_mirrors_flags() {
         let rr = ReverseRef::new(Oid::new(ClassId(1), 1), true, false);
-        assert_eq!(rr.kind(), RefKind::Composite { exclusive: false, dependent: true });
+        assert_eq!(
+            rr.kind(),
+            RefKind::Composite {
+                exclusive: false,
+                dependent: true
+            }
+        );
     }
 }

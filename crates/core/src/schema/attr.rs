@@ -98,7 +98,11 @@ impl Domain {
             4 => Domain::Class(ClassId(r.u32("domain class")?)),
             5 => Domain::SetOf(Box::new(Domain::decode(r)?)),
             6 => Domain::Any,
-            _ => return Err(StorageError::Corrupt { context: "domain tag" }),
+            _ => {
+                return Err(StorageError::Corrupt {
+                    context: "domain tag",
+                })
+            }
         })
     }
 
@@ -135,7 +139,10 @@ impl Default for CompositeSpec {
     /// Paper §2.3: both keywords default to True, matching [KIM87b]'s
     /// dependent-exclusive-only model.
     fn default() -> Self {
-        CompositeSpec { exclusive: true, dependent: true }
+        CompositeSpec {
+            exclusive: true,
+            dependent: true,
+        }
     }
 }
 
@@ -159,7 +166,13 @@ pub struct AttributeDef {
 impl AttributeDef {
     /// A plain (weak or non-reference) attribute.
     pub fn plain(name: impl Into<String>, domain: Domain) -> Self {
-        AttributeDef { name: name.into(), domain, composite: None, init: Value::Null, inherited_from: None }
+        AttributeDef {
+            name: name.into(),
+            domain,
+            composite: None,
+            init: Value::Null,
+            inherited_from: None,
+        }
     }
 
     /// A composite attribute with the given spec.
@@ -195,7 +208,10 @@ impl AttributeDef {
         match self.composite {
             None => codec::put_u8(buf, 0),
             Some(spec) => {
-                codec::put_u8(buf, 1 | (u8::from(spec.exclusive) << 1) | (u8::from(spec.dependent) << 2));
+                codec::put_u8(
+                    buf,
+                    1 | (u8::from(spec.exclusive) << 1) | (u8::from(spec.dependent) << 2),
+                );
             }
         }
         self.init.encode(buf);
@@ -214,7 +230,10 @@ impl AttributeDef {
         let domain = Domain::decode(r)?;
         let cflags = r.u8("attr composite flags")?;
         let composite = if cflags & 1 != 0 {
-            Some(CompositeSpec { exclusive: cflags & 2 != 0, dependent: cflags & 4 != 0 })
+            Some(CompositeSpec {
+                exclusive: cflags & 2 != 0,
+                dependent: cflags & 4 != 0,
+            })
         } else {
             None
         };
@@ -224,7 +243,13 @@ impl AttributeDef {
         } else {
             None
         };
-        Ok(AttributeDef { name, domain, composite, init, inherited_from })
+        Ok(AttributeDef {
+            name,
+            domain,
+            composite,
+            init,
+            inherited_from,
+        })
     }
 
     /// True if the attribute can hold object references at all.
@@ -260,14 +285,18 @@ mod tests {
         assert!(d.admits_shape(&Value::Null));
         assert!(!d.admits_shape(&Value::Ref(o)), "bare ref is not a set");
         assert!(!d.admits_shape(&Value::Set(vec![Value::Int(1)])));
-        assert!(Domain::Float.admits_shape(&Value::Int(3)), "int widens to float");
+        assert!(
+            Domain::Float.admits_shape(&Value::Int(3)),
+            "int widens to float"
+        );
     }
 
     #[test]
     fn composite_attribute_requires_class_domain() {
         let bad = AttributeDef::composite("Body", Domain::Integer, CompositeSpec::default());
         assert!(bad.validate().is_err());
-        let good = AttributeDef::composite("Body", Domain::Class(ClassId(0)), CompositeSpec::default());
+        let good =
+            AttributeDef::composite("Body", Domain::Class(ClassId(0)), CompositeSpec::default());
         assert!(good.validate().is_ok());
     }
 

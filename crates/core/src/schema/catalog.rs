@@ -38,7 +38,11 @@ impl Default for Catalog {
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
-        Catalog { classes: Vec::new(), by_name: HashMap::new(), preferred_provider: HashMap::new() }
+        Catalog {
+            classes: Vec::new(),
+            by_name: HashMap::new(),
+            preferred_provider: HashMap::new(),
+        }
     }
 
     /// Defines a new class from a builder; `segment` is where its instances
@@ -57,7 +61,10 @@ impl Catalog {
         // Local duplicate names.
         for (i, a) in builder.attrs.iter().enumerate() {
             if builder.attrs[..i].iter().any(|b| b.name == a.name) {
-                return Err(DbError::DuplicateAttribute { class: id, attr: a.name.clone() });
+                return Err(DbError::DuplicateAttribute {
+                    class: id,
+                    attr: a.name.clone(),
+                });
             }
         }
         let class = Class {
@@ -98,7 +105,10 @@ impl Catalog {
 
     /// Looks a class up by name.
     pub fn by_name(&self, name: &str) -> DbResult<ClassId> {
-        self.by_name.get(name).copied().ok_or_else(|| DbError::NoSuchClassName(name.into()))
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::NoSuchClassName(name.into()))
     }
 
     /// Every live class id.
@@ -155,7 +165,9 @@ impl Catalog {
             });
         }
         c.superclasses.retain(|&s| s != superclass);
-        self.class_mut(superclass)?.subclasses.retain(|&s| s != class);
+        self.class_mut(superclass)?
+            .subclasses
+            .retain(|&s| s != class);
         self.reflatten_from(class);
         let after = self.class(class)?.attrs.clone();
         Ok(before
@@ -210,9 +222,13 @@ impl Catalog {
             });
         }
         if self.class(provider)?.attr(attr).is_none() {
-            return Err(DbError::NoSuchAttribute { class: provider, attr: attr.into() });
+            return Err(DbError::NoSuchAttribute {
+                class: provider,
+                attr: attr.into(),
+            });
         }
-        self.preferred_provider.insert((class, attr.to_string()), provider);
+        self.preferred_provider
+            .insert((class, attr.to_string()), provider);
         self.reflatten_from(class);
         Ok(())
     }
@@ -307,7 +323,11 @@ impl Catalog {
             let provider = ClassId(r.u32("pref provider")?);
             preferred_provider.insert((class, attr), provider);
         }
-        let mut cat = Catalog { classes, by_name, preferred_provider };
+        let mut cat = Catalog {
+            classes,
+            by_name,
+            preferred_provider,
+        };
         // Recompute effective attribute lists top-down.
         let roots: Vec<ClassId> = cat
             .classes
@@ -326,7 +346,9 @@ impl Catalog {
             .flatten()
             .all(|c| c.attrs.len() >= c.local_attrs.len());
         if !ok {
-            return Err(StorageError::Corrupt { context: "catalog lattice" });
+            return Err(StorageError::Corrupt {
+                context: "catalog lattice",
+            });
         }
         Ok(cat)
     }
@@ -342,7 +364,9 @@ impl Catalog {
     }
 
     fn flatten(&self, class: ClassId) -> Vec<AttributeDef> {
-        let Ok(c) = self.class(class) else { return Vec::new() };
+        let Ok(c) = self.class(class) else {
+            return Vec::new();
+        };
         let mut out: Vec<AttributeDef> = Vec::new();
         for &sup in &c.superclasses {
             let Ok(s) = self.class(sup) else { continue };
@@ -390,19 +414,31 @@ mod tests {
     #[test]
     fn define_and_lookup() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
         assert_eq!(cat.by_name("A").unwrap(), a);
         assert_eq!(cat.class(a).unwrap().attrs.len(), 1);
         assert!(cat.by_name("B").is_err());
-        assert!(matches!(cat.define(ClassBuilder::new("A"), seg()), Err(DbError::DuplicateClass(_))));
+        assert!(matches!(
+            cat.define(ClassBuilder::new("A"), seg()),
+            Err(DbError::DuplicateClass(_))
+        ));
     }
 
     #[test]
     fn attributes_are_inherited_in_order() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
         let b = cat
-            .define(ClassBuilder::new("B").superclass(a).attr("y", Domain::String), seg())
+            .define(
+                ClassBuilder::new("B")
+                    .superclass(a)
+                    .attr("y", Domain::String),
+                seg(),
+            )
             .unwrap();
         let bc = cat.class(b).unwrap();
         assert_eq!(bc.attrs.len(), 2);
@@ -415,8 +451,12 @@ mod tests {
     #[test]
     fn conflict_resolution_first_superclass_wins() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
-        let b = cat.define(ClassBuilder::new("B").attr("x", Domain::String), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
+        let b = cat
+            .define(ClassBuilder::new("B").attr("x", Domain::String), seg())
+            .unwrap();
         let c = cat
             .define(ClassBuilder::new("C").superclass(a).superclass(b), seg())
             .unwrap();
@@ -429,22 +469,40 @@ mod tests {
     #[test]
     fn preferred_provider_changes_inheritance() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
-        let b = cat.define(ClassBuilder::new("B").attr("x", Domain::String), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
+        let b = cat
+            .define(ClassBuilder::new("B").attr("x", Domain::String), seg())
+            .unwrap();
         let c = cat
             .define(ClassBuilder::new("C").superclass(a).superclass(b), seg())
             .unwrap();
         cat.set_preferred_provider(c, "x", b).unwrap();
-        assert_eq!(cat.class(c).unwrap().attrs[0].domain, Domain::String, "B's x now wins");
-        assert!(cat.set_preferred_provider(c, "x", c).is_err(), "provider must be proper super");
+        assert_eq!(
+            cat.class(c).unwrap().attrs[0].domain,
+            Domain::String,
+            "B's x now wins"
+        );
+        assert!(
+            cat.set_preferred_provider(c, "x", c).is_err(),
+            "provider must be proper super"
+        );
     }
 
     #[test]
     fn local_attribute_overrides_inherited() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
         let b = cat
-            .define(ClassBuilder::new("B").superclass(a).attr("x", Domain::Float), seg())
+            .define(
+                ClassBuilder::new("B")
+                    .superclass(a)
+                    .attr("x", Domain::Float),
+                seg(),
+            )
             .unwrap();
         let bc = cat.class(b).unwrap();
         assert_eq!(bc.attrs.len(), 1);
@@ -455,31 +513,55 @@ mod tests {
     fn add_superclass_rejects_cycles() {
         let mut cat = Catalog::new();
         let a = cat.define(ClassBuilder::new("A"), seg()).unwrap();
-        let b = cat.define(ClassBuilder::new("B").superclass(a), seg()).unwrap();
-        assert!(matches!(cat.add_superclass(a, b), Err(DbError::LatticeCycle { .. })));
-        assert!(matches!(cat.add_superclass(a, a), Err(DbError::LatticeCycle { .. })));
+        let b = cat
+            .define(ClassBuilder::new("B").superclass(a), seg())
+            .unwrap();
+        assert!(matches!(
+            cat.add_superclass(a, b),
+            Err(DbError::LatticeCycle { .. })
+        ));
+        assert!(matches!(
+            cat.add_superclass(a, a),
+            Err(DbError::LatticeCycle { .. })
+        ));
     }
 
     #[test]
     fn remove_superclass_reports_lost_attributes() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
         let b = cat
-            .define(ClassBuilder::new("B").superclass(a).attr("y", Domain::String), seg())
+            .define(
+                ClassBuilder::new("B")
+                    .superclass(a)
+                    .attr("y", Domain::String),
+                seg(),
+            )
             .unwrap();
         let lost = cat.remove_superclass(b, a).unwrap();
         assert_eq!(lost.len(), 1);
         assert_eq!(lost[0].name, "x");
         assert_eq!(cat.class(b).unwrap().attrs.len(), 1);
-        assert!(cat.remove_superclass(b, a).is_err(), "edge no longer present");
+        assert!(
+            cat.remove_superclass(b, a).is_err(),
+            "edge no longer present"
+        );
     }
 
     #[test]
     fn drop_class_reattaches_subclasses() {
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A").attr("x", Domain::Integer), seg()).unwrap();
-        let b = cat.define(ClassBuilder::new("B").superclass(a), seg()).unwrap();
-        let c = cat.define(ClassBuilder::new("C").superclass(b), seg()).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A").attr("x", Domain::Integer), seg())
+            .unwrap();
+        let b = cat
+            .define(ClassBuilder::new("B").superclass(a), seg())
+            .unwrap();
+        let c = cat
+            .define(ClassBuilder::new("C").superclass(b), seg())
+            .unwrap();
         cat.drop_class(b).unwrap();
         assert!(cat.class(b).is_err());
         assert!(cat.by_name("B").is_err());

@@ -118,7 +118,10 @@ impl ClassBuilder {
     /// # Panics
     /// Panics if no attribute has been added yet.
     pub fn init(mut self, value: Value) -> Self {
-        self.attrs.last_mut().expect("init requires a preceding attr").init = value;
+        self.attrs
+            .last_mut()
+            .expect("init requires a preceding attr")
+            .init = value;
         self
     }
 
@@ -152,7 +155,10 @@ mod tests {
                 AttributeDef::composite(
                     "Body",
                     Domain::Class(ClassId(1)),
-                    CompositeSpec { exclusive: true, dependent: false },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: false,
+                    },
                 ),
             ],
             versionable: false,
@@ -184,13 +190,22 @@ mod tests {
             .attr_composite(
                 "Sections",
                 Domain::SetOf(Box::new(Domain::Class(ClassId(5)))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             )
             .versionable();
         assert_eq!(b.attrs.len(), 2);
         assert_eq!(b.attrs[0].init, Value::Str("untitled".into()));
         assert!(b.versionable);
-        assert_eq!(b.attrs[1].composite, Some(CompositeSpec { exclusive: false, dependent: true }));
+        assert_eq!(
+            b.attrs[1].composite,
+            Some(CompositeSpec {
+                exclusive: false,
+                dependent: true
+            })
+        );
     }
 
     #[test]

@@ -82,7 +82,12 @@ pub fn self_and_descendants_topo(catalog: &Catalog, class: ClassId) -> Vec<Class
         .map(|&c| {
             let deg = catalog
                 .class(c)
-                .map(|cl| cl.superclasses.iter().filter(|s| affected.contains(s)).count())
+                .map(|cl| {
+                    cl.superclasses
+                        .iter()
+                        .filter(|s| affected.contains(s))
+                        .count()
+                })
                 .unwrap_or(0);
             (c, deg)
         })
@@ -121,12 +126,20 @@ mod tests {
     fn diamond() -> (Catalog, ClassId, ClassId, ClassId, ClassId) {
         // a <- b, a <- c, (b,c) <- d
         let mut cat = Catalog::new();
-        let a = cat.define(ClassBuilder::new("A"), corion_storage::SegmentId(0)).unwrap();
+        let a = cat
+            .define(ClassBuilder::new("A"), corion_storage::SegmentId(0))
+            .unwrap();
         let b = cat
-            .define(ClassBuilder::new("B").superclass(a), corion_storage::SegmentId(0))
+            .define(
+                ClassBuilder::new("B").superclass(a),
+                corion_storage::SegmentId(0),
+            )
             .unwrap();
         let c = cat
-            .define(ClassBuilder::new("C").superclass(a), corion_storage::SegmentId(0))
+            .define(
+                ClassBuilder::new("C").superclass(a),
+                corion_storage::SegmentId(0),
+            )
             .unwrap();
         let d = cat
             .define(
@@ -163,8 +176,12 @@ mod tests {
     fn topo_order_puts_parents_first() {
         let (cat, a, b, c, d) = diamond();
         let order = self_and_descendants_topo(&cat, a);
-        let pos =
-            |x: ClassId| order.iter().position(|&c| c == x).expect("class present in topo order");
+        let pos = |x: ClassId| {
+            order
+                .iter()
+                .position(|&c| c == x)
+                .expect("class present in topo order")
+        };
         assert!(pos(a) < pos(b) && pos(a) < pos(c));
         assert!(pos(b) < pos(d) && pos(c) < pos(d));
         assert_eq!(order.len(), 4);

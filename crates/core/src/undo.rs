@@ -43,7 +43,10 @@ impl Database {
                 reason: "an undo scope is already open".into(),
             });
         }
-        self.undo = Some(UndoLog { before: HashMap::new(), next_serial: self.next_serial });
+        self.undo = Some(UndoLog {
+            before: HashMap::new(),
+            next_serial: self.next_serial,
+        });
         Ok(())
     }
 
@@ -55,9 +58,12 @@ impl Database {
     /// Discards the undo log, making every change since `begin_undo`
     /// permanent.
     pub fn commit_undo(&mut self) -> DbResult<()> {
-        self.undo.take().map(|_| ()).ok_or(DbError::SchemaChangeRejected {
-            reason: "no undo scope is open".into(),
-        })
+        self.undo
+            .take()
+            .map(|_| ())
+            .ok_or(DbError::SchemaChangeRejected {
+                reason: "no undo scope is open".into(),
+            })
     }
 
     /// Restores every object touched since `begin_undo` to its state at
@@ -118,12 +124,17 @@ mod tests {
 
     fn setup() -> (Database, ClassId, ClassId) {
         let mut db = Database::new();
-        let item = db.define_class(ClassBuilder::new("Item").attr("n", Domain::Integer)).unwrap();
+        let item = db
+            .define_class(ClassBuilder::new("Item").attr("n", Domain::Integer))
+            .unwrap();
         let holder = db
             .define_class(ClassBuilder::new("Holder").attr_composite(
                 "slot",
                 Domain::Class(item),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         (db, item, holder)
@@ -155,14 +166,20 @@ mod tests {
     fn rollback_resurrects_deleted_composite_objects() {
         let (mut db, item, holder) = setup();
         let i = db.make(item, vec![("n", Value::Int(7))], vec![]).unwrap();
-        let h = db.make(holder, vec![("slot", Value::Ref(i))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("slot", Value::Ref(i))], vec![])
+            .unwrap();
         db.begin_undo().unwrap();
         db.delete(h).unwrap();
         assert!(!db.exists(h) && !db.exists(i), "dependent cascade ran");
         db.rollback_undo().unwrap();
         assert!(db.exists(h) && db.exists(i), "both resurrected");
         assert_eq!(db.get_attr(h, "slot").unwrap(), Value::Ref(i));
-        assert_eq!(db.get(i).unwrap().dx(), vec![h], "reverse reference restored");
+        assert_eq!(
+            db.get(i).unwrap().dx(),
+            vec![h],
+            "reverse reference restored"
+        );
         db.verify_integrity().unwrap();
     }
 
@@ -196,20 +213,28 @@ mod tests {
         db.begin_undo().unwrap();
         assert!(db.begin_undo().is_err());
         assert!(db
-            .add_attribute(item, crate::schema::attr::AttributeDef::plain("x", Domain::Integer))
+            .add_attribute(
+                item,
+                crate::schema::attr::AttributeDef::plain("x", Domain::Integer)
+            )
             .is_err());
         assert!(db.drop_attribute(item, "n").is_err());
         db.commit_undo().unwrap();
         // Outside the scope DDL works again.
-        db.add_attribute(item, crate::schema::attr::AttributeDef::plain("x", Domain::Integer))
-            .unwrap();
+        db.add_attribute(
+            item,
+            crate::schema::attr::AttributeDef::plain("x", Domain::Integer),
+        )
+        .unwrap();
     }
 
     #[test]
     fn interleaved_mutations_restore_exactly() {
         let (mut db, item, holder) = setup();
         let i1 = db.make(item, vec![("n", Value::Int(1))], vec![]).unwrap();
-        let h = db.make(holder, vec![("slot", Value::Ref(i1))], vec![]).unwrap();
+        let h = db
+            .make(holder, vec![("slot", Value::Ref(i1))], vec![])
+            .unwrap();
         db.begin_undo().unwrap();
         // A messy transaction: detach, create, attach the new one, mutate.
         db.set_attr(h, "slot", Value::Null).unwrap(); // deletes i1 (dependent orphan)

@@ -154,7 +154,11 @@ impl Value {
                 }
                 Value::Set(items)
             }
-            _ => return Err(StorageError::Corrupt { context: "value tag" }),
+            _ => {
+                return Err(StorageError::Corrupt {
+                    context: "value tag",
+                })
+            }
         })
     }
 }
@@ -205,7 +209,11 @@ mod tests {
             Value::Bool(true),
             Value::Str("chapter".into()),
             Value::Ref(oid),
-            Value::Set(vec![Value::Ref(oid), Value::Int(1), Value::Set(vec![Value::Null])]),
+            Value::Set(vec![
+                Value::Ref(oid),
+                Value::Int(1),
+                Value::Set(vec![Value::Null]),
+            ]),
         ] {
             assert_eq!(roundtrip(&v), v);
         }
@@ -215,7 +223,11 @@ mod tests {
     fn refs_are_collected_recursively() {
         let a = Oid::new(ClassId(1), 1);
         let b = Oid::new(ClassId(1), 2);
-        let v = Value::Set(vec![Value::Ref(a), Value::Set(vec![Value::Ref(b)]), Value::Int(0)]);
+        let v = Value::Set(vec![
+            Value::Ref(a),
+            Value::Set(vec![Value::Ref(b)]),
+            Value::Int(0),
+        ]);
         assert_eq!(v.refs(), vec![a, b]);
         assert!(v.references(a));
         assert!(!v.references(Oid::new(ClassId(1), 3)));
@@ -253,7 +265,10 @@ mod tests {
     fn display_is_lisp_flavoured() {
         let a = Oid::new(ClassId(2), 7);
         assert_eq!(Value::Null.to_string(), "nil");
-        assert_eq!(Value::Set(vec![Value::Ref(a), Value::Int(3)]).to_string(), "{c2.i7 3}");
+        assert_eq!(
+            Value::Set(vec![Value::Ref(a), Value::Int(3)]).to_string(),
+            "{c2.i7 3}"
+        );
     }
 
     #[test]

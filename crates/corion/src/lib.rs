@@ -53,7 +53,7 @@ pub use corion_core::query;
 pub use corion_core::query::{Predicate, Query};
 pub use corion_core::{
     AttributeDef, Class, ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError,
-    DbResult, Domain, Object, Oid, OrphanPolicy, RefKind, ReverseRef, Value,
+    DbResult, Domain, Object, Oid, OrphanPolicy, RefKind, ReverseRef, TraversalCacheStats, Value,
 };
 pub use corion_lang::Interpreter;
 pub use corion_lock::{

@@ -135,12 +135,18 @@ impl Default for Interpreter {
 impl Interpreter {
     /// Creates an interpreter over a fresh database.
     pub fn new() -> Self {
-        Interpreter { vm: VersionManager::new(Database::new()), env: HashMap::new() }
+        Interpreter {
+            vm: VersionManager::new(Database::new()),
+            env: HashMap::new(),
+        }
     }
 
     /// Creates an interpreter over an existing database.
     pub fn with_db(db: Database) -> Self {
-        Interpreter { vm: VersionManager::new(db), env: HashMap::new() }
+        Interpreter {
+            vm: VersionManager::new(db),
+            env: HashMap::new(),
+        }
     }
 
     /// The underlying engine.
@@ -169,7 +175,9 @@ impl Interpreter {
             SExpr::Int(i) => Ok(LangValue::Int(*i)),
             SExpr::Float(x) => Ok(LangValue::Float(*x)),
             SExpr::Str(s) => Ok(LangValue::Str(s.clone())),
-            SExpr::Kw(k) => Err(EvalError::BadForm(format!("keyword :{k} outside a message"))),
+            SExpr::Kw(k) => Err(EvalError::BadForm(format!(
+                "keyword :{k} outside a message"
+            ))),
             SExpr::Quote(inner) => self.eval_quoted(inner),
             SExpr::Sym(s) => self.lookup(s),
             SExpr::List(items) => self.eval_form(items),
@@ -187,7 +195,9 @@ impl Interpreter {
                     Ok(LangValue::Str(s.clone()))
                 }
             }
-            other => Err(EvalError::BadForm(format!("cannot evaluate quoted {other}"))),
+            other => Err(EvalError::BadForm(format!(
+                "cannot evaluate quoted {other}"
+            ))),
         }
     }
 
@@ -249,7 +259,10 @@ impl Interpreter {
             "set-default-version" => self.f_set_default_version(args),
             "resolve" => self.f_resolve(args),
             "set" | "list" => {
-                let vals = args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
                 Ok(LangValue::List(vals))
             }
             other => Err(EvalError::BadForm(format!("unknown message {other}"))),
@@ -263,7 +276,9 @@ impl Interpreter {
     fn want_obj(&mut self, e: &SExpr) -> Result<Oid, EvalError> {
         match self.eval(e)? {
             LangValue::Obj(o) => Ok(o),
-            other => Err(EvalError::BadForm(format!("expected an object, got {other}"))),
+            other => Err(EvalError::BadForm(format!(
+                "expected an object, got {other}"
+            ))),
         }
     }
 
@@ -300,10 +315,15 @@ impl Interpreter {
             LangValue::Str(s) => Value::Str(s),
             LangValue::Obj(o) => Value::Ref(o),
             LangValue::Class(c) => {
-                return Err(EvalError::BadForm(format!("class {c} is not an attribute value")))
+                return Err(EvalError::BadForm(format!(
+                    "class {c} is not an attribute value"
+                )))
             }
             LangValue::List(items) => Value::Set(
-                items.into_iter().map(|i| self.lang_to_db(i)).collect::<Result<Vec<_>, _>>()?,
+                items
+                    .into_iter()
+                    .map(|i| self.lang_to_db(i))
+                    .collect::<Result<Vec<_>, _>>()?,
             ),
         })
     }
@@ -371,20 +391,23 @@ impl Interpreter {
         let mut i = 1;
         while i < args.len() {
             let SExpr::Kw(kw) = &args[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword, got {}",
+                    args[i]
+                )));
             };
-            let value =
-                args.get(i + 1).ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| EvalError::BadForm(format!("missing value for :{kw}")))?;
             match kw.as_str() {
                 "superclasses" => {
                     if !value.is_nil() {
-                        for sup in value
-                            .as_list()
-                            .ok_or_else(|| EvalError::BadForm(":superclasses needs a list".into()))?
-                        {
-                            let sup_name = sup
-                                .as_sym()
-                                .ok_or_else(|| EvalError::BadForm("superclass must be a symbol".into()))?;
+                        for sup in value.as_list().ok_or_else(|| {
+                            EvalError::BadForm(":superclasses needs a list".into())
+                        })? {
+                            let sup_name = sup.as_sym().ok_or_else(|| {
+                                EvalError::BadForm("superclass must be a symbol".into())
+                            })?;
                             builder = builder.superclass(self.vm.db().class_by_name(sup_name)?);
                         }
                     }
@@ -412,9 +435,9 @@ impl Interpreter {
     }
 
     fn parse_attr_spec(&mut self, spec: &SExpr) -> Result<AttributeDef, EvalError> {
-        let list = spec
-            .as_list()
-            .ok_or_else(|| EvalError::BadForm(format!("attribute spec must be a list, got {spec}")))?;
+        let list = spec.as_list().ok_or_else(|| {
+            EvalError::BadForm(format!("attribute spec must be a list, got {spec}"))
+        })?;
         let name = list
             .first()
             .and_then(SExpr::as_sym)
@@ -430,7 +453,10 @@ impl Interpreter {
         let mut i = 1;
         while i < list.len() {
             let SExpr::Kw(kw) = &list[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword in attribute spec, got {}", list[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword in attribute spec, got {}",
+                    list[i]
+                )));
             };
             let value = list
                 .get(i + 1)
@@ -449,7 +475,14 @@ impl Interpreter {
             i += 2;
         }
         let mut def = if composite {
-            AttributeDef::composite(name, domain, CompositeSpec { exclusive, dependent })
+            AttributeDef::composite(
+                name,
+                domain,
+                CompositeSpec {
+                    exclusive,
+                    dependent,
+                },
+            )
         } else {
             AttributeDef::plain(name, domain)
         };
@@ -459,15 +492,19 @@ impl Interpreter {
 
     /// `(make Class [:parent ((p attr) ...)] :Attr value ...)`
     fn f_make(&mut self, args: &[SExpr]) -> R {
-        let class = self.want_class(args.first().ok_or_else(|| {
-            EvalError::BadForm("(make Class ...)".into())
-        })?)?;
+        let class = self.want_class(
+            args.first()
+                .ok_or_else(|| EvalError::BadForm("(make Class ...)".into()))?,
+        )?;
         let mut parents: Vec<(Oid, String)> = Vec::new();
         let mut values: Vec<(String, Value)> = Vec::new();
         let mut i = 1;
         while i < args.len() {
             let SExpr::Kw(kw) = &args[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword, got {}",
+                    args[i]
+                )));
             };
             let value = args
                 .get(i + 1)
@@ -478,9 +515,9 @@ impl Interpreter {
                     .ok_or_else(|| EvalError::BadForm(":parent needs a list of (obj attr)".into()))?
                     .to_vec();
                 for pair in pairs {
-                    let pl = pair
-                        .as_list()
-                        .ok_or_else(|| EvalError::BadForm(":parent entries are (obj attr)".into()))?;
+                    let pl = pair.as_list().ok_or_else(|| {
+                        EvalError::BadForm(":parent entries are (obj attr)".into())
+                    })?;
                     let [pobj, pattr] = pl else {
                         return Err(EvalError::BadForm(":parent entries are (obj attr)".into()));
                     };
@@ -493,10 +530,11 @@ impl Interpreter {
             }
             i += 2;
         }
-        let value_refs: Vec<(&str, Value)> =
-            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-        let parent_refs: Vec<(Oid, &str)> =
-            parents.iter().map(|(o, a)| (*o, a.as_str())).collect();
+        let value_refs: Vec<(&str, Value)> = values
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        let parent_refs: Vec<(Oid, &str)> = parents.iter().map(|(o, a)| (*o, a.as_str())).collect();
         let oid = self.vm.db_mut().make(class, value_refs, parent_refs)?;
         Ok(LangValue::Obj(oid))
     }
@@ -528,22 +566,32 @@ impl Interpreter {
         };
         let o = self.want_obj(obj)?;
         let deleted = self.vm.db_mut().delete(o)?;
-        Ok(LangValue::List(deleted.into_iter().map(LangValue::Obj).collect()))
+        Ok(LangValue::List(
+            deleted.into_iter().map(LangValue::Obj).collect(),
+        ))
     }
 
     fn f_instances_of(&mut self, args: &[SExpr]) -> R {
-        let class = self.want_class(args.first().ok_or_else(|| {
-            EvalError::BadForm("(instances-of Class)".into())
-        })?)?;
+        let class = self.want_class(
+            args.first()
+                .ok_or_else(|| EvalError::BadForm("(instances-of Class)".into()))?,
+        )?;
         let deep = args.get(1).map(|e| e.is_true()).unwrap_or(true);
         Ok(LangValue::List(
-            self.vm.db().instances_of(class, deep).into_iter().map(LangValue::Obj).collect(),
+            self.vm
+                .db()
+                .instances_of(class, deep)
+                .into_iter()
+                .map(LangValue::Obj)
+                .collect(),
         ))
     }
 
     fn f_make_component(&mut self, args: &[SExpr]) -> R {
         let [child, parent, attr] = args else {
-            return Err(EvalError::BadForm("(make-component child parent attr)".into()));
+            return Err(EvalError::BadForm(
+                "(make-component child parent attr)".into(),
+            ));
         };
         let c = self.want_obj(child)?;
         let p = self.want_obj(parent)?;
@@ -554,7 +602,9 @@ impl Interpreter {
 
     fn f_remove_component(&mut self, args: &[SExpr]) -> R {
         let [child, parent, attr] = args else {
-            return Err(EvalError::BadForm("(remove-component child parent attr)".into()));
+            return Err(EvalError::BadForm(
+                "(remove-component child parent attr)".into(),
+            ));
         };
         let c = self.want_obj(child)?;
         let p = self.want_obj(parent)?;
@@ -564,14 +614,18 @@ impl Interpreter {
     }
 
     fn f_traverse(&mut self, args: &[SExpr], which: Traverse) -> R {
-        let obj = self.want_obj(args.first().ok_or_else(|| {
-            EvalError::BadForm("traversal needs an object".into())
-        })?)?;
+        let obj = self.want_obj(
+            args.first()
+                .ok_or_else(|| EvalError::BadForm("traversal needs an object".into()))?,
+        )?;
         let mut filter = Filter::all();
         let mut i = 1;
         while i < args.len() {
             let SExpr::Kw(kw) = &args[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword, got {}",
+                    args[i]
+                )));
             };
             let value = args
                 .get(i + 1)
@@ -613,13 +667,16 @@ impl Interpreter {
             Traverse::Parents => db.parents_of(obj, &filter)?,
             Traverse::Ancestors => db.ancestors_of(obj, &filter)?,
         };
-        Ok(LangValue::List(out.into_iter().map(LangValue::Obj).collect()))
+        Ok(LangValue::List(
+            out.into_iter().map(LangValue::Obj).collect(),
+        ))
     }
 
     fn f_classpred(&mut self, args: &[SExpr], which: ClassPred) -> R {
-        let class = self.want_class(args.first().ok_or_else(|| {
-            EvalError::BadForm("predicate needs a class".into())
-        })?)?;
+        let class = self.want_class(
+            args.first()
+                .ok_or_else(|| EvalError::BadForm("predicate needs a class".into()))?,
+        )?;
         let attr = args.get(1).map(Self::attr_name).transpose()?;
         let db = self.vm.db();
         let b = match which {
@@ -633,7 +690,9 @@ impl Interpreter {
 
     fn f_instpred(&mut self, args: &[SExpr], which: InstPred) -> R {
         let [o1, o2] = args else {
-            return Err(EvalError::BadForm("instance predicate needs two objects".into()));
+            return Err(EvalError::BadForm(
+                "instance predicate needs two objects".into(),
+            ));
         };
         let a = self.want_obj(o1)?;
         let b = self.want_obj(o2)?;
@@ -655,14 +714,18 @@ impl Interpreter {
     /// `(and p ...)`, `(or p ...)`, `(not p)`.
     fn f_select(&mut self, args: &[SExpr]) -> R {
         use corion_core::query::Query;
-        let class = self.want_class(args.first().ok_or_else(|| {
-            EvalError::BadForm("(select Class [:where pred] ...)".into())
-        })?)?;
+        let class = self.want_class(
+            args.first()
+                .ok_or_else(|| EvalError::BadForm("(select Class [:where pred] ...)".into()))?,
+        )?;
         let mut q = Query::over(class);
         let mut i = 1;
         while i < args.len() {
             let SExpr::Kw(kw) = &args[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword, got {}",
+                    args[i]
+                )));
             };
             let value = args
                 .get(i + 1)
@@ -685,7 +748,9 @@ impl Interpreter {
             i += 2;
         }
         let out = q.run(self.vm.db_mut())?;
-        Ok(LangValue::List(out.into_iter().map(LangValue::Obj).collect()))
+        Ok(LangValue::List(
+            out.into_iter().map(LangValue::Obj).collect(),
+        ))
     }
 
     fn parse_predicate(&mut self, e: &SExpr) -> Result<corion_core::query::Predicate, EvalError> {
@@ -732,8 +797,16 @@ impl Interpreter {
                 };
                 P::HasComponentOfClass(self.want_class(class)?)
             }
-            "and" => P::And(rest.iter().map(|p| self.parse_predicate(p)).collect::<Result<_, _>>()?),
-            "or" => P::Or(rest.iter().map(|p| self.parse_predicate(p)).collect::<Result<_, _>>()?),
+            "and" => P::And(
+                rest.iter()
+                    .map(|p| self.parse_predicate(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "or" => P::Or(
+                rest.iter()
+                    .map(|p| self.parse_predicate(p))
+                    .collect::<Result<_, _>>()?,
+            ),
             "not" => {
                 let [p] = rest else {
                     return Err(EvalError::BadForm("(not pred)".into()));
@@ -760,7 +833,12 @@ impl Interpreter {
                     out.push(' ');
                 }
                 out.push_str(
-                    &self.vm.db().class(*s).map(|c| c.name.clone()).unwrap_or_else(|_| s.to_string()),
+                    &self
+                        .vm
+                        .db()
+                        .class(*s)
+                        .map(|c| c.name.clone())
+                        .unwrap_or_else(|_| s.to_string()),
                 );
             }
             out.push(')');
@@ -771,7 +849,11 @@ impl Interpreter {
         if !def.attrs.is_empty() {
             out.push_str("\n  :attributes (");
             for a in &def.attrs {
-                out.push_str(&format!("\n    ({} :domain {}", a.name, self.describe_domain(&a.domain)));
+                out.push_str(&format!(
+                    "\n    ({} :domain {}",
+                    a.name,
+                    self.describe_domain(&a.domain)
+                ));
                 if let Some(spec) = a.composite {
                     out.push_str(&format!(
                         " :composite t :exclusive {} :dependent {}",
@@ -850,7 +932,9 @@ impl Interpreter {
     /// `(add-attribute Class (Name :domain D [:composite ...] [:init v]))`.
     fn f_add_attribute(&mut self, args: &[SExpr]) -> R {
         let [class, spec] = args else {
-            return Err(EvalError::BadForm("(add-attribute Class (Name :domain D ...))".into()));
+            return Err(EvalError::BadForm(
+                "(add-attribute Class (Name :domain D ...))".into(),
+            ));
         };
         let c = self.want_class(class)?;
         let def = self.parse_attr_spec(spec)?;
@@ -862,7 +946,9 @@ impl Interpreter {
     /// §4.1 (3).
     fn f_superclass_edge(&mut self, args: &[SExpr], add: bool) -> R {
         let [class, sup] = args else {
-            return Err(EvalError::BadForm("(add/remove-superclass Class Super)".into()));
+            return Err(EvalError::BadForm(
+                "(add/remove-superclass Class Super)".into(),
+            ));
         };
         let c = self.want_class(class)?;
         let s = self.want_class(sup)?;
@@ -905,7 +991,10 @@ impl Interpreter {
         let mut i = 3;
         while i < args.len() {
             let SExpr::Kw(kw) = &args[i] else {
-                return Err(EvalError::BadForm(format!("expected keyword, got {}", args[i])));
+                return Err(EvalError::BadForm(format!(
+                    "expected keyword, got {}",
+                    args[i]
+                )));
             };
             let value = args
                 .get(i + 1)
@@ -927,15 +1016,22 @@ impl Interpreter {
             "shared-to-exclusive" => AttrTypeChange::SharedToExclusive,
             other => return Err(EvalError::BadForm(format!("unknown change {other}"))),
         };
-        let maintenance = if deferred { Maintenance::Deferred } else { Maintenance::Immediate };
-        self.vm.db_mut().change_attribute_type(c, &a, change, maintenance)?;
+        let maintenance = if deferred {
+            Maintenance::Deferred
+        } else {
+            Maintenance::Immediate
+        };
+        self.vm
+            .db_mut()
+            .change_attribute_type(c, &a, change, maintenance)?;
         Ok(LangValue::T)
     }
 
     fn f_create_versioned(&mut self, args: &[SExpr]) -> R {
-        let class = self.want_class(args.first().ok_or_else(|| {
-            EvalError::BadForm("(create-versioned Class :Attr v ...)".into())
-        })?)?;
+        let class = self
+            .want_class(args.first().ok_or_else(|| {
+                EvalError::BadForm("(create-versioned Class :Attr v ...)".into())
+            })?)?;
         let mut values: Vec<(String, Value)> = Vec::new();
         let mut i = 1;
         while i < args.len() {
@@ -949,10 +1045,15 @@ impl Interpreter {
             values.push((kw.clone(), self.lang_to_db(v)?));
             i += 2;
         }
-        let value_refs: Vec<(&str, Value)> =
-            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let value_refs: Vec<(&str, Value)> = values
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         let (generic, v1) = self.vm.create(class, value_refs)?;
-        Ok(LangValue::List(vec![LangValue::Obj(generic), LangValue::Obj(v1)]))
+        Ok(LangValue::List(vec![
+            LangValue::Obj(generic),
+            LangValue::Obj(v1),
+        ]))
     }
 
     fn f_derive(&mut self, args: &[SExpr]) -> R {
@@ -1061,19 +1162,31 @@ mod tests {
                 "#,
             )
             .unwrap();
-        let LangValue::List(comps) = out else { panic!("expected list") };
+        let LangValue::List(comps) = out else {
+            panic!("expected list")
+        };
         assert_eq!(comps.len(), 2);
         assert_eq!(it.eval_str("(child-of b v)").unwrap(), LangValue::T);
-        assert_eq!(it.eval_str("(exclusive-component-of b v)").unwrap(), LangValue::T);
-        assert_eq!(it.eval_str("(shared-component-of b v)").unwrap(), LangValue::Nil);
-        assert_eq!(it.eval_str("(get v Color)").unwrap(), LangValue::Str("red".into()));
+        assert_eq!(
+            it.eval_str("(exclusive-component-of b v)").unwrap(),
+            LangValue::T
+        );
+        assert_eq!(
+            it.eval_str("(shared-component-of b v)").unwrap(),
+            LangValue::Nil
+        );
+        assert_eq!(
+            it.eval_str("(get v Color)").unwrap(),
+            LangValue::Str("red".into())
+        );
     }
 
     #[test]
     fn parent_clause_in_make() {
         let mut it = interp_with_vehicle();
         it.eval_str("(define v (make Vehicle))").unwrap();
-        it.eval_str("(define b (make AutoBody :parent ((v Body))))").unwrap();
+        it.eval_str("(define b (make AutoBody :parent ((v Body))))")
+            .unwrap();
         assert_eq!(it.eval_str("(child-of b v)").unwrap(), LangValue::T);
     }
 
@@ -1098,25 +1211,28 @@ mod tests {
         )
         .unwrap();
         let out = it
-            .eval_str(
-                "(define l (make Leaf)) (define n (make Node :kid l)) (delete n)",
-            )
+            .eval_str("(define l (make Leaf)) (define n (make Node :kid l)) (delete n)")
             .unwrap();
-        let LangValue::List(deleted) = out else { panic!() };
+        let LangValue::List(deleted) = out else {
+            panic!()
+        };
         assert_eq!(deleted.len(), 2, "dependent exclusive child cascades");
     }
 
     #[test]
     fn set_bang_maintains_composite_semantics() {
         let mut it = interp_with_vehicle();
-        it.eval_str("(define v (make Vehicle)) (define b (make AutoBody))").unwrap();
+        it.eval_str("(define v (make Vehicle)) (define b (make AutoBody))")
+            .unwrap();
         it.eval_str("(set! v Body b)").unwrap();
         assert_eq!(it.eval_str("(component-of b v)").unwrap(), LangValue::T);
         it.eval_str("(set! v Body nil)").unwrap();
         assert_eq!(it.eval_str("(component-of b v)").unwrap(), LangValue::Nil);
         // Independent exclusive: b survives the dismantling for reuse.
-        assert_eq!(it.eval_str("(instances-of AutoBody)").unwrap(),
-            LangValue::List(vec![it.eval_str("b").unwrap()]));
+        assert_eq!(
+            it.eval_str("(instances-of AutoBody)").unwrap(),
+            LangValue::List(vec![it.eval_str("b").unwrap()])
+        );
     }
 
     #[test]
@@ -1124,27 +1240,51 @@ mod tests {
         let mut it = Interpreter::new();
         it.eval_str("(make-class 'Design :versionable t :attributes ((name :domain String)))")
             .unwrap();
-        it.eval_str(r#"(define gv (create-versioned Design :name "d0"))"#).unwrap();
-        let LangValue::List(pair) = it.eval_str("gv").unwrap() else { panic!() };
+        it.eval_str(r#"(define gv (create-versioned Design :name "d0"))"#)
+            .unwrap();
+        let LangValue::List(pair) = it.eval_str("gv").unwrap() else {
+            panic!()
+        };
         assert_eq!(pair.len(), 2);
         // Bind the pieces and derive.
         it.env.insert("g".into(), pair[0].clone());
         it.env.insert("v1".into(), pair[1].clone());
         it.eval_str("(define v2 (derive-version v1))").unwrap();
-        assert_eq!(it.eval_str("(default-version g)").unwrap(), it.eval_str("v2").unwrap());
+        assert_eq!(
+            it.eval_str("(default-version g)").unwrap(),
+            it.eval_str("v2").unwrap()
+        );
         it.eval_str("(set-default-version g v1)").unwrap();
-        assert_eq!(it.eval_str("(resolve g)").unwrap(), it.eval_str("v1").unwrap());
+        assert_eq!(
+            it.eval_str("(resolve g)").unwrap(),
+            it.eval_str("v1").unwrap()
+        );
     }
 
     #[test]
     fn errors_are_informative() {
         let mut it = Interpreter::new();
-        assert!(matches!(it.eval_str("(frobnicate 1)"), Err(EvalError::BadForm(_))));
-        assert!(matches!(it.eval_str("unknown-sym"), Err(EvalError::Unbound(_))));
-        assert!(matches!(it.eval_str("(make NoSuchClass)"), Err(EvalError::Unbound(_))));
+        assert!(matches!(
+            it.eval_str("(frobnicate 1)"),
+            Err(EvalError::BadForm(_))
+        ));
+        assert!(matches!(
+            it.eval_str("unknown-sym"),
+            Err(EvalError::Unbound(_))
+        ));
+        assert!(matches!(
+            it.eval_str("(make NoSuchClass)"),
+            Err(EvalError::Unbound(_))
+        ));
         it.eval_str("(make-class 'C)").unwrap();
-        assert!(matches!(it.eval_str("(make C :nope 1)"), Err(EvalError::Db(_))));
-        assert!(matches!(it.eval_str("(define)"), Err(EvalError::BadForm(_))));
+        assert!(matches!(
+            it.eval_str("(make C :nope 1)"),
+            Err(EvalError::Db(_))
+        ));
+        assert!(matches!(
+            it.eval_str("(define)"),
+            Err(EvalError::BadForm(_))
+        ));
     }
 
     #[test]
@@ -1158,11 +1298,17 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = it.eval_str("(components-of v :classes (AutoTires))").unwrap();
-        let LangValue::List(comps) = out else { panic!() };
+        let out = it
+            .eval_str("(components-of v :classes (AutoTires))")
+            .unwrap();
+        let LangValue::List(comps) = out else {
+            panic!()
+        };
         assert_eq!(comps.len(), 1);
         let out = it.eval_str("(components-of v :level 1)").unwrap();
-        let LangValue::List(comps) = out else { panic!() };
+        let LangValue::List(comps) = out else {
+            panic!()
+        };
         assert_eq!(comps.len(), 2);
     }
 }
@@ -1190,13 +1336,27 @@ mod evolution_message_tests {
     #[test]
     fn change_attribute_type_messages() {
         let mut it = world();
-        it.eval_str("(change-attribute-type Holder slot exclusive-to-shared)").unwrap();
-        assert_eq!(it.eval_str("(shared-compositep Holder slot)").unwrap(), LangValue::T);
-        it.eval_str("(change-attribute-type Holder slot to-independent :deferred t)").unwrap();
-        assert_eq!(it.eval_str("(dependent-compositep Holder slot)").unwrap(), LangValue::Nil);
-        it.eval_str("(change-attribute-type Holder slot shared-to-exclusive)").unwrap();
-        assert_eq!(it.eval_str("(exclusive-compositep Holder slot)").unwrap(), LangValue::T);
-        assert!(it.eval_str("(change-attribute-type Holder slot frobnicate)").is_err());
+        it.eval_str("(change-attribute-type Holder slot exclusive-to-shared)")
+            .unwrap();
+        assert_eq!(
+            it.eval_str("(shared-compositep Holder slot)").unwrap(),
+            LangValue::T
+        );
+        it.eval_str("(change-attribute-type Holder slot to-independent :deferred t)")
+            .unwrap();
+        assert_eq!(
+            it.eval_str("(dependent-compositep Holder slot)").unwrap(),
+            LangValue::Nil
+        );
+        it.eval_str("(change-attribute-type Holder slot shared-to-exclusive)")
+            .unwrap();
+        assert_eq!(
+            it.eval_str("(exclusive-compositep Holder slot)").unwrap(),
+            LangValue::T
+        );
+        assert!(it
+            .eval_str("(change-attribute-type Holder slot frobnicate)")
+            .is_err());
     }
 
     #[test]
@@ -1206,14 +1366,16 @@ mod evolution_message_tests {
         assert!(it.eval_str("(get h slot)").is_err());
         // The dependent target cascaded away with the attribute.
         assert!(it.eval_str("(parents-of i)").is_err());
-        it.eval_str("(add-attribute Holder (rank :domain Integer :init 5))").unwrap();
+        it.eval_str("(add-attribute Holder (rank :domain Integer :init 5))")
+            .unwrap();
         assert_eq!(it.eval_str("(get h rank)").unwrap(), LangValue::Int(5));
     }
 
     #[test]
     fn superclass_and_drop_class_messages() {
         let mut it = world();
-        it.eval_str("(make-class 'Base :attributes ((extra :domain Integer)))").unwrap();
+        it.eval_str("(make-class 'Base :attributes ((extra :domain Integer)))")
+            .unwrap();
         it.eval_str("(add-superclass Holder Base)").unwrap();
         assert_eq!(it.eval_str("(get h extra)").unwrap(), LangValue::Nil);
         it.eval_str("(remove-superclass Holder Base)").unwrap();
@@ -1235,8 +1397,14 @@ mod evolution_message_tests {
             "#,
         )
         .unwrap();
-        assert_eq!(it.eval_str("(shared-compositep Holder w)").unwrap(), LangValue::T);
-        assert_eq!(it.eval_str("(dependent-compositep Holder w)").unwrap(), LangValue::Nil);
+        assert_eq!(
+            it.eval_str("(shared-compositep Holder w)").unwrap(),
+            LangValue::T
+        );
+        assert_eq!(
+            it.eval_str("(dependent-compositep Holder w)").unwrap(),
+            LangValue::Nil
+        );
         assert_eq!(it.eval_str("(component-of i h)").unwrap(), LangValue::T);
     }
 }
@@ -1257,7 +1425,9 @@ mod describe_tests {
             "#,
         )
         .unwrap();
-        let LangValue::Str(s) = it.eval_str("(describe Vehicle)").unwrap() else { panic!() };
+        let LangValue::Str(s) = it.eval_str("(describe Vehicle)").unwrap() else {
+            panic!()
+        };
         assert!(s.contains("(make-class 'Vehicle"));
         assert!(s.contains("(Body :domain AutoBody :composite t :exclusive t :dependent nil)"));
         assert!(s.contains("(Color :domain String)"));
@@ -1271,7 +1441,9 @@ mod describe_tests {
              (make-class 'Derived :superclasses (Base) :versionable t)",
         )
         .unwrap();
-        let LangValue::Str(s) = it.eval_str("(describe Derived)").unwrap() else { panic!() };
+        let LangValue::Str(s) = it.eval_str("(describe Derived)").unwrap() else {
+            panic!()
+        };
         assert!(s.contains(":superclasses (Base)"));
         assert!(s.contains(":versionable t"));
         assert!(s.contains("; inherited"));
@@ -1288,20 +1460,25 @@ mod describe_tests {
         .unwrap();
         assert_eq!(
             it.eval_str("(verify-integrity)").unwrap(),
-            LangValue::List(vec![LangValue::Int(2), LangValue::Int(1), LangValue::Int(0)])
+            LangValue::List(vec![
+                LangValue::Int(2),
+                LangValue::Int(1),
+                LangValue::Int(0)
+            ])
         );
     }
 
     #[test]
     fn save_database_writes_a_loadable_image() {
         let mut it = Interpreter::new();
-        it.eval_str("(make-class 'Leaf) (define l (make Leaf))").unwrap();
+        it.eval_str("(make-class 'Leaf) (define l (make Leaf))")
+            .unwrap();
         let dir = std::env::temp_dir().join(format!("corion_lang_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("repl.corion");
-        it.eval_str(&format!("(save-database {:?})", path.to_str().unwrap())).unwrap();
-        let mut back =
-            Database::load_from_file(&path, corion_core::DbConfig::default()).unwrap();
+        it.eval_str(&format!("(save-database {:?})", path.to_str().unwrap()))
+            .unwrap();
+        let mut back = Database::load_from_file(&path, corion_core::DbConfig::default()).unwrap();
         assert_eq!(back.object_count(), 1);
         back.verify_integrity().unwrap();
         std::fs::remove_dir_all(&dir).ok();
@@ -1345,8 +1522,9 @@ mod select_tests {
             panic!()
         };
         assert_eq!(r.len(), 1);
-        let LangValue::List(r) =
-            it.eval_str("(select Part :where (or (= n 0) (= n 3)) :limit 1)").unwrap()
+        let LangValue::List(r) = it
+            .eval_str("(select Part :where (or (= n 0) (= n 3)) :limit 1)")
+            .unwrap()
         else {
             panic!()
         };
@@ -1356,26 +1534,30 @@ mod select_tests {
     #[test]
     fn select_with_composite_predicates() {
         let mut it = world();
-        let LangValue::List(r) =
-            it.eval_str("(select Part :where (component-of a))").unwrap()
+        let LangValue::List(r) = it
+            .eval_str("(select Part :where (component-of a))")
+            .unwrap()
         else {
             panic!()
         };
         assert_eq!(r.len(), 2);
-        let LangValue::List(r) =
-            it.eval_str("(select Part :where (not (has-composite-parent)))").unwrap()
+        let LangValue::List(r) = it
+            .eval_str("(select Part :where (not (has-composite-parent)))")
+            .unwrap()
         else {
             panic!()
         };
         assert_eq!(r.len(), 2, "p2 and p3 are free");
-        let LangValue::List(r) =
-            it.eval_str("(select Asm :where (has-component-of Part))").unwrap()
+        let LangValue::List(r) = it
+            .eval_str("(select Asm :where (has-component-of Part))")
+            .unwrap()
         else {
             panic!()
         };
         assert_eq!(r.len(), 1);
-        let LangValue::List(r) =
-            it.eval_str("(select Asm :where (references parts p0))").unwrap()
+        let LangValue::List(r) = it
+            .eval_str("(select Asm :where (references parts p0))")
+            .unwrap()
         else {
             panic!()
         };

@@ -139,17 +139,13 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Keyword(s));
             }
             c if c.is_ascii_digit()
-                || (c == '-'
-                    && i + 1 < chars.len()
-                    && chars[i + 1].1.is_ascii_digit()) =>
+                || (c == '-' && i + 1 < chars.len() && chars[i + 1].1.is_ascii_digit()) =>
             {
                 let mut s = String::new();
                 s.push(c);
                 i += 1;
                 let mut is_float = false;
-                while i < chars.len()
-                    && (chars[i].1.is_ascii_digit() || chars[i].1 == '.')
-                {
+                while i < chars.len() && (chars[i].1.is_ascii_digit() || chars[i].1 == '.') {
                     if chars[i].1 == '.' {
                         is_float = true;
                     }
@@ -157,15 +153,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 if is_float {
-                    out.push(Token::Float(s.parse().map_err(|_| LexError::UnexpectedChar {
-                        ch: '.',
-                        at,
-                    })?));
+                    out.push(Token::Float(
+                        s.parse()
+                            .map_err(|_| LexError::UnexpectedChar { ch: '.', at })?,
+                    ));
                 } else {
-                    out.push(Token::Int(s.parse().map_err(|_| LexError::UnexpectedChar {
-                        ch: c,
-                        at,
-                    })?));
+                    out.push(Token::Int(
+                        s.parse()
+                            .map_err(|_| LexError::UnexpectedChar { ch: c, at })?,
+                    ));
                 }
             }
             c if is_symbol_char(c) => {
@@ -220,9 +216,18 @@ mod tests {
 
     #[test]
     fn errors_are_located() {
-        assert!(matches!(lex("\"open"), Err(LexError::UnterminatedString { start: 0 })));
-        assert!(matches!(lex("a § b"), Err(LexError::UnexpectedChar { ch: '§', .. })));
-        assert!(matches!(lex(": x"), Err(LexError::UnexpectedChar { ch: ':', .. })));
+        assert!(matches!(
+            lex("\"open"),
+            Err(LexError::UnterminatedString { start: 0 })
+        ));
+        assert!(matches!(
+            lex("a § b"),
+            Err(LexError::UnexpectedChar { ch: '§', .. })
+        ));
+        assert!(matches!(
+            lex(": x"),
+            Err(LexError::UnexpectedChar { ch: ':', .. })
+        ));
     }
 
     #[test]

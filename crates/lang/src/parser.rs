@@ -83,7 +83,10 @@ impl Parser {
 
 /// Parses exactly one expression.
 pub fn parse(input: &str) -> Result<SExpr, ParseError> {
-    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
     let e = p.expr()?;
     if p.peek().is_some() {
         return Err(ParseError::TrailingTokens);
@@ -93,7 +96,10 @@ pub fn parse(input: &str) -> Result<SExpr, ParseError> {
 
 /// Parses a sequence of expressions (a program / REPL buffer).
 pub fn parse_all(input: &str) -> Result<Vec<SExpr>, ParseError> {
-    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
     let mut out = Vec::new();
     while p.peek().is_some() {
         out.push(p.expr()?);

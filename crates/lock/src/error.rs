@@ -44,7 +44,11 @@ pub enum LockError {
 impl fmt::Display for LockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LockError::WouldBlock { txn, resource, mode } => {
+            LockError::WouldBlock {
+                txn,
+                resource,
+                mode,
+            } => {
                 write!(f, "txn {txn} would block requesting {mode} on {resource}")
             }
             LockError::Deadlock { txn, cycle } => {
@@ -80,7 +84,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = LockError::Deadlock { txn: TxnId(1), cycle: vec![TxnId(1), TxnId(2)] };
+        let e = LockError::Deadlock {
+            txn: TxnId(1),
+            cycle: vec![TxnId(1), TxnId(2)],
+        };
         assert!(e.to_string().contains("deadlock"));
         let e = LockError::UnknownTxn(TxnId(9));
         assert!(e.to_string().contains("t9"));

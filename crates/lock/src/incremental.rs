@@ -24,7 +24,7 @@ use corion_core::composite::Filter;
 use corion_core::{Database, Oid};
 
 use crate::error::LockResult;
-use crate::manager::{Lockable, LockManager, TxnId};
+use crate::manager::{LockManager, Lockable, TxnId};
 use crate::modes::LockMode;
 use crate::protocol::{composite_lockset, LockIntent};
 
@@ -85,13 +85,15 @@ impl IncrementalAccess {
         if self.escalated || !self.touched.insert(component) {
             return Ok(());
         }
-        let (class_mode, obj_mode) =
-            if self.write { (LockMode::IX, LockMode::X) } else { (LockMode::IS, LockMode::S) };
+        let (class_mode, obj_mode) = if self.write {
+            (LockMode::IX, LockMode::X)
+        } else {
+            (LockMode::IS, LockMode::S)
+        };
         manager.lock(txn, Lockable::Class(component.class), class_mode)?;
         manager.lock(txn, Lockable::Instance(component), obj_mode)?;
         if self.composite_size > 0
-            && (self.touched.len() as f64 / self.composite_size as f64)
-                >= self.escalation_threshold
+            && (self.touched.len() as f64 / self.composite_size as f64) >= self.escalation_threshold
         {
             self.escalate(db, manager, txn)?;
         }
@@ -110,7 +112,11 @@ impl IncrementalAccess {
         if self.escalated {
             return Ok(());
         }
-        let intent = if self.write { LockIntent::Write } else { LockIntent::Read };
+        let intent = if self.write {
+            LockIntent::Write
+        } else {
+            LockIntent::Read
+        };
         composite_lockset(db, self.root, intent).acquire(manager, txn)?;
         self.escalated = true;
         Ok(())
@@ -140,12 +146,19 @@ mod tests {
             .define_class(ClassBuilder::new("Asm").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
-        let parts: Vec<Oid> = (0..10).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+        let parts: Vec<Oid> = (0..10)
+            .map(|_| db.make(part, vec![], vec![]).unwrap())
+            .collect();
         let refs: Vec<Value> = parts.iter().map(|&p| Value::Ref(p)).collect();
-        let root = db.make(asm, vec![("parts", Value::Set(refs))], vec![]).unwrap();
+        let root = db
+            .make(asm, vec![("parts", Value::Set(refs))], vec![])
+            .unwrap();
         let _ = ClassId(0);
         (db, root, parts)
     }
@@ -165,11 +178,13 @@ mod tests {
         let mut a2 = IncrementalAccess::open(&mut db, &lm, t2, root, false, 1.0).unwrap();
         // Each transaction X-locks its own components directly.
         for &p in &parts[..3] {
-            lm.try_lock(t1, Lockable::Class(p.class), LockMode::IX).unwrap();
+            lm.try_lock(t1, Lockable::Class(p.class), LockMode::IX)
+                .unwrap();
             lm.try_lock(t1, Lockable::Instance(p), LockMode::X).unwrap();
         }
         for &p in &parts[3..6] {
-            lm.try_lock(t2, Lockable::Class(p.class), LockMode::IX).unwrap();
+            lm.try_lock(t2, Lockable::Class(p.class), LockMode::IX)
+                .unwrap();
             lm.try_lock(t2, Lockable::Instance(p), LockMode::X).unwrap();
         }
         // Overlap on the same component *does* conflict.
@@ -192,9 +207,12 @@ mod tests {
         assert_eq!(acc.touched_count(), 2);
         // Untouched components remain readable by others.
         let t2 = lm.begin();
-        lm.try_lock(t2, Lockable::Instance(parts[5]), LockMode::S).unwrap();
+        lm.try_lock(t2, Lockable::Instance(parts[5]), LockMode::S)
+            .unwrap();
         // Touched ones are not.
-        assert!(lm.try_lock(t2, Lockable::Instance(parts[0]), LockMode::S).is_err());
+        assert!(lm
+            .try_lock(t2, Lockable::Instance(parts[0]), LockMode::S)
+            .is_err());
     }
 
     #[test]
@@ -212,7 +230,9 @@ mod tests {
         // Composite-protocol locks now held: a direct reader of ANY
         // component class is blocked (IXO on the Part class).
         let t2 = lm.begin();
-        assert!(lm.try_lock(t2, Lockable::Class(parts[9].class), LockMode::IS).is_err());
+        assert!(lm
+            .try_lock(t2, Lockable::Class(parts[9].class), LockMode::IS)
+            .is_err());
         // Further touches are free (no new locks).
         let before = lm.grant_count();
         acc.touch(&mut db, &lm, t1, parts[9]).unwrap();

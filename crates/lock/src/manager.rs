@@ -77,7 +77,11 @@ impl LockManager {
     /// Creates a manager whose blocking waits never time out (deadlocks are
     /// still detected and broken).
     pub fn new() -> Self {
-        LockManager { state: Mutex::new(State::default()), released: Condvar::new(), wait_timeout: None }
+        LockManager {
+            state: Mutex::new(State::default()),
+            released: Condvar::new(),
+            wait_timeout: None,
+        }
     }
 
     /// Creates a manager whose blocking waits give up after `timeout`.
@@ -114,7 +118,12 @@ impl LockManager {
     }
 
     fn record_grant(st: &mut State, txn: TxnId, resource: Lockable, mode: LockMode) {
-        st.granted.entry(resource).or_default().entry(txn).or_default().push(mode);
+        st.granted
+            .entry(resource)
+            .or_default()
+            .entry(txn)
+            .or_default()
+            .push(mode);
         st.held.entry(txn).or_default().insert(resource);
         st.grants += 1;
     }
@@ -132,7 +141,11 @@ impl LockManager {
             Self::record_grant(&mut st, txn, resource, mode);
             Ok(())
         } else {
-            Err(LockError::WouldBlock { txn, resource, mode })
+            Err(LockError::WouldBlock {
+                txn,
+                resource,
+                mode,
+            })
         }
     }
 
@@ -384,7 +397,8 @@ mod tests {
         let lm = LockManager::new();
         let t1 = lm.begin();
         let t2 = lm.begin();
-        lm.try_lock(t1, Lockable::Class(ClassId(1)), LockMode::X).unwrap();
+        lm.try_lock(t1, Lockable::Class(ClassId(1)), LockMode::X)
+            .unwrap();
         // Same numeric id as an instance is a different resource.
         lm.try_lock(t2, res(1), LockMode::X).unwrap();
     }

@@ -217,7 +217,10 @@ pub fn render_matrix(modes: &[LockMode]) -> String {
     for req in modes {
         out.push_str(&format!("{:>6} |", req.to_string()));
         for cur in modes {
-            out.push_str(&format!("{:>6}", if compatible(*req, *cur) { "✓" } else { "No" }));
+            out.push_str(&format!(
+                "{:>6}",
+                if compatible(*req, *cur) { "✓" } else { "No" }
+            ));
         }
         out.push('\n');
     }
@@ -244,11 +247,11 @@ mod tests {
         let classic = [IS, IX, S, SIX, X];
         let expected = [
             // IS     IX     S      SIX    X
-            [true, true, true, true, false],   // IS
-            [true, true, false, false, false], // IX
-            [true, false, true, false, false], // S
-            [true, false, false, false, false],// SIX
-            [false, false, false, false, false],// X
+            [true, true, true, true, false],     // IS
+            [true, true, false, false, false],   // IX
+            [true, false, true, false, false],   // S
+            [true, false, false, false, false],  // SIX
+            [false, false, false, false, false], // X
         ];
         for (i, &a) in classic.iter().enumerate() {
             for (j, &b) in classic.iter().enumerate() {
@@ -281,7 +284,10 @@ mod tests {
     fn several_readers_one_writer_on_shared_component_class() {
         assert!(compatible(ISOS, ISOS), "several readers");
         assert!(!compatible(IXOS, IXOS), "one writer");
-        assert!(!compatible(ISOS, IXOS), "the writer excludes shared-path readers");
+        assert!(
+            !compatible(ISOS, IXOS),
+            "the writer excludes shared-path readers"
+        );
     }
 
     #[test]

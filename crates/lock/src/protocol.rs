@@ -21,8 +21,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use corion_core::{ClassId, Database, Oid};
 
 use crate::error::LockResult;
-use crate::manager::{Lockable, TxnId};
 use crate::manager::LockManager;
+use crate::manager::{Lockable, TxnId};
 use crate::modes::LockMode;
 
 /// How a transaction intends to touch a composite object (or the whole
@@ -129,12 +129,15 @@ pub fn composite_class_hierarchy(db: &Database, root_class: ClassId) -> Vec<(Cla
         let Ok(class) = db.class(c) else { continue };
         for attr in class.attrs.clone() {
             let Some(spec) = attr.composite else { continue };
-            let Some(domain) = attr.domain.referenced_class() else { continue };
+            let Some(domain) = attr.domain.referenced_class() else {
+                continue;
+            };
             let mut targets = vec![domain];
             // Instances of subclasses of the domain can be components too.
-            targets.extend(
-                corion_core::schema::lattice::descendants(db.catalog(), domain),
-            );
+            targets.extend(corion_core::schema::lattice::descendants(
+                db.catalog(),
+                domain,
+            ));
             for t in targets {
                 let entry = shared_tag.entry(t).or_insert_with(|| {
                     order.push(t);
@@ -152,11 +155,7 @@ pub fn composite_class_hierarchy(db: &Database, root_class: ClassId) -> Vec<(Cla
 
 /// Computes the §7 lock set for accessing the composite object rooted at
 /// `root` with the given intent.
-pub fn composite_lockset(
-    db: &Database,
-    root: Oid,
-    intent: LockIntent,
-) -> CompositeLockSet {
+pub fn composite_lockset(db: &Database, root: Oid, intent: LockIntent) -> CompositeLockSet {
     let mut locks = Vec::new();
     locks.push((Lockable::Class(root.class), intent.root_class_mode()));
     if let Some(mode) = intent.root_instance_mode() {
@@ -176,8 +175,11 @@ pub fn per_object_lockset(
     root: Oid,
     write: bool,
 ) -> LockResult<CompositeLockSet> {
-    let (class_mode, obj_mode) =
-        if write { (LockMode::IX, LockMode::X) } else { (LockMode::IS, LockMode::S) };
+    let (class_mode, obj_mode) = if write {
+        (LockMode::IX, LockMode::X)
+    } else {
+        (LockMode::IS, LockMode::S)
+    };
     let mut locks = vec![
         (Lockable::Class(root.class), class_mode),
         (Lockable::Instance(root), obj_mode),
@@ -193,10 +195,16 @@ pub fn per_object_lockset(
 /// The direct-access protocol for a single (non-composite-path) object:
 /// class in IS/IX, instance in S/X.
 pub fn direct_lockset(oid: Oid, write: bool) -> CompositeLockSet {
-    let (class_mode, obj_mode) =
-        if write { (LockMode::IX, LockMode::X) } else { (LockMode::IS, LockMode::S) };
+    let (class_mode, obj_mode) = if write {
+        (LockMode::IX, LockMode::X)
+    } else {
+        (LockMode::IS, LockMode::S)
+    };
     CompositeLockSet {
-        locks: vec![(Lockable::Class(oid.class), class_mode), (Lockable::Instance(oid), obj_mode)],
+        locks: vec![
+            (Lockable::Class(oid.class), class_mode),
+            (Lockable::Instance(oid), obj_mode),
+        ],
     }
 }
 
@@ -226,12 +234,18 @@ mod tests {
                     .attr_composite(
                         "body",
                         Domain::Class(body),
-                        CompositeSpec { exclusive: true, dependent: false },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: false,
+                        },
                     )
                     .attr_composite(
                         "tires",
                         Domain::SetOf(Box::new(Domain::Class(tire))),
-                        CompositeSpec { exclusive: true, dependent: false },
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: false,
+                        },
                     ),
             )
             .unwrap();
@@ -240,21 +254,33 @@ mod tests {
             .define_class(ClassBuilder::new("Doc").attr_composite(
                 "sections",
                 Domain::SetOf(Box::new(Domain::Class(section))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
-        Fx { db, vehicle, body, tire, doc, section }
+        Fx {
+            db,
+            vehicle,
+            body,
+            tire,
+            doc,
+            section,
+        }
     }
 
     #[test]
     fn hierarchy_tags_reference_nature() {
         let fx = fixture();
-        let h: HashMap<ClassId, bool> =
-            composite_class_hierarchy(&fx.db, fx.vehicle).into_iter().collect();
+        let h: HashMap<ClassId, bool> = composite_class_hierarchy(&fx.db, fx.vehicle)
+            .into_iter()
+            .collect();
         assert_eq!(h.get(&fx.body), Some(&false), "exclusive reference");
         assert_eq!(h.get(&fx.tire), Some(&false));
-        let h: HashMap<ClassId, bool> =
-            composite_class_hierarchy(&fx.db, fx.doc).into_iter().collect();
+        let h: HashMap<ClassId, bool> = composite_class_hierarchy(&fx.db, fx.doc)
+            .into_iter()
+            .collect();
         assert_eq!(h.get(&fx.section), Some(&true), "shared reference");
     }
 
@@ -289,11 +315,17 @@ mod tests {
         let mut fx = fixture();
         let d = fx.db.make(fx.doc, vec![], vec![]).unwrap();
         let read = composite_lockset(&fx.db, d, LockIntent::Read);
-        assert!(read.locks.contains(&(Lockable::Class(fx.section), LockMode::ISOS)));
+        assert!(read
+            .locks
+            .contains(&(Lockable::Class(fx.section), LockMode::ISOS)));
         let write = composite_lockset(&fx.db, d, LockIntent::Write);
-        assert!(write.locks.contains(&(Lockable::Class(fx.section), LockMode::IXOS)));
+        assert!(write
+            .locks
+            .contains(&(Lockable::Class(fx.section), LockMode::IXOS)));
         let rws = composite_lockset(&fx.db, d, LockIntent::ReadAllWriteSome);
-        assert!(rws.locks.contains(&(Lockable::Class(fx.section), LockMode::SIXOS)));
+        assert!(rws
+            .locks
+            .contains(&(Lockable::Class(fx.section), LockMode::SIXOS)));
     }
 
     #[test]
@@ -305,11 +337,17 @@ mod tests {
         let v2 = fx.db.make(fx.vehicle, vec![], vec![]).unwrap();
         let lm = LockManager::new();
         let (t1, t2) = (lm.begin(), lm.begin());
-        composite_lockset(&fx.db, v1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
-        composite_lockset(&fx.db, v2, LockIntent::Read).try_acquire(&lm, t2).unwrap();
+        composite_lockset(&fx.db, v1, LockIntent::Write)
+            .try_acquire(&lm, t1)
+            .unwrap();
+        composite_lockset(&fx.db, v2, LockIntent::Read)
+            .try_acquire(&lm, t2)
+            .unwrap();
         // But the same vehicle conflicts at the root instance.
         let t3 = lm.begin();
-        assert!(composite_lockset(&fx.db, v1, LockIntent::Read).try_acquire(&lm, t3).is_err());
+        assert!(composite_lockset(&fx.db, v1, LockIntent::Read)
+            .try_acquire(&lm, t3)
+            .is_err());
     }
 
     #[test]
@@ -324,7 +362,9 @@ mod tests {
             .unwrap();
         let lm = LockManager::new();
         let (t1, t2) = (lm.begin(), lm.begin());
-        composite_lockset(&fx.db, v, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+        composite_lockset(&fx.db, v, LockIntent::Write)
+            .try_acquire(&lm, t1)
+            .unwrap();
         // Direct read of the body: class Body IS + instance S. The IS on
         // Body conflicts with t1's IXO.
         assert!(direct_lockset(b, false).try_acquire(&lm, t2).is_err());
@@ -337,7 +377,9 @@ mod tests {
         let d2 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
         let lm = LockManager::new();
         let (t1, t2) = (lm.begin(), lm.begin());
-        composite_lockset(&fx.db, d1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+        composite_lockset(&fx.db, d1, LockIntent::Write)
+            .try_acquire(&lm, t1)
+            .unwrap();
         // A second writer on a *different* document still conflicts at the
         // shared Section class (IXOS vs IXOS): one writer per shared class.
         assert!(composite_lockset(&fx.db, d2, LockIntent::Write)
@@ -357,8 +399,12 @@ mod tests {
         let d2 = fx.db.make(fx.doc, vec![], vec![]).unwrap();
         let lm = LockManager::new();
         let (t1, t2) = (lm.begin(), lm.begin());
-        composite_lockset(&fx.db, d1, LockIntent::Read).try_acquire(&lm, t1).unwrap();
-        composite_lockset(&fx.db, d2, LockIntent::Read).try_acquire(&lm, t2).unwrap();
+        composite_lockset(&fx.db, d1, LockIntent::Read)
+            .try_acquire(&lm, t1)
+            .unwrap();
+        composite_lockset(&fx.db, d2, LockIntent::Read)
+            .try_acquire(&lm, t2)
+            .unwrap();
     }
 
     #[test]
@@ -382,7 +428,14 @@ mod tests {
         let composite = composite_lockset(&fx.db, v, LockIntent::Read);
         // Baseline grows with component count; composite protocol does not.
         assert!(per_obj.len() > composite.len());
-        assert_eq!(per_obj.locks.iter().filter(|(r, _)| matches!(r, Lockable::Instance(_))).count(), 4);
+        assert_eq!(
+            per_obj
+                .locks
+                .iter()
+                .filter(|(r, _)| matches!(r, Lockable::Instance(_)))
+                .count(),
+            4
+        );
     }
 
     #[test]
@@ -407,14 +460,20 @@ mod tests {
             .define_class(ClassBuilder::new("Mid").attr_composite(
                 "leaves",
                 Domain::SetOf(Box::new(Domain::Class(leaf))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let top = db
             .define_class(ClassBuilder::new("Top").attr_composite(
                 "mid",
                 Domain::Class(mid),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let h: HashMap<ClassId, bool> = composite_class_hierarchy(&db, top).into_iter().collect();

@@ -25,7 +25,7 @@ use corion_core::composite::Filter;
 use corion_core::{Database, Oid};
 
 use crate::error::LockResult;
-use crate::manager::{Lockable, LockManager, TxnId};
+use crate::manager::{LockManager, Lockable, TxnId};
 use crate::modes::{compatible, LockMode};
 
 /// Locks a directly-accessed component by locking the root(s) of every
@@ -94,7 +94,11 @@ pub fn audit_missed_conflicts(
             for &ma in modes_a {
                 for &mb in modes_b {
                     if !compatible(ma, mb) {
-                        out.push(MissedConflict { object: *object, mode_a: ma, mode_b: mb });
+                        out.push(MissedConflict {
+                            object: *object,
+                            mode_a: ma,
+                            mode_b: mb,
+                        });
                     }
                 }
             }
@@ -135,19 +139,42 @@ mod tests {
             .define_class(ClassBuilder::new("Root").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(comp))),
-                CompositeSpec { exclusive: false, dependent: false },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
             ))
             .unwrap();
         let p = db.make(comp, vec![], vec![]).unwrap();
         let o_prime = db.make(comp, vec![], vec![]).unwrap();
         let o = db.make(comp, vec![], vec![]).unwrap();
         let j = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(p), Value::Ref(o_prime)]))], vec![])
+            .make(
+                root,
+                vec![(
+                    "parts",
+                    Value::Set(vec![Value::Ref(p), Value::Ref(o_prime)]),
+                )],
+                vec![],
+            )
             .unwrap();
         let k = db
-            .make(root, vec![("parts", Value::Set(vec![Value::Ref(o_prime), Value::Ref(o)]))], vec![])
+            .make(
+                root,
+                vec![(
+                    "parts",
+                    Value::Set(vec![Value::Ref(o_prime), Value::Ref(o)]),
+                )],
+                vec![],
+            )
             .unwrap();
-        Fig5 { db, j, k, o_prime, o }
+        Fig5 {
+            db,
+            j,
+            k,
+            o_prime,
+            o,
+        }
     }
 
     #[test]
@@ -155,14 +182,19 @@ mod tests {
         let mut f = figure5();
         let lm = LockManager::new();
         let t1 = lm.begin();
-        let mut roots =
-            lock_via_roots(&mut f.db, &lm, t1, f.o_prime, LockMode::S).unwrap();
+        let mut roots = lock_via_roots(&mut f.db, &lm, t1, f.o_prime, LockMode::S).unwrap();
         roots.sort();
         let mut expected = vec![f.j, f.k];
         expected.sort();
         assert_eq!(roots, expected, "o' belongs to both j and k");
-        assert_eq!(lm.held_modes(t1, Lockable::Instance(f.j)), vec![LockMode::S]);
-        assert_eq!(lm.held_modes(t1, Lockable::Instance(f.k)), vec![LockMode::S]);
+        assert_eq!(
+            lm.held_modes(t1, Lockable::Instance(f.j)),
+            vec![LockMode::S]
+        );
+        assert_eq!(
+            lm.held_modes(t1, Lockable::Instance(f.k)),
+            vec![LockMode::S]
+        );
     }
 
     #[test]
@@ -210,20 +242,34 @@ mod tests {
             .define_class(ClassBuilder::new("Asm").attr_composite(
                 "parts",
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive: true, dependent: true },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
             ))
             .unwrap();
         let p1 = db.make(part, vec![], vec![]).unwrap();
         let p2 = db.make(part, vec![], vec![]).unwrap();
-        let a1 = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p1)]))], vec![]).unwrap();
-        let a2 = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p2)]))], vec![]).unwrap();
-        let missed = audit_missed_conflicts(
-            &mut db,
-            &[(a1, LockMode::S)],
-            &[(a2, LockMode::X)],
-        )
-        .unwrap();
-        assert!(missed.is_empty(), "disjoint exclusive composites never collide");
+        let a1 = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p1)]))],
+                vec![],
+            )
+            .unwrap();
+        let a2 = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p2)]))],
+                vec![],
+            )
+            .unwrap();
+        let missed =
+            audit_missed_conflicts(&mut db, &[(a1, LockMode::S)], &[(a2, LockMode::X)]).unwrap();
+        assert!(
+            missed.is_empty(),
+            "disjoint exclusive composites never collide"
+        );
         let _ = ClassId(0);
     }
 

@@ -22,7 +22,11 @@ impl Transaction {
     /// Begins a transaction on `manager`.
     pub fn begin(manager: Arc<LockManager>) -> Self {
         let id = manager.begin();
-        Transaction { manager, id, finished: false }
+        Transaction {
+            manager,
+            id,
+            finished: false,
+        }
     }
 
     /// The transaction's id.
@@ -106,7 +110,10 @@ mod tests {
         t1.lock(res(1), LockMode::S).unwrap();
         t1.lock(res(2), LockMode::S).unwrap();
         let t2 = Transaction::begin(lm);
-        assert!(t2.try_lock(res(1), LockMode::X).is_err(), "still held (2PL)");
+        assert!(
+            t2.try_lock(res(1), LockMode::X).is_err(),
+            "still held (2PL)"
+        );
         t1.commit();
         t2.try_lock(res(1), LockMode::X).unwrap();
     }

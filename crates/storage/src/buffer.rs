@@ -4,12 +4,29 @@
 //! pool turns co-located components into buffer hits. The pool exposes hit /
 //! miss / eviction counters that the clustering benchmark (DESIGN.md B6)
 //! reports alongside physical I/O counts.
+//!
+//! The pool is safe to share across threads: frames live behind
+//! `parking_lot::RwLock`-protected shards and all counters are atomics, so
+//! every method takes `&self`. Read fetches of resident pages run under a
+//! shard *read* lock and therefore proceed in parallel; only misses (which
+//! must mutate the frame table) and write fetches take the shard write lock.
+//! Small pools use a single shard, preserving the exact global LRU order the
+//! replacement-policy tests rely on; large pools spread frames over several
+//! shards so concurrent traversals do not serialise on one lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
 
 use crate::disk::SimDisk;
 use crate::error::{StorageError, StorageResult};
 use crate::page::Page;
+
+/// Pools at least this large trade exact global LRU for sharding.
+const SHARDING_THRESHOLD: usize = 64;
+/// Shard count used above the threshold.
+const SHARD_COUNT: usize = 8;
 
 /// Counters describing cache behaviour.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -27,23 +44,27 @@ pub struct BufferStats {
 struct Frame {
     page: Page,
     dirty: bool,
-    pins: u32,
-    /// Logical clock value of the most recent access, for LRU.
-    last_used: u64,
+    /// Logical clock value of the most recent access, for LRU. Atomic so the
+    /// hit path can bump it while holding only the shard read lock.
+    last_used: AtomicU64,
 }
 
-/// A fixed-capacity LRU buffer pool.
+/// A fixed-capacity LRU buffer pool, shareable across threads.
 ///
 /// Callers fetch pages with [`BufferPool::with_page`] /
-/// [`BufferPool::with_page_mut`], which pin the frame only for the duration
-/// of the closure; this keeps the API misuse-proof (no dangling pins) while
-/// still letting the replacement policy skip in-use frames.
+/// [`BufferPool::with_page_mut`]; the frame is protected by its shard lock
+/// for the duration of the closure, so the replacement policy can never
+/// evict a page out from under an active reader.
 pub struct BufferPool {
     disk: SimDisk,
-    frames: HashMap<u64, Frame>,
-    capacity: usize,
-    clock: u64,
-    stats: BufferStats,
+    shards: Vec<RwLock<HashMap<u64, Frame>>>,
+    /// Frame budget per shard.
+    shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
 }
 
 impl BufferPool {
@@ -53,11 +74,33 @@ impl BufferPool {
     /// Panics if `capacity` is zero.
     pub fn new(disk: SimDisk, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
-        BufferPool { disk, frames: HashMap::new(), capacity, clock: 0, stats: BufferStats::default() }
+        let shard_count = if capacity < SHARDING_THRESHOLD {
+            1
+        } else {
+            SHARD_COUNT
+        };
+        BufferPool {
+            disk,
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(shard_count),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Frame>> {
+        // Pages are allocated sequentially, so modulo spreads consecutive
+        // (clustered) pages across shards evenly.
+        &self.shards[id as usize % self.shards.len()]
     }
 
     /// Allocates a fresh page on the underlying disk.
-    pub fn allocate(&mut self) -> u64 {
+    pub fn allocate(&self) -> u64 {
         self.disk.allocate()
     }
 
@@ -67,77 +110,103 @@ impl BufferPool {
     }
 
     /// Runs `f` with read access to page `id`.
-    pub fn with_page<R>(&mut self, id: u64, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
-        self.load(id)?;
-        let frame = self.frames.get_mut(&id).expect("frame was just loaded");
-        frame.pins += 1;
-        let out = f(&frame.page);
-        let frame = self.frames.get_mut(&id).expect("frame still resident");
-        frame.pins -= 1;
-        Ok(out)
+    ///
+    /// Resident pages are served under the shard read lock, so concurrent
+    /// readers of cached pages never block each other.
+    pub fn with_page<R>(&self, id: u64, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        let shard = self.shard(id);
+        {
+            let frames = shard.read();
+            if let Some(frame) = frames.get(&id) {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                frame.last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(f(&frame.page));
+            }
+        }
+        // Miss: take the write lock, re-check (another thread may have loaded
+        // the page while we waited), then fault it in.
+        let mut frames = shard.write();
+        let frame = self.fault_in(&mut frames, id)?;
+        Ok(f(&frame.page))
     }
 
     /// Runs `f` with write access to page `id`; the frame is marked dirty.
-    pub fn with_page_mut<R>(&mut self, id: u64, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
-        self.load(id)?;
-        let frame = self.frames.get_mut(&id).expect("frame was just loaded");
-        frame.pins += 1;
+    pub fn with_page_mut<R>(&self, id: u64, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
+        let mut frames = self.shard(id).write();
+        let frame = self.fault_in(&mut frames, id)?;
         frame.dirty = true;
-        let out = f(&mut frame.page);
-        let frame = self.frames.get_mut(&id).expect("frame still resident");
-        frame.pins -= 1;
-        Ok(out)
+        Ok(f(&mut frame.page))
     }
 
-    fn load(&mut self, id: u64) -> StorageResult<()> {
-        self.clock += 1;
-        if let Some(frame) = self.frames.get_mut(&id) {
-            frame.last_used = self.clock;
-            self.stats.hits += 1;
-            return Ok(());
+    /// Ensures `id` is resident in `frames` (the locked shard map), counting
+    /// the access as a hit or miss and evicting if the shard is full.
+    fn fault_in<'a>(
+        &self,
+        frames: &'a mut HashMap<u64, Frame>,
+        id: u64,
+    ) -> StorageResult<&'a mut Frame> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if frames.contains_key(&id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if frames.len() >= self.shard_capacity {
+                self.evict_one(frames)?;
+            }
+            let page = self.disk.read(id)?;
+            frames.insert(
+                id,
+                Frame {
+                    page,
+                    dirty: false,
+                    last_used: AtomicU64::new(now),
+                },
+            );
         }
-        self.stats.misses += 1;
-        if self.frames.len() >= self.capacity {
-            self.evict_one()?;
-        }
-        let page = self.disk.read(id)?;
-        self.frames.insert(id, Frame { page, dirty: false, pins: 0, last_used: self.clock });
-        Ok(())
+        let frame = frames.get_mut(&id).expect("frame resident after fault-in");
+        frame.last_used.store(now, Ordering::Relaxed);
+        Ok(frame)
     }
 
-    fn evict_one(&mut self) -> StorageResult<()> {
-        let victim = self
-            .frames
+    fn evict_one(&self, frames: &mut HashMap<u64, Frame>) -> StorageResult<()> {
+        let victim = frames
             .iter()
-            .filter(|(_, f)| f.pins == 0)
-            .min_by_key(|(_, f)| f.last_used)
+            .min_by_key(|(_, f)| f.last_used.load(Ordering::Relaxed))
             .map(|(&id, _)| id)
             .ok_or(StorageError::PoolExhausted)?;
-        let frame = self.frames.remove(&victim).expect("victim exists");
+        let frame = frames.remove(&victim).expect("victim exists");
         if frame.dirty {
             self.disk.write(victim, &frame.page)?;
-            self.stats.writebacks += 1;
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
         }
-        self.stats.evictions += 1;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Writes every dirty frame back to disk.
-    pub fn flush_all(&mut self) -> StorageResult<()> {
-        let dirty: Vec<u64> =
-            self.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect();
-        for id in dirty {
-            let frame = self.frames.get_mut(&id).expect("frame resident");
-            self.disk.write(id, &frame.page)?;
-            frame.dirty = false;
-            self.stats.writebacks += 1;
+    pub fn flush_all(&self) -> StorageResult<()> {
+        for shard in &self.shards {
+            let mut frames = shard.write();
+            for (&id, frame) in frames.iter_mut() {
+                if frame.dirty {
+                    self.disk.write(id, &frame.page)?;
+                    frame.dirty = false;
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         Ok(())
     }
 
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
     }
 
     /// Physical I/O counters of the underlying disk.
@@ -146,26 +215,31 @@ impl BufferPool {
     }
 
     /// Arms disk-level failure injection (see [`SimDisk::fail_after`]).
-    pub fn fail_after(&mut self, ops: u64) {
+    pub fn fail_after(&self, ops: u64) {
         self.disk.fail_after(ops);
     }
 
     /// Disarms failure injection.
-    pub fn heal(&mut self) {
+    pub fn heal(&self) {
         self.disk.heal();
     }
 
     /// Clears both cache and disk counters (used between benchmark phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = BufferStats::default();
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
         self.disk.reset_stats();
     }
 
     /// Drops every clean frame and flushes dirty ones, so subsequent fetches
     /// hit the disk — used by benchmarks to measure cold-cache behaviour.
-    pub fn clear_cache(&mut self) -> StorageResult<()> {
+    pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush_all()?;
-        self.frames.clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
         Ok(())
     }
 }
@@ -180,7 +254,7 @@ mod tests {
 
     #[test]
     fn repeated_access_hits_cache() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let id = bp.allocate();
         bp.with_page(id, |_| ()).unwrap();
         bp.with_page(id, |_| ()).unwrap();
@@ -192,7 +266,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let a = bp.allocate();
         let b = bp.allocate();
         let c = bp.allocate();
@@ -209,10 +283,12 @@ mod tests {
 
     #[test]
     fn dirty_pages_survive_eviction() {
-        let mut bp = pool(1);
+        let bp = pool(1);
         let a = bp.allocate();
         let b = bp.allocate();
-        let slot = bp.with_page_mut(a, |p| p.insert(b"dirty").unwrap()).unwrap();
+        let slot = bp
+            .with_page_mut(a, |p| p.insert(b"dirty").unwrap())
+            .unwrap();
         bp.with_page(b, |_| ()).unwrap(); // evicts a, forcing writeback
         assert_eq!(bp.stats().writebacks, 1);
         let data = bp.with_page(a, |p| p.read(slot).unwrap().to_vec()).unwrap();
@@ -221,9 +297,11 @@ mod tests {
 
     #[test]
     fn flush_all_persists_without_eviction() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let a = bp.allocate();
-        let slot = bp.with_page_mut(a, |p| p.insert(b"flushed").unwrap()).unwrap();
+        let slot = bp
+            .with_page_mut(a, |p| p.insert(b"flushed").unwrap())
+            .unwrap();
         bp.flush_all().unwrap();
         bp.clear_cache().unwrap();
         let data = bp.with_page(a, |p| p.read(slot).unwrap().to_vec()).unwrap();
@@ -232,7 +310,7 @@ mod tests {
 
     #[test]
     fn clear_cache_makes_next_access_cold() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let a = bp.allocate();
         bp.with_page(a, |_| ()).unwrap();
         bp.clear_cache().unwrap();
@@ -246,5 +324,53 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn large_pools_shard_without_losing_pages() {
+        let bp = pool(256);
+        let ids: Vec<u64> = (0..200).map(|_| bp.allocate()).collect();
+        for &id in &ids {
+            bp.with_page_mut(id, |p| p.insert(&id.to_le_bytes()).unwrap())
+                .unwrap();
+        }
+        for &id in &ids {
+            let ok = bp
+                .with_page(id, |p| p.read(0).unwrap() == id.to_le_bytes())
+                .unwrap();
+            assert!(ok, "page {id} lost its contents");
+        }
+        assert!(
+            bp.shards.len() > 1,
+            "expected a sharded pool at capacity 256"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_on_shared_pool() {
+        let bp = pool(128);
+        let ids: Vec<u64> = (0..64).map(|_| bp.allocate()).collect();
+        for &id in &ids {
+            bp.with_page_mut(id, |p| p.insert(&id.to_le_bytes()).unwrap())
+                .unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ids = &ids;
+                let bp = &bp;
+                s.spawn(move || {
+                    for (i, &id) in ids.iter().enumerate() {
+                        if i % 4 == t {
+                            let ok = bp
+                                .with_page(id, |p| p.read(0).unwrap() == id.to_le_bytes())
+                                .unwrap();
+                            assert!(ok);
+                        }
+                    }
+                });
+            }
+        });
+        let s = bp.stats();
+        assert_eq!(s.hits + s.misses, 64 * 2);
     }
 }

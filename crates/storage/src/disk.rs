@@ -6,6 +6,14 @@
 //! pages in memory and counts every physical read and write lets the
 //! benchmark harness report those counts deterministically, replacing the
 //! authors' Symbolics-era hardware (substitution documented in DESIGN.md §2).
+//!
+//! Every method takes `&self`: the page array sits behind an `RwLock` and
+//! the counters are atomics, so the buffer pool above can service concurrent
+//! readers without exclusive access to the disk.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PAGE_SIZE};
@@ -23,11 +31,13 @@ pub struct DiskStats {
 
 /// An in-memory array of pages with I/O accounting.
 pub struct SimDisk {
-    pages: Vec<Box<[u8; PAGE_SIZE]>>,
-    stats: DiskStats,
+    pages: RwLock<Vec<Box<[u8; PAGE_SIZE]>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
     /// Failure injection: `Some(n)` makes the n-th subsequent I/O (and every
     /// one after it) fail, for driving error-path tests.
-    fail_after: Option<u64>,
+    fail_after: Mutex<Option<u64>>,
 }
 
 impl Default for SimDisk {
@@ -39,37 +49,44 @@ impl Default for SimDisk {
 impl SimDisk {
     /// Creates an empty disk.
     pub fn new() -> Self {
-        SimDisk { pages: Vec::new(), stats: DiskStats::default(), fail_after: None }
+        SimDisk {
+            pages: RwLock::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+            fail_after: Mutex::new(None),
+        }
     }
 
     /// Allocates a fresh zeroed page and returns its id.
-    pub fn allocate(&mut self) -> u64 {
-        let id = self.pages.len() as u64;
+    pub fn allocate(&self) -> u64 {
+        let mut pages = self.pages.write();
+        let id = pages.len() as u64;
         let page = Page::new();
-        self.pages.push(Box::new(*page.as_bytes()));
-        self.stats.allocations += 1;
+        pages.push(Box::new(*page.as_bytes()));
+        self.allocations.fetch_add(1, Ordering::Relaxed);
         id
     }
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u64 {
-        self.pages.len() as u64
+        self.pages.read().len() as u64
     }
 
     /// Arms failure injection: after `ops` more successful I/Os, every
     /// read and write fails with [`StorageError::InjectedFault`] until
     /// [`SimDisk::heal`] is called.
-    pub fn fail_after(&mut self, ops: u64) {
-        self.fail_after = Some(ops);
+    pub fn fail_after(&self, ops: u64) {
+        *self.fail_after.lock() = Some(ops);
     }
 
     /// Disarms failure injection.
-    pub fn heal(&mut self) {
-        self.fail_after = None;
+    pub fn heal(&self) {
+        *self.fail_after.lock() = None;
     }
 
-    fn tick(&mut self, op: &'static str) -> StorageResult<()> {
-        if let Some(left) = self.fail_after.as_mut() {
+    fn tick(&self, op: &'static str) -> StorageResult<()> {
+        if let Some(left) = self.fail_after.lock().as_mut() {
             if *left == 0 {
                 return Err(StorageError::InjectedFault { op });
             }
@@ -79,37 +96,42 @@ impl SimDisk {
     }
 
     /// Reads page `id` (counted).
-    pub fn read(&mut self, id: u64) -> StorageResult<Page> {
+    pub fn read(&self, id: u64) -> StorageResult<Page> {
         self.tick("read")?;
-        let raw = self
-            .pages
+        let pages = self.pages.read();
+        let raw = pages
             .get(id as usize)
             .ok_or(StorageError::InvalidPage { page: id })?;
-        self.stats.reads += 1;
+        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(Page::from_bytes(raw))
     }
 
     /// Writes page `id` (counted).
-    pub fn write(&mut self, id: u64, page: &Page) -> StorageResult<()> {
+    pub fn write(&self, id: u64, page: &Page) -> StorageResult<()> {
         self.tick("write")?;
-        let slot = self
-            .pages
+        let mut pages = self.pages.write();
+        let slot = pages
             .get_mut(id as usize)
             .ok_or(StorageError::InvalidPage { page: id })?;
         **slot = *page.as_bytes();
-        self.stats.writes += 1;
+        self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Snapshot of the I/O counters.
     pub fn stats(&self) -> DiskStats {
-        self.stats
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the I/O counters (not the contents) — used between benchmark
     /// phases so setup traffic does not pollute measurements.
-    pub fn reset_stats(&mut self) {
-        self.stats = DiskStats { allocations: self.stats.allocations, ..DiskStats::default() };
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -119,7 +141,7 @@ mod tests {
 
     #[test]
     fn allocate_read_write_roundtrip() {
-        let mut d = SimDisk::new();
+        let d = SimDisk::new();
         let id = d.allocate();
         let mut p = d.read(id).unwrap();
         let slot = p.insert(b"on disk").unwrap();
@@ -130,7 +152,7 @@ mod tests {
 
     #[test]
     fn stats_count_traffic() {
-        let mut d = SimDisk::new();
+        let d = SimDisk::new();
         let id = d.allocate();
         let p = d.read(id).unwrap();
         d.write(id, &p).unwrap();
@@ -143,7 +165,7 @@ mod tests {
 
     #[test]
     fn reset_stats_clears_traffic_keeps_allocations() {
-        let mut d = SimDisk::new();
+        let d = SimDisk::new();
         let id = d.allocate();
         d.read(id).unwrap();
         d.reset_stats();
@@ -153,9 +175,28 @@ mod tests {
 
     #[test]
     fn invalid_page_is_rejected() {
-        let mut d = SimDisk::new();
-        assert!(matches!(d.read(0), Err(StorageError::InvalidPage { page: 0 })));
+        let d = SimDisk::new();
+        assert!(matches!(
+            d.read(0),
+            Err(StorageError::InvalidPage { page: 0 })
+        ));
         assert!(d.write(5, &Page::new()).is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_disk() {
+        let d = SimDisk::new();
+        let id = d.allocate();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        d.read(id).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().reads, 200);
     }
 }
 
@@ -165,13 +206,19 @@ mod fault_tests {
 
     #[test]
     fn injected_fault_fires_after_countdown() {
-        let mut d = SimDisk::new();
+        let d = SimDisk::new();
         let id = d.allocate();
         d.fail_after(2);
         d.read(id).unwrap();
         d.read(id).unwrap();
-        assert!(matches!(d.read(id), Err(StorageError::InjectedFault { .. })));
-        assert!(matches!(d.write(id, &Page::new()), Err(StorageError::InjectedFault { .. })));
+        assert!(matches!(
+            d.read(id),
+            Err(StorageError::InjectedFault { .. })
+        ));
+        assert!(matches!(
+            d.write(id, &Page::new()),
+            Err(StorageError::InjectedFault { .. })
+        ));
         d.heal();
         d.read(id).unwrap();
     }

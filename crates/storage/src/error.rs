@@ -65,7 +65,10 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::RecordTooLarge { len, max } => {
-                write!(f, "record of {len} bytes exceeds page payload of {max} bytes")
+                write!(
+                    f,
+                    "record of {len} bytes exceeds page payload of {max} bytes"
+                )
             }
             StorageError::InvalidSlot { page, slot } => {
                 write!(f, "slot {slot} on page {page} does not hold a live record")
@@ -77,8 +80,15 @@ impl fmt::Display for StorageError {
             StorageError::PoolExhausted => {
                 write!(f, "buffer pool exhausted: every frame is pinned")
             }
-            StorageError::DanglingPhysId { segment, page, slot } => {
-                write!(f, "physical id {segment}:{page}:{slot} does not resolve to a record")
+            StorageError::DanglingPhysId {
+                segment,
+                page,
+                slot,
+            } => {
+                write!(
+                    f,
+                    "physical id {segment}:{page}:{slot} does not resolve to a record"
+                )
             }
             StorageError::InjectedFault { op } => {
                 write!(f, "injected disk fault during {op}")
@@ -101,7 +111,10 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = StorageError::RecordTooLarge { len: 9000, max: 4000 };
+        let e = StorageError::RecordTooLarge {
+            len: 9000,
+            max: 4000,
+        };
         assert!(e.to_string().contains("9000"));
         let e = StorageError::InvalidSlot { page: 3, slot: 7 };
         assert!(e.to_string().contains("slot 7"));

@@ -60,7 +60,9 @@ impl Page {
 
     /// Reconstructs a page from raw bytes (used by the simulated disk).
     pub fn from_bytes(raw: &[u8; PAGE_SIZE]) -> Self {
-        Page { bytes: Box::new(*raw) }
+        Page {
+            bytes: Box::new(*raw),
+        }
     }
 
     /// Raw bytes of the page (used by the simulated disk).
@@ -90,7 +92,10 @@ impl Page {
 
     fn slot_entry(&self, slot: SlotId) -> (u16, u16) {
         let p = self.dir_pos(slot);
-        (read_u16(&self.bytes[..], p), read_u16(&self.bytes[..], p + 2))
+        (
+            read_u16(&self.bytes[..], p),
+            read_u16(&self.bytes[..], p + 2),
+        )
     }
 
     fn set_slot_entry(&mut self, slot: SlotId, offset: u16, len: u16) {
@@ -148,7 +153,10 @@ impl Page {
     /// directory without bound. Compacts the heap if fragmented.
     pub fn insert(&mut self, record: &[u8]) -> StorageResult<SlotId> {
         if record.len() > MAX_RECORD {
-            return Err(StorageError::RecordTooLarge { len: record.len(), max: MAX_RECORD });
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: MAX_RECORD,
+            });
         }
         // Reusing a tombstone does not need a new directory entry, so the
         // space check differs from the fresh-slot path.
@@ -158,12 +166,19 @@ impl Page {
         let live: usize = (0..self.slot_count())
             .map(|s| {
                 let (off, len) = self.slot_entry(s);
-                if off == TOMBSTONE { 0 } else { len as usize }
+                if off == TOMBSTONE {
+                    0
+                } else {
+                    len as usize
+                }
             })
             .sum();
         let dir = self.slot_count() as usize * SLOT_ENTRY;
         if HEADER + live + dir + extra_dir + record.len() > PAGE_SIZE {
-            return Err(StorageError::RecordTooLarge { len: record.len(), max: MAX_RECORD });
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: MAX_RECORD,
+            });
         }
         let dir_limit = self.slot_count() as usize + usize::from(needs_dir);
         if (self.heap_end() as usize + record.len()) > PAGE_SIZE - SLOT_ENTRY * dir_limit {
@@ -216,15 +231,23 @@ impl Page {
             .filter(|&s| s != slot)
             .map(|s| {
                 let (o, l) = self.slot_entry(s);
-                if o == TOMBSTONE { 0 } else { l as usize }
+                if o == TOMBSTONE {
+                    0
+                } else {
+                    l as usize
+                }
             })
             .sum();
         let dir = self.slot_count() as usize * SLOT_ENTRY;
         if HEADER + live_other + dir + record.len() > PAGE_SIZE {
-            return Err(StorageError::RecordTooLarge { len: record.len(), max: MAX_RECORD });
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: MAX_RECORD,
+            });
         }
         self.set_slot_entry(slot, TOMBSTONE, 0);
-        if (self.heap_end() as usize + record.len()) > PAGE_SIZE - SLOT_ENTRY * self.slot_count() as usize
+        if (self.heap_end() as usize + record.len())
+            > PAGE_SIZE - SLOT_ENTRY * self.slot_count() as usize
         {
             self.compact();
         }
@@ -335,14 +358,20 @@ mod tests {
         p.update(a, b"tiny").unwrap();
         assert_eq!(p.read(a).unwrap(), b"tiny");
         p.update(a, b"a considerably longer record body").unwrap();
-        assert_eq!(p.read(a).unwrap(), &b"a considerably longer record body"[..]);
+        assert_eq!(
+            p.read(a).unwrap(),
+            &b"a considerably longer record body"[..]
+        );
     }
 
     #[test]
     fn rejects_oversized_record() {
         let mut p = Page::new();
         let big = vec![0u8; PAGE_SIZE];
-        assert!(matches!(p.insert(&big), Err(StorageError::RecordTooLarge { .. })));
+        assert!(matches!(
+            p.insert(&big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
     }
 
     #[test]

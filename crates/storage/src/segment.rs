@@ -33,7 +33,11 @@ pub struct Segment {
 impl Segment {
     /// Creates an empty segment.
     pub fn new(id: SegmentId) -> Self {
-        Segment { id, pages: Vec::new(), free_hint: Vec::new() }
+        Segment {
+            id,
+            pages: Vec::new(),
+            free_hint: Vec::new(),
+        }
     }
 
     /// The segment's id.

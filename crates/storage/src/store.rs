@@ -57,7 +57,9 @@ impl Default for StoreConfig {
     fn default() -> Self {
         // Large enough that unit tests never thrash, small enough that the
         // clustering bench can observe cold-cache behaviour by shrinking it.
-        StoreConfig { buffer_capacity: 256 }
+        StoreConfig {
+            buffer_capacity: 256,
+        }
     }
 }
 
@@ -123,7 +125,9 @@ impl ObjectStore {
     }
 
     fn segment(&self, id: SegmentId) -> StorageResult<&Segment> {
-        self.segments.get(&id).ok_or(StorageError::InvalidSegment { segment: id.0 })
+        self.segments
+            .get(&id)
+            .ok_or(StorageError::InvalidSegment { segment: id.0 })
     }
 
     /// Places one raw (already tagged) record in `segment`, preferring the
@@ -135,7 +139,9 @@ impl ObjectStore {
         near: Option<PhysId>,
     ) -> StorageResult<PhysId> {
         let near_page = near.filter(|n| n.segment == segment).map(|n| n.page);
-        let candidates = self.segment(segment)?.placement_candidates(record.len(), near_page);
+        let candidates = self
+            .segment(segment)?
+            .placement_candidates(record.len(), near_page);
         for page in candidates {
             let inserted = self.pool.with_page_mut(page, |p| {
                 if p.fits(record.len()) {
@@ -150,7 +156,11 @@ impl ObjectStore {
                     .get_mut(&segment)
                     .expect("segment checked above")
                     .set_free_hint(page, free);
-                return Ok(PhysId { segment, page, slot });
+                return Ok(PhysId {
+                    segment,
+                    page,
+                    slot,
+                });
             }
             // The hint was stale; record the truth so we skip next time.
             let free = self.pool.with_page(page, |p| p.free_space())?;
@@ -165,14 +175,19 @@ impl ObjectStore {
             .get_mut(&segment)
             .ok_or(StorageError::InvalidSegment { segment: segment.0 })?
             .adopt_page(page);
-        let (slot, free) =
-            self.pool.with_page_mut(page, |p| (p.insert(record), p.free_space()))?;
+        let (slot, free) = self
+            .pool
+            .with_page_mut(page, |p| (p.insert(record), p.free_space()))?;
         let slot = slot?;
         self.segments
             .get_mut(&segment)
             .expect("segment checked above")
             .set_free_hint(page, free);
-        Ok(PhysId { segment, page, slot })
+        Ok(PhysId {
+            segment,
+            page,
+            slot,
+        })
     }
 
     /// Inserts `record` into `segment`.
@@ -212,7 +227,14 @@ impl ObjectStore {
                 }
                 None => {
                     buf.push(0);
-                    put_ptr(&mut buf, PhysId { segment, page: 0, slot: 0 });
+                    put_ptr(
+                        &mut buf,
+                        PhysId {
+                            segment,
+                            page: 0,
+                            slot: 0,
+                        },
+                    );
                 }
             }
             buf.extend_from_slice(chunk);
@@ -223,14 +245,19 @@ impl ObjectStore {
         let mut head = Vec::with_capacity(head_payload + HEAD_OVERHEAD);
         head.push(TAG_HEAD);
         codec::put_u64(&mut head, record.len() as u64);
-        put_ptr(&mut head, next.expect("oversized record has at least one chunk"));
+        put_ptr(
+            &mut head,
+            next.expect("oversized record has at least one chunk"),
+        );
         head.extend_from_slice(&record[..head_payload]);
         self.place(segment, &head, near)
     }
 
-    fn read_raw(&mut self, id: PhysId) -> StorageResult<Vec<u8>> {
+    fn read_raw(&self, id: PhysId) -> StorageResult<Vec<u8>> {
         self.segment(id.segment)?;
-        let out = self.pool.with_page(id.page, |p| p.read(id.slot).map(|b| b.to_vec()))?;
+        let out = self
+            .pool
+            .with_page(id.page, |p| p.read(id.slot).map(|b| b.to_vec()))?;
         out.map_err(|_| StorageError::DanglingPhysId {
             segment: id.segment.0,
             page: id.page,
@@ -239,7 +266,10 @@ impl ObjectStore {
     }
 
     /// Reads the record at `id`, reassembling overflow chains.
-    pub fn read(&mut self, id: PhysId) -> StorageResult<Vec<u8>> {
+    ///
+    /// Takes `&self`: reads only touch the (internally synchronised) buffer
+    /// pool, so any number of threads may read concurrently.
+    pub fn read(&self, id: PhysId) -> StorageResult<Vec<u8>> {
         let raw = self.read_raw(id)?;
         let mut r = Reader::new(&raw);
         match r.u8("record tag")? {
@@ -253,7 +283,9 @@ impl ObjectStore {
                     let chunk = self.read_raw(ptr)?;
                     let mut cr = Reader::new(&chunk);
                     if cr.u8("chunk tag")? != TAG_CHUNK {
-                        return Err(StorageError::Corrupt { context: "overflow chain" });
+                        return Err(StorageError::Corrupt {
+                            context: "overflow chain",
+                        });
                     }
                     let has_next = cr.u8("chunk has_next")? != 0;
                     let np = get_ptr(&mut cr)?;
@@ -261,7 +293,9 @@ impl ObjectStore {
                     out.extend_from_slice(&chunk[CHUNK_OVERHEAD..]);
                 }
                 if out.len() != total {
-                    return Err(StorageError::Corrupt { context: "overflow chain length" });
+                    return Err(StorageError::Corrupt {
+                        context: "overflow chain length",
+                    });
                 }
                 Ok(out)
             }
@@ -294,8 +328,9 @@ impl ObjectStore {
 
     fn delete_slot(&mut self, id: PhysId) -> StorageResult<()> {
         self.segment(id.segment)?;
-        let (res, free) =
-            self.pool.with_page_mut(id.page, |p| (p.delete(id.slot), p.free_space()))?;
+        let (res, free) = self
+            .pool
+            .with_page_mut(id.page, |p| (p.delete(id.slot), p.free_space()))?;
         res.map_err(|_| StorageError::DanglingPhysId {
             segment: id.segment.0,
             page: id.page,
@@ -314,7 +349,9 @@ impl ObjectStore {
     /// record stays clustered with its old neighbourhood.
     pub fn update(&mut self, id: PhysId, record: &[u8]) -> StorageResult<PhysId> {
         let raw = self.read_raw(id)?;
-        let tag = *raw.first().ok_or(StorageError::Corrupt { context: "empty record" })?;
+        let tag = *raw.first().ok_or(StorageError::Corrupt {
+            context: "empty record",
+        })?;
         if tag == TAG_CHUNK {
             return Err(StorageError::DanglingPhysId {
                 segment: id.segment.0,
@@ -326,11 +363,13 @@ impl ObjectStore {
             let mut tagged = Vec::with_capacity(record.len() + 1);
             tagged.push(TAG_INLINE);
             tagged.extend_from_slice(record);
-            let in_place = self.pool.with_page_mut(id.page, |p| match p.update(id.slot, &tagged) {
-                Ok(()) => Ok(true),
-                Err(StorageError::RecordTooLarge { .. }) => Ok(false),
-                Err(e) => Err(e),
-            })??;
+            let in_place =
+                self.pool
+                    .with_page_mut(id.page, |p| match p.update(id.slot, &tagged) {
+                        Ok(()) => Ok(true),
+                        Err(StorageError::RecordTooLarge { .. }) => Ok(false),
+                        Err(e) => Err(e),
+                    })??;
             if in_place {
                 let free = self.pool.with_page(id.page, |p| p.free_space())?;
                 if let Some(seg) = self.segments.get_mut(&id.segment) {
@@ -369,7 +408,7 @@ impl ObjectStore {
 
     /// Scans every live record of a segment, in page order, reassembling
     /// chained records and skipping continuation chunks.
-    pub fn scan(&mut self, segment: SegmentId) -> StorageResult<Vec<(PhysId, Vec<u8>)>> {
+    pub fn scan(&self, segment: SegmentId) -> StorageResult<Vec<(PhysId, Vec<u8>)>> {
         let pages: Vec<u64> = self.segment(segment)?.pages().to_vec();
         let mut heads = Vec::new();
         for page in pages {
@@ -380,7 +419,11 @@ impl ObjectStore {
                     .collect::<Vec<_>>()
             })?;
             for slot in recs {
-                heads.push(PhysId { segment, page, slot });
+                heads.push(PhysId {
+                    segment,
+                    page,
+                    slot,
+                });
             }
         }
         let mut out = Vec::with_capacity(heads.len());
@@ -406,22 +449,22 @@ impl ObjectStore {
     }
 
     /// Arms disk-level failure injection for error-path tests.
-    pub fn fail_after(&mut self, ops: u64) {
+    pub fn fail_after(&self, ops: u64) {
         self.pool.fail_after(ops);
     }
 
     /// Disarms failure injection.
-    pub fn heal(&mut self) {
+    pub fn heal(&self) {
         self.pool.heal();
     }
 
     /// Resets all counters (not contents).
-    pub fn reset_stats(&mut self) {
+    pub fn reset_stats(&self) {
         self.pool.reset_stats();
     }
 
     /// Flushes and drops every cached page, so the next access is cold.
-    pub fn clear_cache(&mut self) -> StorageResult<()> {
+    pub fn clear_cache(&self) -> StorageResult<()> {
         self.pool.clear_cache()
     }
 }
@@ -448,7 +491,10 @@ mod tests {
         let seg = st.create_segment();
         let parent = st.insert(seg, &[1u8; 100], None).unwrap();
         let child = st.insert(seg, &[2u8; 100], Some(parent)).unwrap();
-        assert_eq!(parent.page, child.page, "clustered child shares parent's page");
+        assert_eq!(
+            parent.page, child.page,
+            "clustered child shares parent's page"
+        );
     }
 
     #[test]
@@ -504,7 +550,10 @@ mod tests {
         let seg = st.create_segment();
         let id = st.insert(seg, b"gone", None).unwrap();
         st.delete(id).unwrap();
-        assert!(matches!(st.read(id), Err(StorageError::DanglingPhysId { .. })));
+        assert!(matches!(
+            st.read(id),
+            Err(StorageError::DanglingPhysId { .. })
+        ));
         assert!(st.delete(id).is_err());
     }
 
@@ -543,8 +592,12 @@ mod tests {
     fn many_records_fill_multiple_pages() {
         let mut st = store();
         let seg = st.create_segment();
-        let ids: Vec<PhysId> =
-            (0..500).map(|i| st.insert(seg, format!("record {i}").as_bytes(), None).unwrap()).collect();
+        let ids: Vec<PhysId> = (0..500)
+            .map(|i| {
+                st.insert(seg, format!("record {i}").as_bytes(), None)
+                    .unwrap()
+            })
+            .collect();
         assert!(st.segment_pages(seg).unwrap() >= 2);
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(st.read(*id).unwrap(), format!("record {i}").as_bytes());
@@ -637,7 +690,11 @@ mod tests {
                 .with_page(page, |p| p.iter().map(|(s, _)| s).collect::<Vec<_>>())
                 .unwrap();
             for slot in slots {
-                let id = PhysId { segment: seg, page, slot };
+                let id = PhysId {
+                    segment: seg,
+                    page,
+                    slot,
+                };
                 if id != head {
                     chunk = Some(id);
                 }
@@ -661,8 +718,14 @@ mod fault_tests {
         let id = st.insert(seg, &[1u8; 100], None).unwrap();
         st.clear_cache().unwrap();
         st.fail_after(0);
-        assert!(matches!(st.read(id), Err(StorageError::InjectedFault { .. })));
-        assert!(st.insert(seg, &[2u8; 5000], None).is_err(), "chained insert propagates too");
+        assert!(matches!(
+            st.read(id),
+            Err(StorageError::InjectedFault { .. })
+        ));
+        assert!(
+            st.insert(seg, &[2u8; 5000], None).is_err(),
+            "chained insert propagates too"
+        );
         st.heal();
         assert_eq!(st.read(id).unwrap(), vec![1u8; 100]);
     }

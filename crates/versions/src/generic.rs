@@ -92,13 +92,21 @@ impl GenericInstance {
     /// The default version: the user default if set, else the most recently
     /// created version (timestamp ordering, §5.1).
     pub fn default_version(&self) -> Option<Oid> {
-        self.user_default
-            .or_else(|| self.versions.iter().max_by_key(|v| v.created_at).map(|v| v.oid))
+        self.user_default.or_else(|| {
+            self.versions
+                .iter()
+                .max_by_key(|v| v.created_at)
+                .map(|v| v.oid)
+        })
     }
 
     /// Direct descendants of `oid` in the derivation hierarchy.
     pub fn derived_from(&self, oid: Oid) -> Vec<Oid> {
-        self.versions.iter().filter(|v| v.derived_from == Some(oid)).map(|v| v.oid).collect()
+        self.versions
+            .iter()
+            .filter(|v| v.derived_from == Some(oid))
+            .map(|v| v.oid)
+            .collect()
     }
 
     /// Increments (or creates) the reverse generic ref for `parent`,
@@ -126,10 +134,9 @@ impl GenericInstance {
     /// when the count reaches zero (the Figure 3 narrative). Returns the
     /// remaining count, or `None` if no such entry existed.
     pub fn decr_ref(&mut self, parent: Oid, dependent: bool, exclusive: bool) -> Option<u32> {
-        let idx = self
-            .reverse_generic_refs
-            .iter()
-            .position(|r| r.parent == parent && r.dependent == dependent && r.exclusive == exclusive)?;
+        let idx = self.reverse_generic_refs.iter().position(|r| {
+            r.parent == parent && r.dependent == dependent && r.exclusive == exclusive
+        })?;
         let r = &mut self.reverse_generic_refs[idx];
         r.ref_count -= 1;
         let left = r.ref_count;
@@ -149,7 +156,9 @@ impl GenericInstance {
     /// True if an exclusive reverse generic ref exists from a parent other
     /// than `from` (the CV-2X check support).
     pub fn has_exclusive_ref_from_other(&self, from: Oid) -> bool {
-        self.reverse_generic_refs.iter().any(|r| r.exclusive && r.parent != from)
+        self.reverse_generic_refs
+            .iter()
+            .any(|r| r.exclusive && r.parent != from)
     }
 }
 
@@ -180,7 +189,11 @@ mod tests {
         g.user_default = Some(oid(1));
         assert_eq!(g.default_version(), Some(oid(1)), "user default wins");
         g.remove_version(oid(1));
-        assert_eq!(g.default_version(), Some(oid(2)), "user default cleared on removal");
+        assert_eq!(
+            g.default_version(),
+            Some(oid(2)),
+            "user default cleared on removal"
+        );
     }
 
     #[test]
@@ -211,7 +224,10 @@ mod tests {
     fn exclusive_ref_from_other_detection() {
         let mut g = GenericInstance::new();
         g.incr_ref(oid(1), false, true);
-        assert!(!g.has_exclusive_ref_from_other(oid(1)), "same hierarchy is fine");
+        assert!(
+            !g.has_exclusive_ref_from_other(oid(1)),
+            "same hierarchy is fine"
+        );
         assert!(g.has_exclusive_ref_from_other(oid(2)));
     }
 }

@@ -116,17 +116,25 @@ impl VersionManager {
 
     /// The generic instance owning a version instance.
     pub fn generic_of(&self, version: Oid) -> VersionResult<Oid> {
-        self.version_to_generic.get(&version).copied().ok_or(VersionError::NotAVersion(version))
+        self.version_to_generic
+            .get(&version)
+            .copied()
+            .ok_or(VersionError::NotAVersion(version))
     }
 
     /// The derivation hierarchy of a generic instance.
     pub fn generic(&self, generic: Oid) -> VersionResult<&GenericInstance> {
-        self.generics.get(&generic).ok_or(VersionError::NotAGeneric(generic))
+        self.generics
+            .get(&generic)
+            .ok_or(VersionError::NotAGeneric(generic))
     }
 
     /// Sets the user default version (§5.1).
     pub fn set_default_version(&mut self, generic: Oid, version: Oid) -> VersionResult<()> {
-        let g = self.generics.get_mut(&generic).ok_or(VersionError::NotAGeneric(generic))?;
+        let g = self
+            .generics
+            .get_mut(&generic)
+            .ok_or(VersionError::NotAGeneric(generic))?;
         if !g.has_version(version) {
             return Err(VersionError::NotAVersion(version));
         }
@@ -207,8 +215,10 @@ impl VersionManager {
             }
         }
 
-        let value_refs: Vec<(&str, Value)> =
-            static_values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let value_refs: Vec<(&str, Value)> = static_values
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         let new_version = self.db.make(from.class, value_refs, vec![])?;
         self.clock += 1;
         self.generics
@@ -221,9 +231,18 @@ impl VersionManager {
         // Wire dynamic references (manager-owned semantics).
         for (attr, value) in dynamic_values {
             let def = class.attr(&attr).expect("attr from class").clone();
-            let spec = def.composite.expect("dynamic values only on composite attrs");
+            let spec = def
+                .composite
+                .expect("dynamic values only on composite attrs");
             for target_generic in value.refs() {
-                self.bind_dynamic_inner(new_version, &attr, target_generic, spec.dependent, spec.exclusive, def.domain.is_set())?;
+                self.bind_dynamic_inner(
+                    new_version,
+                    &attr,
+                    target_generic,
+                    spec.dependent,
+                    spec.exclusive,
+                    def.domain.is_set(),
+                )?;
             }
         }
         Ok(new_version)
@@ -246,10 +265,16 @@ impl VersionManager {
             .db
             .class(parent.class)?
             .attr(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: parent.class,
+                attr: attr.into(),
+            })?
             .clone();
         let spec = def.composite.ok_or_else(|| {
-            VersionError::Db(DbError::NotComposite { class: parent.class, attr: attr.into() })
+            VersionError::Db(DbError::NotComposite {
+                class: parent.class,
+                attr: attr.into(),
+            })
         })?;
         if spec.exclusive {
             if let Ok(target_generic) = self.generic_of(target) {
@@ -286,12 +311,25 @@ impl VersionManager {
             .db
             .class(parent.class)?
             .attr(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute { class: parent.class, attr: attr.into() })?
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: parent.class,
+                attr: attr.into(),
+            })?
             .clone();
         let spec = def.composite.ok_or_else(|| {
-            VersionError::Db(DbError::NotComposite { class: parent.class, attr: attr.into() })
+            VersionError::Db(DbError::NotComposite {
+                class: parent.class,
+                attr: attr.into(),
+            })
         })?;
-        self.bind_dynamic_inner(parent, attr, target_generic, spec.dependent, spec.exclusive, def.domain.is_set())
+        self.bind_dynamic_inner(
+            parent,
+            attr,
+            target_generic,
+            spec.dependent,
+            spec.exclusive,
+            def.domain.is_set(),
+        )
     }
 
     fn bind_dynamic_inner(
@@ -383,11 +421,12 @@ impl VersionManager {
         let mut all_deleted = Vec::new();
         let mut queue = vec![generic];
         while let Some(g_oid) = queue.pop() {
-            let Some(g) = self.generics.remove(&g_oid) else { continue };
+            let Some(g) = self.generics.remove(&g_oid) else {
+                continue;
+            };
             // Exclusive references from this hierarchy to other generics
             // cascade (CV-4X).
-            let members: Vec<Oid> =
-                g.versions.iter().map(|v| v.oid).chain([g_oid]).collect();
+            let members: Vec<Oid> = g.versions.iter().map(|v| v.oid).chain([g_oid]).collect();
             for e in self.edges.clone() {
                 if e.exclusive && members.contains(&e.parent) {
                     if let Some(&target_generic) = self.version_to_generic.get(&e.target) {
@@ -456,7 +495,10 @@ impl VersionManager {
     /// composite reference to the generic instance g' of O' is stored";
     /// otherwise to O' itself.
     fn parent_key(&self, parent: Oid) -> Oid {
-        self.version_to_generic.get(&parent).copied().unwrap_or(parent)
+        self.version_to_generic
+            .get(&parent)
+            .copied()
+            .unwrap_or(parent)
     }
 
     /// The generic-level key of a reference target: the generic owning a
@@ -471,7 +513,12 @@ impl VersionManager {
     }
 
     fn note_edge(&mut self, parent: Oid, target: Oid, dependent: bool, exclusive: bool) {
-        self.edges.push(Edge { parent, target, dependent, exclusive });
+        self.edges.push(Edge {
+            parent,
+            target,
+            dependent,
+            exclusive,
+        });
         if let Some(tg) = self.target_generic(target) {
             let key = self.parent_key(parent);
             if let Some(g) = self.generics.get_mut(&tg) {
@@ -481,7 +528,10 @@ impl VersionManager {
     }
 
     fn drop_edge(&mut self, parent: Oid, target: Oid) {
-        let Some(idx) = self.edges.iter().position(|e| e.parent == parent && e.target == target)
+        let Some(idx) = self
+            .edges
+            .iter()
+            .position(|e| e.parent == parent && e.target == target)
         else {
             return;
         };
@@ -536,13 +586,18 @@ mod tests {
     /// domain D, parameterised by spec.
     fn setup(exclusive: bool, dependent: bool) -> (VersionManager, ClassId, ClassId) {
         let mut db = Database::new();
-        let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+        let d = db
+            .define_class(ClassBuilder::new("D").versionable())
+            .unwrap();
         let c = db
-            .define_class(
-                ClassBuilder::new("C")
-                    .versionable()
-                    .attr_composite("part", Domain::Class(d), CompositeSpec { exclusive, dependent }),
-            )
+            .define_class(ClassBuilder::new("C").versionable().attr_composite(
+                "part",
+                Domain::Class(d),
+                CompositeSpec {
+                    exclusive,
+                    dependent,
+                },
+            ))
             .unwrap();
         (VersionManager::new(db), c, d)
     }
@@ -552,7 +607,10 @@ mod tests {
         let mut db = Database::new();
         let plain = db.define_class(ClassBuilder::new("Plain")).unwrap();
         let mut vm = VersionManager::new(db);
-        assert!(matches!(vm.create(plain, vec![]), Err(VersionError::NotVersionable(_))));
+        assert!(matches!(
+            vm.create(plain, vec![]),
+            Err(VersionError::NotVersionable(_))
+        ));
     }
 
     #[test]
@@ -577,7 +635,11 @@ mod tests {
         vm.set_default_version(g, v1).unwrap();
         assert_eq!(vm.default_version(g).unwrap(), v1);
         assert_eq!(vm.resolve(g).unwrap(), v1);
-        assert_eq!(vm.resolve(v2).unwrap(), v2, "non-generics resolve to themselves");
+        assert_eq!(
+            vm.resolve(v2).unwrap(),
+            v2,
+            "non-generics resolve to themselves"
+        );
     }
 
     #[test]
@@ -628,7 +690,11 @@ mod tests {
         vm.bind_dynamic(c_i, "part", g_d).unwrap();
         let c_j = vm.derive(c_i).unwrap();
         assert_eq!(vm.db_mut().get_attr(c_j, "part").unwrap(), Value::Ref(g_d));
-        assert_eq!(vm.generic_ref_count(g_d, g_c), Some(2), "two version-level refs");
+        assert_eq!(
+            vm.generic_ref_count(g_d, g_c),
+            Some(2),
+            "two version-level refs"
+        );
     }
 
     #[test]
@@ -653,7 +719,10 @@ mod tests {
         let (_g_c, c1) = vm.create(c, vec![]).unwrap();
         let (_g_c2, c1b) = vm.create(c, vec![]).unwrap();
         vm.bind_static(c1, "part", d1).unwrap();
-        assert!(vm.bind_static(c1b, "part", d1).is_err(), "second exclusive ref rejected");
+        assert!(
+            vm.bind_static(c1b, "part", d1).is_err(),
+            "second exclusive ref rejected"
+        );
     }
 
     #[test]
@@ -747,7 +816,10 @@ mod tests {
         vm.bind_static(c1, "part", d1).unwrap();
         vm.delete_generic(g_c).unwrap();
         assert!(!vm.is_generic(g_c));
-        assert!(!vm.is_generic(g_d), "exclusively referenced generic cascades");
+        assert!(
+            !vm.is_generic(g_d),
+            "exclusively referenced generic cascades"
+        );
         assert!(!vm.db().exists(d1));
     }
 
@@ -773,7 +845,13 @@ mod tests {
         let (_g_c, c1) = vm.create(c, vec![]).unwrap();
         vm.bind_static(c1, "part", d1).unwrap();
         vm.delete_version(c1).unwrap();
-        assert!(!vm.db().exists(d1), "dependent statically-bound version deleted");
-        assert!(!vm.is_generic(g_d), "its generic followed (last version died)");
+        assert!(
+            !vm.db().exists(d1),
+            "dependent statically-bound version deleted"
+        );
+        assert!(
+            !vm.is_generic(g_d),
+            "its generic followed (last version died)"
+        );
     }
 }

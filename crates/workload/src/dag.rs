@@ -92,7 +92,10 @@ impl GeneratedDag {
                 AttributeDef::composite(
                     name,
                     Domain::SetOf(Box::new(Domain::Class(class))),
-                    CompositeSpec { exclusive, dependent },
+                    CompositeSpec {
+                        exclusive,
+                        dependent,
+                    },
                 ),
             )?;
         }
@@ -133,7 +136,12 @@ impl GeneratedDag {
             }
             levels.push(level);
         }
-        Ok(GeneratedDag { class, roots, levels, edges })
+        Ok(GeneratedDag {
+            class,
+            roots,
+            levels,
+            edges,
+        })
     }
 }
 
@@ -159,7 +167,10 @@ mod tests {
         let mut db = Database::new();
         let dag = GeneratedDag::generate(
             &mut db,
-            DagParams { share_fraction: 0.0, ..DagParams::default() },
+            DagParams {
+                share_fraction: 0.0,
+                ..DagParams::default()
+            },
         )
         .unwrap();
         for o in dag.all() {
@@ -174,7 +185,11 @@ mod tests {
         let mut db = Database::new();
         let dag = GeneratedDag::generate(
             &mut db,
-            DagParams { share_fraction: 0.9, seed: 3, ..DagParams::default() },
+            DagParams {
+                share_fraction: 0.9,
+                seed: 3,
+                ..DagParams::default()
+            },
         )
         .unwrap();
         let multi = dag
@@ -192,12 +207,18 @@ mod tests {
             let mut db = Database::new();
             let dag = GeneratedDag::generate(
                 &mut db,
-                DagParams { seed, share_fraction: 0.5, ..DagParams::default() },
+                DagParams {
+                    seed,
+                    share_fraction: 0.5,
+                    ..DagParams::default()
+                },
             )
             .unwrap();
             for o in dag.all() {
                 let obj = db.get(o).unwrap();
-                corion_core::composite::ParentSets::of(&obj).check(o).unwrap();
+                corion_core::composite::ParentSets::of(&obj)
+                    .check(o)
+                    .unwrap();
             }
         }
     }
@@ -207,7 +228,13 @@ mod tests {
         let mut db = Database::new();
         let dag = GeneratedDag::generate(
             &mut db,
-            DagParams { roots: 1, depth: 2, fanout: 2, share_fraction: 0.0, ..DagParams::default() },
+            DagParams {
+                roots: 1,
+                depth: 2,
+                fanout: 2,
+                share_fraction: 0.0,
+                ..DagParams::default()
+            },
         )
         .unwrap();
         let comps = db.components_of(dag.roots[0], &Filter::all()).unwrap();

@@ -33,7 +33,10 @@ impl DocumentSchema {
         let section = db.define_class(ClassBuilder::new("Section").attr_composite(
             "Content",
             Domain::SetOf(Box::new(Domain::Class(paragraph))),
-            CompositeSpec { exclusive: false, dependent: true },
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
         ))?;
         let document = db.define_class(
             ClassBuilder::new("Document")
@@ -42,20 +45,34 @@ impl DocumentSchema {
                 .attr_composite(
                     "Sections",
                     Domain::SetOf(Box::new(Domain::Class(section))),
-                    CompositeSpec { exclusive: false, dependent: true },
+                    CompositeSpec {
+                        exclusive: false,
+                        dependent: true,
+                    },
                 )
                 .attr_composite(
                     "Figures",
                     Domain::SetOf(Box::new(Domain::Class(image))),
-                    CompositeSpec { exclusive: false, dependent: false },
+                    CompositeSpec {
+                        exclusive: false,
+                        dependent: false,
+                    },
                 )
                 .attr_composite(
                     "Annotations",
                     Domain::SetOf(Box::new(Domain::Class(paragraph))),
-                    CompositeSpec { exclusive: true, dependent: true },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
                 ),
         )?;
-        Ok(DocumentSchema { paragraph, image, section, document })
+        Ok(DocumentSchema {
+            paragraph,
+            image,
+            section,
+            document,
+        })
     }
 }
 
@@ -142,7 +159,10 @@ impl Corpus {
                 schema.document,
                 vec![
                     ("Title", Value::Str(format!("doc-{d}"))),
-                    ("Authors", Value::Set(vec![Value::Str("kim".into()), Value::Str("bertino".into())])),
+                    (
+                        "Authors",
+                        Value::Set(vec![Value::Str("kim".into()), Value::Str("bertino".into())]),
+                    ),
                     ("Sections", Value::Set(doc_sections)),
                     ("Figures", Value::Set(figures)),
                     ("Annotations", Value::Set(vec![Value::Ref(annotation)])),
@@ -151,18 +171,23 @@ impl Corpus {
             )?;
             documents.push(doc);
         }
-        Ok(Corpus { schema, documents, sections, shared_section_refs })
+        Ok(Corpus {
+            schema,
+            documents,
+            sections,
+            shared_section_refs,
+        })
     }
 
-    fn fresh_section(
-        db: &mut Database,
-        schema: &DocumentSchema,
-        paras: usize,
-    ) -> DbResult<Oid> {
+    fn fresh_section(db: &mut Database, schema: &DocumentSchema, paras: usize) -> DbResult<Oid> {
         let content: Vec<Value> = (0..paras)
             .map(|_| db.make(schema.paragraph, vec![], vec![]).map(Value::Ref))
             .collect::<DbResult<_>>()?;
-        db.make(schema.section, vec![("Content", Value::Set(content))], vec![])
+        db.make(
+            schema.section,
+            vec![("Content", Value::Set(content))],
+            vec![],
+        )
     }
 }
 
@@ -175,7 +200,10 @@ mod tests {
     fn corpus_is_deterministic_per_seed() {
         let mut db1 = Database::new();
         let mut db2 = Database::new();
-        let p = CorpusParams { seed: 7, ..CorpusParams::default() };
+        let p = CorpusParams {
+            seed: 7,
+            ..CorpusParams::default()
+        };
         let c1 = Corpus::generate(&mut db1, p).unwrap();
         let c2 = Corpus::generate(&mut db2, p).unwrap();
         assert_eq!(c1.shared_section_refs, c2.shared_section_refs);
@@ -187,7 +215,11 @@ mod tests {
         let mut db = Database::new();
         let c = Corpus::generate(
             &mut db,
-            CorpusParams { share_fraction: 0.0, documents: 4, ..CorpusParams::default() },
+            CorpusParams {
+                share_fraction: 0.0,
+                documents: 4,
+                ..CorpusParams::default()
+            },
         )
         .unwrap();
         assert_eq!(c.shared_section_refs, 0);
@@ -199,7 +231,11 @@ mod tests {
         let mut db = Database::new();
         let c = Corpus::generate(
             &mut db,
-            CorpusParams { share_fraction: 0.8, documents: 12, ..CorpusParams::default() },
+            CorpusParams {
+                share_fraction: 0.8,
+                documents: 12,
+                ..CorpusParams::default()
+            },
         )
         .unwrap();
         assert!(c.shared_section_refs > 0);
@@ -208,7 +244,10 @@ mod tests {
             .iter()
             .filter(|&&s| db.get(s).unwrap().ds().len() > 1)
             .count();
-        assert!(multi_parent > 0, "some sections belong to several documents");
+        assert!(
+            multi_parent > 0,
+            "some sections belong to several documents"
+        );
     }
 
     #[test]
@@ -216,7 +255,11 @@ mod tests {
         let mut db = Database::new();
         let c = Corpus::generate(
             &mut db,
-            CorpusParams { share_fraction: 0.9, documents: 8, ..CorpusParams::default() },
+            CorpusParams {
+                share_fraction: 0.9,
+                documents: 8,
+                ..CorpusParams::default()
+            },
         )
         .unwrap();
         // Find a section shared by >= 2 documents.
@@ -239,8 +282,14 @@ mod tests {
     #[test]
     fn annotations_are_exclusive_figures_independent() {
         let mut db = Database::new();
-        let c = Corpus::generate(&mut db, CorpusParams { documents: 1, ..CorpusParams::default() })
-            .unwrap();
+        let c = Corpus::generate(
+            &mut db,
+            CorpusParams {
+                documents: 1,
+                ..CorpusParams::default()
+            },
+        )
+        .unwrap();
         let doc = c.documents[0];
         let annotations = db.get_attr(doc, "Annotations").unwrap().refs();
         let figures = db.get_attr(doc, "Figures").unwrap().refs();

@@ -44,7 +44,13 @@ pub struct TxMixParams {
 
 impl Default for TxMixParams {
     fn default() -> Self {
-        TxMixParams { ops: 100, roots: 10, write_fraction: 0.2, hot_fraction: 0.0, seed: 42 }
+        TxMixParams {
+            ops: 100,
+            roots: 10,
+            write_fraction: 0.2,
+            hot_fraction: 0.0,
+            seed: 42,
+        }
     }
 }
 
@@ -77,13 +83,20 @@ mod tests {
         let a = generate(TxMixParams::default());
         let b = generate(TxMixParams::default());
         assert_eq!(a, b);
-        let c = generate(TxMixParams { seed: 1, ..TxMixParams::default() });
+        let c = generate(TxMixParams {
+            seed: 1,
+            ..TxMixParams::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn write_fraction_is_respected_approximately() {
-        let mix = generate(TxMixParams { ops: 2000, write_fraction: 0.3, ..TxMixParams::default() });
+        let mix = generate(TxMixParams {
+            ops: 2000,
+            write_fraction: 0.3,
+            ..TxMixParams::default()
+        });
         let writes = mix.iter().filter(|op| op.kind == AccessKind::Write).count();
         let frac = writes as f64 / mix.len() as f64;
         assert!((0.25..0.35).contains(&frac), "got {frac}");
@@ -91,17 +104,29 @@ mod tests {
 
     #[test]
     fn hot_fraction_skews_to_first_root() {
-        let mix = generate(TxMixParams { ops: 1000, hot_fraction: 0.9, ..TxMixParams::default() });
+        let mix = generate(TxMixParams {
+            ops: 1000,
+            hot_fraction: 0.9,
+            ..TxMixParams::default()
+        });
         let hot = mix.iter().filter(|op| op.root_index == 0).count();
         assert!(hot > 800);
-        let uniform = generate(TxMixParams { ops: 1000, hot_fraction: 0.0, ..TxMixParams::default() });
+        let uniform = generate(TxMixParams {
+            ops: 1000,
+            hot_fraction: 0.0,
+            ..TxMixParams::default()
+        });
         let hot = uniform.iter().filter(|op| op.root_index == 0).count();
         assert!(hot < 300);
     }
 
     #[test]
     fn indices_stay_in_range() {
-        let mix = generate(TxMixParams { ops: 500, roots: 3, ..TxMixParams::default() });
+        let mix = generate(TxMixParams {
+            ops: 500,
+            roots: 3,
+            ..TxMixParams::default()
+        });
         assert!(mix.iter().all(|op| op.root_index < 3));
     }
 }

@@ -26,11 +26,15 @@ impl VehicleSchema {
     /// segment so `:parent` clustering applies.
     pub fn define(db: &mut Database) -> DbResult<Self> {
         let company = db.define_class(ClassBuilder::new("Company"))?;
-        let ind_excl = CompositeSpec { exclusive: true, dependent: false };
+        let ind_excl = CompositeSpec {
+            exclusive: true,
+            dependent: false,
+        };
         let vehicle_builder = ClassBuilder::new("Vehicle");
         // Define Vehicle first so components can share its segment.
         let body_tmp = db.define_class(ClassBuilder::new("AutoBody"))?;
-        let drivetrain = db.define_class(ClassBuilder::new("AutoDrivetrain").same_segment_as(body_tmp))?;
+        let drivetrain =
+            db.define_class(ClassBuilder::new("AutoDrivetrain").same_segment_as(body_tmp))?;
         let tires = db.define_class(ClassBuilder::new("AutoTires").same_segment_as(body_tmp))?;
         let vehicle = db.define_class(
             vehicle_builder
@@ -38,10 +42,20 @@ impl VehicleSchema {
                 .attr("Manufacturer", Domain::Class(company))
                 .attr_composite("Body", Domain::Class(body_tmp), ind_excl)
                 .attr_composite("Drivetrain", Domain::Class(drivetrain), ind_excl)
-                .attr_composite("Tires", Domain::SetOf(Box::new(Domain::Class(tires))), ind_excl)
+                .attr_composite(
+                    "Tires",
+                    Domain::SetOf(Box::new(Domain::Class(tires))),
+                    ind_excl,
+                )
                 .attr("Color", Domain::String),
         )?;
-        Ok(VehicleSchema { company, body: body_tmp, drivetrain, tires, vehicle })
+        Ok(VehicleSchema {
+            company,
+            body: body_tmp,
+            drivetrain,
+            tires,
+            vehicle,
+        })
     }
 
     /// Builds one vehicle bottom-up: parts first, then the vehicle
@@ -138,7 +152,9 @@ mod tests {
         assert!(parts.contains(&body));
         assert!(db.exists(body), "parts survive dismantling");
         // Re-use the body in a new vehicle.
-        let v2 = db.make(schema.vehicle, vec![("Body", Value::Ref(body))], vec![]).unwrap();
+        let v2 = db
+            .make(schema.vehicle, vec![("Body", Value::Ref(body))], vec![])
+            .unwrap();
         assert!(db.child_of(body, v2).unwrap());
     }
 
@@ -146,8 +162,17 @@ mod tests {
     fn components_share_the_vehicle_segment() {
         let mut db = Database::new();
         let schema = VehicleSchema::define(&mut db).unwrap();
-        assert_eq!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.body).unwrap());
-        assert_eq!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.tires).unwrap());
-        assert_ne!(db.segment_of(schema.vehicle).unwrap(), db.segment_of(schema.company).unwrap());
+        assert_eq!(
+            db.segment_of(schema.vehicle).unwrap(),
+            db.segment_of(schema.body).unwrap()
+        );
+        assert_eq!(
+            db.segment_of(schema.vehicle).unwrap(),
+            db.segment_of(schema.tires).unwrap()
+        );
+        assert_ne!(
+            db.segment_of(schema.vehicle).unwrap(),
+            db.segment_of(schema.company).unwrap()
+        );
     }
 }

@@ -11,7 +11,11 @@ use corion::{ClassBuilder, CompositeSpec, Database, Domain, Value, VersionManage
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::new();
-    let wing = db.define_class(ClassBuilder::new("Wing").versionable().attr("span", Domain::Float))?;
+    let wing = db.define_class(
+        ClassBuilder::new("Wing")
+            .versionable()
+            .attr("span", Domain::Float),
+    )?;
     let aircraft = db.define_class(
         ClassBuilder::new("Aircraft")
             .versionable()
@@ -19,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .attr_composite(
                 "wing",
                 Domain::Class(wing),
-                CompositeSpec { exclusive: true, dependent: false },
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: false,
+                },
             ),
     )?;
     let mut vm = VersionManager::new(db);
@@ -50,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pin the default back to v1 — §5.1's user-specified default.
     vm.set_default_version(g_wing, wing_v1)?;
-    println!("after set-default-version: resolves to {}", vm.resolve(g_wing)?);
+    println!(
+        "after set-default-version: resolves to {}",
+        vm.resolve(g_wing)?
+    );
 
     // §5.3 ref-counts: the wing generic records one reference from the
     // plane hierarchy per version-level reference.
@@ -58,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "reverse composite generic ref-count wing<-plane: {:?}",
         vm.generic_ref_count(g_wing, g_plane)
     );
-    println!("parents-of generic wing: {:?}", vm.parents_of_generic(g_wing)?);
+    println!(
+        "parents-of generic wing: {:?}",
+        vm.parents_of_generic(g_wing)?
+    );
 
     // CV-4X: deleting all plane versions deletes the plane generic; the
     // wing is independent, so it survives.

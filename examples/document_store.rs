@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_by_key(|&s| db.get(s).map(|o| o.ds().len()).unwrap_or(0))
         .expect("non-empty corpus");
     let owners = db.parents_of(most_shared, &Filter::all())?;
-    println!("most shared section {most_shared} belongs to {} documents", owners.len());
+    println!(
+        "most shared section {most_shared} belongs to {} documents",
+        owners.len()
+    );
 
     // Delete owners one at a time: the section survives until the last
     // dependent parent goes (the paper's reference-counted deletion).
@@ -66,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(alive, "section must survive while dependent parents remain");
         }
     }
-    assert!(!db.exists(most_shared), "last dependent parent deleted the section");
+    assert!(
+        !db.exists(most_shared),
+        "last dependent parent deleted the section"
+    );
     println!(
         "objects: {} -> {} (cascades removed private annotations and orphaned paragraphs; \
          independent figures survive)",

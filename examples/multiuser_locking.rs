@@ -43,8 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let idx = (worker * 31 + round * 7) % locksets.len();
                 let write = (worker + round) % 4 == 0;
                 let txn = Transaction::begin(lm.clone());
-                let set = if write { &locksets[idx].1 } else { &locksets[idx].0 };
-                set.acquire(&lm, txn.id()).expect("no deadlock in this access pattern");
+                let set = if write {
+                    &locksets[idx].1
+                } else {
+                    &locksets[idx].0
+                };
+                set.acquire(&lm, txn.id())
+                    .expect("no deadlock in this access pattern");
                 // ... read or update the vehicle here ...
                 txn.commit();
                 done.fetch_add(1, Ordering::Relaxed);
@@ -65,7 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // blocks a second writer but a reader set acquired first coexists with
     // nothing conflicting.
     let mut db = Database::new();
-    let corpus = Corpus::generate(&mut db, CorpusParams { documents: 4, ..CorpusParams::default() })?;
+    let corpus = Corpus::generate(
+        &mut db,
+        CorpusParams {
+            documents: 4,
+            ..CorpusParams::default()
+        },
+    )?;
     let lm2 = LockManager::shared();
     let d0_read = composite_lockset(&db, corpus.documents[0], LockIntent::Read);
     let d1_read = composite_lockset(&db, corpus.documents[1], LockIntent::Read);
@@ -91,7 +102,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("readers done: writer admitted");
     let w2 = Transaction::begin(lm2.clone());
     match d3_write.try_acquire(&lm2, w2.id()) {
-        Err(e) => println!("second writer on another document rejected (one writer per shared class): {e}"),
+        Err(e) => println!(
+            "second writer on another document rejected (one writer per shared class): {e}"
+        ),
         Ok(()) => unreachable!("IXOS vs IXOS must conflict"),
     }
     w1.commit();

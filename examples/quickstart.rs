@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let section = db.define_class(ClassBuilder::new("Section").attr_composite(
         "Content",
         Domain::SetOf(Box::new(Domain::Class(paragraph))),
-        CompositeSpec { exclusive: false, dependent: true }, // shared + dependent
+        CompositeSpec {
+            exclusive: false,
+            dependent: true,
+        }, // shared + dependent
     ))?;
     let document = db.define_class(
         ClassBuilder::new("Document")
@@ -27,12 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .attr_composite(
                 "Sections",
                 Domain::SetOf(Box::new(Domain::Class(section))),
-                CompositeSpec { exclusive: false, dependent: true },
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: true,
+                },
             )
             .attr_composite(
                 "Figures",
                 Domain::SetOf(Box::new(Domain::Class(image))),
-                CompositeSpec { exclusive: false, dependent: false }, // independent
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                }, // independent
             ),
     )?;
 
@@ -69,11 +78,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- operations (§3) --------------------------------------------------
-    println!("components-of thesis  = {:?}", db.components_of(thesis, &Filter::all())?);
-    println!("parents-of intro      = {:?}", db.parents_of(intro, &Filter::all())?);
-    println!("ancestors-of p1       = {:?}", db.ancestors_of(p1, &Filter::all())?);
-    println!("component-of p1 thesis          = {}", db.component_of(p1, thesis)?);
-    println!("shared-component-of intro thesis = {}", db.shared_component_of(intro, thesis)?);
+    println!(
+        "components-of thesis  = {:?}",
+        db.components_of(thesis, &Filter::all())?
+    );
+    println!(
+        "parents-of intro      = {:?}",
+        db.parents_of(intro, &Filter::all())?
+    );
+    println!(
+        "ancestors-of p1       = {:?}",
+        db.ancestors_of(p1, &Filter::all())?
+    );
+    println!(
+        "component-of p1 thesis          = {}",
+        db.component_of(p1, thesis)?
+    );
+    println!(
+        "shared-component-of intro thesis = {}",
+        db.shared_component_of(intro, thesis)?
+    );
     assert!(db.component_of(intro, thesis)? && db.component_of(intro, survey)?);
 
     // --- the Deletion Rule (§2.2) -----------------------------------------
@@ -81,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // still contains the survey.
     db.delete(thesis)?;
     assert!(db.exists(intro));
-    println!("after deleting thesis: intro survives, held by {:?}", db.parents_of(intro, &Filter::all())?);
+    println!(
+        "after deleting thesis: intro survives, held by {:?}",
+        db.parents_of(intro, &Filter::all())?
+    );
     // The figure is independent — it survives no matter what.
     assert!(db.exists(figure));
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let assembly = db.define_class(ClassBuilder::new("Assembly").attr_composite(
         "parts",
         Domain::SetOf(Box::new(Domain::Class(part))),
-        CompositeSpec { exclusive: true, dependent: true }, // the [KIM87b] default
+        CompositeSpec {
+            exclusive: true,
+            dependent: true,
+        }, // the [KIM87b] default
     ))?;
 
     // Populate: 1000 parts in 100 assemblies, each from one supplier.
@@ -47,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("populated: {} objects", db.object_count());
 
     // --- I2, deferred: parts become shareable --------------------------
-    db.change_attribute_type(assembly, "parts", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)?;
+    db.change_attribute_type(
+        assembly,
+        "parts",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )?;
     println!("I2 exclusive->shared issued (deferred): no instance was touched");
     // The flags catch up lazily; sharing works immediately for whatever we
     // touch.
@@ -56,18 +64,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("part {borrowed} is now shared by two assemblies");
 
     // --- I3, deferred: parts outlive their assemblies -------------------
-    db.change_attribute_type(assembly, "parts", AttrTypeChange::ToIndependent, Maintenance::Deferred)?;
+    db.change_attribute_type(
+        assembly,
+        "parts",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )?;
     let victim = assemblies[2];
     let survivors = db.components_of(victim, &corion::Filter::all())?;
     db.delete(victim)?;
     assert!(survivors.iter().all(|&p| db.exists(p)));
-    println!("deleted an assembly; its {} parts survive (now independent)", survivors.len());
+    println!(
+        "deleted an assembly; its {} parts survive (now independent)",
+        survivors.len()
+    );
 
     // --- add an attribute mid-flight ------------------------------------
     let mut audit = AttributeDef::plain("audited", Domain::Boolean);
     audit.init = Value::Bool(false);
     db.add_attribute(part, audit)?;
-    println!("added Part.audited; existing instance reads {:?}", db.get_attr(borrowed, "audited")?);
+    println!(
+        "added Part.audited; existing instance reads {:?}",
+        db.get_attr(borrowed, "audited")?
+    );
 
     // --- D2: promote the weak supplier link to a shared composite -------
     // State-dependent: the engine scans the full Part extension ("may be
@@ -78,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AttrTypeChange::WeakToShared { dependent: false },
         Maintenance::Immediate,
     )?;
-    println!("D2 weak->shared verified against {} parts", db.instances_of(part, false).len());
+    println!(
+        "D2 weak->shared verified against {} parts",
+        db.instances_of(part, false).len()
+    );
     // Each part now holds a shared composite reference to the supplier —
     // the supplier is a component of every part that sources from it.
     assert!(db.component_of(acme, borrowed)?);

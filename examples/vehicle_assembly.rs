@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exclusivity: a fitted body cannot be fitted to a second vehicle.
     let body = db.get_attr(sedan, "Body")?.refs()[0];
-    let coupe = db.make(schema.vehicle, vec![("Color", Value::Str("blue".into()))], vec![])?;
+    let coupe = db.make(
+        schema.vehicle,
+        vec![("Color", Value::Str("blue".into()))],
+        vec![],
+    )?;
     match db.set_attr(coupe, "Body", Value::Ref(body)) {
         Err(e) => println!("fitting sedan's body to the coupe rejected: {e}"),
         Ok(()) => unreachable!("the Make-Component Rule forbids this"),
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.reset_io_stats();
     let _ = db.components_of(sedan, &Filter::all())?;
     let io = db.disk_stats();
-    println!("reading the sedan cold: {} page reads (parts clustered with the vehicle)", io.reads);
+    println!(
+        "reading the sedan cold: {} page reads (parts clustered with the vehicle)",
+        io.reads
+    );
 
     // Dismantle: the vehicle is deleted, the parts survive (independent)
     // and return to the free pool…
@@ -44,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // …and can be re-used for the coupe.
     db.set_attr(coupe, "Body", Value::Ref(body))?;
-    println!("re-fitted the freed body to the coupe: child-of = {}", db.child_of(body, coupe)?);
+    println!(
+        "re-fitted the freed body to the coupe: child-of = {}",
+        db.child_of(body, coupe)?
+    );
 
     // Level filter: the tires are level-1 components of the coupe.
     for &tire in &freed {

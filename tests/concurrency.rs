@@ -27,7 +27,8 @@ fn writers_on_the_same_composite_object_are_serialised() {
 
     let handles: Vec<_> = (0..4)
         .map(|_| {
-            let (lm, set, in_cs, max_seen) = (lm.clone(), set.clone(), in_cs.clone(), max_seen.clone());
+            let (lm, set, in_cs, max_seen) =
+                (lm.clone(), set.clone(), in_cs.clone(), max_seen.clone());
             thread::spawn(move || {
                 for _ in 0..25 {
                     let txn = Transaction::begin(lm.clone());
@@ -56,8 +57,11 @@ fn writers_on_different_composite_objects_run_in_parallel() {
     // composite objects").
     let mut db = Database::new();
     let fleet = Fleet::generate(&mut db, 2, 2).unwrap();
-    let sets: Vec<_> =
-        fleet.vehicles.iter().map(|&v| Arc::new(composite_lockset(&db, v, LockIntent::Write))).collect();
+    let sets: Vec<_> = fleet
+        .vehicles
+        .iter()
+        .map(|&v| Arc::new(composite_lockset(&db, v, LockIntent::Write)))
+        .collect();
     let lm = LockManager::shared();
     let inside = Arc::new(AtomicU64::new(0));
     let overlapped = Arc::new(AtomicBool::new(false));
@@ -86,7 +90,10 @@ fn writers_on_different_composite_objects_run_in_parallel() {
     for h in handles {
         h.join().unwrap();
     }
-    assert!(overlapped.load(Ordering::SeqCst), "disjoint writers overlapped");
+    assert!(
+        overlapped.load(Ordering::SeqCst),
+        "disjoint writers overlapped"
+    );
 }
 
 #[test]
@@ -125,12 +132,27 @@ fn reader_writer_mix_on_shared_hierarchy_admits_no_writer_reader_overlap() {
         .define_class(ClassBuilder::new("Doc").attr_composite(
             "sections",
             Domain::SetOf(Box::new(Domain::Class(section))),
-            CompositeSpec { exclusive: false, dependent: true },
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
         ))
         .unwrap();
     let s = db.make(section, vec![], vec![]).unwrap();
-    let d1 = db.make(doc, vec![("sections", Value::Set(vec![Value::Ref(s)]))], vec![]).unwrap();
-    let d2 = db.make(doc, vec![("sections", Value::Set(vec![Value::Ref(s)]))], vec![]).unwrap();
+    let d1 = db
+        .make(
+            doc,
+            vec![("sections", Value::Set(vec![Value::Ref(s)]))],
+            vec![],
+        )
+        .unwrap();
+    let d2 = db
+        .make(
+            doc,
+            vec![("sections", Value::Set(vec![Value::Ref(s)]))],
+            vec![],
+        )
+        .unwrap();
     let read1 = Arc::new(composite_lockset(&db, d1, LockIntent::Read));
     let write2 = Arc::new(composite_lockset(&db, d2, LockIntent::Write));
     let lm = LockManager::shared();
@@ -141,8 +163,13 @@ fn reader_writer_mix_on_shared_hierarchy_admits_no_writer_reader_overlap() {
 
     let mut handles = Vec::new();
     for _ in 0..3 {
-        let (lm, read1, writing, reading, violations) =
-            (lm.clone(), read1.clone(), writing.clone(), reading.clone(), violations.clone());
+        let (lm, read1, writing, reading, violations) = (
+            lm.clone(),
+            read1.clone(),
+            writing.clone(),
+            reading.clone(),
+            violations.clone(),
+        );
         handles.push(thread::spawn(move || {
             for _ in 0..30 {
                 let txn = Transaction::begin(lm.clone());
@@ -158,8 +185,13 @@ fn reader_writer_mix_on_shared_hierarchy_admits_no_writer_reader_overlap() {
         }));
     }
     {
-        let (lm, write2, writing, reading, violations) =
-            (lm.clone(), write2.clone(), writing.clone(), reading.clone(), violations.clone());
+        let (lm, write2, writing, reading, violations) = (
+            lm.clone(),
+            write2.clone(),
+            writing.clone(),
+            reading.clone(),
+            violations.clone(),
+        );
         handles.push(thread::spawn(move || {
             for _ in 0..30 {
                 let txn = Transaction::begin(lm.clone());
@@ -177,7 +209,11 @@ fn reader_writer_mix_on_shared_hierarchy_admits_no_writer_reader_overlap() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(violations.load(Ordering::SeqCst), 0, "writer never overlapped a reader");
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "writer never overlapped a reader"
+    );
 }
 
 #[test]
@@ -192,7 +228,9 @@ fn grant_counts_reflect_protocol_economy() {
     let per_object_lm = LockManager::new();
     for &v in &fleet.vehicles {
         let t = composite_lm.begin();
-        composite_lockset(&db, v, LockIntent::Read).try_acquire(&composite_lm, t).unwrap();
+        composite_lockset(&db, v, LockIntent::Read)
+            .try_acquire(&composite_lm, t)
+            .unwrap();
         composite_lm.release_all(t);
 
         let t = per_object_lm.begin();
@@ -208,4 +246,164 @@ fn grant_counts_reflect_protocol_economy() {
         composite * 2 < per_object,
         "composite locking should need far fewer locks: {composite} vs {per_object}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Shared-read traversal engine: `&self` reads from many threads at once
+// ---------------------------------------------------------------------
+
+use corion::workload::{DagParams, GeneratedDag};
+use corion::Filter;
+
+fn traversal_dag(seed: u64) -> (Database, Vec<Oid>) {
+    let mut db = Database::new();
+    let dag = GeneratedDag::generate(
+        &mut db,
+        DagParams {
+            depth: 4,
+            fanout: 3,
+            roots: 3,
+            share_fraction: 0.4,
+            dependent_fraction: 0.5,
+            seed,
+        },
+    )
+    .unwrap();
+    let all = dag.all();
+    (db, all)
+}
+
+#[test]
+fn many_readers_traverse_one_database_concurrently() {
+    let (db, all) = traversal_dag(7);
+    // Oracle answers computed single-threaded, bypassing the cache.
+    let expected_components: Vec<Vec<Oid>> = all
+        .iter()
+        .map(|&o| db.components_of_uncached(o, &Filter::all()).unwrap())
+        .collect();
+    let expected_ancestors: Vec<Vec<Oid>> = all
+        .iter()
+        .map(|&o| db.ancestors_of_uncached(o, &Filter::all()).unwrap())
+        .collect();
+    let db = &db;
+    thread::scope(|s| {
+        for t in 0..8 {
+            let (all, expected_components, expected_ancestors) =
+                (&all, &expected_components, &expected_ancestors);
+            s.spawn(move || {
+                // Each thread walks the whole DAG, offset so threads hit
+                // the same objects at different moments.
+                for i in 0..all.len() {
+                    let i = (i + t * 5) % all.len();
+                    let o = all[i];
+                    assert_eq!(
+                        db.components_of(o, &Filter::all()).unwrap(),
+                        expected_components[i]
+                    );
+                    assert_eq!(
+                        db.ancestors_of(o, &Filter::all()).unwrap(),
+                        expected_ancestors[i]
+                    );
+                    assert_eq!(db.roots_of(o).unwrap(), db.roots_of_uncached(o).unwrap());
+                }
+            });
+        }
+    });
+    let stats = db.traversal_cache_stats();
+    assert!(
+        stats.hits > 0,
+        "concurrent readers share cached entries: {stats:?}"
+    );
+}
+
+#[test]
+fn batch_traversals_fan_out_and_match_sequential_results() {
+    let (db, all) = traversal_dag(11);
+    for filter in [
+        Filter::all(),
+        Filter::all().exclusive(),
+        Filter::all().level(2),
+    ] {
+        let batch = db.components_of_many(&all, &filter);
+        assert_eq!(batch.len(), all.len());
+        for (&o, got) in all.iter().zip(&batch) {
+            assert_eq!(
+                got.as_ref().unwrap(),
+                &db.components_of_uncached(o, &filter).unwrap()
+            );
+        }
+        let batch = db.ancestors_of_many(&all, &filter);
+        for (&o, got) in all.iter().zip(&batch) {
+            assert_eq!(
+                got.as_ref().unwrap(),
+                &db.ancestors_of_uncached(o, &filter).unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_stale_reads_across_a_generation_bump() {
+    let (mut db, all) = traversal_dag(13);
+    let roots: Vec<Oid> = all
+        .iter()
+        .copied()
+        .filter(|&o| db.parents_of(o, &Filter::all()).unwrap().is_empty())
+        .collect();
+    let victim_root = roots[0];
+    let doomed = db.components_of(victim_root, &Filter::all()).unwrap();
+
+    // Phase 1: many readers warm the cache over the whole DAG.
+    {
+        let db = &db;
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let all = &all;
+                s.spawn(move || {
+                    for &o in all {
+                        db.components_of(o, &Filter::all()).unwrap();
+                        db.ancestors_of(o, &Filter::all()).unwrap();
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 2: a writer deletes one root (the exclusive &mut borrow means
+    // no reader can still be running — the type system is the lock).
+    let gen_before = db.hierarchy_generation();
+    let deleted = db.delete(victim_root).unwrap();
+    assert!(
+        db.hierarchy_generation() > gen_before,
+        "every write bumps the generation"
+    );
+
+    // Phase 3: readers must see the post-delete hierarchy everywhere.
+    let db = &db;
+    let survivors: Vec<Oid> = all.iter().copied().filter(|o| db.exists(*o)).collect();
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let (survivors, deleted) = (&survivors, &deleted);
+            s.spawn(move || {
+                for &o in survivors {
+                    let comps = db.components_of(o, &Filter::all()).unwrap();
+                    for d in deleted {
+                        assert!(
+                            !comps.contains(d),
+                            "stale read: deleted {d} in components of {o}"
+                        );
+                    }
+                    assert_eq!(comps, db.components_of_uncached(o, &Filter::all()).unwrap());
+                    let anc = db.ancestors_of(o, &Filter::all()).unwrap();
+                    assert_eq!(anc, db.ancestors_of_uncached(o, &Filter::all()).unwrap());
+                }
+            });
+        }
+    });
+    for d in &doomed {
+        if !db.exists(*d) {
+            assert!(db.components_of(*d, &Filter::all()).is_err());
+        }
+    }
+    assert!(db.traversal_cache_stats().invalidations >= 1);
 }

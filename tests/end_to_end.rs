@@ -15,7 +15,9 @@ fn design_database_lifecycle() {
     let mut db = Database::new();
 
     // --- 1. schema: a CAD-ish assembly/part design ------------------------
-    let part = db.define_class(ClassBuilder::new("Part").attr("weight", Domain::Integer)).unwrap();
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("weight", Domain::Integer))
+        .unwrap();
     let assembly = db
         .define_class(
             ClassBuilder::new("Assembly")
@@ -24,7 +26,10 @@ fn design_database_lifecycle() {
                 .attr_composite(
                     "parts",
                     Domain::SetOf(Box::new(Domain::Class(part))),
-                    CompositeSpec { exclusive: true, dependent: true },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
                 ),
         )
         .unwrap();
@@ -32,14 +37,20 @@ fn design_database_lifecycle() {
     // --- 2. build two assemblies bottom-up --------------------------------
     let mut parts = Vec::new();
     for w in [10, 20, 30, 40] {
-        parts.push(db.make(part, vec![("weight", Value::Int(w))], vec![]).unwrap());
+        parts.push(
+            db.make(part, vec![("weight", Value::Int(w))], vec![])
+                .unwrap(),
+        );
     }
     let a1 = db
         .make(
             assembly,
             vec![
                 ("name", Value::Str("engine".into())),
-                ("parts", Value::Set(vec![Value::Ref(parts[0]), Value::Ref(parts[1])])),
+                (
+                    "parts",
+                    Value::Set(vec![Value::Ref(parts[0]), Value::Ref(parts[1])]),
+                ),
             ],
             vec![],
         )
@@ -49,7 +60,10 @@ fn design_database_lifecycle() {
             assembly,
             vec![
                 ("name", Value::Str("chassis".into())),
-                ("parts", Value::Set(vec![Value::Ref(parts[2]), Value::Ref(parts[3])])),
+                (
+                    "parts",
+                    Value::Set(vec![Value::Ref(parts[2]), Value::Ref(parts[3])]),
+                ),
             ],
             vec![],
         )
@@ -57,10 +71,20 @@ fn design_database_lifecycle() {
 
     // --- 3. schema evolution: the design team decides parts are reusable
     //        (I3 dependent -> independent) and shareable (I2), deferred ----
-    db.change_attribute_type(assembly, "parts", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-        .unwrap();
-    db.change_attribute_type(assembly, "parts", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        assembly,
+        "parts",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )
+    .unwrap();
+    db.change_attribute_type(
+        assembly,
+        "parts",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     // The flags catch up on first touch.
     let p0 = db.get(parts[0]).unwrap();
     assert_eq!(p0.is_(), vec![a1], "flags now independent shared");
@@ -77,23 +101,42 @@ fn design_database_lifecycle() {
     // --- 5. authorization: alice owns a1's tree, bob is read-only ---------
     let mut auth = AuthStore::new();
     let (alice, bob) = (UserId(1), UserId(2));
-    auth.grant(&mut db, alice, AuthObject::Instance(a1), Authorization::SW).unwrap();
-    auth.grant(&mut db, bob, AuthObject::Instance(a1), Authorization::SR).unwrap();
-    assert_eq!(auth.check(&mut db, alice, AuthType::Write, parts[1]).unwrap(), Decision::Granted);
-    assert_eq!(auth.check(&mut db, bob, AuthType::Write, parts[1]).unwrap(), Decision::NoAuthorization);
-    assert_eq!(auth.check(&mut db, bob, AuthType::Read, parts[1]).unwrap(), Decision::Granted);
+    auth.grant(&mut db, alice, AuthObject::Instance(a1), Authorization::SW)
+        .unwrap();
+    auth.grant(&mut db, bob, AuthObject::Instance(a1), Authorization::SR)
+        .unwrap();
+    assert_eq!(
+        auth.check(&mut db, alice, AuthType::Write, parts[1])
+            .unwrap(),
+        Decision::Granted
+    );
+    assert_eq!(
+        auth.check(&mut db, bob, AuthType::Write, parts[1]).unwrap(),
+        Decision::NoAuthorization
+    );
+    assert_eq!(
+        auth.check(&mut db, bob, AuthType::Read, parts[1]).unwrap(),
+        Decision::Granted
+    );
     // parts[0] is shared with a2: bob's grant reaches it through a1 anyway.
-    assert_eq!(auth.check(&mut db, bob, AuthType::Read, parts[0]).unwrap(), Decision::Granted);
+    assert_eq!(
+        auth.check(&mut db, bob, AuthType::Read, parts[0]).unwrap(),
+        Decision::Granted
+    );
 
     // --- 6. locking: writer on a1 and reader on a2 — note the shared
     //        Part class now forces IXOS vs ISOS (one writer per shared
     //        class), so these CONFLICT after the schema change ------------
     let lm = LockManager::new();
     let t1 = lm.begin();
-    composite_lockset(&db, a1, LockIntent::Write).try_acquire(&lm, t1).unwrap();
+    composite_lockset(&db, a1, LockIntent::Write)
+        .try_acquire(&lm, t1)
+        .unwrap();
     let t2 = lm.begin();
     assert!(
-        composite_lockset(&db, a2, LockIntent::Read).try_acquire(&lm, t2).is_err(),
+        composite_lockset(&db, a2, LockIntent::Read)
+            .try_acquire(&lm, t2)
+            .is_err(),
         "shared component class admits one writer"
     );
     lm.release_all(t1);
@@ -101,11 +144,16 @@ fn design_database_lifecycle() {
 
     // --- 7. versions: derive the engine design ----------------------------
     let mut vm = VersionManager::new(db);
-    let (g, v1) = vm.create(assembly, vec![("name", Value::Str("gearbox".into()))]).unwrap();
+    let (g, v1) = vm
+        .create(assembly, vec![("name", Value::Str("gearbox".into()))])
+        .unwrap();
     vm.bind_static(v1, "parts", parts[1]).unwrap();
     let v2 = vm.derive(v1).unwrap();
     // shared static refs are copied; parts[1] now serves both versions.
-    assert_eq!(vm.db_mut().get_attr(v2, "parts").unwrap().refs(), vec![parts[1]]);
+    assert_eq!(
+        vm.db_mut().get_attr(v2, "parts").unwrap().refs(),
+        vec![parts[1]]
+    );
     assert_eq!(vm.default_version(g).unwrap(), v2);
 
     // --- 8. deletion: remove a1; shared/independent parts survive ---------
@@ -129,19 +177,34 @@ fn orphan_policy_interacts_with_schema_change() {
         .define_class(ClassBuilder::new("Node").attr_composite(
             "kid",
             Domain::Class(leaf),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let l1 = db.make(leaf, vec![], vec![]).unwrap();
-    let n1 = db.make(node, vec![("kid", Value::Ref(l1))], vec![]).unwrap();
+    let n1 = db
+        .make(node, vec![("kid", Value::Ref(l1))], vec![])
+        .unwrap();
     let l2 = db.make(leaf, vec![], vec![]).unwrap();
-    let n2 = db.make(node, vec![("kid", Value::Ref(l2))], vec![]).unwrap();
+    let n2 = db
+        .make(node, vec![("kid", Value::Ref(l2))], vec![])
+        .unwrap();
     // Deferred change; n1's leaf is never touched before deletion, so the
     // deferred application must happen *during* the deletion traversal.
-    db.change_attribute_type(node, "kid", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        node,
+        "kid",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     db.delete(n1).unwrap();
-    assert!(db.exists(l1), "deferred flag change applied on access during deletion");
+    assert!(
+        db.exists(l1),
+        "deferred flag change applied on access during deletion"
+    );
     db.delete(n2).unwrap();
     assert!(db.exists(l2));
 }
@@ -161,6 +224,8 @@ fn interpreter_and_engine_share_semantics() {
     )
     .unwrap();
     let deleted = it.eval_str("(delete n)").unwrap();
-    let corion::lang::LangValue::List(items) = deleted else { panic!() };
+    let corion::lang::LangValue::List(items) = deleted else {
+        panic!()
+    };
     assert_eq!(items.len(), 2);
 }

@@ -16,12 +16,17 @@ use corion::{
 
 fn versioned_pair(exclusive: bool, dependent: bool) -> (VersionManager, ClassId, ClassId) {
     let mut db = Database::new();
-    let d = db.define_class(ClassBuilder::new("D").versionable()).unwrap();
+    let d = db
+        .define_class(ClassBuilder::new("D").versionable())
+        .unwrap();
     let c = db
         .define_class(ClassBuilder::new("C").versionable().attr_composite(
             "part",
             Domain::Class(d),
-            CompositeSpec { exclusive, dependent },
+            CompositeSpec {
+                exclusive,
+                dependent,
+            },
         ))
         .unwrap();
     (VersionManager::new(db), c, d)
@@ -112,16 +117,27 @@ fn figure4() -> Fig4 {
         corion::AttributeDef::composite(
             "sub",
             Domain::SetOf(Box::new(Domain::Class(part))),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ),
     )
     .unwrap();
     let o = db.make(part, vec![], vec![]).unwrap();
-    let n = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![]).unwrap();
-    let m = db.make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![]).unwrap();
+    let n = db
+        .make(part, vec![("sub", Value::Set(vec![Value::Ref(o)]))], vec![])
+        .unwrap();
+    let m = db
+        .make(part, vec![("sub", Value::Set(vec![Value::Ref(n)]))], vec![])
+        .unwrap();
     let k = db.make(part, vec![], vec![]).unwrap();
     let i = db
-        .make(part, vec![("sub", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))], vec![])
+        .make(
+            part,
+            vec![("sub", Value::Set(vec![Value::Ref(k), Value::Ref(m)]))],
+            vec![],
+        )
         .unwrap();
     Fig4 { db, i, k, m, n, o }
 }
@@ -131,7 +147,8 @@ fn fig4_implicit_authorization_reaches_all_components() {
     let mut fx = figure4();
     let mut st = AuthStore::new();
     let u = UserId(1);
-    st.grant(&mut fx.db, u, AuthObject::Instance(fx.i), Authorization::SR).unwrap();
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.i), Authorization::SR)
+        .unwrap();
     for obj in [fx.k, fx.m, fx.n, fx.o] {
         assert_eq!(
             st.implied_on(&mut fx.db, u, obj).unwrap(),
@@ -139,7 +156,8 @@ fn fig4_implicit_authorization_reaches_all_components() {
             "Read reaches {obj}"
         );
         assert_eq!(
-            st.check(&mut fx.db, u, corion::AuthType::Read, obj).unwrap(),
+            st.check(&mut fx.db, u, corion::AuthType::Read, obj)
+                .unwrap(),
             corion::Decision::Granted
         );
     }
@@ -162,7 +180,10 @@ fn figure5() -> Fig5 {
         .define_class(ClassBuilder::new("Root").attr_composite(
             "parts",
             Domain::SetOf(Box::new(Domain::Class(comp))),
-            CompositeSpec { exclusive: false, dependent: false },
+            CompositeSpec {
+                exclusive: false,
+                dependent: false,
+            },
         ))
         .unwrap();
     let p = db.make(comp, vec![], vec![]).unwrap();
@@ -170,16 +191,33 @@ fn figure5() -> Fig5 {
     let o = db.make(comp, vec![], vec![]).unwrap();
     let q = db.make(comp, vec![], vec![]).unwrap();
     let j = db
-        .make(root, vec![("parts", Value::Set(vec![Value::Ref(p), Value::Ref(o_prime)]))], vec![])
+        .make(
+            root,
+            vec![(
+                "parts",
+                Value::Set(vec![Value::Ref(p), Value::Ref(o_prime)]),
+            )],
+            vec![],
+        )
         .unwrap();
     let k = db
         .make(
             root,
-            vec![("parts", Value::Set(vec![Value::Ref(o_prime), Value::Ref(o), Value::Ref(q)]))],
+            vec![(
+                "parts",
+                Value::Set(vec![Value::Ref(o_prime), Value::Ref(o), Value::Ref(q)]),
+            )],
             vec![],
         )
         .unwrap();
-    Fig5 { db, j, k, o_prime, o, q }
+    Fig5 {
+        db,
+        j,
+        k,
+        o_prime,
+        o,
+        q,
+    }
 }
 
 #[test]
@@ -187,15 +225,24 @@ fn fig5_shared_component_accumulates_implicit_authorizations() {
     let mut fx = figure5();
     let mut st = AuthStore::new();
     let u = UserId(1);
-    st.grant(&mut fx.db, u, AuthObject::Instance(fx.j), Authorization::SR).unwrap();
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.j), Authorization::SR)
+        .unwrap();
     assert_eq!(st.implied_on(&mut fx.db, u, fx.o_prime).unwrap().len(), 1);
-    st.grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW).unwrap();
+    st.grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW)
+        .unwrap();
     let implied = st.implied_on(&mut fx.db, u, fx.o_prime).unwrap();
-    assert_eq!(implied.len(), 2, "one implicit authorization per composite object");
+    assert_eq!(
+        implied.len(),
+        2,
+        "one implicit authorization per composite object"
+    );
     // Figure 6's sR + sW cell: sW (implying sR).
     assert_eq!(combine_all(&implied), Cell::Auths(vec![Authorization::SW]));
     // Objects exclusive to k receive only k's.
-    assert_eq!(st.implied_on(&mut fx.db, u, fx.o).unwrap(), vec![Authorization::SW]);
+    assert_eq!(
+        st.implied_on(&mut fx.db, u, fx.o).unwrap(),
+        vec![Authorization::SW]
+    );
 }
 
 #[test]
@@ -203,9 +250,19 @@ fn fig5_conflicting_grants_rejected_at_grant_time() {
     let mut fx = figure5();
     let mut st = AuthStore::new();
     let u = UserId(1);
-    st.grant(&mut fx.db, u, AuthObject::Instance(fx.j), Authorization::SNR).unwrap();
-    let err = st.grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW).unwrap_err();
-    assert!(matches!(err, corion::authz::AuthError::Conflict { object, .. } if object == fx.o_prime));
+    st.grant(
+        &mut fx.db,
+        u,
+        AuthObject::Instance(fx.j),
+        Authorization::SNR,
+    )
+    .unwrap();
+    let err = st
+        .grant(&mut fx.db, u, AuthObject::Instance(fx.k), Authorization::SW)
+        .unwrap_err();
+    assert!(
+        matches!(err, corion::authz::AuthError::Conflict { object, .. } if object == fx.o_prime)
+    );
 }
 
 #[test]
@@ -225,10 +282,16 @@ fn fig5_garz88_root_locking_anomaly() {
     assert!(cover.contains_key(&fx.o) && cover.contains_key(&fx.q));
     // T2's X on o (root k): the audit finds the conflicts the algorithm's
     // lock table cannot represent.
-    let missed =
-        audit_missed_conflicts(&mut fx.db, &[(fx.j, LockMode::S), (fx.k, LockMode::S)], &[(fx.k, LockMode::X)])
-            .unwrap();
-    assert!(missed.iter().any(|c| c.object == fx.q), "the Instance[q] conflict of the paper");
+    let missed = audit_missed_conflicts(
+        &mut fx.db,
+        &[(fx.j, LockMode::S), (fx.k, LockMode::S)],
+        &[(fx.k, LockMode::X)],
+    )
+    .unwrap();
+    assert!(
+        missed.iter().any(|c| c.object == fx.q),
+        "the Instance[q] conflict of the paper"
+    );
     assert!(missed.iter().any(|c| c.object == fx.o));
 }
 
@@ -247,7 +310,10 @@ fn fig9_protocol_examples_1_2_compatible_3_conflicts() {
         .define_class(ClassBuilder::new("I").attr_composite(
             "c",
             Domain::Class(c_class),
-            CompositeSpec { exclusive: true, dependent: false },
+            CompositeSpec {
+                exclusive: true,
+                dependent: false,
+            },
         ))
         .unwrap();
     let jk_class = db
@@ -256,12 +322,18 @@ fn fig9_protocol_examples_1_2_compatible_3_conflicts() {
                 .attr_composite(
                     "c",
                     Domain::SetOf(Box::new(Domain::Class(c_class))),
-                    CompositeSpec { exclusive: false, dependent: false },
+                    CompositeSpec {
+                        exclusive: false,
+                        dependent: false,
+                    },
                 )
                 .attr_composite(
                     "w",
                     Domain::Class(w_class),
-                    CompositeSpec { exclusive: true, dependent: false },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: false,
+                    },
                 ),
         )
         .unwrap();
@@ -272,17 +344,27 @@ fn fig9_protocol_examples_1_2_compatible_3_conflicts() {
     // Example 1: update the composite object rooted at Instance[i]:
     // class I in IX, Instance[i] in X, class C in IXO (exclusive path).
     let ex1 = composite_lockset(&db, instance_i, LockIntent::Write);
-    assert!(ex1.locks.contains(&(corion::Lockable::Class(c_class), LockMode::IXO)));
+    assert!(ex1
+        .locks
+        .contains(&(corion::Lockable::Class(c_class), LockMode::IXO)));
     // Example 2: access the composite object rooted at Instance[k]:
     // class JK in IS, Instance[k] in S, class C in ISOS, class W in ISO.
     let ex2 = composite_lockset(&db, instance_k, LockIntent::Read);
-    assert!(ex2.locks.contains(&(corion::Lockable::Class(c_class), LockMode::ISOS)));
-    assert!(ex2.locks.contains(&(corion::Lockable::Class(w_class), LockMode::ISO)));
+    assert!(ex2
+        .locks
+        .contains(&(corion::Lockable::Class(c_class), LockMode::ISOS)));
+    assert!(ex2
+        .locks
+        .contains(&(corion::Lockable::Class(w_class), LockMode::ISO)));
     // Example 3: update the composite object rooted at Instance[j]:
     // class C in IXOS, class W in IXO.
     let ex3 = composite_lockset(&db, instance_j, LockIntent::Write);
-    assert!(ex3.locks.contains(&(corion::Lockable::Class(c_class), LockMode::IXOS)));
-    assert!(ex3.locks.contains(&(corion::Lockable::Class(w_class), LockMode::IXO)));
+    assert!(ex3
+        .locks
+        .contains(&(corion::Lockable::Class(c_class), LockMode::IXOS)));
+    assert!(ex3
+        .locks
+        .contains(&(corion::Lockable::Class(w_class), LockMode::IXO)));
 
     // "Examples 1 and 2 are compatible, while example 3 is incompatible
     // with both 1 and 2."
@@ -290,11 +372,17 @@ fn fig9_protocol_examples_1_2_compatible_3_conflicts() {
     let (t1, t2, t3) = (lm.begin(), lm.begin(), lm.begin());
     ex1.try_acquire(&lm, t1).unwrap();
     ex2.try_acquire(&lm, t2).unwrap();
-    assert!(ex3.try_acquire(&lm, t3).is_err(), "example 3 conflicts while 1 and 2 hold");
+    assert!(
+        ex3.try_acquire(&lm, t3).is_err(),
+        "example 3 conflicts while 1 and 2 hold"
+    );
     lm.release_all(t3); // discard t3's partial acquisition
     lm.release_all(t1);
     let t3b = lm.begin();
-    assert!(ex3.try_acquire(&lm, t3b).is_err(), "still conflicts with example 2 alone");
+    assert!(
+        ex3.try_acquire(&lm, t3b).is_err(),
+        "still conflicts with example 2 alone"
+    );
     lm.release_all(t2);
     lm.release_all(t3b);
     let t3c = lm.begin();
@@ -311,7 +399,10 @@ fn fig9_composite_writer_excludes_direct_access() {
         .define_class(ClassBuilder::new("Asm").attr_composite(
             "p",
             Domain::Class(part),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let p = db.make(part, vec![], vec![]).unwrap();
@@ -319,7 +410,9 @@ fn fig9_composite_writer_excludes_direct_access() {
     let lm = LockManager::new();
     // Composite reader vs direct reader: compatible.
     let (t1, t2) = (lm.begin(), lm.begin());
-    composite_lockset(&db, a, LockIntent::Read).try_acquire(&lm, t1).unwrap();
+    composite_lockset(&db, a, LockIntent::Read)
+        .try_acquire(&lm, t1)
+        .unwrap();
     direct_lockset(p, false).try_acquire(&lm, t2).unwrap();
     // Composite reader vs direct writer: conflict.
     let t3 = lm.begin();
@@ -329,7 +422,9 @@ fn fig9_composite_writer_excludes_direct_access() {
     lm.release_all(t3);
     // Composite writer vs any direct access: conflict.
     let t4 = lm.begin();
-    composite_lockset(&db, a, LockIntent::Write).try_acquire(&lm, t4).unwrap();
+    composite_lockset(&db, a, LockIntent::Write)
+        .try_acquire(&lm, t4)
+        .unwrap();
     let t5 = lm.begin();
     assert!(direct_lockset(p, false).try_acquire(&lm, t5).is_err());
 }
@@ -342,7 +437,7 @@ fn fig9_composite_writer_excludes_direct_access() {
 fn fig4_levels_match_definition() {
     // "O is a level n component of O' if the shortest path between O and O'
     // has n composite references."
-    let mut fx = figure4();
+    let fx = figure4();
     let l1 = fx.db.components_of(fx.i, &Filter::all().level(1)).unwrap();
     assert_eq!(l1.len(), 2, "k and m");
     let l2 = fx.db.components_of(fx.i, &Filter::all().level(2)).unwrap();

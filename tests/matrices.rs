@@ -15,9 +15,21 @@ use corion::{Authorization as A, LockMode};
 #[test]
 fn f6_quoted_cells() {
     // §6 prose states three cells outright:
-    assert_eq!(combine(A::SR, A::SW), Cell::Auths(vec![A::SW]), "sR + sW = sW (implies sR)");
-    assert_eq!(combine(A::SNR, A::SNW), Cell::Auths(vec![A::SNR]), "s¬R + s¬W = s¬R (implies s¬W)");
-    assert_eq!(combine(A::SNR, A::SW), Cell::Conflict, "s¬R vs sW: ¬R implies ¬W, contradiction");
+    assert_eq!(
+        combine(A::SR, A::SW),
+        Cell::Auths(vec![A::SW]),
+        "sR + sW = sW (implies sR)"
+    );
+    assert_eq!(
+        combine(A::SNR, A::SNW),
+        Cell::Auths(vec![A::SNR]),
+        "s¬R + s¬W = s¬R (implies s¬W)"
+    );
+    assert_eq!(
+        combine(A::SNR, A::SW),
+        Cell::Conflict,
+        "s¬R vs sW: ¬R implies ¬W, contradiction"
+    );
 }
 
 #[test]
@@ -96,7 +108,10 @@ fn f6_exactly_twelve_conflict_cells() {
         .flat_map(|a| A::ALL.into_iter().map(move |b| (a, b)))
         .filter(|(a, b)| combine(*a, *b) == Cell::Conflict)
         .count();
-    assert_eq!(conflicts, 12, "3 contradictory pairs per strength × 2 orders × 2 strengths");
+    assert_eq!(
+        conflicts, 12,
+        "3 contradictory pairs per strength × 2 orders × 2 strengths"
+    );
     let rendered = render_figure6();
     assert_eq!(rendered.matches("Conflict").count(), 12);
 }
@@ -112,12 +127,12 @@ fn f7_full_matrix() {
     let modes = LockMode::FIGURE7;
     let expected: [[bool; 8]; 8] = [
         // IS     IX     S      SIX    X      ISO    IXO    SIXO
-        [true, true, true, true, false, true, false, false],  // IS
+        [true, true, true, true, false, true, false, false], // IS
         [true, true, false, false, false, false, false, false], // IX
         [true, false, true, false, false, true, false, false], // S
         [true, false, false, false, false, false, false, false], // SIX
-        [false; 8],                                             // X
-        [true, false, true, false, false, true, true, true],   // ISO
+        [false; 8],                                          // X
+        [true, false, true, false, false, true, true, true], // ISO
         [false, false, false, false, false, true, true, false], // IXO
         [false, false, false, false, false, true, false, false], // SIXO
     ];
@@ -150,17 +165,37 @@ fn f8_full_matrix() {
     // `f8_quoted_semantics` below.
     let expected: [[bool; 11]; 11] = [
         // IS    IX     S     SIX    X     ISO   IXO   SIXO  ISOS  IXOS  SIXOS
-        [true, true, true, true, false, true, false, false, true, false, false], // IS
-        [true, true, false, false, false, false, false, false, false, false, false], // IX
-        [true, false, true, false, false, true, false, false, true, false, false], // S
-        [true, false, false, false, false, false, false, false, false, false, false], // SIX
-        [false; 11],                                                                  // X
-        [true, false, true, false, false, true, true, true, true, true, true],       // ISO
-        [false, false, false, false, false, true, true, false, true, false, false],  // IXO
-        [false, false, false, false, false, true, false, false, true, false, false], // SIXO
-        [true, false, true, false, false, true, true, true, true, false, false],     // ISOS
-        [false, false, false, false, false, true, false, false, false, false, false], // IXOS
-        [false, false, false, false, false, true, false, false, false, false, false], // SIXOS
+        [
+            true, true, true, true, false, true, false, false, true, false, false,
+        ], // IS
+        [
+            true, true, false, false, false, false, false, false, false, false, false,
+        ], // IX
+        [
+            true, false, true, false, false, true, false, false, true, false, false,
+        ], // S
+        [
+            true, false, false, false, false, false, false, false, false, false, false,
+        ], // SIX
+        [false; 11], // X
+        [
+            true, false, true, false, false, true, true, true, true, true, true,
+        ], // ISO
+        [
+            false, false, false, false, false, true, true, false, true, false, false,
+        ], // IXO
+        [
+            false, false, false, false, false, true, false, false, true, false, false,
+        ], // SIXO
+        [
+            true, false, true, false, false, true, true, true, true, false, false,
+        ], // ISOS
+        [
+            false, false, false, false, false, true, false, false, false, false, false,
+        ], // IXOS
+        [
+            false, false, false, false, false, true, false, false, false, false, false,
+        ], // SIXOS
     ];
     for (i, &req) in modes.iter().enumerate() {
         for (j, &cur) in modes.iter().enumerate() {

@@ -46,17 +46,22 @@ fn e1_vehicle_schema_has_the_stated_reference_kinds() {
     it.eval_str(EXAMPLE_1).unwrap();
     for attr in ["Body", "Drivetrain", "Tires"] {
         assert_eq!(
-            it.eval_str(&format!("(exclusive-compositep Vehicle {attr})")).unwrap(),
+            it.eval_str(&format!("(exclusive-compositep Vehicle {attr})"))
+                .unwrap(),
             LangValue::T,
             "{attr} is exclusive"
         );
         assert_eq!(
-            it.eval_str(&format!("(dependent-compositep Vehicle {attr})")).unwrap(),
+            it.eval_str(&format!("(dependent-compositep Vehicle {attr})"))
+                .unwrap(),
             LangValue::Nil,
             "{attr} is independent"
         );
     }
-    assert_eq!(it.eval_str("(compositep Vehicle Manufacturer)").unwrap(), LangValue::Nil);
+    assert_eq!(
+        it.eval_str("(compositep Vehicle Manufacturer)").unwrap(),
+        LangValue::Nil
+    );
     assert_eq!(it.eval_str("(compositep Vehicle)").unwrap(), LangValue::T);
 }
 
@@ -81,7 +86,10 @@ fn e1_parts_used_for_one_vehicle_but_reusable() {
     assert!(it.eval_str("(set! v2 Body body)").is_err());
     // Dismantle v1: delete it; the body survives (independent)…
     it.eval_str("(delete v1)").unwrap();
-    assert_eq!(it.eval_str("(parents-of body)").unwrap(), LangValue::List(vec![]));
+    assert_eq!(
+        it.eval_str("(parents-of body)").unwrap(),
+        LangValue::List(vec![])
+    );
     // …and is reused for v2.
     it.eval_str("(set! v2 Body body)").unwrap();
     assert_eq!(it.eval_str("(child-of body v2)").unwrap(), LangValue::T);
@@ -93,14 +101,32 @@ fn e2_document_schema_semantics() {
     it.eval_str(EXAMPLE_2).unwrap();
     // "The attribute Content, defined as a set, is a shared composite
     // reference."
-    assert_eq!(it.eval_str("(shared-compositep Section Content)").unwrap(), LangValue::T);
-    assert_eq!(it.eval_str("(dependent-compositep Section Content)").unwrap(), LangValue::T);
+    assert_eq!(
+        it.eval_str("(shared-compositep Section Content)").unwrap(),
+        LangValue::T
+    );
+    assert_eq!(
+        it.eval_str("(dependent-compositep Section Content)")
+            .unwrap(),
+        LangValue::T
+    );
     // "In the case of Annotations … the reference is exclusive."
-    assert_eq!(it.eval_str("(exclusive-compositep Document Annotations)").unwrap(), LangValue::T);
+    assert_eq!(
+        it.eval_str("(exclusive-compositep Document Annotations)")
+            .unwrap(),
+        LangValue::T
+    );
     // "The attribute Figures is defined as an independent composite
     // reference."
-    assert_eq!(it.eval_str("(dependent-compositep Document Figures)").unwrap(), LangValue::Nil);
-    assert_eq!(it.eval_str("(shared-compositep Document Figures)").unwrap(), LangValue::T);
+    assert_eq!(
+        it.eval_str("(dependent-compositep Document Figures)")
+            .unwrap(),
+        LangValue::Nil
+    );
+    assert_eq!(
+        it.eval_str("(shared-compositep Document Figures)").unwrap(),
+        LangValue::T
+    );
 }
 
 #[test]
@@ -118,15 +144,30 @@ fn e2_identical_chapter_in_two_books() {
         "#,
     )
     .unwrap();
-    assert_eq!(it.eval_str("(component-of sec book1)").unwrap(), LangValue::T);
-    assert_eq!(it.eval_str("(component-of sec book2)").unwrap(), LangValue::T);
-    assert_eq!(it.eval_str("(shared-component-of sec book1)").unwrap(), LangValue::T);
+    assert_eq!(
+        it.eval_str("(component-of sec book1)").unwrap(),
+        LangValue::T
+    );
+    assert_eq!(
+        it.eval_str("(component-of sec book2)").unwrap(),
+        LangValue::T
+    );
+    assert_eq!(
+        it.eval_str("(shared-component-of sec book1)").unwrap(),
+        LangValue::T
+    );
     // "A section exists, if it belongs to at least one document."
     it.eval_str("(delete book1)").unwrap();
     let parents = it.eval_str("(parents-of sec)").unwrap();
-    assert_eq!(parents, LangValue::List(vec![it.eval_str("book2").unwrap()]));
+    assert_eq!(
+        parents,
+        LangValue::List(vec![it.eval_str("book2").unwrap()])
+    );
     it.eval_str("(delete book2)").unwrap();
-    assert!(it.eval_str("(parents-of sec)").is_err(), "section deleted with its last document");
+    assert!(
+        it.eval_str("(parents-of sec)").is_err(),
+        "section deleted with its last document"
+    );
     // "For a paragraph to exist, there must be at least one section
     // containing it."
     assert!(it.eval_str("(get p1 Content)").is_err() || it.eval_str("(ancestors-of p1)").is_err());
@@ -147,8 +188,14 @@ fn e2_multi_parent_creation_with_parent_clause() {
         "#,
     )
     .unwrap();
-    assert_eq!(it.eval_str("(child-of shared-sec d1)").unwrap(), LangValue::T);
-    assert_eq!(it.eval_str("(child-of shared-sec d2)").unwrap(), LangValue::T);
+    assert_eq!(
+        it.eval_str("(child-of shared-sec d1)").unwrap(),
+        LangValue::T
+    );
+    assert_eq!(
+        it.eval_str("(child-of shared-sec d2)").unwrap(),
+        LangValue::T
+    );
     // Multi-parent creation through an *exclusive* attribute violates
     // Topology Rule 3 and must fail.
     assert!(it
@@ -169,8 +216,15 @@ fn e2_annotations_die_with_their_document_figures_do_not() {
         "#,
     )
     .unwrap();
-    assert!(it.eval_str("(parents-of note)").is_err(), "annotation deleted with document");
-    assert_eq!(it.eval_str("(parents-of img)").unwrap(), LangValue::List(vec![]), "figure survives");
+    assert!(
+        it.eval_str("(parents-of note)").is_err(),
+        "annotation deleted with document"
+    );
+    assert_eq!(
+        it.eval_str("(parents-of img)").unwrap(),
+        LangValue::List(vec![]),
+        "figure survives"
+    );
 }
 
 #[test]
@@ -188,15 +242,25 @@ fn components_of_message_with_all_filters() {
     )
     .unwrap();
     let all = it.eval_str("(components-of doc)").unwrap();
-    let LangValue::List(items) = all else { panic!() };
+    let LangValue::List(items) = all else {
+        panic!()
+    };
     assert_eq!(items.len(), 4);
-    let paras = it.eval_str("(components-of doc :classes (Paragraph))").unwrap();
-    let LangValue::List(items) = paras else { panic!() };
+    let paras = it
+        .eval_str("(components-of doc :classes (Paragraph))")
+        .unwrap();
+    let LangValue::List(items) = paras else {
+        panic!()
+    };
     assert_eq!(items.len(), 2);
     let level1 = it.eval_str("(components-of doc :level 1)").unwrap();
-    let LangValue::List(items) = level1 else { panic!() };
+    let LangValue::List(items) = level1 else {
+        panic!()
+    };
     assert_eq!(items.len(), 2, "section + image");
     let ancestors = it.eval_str("(ancestors-of p1)").unwrap();
-    let LangValue::List(items) = ancestors else { panic!() };
+    let LangValue::List(items) = ancestors else {
+        panic!()
+    };
     assert_eq!(items.len(), 2, "section + document");
 }

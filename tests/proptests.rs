@@ -16,9 +16,7 @@
 use std::collections::HashMap;
 
 use corion::core::composite::ParentSets;
-use corion::{
-    AttributeDef, ClassBuilder, CompositeSpec, Database, Domain, Filter, Oid, Value,
-};
+use corion::{AttributeDef, ClassBuilder, CompositeSpec, Database, Domain, Filter, Oid, Value};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -40,8 +38,15 @@ fn audit(db: &mut Database) {
                 let refs = obj.attrs[idx].refs();
                 if let Some(spec) = def.composite {
                     for r in refs {
-                        assert!(db.exists(r), "dangling composite ref {oid}.{} -> {r}", def.name);
-                        forward.entry(r).or_default().push((oid, spec.dependent, spec.exclusive));
+                        assert!(
+                            db.exists(r),
+                            "dangling composite ref {oid}.{} -> {r}",
+                            def.name
+                        );
+                        forward
+                            .entry(r)
+                            .or_default()
+                            .push((oid, spec.dependent, spec.exclusive));
                     }
                 }
             }
@@ -52,8 +57,11 @@ fn audit(db: &mut Database) {
         // Invariant 1: topology rules.
         ParentSets::of(&obj).check(oid).unwrap();
         // Invariant 2: reverse refs == forward refs (as multisets).
-        let mut actual: Vec<(Oid, bool, bool)> =
-            obj.reverse_refs.iter().map(|r| (r.parent, r.dependent, r.exclusive)).collect();
+        let mut actual: Vec<(Oid, bool, bool)> = obj
+            .reverse_refs
+            .iter()
+            .map(|r| (r.parent, r.dependent, r.exclusive))
+            .collect();
         let mut expected = forward.remove(&oid).unwrap_or_default();
         actual.sort();
         expected.sort();
@@ -62,7 +70,10 @@ fn audit(db: &mut Database) {
     // No reverse refs without forward refs (leftovers would remain in
     // `forward` keyed by OIDs that don't exist — covered by the dangling
     // check above).
-    assert!(forward.is_empty(), "forward refs to objects missing from extensions");
+    assert!(
+        forward.is_empty(),
+        "forward refs to objects missing from extensions"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -72,10 +83,23 @@ fn audit(db: &mut Database) {
 #[derive(Debug, Clone)]
 enum Op {
     Create,
-    Attach { child: usize, parent: usize, attr: usize },
-    Detach { child: usize, parent: usize, attr: usize },
-    Delete { obj: usize },
-    SetWeak { obj: usize, target: usize },
+    Attach {
+        child: usize,
+        parent: usize,
+        attr: usize,
+    },
+    Detach {
+        child: usize,
+        parent: usize,
+        attr: usize,
+    },
+    Delete {
+        obj: usize,
+    },
+    SetWeak {
+        obj: usize,
+        target: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -106,12 +130,16 @@ fn part_db() -> (Database, corion::ClassId) {
             AttributeDef::composite(
                 name,
                 Domain::SetOf(Box::new(Domain::Class(part))),
-                CompositeSpec { exclusive, dependent },
+                CompositeSpec {
+                    exclusive,
+                    dependent,
+                },
             ),
         )
         .unwrap();
     }
-    db.add_attribute(part, AttributeDef::plain("buddy", Domain::Class(part))).unwrap();
+    db.add_attribute(part, AttributeDef::plain("buddy", Domain::Class(part)))
+        .unwrap();
     (db, part)
 }
 
@@ -234,6 +262,145 @@ proptest! {
             for rr in &obj.reverse_refs {
                 prop_assert!(!rr.exclusive && !rr.dependent);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traversal-cache equivalence: cached == fresh uncached walk
+// ---------------------------------------------------------------------
+
+/// Compares every cached §3 traversal against its uncached oracle for every
+/// live object in `pool`. Runs each cached traversal twice so at least one
+/// pass is answered from a warm cache.
+fn assert_traversals_match_oracle(
+    db: &Database,
+    pool: &[Oid],
+    filter: &Filter,
+) -> Result<(), TestCaseError> {
+    for &o in pool {
+        if !db.exists(o) {
+            continue;
+        }
+        for _pass in 0..2 {
+            prop_assert_eq!(
+                db.components_of(o, filter).unwrap(),
+                db.components_of_uncached(o, filter).unwrap()
+            );
+            prop_assert_eq!(
+                db.ancestors_of(o, filter).unwrap(),
+                db.ancestors_of_uncached(o, filter).unwrap()
+            );
+            prop_assert_eq!(
+                db.parents_of(o, filter).unwrap(),
+                db.parents_of_uncached(o, filter).unwrap()
+            );
+            prop_assert_eq!(db.roots_of(o).unwrap(), db.roots_of_uncached(o).unwrap());
+        }
+    }
+    Ok(())
+}
+
+fn filter_for(kind: u8, class: corion::ClassId) -> Filter {
+    match kind % 6 {
+        0 => Filter::all(),
+        1 => Filter::all().exclusive(),
+        2 => Filter::all().shared(),
+        3 => Filter::all().exclusive().shared(),
+        4 => Filter::all().level(2),
+        _ => Filter::all().classes(vec![class]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence property: after every step of a random
+    /// make_component / remove_component / delete / set_attr interleaving,
+    /// each cached traversal equals a fresh walk that bypasses the cache.
+    #[test]
+    fn cached_traversals_equal_uncached_walks_under_random_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..16),
+        fkind in 0u8..6,
+    ) {
+        let (mut db, part) = part_db();
+        let filter = filter_for(fkind, part);
+        let mut pool: Vec<Oid> = (0..5).map(|_| db.make(part, vec![], vec![]).unwrap()).collect();
+        // Warm + check before the interleaving…
+        assert_traversals_match_oracle(&db, &pool, &filter)?;
+        for op in ops {
+            match op {
+                Op::Create => pool.push(db.make(part, vec![], vec![]).unwrap()),
+                Op::Attach { child, parent, attr } => {
+                    let (c, p) = (pool[child % pool.len()], pool[parent % pool.len()]);
+                    if db.exists(c) && db.exists(p) {
+                        let _ = db.make_component(c, p, ATTRS[attr % 4]);
+                    }
+                }
+                Op::Detach { child, parent, attr } => {
+                    let (c, p) = (pool[child % pool.len()], pool[parent % pool.len()]);
+                    if db.exists(c) && db.exists(p) {
+                        let _ = db.remove_component(c, p, ATTRS[attr % 4]);
+                    }
+                }
+                Op::Delete { obj } => {
+                    let o = pool[obj % pool.len()];
+                    if db.exists(o) {
+                        db.delete(o).unwrap();
+                    }
+                }
+                Op::SetWeak { obj, target } => {
+                    let (o, t) = (pool[obj % pool.len()], pool[target % pool.len()]);
+                    if db.exists(o) && db.exists(t) {
+                        let _ = db.set_attr(o, "buddy", Value::Ref(t));
+                    }
+                }
+            }
+            // …and again after every mutation: the generation bump must
+            // have dropped any entry the mutation could have staled.
+            assert_traversals_match_oracle(&db, &pool, &filter)?;
+        }
+    }
+
+    /// Deferred schema evolution changes reference flags *without* writing
+    /// any object — the DDL generation bump alone must keep cached
+    /// traversals honest.
+    #[test]
+    fn cached_traversals_survive_deferred_flag_changes(
+        seed in 0u64..200,
+        fkind in 0u8..6,
+    ) {
+        use corion::core::evolution::{AttrTypeChange, Maintenance};
+        let mut db = Database::new();
+        let dag = corion::workload::GeneratedDag::generate(
+            &mut db,
+            corion::workload::DagParams {
+                depth: 3, fanout: 2, roots: 2,
+                share_fraction: 0.0, dependent_fraction: 1.0, seed,
+            },
+        ).unwrap();
+        let pool = dag.all();
+        let node_class = pool[0].class;
+        let filter = filter_for(fkind, node_class);
+        // Warm the cache with exclusive edges in place…
+        assert_traversals_match_oracle(&db, &pool, &filter)?;
+        // …then flip every composite attribute of the DAG class shared,
+        // deferred: no object is touched until its next access.
+        let class_def = db.class(node_class).unwrap().clone();
+        for attr in class_def.attrs.iter().filter(|a| {
+            a.composite.map(|s| s.exclusive).unwrap_or(false)
+        }) {
+            db.change_attribute_type(
+                node_class,
+                &attr.name,
+                AttrTypeChange::ExclusiveToShared,
+                Maintenance::Deferred,
+            ).unwrap();
+        }
+        assert_traversals_match_oracle(&db, &pool, &filter)?;
+        // An exclusive-only walk now finds nothing below any root.
+        for &root in &dag.roots {
+            prop_assert_eq!(db.components_of(root, &Filter::all().exclusive()).unwrap(), vec![]);
         }
     }
 }

@@ -3,9 +3,7 @@
 //! inheritance hierarchies, and the full I/D taxonomy driven end-to-end.
 
 use corion::core::evolution::{AttrTypeChange, Maintenance};
-use corion::{
-    AttributeDef, ClassBuilder, ClassId, CompositeSpec, Database, Domain, Oid, Value,
-};
+use corion::{AttributeDef, ClassBuilder, ClassId, CompositeSpec, Database, Domain, Oid, Value};
 
 fn doc_world() -> (Database, ClassId, ClassId, Vec<Oid>, Vec<Oid>) {
     let mut db = Database::new();
@@ -14,14 +12,23 @@ fn doc_world() -> (Database, ClassId, ClassId, Vec<Oid>, Vec<Oid>) {
         .define_class(ClassBuilder::new("Document").attr_composite(
             "sections",
             Domain::SetOf(Box::new(Domain::Class(sec))),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let mut secs = Vec::new();
     let mut docs = Vec::new();
     for _ in 0..10 {
         let s = db.make(sec, vec![], vec![]).unwrap();
-        let d = db.make(doc, vec![("sections", Value::Set(vec![Value::Ref(s)]))], vec![]).unwrap();
+        let d = db
+            .make(
+                doc,
+                vec![("sections", Value::Set(vec![Value::Ref(s)]))],
+                vec![],
+            )
+            .unwrap();
         secs.push(s);
         docs.push(d);
     }
@@ -33,15 +40,28 @@ fn deferred_changes_survive_interleaved_traffic() {
     let (mut db, doc, _sec, docs, secs) = doc_world();
     // Change 1 deferred; touch half the sections; change 2 deferred; touch
     // the rest. Every instance must end at the same final flag state.
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     for &s in &secs[..5] {
         let obj = db.get(s).unwrap();
         assert!(!obj.reverse_refs[0].exclusive, "first change applied");
-        assert!(obj.reverse_refs[0].dependent, "second change not yet issued");
+        assert!(
+            obj.reverse_refs[0].dependent,
+            "second change not yet issued"
+        );
     }
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     for &s in &secs {
         let obj = db.get(s).unwrap();
         assert!(!obj.reverse_refs[0].exclusive && !obj.reverse_refs[0].dependent);
@@ -55,11 +75,21 @@ fn deferred_then_state_dependent_change_sees_fresh_flags() {
     // state, not stale flags: the engine applies pending changes on access,
     // and D3 scans instances (accessing them), so verification is correct.
     let (mut db, doc, _sec, _docs, secs) = doc_world();
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     // Without touching anything, immediately demand exclusivity back.
-    db.change_attribute_type(doc, "sections", AttrTypeChange::SharedToExclusive, Maintenance::Immediate)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::SharedToExclusive,
+        Maintenance::Immediate,
+    )
+    .unwrap();
     for &s in &secs {
         let obj = db.get(s).unwrap();
         assert!(obj.reverse_refs[0].exclusive);
@@ -69,10 +99,18 @@ fn deferred_then_state_dependent_change_sees_fresh_flags() {
 #[test]
 fn i1_to_non_composite_turns_components_into_weak_targets() {
     let (mut db, doc, _sec, docs, secs) = doc_world();
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ToNonComposite, Maintenance::Immediate)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ToNonComposite,
+        Maintenance::Immediate,
+    )
+    .unwrap();
     // Forward values intact, part-of semantics gone.
-    assert!(db.get_attr(docs[0], "sections").unwrap().references(secs[0]));
+    assert!(db
+        .get_attr(docs[0], "sections")
+        .unwrap()
+        .references(secs[0]));
     assert!(db.get(secs[0]).unwrap().reverse_refs.is_empty());
     assert!(!db.component_of(secs[0], docs[0]).unwrap());
     // Deleting the document now leaves the section alone (weak ref dangles
@@ -86,8 +124,13 @@ fn d1_weak_to_exclusive_full_cycle() {
     // Demote to weak, then promote back to exclusive — the round trip must
     // restore part-of semantics for every instance.
     let (mut db, doc, _sec, docs, secs) = doc_world();
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ToNonComposite, Maintenance::Immediate)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ToNonComposite,
+        Maintenance::Immediate,
+    )
+    .unwrap();
     db.change_attribute_type(
         doc,
         "sections",
@@ -109,19 +152,35 @@ fn evolution_cascades_through_inheritance() {
         .define_class(ClassBuilder::new("Base").attr_composite(
             "slot",
             Domain::Class(item),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
-    let mid = db.define_class(ClassBuilder::new("Mid").superclass(base)).unwrap();
-    let leafc = db.define_class(ClassBuilder::new("LeafC").superclass(mid)).unwrap();
+    let mid = db
+        .define_class(ClassBuilder::new("Mid").superclass(base))
+        .unwrap();
+    let leafc = db
+        .define_class(ClassBuilder::new("LeafC").superclass(mid))
+        .unwrap();
     let i1 = db.make(item, vec![], vec![]).unwrap();
     let i2 = db.make(item, vec![], vec![]).unwrap();
-    let m = db.make(mid, vec![("slot", Value::Ref(i1))], vec![]).unwrap();
-    let l = db.make(leafc, vec![("slot", Value::Ref(i2))], vec![]).unwrap();
+    let m = db
+        .make(mid, vec![("slot", Value::Ref(i1))], vec![])
+        .unwrap();
+    let l = db
+        .make(leafc, vec![("slot", Value::Ref(i2))], vec![])
+        .unwrap();
     // Deferred change issued on the leaf class lands on Base and reaches
     // instances of Mid too.
-    db.change_attribute_type(leafc, "slot", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        leafc,
+        "slot",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     assert_eq!(db.get(i1).unwrap().ds(), vec![m]);
     assert_eq!(db.get(i2).unwrap().ds(), vec![l]);
     assert!(db.shared_compositep(base, Some("slot")).unwrap());
@@ -132,10 +191,18 @@ fn evolution_cascades_through_inheritance() {
 fn add_then_drop_attribute_round_trip_preserves_other_values() {
     let mut db = Database::new();
     let c = db
-        .define_class(ClassBuilder::new("C").attr("a", Domain::Integer).attr("b", Domain::String))
+        .define_class(
+            ClassBuilder::new("C")
+                .attr("a", Domain::Integer)
+                .attr("b", Domain::String),
+        )
         .unwrap();
     let o = db
-        .make(c, vec![("a", Value::Int(1)), ("b", Value::Str("keep".into()))], vec![])
+        .make(
+            c,
+            vec![("a", Value::Int(1)), ("b", Value::Str("keep".into()))],
+            vec![],
+        )
         .unwrap();
     let mut def = AttributeDef::plain("mid", Domain::Integer);
     def.init = Value::Int(7);
@@ -158,14 +225,20 @@ fn drop_class_in_the_middle_of_a_composite_chain() {
         .define_class(ClassBuilder::new("Mid").attr_composite(
             "b",
             Domain::Class(bottom),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let top = db
         .define_class(ClassBuilder::new("Top").attr_composite(
             "m",
             Domain::Class(mid),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let b = db.make(bottom, vec![], vec![]).unwrap();
@@ -174,7 +247,11 @@ fn drop_class_in_the_middle_of_a_composite_chain() {
     db.drop_class(mid).unwrap();
     assert!(!db.exists(m) && !db.exists(b));
     assert!(db.exists(t));
-    assert_eq!(db.get_attr(t, "m").unwrap(), Value::Null, "forward ref scrubbed");
+    assert_eq!(
+        db.get_attr(t, "m").unwrap(),
+        Value::Null,
+        "forward ref scrubbed"
+    );
     assert!(db.class(mid).is_err());
 }
 
@@ -188,21 +265,32 @@ fn deferred_log_entries_do_not_touch_unrelated_classes() {
         .define_class(ClassBuilder::new("H1").attr_composite(
             "slot",
             Domain::Class(item),
-            CompositeSpec { exclusive: false, dependent: true },
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
         ))
         .unwrap();
     let h2 = db
         .define_class(ClassBuilder::new("H2").attr_composite(
             "slot",
             Domain::Class(item),
-            CompositeSpec { exclusive: false, dependent: true },
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
         ))
         .unwrap();
     let i = db.make(item, vec![], vec![]).unwrap();
     let p1 = db.make(h1, vec![("slot", Value::Ref(i))], vec![]).unwrap();
     let p2 = db.make(h2, vec![("slot", Value::Ref(i))], vec![]).unwrap();
-    db.change_attribute_type(h1, "slot", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        h1,
+        "slot",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     let obj = db.get(i).unwrap();
     let rr1 = obj.reverse_refs.iter().find(|r| r.parent == p1).unwrap();
     let rr2 = obj.reverse_refs.iter().find(|r| r.parent == p2).unwrap();
@@ -214,10 +302,20 @@ fn deferred_log_entries_do_not_touch_unrelated_classes() {
 fn change_counts_are_monotone_and_instances_catch_up_exactly_once() {
     let (mut db, doc, sec, _docs, secs) = doc_world();
     let cc0 = db.class(sec).unwrap().change_count;
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ExclusiveToShared, Maintenance::Deferred)
-        .unwrap();
-    db.change_attribute_type(doc, "sections", AttrTypeChange::ToIndependent, Maintenance::Deferred)
-        .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ExclusiveToShared,
+        Maintenance::Deferred,
+    )
+    .unwrap();
+    db.change_attribute_type(
+        doc,
+        "sections",
+        AttrTypeChange::ToIndependent,
+        Maintenance::Deferred,
+    )
+    .unwrap();
     let cc2 = db.class(sec).unwrap().change_count;
     assert_eq!(cc2, cc0 + 2);
     let obj = db.get(secs[0]).unwrap();

@@ -4,9 +4,9 @@
 //! `cargo test` fast.
 
 use corion::core::evolution::{AttrTypeChange, Maintenance};
-use corion::{Predicate, Query};
 use corion::workload::{Corpus, CorpusParams};
 use corion::{Database, DbConfig, Value};
+use corion::{Predicate, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,7 +82,8 @@ fn mixed_operation_soak() {
             6 => {
                 if let Some(&d) = documents.iter().find(|&&d| db.exists(d)) {
                     db.begin_undo().unwrap();
-                    db.set_attr(d, "Title", Value::Str("in-flight".into())).unwrap();
+                    db.set_attr(d, "Title", Value::Str("in-flight".into()))
+                        .unwrap();
                     if rng.gen_bool(0.5) {
                         db.rollback_undo().unwrap();
                     } else {
@@ -101,7 +102,10 @@ fn mixed_operation_soak() {
             }
             // Deferred schema flag churn (I3/I4 round trip).
             8 => {
-                if db.dependent_compositep(schema.document, Some("Sections")).unwrap() {
+                if db
+                    .dependent_compositep(schema.document, Some("Sections"))
+                    .unwrap()
+                {
                     db.change_attribute_type(
                         schema.document,
                         "Sections",

@@ -13,20 +13,33 @@ use parking_lot::Mutex;
 #[test]
 fn aborted_update_leaves_no_trace() {
     let mut db = Database::new();
-    let part = db.define_class(ClassBuilder::new("Part").attr("n", Domain::Integer)).unwrap();
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("n", Domain::Integer))
+        .unwrap();
     let asm = db
         .define_class(ClassBuilder::new("Asm").attr_composite(
             "parts",
             Domain::SetOf(Box::new(Domain::Class(part))),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let p = db.make(part, vec![("n", Value::Int(1))], vec![]).unwrap();
-    let a = db.make(asm, vec![("parts", Value::Set(vec![Value::Ref(p)]))], vec![]).unwrap();
+    let a = db
+        .make(
+            asm,
+            vec![("parts", Value::Set(vec![Value::Ref(p)]))],
+            vec![],
+        )
+        .unwrap();
 
     let lm = LockManager::shared();
     let txn = Transaction::begin(lm.clone());
-    composite_lockset(&db, a, LockIntent::Write).acquire(&lm, txn.id()).unwrap();
+    composite_lockset(&db, a, LockIntent::Write)
+        .acquire(&lm, txn.id())
+        .unwrap();
     db.begin_undo().unwrap();
     // The transaction rips the assembly apart…
     db.set_attr(p, "n", Value::Int(99)).unwrap();
@@ -40,7 +53,10 @@ fn aborted_update_leaves_no_trace() {
     assert!(db.exists(a) && db.exists(p));
     assert!(!db.exists(extra));
     assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(1));
-    assert_eq!(db.get_attr(a, "parts").unwrap(), Value::Set(vec![Value::Ref(p)]));
+    assert_eq!(
+        db.get_attr(a, "parts").unwrap(),
+        Value::Set(vec![Value::Ref(p)])
+    );
     db.verify_integrity().unwrap();
 }
 
@@ -50,9 +66,12 @@ fn serialised_writers_alternate_commit_and_abort() {
     // object; even-numbered rounds abort. The final counter equals the
     // number of committed rounds — locks serialise, undo erases aborts.
     let mut db = Database::new();
-    let counter_class =
-        db.define_class(ClassBuilder::new("Counter").attr("n", Domain::Integer)).unwrap();
-    let c = db.make(counter_class, vec![("n", Value::Int(0))], vec![]).unwrap();
+    let counter_class = db
+        .define_class(ClassBuilder::new("Counter").attr("n", Domain::Integer))
+        .unwrap();
+    let c = db
+        .make(counter_class, vec![("n", Value::Int(0))], vec![])
+        .unwrap();
     let db = Arc::new(Mutex::new(db));
     let lm = LockManager::shared();
 
@@ -68,7 +87,9 @@ fn serialised_writers_alternate_commit_and_abort() {
                 set.acquire(&lm, txn.id()).unwrap();
                 let mut db = db.lock();
                 db.begin_undo().unwrap();
-                let Value::Int(n) = db.get_attr(c, "n").unwrap() else { panic!() };
+                let Value::Int(n) = db.get_attr(c, "n").unwrap() else {
+                    panic!()
+                };
                 db.set_attr(c, "n", Value::Int(n + 1)).unwrap();
                 let abort = (worker + round) % 2 == 0;
                 if abort {
@@ -86,7 +107,7 @@ fn serialised_writers_alternate_commit_and_abort() {
     for h in handles {
         h.join().unwrap();
     }
-    let mut db = db.lock();
+    let db = db.lock();
     let committed = 2 * 20 / 2; // half the rounds commit
     assert_eq!(db.get_attr(c, "n").unwrap(), Value::Int(committed));
 }
@@ -101,13 +122,18 @@ fn failed_make_is_already_atomic_without_undo() {
         .define_class(ClassBuilder::new("Asm").attr_composite(
             "parts",
             Domain::SetOf(Box::new(Domain::Class(part))),
-            CompositeSpec { exclusive: true, dependent: true },
+            CompositeSpec {
+                exclusive: true,
+                dependent: true,
+            },
         ))
         .unwrap();
     let a1 = db.make(asm, vec![], vec![]).unwrap();
     let a2 = db.make(asm, vec![], vec![]).unwrap();
     db.begin_undo().unwrap();
-    assert!(db.make(part, vec![], vec![(a1, "parts"), (a2, "parts")]).is_err());
+    assert!(db
+        .make(part, vec![], vec![(a1, "parts"), (a2, "parts")])
+        .is_err());
     db.rollback_undo().unwrap();
     assert_eq!(db.instances_of(part, false).len(), 0);
     db.verify_integrity().unwrap();

@@ -17,7 +17,11 @@ fn world() -> World {
     let mut db = Database::new();
     let section = db.define_class(ClassBuilder::new("Section")).unwrap();
     let figure = db
-        .define_class(ClassBuilder::new("Figure").versionable().attr("caption", Domain::String))
+        .define_class(
+            ClassBuilder::new("Figure")
+                .versionable()
+                .attr("caption", Domain::String),
+        )
         .unwrap();
     let document = db
         .define_class(
@@ -27,26 +31,36 @@ fn world() -> World {
                 .attr_composite(
                     "sections",
                     Domain::SetOf(Box::new(Domain::Class(section))),
-                    CompositeSpec { exclusive: false, dependent: true },
+                    CompositeSpec {
+                        exclusive: false,
+                        dependent: true,
+                    },
                 )
                 .attr_composite(
                     "figure",
                     Domain::Class(figure),
-                    CompositeSpec { exclusive: true, dependent: false },
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: false,
+                    },
                 ),
         )
         .unwrap();
-    World { vm: VersionManager::new(db), section, document, figure }
+    World {
+        vm: VersionManager::new(db),
+        section,
+        document,
+        figure,
+    }
 }
 
 #[test]
 fn document_versions_share_sections_dependently() {
     let mut w = world();
     let sec = w.vm.db_mut().make(w.section, vec![], vec![]).unwrap();
-    let (_g, v1) = w
-        .vm
-        .create(w.document, vec![("title", Value::Str("draft".into()))])
-        .unwrap();
+    let (_g, v1) =
+        w.vm.create(w.document, vec![("title", Value::Str("draft".into()))])
+            .unwrap();
     w.vm.bind_static(v1, "sections", sec).unwrap();
     // Deriving copies the shared static reference: the section now belongs
     // to both versions.
@@ -58,32 +72,43 @@ fn document_versions_share_sections_dependently() {
     assert!(w.vm.db().exists(sec));
     assert_eq!(w.vm.db_mut().get(sec).unwrap().ds(), vec![v2]);
     w.vm.delete_version(v2).unwrap();
-    assert!(!w.vm.db().exists(sec), "last dependent parent version deleted the section");
+    assert!(
+        !w.vm.db().exists(sec),
+        "last dependent parent version deleted the section"
+    );
 }
 
 #[test]
 fn derivation_chain_mixes_static_and_dynamic_bindings() {
     let mut w = world();
-    let (g_fig, fig_v1) = w
-        .vm
-        .create(w.figure, vec![("caption", Value::Str("fig 1".into()))])
-        .unwrap();
+    let (g_fig, fig_v1) =
+        w.vm.create(w.figure, vec![("caption", Value::Str("fig 1".into()))])
+            .unwrap();
     let (_g_doc, d1) = w.vm.create(w.document, vec![]).unwrap();
     // d1 statically pinned to fig v1.
     w.vm.bind_static(d1, "figure", fig_v1).unwrap();
     // d2: derivation rebinds the independent exclusive ref to the generic.
     let d2 = w.vm.derive(d1).unwrap();
-    assert_eq!(w.vm.db_mut().get_attr(d2, "figure").unwrap(), Value::Ref(g_fig));
+    assert_eq!(
+        w.vm.db_mut().get_attr(d2, "figure").unwrap(),
+        Value::Ref(g_fig)
+    );
     // New figure versions change what d2 sees, not what d1 sees.
     let fig_v2 = w.vm.derive(fig_v1).unwrap();
     let bound = w.vm.db_mut().get_attr(d2, "figure").unwrap().refs()[0];
     let resolved = w.vm.resolve(bound).unwrap();
     assert_eq!(resolved, fig_v2);
-    assert_eq!(w.vm.db_mut().get_attr(d1, "figure").unwrap(), Value::Ref(fig_v1));
+    assert_eq!(
+        w.vm.db_mut().get_attr(d1, "figure").unwrap(),
+        Value::Ref(fig_v1)
+    );
     // d3 derives from d2: the dynamic binding is copied (CV-1X), ref-count
     // climbs.
     let d3 = w.vm.derive(d2).unwrap();
-    assert_eq!(w.vm.db_mut().get_attr(d3, "figure").unwrap(), Value::Ref(g_fig));
+    assert_eq!(
+        w.vm.db_mut().get_attr(d3, "figure").unwrap(),
+        Value::Ref(g_fig)
+    );
 }
 
 #[test]
@@ -99,7 +124,10 @@ fn deleting_the_figure_hierarchy_cleans_dynamic_binders() {
     assert!(!w.vm.is_generic(g_fig));
     let leftover = w.vm.db_mut().get_attr(d1, "figure").unwrap();
     if let Value::Ref(r) = leftover {
-        assert!(!w.vm.db().exists(r), "dangling dynamic reference to a dead generic");
+        assert!(
+            !w.vm.db().exists(r),
+            "dangling dynamic reference to a dead generic"
+        );
     }
 }
 
@@ -111,7 +139,11 @@ fn default_version_tracks_deletions() {
     let v3 = w.vm.derive(v2).unwrap();
     assert_eq!(w.vm.default_version(g).unwrap(), v3);
     w.vm.delete_version(v3).unwrap();
-    assert_eq!(w.vm.default_version(g).unwrap(), v2, "falls back to latest survivor");
+    assert_eq!(
+        w.vm.default_version(g).unwrap(),
+        v2,
+        "falls back to latest survivor"
+    );
     w.vm.set_default_version(g, v1).unwrap();
     w.vm.delete_version(v1).unwrap();
     assert_eq!(
@@ -145,15 +177,17 @@ fn versioned_and_plain_objects_interoperate() {
     // A non-versionable object may reference a versioned one and appear in
     // the generic's reverse refs under its own OID (§5.3 storage rule 1).
     let mut w = world();
-    let binder_class = w
-        .vm
-        .db_mut()
-        .define_class(ClassBuilder::new("Binder").attr_composite(
-            "doc",
-            Domain::Class(w.document),
-            CompositeSpec { exclusive: false, dependent: false },
-        ))
-        .unwrap();
+    let binder_class =
+        w.vm.db_mut()
+            .define_class(ClassBuilder::new("Binder").attr_composite(
+                "doc",
+                Domain::Class(w.document),
+                CompositeSpec {
+                    exclusive: false,
+                    dependent: false,
+                },
+            ))
+            .unwrap();
     let (g_doc, d1) = w.vm.create(w.document, vec![]).unwrap();
     let binder = w.vm.db_mut().make(binder_class, vec![], vec![]).unwrap();
     w.vm.bind_static(binder, "doc", d1).unwrap();

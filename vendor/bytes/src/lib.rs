@@ -1,0 +1,83 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! The corion codec writes through [`BufMut`] so encoders can target any
+//! growable buffer; only the little-endian fixed-width writers and
+//! `put_slice`/`put_u8` are actually used, so that is what the stub
+//! provides, implemented for `Vec<u8>` and `&mut B`.
+
+/// A growable byte sink (write-only subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(1);
+        buf.put_slice(b"xy");
+        assert_eq!(
+            buf,
+            [0xab, 0x34, 0x12, 0xef, 0xbe, 0xad, 0xde, 1, 0, 0, 0, 0, 0, 0, 0, b'x', b'y']
+        );
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn write(b: &mut impl BufMut) {
+            b.put_u8(7);
+        }
+        let mut buf = Vec::new();
+        write(&mut &mut buf);
+        assert_eq!(buf, [7]);
+    }
+}

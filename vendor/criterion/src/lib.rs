@@ -1,0 +1,339 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion::benchmark_group`,
+//! chainable group configuration, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurements are real wall-clock timings with a
+//! warm-up pass and median-of-samples reporting — adequate for the relative
+//! comparisons the benches make, without criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered as `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter (criterion compatibility).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units-processed-per-iteration annotation (accepted, echoed in reports).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The stub runs one setup per
+/// iteration regardless, so the variants only exist for source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.id,
+            20,
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A set of benchmarks sharing configuration and a report prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Records the amount of work per iteration (accepted, not analysed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (reports were already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Collects timings for one benchmark; passed to the user's closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Warm-up: also calibrates how many iterations fit in one sample.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    loop {
+        f(&mut calib);
+        warm_iters += calib.iters;
+        if warm_start.elapsed() >= warm_up_time {
+            break;
+        }
+    }
+    let per_iter = warm_start
+        .elapsed()
+        .checked_div(warm_iters.max(1) as u32)
+        .unwrap_or_default();
+    let per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or_default();
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(
+            b.elapsed
+                .checked_div(iters.max(1) as u32)
+                .unwrap_or_default(),
+        );
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Defines a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main()` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("walk", 64).id, "walk/64");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}
