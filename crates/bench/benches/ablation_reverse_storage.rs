@@ -39,8 +39,11 @@ struct Layout {
 }
 
 fn build(parents: usize, in_object: bool) -> Layout {
-    let mut store = ObjectStore::new(StoreConfig { buffer_capacity: 8 });
-    let data_seg = store.create_segment();
+    let mut store = ObjectStore::new(StoreConfig {
+        buffer_capacity: 8,
+        ..StoreConfig::default()
+    });
+    let data_seg = store.create_segment().unwrap();
     let rev_size = parents * BYTES_PER_PARENT;
     let mut components = Vec::with_capacity(COMPONENTS);
     let mut index = Vec::with_capacity(COMPONENTS);
@@ -52,7 +55,7 @@ fn build(parents: usize, in_object: bool) -> Layout {
     } else {
         let record = vec![7u8; BASE_PAYLOAD];
         let rev_record = vec![9u8; rev_size.max(1)];
-        let rev_seg = store.create_segment();
+        let rev_seg = store.create_segment().unwrap();
         for _ in 0..COMPONENTS {
             components.push(store.insert(data_seg, &record, None).unwrap());
             index.push(store.insert(rev_seg, &rev_record, None).unwrap());

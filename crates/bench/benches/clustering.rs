@@ -25,7 +25,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn build(groups: usize, n: usize, clustered: bool) -> (Database, Vec<Oid>) {
     // Tiny buffer pool so cold reads hit the simulated disk.
     let mut db = Database::with_config(DbConfig {
-        store: StoreConfig { buffer_capacity: 8 },
+        store: StoreConfig {
+            buffer_capacity: 8,
+            ..StoreConfig::default()
+        },
         ..DbConfig::default()
     });
     let part = db

@@ -1,0 +1,118 @@
+//! WAL cost accounting: what durability adds to the write path.
+//!
+//! Every public mutation now commits an atomic batch — page after-images
+//! plus a commit marker appended to the log, flushed, then applied. This
+//! bench measures that overhead at its two extremes and the recovery path
+//! itself:
+//!
+//!   * `commit/autocommit-insert` — one small object per batch (worst
+//!     amortization: one page image per record insert);
+//!   * `commit/cascade-delete` — a whole composite object per batch (the
+//!     Deletion Rule's multi-object write, many pages in one commit);
+//!   * `recover/replay` — crash + WAL replay + object-table rebuild for a
+//!     populated store.
+//!
+//! WAL byte counts per variant are printed at setup, alongside criterion's
+//! wall-clock numbers, in the spirit of the I/O-count experiments.
+
+use corion::{ClassBuilder, CompositeSpec, Database, Domain, Oid, Value};
+use corion_bench::bench_db;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn schema(db: &mut Database) -> (corion::ClassId, corion::ClassId) {
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("payload", Domain::String))
+        .unwrap();
+    let asm = db
+        .define_class(
+            ClassBuilder::new("Asm")
+                .same_segment_as(part)
+                .attr_composite(
+                    "parts",
+                    Domain::SetOf(Box::new(Domain::Class(part))),
+                    CompositeSpec {
+                        exclusive: true,
+                        dependent: true,
+                    },
+                ),
+        )
+        .unwrap();
+    (part, asm)
+}
+
+/// One assembly of `n` parts, built with `:parent` clustering.
+fn composite(db: &mut Database, part: corion::ClassId, asm: corion::ClassId, n: usize) -> Oid {
+    let root = db.make(asm, vec![], vec![]).unwrap();
+    for _ in 0..n {
+        db.make(
+            part,
+            vec![("payload", Value::Str("x".repeat(100)))],
+            vec![(root, "parts")],
+        )
+        .unwrap();
+    }
+    root
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+
+    // Autocommit: each insert is its own batch.
+    {
+        let mut db = bench_db(256);
+        let (part, _) = schema(&mut db);
+        let before = db.wal_stats();
+        for _ in 0..100 {
+            db.make(part, vec![("payload", Value::Str("y".repeat(100)))], vec![])
+                .unwrap();
+        }
+        let after = db.wal_stats();
+        println!(
+            "[wal] 100 autocommit inserts: {} log records, {} bytes appended",
+            after.records_appended - before.records_appended,
+            (after.durable_bytes + after.pending_bytes).saturating_sub(before.durable_bytes)
+        );
+        group.bench_function("commit/autocommit-insert", |b| {
+            b.iter(|| {
+                db.make(part, vec![("payload", Value::Str("y".repeat(100)))], vec![])
+                    .unwrap()
+            })
+        });
+    }
+
+    // Cascade delete: one batch spanning the whole composite object.
+    group.bench_function("commit/cascade-delete", |b| {
+        b.iter_batched(
+            || {
+                let mut db = bench_db(256);
+                let (part, asm) = schema(&mut db);
+                let root = composite(&mut db, part, asm, 30);
+                (db, root)
+            },
+            |(mut db, root)| db.delete(root).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Recovery: crash a populated engine and replay the committed log.
+    group.bench_function("recover/replay", |b| {
+        b.iter_batched(
+            || {
+                let mut db = bench_db(256);
+                let (part, asm) = schema(&mut db);
+                for _ in 0..10 {
+                    composite(&mut db, part, asm, 10);
+                }
+                db.simulate_crash();
+                db
+            },
+            |mut db| db.recover().unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ pub fn bench_db(buffer_pages: usize) -> Database {
     Database::with_config(DbConfig {
         store: corion::storage::StoreConfig {
             buffer_capacity: buffer_pages,
+            ..corion::storage::StoreConfig::default()
         },
         ..DbConfig::default()
     })

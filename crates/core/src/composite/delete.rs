@@ -26,7 +26,15 @@ impl Database {
     /// Deletes `root` and recursively every component required by the
     /// Deletion Rule. Returns the set of objects actually deleted
     /// (including `root`).
+    ///
+    /// The entire cascade is one atomic batch: a crash mid-delete recovers
+    /// to either the full pre-delete state or the full post-delete state,
+    /// never a hierarchy with half its members gone.
     pub fn delete(&mut self, root: Oid) -> DbResult<Vec<Oid>> {
+        self.atomic(|db| db.delete_inner(root))
+    }
+
+    fn delete_inner(&mut self, root: Oid) -> DbResult<Vec<Oid>> {
         if !self.exists(root) {
             return Err(DbError::NoSuchObject(root));
         }

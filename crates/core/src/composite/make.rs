@@ -27,8 +27,14 @@ impl Database {
     ///
     /// Fails if `attr` is not composite, if the Make-Component Rule rejects
     /// the reference, or if the reference would close a part-hierarchy
-    /// cycle.
+    /// cycle. The child's reverse reference and the parent's forward
+    /// reference are written in one atomic batch — a crash cannot leave one
+    /// direction without the other.
     pub fn make_component(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+        self.atomic(|db| db.make_component_inner(child, parent, attr))
+    }
+
+    fn make_component_inner(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
         let pclass = self.catalog.class(parent.class)?;
         let def = pclass.attr(attr).ok_or_else(|| DbError::NoSuchAttribute {
             class: parent.class,
@@ -53,8 +59,13 @@ impl Database {
     }
 
     /// Removes `child` from `parent`'s composite attribute `attr`,
-    /// detaching the reverse reference and applying the orphan policy.
+    /// detaching the reverse reference and applying the orphan policy —
+    /// including any orphan cascade — in one atomic batch.
     pub fn remove_component(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+        self.atomic(|db| db.remove_component_inner(child, parent, attr))
+    }
+
+    fn remove_component_inner(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
         let pclass = self.catalog.class(parent.class)?;
         let idx = pclass
             .attr_index(attr)

@@ -108,6 +108,48 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Atomic batches
+    // ------------------------------------------------------------------
+
+    /// Runs `f` inside one storage-level atomic batch: every page the
+    /// operation touches is logged to the WAL and either all of them become
+    /// durable or none do. Nested calls join the enclosing batch, so a
+    /// cascade (`delete`) is one batch no matter how many objects it visits.
+    ///
+    /// Error handling is split by kind:
+    ///
+    /// * a [`DbError::Storage`] error means the substrate itself failed
+    ///   (I/O fault, injected crash point) — the batch is **aborted**, the
+    ///   pages roll back to the pre-batch state, and the in-memory maps may
+    ///   now disagree with storage: the caller must run
+    ///   [`Database::recover`] before further mutations;
+    /// * any other error is a semantic rejection that the entry point has
+    ///   already compensated for (e.g. a failed `make` deletes its
+    ///   half-created instance) — those compensation writes are **committed**
+    ///   so storage and the in-memory maps stay in step.
+    pub(crate) fn atomic<R>(&mut self, f: impl FnOnce(&mut Self) -> DbResult<R>) -> DbResult<R> {
+        if self.store.in_atomic_batch() {
+            return f(self);
+        }
+        self.store.begin_atomic()?;
+        match f(self) {
+            Ok(out) => {
+                self.store.commit_atomic()?;
+                Ok(out)
+            }
+            Err(e) if matches!(e, DbError::Storage(_)) => {
+                let _ = self.store.abort_atomic();
+                self.traversal_cache.bump();
+                Err(e)
+            }
+            Err(e) => {
+                self.store.commit_atomic()?;
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Schema
     // ------------------------------------------------------------------
 
@@ -121,7 +163,7 @@ impl Database {
         self.traversal_cache.bump();
         let segment = match builder.share_segment_with {
             Some(other) => self.catalog.class(other)?.segment,
-            None => self.store.create_segment(),
+            None => self.store.create_segment()?,
         };
         let id = self.catalog.define(builder, segment)?;
         self.extensions.insert(id, BTreeSet::new());
@@ -277,7 +319,19 @@ impl Database {
     /// * The new object is physically clustered with the *first* parent,
     ///   "if the classes of the two objects are stored in the same physical
     ///   segment".
+    ///
+    /// The whole creation — instance insert plus every parent/child wiring
+    /// write — is one atomic batch.
     pub fn make(
+        &mut self,
+        class: ClassId,
+        values: Vec<(&str, Value)>,
+        parents: Vec<(Oid, &str)>,
+    ) -> DbResult<Oid> {
+        self.atomic(|db| db.make_inner(class, values, parents))
+    }
+
+    fn make_inner(
         &mut self,
         class: ClassId,
         values: Vec<(&str, Value)>,
@@ -446,8 +500,13 @@ impl Database {
     /// Writes one attribute by name, maintaining composite semantics:
     /// references added to a composite attribute go through the
     /// Make-Component Rule; references removed are detached (with orphan
-    /// handling per [`OrphanPolicy`]).
+    /// handling per [`OrphanPolicy`]). The write plus all composite
+    /// bookkeeping (attach, detach, orphan cascade) is one atomic batch.
     pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        self.atomic(|db| db.set_attr_inner(oid, attr, value))
+    }
+
+    fn set_attr_inner(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
         let class = self.catalog.class(oid.class)?;
         let idx = class
             .attr_index(attr)
@@ -490,18 +549,20 @@ impl Database {
     /// information lives in the generic instance with a ref-count (§5.3).
     /// Application code should use [`Database::set_attr`].
     pub fn set_attr_weak(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
-        let class = self.catalog.class(oid.class)?;
-        let idx = class
-            .attr_index(attr)
-            .ok_or_else(|| DbError::NoSuchAttribute {
-                class: oid.class,
-                attr: attr.into(),
-            })?;
-        let def = class.attrs[idx].clone();
-        self.check_domain(&def, &value)?;
-        let mut obj = self.get(oid)?;
-        obj.attrs[idx] = value;
-        self.save(&obj)
+        self.atomic(|db| {
+            let class = db.catalog.class(oid.class)?;
+            let idx = class
+                .attr_index(attr)
+                .ok_or_else(|| DbError::NoSuchAttribute {
+                    class: oid.class,
+                    attr: attr.into(),
+                })?;
+            let def = class.attrs[idx].clone();
+            db.check_domain(&def, &value)?;
+            let mut obj = db.get(oid)?;
+            obj.attrs[idx] = value;
+            db.save(&obj)
+        })
     }
 
     /// Checks `value` against an attribute's domain: shape, and class
@@ -581,6 +642,103 @@ impl Database {
     /// The storage segment a class's instances live in.
     pub fn segment_of(&self, class: ClassId) -> DbResult<SegmentId> {
         Ok(self.catalog.class(class)?.segment)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability & crash recovery
+    // ------------------------------------------------------------------
+    //
+    // The crash model is the storage layer's (DESIGN.md §10): a crash loses
+    // buffer-pool frames and unflushed WAL bytes but keeps disk pages and
+    // flushed log bytes. The catalog and operation logs are engine memory —
+    // DDL is outside the crash scope, as in ORION where schema evolution was
+    // non-transactional; cross-process durability of the schema comes from
+    // `dump`/`save_to_file` (see `persist`).
+
+    /// Simulates a crash of the storage substrate: buffer-pool frames and
+    /// unflushed WAL bytes are lost; disk pages and flushed WAL bytes
+    /// survive. The store refuses further mutations until
+    /// [`Database::recover`] runs.
+    pub fn simulate_crash(&mut self) {
+        self.store.simulate_crash();
+        self.traversal_cache.bump();
+    }
+
+    /// Recovers after a crash (simulated or injected): replays the
+    /// committed WAL tail into the page store, discards any torn or
+    /// uncommitted suffix, then rebuilds the engine's in-memory maps —
+    /// object table, class extensions, serial counter — by scanning every
+    /// recovered segment. Any open undo scope is discarded (its log may
+    /// reference rolled-back state).
+    ///
+    /// Idempotent: recovering an already-consistent engine is a no-op
+    /// beyond the rescan.
+    pub fn recover(&mut self) -> DbResult<corion_storage::RecoveryReport> {
+        let report = self.store.recover()?;
+        self.undo = None;
+        self.object_table.clear();
+        for ext in self.extensions.values_mut() {
+            ext.clear();
+        }
+        for class in self.catalog.all_classes() {
+            self.extensions.entry(class).or_default();
+        }
+        let mut max_serial = self.next_serial;
+        for seg in self.store.segment_ids() {
+            for (phys, bytes) in self.store.scan(seg)? {
+                let obj = Object::decode(&bytes)?;
+                max_serial = max_serial.max(obj.oid.serial + 1);
+                self.object_table.insert(obj.oid, phys);
+                self.extensions
+                    .entry(obj.oid.class)
+                    .or_default()
+                    .insert(obj.oid);
+            }
+        }
+        self.next_serial = max_serial;
+        self.traversal_cache.bump();
+        Ok(report)
+    }
+
+    /// Checkpoints the WAL: the log is compacted to a snapshot of the
+    /// current segment directory, bounding replay work.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        Ok(self.store.checkpoint()?)
+    }
+
+    /// Write-ahead-log counters (durable/pending bytes, records, flushes).
+    pub fn wal_stats(&self) -> corion_storage::WalStats {
+        self.store.wal_stats()
+    }
+
+    /// Arms a named crash point (see [`corion_storage::CRASH_POINTS`]): the
+    /// `countdown`-th time execution reaches it, the store fails as if the
+    /// process died there.
+    pub fn arm_crash_point(&self, point: &'static str, countdown: u64) {
+        self.store.arm_crash_point(point, countdown);
+    }
+
+    /// Arms a torn-write crash at `point`: the crash leaves only the first
+    /// `keep_bytes` of the WAL flush durable.
+    pub fn arm_torn_crash(&self, point: &'static str, countdown: u64, keep_bytes: usize) {
+        self.store.arm_torn_crash(point, countdown, keep_bytes);
+    }
+
+    /// Disarms every crash point.
+    pub fn heal_crash_points(&self) {
+        self.store.heal_crash_points();
+    }
+
+    /// Remaining countdown of an armed crash point (`None` once fired or
+    /// never armed).
+    pub fn crash_point_remaining(&self, point: &'static str) -> Option<u64> {
+        self.store.crash_point_remaining(point)
+    }
+
+    /// XORs `mask` into the durable WAL byte at `offset` (bit-rot
+    /// injection for checksum tests).
+    pub fn corrupt_wal_byte(&mut self, offset: usize, mask: u8) {
+        self.store.corrupt_wal_byte(offset, mask);
     }
 }
 

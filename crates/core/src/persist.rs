@@ -7,13 +7,18 @@
 //! chain of `near` hints, so the clustering the `:parent` clauses built up
 //! (§2.3) survives the round trip.
 //!
-//! The format is versioned with a magic header; everything uses the same
+//! The format is versioned with a magic header and sealed with a trailing
+//! FNV-1a checksum over the whole body, so a truncated or bit-flipped image
+//! is rejected instead of half-restored; everything uses the same
 //! hand-rolled codec as the page layer, so a dump is readable without any
-//! external crate.
+//! external crate. [`Database::save_to_file`] writes through a temporary
+//! file and renames it into place, so a crash mid-save leaves the previous
+//! dump intact. Crash recovery of the *in-process* store (WAL replay +
+//! in-memory map rebuild) is [`Database::recover`] in `db`.
 
 use bytes::BufMut;
 use corion_storage::codec::{self, Reader};
-use corion_storage::{SegmentId, StorageError};
+use corion_storage::{fnv1a64, SegmentId, StorageError};
 
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
@@ -22,7 +27,7 @@ use crate::object::Object;
 use crate::oid::ClassId;
 use crate::schema::catalog::Catalog;
 
-const MAGIC: &[u8; 8] = b"CORION01";
+const MAGIC: &[u8; 8] = b"CORION02";
 
 impl Database {
     /// Serializes the whole database (schema, operation logs, objects) into
@@ -88,13 +93,28 @@ impl Database {
                 codec::put_bytes(&mut buf, &bytes);
             }
         }
+        // Seal the image: a trailing checksum over everything above.
+        let sum = fnv1a64(&buf);
+        codec::put_u64(&mut buf, sum);
         Ok(buf)
     }
 
     /// Reconstructs a database from a [`Database::dump`] image, using the
     /// given configuration for the new store.
     pub fn restore(image: &[u8], config: crate::db::DbConfig) -> DbResult<Database> {
-        let mut r = Reader::new(image);
+        if image.len() < MAGIC.len() + 8 {
+            return Err(DbError::Storage(StorageError::Corrupt {
+                context: "dump image too short",
+            }));
+        }
+        let (body, trailer) = image.split_at(image.len() - 8);
+        let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if fnv1a64(body) != expected {
+            return Err(DbError::Storage(StorageError::Corrupt {
+                context: "dump checksum",
+            }));
+        }
+        let mut r = Reader::new(body);
         let mut magic = [0u8; 8];
         for b in &mut magic {
             *b = r.u8("magic")?;
@@ -148,7 +168,7 @@ impl Database {
             .max()
             .unwrap_or(0);
         for _ in 0..=max_seg {
-            db.store.create_segment();
+            db.store.create_segment()?;
         }
         for class in db.catalog.all_classes() {
             db.extensions.entry(class).or_default();
@@ -175,12 +195,20 @@ impl Database {
         Ok(db)
     }
 
-    /// Dumps to a file.
+    /// Dumps to a file, atomically: the image is written to a sibling
+    /// temporary file and renamed into place, so a crash mid-write never
+    /// clobbers an existing dump with a partial one.
     pub fn save_to_file(&mut self, path: impl AsRef<std::path::Path>) -> DbResult<()> {
         let image = self.dump()?;
-        std::fs::write(path, image).map_err(|e| DbError::SchemaChangeRejected {
+        let path = path.as_ref();
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let io_err = |e: std::io::Error| DbError::SchemaChangeRejected {
             reason: format!("failed to write dump: {e}"),
-        })
+        };
+        std::fs::write(&tmp, &image).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
     }
 
     /// Restores from a file.

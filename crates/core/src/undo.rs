@@ -67,32 +67,36 @@ impl Database {
     }
 
     /// Restores every object touched since `begin_undo` to its state at
-    /// that point and closes the scope.
+    /// that point and closes the scope. The whole restoration is one atomic
+    /// batch: a crash mid-rollback recovers to either the unrolled state or
+    /// the fully rolled-back state.
     pub fn rollback_undo(&mut self) -> DbResult<()> {
         let log = self.undo.take().ok_or(DbError::SchemaChangeRejected {
             reason: "no undo scope is open".into(),
         })?;
-        for (oid, before) in log.before {
-            match before {
-                Some(obj) => {
-                    if self.exists(oid) {
-                        // Touched or recreated: restore the before-image.
-                        self.save(&obj)?;
-                    } else {
-                        // Deleted during the scope: resurrect.
-                        self.insert_object(&obj, None)?;
+        self.atomic(|db| {
+            for (oid, before) in log.before {
+                match before {
+                    Some(obj) => {
+                        if db.exists(oid) {
+                            // Touched or recreated: restore the before-image.
+                            db.save(&obj)?;
+                        } else {
+                            // Deleted during the scope: resurrect.
+                            db.insert_object(&obj, None)?;
+                        }
                     }
-                }
-                None => {
-                    // Created during the scope: remove.
-                    if self.exists(oid) {
-                        self.erase(oid)?;
+                    None => {
+                        // Created during the scope: remove.
+                        if db.exists(oid) {
+                            db.erase(oid)?;
+                        }
                     }
                 }
             }
-        }
-        self.next_serial = self.next_serial.max(log.next_serial);
-        Ok(())
+            db.next_serial = db.next_serial.max(log.next_serial);
+            Ok(())
+        })
     }
 
     /// Records the before-image of `oid` (only the first touch matters).

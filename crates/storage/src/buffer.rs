@@ -15,7 +15,7 @@
 //! shards so concurrent traversals do not serialise on one lock.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -39,6 +39,10 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Dirty frames written back on eviction or flush.
     pub writebacks: u64,
+    /// Fetches that grew a full shard past its budget because every
+    /// resident frame was dirty and pinned by the no-steal policy. Bounded
+    /// by the largest atomic batch; commit drains the debt.
+    pub overcommits: u64,
 }
 
 struct Frame {
@@ -60,11 +64,16 @@ pub struct BufferPool {
     shards: Vec<RwLock<HashMap<u64, Frame>>>,
     /// Frame budget per shard.
     shard_capacity: usize,
+    /// While set, eviction may not write dirty frames back (the WAL's
+    /// *no-steal* policy: an open atomic batch's pages must never reach the
+    /// disk before their log records are durable).
+    no_steal: AtomicBool,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    overcommits: AtomicU64,
 }
 
 impl BufferPool {
@@ -85,11 +94,13 @@ impl BufferPool {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             shard_capacity: capacity.div_ceil(shard_count),
+            no_steal: AtomicBool::new(false),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            overcommits: AtomicU64::new(0),
         }
     }
 
@@ -151,8 +162,22 @@ impl BufferPool {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            if frames.len() >= self.shard_capacity {
-                self.evict_one(frames)?;
+            // The shard may sit above budget after a no-steal overcommit;
+            // evict down to budget so the debt drains once frames are clean.
+            while frames.len() >= self.shard_capacity {
+                match self.evict_one(frames) {
+                    Ok(()) => {}
+                    // Every evictable frame is dirty and pinned by an open
+                    // atomic batch. The batch must be able to finish (its
+                    // pages cannot reach the disk before commit), so the
+                    // shard overcommits; commit cleans the frames and the
+                    // debt drains through ordinary eviction.
+                    Err(StorageError::PoolExhausted) if self.no_steal.load(Ordering::Relaxed) => {
+                        self.overcommits.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             let page = self.disk.read(id)?;
             frames.insert(
@@ -170,8 +195,10 @@ impl BufferPool {
     }
 
     fn evict_one(&self, frames: &mut HashMap<u64, Frame>) -> StorageResult<()> {
+        let no_steal = self.no_steal.load(Ordering::Relaxed);
         let victim = frames
             .iter()
+            .filter(|(_, f)| !(no_steal && f.dirty))
             .min_by_key(|(_, f)| f.last_used.load(Ordering::Relaxed))
             .map(|(&id, _)| id)
             .ok_or(StorageError::PoolExhausted)?;
@@ -199,6 +226,53 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Switches the *no-steal* eviction policy on or off. While on, dirty
+    /// frames are pinned in memory: [`BufferPool::evict_one`] considers
+    /// only clean victims and reports [`StorageError::PoolExhausted`] when
+    /// every frame in a full shard is dirty.
+    pub fn set_no_steal(&self, on: bool) {
+        self.no_steal.store(on, Ordering::Relaxed);
+    }
+
+    /// Applies a committed page image: writes `page` to disk and, if a
+    /// frame for `id` is resident, marks it clean (its contents are by
+    /// construction the image being applied). This is the commit/redo write
+    /// path — it must not fault the page in.
+    pub fn apply_page(&self, id: u64, page: &Page) -> StorageResult<()> {
+        self.disk.write(id, page)?;
+        let mut frames = self.shard(id).write();
+        if let Some(frame) = frames.get_mut(&id) {
+            frame.dirty = false;
+        }
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops the frames for `pages` *without* writing them back — aborting
+    /// a batch discards its uncommitted after-images so the next fetch
+    /// re-reads the committed contents from disk.
+    pub fn discard_pages(&self, pages: impl IntoIterator<Item = u64>) {
+        for id in pages {
+            self.shard(id).write().remove(&id);
+        }
+    }
+
+    /// Drops every frame without writeback — the volatile half of a
+    /// simulated crash (dirty uncommitted state evaporates; the disk and
+    /// the durable log survive).
+    pub fn discard_all(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Grows the disk until page `id` exists. Recovery needs this when the
+    /// log's committed tail mentions pages allocated after the crash point's
+    /// last applied state.
+    pub fn ensure_allocated(&self, id: u64) {
+        self.disk.ensure_page_count(id + 1);
+    }
+
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> BufferStats {
         BufferStats {
@@ -206,6 +280,7 @@ impl BufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            overcommits: self.overcommits.load(Ordering::Relaxed),
         }
     }
 
@@ -230,6 +305,7 @@ impl BufferPool {
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
+        self.overcommits.store(0, Ordering::Relaxed);
         self.disk.reset_stats();
     }
 
@@ -324,6 +400,57 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn no_steal_pins_dirty_frames_and_overcommits() {
+        let bp = pool(1);
+        let a = bp.allocate();
+        let b = bp.allocate();
+        bp.set_no_steal(true);
+        bp.with_page_mut(a, |p| p.insert(b"uncommitted").unwrap())
+            .unwrap();
+        // The only frame is dirty and pinned: faulting b in must not leak
+        // a's uncommitted bytes to disk — the shard overcommits instead.
+        bp.with_page(b, |_| ()).unwrap();
+        let s = bp.stats();
+        assert_eq!(s.writebacks, 0, "no dirty page reached the disk");
+        assert_eq!(s.overcommits, 1);
+        // Once the frame is clean again, ordinary eviction drains the debt.
+        bp.set_no_steal(false);
+        let c = bp.allocate();
+        bp.with_page(c, |_| ()).unwrap();
+        assert_eq!(bp.stats().writebacks, 1, "dirty a written back on steal");
+    }
+
+    #[test]
+    fn discard_pages_drops_uncommitted_contents() {
+        let bp = pool(4);
+        let a = bp.allocate();
+        bp.with_page_mut(a, |p| p.insert(b"doomed").unwrap())
+            .unwrap();
+        bp.discard_pages([a]);
+        // Next fetch re-reads the (empty) committed page from disk.
+        let slots = bp.with_page(a, |p| p.read(0).is_ok()).unwrap();
+        assert!(!slots, "uncommitted insert must not survive discard");
+        assert_eq!(bp.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn apply_page_writes_through_and_cleans_the_frame() {
+        let bp = pool(1);
+        let a = bp.allocate();
+        bp.set_no_steal(true);
+        bp.with_page_mut(a, |p| p.insert(b"committed").unwrap())
+            .unwrap();
+        let image = bp.with_page(a, |p| p.clone()).unwrap();
+        bp.apply_page(a, &image).unwrap();
+        // Frame is clean now: another page can evict it under no-steal.
+        let b = bp.allocate();
+        bp.with_page(b, |_| ()).unwrap();
+        bp.set_no_steal(false);
+        let data = bp.with_page(a, |p| p.read(0).unwrap().to_vec()).unwrap();
+        assert_eq!(data, b"committed");
     }
 
     #[test]

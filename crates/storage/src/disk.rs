@@ -10,6 +10,13 @@
 //! Every method takes `&self`: the page array sits behind an `RwLock` and
 //! the counters are atomics, so the buffer pool above can service concurrent
 //! readers without exclusive access to the disk.
+//!
+//! In the crash model of [`crate::wal`], the page array is the *durable*
+//! half of the world: a simulated crash loses buffer-pool frames and
+//! unflushed log bytes, but never pages already written here. Failure
+//! injection splits accordingly — [`SimDisk::fail_after`] counts raw I/Os
+//! for error-propagation tests, while the named crash points of
+//! [`crate::fault`] target the durability protocol itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -71,6 +78,17 @@ impl SimDisk {
     /// Number of allocated pages.
     pub fn page_count(&self) -> u64 {
         self.pages.read().len() as u64
+    }
+
+    /// Grows the disk with zeroed pages until it holds at least `count`
+    /// pages. Used by recovery to re-attach pages the committed log refers
+    /// to; deliberately uncounted (nothing is "allocated" — the pages
+    /// survived the crash).
+    pub fn ensure_page_count(&self, count: u64) {
+        let mut pages = self.pages.write();
+        while (pages.len() as u64) < count {
+            pages.push(Box::new(*Page::new().as_bytes()));
+        }
     }
 
     /// Arms failure injection: after `ops` more successful I/Os, every

@@ -59,6 +59,15 @@ pub enum StorageError {
         /// Description of the malformed construct.
         context: &'static str,
     },
+    /// `begin_atomic` was called while a batch was already open; atomic
+    /// batches do not nest at the store level (callers join the open batch
+    /// instead).
+    BatchAlreadyOpen,
+    /// `commit_atomic` / `abort_atomic` was called with no open batch.
+    NoBatchOpen,
+    /// The store crashed mid-commit (after its durability point) and must
+    /// be recovered before accepting further work.
+    NeedsRecovery,
 }
 
 impl fmt::Display for StorageError {
@@ -99,6 +108,18 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt { context } => {
                 write!(f, "malformed storage bytes: {context}")
             }
+            StorageError::BatchAlreadyOpen => {
+                write!(f, "an atomic batch is already open on this store")
+            }
+            StorageError::NoBatchOpen => {
+                write!(f, "no atomic batch is open on this store")
+            }
+            StorageError::NeedsRecovery => {
+                write!(
+                    f,
+                    "the store crashed mid-commit and must be recovered first"
+                )
+            }
         }
     }
 }
@@ -120,6 +141,10 @@ mod tests {
         assert!(e.to_string().contains("slot 7"));
         let e = StorageError::PoolExhausted;
         assert!(e.to_string().contains("pinned"));
+        let e = StorageError::NeedsRecovery;
+        assert!(e.to_string().contains("recovered"));
+        assert!(StorageError::BatchAlreadyOpen.to_string().contains("open"));
+        assert!(StorageError::NoBatchOpen.to_string().contains("no atomic"));
     }
 
     #[test]

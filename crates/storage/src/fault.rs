@@ -1,0 +1,176 @@
+//! Named crash points — deterministic fault injection for the durability
+//! path.
+//!
+//! [`SimDisk::fail_after`](crate::disk::SimDisk::fail_after) counts raw
+//! I/Os, which is the right granularity for error-*propagation* tests but
+//! the wrong one for crash-*recovery* tests: "the 7th disk op" lands
+//! somewhere different every time the buffer pool's residency changes.
+//! Crash points name the interesting instants of an atomic batch directly —
+//! "the k-th logged page write", "the WAL flush", "after applying two
+//! pages" — so a crash matrix can enumerate every instant and stay stable
+//! under unrelated refactors.
+//!
+//! A point is *armed* with a countdown: the n-th time execution reaches it,
+//! it fires once ([`StorageError::InjectedFault`] with the point's name) and
+//! disarms itself. The flush point can additionally be armed *torn*: the
+//! fault then lets only a prefix of the write-ahead log's pending bytes
+//! reach durable storage, modelling a partial sector write at the moment of
+//! power loss.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+
+/// One armed crash point.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    /// Fires when the countdown reaches zero; `1` means "on the next hit".
+    countdown: u64,
+    /// For flush points: how many pending WAL bytes survive the crash.
+    torn_keep: Option<usize>,
+}
+
+/// Registry of armed crash points (interior-mutable, like the disk's
+/// failure-injection state, so `&self` paths can consult it).
+#[derive(Default)]
+pub struct CrashPoints {
+    armed: Mutex<HashMap<&'static str, Arm>>,
+}
+
+impl CrashPoints {
+    /// Creates an empty (fully healed) registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `point` to fire on its `countdown`-th hit (`1` = next hit).
+    ///
+    /// # Panics
+    /// Panics if `countdown` is zero — "fire in the past" is always a bug
+    /// in the test harness.
+    pub fn arm(&self, point: &'static str, countdown: u64) {
+        assert!(countdown > 0, "crash-point countdown must be >= 1");
+        self.armed.lock().insert(
+            point,
+            Arm {
+                countdown,
+                torn_keep: None,
+            },
+        );
+    }
+
+    /// Arms `point` as a *torn write*: when it fires, `keep_bytes` of the
+    /// pending WAL bytes become durable before the fault surfaces.
+    pub fn arm_torn(&self, point: &'static str, countdown: u64, keep_bytes: usize) {
+        assert!(countdown > 0, "crash-point countdown must be >= 1");
+        self.armed.lock().insert(
+            point,
+            Arm {
+                countdown,
+                torn_keep: Some(keep_bytes),
+            },
+        );
+    }
+
+    /// Disarms every point.
+    pub fn heal(&self) {
+        self.armed.lock().clear();
+    }
+
+    /// Remaining countdown of `point`, or `None` if it is not armed. A
+    /// crash-matrix sweep uses this to detect that a countdown exceeded the
+    /// number of hits an operation performs (the point never fired).
+    pub fn remaining(&self, point: &'static str) -> Option<u64> {
+        self.armed.lock().get(point).map(|a| a.countdown)
+    }
+
+    /// Decrements `point`'s countdown if armed; returns the torn-write
+    /// specification when the point fires (self-disarming).
+    ///
+    /// `None` = keep going; `Some(None)` = clean crash; `Some(Some(k))` =
+    /// torn crash keeping `k` pending bytes.
+    pub fn fire(&self, point: &'static str) -> Option<Option<usize>> {
+        let mut armed = self.armed.lock();
+        let arm = armed.get_mut(point)?;
+        arm.countdown -= 1;
+        if arm.countdown == 0 {
+            let torn = arm.torn_keep;
+            armed.remove(point);
+            Some(torn)
+        } else {
+            None
+        }
+    }
+
+    /// [`CrashPoints::fire`] for points with no torn-write semantics:
+    /// surfaces the crash as an error.
+    pub fn hit(&self, point: &'static str) -> StorageResult<()> {
+        match self.fire(point) {
+            Some(_) => Err(StorageError::InjectedFault { op: point }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let cp = CrashPoints::new();
+        for _ in 0..100 {
+            cp.hit("anything").unwrap();
+        }
+    }
+
+    #[test]
+    fn countdown_fires_on_the_nth_hit_then_disarms() {
+        let cp = CrashPoints::new();
+        cp.arm("p", 3);
+        cp.hit("p").unwrap();
+        cp.hit("p").unwrap();
+        assert!(matches!(
+            cp.hit("p"),
+            Err(StorageError::InjectedFault { op: "p" })
+        ));
+        // Self-disarmed: the next hit passes.
+        cp.hit("p").unwrap();
+        assert_eq!(cp.remaining("p"), None);
+    }
+
+    #[test]
+    fn torn_spec_is_reported_by_fire() {
+        let cp = CrashPoints::new();
+        cp.arm_torn("flush", 1, 17);
+        assert_eq!(cp.fire("flush"), Some(Some(17)));
+        assert_eq!(cp.fire("flush"), None);
+    }
+
+    #[test]
+    fn heal_disarms_everything() {
+        let cp = CrashPoints::new();
+        cp.arm("a", 1);
+        cp.arm_torn("b", 1, 0);
+        cp.heal();
+        cp.hit("a").unwrap();
+        cp.hit("b").unwrap();
+    }
+
+    #[test]
+    fn remaining_tracks_partial_countdowns() {
+        let cp = CrashPoints::new();
+        cp.arm("p", 5);
+        cp.hit("p").unwrap();
+        cp.hit("p").unwrap();
+        assert_eq!(cp.remaining("p"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "countdown must be >= 1")]
+    fn zero_countdown_is_rejected() {
+        CrashPoints::new().arm("p", 0);
+    }
+}

@@ -19,7 +19,12 @@
 //!   ORION where clustering "is only performed if the classes of the two
 //!   objects are stored in the same physical segment";
 //! * [`store`] — record-level CRUD with *cluster-near* placement hints and
-//!   relocation on growth;
+//!   relocation on growth, grouped into atomic batches;
+//! * [`wal`] — a checksummed, sequence-numbered write-ahead log (page-image
+//!   redo + commit markers) behind the store's `begin_atomic` /
+//!   `commit_atomic` / `recover` boundary;
+//! * [`fault`] — named crash points with countdowns and torn-write
+//!   injection, for deterministic crash-recovery testing;
 //! * [`codec`] — little-endian primitive readers/writers used by the object
 //!   serializer in `corion-core`.
 //!
@@ -31,7 +36,7 @@
 //! use corion_storage::{ObjectStore, StoreConfig};
 //!
 //! let mut store = ObjectStore::new(StoreConfig::default());
-//! let seg = store.create_segment();
+//! let seg = store.create_segment().unwrap();
 //! let parent = store.insert(seg, b"assembly", None).unwrap();
 //! // The `near` hint is the paper's `:parent` clustering directive.
 //! let child = store.insert(seg, b"component", Some(parent)).unwrap();
@@ -42,13 +47,20 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod page;
 pub mod segment;
 pub mod store;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use disk::{DiskStats, SimDisk};
 pub use error::{StorageError, StorageResult};
+pub use fault::CrashPoints;
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use segment::{Segment, SegmentId};
-pub use store::{ObjectStore, PhysId, StoreConfig};
+pub use store::{
+    ObjectStore, PhysId, RecoveryReport, StoreConfig, CP_COMMIT_APPLY, CP_COMMIT_DONE,
+    CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_PAGE_WRITE, CRASH_POINTS,
+};
+pub use wal::{fnv1a64, Lsn, Wal, WalRecord, WalStats};

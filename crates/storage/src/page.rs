@@ -49,6 +49,25 @@ impl Default for Page {
     }
 }
 
+/// Byte-for-byte equality — what the WAL's redo semantics promise: replaying
+/// a committed page image reproduces the page exactly.
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes[..] == other.bytes[..]
+    }
+}
+
+impl Eq for Page {}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Page {
     /// Creates an empty page with zero slots.
     pub fn new() -> Self {

@@ -61,6 +61,15 @@ impl Segment {
         self.free_hint.push(PAGE_SIZE as u16);
     }
 
+    /// Removes `page` from the segment (aborting the atomic batch that
+    /// adopted it). No-op if the page is not present.
+    pub fn drop_page(&mut self, page: u64) {
+        if let Some(i) = self.position_of(page) {
+            self.pages.remove(i);
+            self.free_hint.remove(i);
+        }
+    }
+
     /// Position of `page` within the segment, if it belongs to it.
     pub fn position_of(&self, page: u64) -> Option<usize> {
         self.pages.iter().position(|&p| p == page)

@@ -19,15 +19,30 @@
 //! continuation chunks, each placed near its predecessor so a chained read
 //! stays clustered. Callers never see chunks — `read` reassembles, `delete`
 //! frees the chain, `scan` skips continuations.
+//!
+//! ## Atomic batches and recovery
+//!
+//! Every mutation runs inside an **atomic batch**: either the one a caller
+//! opened with [`ObjectStore::begin_atomic`] (grouping multi-record updates
+//! such as the paper's cascading delete), or an implicit per-call batch.
+//! Page writes are routed through the [`crate::wal`] — the pool runs
+//! *no-steal* while a batch is open, so the disk never sees uncommitted
+//! bytes, and [`ObjectStore::commit_atomic`] logs every dirty page's
+//! after-image plus a commit marker *before* writing the pages themselves.
+//! [`ObjectStore::recover`] rebuilds a consistent store from the durable
+//! half of the crash model: the disk's pages and the flushed log. Crashes
+//! are injected deterministically at the named [`CRASH_POINTS`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::buffer::{BufferPool, BufferStats};
 use crate::codec::{self, Reader};
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
-use crate::page::{SlotId, MAX_RECORD};
+use crate::fault::CrashPoints;
+use crate::page::{Page, SlotId, MAX_RECORD};
 use crate::segment::{Segment, SegmentId};
+use crate::wal::{replay, Wal, WalRecord, WalStats};
 
 /// Physical address of a stored record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,16 +66,70 @@ impl std::fmt::Display for PhysId {
 pub struct StoreConfig {
     /// Frames in the buffer pool.
     pub buffer_capacity: usize,
+    /// Durable WAL size that triggers an automatic checkpoint after a
+    /// commit. Every commit logs full page images, so without truncation
+    /// the log would grow without bound.
+    pub wal_checkpoint_bytes: usize,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        // Large enough that unit tests never thrash, small enough that the
-        // clustering bench can observe cold-cache behaviour by shrinking it.
+        // Buffer: large enough that unit tests never thrash, small enough
+        // that the clustering bench can observe cold-cache behaviour by
+        // shrinking it. Checkpoint: ~256 page images between truncations.
         StoreConfig {
             buffer_capacity: 256,
+            wal_checkpoint_bytes: 1 << 20,
         }
     }
+}
+
+/// Crash point: before each logged page write inside a batch.
+pub const CP_PAGE_WRITE: &str = "wal:page_write";
+/// Crash point: while assembling the commit's log records (nothing
+/// durable yet).
+pub const CP_COMMIT_LOG: &str = "commit:log";
+/// Crash point: at the durability point itself. The only torn-capable
+/// point — armed torn, a prefix of the pending log bytes survives.
+pub const CP_COMMIT_FLUSH: &str = "commit:flush";
+/// Crash point: before each page write-back after the commit is durable
+/// (the countdown selects which page).
+pub const CP_COMMIT_APPLY: &str = "commit:apply";
+/// Crash point: after the batch is fully applied, before it is closed.
+pub const CP_COMMIT_DONE: &str = "commit:done";
+
+/// Every named crash point, in the order a commit passes them — what the
+/// crash-matrix test sweeps.
+pub const CRASH_POINTS: &[&str] = &[
+    CP_PAGE_WRITE,
+    CP_COMMIT_LOG,
+    CP_COMMIT_FLUSH,
+    CP_COMMIT_APPLY,
+    CP_COMMIT_DONE,
+];
+
+/// What [`ObjectStore::recover`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed batches replayed from the log.
+    pub batches_replayed: usize,
+    /// Distinct pages whose committed images were written back.
+    pub pages_restored: usize,
+    /// Records discarded from the uncommitted/torn tail.
+    pub records_discarded: usize,
+    /// True when the tail was torn or corrupt (not merely uncommitted).
+    pub torn_tail: bool,
+}
+
+/// Book-keeping for one open atomic batch.
+#[derive(Default)]
+struct BatchState {
+    /// Pages dirtied by the batch (their after-images are logged at commit).
+    dirty: BTreeSet<u64>,
+    /// Segments created inside the batch (removed again on abort).
+    created: Vec<SegmentId>,
+    /// Pages adopted into segments inside the batch (dropped on abort).
+    adopted: Vec<(SegmentId, u64)>,
 }
 
 /// Record tags (first byte of every stored record).
@@ -98,6 +167,14 @@ pub struct ObjectStore {
     pool: BufferPool,
     segments: HashMap<SegmentId, Segment>,
     next_segment: u32,
+    wal: Wal,
+    crash: CrashPoints,
+    batch: Option<BatchState>,
+    /// Set when a crash fired after the durability point: the disk may hold
+    /// a partially applied batch (or the log a torn tail), so the store
+    /// refuses further work until [`ObjectStore::recover`] runs.
+    poisoned: bool,
+    wal_checkpoint_bytes: usize,
 }
 
 impl Default for ObjectStore {
@@ -113,21 +190,69 @@ impl ObjectStore {
             pool: BufferPool::new(SimDisk::new(), config.buffer_capacity),
             segments: HashMap::new(),
             next_segment: 0,
+            wal: Wal::new(),
+            crash: CrashPoints::new(),
+            batch: None,
+            poisoned: false,
+            wal_checkpoint_bytes: config.wal_checkpoint_bytes,
         }
     }
 
-    /// Creates a new, empty segment.
-    pub fn create_segment(&mut self) -> SegmentId {
-        let id = SegmentId(self.next_segment);
-        self.next_segment += 1;
-        self.segments.insert(id, Segment::new(id));
-        id
+    /// Creates a new, empty segment (a logged, atomic operation: segment
+    /// directories are rebuilt from the log on recovery).
+    pub fn create_segment(&mut self) -> StorageResult<SegmentId> {
+        self.autocommit(|st| {
+            let id = SegmentId(st.next_segment);
+            st.next_segment += 1;
+            st.segments.insert(id, Segment::new(id));
+            st.wal.append(&WalRecord::SegCreate { segment: id });
+            st.batch
+                .as_mut()
+                .expect("autocommit keeps a batch open")
+                .created
+                .push(id);
+            Ok(id)
+        })
     }
 
     fn segment(&self, id: SegmentId) -> StorageResult<&Segment> {
         self.segments
             .get(&id)
             .ok_or(StorageError::InvalidSegment { segment: id.0 })
+    }
+
+    /// The write path: every page mutation goes through here so the open
+    /// batch learns which after-images to log at commit. Requires an open
+    /// batch — public mutators guarantee one via [`ObjectStore::autocommit`].
+    fn page_mut<R>(&mut self, page: u64, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
+        self.crash.hit(CP_PAGE_WRITE)?;
+        self.batch
+            .as_mut()
+            .ok_or(StorageError::NoBatchOpen)?
+            .dirty
+            .insert(page);
+        self.pool.with_page_mut(page, f)
+    }
+
+    /// Runs `f` inside the open batch, or inside a fresh single-call batch
+    /// that commits on success and aborts on error. This is what makes
+    /// every public mutation atomic by default while letting multi-call
+    /// batches (`begin_atomic` … `commit_atomic`) group freely.
+    fn autocommit<R>(&mut self, f: impl FnOnce(&mut Self) -> StorageResult<R>) -> StorageResult<R> {
+        if self.batch.is_some() {
+            return f(self);
+        }
+        self.begin_atomic()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit_atomic()?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_open_batch();
+                Err(e)
+            }
+        }
     }
 
     /// Places one raw (already tagged) record in `segment`, preferring the
@@ -143,7 +268,7 @@ impl ObjectStore {
             .segment(segment)?
             .placement_candidates(record.len(), near_page);
         for page in candidates {
-            let inserted = self.pool.with_page_mut(page, |p| {
+            let inserted = self.page_mut(page, |p| {
                 if p.fits(record.len()) {
                     Some((p.insert(record), p.free_space()))
                 } else {
@@ -169,15 +294,19 @@ impl ObjectStore {
                 .expect("segment checked above")
                 .set_free_hint(page, free);
         }
-        // No existing page fits: grow the segment.
+        // No existing page fits: grow the segment. The adoption is logged
+        // so recovery can rebuild the segment directory, and remembered in
+        // the batch so an abort can take it back.
         let page = self.pool.allocate();
         self.segments
             .get_mut(&segment)
             .ok_or(StorageError::InvalidSegment { segment: segment.0 })?
             .adopt_page(page);
-        let (slot, free) = self
-            .pool
-            .with_page_mut(page, |p| (p.insert(record), p.free_space()))?;
+        self.wal.append(&WalRecord::SegAdopt { segment, page });
+        if let Some(batch) = self.batch.as_mut() {
+            batch.adopted.push((segment, page));
+        }
+        let (slot, free) = self.page_mut(page, |p| (p.insert(record), p.free_space()))?;
         let slot = slot?;
         self.segments
             .get_mut(&segment)
@@ -198,6 +327,15 @@ impl ObjectStore {
     /// ORION ignores cross-segment clustering requests. Records larger than
     /// a page are chained transparently.
     pub fn insert(
+        &mut self,
+        segment: SegmentId,
+        record: &[u8],
+        near: Option<PhysId>,
+    ) -> StorageResult<PhysId> {
+        self.autocommit(|st| st.insert_inner(segment, record, near))
+    }
+
+    fn insert_inner(
         &mut self,
         segment: SegmentId,
         record: &[u8],
@@ -328,9 +466,7 @@ impl ObjectStore {
 
     fn delete_slot(&mut self, id: PhysId) -> StorageResult<()> {
         self.segment(id.segment)?;
-        let (res, free) = self
-            .pool
-            .with_page_mut(id.page, |p| (p.delete(id.slot), p.free_space()))?;
+        let (res, free) = self.page_mut(id.page, |p| (p.delete(id.slot), p.free_space()))?;
         res.map_err(|_| StorageError::DanglingPhysId {
             segment: id.segment.0,
             page: id.page,
@@ -348,6 +484,10 @@ impl ObjectStore {
     /// re-inserted with a `near` hint at the old location, so a relocated
     /// record stays clustered with its old neighbourhood.
     pub fn update(&mut self, id: PhysId, record: &[u8]) -> StorageResult<PhysId> {
+        self.autocommit(|st| st.update_inner(id, record))
+    }
+
+    fn update_inner(&mut self, id: PhysId, record: &[u8]) -> StorageResult<PhysId> {
         let raw = self.read_raw(id)?;
         let tag = *raw.first().ok_or(StorageError::Corrupt {
             context: "empty record",
@@ -363,13 +503,11 @@ impl ObjectStore {
             let mut tagged = Vec::with_capacity(record.len() + 1);
             tagged.push(TAG_INLINE);
             tagged.extend_from_slice(record);
-            let in_place =
-                self.pool
-                    .with_page_mut(id.page, |p| match p.update(id.slot, &tagged) {
-                        Ok(()) => Ok(true),
-                        Err(StorageError::RecordTooLarge { .. }) => Ok(false),
-                        Err(e) => Err(e),
-                    })??;
+            let in_place = self.page_mut(id.page, |p| match p.update(id.slot, &tagged) {
+                Ok(()) => Ok(true),
+                Err(StorageError::RecordTooLarge { .. }) => Ok(false),
+                Err(e) => Err(e),
+            })??;
             if in_place {
                 let free = self.pool.with_page(id.page, |p| p.free_space())?;
                 if let Some(seg) = self.segments.get_mut(&id.segment) {
@@ -378,7 +516,7 @@ impl ObjectStore {
                 return Ok(id);
             }
             self.delete_slot(id)?;
-            return self.insert(id.segment, record, Some(id));
+            return self.insert_inner(id.segment, record, Some(id));
         }
         // Chained old record, or growth across the inline/chain boundary:
         // free and re-insert.
@@ -386,11 +524,15 @@ impl ObjectStore {
             self.free_chain(&raw)?;
         }
         self.delete_slot(id)?;
-        self.insert(id.segment, record, Some(id))
+        self.insert_inner(id.segment, record, Some(id))
     }
 
     /// Deletes the record at `id` (freeing overflow chains).
     pub fn delete(&mut self, id: PhysId) -> StorageResult<()> {
+        self.autocommit(|st| st.delete_inner(id))
+    }
+
+    fn delete_inner(&mut self, id: PhysId) -> StorageResult<()> {
         let raw = self.read_raw(id)?;
         match raw.first() {
             Some(&TAG_HEAD) => self.free_chain(&raw)?,
@@ -464,8 +606,285 @@ impl ObjectStore {
     }
 
     /// Flushes and drops every cached page, so the next access is cold.
+    /// Refused while a batch is open — flushing would write uncommitted
+    /// pages to disk.
     pub fn clear_cache(&self) -> StorageResult<()> {
+        if self.batch.is_some() {
+            return Err(StorageError::BatchAlreadyOpen);
+        }
         self.pool.clear_cache()
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic batches
+    // ------------------------------------------------------------------
+
+    /// Opens an atomic batch: every mutation until [`commit_atomic`]
+    /// (or [`abort_atomic`]) becomes durable as one unit. Batches do not
+    /// nest — nested callers simply run inside the open batch.
+    ///
+    /// [`commit_atomic`]: ObjectStore::commit_atomic
+    /// [`abort_atomic`]: ObjectStore::abort_atomic
+    pub fn begin_atomic(&mut self) -> StorageResult<()> {
+        if self.poisoned {
+            return Err(StorageError::NeedsRecovery);
+        }
+        if self.batch.is_some() {
+            return Err(StorageError::BatchAlreadyOpen);
+        }
+        self.batch = Some(BatchState::default());
+        self.pool.set_no_steal(true);
+        Ok(())
+    }
+
+    /// True while an atomic batch is open.
+    pub fn in_atomic_batch(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Commits the open batch: logs every dirty page's after-image and a
+    /// commit marker, flushes the log (the durability point), then writes
+    /// the pages through to disk.
+    ///
+    /// On an error *before* the durability point the batch is rolled back
+    /// in memory — the store keeps serving its pre-batch state. On an error
+    /// *after* it (a crash mid-apply, or a torn log flush) the store is
+    /// poisoned and every subsequent mutation reports
+    /// [`StorageError::NeedsRecovery`] until [`ObjectStore::recover`] runs.
+    pub fn commit_atomic(&mut self) -> StorageResult<()> {
+        let dirty: Vec<u64> = match &self.batch {
+            Some(b) => b.dirty.iter().copied().collect(),
+            None => return Err(StorageError::NoBatchOpen),
+        };
+        // Phase 1 (volatile): snapshot the after-image of every page the
+        // batch dirtied and append it, then the commit marker, to the
+        // pending log. A crash here loses only pending bytes: abort.
+        let mut images = Vec::with_capacity(dirty.len());
+        for &page in &dirty {
+            match self.pool.with_page(page, |p| p.clone()) {
+                Ok(image) => images.push((page, image)),
+                Err(e) => {
+                    self.abort_open_batch();
+                    return Err(e);
+                }
+            }
+        }
+        if let Err(e) = self.crash.hit(CP_COMMIT_LOG) {
+            self.abort_open_batch();
+            return Err(e);
+        }
+        for (page, image) in &images {
+            self.wal.append(&WalRecord::PageImage {
+                page: *page,
+                image: Box::new(image.clone()),
+            });
+        }
+        self.wal.append(&WalRecord::Commit);
+        // Phase 2: the durability point.
+        match self.crash.fire(CP_COMMIT_FLUSH) {
+            None => self.wal.flush(),
+            Some(None) => {
+                // Clean crash: nothing reached the log device.
+                self.abort_open_batch();
+                return Err(StorageError::InjectedFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+            Some(Some(keep)) => {
+                // Torn crash: a prefix became durable. The log now ends in
+                // a torn tail that only recovery may truncate.
+                self.wal.flush_torn(keep);
+                self.poison();
+                return Err(StorageError::InjectedFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+        }
+        // Phase 3: apply. The commit is durable — any failure from here on
+        // leaves the disk behind the log, so the store must be recovered
+        // (recovery replays these very images idempotently).
+        for (page, image) in &images {
+            let applied = self
+                .crash
+                .hit(CP_COMMIT_APPLY)
+                .and_then(|()| self.pool.apply_page(*page, image));
+            if let Err(e) = applied {
+                self.poison();
+                return Err(e);
+            }
+        }
+        if let Err(e) = self.crash.hit(CP_COMMIT_DONE) {
+            self.poison();
+            return Err(e);
+        }
+        self.batch = None;
+        self.pool.set_no_steal(false);
+        if self.wal.stats().durable_bytes > self.wal_checkpoint_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Abandons the open batch: pending log records are dropped, dirty
+    /// frames are discarded (the disk still holds the pre-batch images),
+    /// and segment-directory changes are taken back.
+    pub fn abort_atomic(&mut self) -> StorageResult<()> {
+        if self.batch.is_none() {
+            return Err(StorageError::NoBatchOpen);
+        }
+        self.abort_open_batch();
+        Ok(())
+    }
+
+    fn abort_open_batch(&mut self) {
+        let Some(batch) = self.batch.take() else {
+            return;
+        };
+        self.wal.drop_pending();
+        self.pool.discard_pages(batch.dirty.iter().copied());
+        for (segment, page) in batch.adopted.into_iter().rev() {
+            if let Some(seg) = self.segments.get_mut(&segment) {
+                seg.drop_page(page);
+            }
+        }
+        for segment in batch.created.into_iter().rev() {
+            self.segments.remove(&segment);
+            if segment.0 + 1 == self.next_segment {
+                self.next_segment = segment.0;
+            }
+        }
+        self.pool.set_no_steal(false);
+    }
+
+    fn poison(&mut self) {
+        self.batch = None;
+        self.pool.set_no_steal(false);
+        self.poisoned = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery & checkpointing
+    // ------------------------------------------------------------------
+
+    /// Simulates the volatile half of a crash: the buffer pool's frames,
+    /// any open batch, and the unflushed log evaporate; the disk's pages
+    /// and the durable log survive. The store is left poisoned — call
+    /// [`ObjectStore::recover`] to bring it back.
+    pub fn simulate_crash(&mut self) {
+        self.batch = None;
+        self.wal.drop_pending();
+        self.pool.discard_all();
+        self.pool.set_no_steal(false);
+        self.poisoned = true;
+    }
+
+    /// Recovers the store from durable state: scans the log, truncates the
+    /// torn/uncommitted tail, rebuilds the segment directory, and replays
+    /// every committed page image onto the disk. Idempotent; disarm any
+    /// injected faults (`heal`, `heal_crash_points`) first.
+    pub fn recover(&mut self) -> StorageResult<RecoveryReport> {
+        self.batch = None;
+        self.poisoned = false;
+        self.pool.set_no_steal(false);
+        self.wal.drop_pending();
+        self.pool.discard_all();
+
+        let scan = self.wal.scan();
+        let state = replay(&scan);
+        self.wal.truncate_durable(scan.valid_len);
+        self.wal.set_next_lsn(scan.next_lsn);
+
+        self.segments.clear();
+        let mut next_segment = state.next_segment;
+        for (&id, pages) in &state.segments {
+            let mut seg = Segment::new(id);
+            for &page in pages {
+                seg.adopt_page(page);
+            }
+            self.segments.insert(id, seg);
+            next_segment = next_segment.max(id.0 + 1);
+        }
+        self.next_segment = next_segment;
+
+        for (&page, image) in &state.pages {
+            self.pool.ensure_allocated(page);
+            self.pool.apply_page(page, image)?;
+        }
+        Ok(RecoveryReport {
+            batches_replayed: scan.committed.len(),
+            pages_restored: state.pages.len(),
+            records_discarded: scan.discarded_records,
+            torn_tail: scan.torn_tail,
+        })
+    }
+
+    /// Truncates the log down to a checkpoint record carrying a snapshot of
+    /// the segment directory. The swap is atomic (see
+    /// [`Wal::install_checkpoint`]); runs automatically when the durable
+    /// log outgrows [`StoreConfig::wal_checkpoint_bytes`].
+    pub fn checkpoint(&mut self) -> StorageResult<()> {
+        if self.poisoned {
+            return Err(StorageError::NeedsRecovery);
+        }
+        if self.batch.is_some() {
+            return Err(StorageError::BatchAlreadyOpen);
+        }
+        // Outside a batch every frame is clean (commit applies eagerly),
+        // but flush defensively: a checkpoint asserts "the disk is current".
+        self.pool.flush_all()?;
+        let mut segments: Vec<(SegmentId, Vec<u64>)> = self
+            .segments
+            .values()
+            .map(|s| (s.id(), s.pages().to_vec()))
+            .collect();
+        segments.sort_by_key(|(id, _)| *id);
+        self.wal.install_checkpoint(self.next_segment, segments);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & observability
+    // ------------------------------------------------------------------
+
+    /// Arms `point` (one of [`CRASH_POINTS`]) to fire on its
+    /// `countdown`-th hit.
+    pub fn arm_crash_point(&self, point: &'static str, countdown: u64) {
+        self.crash.arm(point, countdown);
+    }
+
+    /// Arms [`CP_COMMIT_FLUSH`] (the only torn-capable point) so that when
+    /// it fires, `keep_bytes` of the pending log survive.
+    pub fn arm_torn_crash(&self, point: &'static str, countdown: u64, keep_bytes: usize) {
+        self.crash.arm_torn(point, countdown, keep_bytes);
+    }
+
+    /// Disarms every crash point.
+    pub fn heal_crash_points(&self) {
+        self.crash.heal();
+    }
+
+    /// Remaining countdown of `point` (`None` once fired or never armed).
+    pub fn crash_point_remaining(&self, point: &'static str) -> Option<u64> {
+        self.crash.remaining(point)
+    }
+
+    /// Write-ahead-log counters, alongside `buffer_stats`/`disk_stats`.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// XORs one durable log byte with `mask` — bit-flip injection for
+    /// checksum-rejection tests.
+    pub fn corrupt_wal_byte(&mut self, offset: usize, mask: u8) {
+        self.wal.corrupt_durable_byte(offset, mask);
+    }
+
+    /// Every live segment id, ascending (the scan order recovery and
+    /// `Database::recover` use to rebuild derived state).
+    pub fn segment_ids(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<SegmentId> = self.segments.keys().copied().collect();
+        ids.sort();
+        ids
     }
 }
 
@@ -480,7 +899,7 @@ mod tests {
     #[test]
     fn insert_read_roundtrip() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, b"object 1", None).unwrap();
         assert_eq!(st.read(id).unwrap(), b"object 1");
     }
@@ -488,7 +907,7 @@ mod tests {
     #[test]
     fn near_hint_places_on_same_page() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let parent = st.insert(seg, &[1u8; 100], None).unwrap();
         let child = st.insert(seg, &[2u8; 100], Some(parent)).unwrap();
         assert_eq!(
@@ -500,8 +919,8 @@ mod tests {
     #[test]
     fn near_hint_in_other_segment_is_ignored() {
         let mut st = store();
-        let a = st.create_segment();
-        let b = st.create_segment();
+        let a = st.create_segment().unwrap();
+        let b = st.create_segment().unwrap();
         let parent = st.insert(a, &[1u8; 100], None).unwrap();
         let child = st.insert(b, &[2u8; 100], Some(parent)).unwrap();
         assert_eq!(child.segment, b);
@@ -510,7 +929,7 @@ mod tests {
     #[test]
     fn overflow_to_neighbouring_pages() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let parent = st.insert(seg, &[0u8; 2000], None).unwrap();
         let mut pages = std::collections::HashSet::new();
         for _ in 0..8 {
@@ -524,7 +943,7 @@ mod tests {
     #[test]
     fn update_in_place_keeps_address() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, &[1u8; 64], None).unwrap();
         let id2 = st.update(id, &[2u8; 60]).unwrap();
         assert_eq!(id, id2);
@@ -534,7 +953,7 @@ mod tests {
     #[test]
     fn update_relocates_when_page_is_full() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, &[1u8; 100], None).unwrap();
         while st.insert(seg, &[9u8; 512], Some(id)).unwrap().page == id.page {}
         let id2 = st.update(id, &[2u8; 3000]).unwrap();
@@ -547,7 +966,7 @@ mod tests {
     #[test]
     fn delete_then_read_fails() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, b"gone", None).unwrap();
         st.delete(id).unwrap();
         assert!(matches!(
@@ -560,7 +979,7 @@ mod tests {
     #[test]
     fn scan_returns_all_live_records() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let a = st.insert(seg, b"a", None).unwrap();
         let b = st.insert(seg, b"b", None).unwrap();
         st.delete(a).unwrap();
@@ -573,8 +992,8 @@ mod tests {
     #[test]
     fn segments_are_isolated() {
         let mut st = store();
-        let a = st.create_segment();
-        let b = st.create_segment();
+        let a = st.create_segment().unwrap();
+        let b = st.create_segment().unwrap();
         st.insert(a, b"in a", None).unwrap();
         assert_eq!(st.scan(b).unwrap().len(), 0);
         assert_eq!(st.scan(a).unwrap().len(), 1);
@@ -591,7 +1010,7 @@ mod tests {
     #[test]
     fn many_records_fill_multiple_pages() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let ids: Vec<PhysId> = (0..500)
             .map(|i| {
                 st.insert(seg, format!("record {i}").as_bytes(), None)
@@ -611,7 +1030,7 @@ mod tests {
     #[test]
     fn oversized_record_roundtrips() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         for len in [MAX_INLINE + 1, 10_000, 100_000] {
             let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
             let id = st.insert(seg, &data, None).unwrap();
@@ -622,7 +1041,7 @@ mod tests {
     #[test]
     fn boundary_sizes_roundtrip() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         for len in [MAX_INLINE - 1, MAX_INLINE, MAX_INLINE + 1, 2 * MAX_INLINE] {
             let data = vec![7u8; len];
             let id = st.insert(seg, &data, None).unwrap();
@@ -633,7 +1052,7 @@ mod tests {
     #[test]
     fn deleting_chained_record_frees_chunks() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let big = vec![1u8; 50_000];
         let id = st.insert(seg, &big, None).unwrap();
         st.delete(id).unwrap();
@@ -649,7 +1068,7 @@ mod tests {
     #[test]
     fn update_grows_across_the_chain_boundary_and_back() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, &[1u8; 100], None).unwrap();
         let big = vec![2u8; 20_000];
         let id2 = st.update(id, &big).unwrap();
@@ -663,7 +1082,7 @@ mod tests {
     #[test]
     fn scan_skips_continuation_chunks() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let big = vec![9u8; 30_000];
         let id_big = st.insert(seg, &big, None).unwrap();
         let id_small = st.insert(seg, b"tiny", None).unwrap();
@@ -677,7 +1096,7 @@ mod tests {
     #[test]
     fn reading_a_continuation_chunk_directly_fails() {
         let mut st = store();
-        let seg = st.create_segment();
+        let seg = st.create_segment().unwrap();
         let big = vec![5u8; 20_000];
         let head = st.insert(seg, &big, None).unwrap();
         // Find some chunk: scan pages for a slot that is not the head and
@@ -713,8 +1132,11 @@ mod fault_tests {
 
     #[test]
     fn faults_surface_as_errors_not_panics() {
-        let mut st = ObjectStore::new(StoreConfig { buffer_capacity: 2 });
-        let seg = st.create_segment();
+        let mut st = ObjectStore::new(StoreConfig {
+            buffer_capacity: 2,
+            ..Default::default()
+        });
+        let seg = st.create_segment().unwrap();
         let id = st.insert(seg, &[1u8; 100], None).unwrap();
         st.clear_cache().unwrap();
         st.fail_after(0);
@@ -731,9 +1153,71 @@ mod fault_tests {
     }
 
     #[test]
+    fn explicit_batch_is_all_or_nothing() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        let keep = st.insert(seg, b"keep", None).unwrap();
+        st.begin_atomic().unwrap();
+        assert!(st.in_atomic_batch());
+        let a = st.insert(seg, b"batched-a", None).unwrap();
+        st.update(keep, b"KEEP").unwrap();
+        let flushes = st.wal_stats().flushes;
+        st.commit_atomic().unwrap();
+        assert!(!st.in_atomic_batch());
+        assert_eq!(
+            st.wal_stats().flushes,
+            flushes + 1,
+            "one durability point for the whole batch"
+        );
+        assert_eq!(st.read(a).unwrap(), b"batched-a");
+        assert_eq!(st.read(keep).unwrap(), b"KEEP");
+    }
+
+    #[test]
+    fn abort_rolls_back_records_pages_and_segments() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        let keep = st.insert(seg, b"keep", None).unwrap();
+        let pages_pre = st.segment_pages(seg).unwrap();
+        st.begin_atomic().unwrap();
+        st.insert(seg, b"doomed", None).unwrap();
+        st.insert(seg, &[7u8; 30_000], None).unwrap(); // adopts fresh pages
+        let seg2 = st.create_segment().unwrap();
+        st.insert(seg2, b"doomed too", None).unwrap();
+        st.update(keep, b"DOOMED").unwrap();
+        st.abort_atomic().unwrap();
+        assert_eq!(st.scan(seg).unwrap().len(), 1);
+        assert_eq!(st.read(keep).unwrap(), b"keep");
+        assert_eq!(st.segment_pages(seg).unwrap(), pages_pre);
+        assert!(st.scan(seg2).is_err(), "aborted segment does not exist");
+        // The rolled-back id is handed out again.
+        assert_eq!(st.create_segment().unwrap(), seg2);
+    }
+
+    #[test]
+    fn batch_state_errors() {
+        let mut st = ObjectStore::default();
+        st.begin_atomic().unwrap();
+        assert!(matches!(
+            st.begin_atomic(),
+            Err(StorageError::BatchAlreadyOpen)
+        ));
+        assert!(matches!(
+            st.clear_cache(),
+            Err(StorageError::BatchAlreadyOpen)
+        ));
+        st.commit_atomic().unwrap();
+        assert!(matches!(st.commit_atomic(), Err(StorageError::NoBatchOpen)));
+        assert!(matches!(st.abort_atomic(), Err(StorageError::NoBatchOpen)));
+    }
+
+    #[test]
     fn fault_during_eviction_is_reported() {
-        let mut st = ObjectStore::new(StoreConfig { buffer_capacity: 1 });
-        let seg = st.create_segment();
+        let mut st = ObjectStore::new(StoreConfig {
+            buffer_capacity: 1,
+            ..Default::default()
+        });
+        let seg = st.create_segment().unwrap();
         // Two pages worth of data so accessing the second evicts the first.
         let a = st.insert(seg, &[1u8; 3000], None).unwrap();
         let b = st.insert(seg, &[2u8; 3000], None).unwrap();
@@ -744,5 +1228,217 @@ mod fault_tests {
         assert!(st.read(b).is_err());
         st.heal();
         st.read(b).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    /// Physical-address-free state digest: the multiset of live records.
+    fn fingerprint(st: &ObjectStore, seg: SegmentId) -> Vec<Vec<u8>> {
+        let mut recs: Vec<Vec<u8>> = st
+            .scan(seg)
+            .unwrap()
+            .into_iter()
+            .map(|(_, bytes)| bytes)
+            .collect();
+        recs.sort();
+        recs
+    }
+
+    /// One committed record, then the operation under test: a second
+    /// insert. Returns (store, segment, pre-fingerprint, post-fingerprint).
+    fn arena() -> (ObjectStore, SegmentId, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, &[1u8; 400], None).unwrap();
+        let pre = fingerprint(&st, seg);
+
+        let mut oracle = ObjectStore::default();
+        let oseg = oracle.create_segment().unwrap();
+        oracle.insert(oseg, &[1u8; 400], None).unwrap();
+        oracle.insert(oseg, &[2u8; 500], None).unwrap();
+        let post = fingerprint(&oracle, oseg);
+        (st, seg, pre, post)
+    }
+
+    #[test]
+    fn crash_at_every_point_recovers_pre_or_post() {
+        for &point in CRASH_POINTS {
+            for countdown in 1..16 {
+                let (mut st, seg, pre, post) = arena();
+                st.arm_crash_point(point, countdown);
+                let res = st.insert(seg, &[2u8; 500], None);
+                if st.crash_point_remaining(point).is_some() {
+                    // The countdown outlived the operation: this point has
+                    // been swept exhaustively.
+                    st.heal_crash_points();
+                    res.unwrap();
+                    break;
+                }
+                assert!(res.is_err(), "{point} countdown={countdown}");
+                st.recover().unwrap();
+                let got = fingerprint(&st, seg);
+                assert!(
+                    got == pre || got == post,
+                    "{point} countdown={countdown}: hybrid state after recovery"
+                );
+                // The store is fully usable again.
+                st.insert(seg, b"after", None).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn torn_flush_every_prefix_recovers_pre_then_post() {
+        // Measure the batch's log footprint on an identical probe.
+        let (mut probe, pseg, _, _) = arena();
+        let before = probe.wal_stats().durable_bytes;
+        probe.insert(pseg, &[2u8; 500], None).unwrap();
+        let batch_bytes = probe.wal_stats().durable_bytes - before;
+
+        for keep in 0..=batch_bytes {
+            let (mut st, seg, pre, post) = arena();
+            st.arm_torn_crash(CP_COMMIT_FLUSH, 1, keep);
+            assert!(st.insert(seg, &[2u8; 500], None).is_err(), "keep={keep}");
+            let report = st.recover().unwrap();
+            let got = fingerprint(&st, seg);
+            if keep == batch_bytes {
+                // The whole batch (commit marker included) became durable:
+                // the crash happened after the durability point.
+                assert_eq!(got, post, "keep={keep}");
+            } else {
+                assert_eq!(got, pre, "keep={keep}");
+                assert!(
+                    report.torn_tail || report.records_discarded > 0 || keep == 0,
+                    "keep={keep}: tail should be torn or uncommitted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_truncates_tail_instead_of_replaying_garbage() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, &[1u8; 300], None).unwrap();
+        let fp1 = fingerprint(&st, seg);
+        let boundary = st.wal_stats().durable_bytes;
+        st.insert(seg, &[2u8; 300], None).unwrap();
+        let total = st.wal_stats().durable_bytes;
+        assert!(total > boundary);
+        // Corrupt a byte inside the second batch's records, then crash.
+        st.corrupt_wal_byte(boundary + 20, 0x08);
+        st.simulate_crash();
+        let report = st.recover().unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(
+            fingerprint(&st, seg),
+            fp1,
+            "the corrupt batch is rolled away, not replayed as garbage"
+        );
+    }
+
+    #[test]
+    fn poisoned_store_refuses_work_until_recovered() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        st.arm_crash_point(CP_COMMIT_APPLY, 1);
+        assert!(st.insert(seg, b"x", None).is_err());
+        assert!(matches!(
+            st.insert(seg, b"y", None),
+            Err(StorageError::NeedsRecovery)
+        ));
+        assert!(matches!(st.checkpoint(), Err(StorageError::NeedsRecovery)));
+        st.recover().unwrap();
+        // The crash hit after the durability point, so "x" committed.
+        st.insert(seg, b"y", None).unwrap();
+        assert_eq!(st.scan(seg).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, &[1u8; 100], None).unwrap();
+        st.insert(seg, &[9u8; 20_000], None).unwrap(); // chained record
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_survives_crash() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        for i in 0..50 {
+            st.insert(seg, format!("record {i}").as_bytes(), None)
+                .unwrap();
+        }
+        let fp = fingerprint(&st, seg);
+        let big = st.wal_stats().durable_bytes;
+        st.checkpoint().unwrap();
+        let small = st.wal_stats().durable_bytes;
+        assert!(small < big, "checkpoint must shrink the log");
+        st.simulate_crash();
+        let report = st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+        assert_eq!(
+            report.pages_restored, 0,
+            "a checkpointed log has nothing to replay"
+        );
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_the_log() {
+        let mut st = ObjectStore::new(StoreConfig {
+            buffer_capacity: 64,
+            wal_checkpoint_bytes: 64 * 1024,
+        });
+        let seg = st.create_segment().unwrap();
+        for i in 0..300 {
+            st.insert(seg, format!("record number {i}").as_bytes(), None)
+                .unwrap();
+        }
+        let stats = st.wal_stats();
+        assert!(stats.checkpoints >= 1, "threshold must have tripped");
+        assert!(
+            stats.durable_bytes <= 80 * 1024,
+            "log stays near the threshold, got {}",
+            stats.durable_bytes
+        );
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn crash_mid_chained_insert_never_leaves_partial_chains() {
+        // A 20 KB record dirties several pages; crash at each successive
+        // logged page write and make sure recovery never exposes a record
+        // that reassembles incompletely.
+        for countdown in 1..12 {
+            let mut st = ObjectStore::default();
+            let seg = st.create_segment().unwrap();
+            st.insert(seg, b"anchor", None).unwrap();
+            st.arm_crash_point(CP_PAGE_WRITE, countdown);
+            let big: Vec<u8> = (0..20_000).map(|i| (i % 251) as u8).collect();
+            let res = st.insert(seg, &big, None);
+            if st.crash_point_remaining(CP_PAGE_WRITE).is_some() {
+                st.heal_crash_points();
+                res.unwrap();
+                break;
+            }
+            assert!(res.is_err());
+            st.recover().unwrap();
+            let recs = st.scan(seg).unwrap();
+            assert_eq!(recs.len(), 1, "countdown={countdown}");
+            assert_eq!(recs[0].1, b"anchor");
+        }
     }
 }

@@ -1,0 +1,694 @@
+//! Write-ahead log: checksummed, sequence-numbered redo records.
+//!
+//! Atomicity in CORION is page-granular physical redo. Every atomic batch
+//! appends the *after-image* of each page it dirtied, then a commit marker;
+//! only once those records are durable are the pages themselves written to
+//! disk (`store.rs` enforces the matching *no-steal* buffer policy, so the
+//! disk never holds uncommitted data and recovery never needs undo).
+//!
+//! ## Record format
+//!
+//! ```text
+//! +-----------+---------+--------+---------+-------------+
+//! | len: u32  | lsn:u64 | kind:u8| payload | checksum:u64|
+//! +-----------+---------+--------+---------+-------------+
+//!              \_________ checksummed ____/
+//! ```
+//!
+//! `len` counts every byte after the length field (so a reader can skip a
+//! record it cannot parse), `lsn` is a strictly increasing log sequence
+//! number, and `checksum` is FNV-1a 64 over `lsn‖kind‖payload`. Record
+//! kinds: page after-image, commit marker, segment create/adopt (metadata
+//! redo), and checkpoint (a segment-directory snapshot that lets the log be
+//! truncated).
+//!
+//! ## Crash model
+//!
+//! The log has two regions, mirroring the volatile/durable split of the
+//! simulated disk: `pending` bytes (appended but not yet flushed — lost in
+//! a crash, possibly *partially* flushed in a torn crash) and `durable`
+//! bytes (survive any crash). [`Wal::scan`] walks the durable region and
+//! stops at the first record that is truncated, checksum-corrupt, or out of
+//! LSN sequence; records after the last commit marker belong to an
+//! uncommitted batch. Both tails are reported so recovery can truncate them
+//! instead of replaying garbage.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{put_u32, put_u64, put_u8, put_varint, Reader};
+use crate::page::{Page, PAGE_SIZE};
+use crate::segment::SegmentId;
+
+/// Log sequence number of a record.
+pub type Lsn = u64;
+
+const KIND_PAGE_IMAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_SEG_CREATE: u8 = 3;
+const KIND_SEG_ADOPT: u8 = 4;
+const KIND_CHECKPOINT: u8 = 5;
+
+/// Bytes of a record that are not payload: length field, lsn, kind,
+/// trailing checksum.
+const RECORD_OVERHEAD: usize = 4 + 8 + 1 + 8;
+
+/// Upper bound on a sane record length — anything larger is corruption
+/// masquerading as a length field. The largest legitimate payload is a
+/// checkpoint snapshot, which grows with the database; page images are the
+/// largest *fixed-size* records. Scans treat this as a plausibility filter
+/// only for non-checkpoint kinds, so it is deliberately generous.
+const MAX_SANE_RECORD: usize = 64 * 1024 * 1024;
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Complete after-image of a page, applied on redo.
+    PageImage {
+        /// Global page number.
+        page: u64,
+        /// The page contents at commit time.
+        image: Box<Page>,
+    },
+    /// Marks every record since the previous commit as one durable batch.
+    Commit,
+    /// A segment came into existence.
+    SegCreate {
+        /// The new segment's id.
+        segment: SegmentId,
+    },
+    /// A freshly allocated page joined a segment.
+    SegAdopt {
+        /// Owning segment.
+        segment: SegmentId,
+        /// Global page number adopted.
+        page: u64,
+    },
+    /// Snapshot of the segment directory, written when the log is
+    /// truncated. Replay starts from the most recent one.
+    Checkpoint {
+        /// `ObjectStore::next_segment` at checkpoint time.
+        next_segment: u32,
+        /// Every segment with its pages in adoption order.
+        segments: Vec<(SegmentId, Vec<u64>)>,
+    },
+}
+
+/// FNV-1a 64-bit — the record checksum. Hand-rolled (like every on-disk
+/// codec here, DESIGN.md §6); not cryptographic, but it reliably catches
+/// the torn writes and bit flips the crash model produces.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Counters describing the log, surfaced through
+/// `ObjectStore::wal_stats` next to the buffer/disk counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Bytes that would survive a crash right now.
+    pub durable_bytes: usize,
+    /// Bytes appended but not yet flushed.
+    pub pending_bytes: usize,
+    /// Records appended over the log's lifetime.
+    pub records_appended: u64,
+    /// Successful flushes (durability points reached).
+    pub flushes: u64,
+    /// Checkpoints installed (log truncations).
+    pub checkpoints: u64,
+    /// The next LSN to be assigned.
+    pub next_lsn: Lsn,
+}
+
+/// Result of scanning the durable log at recovery time.
+#[derive(Debug, Clone)]
+pub struct WalScan {
+    /// Fully committed batches, oldest first; each ends at a commit marker
+    /// (the marker itself is not included).
+    pub committed: Vec<Vec<WalRecord>>,
+    /// Length of the durable prefix covered by committed batches; recovery
+    /// truncates the log here.
+    pub valid_len: usize,
+    /// Whole records discarded past `valid_len` (an uncommitted tail).
+    pub discarded_records: usize,
+    /// True when the scan stopped at a torn or corrupt record rather than
+    /// the clean end of the log.
+    pub torn_tail: bool,
+    /// The LSN after the last record accepted by the scan (committed or
+    /// not), i.e. the correct `next_lsn` after recovery.
+    pub next_lsn: Lsn,
+}
+
+/// The in-memory write-ahead log.
+///
+/// Durability is simulated the same way [`crate::disk::SimDisk`] simulates
+/// a disk: `durable` is the byte vector that survives a crash, `pending`
+/// the not-yet-flushed tail that a crash loses (or, torn, partially keeps).
+pub struct Wal {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    next_lsn: Lsn,
+    records_appended: u64,
+    flushes: u64,
+    checkpoints: u64,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wal {
+    /// Creates an empty log; LSNs start at 1.
+    pub fn new() -> Self {
+        Wal {
+            durable: Vec::new(),
+            pending: Vec::new(),
+            next_lsn: 1,
+            records_appended: 0,
+            flushes: 0,
+            checkpoints: 0,
+        }
+    }
+
+    /// Appends `record` to the pending region, assigning the next LSN.
+    pub fn append(&mut self, record: &WalRecord) -> Lsn {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.records_appended += 1;
+        encode_record(&mut self.pending, lsn, record);
+        lsn
+    }
+
+    /// The durability point: all pending bytes survive any later crash.
+    pub fn flush(&mut self) {
+        self.durable.extend_from_slice(&self.pending);
+        self.pending.clear();
+        self.flushes += 1;
+    }
+
+    /// A torn flush: only the first `keep` pending bytes reach durable
+    /// storage before the crash; the rest are lost.
+    pub fn flush_torn(&mut self, keep: usize) {
+        let keep = keep.min(self.pending.len());
+        self.durable.extend_from_slice(&self.pending[..keep]);
+        self.pending.clear();
+    }
+
+    /// Drops the pending region (a crash, or an aborted batch).
+    pub fn drop_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Atomically replaces the whole log with a checkpoint batch. Real
+    /// systems achieve this by writing a fresh log file and renaming it
+    /// over the old one, which is why no crash point exists *inside* a
+    /// checkpoint: the swap is a single atomic step in this model too.
+    pub fn install_checkpoint(&mut self, next_segment: u32, segments: Vec<(SegmentId, Vec<u64>)>) {
+        self.pending.clear();
+        self.durable.clear();
+        let lsn = self.next_lsn;
+        self.next_lsn += 2;
+        self.records_appended += 2;
+        encode_record(
+            &mut self.durable,
+            lsn,
+            &WalRecord::Checkpoint {
+                next_segment,
+                segments,
+            },
+        );
+        encode_record(&mut self.durable, lsn + 1, &WalRecord::Commit);
+        self.checkpoints += 1;
+    }
+
+    /// Truncates the durable region to `len` bytes (discarding a torn or
+    /// uncommitted tail found by [`Wal::scan`]).
+    pub fn truncate_durable(&mut self, len: usize) {
+        self.durable.truncate(len);
+    }
+
+    /// Forces the LSN counter (recovery sets it from [`WalScan::next_lsn`]).
+    pub fn set_next_lsn(&mut self, lsn: Lsn) {
+        self.next_lsn = lsn;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            durable_bytes: self.durable.len(),
+            pending_bytes: self.pending.len(),
+            records_appended: self.records_appended,
+            flushes: self.flushes,
+            checkpoints: self.checkpoints,
+            next_lsn: self.next_lsn,
+        }
+    }
+
+    /// XORs one durable byte with `mask` — the bit-flip injection hook for
+    /// checksum-rejection tests.
+    pub fn corrupt_durable_byte(&mut self, offset: usize, mask: u8) {
+        if let Some(b) = self.durable.get_mut(offset) {
+            *b ^= mask;
+        }
+    }
+
+    /// Walks the durable region, collecting committed batches and locating
+    /// the torn/uncommitted tail. Never fails: corruption terminates the
+    /// scan instead of propagating.
+    pub fn scan(&self) -> WalScan {
+        let buf = &self.durable;
+        let mut committed = Vec::new();
+        let mut batch = Vec::new();
+        let mut discarded = 0usize;
+        let mut valid_len = 0usize;
+        let mut torn_tail = false;
+        let mut offset = 0usize;
+        let mut expect_lsn: Option<Lsn> = None;
+        let mut next_lsn = self.next_lsn.max(1);
+
+        while offset < buf.len() {
+            match decode_record(&buf[offset..], expect_lsn) {
+                Ok((lsn, record, consumed)) => {
+                    expect_lsn = Some(lsn + 1);
+                    next_lsn = lsn + 1;
+                    offset += consumed;
+                    match record {
+                        WalRecord::Commit => {
+                            committed.push(std::mem::take(&mut batch));
+                            valid_len = offset;
+                        }
+                        rec => batch.push(rec),
+                    }
+                }
+                Err(_) => {
+                    torn_tail = true;
+                    break;
+                }
+            }
+        }
+        // Records past the last commit marker — a batch whose durability
+        // point was never reached — are discarded along with any torn tail.
+        discarded += batch.len();
+        WalScan {
+            committed,
+            valid_len,
+            discarded_records: discarded,
+            torn_tail,
+            next_lsn,
+        }
+    }
+}
+
+fn encode_record(buf: &mut Vec<u8>, lsn: Lsn, record: &WalRecord) {
+    let len_at = buf.len();
+    put_u32(buf, 0); // patched below
+    let body_at = buf.len();
+    put_u64(buf, lsn);
+    match record {
+        WalRecord::PageImage { page, image } => {
+            put_u8(buf, KIND_PAGE_IMAGE);
+            put_u64(buf, *page);
+            buf.extend_from_slice(&image.as_bytes()[..]);
+        }
+        WalRecord::Commit => put_u8(buf, KIND_COMMIT),
+        WalRecord::SegCreate { segment } => {
+            put_u8(buf, KIND_SEG_CREATE);
+            put_u32(buf, segment.0);
+        }
+        WalRecord::SegAdopt { segment, page } => {
+            put_u8(buf, KIND_SEG_ADOPT);
+            put_u32(buf, segment.0);
+            put_u64(buf, *page);
+        }
+        WalRecord::Checkpoint {
+            next_segment,
+            segments,
+        } => {
+            put_u8(buf, KIND_CHECKPOINT);
+            put_u32(buf, *next_segment);
+            put_varint(buf, segments.len() as u64);
+            for (seg, pages) in segments {
+                put_u32(buf, seg.0);
+                put_varint(buf, pages.len() as u64);
+                for &p in pages {
+                    put_u64(buf, p);
+                }
+            }
+        }
+    }
+    let checksum = fnv1a64(&buf[body_at..]);
+    put_u64(buf, checksum);
+    let total = (buf.len() - body_at) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&total.to_le_bytes());
+}
+
+/// Decodes one record from the front of `buf`. `expect_lsn` enforces the
+/// strictly-increasing sequence (`None` accepts any starting LSN, for the
+/// first record after a checkpoint truncation). Returns the LSN, the
+/// record, and the total bytes consumed.
+fn decode_record(
+    buf: &[u8],
+    expect_lsn: Option<Lsn>,
+) -> Result<(Lsn, WalRecord, usize), &'static str> {
+    if buf.len() < 4 {
+        return Err("truncated length");
+    }
+    let total = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if !(RECORD_OVERHEAD - 4..=MAX_SANE_RECORD).contains(&total) {
+        return Err("implausible length");
+    }
+    if buf.len() < 4 + total {
+        return Err("truncated record");
+    }
+    let body = &buf[4..4 + total - 8];
+    let stored = u64::from_le_bytes(buf[4 + total - 8..4 + total].try_into().expect("8 bytes"));
+    if fnv1a64(body) != stored {
+        return Err("checksum mismatch");
+    }
+    let mut r = Reader::new(body);
+    let lsn = r.u64("wal lsn").map_err(|_| "short body")?;
+    if let Some(want) = expect_lsn {
+        if lsn != want {
+            return Err("lsn out of sequence");
+        }
+    }
+    let kind = r.u8("wal kind").map_err(|_| "short body")?;
+    let record = match kind {
+        KIND_PAGE_IMAGE => {
+            let page = r.u64("wal page").map_err(|_| "short body")?;
+            if r.remaining() != PAGE_SIZE {
+                return Err("bad image size");
+            }
+            let mut raw = [0u8; PAGE_SIZE];
+            raw.copy_from_slice(&body[body.len() - PAGE_SIZE..]);
+            WalRecord::PageImage {
+                page,
+                image: Box::new(Page::from_bytes(&raw)),
+            }
+        }
+        KIND_COMMIT => WalRecord::Commit,
+        KIND_SEG_CREATE => WalRecord::SegCreate {
+            segment: SegmentId(r.u32("wal seg").map_err(|_| "short body")?),
+        },
+        KIND_SEG_ADOPT => WalRecord::SegAdopt {
+            segment: SegmentId(r.u32("wal seg").map_err(|_| "short body")?),
+            page: r.u64("wal page").map_err(|_| "short body")?,
+        },
+        KIND_CHECKPOINT => {
+            let next_segment = r.u32("wal ckpt").map_err(|_| "short body")?;
+            let nsegs = r.varint("wal ckpt").map_err(|_| "short body")? as usize;
+            let mut segments = Vec::with_capacity(nsegs.min(1024));
+            for _ in 0..nsegs {
+                let seg = SegmentId(r.u32("wal ckpt").map_err(|_| "short body")?);
+                let npages = r.varint("wal ckpt").map_err(|_| "short body")? as usize;
+                let mut pages = Vec::with_capacity(npages.min(1024));
+                for _ in 0..npages {
+                    pages.push(r.u64("wal ckpt").map_err(|_| "short body")?);
+                }
+                segments.push((seg, pages));
+            }
+            WalRecord::Checkpoint {
+                next_segment,
+                segments,
+            }
+        }
+        _ => return Err("unknown kind"),
+    };
+    Ok((lsn, record, 4 + total))
+}
+
+/// Replays a scan's committed batches into a fresh view of the world:
+/// the final image of every page plus the rebuilt segment directory.
+/// `store.rs` uses this for recovery proper; it is exposed so tests can
+/// check replay semantics without a store.
+pub fn replay(scan: &WalScan) -> ReplayState {
+    let mut state = ReplayState::default();
+    for batch in &scan.committed {
+        for rec in batch {
+            match rec {
+                WalRecord::PageImage { page, image } => {
+                    state.pages.insert(*page, (**image).clone());
+                }
+                WalRecord::Commit => {}
+                WalRecord::SegCreate { segment } => {
+                    state.segments.insert(*segment, Vec::new());
+                    state.next_segment = state.next_segment.max(segment.0 + 1);
+                }
+                WalRecord::SegAdopt { segment, page } => {
+                    state.segments.entry(*segment).or_default().push(*page);
+                }
+                WalRecord::Checkpoint {
+                    next_segment,
+                    segments,
+                } => {
+                    state.segments.clear();
+                    for (seg, pages) in segments {
+                        state.segments.insert(*seg, pages.clone());
+                    }
+                    state.next_segment = *next_segment;
+                }
+            }
+        }
+    }
+    state
+}
+
+/// The world according to the committed log: what [`replay`] produces.
+#[derive(Debug, Default)]
+pub struct ReplayState {
+    /// Final committed image of every page the log mentions.
+    pub pages: BTreeMap<u64, Page>,
+    /// Segment directory (pages in adoption order).
+    pub segments: BTreeMap<SegmentId, Vec<u64>>,
+    /// Lowest safe value for `ObjectStore::next_segment`.
+    pub next_segment: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with_byte(b: u8) -> Page {
+        let mut raw = [0u8; PAGE_SIZE];
+        raw[100] = b;
+        Page::from_bytes(&raw)
+    }
+
+    fn committed_batch(wal: &mut Wal, pages: &[(u64, u8)]) {
+        for &(p, b) in pages {
+            wal.append(&WalRecord::PageImage {
+                page: p,
+                image: Box::new(page_with_byte(b)),
+            });
+        }
+        wal.append(&WalRecord::Commit);
+        wal.flush();
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let mut wal = Wal::new();
+        wal.append(&WalRecord::SegCreate {
+            segment: SegmentId(3),
+        });
+        wal.append(&WalRecord::SegAdopt {
+            segment: SegmentId(3),
+            page: 9,
+        });
+        wal.append(&WalRecord::PageImage {
+            page: 9,
+            image: Box::new(page_with_byte(0xaa)),
+        });
+        wal.append(&WalRecord::Checkpoint {
+            next_segment: 4,
+            segments: vec![(SegmentId(3), vec![9, 10])],
+        });
+        wal.append(&WalRecord::Commit);
+        wal.flush();
+
+        let scan = wal.scan();
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(scan.discarded_records, 0);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.valid_len, wal.stats().durable_bytes);
+        assert_eq!(scan.next_lsn, 6);
+        let batch = &scan.committed[0];
+        assert_eq!(batch.len(), 4);
+        assert!(matches!(
+            batch[0],
+            WalRecord::SegCreate {
+                segment: SegmentId(3)
+            }
+        ));
+        assert!(
+            matches!(&batch[2], WalRecord::PageImage { page: 9, image } if image.as_bytes()[100] == 0xaa)
+        );
+    }
+
+    #[test]
+    fn pending_bytes_are_lost_without_flush() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]);
+        wal.append(&WalRecord::PageImage {
+            page: 0,
+            image: Box::new(page_with_byte(2)),
+        });
+        wal.append(&WalRecord::Commit);
+        // No flush: the crash loses the second batch entirely.
+        wal.drop_pending();
+        let scan = wal.scan();
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(replay(&scan).pages[&0].as_bytes()[100], 1);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded_not_replayed() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]);
+        // A batch whose images were flushed but whose commit never was.
+        wal.append(&WalRecord::PageImage {
+            page: 0,
+            image: Box::new(page_with_byte(2)),
+        });
+        wal.flush();
+        let scan = wal.scan();
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(scan.discarded_records, 1);
+        assert!(!scan.torn_tail, "well-formed records, just uncommitted");
+        assert!(scan.valid_len < wal.stats().durable_bytes);
+        assert_eq!(replay(&scan).pages[&0].as_bytes()[100], 1);
+    }
+
+    #[test]
+    fn torn_flush_keeps_only_a_prefix() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]);
+        let before = wal.stats().durable_bytes;
+        wal.append(&WalRecord::PageImage {
+            page: 0,
+            image: Box::new(page_with_byte(2)),
+        });
+        wal.append(&WalRecord::Commit);
+        wal.flush_torn(10); // a few bytes of the image record
+        let scan = wal.scan();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, before);
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(replay(&scan).pages[&0].as_bytes()[100], 1);
+    }
+
+    #[test]
+    fn every_torn_prefix_of_a_batch_preserves_the_previous_commit() {
+        let mut reference = Wal::new();
+        reference.append(&WalRecord::PageImage {
+            page: 0,
+            image: Box::new(page_with_byte(2)),
+        });
+        reference.append(&WalRecord::Commit);
+        let full = reference.stats().pending_bytes;
+
+        for keep in 0..full {
+            let mut wal = Wal::new();
+            committed_batch(&mut wal, &[(0, 1)]);
+            wal.append(&WalRecord::PageImage {
+                page: 0,
+                image: Box::new(page_with_byte(2)),
+            });
+            wal.append(&WalRecord::Commit);
+            wal.flush_torn(keep);
+            let scan = wal.scan();
+            assert_eq!(scan.committed.len(), 1, "keep={keep}");
+            assert_eq!(
+                replay(&scan).pages[&0].as_bytes()[100],
+                1,
+                "keep={keep}: must see the previous commit only"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_in_a_record_is_rejected() {
+        // Flip one bit in each interesting region of the last record:
+        // length field, lsn, kind, payload, checksum.
+        let mut base = Wal::new();
+        committed_batch(&mut base, &[(0, 1)]);
+        let first_len = base.stats().durable_bytes;
+        committed_batch(&mut base, &[(0, 2)]);
+        let total = base.stats().durable_bytes;
+
+        for offset in first_len..total {
+            let mut wal = Wal::new();
+            committed_batch(&mut wal, &[(0, 1)]);
+            committed_batch(&mut wal, &[(0, 2)]);
+            wal.corrupt_durable_byte(offset, 0x40);
+            let scan = wal.scan();
+            assert!(scan.torn_tail, "offset {offset} not detected");
+            assert_eq!(scan.committed.len(), 1, "offset {offset}");
+            assert_eq!(scan.valid_len, first_len, "offset {offset}");
+            assert_eq!(replay(&scan).pages[&0].as_bytes()[100], 1);
+        }
+    }
+
+    #[test]
+    fn lsn_regression_terminates_the_scan() {
+        // Splice a stale-but-valid record after a newer one by rebuilding
+        // durable bytes out of order.
+        let mut a = Wal::new();
+        committed_batch(&mut a, &[(0, 1)]); // lsn 1,2
+        let mut b = Wal::new();
+        committed_batch(&mut b, &[(0, 9)]); // lsn 1,2 again
+        let mut spliced = Wal::new();
+        committed_batch(&mut spliced, &[(0, 1)]);
+        // Append a replayed copy of b's bytes: checksums pass, LSNs repeat.
+        let stale = b.durable.clone();
+        spliced.durable.extend_from_slice(&stale);
+        let scan = spliced.scan();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(replay(&scan).pages[&0].as_bytes()[100], 1);
+    }
+
+    #[test]
+    fn checkpoint_resets_replay_state() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1), (1, 2)]);
+        wal.install_checkpoint(2, vec![(SegmentId(0), vec![0, 1])]);
+        committed_batch(&mut wal, &[(1, 3)]);
+        let scan = wal.scan();
+        assert_eq!(scan.committed.len(), 2, "checkpoint batch + one more");
+        let state = replay(&scan);
+        assert_eq!(state.next_segment, 2);
+        assert_eq!(state.segments[&SegmentId(0)], vec![0, 1]);
+        // Page 0's image predates the checkpoint: the checkpoint guarantees
+        // the *disk* already holds it, so replay has nothing for it.
+        assert!(!state.pages.contains_key(&0));
+        assert_eq!(state.pages[&1].as_bytes()[100], 3);
+    }
+
+    #[test]
+    fn stats_track_appends_flushes_checkpoints() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]);
+        wal.install_checkpoint(1, vec![]);
+        let s = wal.stats();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.records_appended, 4);
+        assert_eq!(s.pending_bytes, 0);
+        assert_eq!(s.next_lsn, 5);
+    }
+
+    #[test]
+    fn empty_log_scans_clean() {
+        let scan = Wal::new().scan();
+        assert!(scan.committed.is_empty());
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.next_lsn, 1);
+    }
+}

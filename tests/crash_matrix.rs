@@ -1,0 +1,352 @@
+//! Deterministic crash matrix over the WAL + recovery path.
+//!
+//! For every engine operation that runs as one atomic batch (attribute
+//! write with relocation, cascading delete, make-component, multi-parent
+//! `make`, orphan-cascading remove-component), for every named crash point
+//! in the commit protocol, and for every countdown until the point stops
+//! firing: crash there, [`Database::recover`], and assert the database
+//! equals either the pre-batch or the post-batch state — never a hybrid.
+//! A torn-flush sweep and a WAL bit-flip check cover the corrupted-log
+//! variants of the same guarantee.
+//!
+//! Everything here is deterministic: the crash points are named and
+//! counted, the scenarios allocate OIDs in a fixed order, and the post
+//! oracle is simply a twin database running the same operation with no
+//! faults armed.
+
+use corion::storage::{CP_COMMIT_FLUSH, CRASH_POINTS};
+use corion::{ClassBuilder, CompositeSpec, Database, DbError, DbResult, Domain, Oid, Value};
+
+// ---------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------
+
+/// The logical content of the database: every live object's OID and
+/// encoded image, sorted. Physical placement is deliberately excluded —
+/// recovery may relocate records; OIDs are the stable names.
+fn fingerprint(db: &Database) -> Vec<(Oid, Vec<u8>)> {
+    let mut out = Vec::new();
+    for class in db.catalog().all_classes() {
+        for oid in db.instances_of(class, false) {
+            let obj = db.get(oid).unwrap();
+            let mut buf = Vec::new();
+            obj.encode(&mut buf);
+            out.push((oid, buf));
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+/// One crash-test scenario: a deterministic builder and the single atomic
+/// operation under test.
+struct Scenario {
+    name: &'static str,
+    build: fn() -> (Database, Vec<Oid>),
+    op: fn(&mut Database, &[Oid]) -> DbResult<()>,
+}
+
+/// Part/Assembly schema shared by most scenarios: a dependent-shared set
+/// attribute (cascades when the last parent goes) plus a plain string.
+fn parts_db() -> (Database, corion::ClassId, corion::ClassId) {
+    let mut db = Database::new();
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("text", Domain::String))
+        .unwrap();
+    let asm = db
+        .define_class(
+            ClassBuilder::new("Asm")
+                .same_segment_as(part)
+                .attr_composite(
+                    "parts",
+                    Domain::SetOf(Box::new(Domain::Class(part))),
+                    CompositeSpec {
+                        exclusive: false,
+                        dependent: true,
+                    },
+                ),
+        )
+        .unwrap();
+    (db, part, asm)
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "set_attr_with_relocation",
+            build: || {
+                let (mut db, part, _) = parts_db();
+                let mut oids = Vec::new();
+                for i in 0..8 {
+                    oids.push(
+                        db.make(part, vec![("text", Value::Str(format!("p{i}")))], vec![])
+                            .unwrap(),
+                    );
+                }
+                (db, oids)
+            },
+            // Growing far past one page forces relocation plus an overflow
+            // chain: several pages dirty in one batch.
+            op: |db, oids| db.set_attr(oids[3], "text", Value::Str("x".repeat(9000))),
+        },
+        Scenario {
+            name: "delete_cascade",
+            build: || {
+                let (mut db, part, asm) = parts_db();
+                // Three assemblies each holding three parts; parts 0..3 are
+                // shared between asm 0 and asm 1, so deleting asm 0 detaches
+                // them while deleting asm 2 cascades into its own parts.
+                let mut parts = Vec::new();
+                for i in 0..9 {
+                    parts.push(
+                        db.make(part, vec![("text", Value::Str(format!("p{i}")))], vec![])
+                            .unwrap(),
+                    );
+                }
+                let mut asms = Vec::new();
+                for a in 0..3 {
+                    let members: Vec<Value> =
+                        (0..3).map(|k| Value::Ref(parts[a * 3 + k])).collect();
+                    asms.push(
+                        db.make(asm, vec![("parts", Value::Set(members))], vec![])
+                            .unwrap(),
+                    );
+                }
+                (db, asms)
+            },
+            op: |db, asms| db.delete(asms[2]).map(|_| ()),
+        },
+        Scenario {
+            name: "make_component",
+            build: || {
+                let (mut db, part, asm) = parts_db();
+                let p = db.make(part, vec![], vec![]).unwrap();
+                let a = db.make(asm, vec![], vec![]).unwrap();
+                (db, vec![p, a])
+            },
+            op: |db, oids| db.make_component(oids[0], oids[1], "parts"),
+        },
+        Scenario {
+            name: "make_with_parents",
+            build: || {
+                let (mut db, _part, asm) = parts_db();
+                let a1 = db.make(asm, vec![], vec![]).unwrap();
+                let a2 = db.make(asm, vec![], vec![]).unwrap();
+                (db, vec![a1, a2])
+            },
+            op: |db, oids| {
+                let part = db.class_by_name("Part").unwrap();
+                db.make(part, vec![], vec![(oids[0], "parts"), (oids[1], "parts")])
+                    .map(|_| ())
+            },
+        },
+        Scenario {
+            name: "remove_component_orphan_cascade",
+            build: || {
+                let (mut db, part, asm) = parts_db();
+                let p = db.make(part, vec![], vec![]).unwrap();
+                let a = db
+                    .make(
+                        asm,
+                        vec![("parts", Value::Set(vec![Value::Ref(p)]))],
+                        vec![],
+                    )
+                    .unwrap();
+                (db, vec![p, a])
+            },
+            // Removing the only dependent parent deletes the orphan too.
+            op: |db, oids| db.remove_component(oids[0], oids[1], "parts"),
+        },
+    ]
+}
+
+/// The post-batch oracle: the same scenario run to completion on a twin
+/// database with no faults armed.
+fn post_oracle(s: &Scenario) -> Vec<(Oid, Vec<u8>)> {
+    let (mut db, oids) = (s.build)();
+    (s.op)(&mut db, &oids).unwrap();
+    fingerprint(&db)
+}
+
+// ---------------------------------------------------------------------
+// The matrix
+// ---------------------------------------------------------------------
+
+/// Runs one scenario with a crash armed at `point` on its `countdown`-th
+/// hit. Returns `false` once the countdown outlives the operation (the
+/// point never fired — the sweep for this point is exhausted).
+fn crash_once(s: &Scenario, point: &'static str, countdown: u64, post: &[(Oid, Vec<u8>)]) -> bool {
+    let (mut db, oids) = (s.build)();
+    let pre = fingerprint(&db);
+    db.arm_crash_point(point, countdown);
+    let result = (s.op)(&mut db, &oids);
+    let fired = db.crash_point_remaining(point).is_none();
+    db.heal_crash_points();
+    if !fired {
+        assert!(
+            result.is_ok(),
+            "{}: op failed without the crash point firing: {result:?}",
+            s.name
+        );
+        return false;
+    }
+    assert!(
+        matches!(result, Err(DbError::Storage(_))),
+        "{}: crash at {point}#{countdown} must surface as a storage error, got {result:?}",
+        s.name
+    );
+    let report = db
+        .recover()
+        .unwrap_or_else(|e| panic!("{}: recovery after {point}#{countdown} failed: {e}", s.name));
+    let after = fingerprint(&db);
+    assert!(
+        after == pre || after == post,
+        "{}: crash at {point}#{countdown} recovered to a hybrid state \
+         ({} objects; pre {}, post {}; report {report:?})",
+        s.name,
+        after.len(),
+        pre.len(),
+        post.len()
+    );
+    db.verify_integrity().unwrap_or_else(|e| {
+        panic!(
+            "{}: integrity audit failed after {point}#{countdown}: {e}",
+            s.name
+        )
+    });
+    // The recovered engine must accept new work.
+    let part = db.class_by_name("Part").unwrap();
+    let fresh = db.make(part, vec![], vec![]).unwrap();
+    assert!(db.exists(fresh));
+    true
+}
+
+#[test]
+fn every_crash_point_recovers_to_pre_or_post_state() {
+    for s in scenarios() {
+        let post = post_oracle(&s);
+        for &point in CRASH_POINTS {
+            let mut fired_at_least_once = false;
+            for countdown in 1..=512u64 {
+                if !crash_once(&s, point, countdown, &post) {
+                    // Countdown outlived the op: sweep of this point done.
+                    assert!(
+                        countdown > 1 || !fired_at_least_once,
+                        "countdown sweep went backwards"
+                    );
+                    break;
+                }
+                fired_at_least_once = true;
+                assert!(countdown < 512, "{}: {point} fired 512 times", s.name);
+            }
+            // Commit-protocol points fire in every scenario (each op
+            // commits exactly one batch); page-write points fire whenever
+            // the op writes at all — which every scenario does.
+            assert!(
+                fired_at_least_once,
+                "{}: crash point {point} never fired",
+                s.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Torn flushes
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_commit_flush_recovers_to_pre_then_post() {
+    for s in scenarios() {
+        let post = post_oracle(&s);
+        // Measure how many bytes the commit flush makes durable.
+        let (mut db, oids) = (s.build)();
+        let before = db.wal_stats().durable_bytes;
+        (s.op)(&mut db, &oids).unwrap();
+        let delta = db.wal_stats().durable_bytes.saturating_sub(before);
+        assert!(delta > 0, "{}: op appended nothing to the WAL", s.name);
+
+        let keeps = [0, 1, delta / 2, delta.saturating_sub(1), delta, delta + 64];
+        let mut seen_pre = false;
+        let mut seen_post = false;
+        for keep in keeps {
+            let (mut db, oids) = (s.build)();
+            let pre = fingerprint(&db);
+            db.arm_torn_crash(CP_COMMIT_FLUSH, 1, keep);
+            let result = (s.op)(&mut db, &oids);
+            assert!(
+                matches!(result, Err(DbError::Storage(_))),
+                "{}: torn flush (keep {keep}) must fail the op",
+                s.name
+            );
+            db.heal_crash_points();
+            db.recover().unwrap();
+            let after = fingerprint(&db);
+            if after == pre {
+                seen_pre = true;
+            } else if after == post {
+                seen_post = true;
+            } else {
+                panic!("{}: torn flush keeping {keep} bytes left a hybrid", s.name);
+            }
+            db.verify_integrity().unwrap();
+        }
+        // Keeping nothing must land on pre; keeping everything on post.
+        assert!(
+            seen_pre && seen_post,
+            "{}: torn sweep should reach both outcomes (pre {seen_pre}, post {seen_post})",
+            s.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit rot
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_bit_flip_truncates_tail_instead_of_replaying_garbage() {
+    // Commit two batches, flip one byte inside the *second* batch's
+    // records, crash, recover: the checksum must reject the corrupted
+    // record and truncate the log there, recovering batch one only —
+    // never garbage.
+    let (mut db, part, _) = parts_db();
+    let a = db
+        .make(part, vec![("text", Value::Str("one".into()))], vec![])
+        .unwrap();
+    let cut = db.wal_stats().durable_bytes;
+    let b = db
+        .make(part, vec![("text", Value::Str("two".into()))], vec![])
+        .unwrap();
+    let end = db.wal_stats().durable_bytes;
+    assert!(end > cut);
+
+    // Flip a byte in the middle of the second batch's log region.
+    db.corrupt_wal_byte(cut + (end - cut) / 2, 0x40);
+    db.simulate_crash();
+    let report = db.recover().unwrap();
+    assert!(
+        report.torn_tail,
+        "corruption must be detected as a torn tail: {report:?}"
+    );
+    // Batch one survived; batch two was truncated away with the corruption.
+    assert!(db.exists(a), "first committed batch must survive bit rot");
+    assert!(
+        !db.exists(b),
+        "corrupted batch must be discarded, not replayed"
+    );
+    assert_eq!(
+        db.get_attr(a, "text").unwrap(),
+        Value::Str("one".into()),
+        "surviving object must carry its committed value"
+    );
+    db.verify_integrity().unwrap();
+    // And the truncated log is consistent: recovery is idempotent.
+    let again = db.recover().unwrap();
+    assert!(!again.torn_tail, "second recovery sees a clean log");
+    assert!(db.exists(a));
+}

@@ -454,8 +454,11 @@ proptest! {
         ops in prop::collection::vec((0u8..4, prop::collection::vec(any::<u8>(), 0..512)), 1..80)
     ) {
         use corion::storage::{ObjectStore, StoreConfig};
-        let mut store = ObjectStore::new(StoreConfig { buffer_capacity: 4 });
-        let seg = store.create_segment();
+        let mut store = ObjectStore::new(StoreConfig {
+            buffer_capacity: 4,
+            ..StoreConfig::default()
+        });
+        let seg = store.create_segment().unwrap();
         let mut model: Vec<(corion::storage::PhysId, Vec<u8>)> = Vec::new();
         for (kind, bytes) in ops {
             match kind {

@@ -1,0 +1,238 @@
+//! Property-based recovery equivalence.
+//!
+//! The contract under test: every public mutation is one atomic batch, so
+//! for any operation sequence and any crash position,
+//!
+//! ```text
+//! recover(crash(ops)) == replay(committed_prefix(ops))
+//! ```
+//!
+//! where the committed prefix is either everything before the failing
+//! operation or everything through it (the crash may land on either side
+//! of the durability point) — never anything in between.
+//!
+//! The oracle is a twin database replaying the same deterministic
+//! operations with no faults armed — the same style as the PR-1
+//! `_uncached` traversal oracles: recompute the answer the slow, safe way
+//! and demand equality.
+
+use corion::storage::{CP_COMMIT_FLUSH, CRASH_POINTS};
+use corion::{
+    AttributeDef, ClassBuilder, ClassId, CompositeSpec, Database, DbError, Domain, Oid, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Deterministic op interpreter
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// New root node with an integer payload.
+    Create(i64),
+    /// New node created straight into an existing parent's `kids`.
+    CreateChild { parent: usize },
+    /// Overwrite the integer attribute.
+    SetInt { obj: usize, v: i64 },
+    /// Grow the string attribute (sizes past a page force relocation and
+    /// overflow chains — multi-page batches).
+    Grow { obj: usize, len: usize },
+    /// Cascading delete.
+    Delete { obj: usize },
+    /// Bottom-up attach (may be rejected by cycle/topology rules).
+    Attach { child: usize, parent: usize },
+    /// Detach with orphan cascade.
+    Detach { child: usize, parent: usize },
+    /// Weak reference write.
+    SetBuddy { obj: usize, target: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Op::Create),
+        3 => (0..64usize).prop_map(|parent| Op::CreateChild { parent }),
+        3 => (0..64usize, any::<i64>()).prop_map(|(obj, v)| Op::SetInt { obj, v }),
+        2 => (0..64usize, 0..6000usize).prop_map(|(obj, len)| Op::Grow { obj, len }),
+        2 => (0..64usize).prop_map(|obj| Op::Delete { obj }),
+        3 => (0..64usize, 0..64usize)
+            .prop_map(|(child, parent)| Op::Attach { child, parent }),
+        2 => (0..64usize, 0..64usize)
+            .prop_map(|(child, parent)| Op::Detach { child, parent }),
+        1 => (0..64usize, 0..64usize)
+            .prop_map(|(obj, target)| Op::SetBuddy { obj, target }),
+    ]
+}
+
+fn node_db() -> (Database, ClassId) {
+    let mut db = Database::new();
+    let node = db
+        .define_class(
+            ClassBuilder::new("Node")
+                .attr("n", Domain::Integer)
+                .attr("text", Domain::String),
+        )
+        .unwrap();
+    db.add_attribute(
+        node,
+        AttributeDef::composite(
+            "kids",
+            Domain::SetOf(Box::new(Domain::Class(node))),
+            CompositeSpec {
+                exclusive: false,
+                dependent: true,
+            },
+        ),
+    )
+    .unwrap();
+    db.add_attribute(node, AttributeDef::plain("buddy", Domain::Class(node)))
+        .unwrap();
+    // Seed population so early ops have targets.
+    for i in 0..4 {
+        db.make(node, vec![("n", Value::Int(i))], vec![]).unwrap();
+    }
+    (db, node)
+}
+
+/// Applies one op. Semantic rejections (cycles, topology, missing targets)
+/// are part of the deterministic semantics and count as success; only a
+/// storage failure — the injected crash — propagates as `Err`.
+fn apply(db: &mut Database, node: ClassId, op: &Op) -> Result<(), DbError> {
+    let live: Vec<Oid> = db.instances_of(node, false);
+    let pick = |i: usize| -> Option<Oid> {
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[i % live.len()])
+        }
+    };
+    let result = match op {
+        Op::Create(v) => db
+            .make(node, vec![("n", Value::Int(*v))], vec![])
+            .map(|_| ()),
+        Op::CreateChild { parent } => match pick(*parent) {
+            Some(p) => db.make(node, vec![], vec![(p, "kids")]).map(|_| ()),
+            None => Ok(()),
+        },
+        Op::SetInt { obj, v } => match pick(*obj) {
+            Some(o) => db.set_attr(o, "n", Value::Int(*v)),
+            None => Ok(()),
+        },
+        Op::Grow { obj, len } => match pick(*obj) {
+            Some(o) => db.set_attr(o, "text", Value::Str("g".repeat(*len))),
+            None => Ok(()),
+        },
+        Op::Delete { obj } => match pick(*obj) {
+            Some(o) => db.delete(o).map(|_| ()),
+            None => Ok(()),
+        },
+        Op::Attach { child, parent } => match (pick(*child), pick(*parent)) {
+            (Some(c), Some(p)) => db.make_component(c, p, "kids"),
+            _ => Ok(()),
+        },
+        Op::Detach { child, parent } => match (pick(*child), pick(*parent)) {
+            (Some(c), Some(p)) => db.remove_component(c, p, "kids"),
+            _ => Ok(()),
+        },
+        Op::SetBuddy { obj, target } => match (pick(*obj), pick(*target)) {
+            (Some(o), Some(t)) => db.set_attr(o, "buddy", Value::Ref(t)),
+            _ => Ok(()),
+        },
+    };
+    match result {
+        Ok(()) => Ok(()),
+        Err(e @ DbError::Storage(_)) => Err(e),
+        Err(_) => Ok(()), // semantic rejection: deterministic no-op-with-compensation
+    }
+}
+
+/// Logical content fingerprint: OID + encoded image of every live object,
+/// sorted (physical placement excluded — recovery may relocate).
+fn fingerprint(db: &Database, node: ClassId) -> Vec<(Oid, Vec<u8>)> {
+    let mut out = Vec::new();
+    for oid in db.instances_of(node, false) {
+        let obj = db.get(oid).unwrap();
+        let mut buf = Vec::new();
+        obj.encode(&mut buf);
+        out.push((oid, buf));
+    }
+    out.sort();
+    out
+}
+
+/// The oracle: a fresh twin replaying `ops` with no faults armed.
+fn replay(ops: &[Op]) -> Vec<(Oid, Vec<u8>)> {
+    let (mut db, node) = node_db();
+    for op in ops {
+        apply(&mut db, node, op).expect("oracle replay sees no faults");
+    }
+    fingerprint(&db, node)
+}
+
+// ---------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn recovery_equals_replay_of_committed_prefix(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        point_idx in 0..5usize,
+        countdown in 1..40u64,
+        torn in any::<bool>(),
+        torn_keep in 0..4096usize,
+    ) {
+        let point = CRASH_POINTS[point_idx % CRASH_POINTS.len()];
+        let (mut db, node) = node_db();
+        // Arm once for the whole sequence: the countdown decides which
+        // operation (if any) the crash lands in.
+        if torn && point == CP_COMMIT_FLUSH {
+            db.arm_torn_crash(point, countdown, torn_keep);
+        } else {
+            db.arm_crash_point(point, countdown);
+        }
+
+        let mut failed_at: Option<usize> = None;
+        for (i, op) in ops.iter().enumerate() {
+            if let Err(e) = apply(&mut db, node, op) {
+                prop_assert!(
+                    matches!(e, DbError::Storage(_)),
+                    "only storage faults abort the run: {e}"
+                );
+                failed_at = Some(i);
+                break;
+            }
+        }
+        db.heal_crash_points();
+
+        match failed_at {
+            Some(i) => {
+                db.recover().unwrap();
+                let recovered = fingerprint(&db, node);
+                let pre = replay(&ops[..i]);
+                let post = replay(&ops[..=i]);
+                prop_assert!(
+                    recovered == pre || recovered == post,
+                    "crash in op {i} ({:?}) at {point}#{countdown} recovered to a hybrid: \
+                     {} objects vs pre {} / post {}",
+                    ops[i], recovered.len(), pre.len(), post.len()
+                );
+                db.verify_integrity().unwrap();
+                // The recovered engine keeps working.
+                db.make(node, vec![], vec![]).unwrap();
+            }
+            None => {
+                // The countdown outlived the run: everything committed.
+                // Crashing now and recovering must reproduce the full
+                // replay — recover(crash(ops)) == replay(ops).
+                db.simulate_crash();
+                db.recover().unwrap();
+                let recovered = fingerprint(&db, node);
+                let full = replay(&ops);
+                prop_assert_eq!(recovered, full, "post-crash recovery diverged from replay");
+                db.verify_integrity().unwrap();
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Soak test: thousands of mixed operations across every subsystem on one
 //! engine, with the full invariant audit and a dump/restore round-trip at
-//! checkpoints. Deterministic (seeded); runtime is bounded to keep
-//! `cargo test` fast.
+//! checkpoints; plus a crash-recovery soak that interleaves parallel
+//! readers with injected crash/recover cycles. Deterministic (seeded);
+//! runtime is bounded to keep `cargo test` fast.
 
 use corion::core::evolution::{AttrTypeChange, Maintenance};
 use corion::workload::{Corpus, CorpusParams};
@@ -157,4 +158,117 @@ fn mixed_operation_soak() {
             .unwrap(),
         docs_with_sections
     );
+}
+
+/// Crash-recovery soak: alternate parallel read phases with injected
+/// crash/recover cycles and verify readers never observe stale or partial
+/// state.
+///
+/// The freshness argument is the PR-1 cache contract, checked through
+/// `traversal_cache_stats`: the traversal cache is valid for exactly one
+/// hierarchy generation, reads never move the generation, and every
+/// recovery strictly advances it — so a traversal answered after recovery
+/// can only have been computed from (or validated against) post-recovery
+/// state, never served from a pre-crash cache line.
+#[test]
+fn readers_interleave_with_crash_recover_cycles() {
+    use corion::storage::CRASH_POINTS;
+    use corion::{DbError, Filter, Oid};
+
+    let mut db = Database::new();
+    let corpus = Corpus::generate(
+        &mut db,
+        CorpusParams {
+            documents: 16,
+            sections_per_doc: 3,
+            paras_per_section: 2,
+            share_fraction: 0.3,
+            figures_per_doc: 1,
+            seed: 42,
+        },
+    )
+    .unwrap();
+    let schema = corpus.schema;
+
+    for cycle in 0..3 * CRASH_POINTS.len() {
+        // --- Read phase: four threads traverse the shared engine. -------
+        let gen_before = db.hierarchy_generation();
+        let documents = db.instances_of(schema.document, false);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let db = &db;
+                let documents = &documents;
+                s.spawn(move || {
+                    for (i, &d) in documents.iter().enumerate() {
+                        if i % 4 != t {
+                            continue;
+                        }
+                        let comps = db.components_of(d, &Filter::all()).unwrap();
+                        for &c in &comps {
+                            // No partial reads: every reachable component
+                            // is a live, decodable object.
+                            assert!(db.exists(c), "dangling component {c} of {d}");
+                            let _ = db.get(c).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            db.hierarchy_generation(),
+            gen_before,
+            "pure reads must not move the hierarchy generation"
+        );
+
+        // --- Crash phase: fail a cascading delete at a rotating point. --
+        let victim = documents[cycle % documents.len()];
+        let point = CRASH_POINTS[cycle % CRASH_POINTS.len()];
+        db.arm_crash_point(point, 1);
+        match db.delete(victim) {
+            Err(DbError::Storage(_)) => {}
+            other => panic!("armed crash at {point} did not fire: {other:?}"),
+        }
+        db.heal_crash_points();
+        db.recover().unwrap();
+        assert!(
+            db.hierarchy_generation() > gen_before,
+            "recovery must strictly advance the generation (cycle {cycle})"
+        );
+
+        // --- Freshness audit: cached traversals equal a recomputation. --
+        db.reset_io_stats();
+        let live_docs: Vec<Oid> = db.instances_of(schema.document, false);
+        for &d in &live_docs {
+            let first = db.components_of(d, &Filter::all()).unwrap();
+            let again = db.components_of(d, &Filter::all()).unwrap();
+            assert_eq!(first, again, "unstable traversal after recovery");
+            for &c in &first {
+                assert!(db.exists(c), "stale component {c} survived recovery");
+            }
+        }
+        let stats = db.traversal_cache_stats();
+        assert_eq!(
+            stats.generation,
+            db.hierarchy_generation(),
+            "cache counters must report the live generation"
+        );
+        assert!(
+            stats.hits > 0,
+            "second traversal round should hit the rebuilt cache"
+        );
+        db.verify_integrity().unwrap();
+
+        // The engine keeps accepting writes between cycles (and re-grows
+        // the population the deletes shrink).
+        let s = db.make(schema.section, vec![], vec![]).unwrap();
+        db.make(
+            schema.document,
+            vec![
+                ("Title", Value::Str(format!("regrown-{cycle}"))),
+                ("Sections", Value::Set(vec![Value::Ref(s)])),
+            ],
+            vec![],
+        )
+        .unwrap();
+    }
 }
