@@ -1,0 +1,28 @@
+use corion_storage::{ObjectStore, StoreConfig, CP_COMMIT_FLUSH};
+
+#[test]
+fn committed_batch_after_torn_recovery_survives_second_recovery() {
+    // Measure the pending bytes of the batch we will tear.
+    let mut probe = ObjectStore::new(StoreConfig::default());
+    let seg = probe.create_segment().unwrap();
+    let a = probe.insert(seg, b"A", None).unwrap();
+    let before = probe.wal_stats().durable_bytes;
+    probe.update(a, b"B").unwrap();
+    let batch_bytes = probe.wal_stats().durable_bytes - before;
+
+    for keep in 0..batch_bytes {
+        let mut st = ObjectStore::new(StoreConfig::default());
+        let seg = st.create_segment().unwrap();
+        let a = st.insert(seg, b"A", None).unwrap();
+        st.arm_torn_crash(CP_COMMIT_FLUSH, 1, keep);
+        let _ = st.update(a, b"B");
+        st.heal_crash_points();
+        let rep1 = st.recover().unwrap();
+        let c = st.insert(seg, b"C", None).unwrap();
+        st.simulate_crash();
+        let rep2 = st.recover().unwrap();
+        assert!(!rep2.torn_tail,
+            "keep={keep}/{batch_bytes}: second recovery saw torn tail (rep1={rep1:?}, rep2={rep2:?})");
+        assert_eq!(st.read(c).unwrap(), b"C", "keep={keep}: committed C lost");
+    }
+}
