@@ -208,10 +208,13 @@ fn bench_traversal_cache(c: &mut Criterion) {
         speedup >= 2.0,
         "cached repeat traversal must be ≥2× faster than uncached (got {speedup:.2}×)"
     );
-    let stats = db.traversal_cache_stats();
+    let snap = db.metrics_snapshot();
     eprintln!(
         "traversal_cache: {} hits, {} misses, {} invalidations at generation {}",
-        stats.hits, stats.misses, stats.invalidations, stats.generation
+        snap.counter("corion_traversal_cache_hits_total"),
+        snap.counter("corion_traversal_cache_misses_total"),
+        snap.counter("corion_traversal_cache_invalidations_total"),
+        db.hierarchy_generation()
     );
 }
 

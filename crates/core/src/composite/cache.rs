@@ -23,12 +23,20 @@
 //! so concurrent readers share the cache; mutations require `&mut Database`
 //! and therefore never race a reader.
 //!
+//! **Accounting** is double-booked. The cache increments monotonic
+//! registry counters (`corion_traversal_cache_{hits,misses,invalidations}_total`,
+//! surfaced by [`Database::metrics_snapshot`](crate::db::Database::metrics_snapshot))
+//! and, in parallel, a trio of local atomics serving the deprecated
+//! resettable [`TraversalCacheStats`] shim. The locals go away with the
+//! shim; the registry counters are the contract.
+//!
 //! [`Database`]: crate::db::Database
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use corion_obs::Registry;
 use parking_lot::RwLock;
 
 use crate::oid::Oid;
@@ -86,25 +94,33 @@ impl Maps {
 /// The per-database traversal cache. See the module docs for the contract.
 pub(crate) struct TraversalCache {
     generation: AtomicU64,
+    /// Resettable locals behind the deprecated [`TraversalCacheStats`] shim.
+    /// Only ever updated while holding a `maps` guard (read for hits/misses
+    /// on the fast path, write for the flush), so `reset_stats` can make the
+    /// whole trio consistent by taking the write lock.
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    /// Monotonic registry counters — the canonical accounting.
+    hits_total: corion_obs::Counter,
+    misses_total: corion_obs::Counter,
+    invalidations_total: corion_obs::Counter,
+    /// `corion_hierarchy_generation`, mirrored on every bump.
+    generation_gauge: corion_obs::Gauge,
     maps: RwLock<Maps>,
 }
 
-impl Default for TraversalCache {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl TraversalCache {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(registry: &Registry) -> Self {
         TraversalCache {
             generation: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            hits_total: registry.counter("corion_traversal_cache_hits_total"),
+            misses_total: registry.counter("corion_traversal_cache_misses_total"),
+            invalidations_total: registry.counter("corion_traversal_cache_invalidations_total"),
+            generation_gauge: registry.gauge("corion_hierarchy_generation"),
             maps: RwLock::new(Maps::default()),
         }
     }
@@ -112,7 +128,9 @@ impl TraversalCache {
     /// Declares that the hierarchy may have changed. Cached entries built
     /// under earlier generations are dropped lazily, on the next lookup.
     pub(crate) fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::Relaxed);
+        let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        self.generation_gauge
+            .set(i64::try_from(gen).unwrap_or(i64::MAX));
     }
 
     /// The current hierarchy generation.
@@ -129,7 +147,17 @@ impl TraversalCache {
         }
     }
 
+    /// Zeroes the resettable shim counters (never the registry counters —
+    /// those are monotonic by contract).
+    ///
+    /// Takes the maps **write lock** so the three stores are atomic with
+    /// respect to every increment: hits/misses are bumped under the read
+    /// lock and the invalidation count under the write lock, so an unlocked
+    /// reset racing a stale-flush could zero `hits` and `misses` yet keep an
+    /// invalidation from the pre-reset epoch, leaving the trio incoherent
+    /// (`invalidations > 0` with no recorded lookups).
     pub(crate) fn reset_stats(&self) {
+        let _guard = self.maps.write();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
@@ -145,10 +173,12 @@ impl TraversalCache {
                 return match select(&maps).get(&key) {
                     Some(v) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits_total.inc();
                         Some(v.clone())
                     }
                     None => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses_total.inc();
                         None
                     }
                 };
@@ -160,11 +190,13 @@ impl TraversalCache {
         if maps.valid_for != gen {
             if !maps.is_empty() {
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.invalidations_total.inc();
             }
             maps.clear();
             maps.valid_for = gen;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_total.inc();
         None
     }
 
@@ -220,9 +252,13 @@ mod tests {
         Oid::new(ClassId(1), n)
     }
 
+    fn cache() -> TraversalCache {
+        TraversalCache::new(&Registry::new())
+    }
+
     #[test]
     fn lookup_counts_hits_and_misses() {
-        let c = TraversalCache::new();
+        let c = cache();
         assert!(c.roots(oid(1)).is_none());
         c.store_roots(oid(1), Arc::new(vec![oid(2)]));
         assert_eq!(c.roots(oid(1)).as_deref(), Some(&vec![oid(2)]));
@@ -232,7 +268,7 @@ mod tests {
 
     #[test]
     fn bump_invalidates_everything_once() {
-        let c = TraversalCache::new();
+        let c = cache();
         c.roots(oid(1));
         c.store_roots(oid(1), Arc::new(vec![]));
         c.ancestors(oid(1));
@@ -248,7 +284,7 @@ mod tests {
 
     #[test]
     fn store_under_stale_generation_is_dropped() {
-        let c = TraversalCache::new();
+        let c = cache();
         c.roots(oid(1)); // primes valid_for = 0
         c.bump();
         c.store_roots(oid(1), Arc::new(vec![oid(9)])); // stale: discarded
@@ -257,7 +293,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_share_entries() {
-        let c = TraversalCache::new();
+        let c = cache();
         c.children(oid(7));
         c.store_children(oid(7), Arc::new(vec![]));
         std::thread::scope(|s| {
@@ -270,5 +306,30 @@ mod tests {
             }
         });
         assert_eq!(c.stats().hits, 400);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn registry_counters_mirror_the_shim_and_survive_reset() {
+        let registry = Registry::new();
+        let c = TraversalCache::new(&registry);
+        c.roots(oid(1)); // miss
+        c.store_roots(oid(1), Arc::new(vec![]));
+        c.roots(oid(1)); // hit
+        c.bump();
+        c.roots(oid(1)); // invalidation + miss
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("corion_traversal_cache_hits_total"), 1);
+        assert_eq!(snap.counter("corion_traversal_cache_misses_total"), 2);
+        assert_eq!(
+            snap.counter("corion_traversal_cache_invalidations_total"),
+            1
+        );
+        assert_eq!(snap.gauge("corion_hierarchy_generation"), 1);
+        c.reset_stats();
+        assert_eq!(c.stats().hits, 0);
+        // Registry counters are monotonic: a reset must not touch them.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("corion_traversal_cache_hits_total"), 1);
     }
 }

@@ -109,6 +109,8 @@ impl Database {
     /// indirectly referenced from O via composite references" (§2.2), BFS
     /// order (so level-n components appear before level-n+1 ones).
     pub fn components_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _span = corion_obs::span("core", "components_of");
+        let _timer = self.metrics.components_of_latency.start_timer();
         self.components_walk(object, filter, true)
     }
 
@@ -116,6 +118,7 @@ impl Database {
     /// traversal cache — the oracle the equivalence test suite compares
     /// cached traversals against.
     pub fn components_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _timer = self.metrics.components_of_latency.start_timer();
         self.components_walk(object, filter, false)
     }
 
@@ -159,12 +162,15 @@ impl Database {
     /// *parent set*: objects with a **direct** composite reference to
     /// `object`, answered from its reverse composite references (§2.4).
     pub fn parents_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _span = corion_obs::span("core", "parents_of");
+        let _timer = self.metrics.parents_of_latency.start_timer();
         let rrs = self.reverse_composite_refs(object)?;
         Ok(self.filter_parents(&rrs, filter))
     }
 
     /// [`Database::parents_of`] bypassing the traversal cache.
     pub fn parents_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _timer = self.metrics.parents_of_latency.start_timer();
         let obj = self.get(object)?;
         Ok(self.filter_parents(&obj.reverse_refs, filter))
     }
@@ -193,6 +199,8 @@ impl Database {
     /// not derivable from the unfiltered one) but still hit the cached
     /// reverse-reference lists.
     pub fn ancestors_of(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _span = corion_obs::span("core", "ancestors_of");
+        let _timer = self.metrics.ancestors_of_latency.start_timer();
         if filter.is_transparent() {
             if let Some(cached) = self.traversal_cache.ancestors(object) {
                 return Ok((*cached).clone());
@@ -208,6 +216,7 @@ impl Database {
     /// [`Database::ancestors_of`] recomputed from storage, bypassing the
     /// traversal cache.
     pub fn ancestors_of_uncached(&self, object: Oid, filter: &Filter) -> DbResult<Vec<Oid>> {
+        let _timer = self.metrics.ancestors_of_latency.start_timer();
         self.ancestors_walk(object, filter, false)
     }
 
@@ -246,6 +255,8 @@ impl Database {
     /// ancestors (plus itself) that have no composite parents. Memoised per
     /// object.
     pub fn roots_of(&self, object: Oid) -> DbResult<Vec<Oid>> {
+        let _span = corion_obs::span("core", "roots_of");
+        let _timer = self.metrics.ancestors_of_latency.start_timer();
         if let Some(cached) = self.traversal_cache.roots(object) {
             return Ok((*cached).clone());
         }
@@ -265,6 +276,7 @@ impl Database {
     /// [`Database::roots_of`] recomputed from storage, bypassing the
     /// traversal cache.
     pub fn roots_of_uncached(&self, object: Oid) -> DbResult<Vec<Oid>> {
+        let _timer = self.metrics.ancestors_of_latency.start_timer();
         let mut candidates = self.ancestors_of_uncached(object, &Filter::all())?;
         candidates.insert(0, object);
         let mut out = Vec::new();
@@ -331,6 +343,7 @@ impl Database {
 
     /// `(compositep Class [AttributeName])`.
     pub fn compositep(&self, class: ClassId, attr: Option<&str>) -> DbResult<bool> {
+        let _timer = self.metrics.predicate_latency.start_timer();
         let c = self.catalog.class(class)?;
         Ok(match attr {
             None => c.compositep(),
@@ -366,6 +379,7 @@ impl Database {
         attr: Option<&str>,
         pred: impl Fn(crate::schema::attr::CompositeSpec) -> bool,
     ) -> DbResult<bool> {
+        let _timer = self.metrics.predicate_latency.start_timer();
         let c = self.catalog.class(class)?;
         Ok(match attr {
             None => c
@@ -393,6 +407,8 @@ impl Database {
     /// reverse references, which is bounded by `o1`'s ancestor set rather
     /// than `o2`'s (usually much larger) component set.
     pub fn component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let _span = corion_obs::span("core", "component_of");
+        let _timer = self.metrics.predicate_latency.start_timer();
         if !self.exists(o1) {
             return Err(DbError::NoSuchObject(o1));
         }
@@ -417,6 +433,7 @@ impl Database {
 
     /// `(child-of Object1 Object2)`: is `o1` a **direct** component of `o2`?
     pub fn child_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let _timer = self.metrics.predicate_latency.start_timer();
         Ok(self
             .reverse_composite_refs(o1)?
             .iter()
@@ -427,6 +444,7 @@ impl Database {
     /// exclusive component of `o2`; Nil if it is not a component at all or a
     /// shared one.
     pub fn exclusive_component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let _timer = self.metrics.predicate_latency.start_timer();
         let is_exclusive = self
             .reverse_composite_refs(o1)?
             .iter()
@@ -439,6 +457,7 @@ impl Database {
     /// ¬`exclusive-component-of`, which by Topology Rule 3 reduces to a flag
     /// test on `o1`.
     pub fn shared_component_of(&self, o1: Oid, o2: Oid) -> DbResult<bool> {
+        let _timer = self.metrics.predicate_latency.start_timer();
         let is_shared = self
             .reverse_composite_refs(o1)?
             .iter()
@@ -860,17 +879,35 @@ mod tests {
 
     #[test]
     fn traversal_cache_serves_repeat_reads_and_invalidates_on_write() {
+        // Cache accounting is read through the registry counters; they are
+        // monotonic, so the test works in before/after deltas.
+        let misses = |f: &Fixture| {
+            f.db.metrics_snapshot()
+                .counter("corion_traversal_cache_misses_total")
+        };
         let mut f = fixture();
         let b = build(&mut f);
-        f.db.reset_io_stats();
+        let base_misses = misses(&f);
         let first = f.db.components_of(b.book, &Filter::all()).unwrap();
-        let warm_misses = f.db.traversal_cache_stats().misses;
-        assert!(warm_misses > 0, "cold traversal populates the cache");
+        let warm_misses = misses(&f);
+        let obs_on = cfg!(feature = "obs");
+        if obs_on {
+            assert!(
+                warm_misses > base_misses,
+                "cold traversal populates the cache"
+            );
+        }
         let second = f.db.components_of(b.book, &Filter::all()).unwrap();
         assert_eq!(first, second);
-        let stats = f.db.traversal_cache_stats();
-        assert_eq!(stats.misses, warm_misses, "repeat traversal is all hits");
-        assert!(stats.hits > 0);
+        let snap = f.db.metrics_snapshot();
+        if obs_on {
+            assert_eq!(
+                snap.counter("corion_traversal_cache_misses_total"),
+                warm_misses,
+                "repeat traversal is all hits"
+            );
+            assert!(snap.counter("corion_traversal_cache_hits_total") > 0);
+        }
         // A write bumps the generation; the next read drops the cache and
         // sees the new hierarchy.
         let gen_before = f.db.hierarchy_generation();
@@ -879,7 +916,14 @@ mod tests {
         let after = f.db.components_of(b.book, &Filter::all()).unwrap();
         let set: HashSet<Oid> = after.iter().copied().collect();
         assert_eq!(set, [b.ch1, b.p1, b.p2, b.img].into_iter().collect());
-        assert!(f.db.traversal_cache_stats().invalidations >= 1);
+        if obs_on {
+            let snap = f.db.metrics_snapshot();
+            assert!(snap.counter("corion_traversal_cache_invalidations_total") >= 1);
+            assert_eq!(
+                snap.gauge("corion_hierarchy_generation") as u64,
+                f.db.hierarchy_generation()
+            );
+        }
         assert_eq!(
             after,
             f.db.components_of_uncached(b.book, &Filter::all()).unwrap()

@@ -71,6 +71,8 @@ pub struct Database {
     pub(crate) config: DbConfig,
     pub(crate) undo: Option<crate::undo::UndoLog>,
     pub(crate) traversal_cache: crate::composite::cache::TraversalCache,
+    pub(crate) registry: corion_obs::Registry,
+    pub(crate) metrics: crate::metrics::CoreMetrics,
 }
 
 /// The shared-read contract: the whole engine must stay usable from many
@@ -93,17 +95,25 @@ impl Database {
     }
 
     /// Creates an engine with explicit configuration.
+    ///
+    /// Every layer shares one metrics [`Registry`](corion_obs::Registry):
+    /// the storage substrate, the lock-free traversal cache, and the engine
+    /// itself all intern their counters here, so
+    /// [`Database::metrics_snapshot`] sees the whole stack at once.
     pub fn with_config(config: DbConfig) -> Self {
+        let registry = corion_obs::Registry::new();
         Database {
             catalog: Catalog::new(),
-            store: ObjectStore::new(config.store),
+            store: ObjectStore::with_registry(config.store, &registry),
             object_table: HashMap::new(),
             extensions: HashMap::new(),
             oplogs: HashMap::new(),
             next_serial: 0,
             config,
             undo: None,
-            traversal_cache: crate::composite::cache::TraversalCache::new(),
+            traversal_cache: crate::composite::cache::TraversalCache::new(&registry),
+            metrics: crate::metrics::CoreMetrics::new(&registry),
+            registry,
         }
     }
 
@@ -131,19 +141,24 @@ impl Database {
         if self.store.in_atomic_batch() {
             return f(self);
         }
+        let _span = corion_obs::span("core", "atomic");
+        let _timer = self.metrics.atomic_latency.start_timer();
         self.store.begin_atomic()?;
         match f(self) {
             Ok(out) => {
                 self.store.commit_atomic()?;
+                self.metrics.atomic_commits.inc();
                 Ok(out)
             }
             Err(e) if matches!(e, DbError::Storage(_)) => {
                 let _ = self.store.abort_atomic();
+                self.metrics.atomic_aborts.inc();
                 self.traversal_cache.bump();
                 Err(e)
             }
             Err(e) => {
                 self.store.commit_atomic()?;
+                self.metrics.atomic_commits.inc();
                 Err(e)
             }
         }
@@ -616,7 +631,38 @@ impl Database {
         self.store.disk_stats()
     }
 
+    /// Point-in-time snapshot of every metric the engine records — WAL,
+    /// commit, recovery, traversal-cache, lock, and per-operation latency
+    /// counters, keyed by the names catalogued in `docs/OBSERVABILITY.md`.
+    ///
+    /// The snapshot is a plain data structure: it serialises with
+    /// [`MetricsSnapshot::to_text`](corion_obs::MetricsSnapshot::to_text),
+    /// parses back with `parse_text`, and merges across processes with
+    /// `merge`. Counters are monotonic — compute deltas by snapshotting
+    /// before and after a workload.
+    pub fn metrics_snapshot(&self) -> corion_obs::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Renders the current metrics in the Prometheus text exposition
+    /// format (what `corion stats --prometheus` prints).
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
+    }
+
+    /// The metrics registry every layer of this engine records into.
+    /// Exposed so embedders can intern their own metrics next to the
+    /// engine's or flip recording off at runtime
+    /// ([`Registry::set_enabled`](corion_obs::Registry::set_enabled)).
+    pub fn metrics_registry(&self) -> &corion_obs::Registry {
+        &self.registry
+    }
+
     /// Traversal-cache counters (hits, misses, invalidations, generation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the `corion_traversal_cache_*` counters from `Database::metrics_snapshot` instead"
+    )]
     pub fn traversal_cache_stats(&self) -> crate::composite::cache::TraversalCacheStats {
         self.traversal_cache.stats()
     }

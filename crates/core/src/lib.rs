@@ -46,11 +46,14 @@
 //! assert!(db.child_of(b, v).unwrap());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod composite;
 pub mod db;
 pub mod error;
 pub mod evolution;
 pub mod integrity;
+pub mod metrics;
 pub mod object;
 pub mod oid;
 pub mod persist;
@@ -62,9 +65,11 @@ pub mod value;
 
 pub use composite::cache::TraversalCacheStats;
 pub use composite::Filter;
+pub use corion_obs::{MetricsSnapshot, Registry};
 pub use db::{Database, DbConfig, OrphanPolicy};
 pub use error::{DbError, DbResult};
 pub use integrity::IntegrityReport;
+pub use metrics::CoreMetrics;
 pub use object::Object;
 pub use oid::{ClassId, Oid};
 pub use refs::{RefKind, ReverseRef};

@@ -1,0 +1,54 @@
+//! Metric handles for the engine layer, interned once per [`crate::Database`].
+//!
+//! The storage substrate counts its own events ([`corion_storage::StoreMetrics`]);
+//! this struct covers the paper-visible operations implemented by
+//! `corion-core`: the §3.1 traversals, the §3.2 predicate messages, and
+//! the autocommit boundary every mutation runs inside. See
+//! `docs/OBSERVABILITY.md` for the full catalog.
+
+use corion_obs::{Registry, LATENCY_BOUNDS_NS};
+
+/// Handles to every engine-layer metric. One instance per
+/// [`crate::Database`]; cloning a handle is cheap and all clones share
+/// the registry's values.
+pub struct CoreMetrics {
+    /// `corion_components_of_latency_ns`: time per `components-of`
+    /// traversal (§3.1), cached or uncached, single or batched.
+    pub components_of_latency: corion_obs::Histogram,
+    /// `corion_parents_of_latency_ns`: time per `parents-of` traversal
+    /// (§3.1).
+    pub parents_of_latency: corion_obs::Histogram,
+    /// `corion_ancestors_of_latency_ns`: time per `ancestors-of` /
+    /// `roots-of` traversal (§3.1).
+    pub ancestors_of_latency: corion_obs::Histogram,
+    /// `corion_predicate_latency_ns`: time per §3.2 predicate message
+    /// (`compositep`, `component-of`, and friends).
+    pub predicate_latency: corion_obs::Histogram,
+    /// `corion_atomic_latency_ns`: wall time of each outermost
+    /// [`crate::Database`] autocommit batch, body included.
+    pub atomic_latency: corion_obs::Histogram,
+    /// `corion_atomic_commits_total`: outermost autocommit batches that
+    /// committed (semantic errors still commit prior writes).
+    pub atomic_commits: corion_obs::Counter,
+    /// `corion_atomic_aborts_total`: outermost autocommit batches rolled
+    /// back because the body hit a storage error.
+    pub atomic_aborts: corion_obs::Counter,
+}
+
+impl CoreMetrics {
+    /// Intern every engine metric in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        CoreMetrics {
+            components_of_latency: registry
+                .histogram("corion_components_of_latency_ns", LATENCY_BOUNDS_NS),
+            parents_of_latency: registry
+                .histogram("corion_parents_of_latency_ns", LATENCY_BOUNDS_NS),
+            ancestors_of_latency: registry
+                .histogram("corion_ancestors_of_latency_ns", LATENCY_BOUNDS_NS),
+            predicate_latency: registry.histogram("corion_predicate_latency_ns", LATENCY_BOUNDS_NS),
+            atomic_latency: registry.histogram("corion_atomic_latency_ns", LATENCY_BOUNDS_NS),
+            atomic_commits: registry.counter("corion_atomic_commits_total"),
+            atomic_aborts: registry.counter("corion_atomic_aborts_total"),
+        }
+    }
+}

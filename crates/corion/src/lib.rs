@@ -43,6 +43,7 @@ pub use corion_authz as authz;
 pub use corion_core as core;
 pub use corion_lang as lang;
 pub use corion_lock as lock;
+pub use corion_obs as obs;
 pub use corion_storage as storage;
 pub use corion_versions as versions;
 pub use corion_workload as workload;
@@ -53,7 +54,8 @@ pub use corion_core::query;
 pub use corion_core::query::{Predicate, Query};
 pub use corion_core::{
     AttributeDef, Class, ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError,
-    DbResult, Domain, Object, Oid, OrphanPolicy, RefKind, ReverseRef, TraversalCacheStats, Value,
+    DbResult, Domain, MetricsSnapshot, Object, Oid, OrphanPolicy, RefKind, Registry, ReverseRef,
+    TraversalCacheStats, Value,
 };
 pub use corion_lang::Interpreter;
 pub use corion_lock::{

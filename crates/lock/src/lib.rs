@@ -43,6 +43,7 @@
 pub mod error;
 pub mod incremental;
 pub mod manager;
+pub mod metrics;
 pub mod modes;
 pub mod protocol;
 pub mod rootlock;
@@ -51,6 +52,7 @@ pub mod txn;
 pub use error::{LockError, LockResult};
 pub use incremental::IncrementalAccess;
 pub use manager::{LockManager, Lockable, TxnId};
+pub use metrics::LockMetrics;
 pub use modes::LockMode;
 pub use protocol::{CompositeLockSet, LockIntent};
 pub use txn::Transaction;

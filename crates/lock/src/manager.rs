@@ -13,9 +13,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use corion_core::{ClassId, Oid};
+use corion_obs::Registry;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{LockError, LockResult};
+use crate::metrics::LockMetrics;
 use crate::modes::{compatible, LockMode};
 
 /// Transaction identifier.
@@ -65,6 +67,8 @@ pub struct LockManager {
     released: Condvar,
     /// Upper bound for blocking waits; `None` waits forever.
     wait_timeout: Option<Duration>,
+    /// `corion_lock_*` counters (outside the mutex — they are atomics).
+    metrics: LockMetrics,
 }
 
 impl Default for LockManager {
@@ -75,21 +79,35 @@ impl Default for LockManager {
 
 impl LockManager {
     /// Creates a manager whose blocking waits never time out (deadlocks are
-    /// still detected and broken).
+    /// still detected and broken). Metrics go to a private registry; use
+    /// [`LockManager::with_registry`] to share one with an engine.
     pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Creates a manager recording its `corion_lock_*` counters into
+    /// `registry` — typically a [`Database`](corion_core::Database)'s
+    /// registry (`db.metrics_registry()`), so lock traffic shows up in the
+    /// same snapshot as the engine's traversal and WAL metrics.
+    pub fn with_registry(registry: &Registry) -> Self {
         LockManager {
             state: Mutex::new(State::default()),
             released: Condvar::new(),
             wait_timeout: None,
+            metrics: LockMetrics::new(registry),
         }
     }
 
     /// Creates a manager whose blocking waits give up after `timeout`.
     pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_timeout_and_registry(timeout, &Registry::new())
+    }
+
+    /// [`LockManager::with_timeout`], recording into `registry`.
+    pub fn with_timeout_and_registry(timeout: Duration, registry: &Registry) -> Self {
         LockManager {
-            state: Mutex::new(State::default()),
-            released: Condvar::new(),
             wait_timeout: Some(timeout),
+            ..Self::with_registry(registry)
         }
     }
 
@@ -139,8 +157,10 @@ impl LockManager {
         }
         if Self::grantable(&st, txn, resource, mode) {
             Self::record_grant(&mut st, txn, resource, mode);
+            self.metrics.acquires.inc();
             Ok(())
         } else {
+            self.metrics.conflicts.inc();
             Err(LockError::WouldBlock {
                 txn,
                 resource,
@@ -159,11 +179,20 @@ impl LockManager {
                 return Ok(());
             }
         }
+        // Started lazily, on the first conflicting pass; drops (and records
+        // the wait latency) at grant, deadlock, or timeout.
+        let mut wait_timer = None;
         loop {
             if Self::grantable(&st, txn, resource, mode) {
                 st.waits_for.remove(&txn);
                 Self::record_grant(&mut st, txn, resource, mode);
+                self.metrics.acquires.inc();
                 return Ok(());
+            }
+            if wait_timer.is_none() {
+                self.metrics.conflicts.inc();
+                self.metrics.waits.inc();
+                wait_timer = Some(self.metrics.wait_latency.start_timer());
             }
             // Record who we wait on and check for a cycle.
             let blockers: HashSet<TxnId> = st
@@ -182,12 +211,14 @@ impl LockManager {
             st.waits_for.insert(txn, blockers);
             if let Some(cycle) = find_cycle(&st.waits_for, txn) {
                 st.waits_for.remove(&txn);
+                self.metrics.deadlocks.inc();
                 return Err(LockError::Deadlock { txn, cycle });
             }
             match deadline {
                 Some(d) => {
                     if self.released.wait_until(&mut st, d).timed_out() {
                         st.waits_for.remove(&txn);
+                        self.metrics.timeouts.inc();
                         return Err(LockError::Timeout { txn, resource });
                     }
                 }
@@ -401,6 +432,29 @@ mod tests {
             .unwrap();
         // Same numeric id as an instance is a different resource.
         lm.try_lock(t2, res(1), LockMode::X).unwrap();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn registry_counters_track_grants_conflicts_and_timeouts() {
+        let registry = Registry::new();
+        let lm = LockManager::with_timeout_and_registry(Duration::from_millis(10), &registry);
+        let (t1, t2) = (lm.begin(), lm.begin());
+        lm.try_lock(t1, res(1), LockMode::X).unwrap();
+        lm.try_lock(t1, res(1), LockMode::X).unwrap(); // idempotent: not re-counted
+        assert!(lm.try_lock(t2, res(1), LockMode::S).is_err());
+        assert!(matches!(
+            lm.lock(t2, res(1), LockMode::S),
+            Err(LockError::Timeout { .. })
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("corion_lock_acquires_total"), 1);
+        assert_eq!(snap.counter("corion_lock_conflicts_total"), 2);
+        assert_eq!(snap.counter("corion_lock_waits_total"), 1);
+        assert_eq!(snap.counter("corion_lock_timeouts_total"), 1);
+        let waits = snap.histogram("corion_lock_wait_latency_ns").unwrap();
+        assert_eq!(waits.count, 1);
+        assert!(waits.sum >= 10_000_000, "waited at least the 10ms timeout");
     }
 
     #[test]

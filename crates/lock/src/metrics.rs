@@ -1,0 +1,48 @@
+//! Metric handles for the lock manager.
+//!
+//! The paper's §7 protocols win by *reducing the number of locks* a
+//! composite-object transaction takes, so the counters here are the
+//! experiment's primary observable: grants, conflicts, waits (with a wait
+//! latency histogram), deadlocks, and timeouts. See `docs/OBSERVABILITY.md`
+//! for the full catalog.
+
+use corion_obs::{Registry, LATENCY_BOUNDS_NS};
+
+/// Handles to every lock-manager metric. One instance per
+/// [`crate::LockManager`]; cloning a handle is cheap and all clones share
+/// the registry's values.
+pub struct LockMetrics {
+    /// `corion_lock_acquires_total`: lock requests granted (idempotent
+    /// re-grants of a held mode are not counted, matching
+    /// [`crate::LockManager::grant_count`]).
+    pub acquires: corion_obs::Counter,
+    /// `corion_lock_conflicts_total`: requests that found an incompatible
+    /// holder — non-blocking requests that returned `WouldBlock` plus
+    /// blocking requests that had to wait.
+    pub conflicts: corion_obs::Counter,
+    /// `corion_lock_waits_total`: blocking requests that actually parked
+    /// on the condvar at least once.
+    pub waits: corion_obs::Counter,
+    /// `corion_lock_wait_latency_ns`: time a blocked request spent from
+    /// first finding a conflict until grant, deadlock, or timeout.
+    pub wait_latency: corion_obs::Histogram,
+    /// `corion_lock_deadlocks_total`: requests aborted as deadlock victims.
+    pub deadlocks: corion_obs::Counter,
+    /// `corion_lock_timeouts_total`: blocking requests that gave up at the
+    /// manager's wait timeout.
+    pub timeouts: corion_obs::Counter,
+}
+
+impl LockMetrics {
+    /// Intern every lock metric in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        LockMetrics {
+            acquires: registry.counter("corion_lock_acquires_total"),
+            conflicts: registry.counter("corion_lock_conflicts_total"),
+            waits: registry.counter("corion_lock_waits_total"),
+            wait_latency: registry.histogram("corion_lock_wait_latency_ns", LATENCY_BOUNDS_NS),
+            deadlocks: registry.counter("corion_lock_deadlocks_total"),
+            timeouts: registry.counter("corion_lock_timeouts_total"),
+        }
+    }
+}

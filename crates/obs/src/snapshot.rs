@@ -1,0 +1,341 @@
+//! Serializable point-in-time metric snapshots: merge, text round-trip,
+//! and Prometheus exposition rendering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Frozen state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, strictly increasing (no `+Inf` entry).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries, the last being the
+    /// implicit `+Inf` bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Error produced by [`MetricsSnapshot::merge`] or
+/// [`MetricsSnapshot::parse_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Two snapshots disagree on a histogram's bucket bounds, so their
+    /// buckets cannot be added bucket-wise.
+    BoundsMismatch(String),
+    /// A metric name appears with different types across snapshots.
+    TypeMismatch(String),
+    /// A text line could not be parsed; carries the offending line.
+    Parse(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BoundsMismatch(name) => {
+                write!(f, "histogram `{name}` has mismatched bucket bounds")
+            }
+            SnapshotError::TypeMismatch(name) => {
+                write!(f, "metric `{name}` appears with conflicting types")
+            }
+            SnapshotError::Parse(line) => write!(f, "unparseable snapshot line: `{line}`"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A serializable point-in-time snapshot of a [`crate::Registry`].
+///
+/// Snapshots support three operations beyond field access:
+/// bucket-wise [`merge`](Self::merge) (for aggregating per-thread or
+/// per-run registries), a line-oriented [`to_text`](Self::to_text) /
+/// [`parse_text`](Self::parse_text) round-trip, and
+/// [`render_prometheus`](Self::render_prometheus) for the standard
+/// exposition format.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name; 0 when absent (a never-touched counter and
+    /// an absent one are indistinguishable by design).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name; 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Add `other` into `self`: counters and histogram buckets/sums add,
+    /// gauges take `other`'s value when present (last-writer-wins, since
+    /// a gauge is a level, not an accumulation).
+    ///
+    /// # Errors
+    /// [`SnapshotError::BoundsMismatch`] if a histogram exists in both
+    /// with different bounds; [`SnapshotError::TypeMismatch`] if a name
+    /// switches type between the two snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) -> Result<(), SnapshotError> {
+        for name in other.counters.keys() {
+            if self.gauges.contains_key(name) || self.histograms.contains_key(name) {
+                return Err(SnapshotError::TypeMismatch(name.clone()));
+            }
+        }
+        for name in other.gauges.keys() {
+            if self.counters.contains_key(name) || self.histograms.contains_key(name) {
+                return Err(SnapshotError::TypeMismatch(name.clone()));
+            }
+        }
+        for name in other.histograms.keys() {
+            if self.counters.contains_key(name) || self.gauges.contains_key(name) {
+                return Err(SnapshotError::TypeMismatch(name.clone()));
+            }
+        }
+        for (name, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get(name) {
+                if mine.bounds != h.bounds {
+                    return Err(SnapshotError::BoundsMismatch(name.clone()));
+                }
+            }
+        }
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    for (b, o) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *b += o;
+                    }
+                    mine.sum += h.sum;
+                    mine.count += h.count;
+                }
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to a stable, line-oriented text format:
+    ///
+    /// ```text
+    /// counter <name> <value>
+    /// gauge <name> <value>
+    /// histogram <name> <sum> <count> <bound>:<bucket> ... inf:<bucket>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("histogram {name} {} {}", h.sum, h.count));
+            for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                out.push_str(&format!(" {bound}:{bucket}"));
+            }
+            if let Some(inf) = h.buckets.last() {
+                out.push_str(&format!(" inf:{inf}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the format produced by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Parse`] with the offending line on any malformed
+    /// input; blank lines are skipped.
+    pub fn parse_text(text: &str) -> Result<MetricsSnapshot, SnapshotError> {
+        let mut snap = MetricsSnapshot::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = || SnapshotError::Parse(line.to_string());
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().ok_or_else(err)?;
+            let name = parts.next().ok_or_else(err)?.to_string();
+            match kind {
+                "counter" => {
+                    let v = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+                    snap.counters.insert(name, v);
+                }
+                "gauge" => {
+                    let v = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+                    snap.gauges.insert(name, v);
+                }
+                "histogram" => {
+                    let sum = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+                    let count = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+                    let mut bounds = Vec::new();
+                    let mut buckets = Vec::new();
+                    for pair in parts {
+                        let (bound, bucket) = pair.split_once(':').ok_or_else(err)?;
+                        let bucket: u64 = bucket.parse().map_err(|_| err())?;
+                        if bound == "inf" {
+                            buckets.push(bucket);
+                        } else {
+                            bounds.push(bound.parse().map_err(|_| err())?);
+                            buckets.push(bucket);
+                        }
+                    }
+                    if buckets.len() != bounds.len() + 1 {
+                        return Err(err());
+                    }
+                    snap.histograms.insert(
+                        name,
+                        HistogramSnapshot {
+                            bounds,
+                            buckets,
+                            sum,
+                            count,
+                        },
+                    );
+                }
+                _ => return Err(err()),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Render in the Prometheus text exposition format: `# TYPE` comment
+    /// lines, plain samples for counters and gauges, and cumulative
+    /// `_bucket{le="..."}` / `_sum` / `_count` series for histograms.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += bucket;
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("hits_total".into(), 41);
+        s.gauges.insert("generation".into(), -3);
+        s.histograms.insert(
+            "lat_ns".into(),
+            HistogramSnapshot {
+                bounds: vec![10, 100],
+                buckets: vec![1, 2, 3],
+                sum: 700,
+                count: 6,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let s = sample();
+        let parsed = MetricsSnapshot::parse_text(&s.to_text()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "counter only_name",
+            "gauge g notanumber",
+            "histogram h 1",
+            "histogram h 1 2 nocolon",
+            "frob x 1",
+        ] {
+            assert!(
+                MetricsSnapshot::parse_text(bad).is_err(),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets_lww_gauges() {
+        let mut a = sample();
+        let mut b = sample();
+        b.gauges.insert("generation".into(), 9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("hits_total"), 82);
+        assert_eq!(a.gauge("generation"), 9);
+        let h = a.histogram("lat_ns").unwrap();
+        assert_eq!(h.buckets, vec![2, 4, 6]);
+        assert_eq!(h.sum, 1400);
+        assert_eq!(h.count, 12);
+    }
+
+    #[test]
+    fn merge_rejects_bounds_and_type_mismatch() {
+        let mut a = sample();
+        let mut b = sample();
+        b.histograms.get_mut("lat_ns").unwrap().bounds = vec![10, 999];
+        assert!(matches!(a.merge(&b), Err(SnapshotError::BoundsMismatch(_))));
+        let mut c = MetricsSnapshot::default();
+        c.gauges.insert("hits_total".into(), 1);
+        assert!(matches!(a.merge(&c), Err(SnapshotError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_with_inf() {
+        let text = sample().render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"# TYPE lat_ns histogram"));
+        assert!(lines.contains(&"lat_ns_bucket{le=\"10\"} 1"));
+        assert!(lines.contains(&"lat_ns_bucket{le=\"100\"} 3"));
+        assert!(lines.contains(&"lat_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(lines.contains(&"lat_ns_sum 700"));
+        assert!(lines.contains(&"lat_ns_count 6"));
+    }
+}

@@ -43,11 +43,14 @@
 //! assert_eq!(parent.page, child.page);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod page;
 pub mod segment;
 pub mod store;
@@ -57,6 +60,7 @@ pub use buffer::{BufferPool, BufferStats};
 pub use disk::{DiskStats, SimDisk};
 pub use error::{StorageError, StorageResult};
 pub use fault::CrashPoints;
+pub use metrics::StoreMetrics;
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use segment::{Segment, SegmentId};
 pub use store::{

@@ -35,11 +35,14 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use corion_obs::Registry;
+
 use crate::buffer::{BufferPool, BufferStats};
 use crate::codec::{self, Reader};
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
 use crate::fault::CrashPoints;
+use crate::metrics::StoreMetrics;
 use crate::page::{Page, SlotId, MAX_RECORD};
 use crate::segment::{Segment, SegmentId};
 use crate::wal::{replay, Wal, WalRecord, WalStats};
@@ -175,6 +178,7 @@ pub struct ObjectStore {
     /// refuses further work until [`ObjectStore::recover`] runs.
     poisoned: bool,
     wal_checkpoint_bytes: usize,
+    metrics: StoreMetrics,
 }
 
 impl Default for ObjectStore {
@@ -184,8 +188,17 @@ impl Default for ObjectStore {
 }
 
 impl ObjectStore {
-    /// Creates a store over a fresh simulated disk.
+    /// Creates a store over a fresh simulated disk, recording metrics
+    /// into a private [`Registry`]. Embedders that want the storage
+    /// counters in a shared registry (as `Database` does) use
+    /// [`ObjectStore::with_registry`].
     pub fn new(config: StoreConfig) -> Self {
+        Self::with_registry(config, &Registry::new())
+    }
+
+    /// Creates a store whose metrics are interned in `registry`, so one
+    /// snapshot covers this store alongside the layers above it.
+    pub fn with_registry(config: StoreConfig, registry: &Registry) -> Self {
         ObjectStore {
             pool: BufferPool::new(SimDisk::new(), config.buffer_capacity),
             segments: HashMap::new(),
@@ -195,7 +208,17 @@ impl ObjectStore {
             batch: None,
             poisoned: false,
             wal_checkpoint_bytes: config.wal_checkpoint_bytes,
+            metrics: StoreMetrics::new(registry),
         }
+    }
+
+    /// Appends one record to the WAL, counting records and encoded bytes.
+    fn log_append(&mut self, record: &WalRecord) {
+        let before = self.wal.stats().pending_bytes;
+        self.wal.append(record);
+        let appended = self.wal.stats().pending_bytes.saturating_sub(before);
+        self.metrics.wal_append_records.inc();
+        self.metrics.wal_append_bytes.add(appended as u64);
     }
 
     /// Creates a new, empty segment (a logged, atomic operation: segment
@@ -205,7 +228,7 @@ impl ObjectStore {
             let id = SegmentId(st.next_segment);
             st.next_segment += 1;
             st.segments.insert(id, Segment::new(id));
-            st.wal.append(&WalRecord::SegCreate { segment: id });
+            st.log_append(&WalRecord::SegCreate { segment: id });
             st.batch
                 .as_mut()
                 .expect("autocommit keeps a batch open")
@@ -302,7 +325,7 @@ impl ObjectStore {
             .get_mut(&segment)
             .ok_or(StorageError::InvalidSegment { segment: segment.0 })?
             .adopt_page(page);
-        self.wal.append(&WalRecord::SegAdopt { segment, page });
+        self.log_append(&WalRecord::SegAdopt { segment, page });
         if let Some(batch) = self.batch.as_mut() {
             batch.adopted.push((segment, page));
         }
@@ -656,6 +679,8 @@ impl ObjectStore {
             Some(b) => b.dirty.iter().copied().collect(),
             None => return Err(StorageError::NoBatchOpen),
         };
+        let _span = corion_obs::span("storage", "commit_atomic");
+        let _commit_timer = self.metrics.commit_latency.start_timer();
         // Phase 1 (volatile): snapshot the after-image of every page the
         // batch dirtied and append it, then the commit marker, to the
         // pending log. A crash here loses only pending bytes: abort.
@@ -674,15 +699,19 @@ impl ObjectStore {
             return Err(e);
         }
         for (page, image) in &images {
-            self.wal.append(&WalRecord::PageImage {
+            self.log_append(&WalRecord::PageImage {
                 page: *page,
                 image: Box::new(image.clone()),
             });
         }
-        self.wal.append(&WalRecord::Commit);
+        self.log_append(&WalRecord::Commit);
         // Phase 2: the durability point.
         match self.crash.fire(CP_COMMIT_FLUSH) {
-            None => self.wal.flush(),
+            None => {
+                let _flush_timer = self.metrics.wal_flush_latency.start_timer();
+                self.wal.flush();
+                self.metrics.wal_flushes.inc();
+            }
             Some(None) => {
                 // Clean crash: nothing reached the log device.
                 self.abort_open_batch();
@@ -719,6 +748,7 @@ impl ObjectStore {
         }
         self.batch = None;
         self.pool.set_no_steal(false);
+        self.metrics.commits.inc();
         if self.wal.stats().durable_bytes > self.wal_checkpoint_bytes {
             self.checkpoint()?;
         }
@@ -740,6 +770,7 @@ impl ObjectStore {
         let Some(batch) = self.batch.take() else {
             return;
         };
+        self.metrics.aborts.inc();
         self.wal.drop_pending();
         self.pool.discard_pages(batch.dirty.iter().copied());
         for (segment, page) in batch.adopted.into_iter().rev() {
@@ -783,6 +814,8 @@ impl ObjectStore {
     /// every committed page image onto the disk. Idempotent; disarm any
     /// injected faults (`heal`, `heal_crash_points`) first.
     pub fn recover(&mut self) -> StorageResult<RecoveryReport> {
+        let _span = corion_obs::span("storage", "recover");
+        let _timer = self.metrics.recovery_latency.start_timer();
         self.batch = None;
         self.poisoned = false;
         self.pool.set_no_steal(false);
@@ -810,12 +843,20 @@ impl ObjectStore {
             self.pool.ensure_allocated(page);
             self.pool.apply_page(page, image)?;
         }
-        Ok(RecoveryReport {
+        let report = RecoveryReport {
             batches_replayed: scan.committed.len(),
             pages_restored: state.pages.len(),
             records_discarded: scan.discarded_records,
             torn_tail: scan.torn_tail,
-        })
+        };
+        self.metrics.recoveries.inc();
+        self.metrics
+            .recovered_pages
+            .add(report.pages_restored as u64);
+        self.metrics
+            .discarded_records
+            .add(report.records_discarded as u64);
+        Ok(report)
     }
 
     /// Truncates the log down to a checkpoint record carrying a snapshot of
@@ -829,6 +870,8 @@ impl ObjectStore {
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
+        let _span = corion_obs::span("storage", "checkpoint");
+        let _timer = self.metrics.wal_checkpoint_latency.start_timer();
         // Outside a batch every frame is clean (commit applies eagerly),
         // but flush defensively: a checkpoint asserts "the disk is current".
         self.pool.flush_all()?;
@@ -839,6 +882,7 @@ impl ObjectStore {
             .collect();
         segments.sort_by_key(|(id, _)| *id);
         self.wal.install_checkpoint(self.next_segment, segments);
+        self.metrics.wal_checkpoints.inc();
         Ok(())
     }
 

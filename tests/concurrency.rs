@@ -309,11 +309,10 @@ fn many_readers_traverse_one_database_concurrently() {
             });
         }
     });
-    let stats = db.traversal_cache_stats();
-    assert!(
-        stats.hits > 0,
-        "concurrent readers share cached entries: {stats:?}"
-    );
+    let hits = db
+        .metrics_snapshot()
+        .counter("corion_traversal_cache_hits_total");
+    assert!(hits > 0, "concurrent readers share cached entries");
 }
 
 #[test]
@@ -405,5 +404,9 @@ fn no_stale_reads_across_a_generation_bump() {
             assert!(db.components_of(*d, &Filter::all()).is_err());
         }
     }
-    assert!(db.traversal_cache_stats().invalidations >= 1);
+    assert!(
+        db.metrics_snapshot()
+            .counter("corion_traversal_cache_invalidations_total")
+            >= 1
+    );
 }

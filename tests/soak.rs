@@ -237,6 +237,9 @@ fn readers_interleave_with_crash_recover_cycles() {
 
         // --- Freshness audit: cached traversals equal a recomputation. --
         db.reset_io_stats();
+        let hits_before = db
+            .metrics_snapshot()
+            .counter("corion_traversal_cache_hits_total");
         let live_docs: Vec<Oid> = db.instances_of(schema.document, false);
         for &d in &live_docs {
             let first = db.components_of(d, &Filter::all()).unwrap();
@@ -246,14 +249,14 @@ fn readers_interleave_with_crash_recover_cycles() {
                 assert!(db.exists(c), "stale component {c} survived recovery");
             }
         }
-        let stats = db.traversal_cache_stats();
+        let snap = db.metrics_snapshot();
         assert_eq!(
-            stats.generation,
+            snap.gauge("corion_hierarchy_generation") as u64,
             db.hierarchy_generation(),
-            "cache counters must report the live generation"
+            "cache gauge must report the live generation"
         );
         assert!(
-            stats.hits > 0,
+            snap.counter("corion_traversal_cache_hits_total") > hits_before,
             "second traversal round should hit the rebuilt cache"
         );
         db.verify_integrity().unwrap();
