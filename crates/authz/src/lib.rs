@@ -2,7 +2,7 @@
 //!
 //! Composite objects as a unit of authorization — paper §6.
 //!
-//! The ORION authorization model [RABI88] rests on three concepts the paper
+//! The ORION authorization model \[RABI88\] rests on three concepts the paper
 //! recounts: **implicit authorization** (authorizations are deduced from
 //! explicitly stored ones along the granularity hierarchy), **positive and
 //! negative** authorizations (prohibition vs. absence), and **strong and

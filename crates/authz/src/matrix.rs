@@ -2,7 +2,7 @@
 //!
 //! > "The matrix in Figure 6 summarizes conflicts in authorization implied
 //! > by explicit authorizations on two composite objects rooted at
-//! > Instance[j] and Instance[k] in Figure 5. The [i,j]-th element of the
+//! > Instance\[j\] and Instance\[k\] in Figure 5. The \[i,j\]-th element of the
 //! > matrix contains the resulting authorizations on Instance[o']; the
 //! > symbol 'Conflict' denotes that a conflict arises."
 //!

@@ -2,7 +2,7 @@
 //!
 //! §6 works with "positive and negative (denoted by ¬), and strong (s) and
 //! weak (w) forms of two authorization types, Read (R) and Write (W)", with
-//! the implication rules from [RABI88]:
+//! the implication rules from \[RABI88\]:
 //!
 //! > "A (positive) W authorization implies a (positive) R authorization;
 //! > and a negative R authorization implies a negative W authorization."
@@ -115,7 +115,7 @@ impl Authorization {
     ];
 
     /// The closure of this authorization under the implication rules
-    /// (implications inherit strength, per [RABI88]: "a strong
+    /// (implications inherit strength, per \[RABI88\]: "a strong
     /// authorization and all authorizations implied by it cannot be
     /// overridden").
     pub fn closure(self) -> Vec<Authorization> {

@@ -10,7 +10,7 @@
 //!
 //! Condition 3 is the recursive closure; the implementation below computes
 //! it with a worklist. Independent references never propagate deletion —
-//! that is precisely the reuse-enabling change over [KIM87b] (§1, third
+//! that is precisely the reuse-enabling change over \[KIM87b\] (§1, third
 //! shortcoming). Deleted objects are removed from their surviving parents'
 //! forward references (possible because every composite reference has a
 //! reverse reference, §2.4); weak references are left dangling, ORION-style.

@@ -11,7 +11,7 @@
 //! >     attribute."
 //!
 //! Supporting *bottom-up* creation — assembling already existing objects —
-//! is the second shortcoming of [KIM87b] that this paper removes (§1), and
+//! is the second shortcoming of \[KIM87b\] that this paper removes (§1), and
 //! it also means "the root of a composite object may change" (§2.1):
 //! attaching a current root under a new parent simply re-roots the
 //! hierarchy.

@@ -43,9 +43,12 @@ impl ParentSets {
         self.ix.len() + self.dx.len() + self.is.len() + self.ds.len()
     }
 
-    /// Checks Topology Rules 1–3 (Rule 4 — any number of *weak* references —
-    /// is trivially satisfied because weak references are not recorded in
-    /// reverse references at all).
+    /// Checks Topology Rules 1–3 over the parent sets. Rule 4 — any number
+    /// of *weak* references — has no parent-set footprint because weak
+    /// references are never recorded in reverse references; its checkable
+    /// contrapositive (no reverse reference may carry flags outside the
+    /// parent's schema) is enforced by
+    /// [`Database::verify_integrity`](crate::Database::verify_integrity).
     pub fn check(&self, object: Oid) -> DbResult<()> {
         // Rule 1: card(IX(O)) <= 1, card(DX(O)) <= 1.
         if self.ix.len() > 1 || self.dx.len() > 1 {

@@ -150,7 +150,7 @@ impl Database {
                 self.metrics.atomic_commits.inc();
                 Ok(out)
             }
-            Err(e) if matches!(e, DbError::Storage(_)) => {
+            Err(e) if matches!(e, DbError::Storage(_) | DbError::ReadOnly) => {
                 let _ = self.store.abort_atomic();
                 self.metrics.atomic_aborts.inc();
                 self.traversal_cache.bump();
@@ -722,6 +722,16 @@ impl Database {
     pub fn recover(&mut self) -> DbResult<corion_storage::RecoveryReport> {
         let report = self.store.recover()?;
         self.undo = None;
+        self.rebuild_derived_state()?;
+        Ok(report)
+    }
+
+    /// Rebuilds every in-memory map derived from storage — object table,
+    /// class extensions, serial counter — by scanning all segments, then
+    /// bumps the hierarchy generation so no pre-rebuild traversal can be
+    /// served from cache. Shared by [`Database::recover`] and
+    /// [`Database::scrub`], both of which may change what storage holds.
+    fn rebuild_derived_state(&mut self) -> DbResult<()> {
         self.object_table.clear();
         for ext in self.extensions.values_mut() {
             ext.clear();
@@ -743,6 +753,25 @@ impl Database {
         }
         self.next_serial = max_serial;
         self.traversal_cache.bump();
+        Ok(())
+    }
+
+    /// Current health of the storage substrate: `Healthy`, `Degraded`
+    /// (read-only until [`Database::recover`]), or `Poisoned` (crashed
+    /// mid-commit; reads are refused too).
+    pub fn health(&self) -> corion_storage::HealthState {
+        self.store.health()
+    }
+
+    /// Online scrub: verifies the checksum of every page in every segment
+    /// and salvages damaged pages — from the committed WAL tail when an
+    /// after-image exists, by resetting to an empty page otherwise. Records
+    /// lost to a page reset disappear from the object table; run
+    /// [`Database::repair`] afterwards to restore referential integrity
+    /// around them. Requires a healthy store and no open batch.
+    pub fn scrub(&mut self) -> DbResult<corion_storage::ScrubReport> {
+        let report = self.store.scrub()?;
+        self.rebuild_derived_state()?;
         Ok(report)
     }
 
@@ -785,6 +814,57 @@ impl Database {
     /// injection for checksum tests).
     pub fn corrupt_wal_byte(&mut self, offset: usize, mask: u8) {
         self.store.corrupt_wal_byte(offset, mask);
+    }
+
+    /// Arms a *transient* fault at a named crash point: after
+    /// `countdown - 1` clean hits, the next `failures` hits fail retryably
+    /// and then the point heals itself. Faults healing within the store's
+    /// retry budget are absorbed with no caller-visible error (only the
+    /// `corion_storage_retry_*` counters move).
+    pub fn arm_transient_crash(&self, point: &'static str, countdown: u64, failures: u64) {
+        self.store.arm_transient_crash(point, countdown, failures);
+    }
+
+    /// XORs `mask` into one byte of a page's on-disk image *without*
+    /// updating the page's checksum sidecar — simulated bit rot, for
+    /// [`Database::scrub`] tests.
+    pub fn corrupt_page_byte(&mut self, page: u64, offset: usize, mask: u8) -> DbResult<()> {
+        self.store.corrupt_page_byte(page, offset, mask)?;
+        self.traversal_cache.bump();
+        Ok(())
+    }
+
+    /// Global page numbers of a segment, in adoption order (so a test can
+    /// pick pages to corrupt).
+    pub fn pages_of(&self, segment: SegmentId) -> DbResult<Vec<u64>> {
+        Ok(self.store.pages_of(segment)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw surgery (integrity/repair test hook)
+    // ------------------------------------------------------------------
+
+    /// Overwrites an object's stored image **without any composite
+    /// bookkeeping**: no Make-Component checks, no reverse-reference
+    /// maintenance, no undo record. This deliberately breaks the engine's
+    /// invariants — it exists so integrity tests can construct corrupted
+    /// states and so [`Database::repair`] can rewrite objects wholesale.
+    /// The object must already exist.
+    pub fn raw_overwrite_object(&mut self, obj: &Object) -> DbResult<()> {
+        self.atomic(|db| {
+            db.traversal_cache.bump();
+            let phys = *db
+                .object_table
+                .get(&obj.oid)
+                .ok_or(DbError::NoSuchObject(obj.oid))?;
+            let mut buf = Vec::new();
+            obj.encode(&mut buf);
+            let new_phys = db.store.update(phys, &buf)?;
+            if new_phys != phys {
+                db.object_table.insert(obj.oid, new_phys);
+            }
+            Ok(())
+        })
     }
 }
 

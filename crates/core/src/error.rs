@@ -92,8 +92,23 @@ pub enum DbError {
         /// The attribute name.
         attr: String,
     },
+    /// The engine is degraded to read-only: a committed batch could not be
+    /// fully applied, so reads keep answering (from the buffer pool and the
+    /// traversal cache) while every mutation fails fast with this error
+    /// until [`recover`](crate::Database::recover) restores health.
+    ReadOnly,
     /// Error from the storage substrate.
     Storage(StorageError),
+}
+
+impl DbError {
+    /// Whether the error is *transient* — the failed operation may succeed
+    /// if retried (the retry budget of the storage layer was exhausted,
+    /// but the underlying fault heals on its own). Every semantic error is
+    /// permanent: retrying a topology violation cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DbError::Storage(e) if e.is_transient())
+    }
 }
 
 impl fmt::Display for DbError {
@@ -151,6 +166,12 @@ impl fmt::Display for DbError {
                     "attribute {attr:?} of class {class} is not a composite attribute"
                 )
             }
+            DbError::ReadOnly => {
+                write!(
+                    f,
+                    "the database is degraded to read-only until it is recovered"
+                )
+            }
             DbError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -167,7 +188,13 @@ impl std::error::Error for DbError {
 
 impl From<StorageError> for DbError {
     fn from(e: StorageError) -> Self {
-        DbError::Storage(e)
+        match e {
+            // The degraded-mode rejection is an engine-level condition, not
+            // a substrate failure: surface it as the typed engine error so
+            // callers can match on `DbError::ReadOnly` directly.
+            StorageError::ReadOnly => DbError::ReadOnly,
+            e => DbError::Storage(e),
+        }
     }
 }
 
@@ -191,5 +218,22 @@ mod tests {
         let e: DbError = StorageError::PoolExhausted.into();
         assert!(matches!(e, DbError::Storage(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn storage_read_only_maps_to_typed_read_only() {
+        let e: DbError = StorageError::ReadOnly.into();
+        assert_eq!(e, DbError::ReadOnly);
+        assert!(e.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn transience_follows_the_storage_taxonomy() {
+        let t: DbError = StorageError::TransientFault { op: "x" }.into();
+        assert!(t.is_transient());
+        assert!(!DbError::ReadOnly.is_transient());
+        assert!(!DbError::NoSuchClass(ClassId(1)).is_transient());
+        let p: DbError = StorageError::InjectedFault { op: "x" }.into();
+        assert!(!p.is_transient());
     }
 }

@@ -1,6 +1,6 @@
 //! Schema evolution (paper §4).
 //!
-//! * [`taxonomy`] — the [BANE87b] operations whose semantics the extended
+//! * [`taxonomy`] — the \[BANE87b\] operations whose semantics the extended
 //!   composite model revises: drop attribute, add/remove superclass, drop
 //!   class, change attribute inheritance (§4.1);
 //! * [`typechange`] — the state-independent changes **I1–I4** and

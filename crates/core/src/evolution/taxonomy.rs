@@ -1,7 +1,7 @@
 //! The schema-evolution taxonomy of §4.1 — operations whose semantics the
 //! extended composite model revises.
 //!
-//! > "The model of composite objects in [KIM87b] causes all objects
+//! > "The model of composite objects in \[KIM87b\] causes all objects
 //! > referenced through a composite attribute to be deleted if the
 //! > attribute is removed; however, the extended model requires only those
 //! > objects which are referenced through **dependent** composite

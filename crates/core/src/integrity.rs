@@ -3,7 +3,12 @@
 //! Composite objects are "a unit for one type of semantic integrity"
 //! (paper §1): the engine maintains, at all times,
 //!
-//! 1. **Topology Rules 1–3** at every object (§2.2);
+//! 1. **Topology Rules 1–4** at every object (§2.2) — Rules 1–3 over the
+//!    parent sets, and Rule 4 in its checkable form: weak references are
+//!    unconstrained *because* they are never recorded in reverse
+//!    references, so any stored reverse reference whose D/X flags match no
+//!    composite attribute of its parent's class is a phantom fifth
+//!    reference type the topology does not admit;
 //! 2. **bidirectional consistency** — every forward composite reference has
 //!    exactly one matching reverse composite reference with the attribute's
 //!    current D/X flags, and no reverse reference lacks its forward
@@ -86,6 +91,31 @@ impl Database {
         for oid in &all_objects {
             let obj = self.get(*oid)?;
             ParentSets::of(&obj).check(*oid)?;
+            // Rule 4 (checkable form): every stored reverse reference must
+            // be typeable by its parent's schema — some composite attribute
+            // of the parent's class carries exactly these D/X flags. A
+            // reverse reference no attribute could have produced is a
+            // phantom reference type, which Rule 4 does not admit.
+            for r in &obj.reverse_refs {
+                let admitted = self.catalog.class(r.parent.class).is_ok_and(|pclass| {
+                    pclass.attrs.iter().any(|def| {
+                        def.composite.is_some_and(|spec| {
+                            spec.dependent == r.dependent && spec.exclusive == r.exclusive
+                        })
+                    })
+                });
+                if !admitted {
+                    return Err(DbError::TopologyViolation {
+                        rule: 4,
+                        object: *oid,
+                        detail: format!(
+                            "reverse reference to {} carries flags (D={}, X={}) that no \
+                             composite attribute of class {} admits",
+                            r.parent, r.dependent, r.exclusive, r.parent.class
+                        ),
+                    });
+                }
+            }
             let mut actual: Vec<(Oid, bool, bool)> = obj
                 .reverse_refs
                 .iter()
@@ -172,6 +202,40 @@ mod tests {
         assert_eq!(
             report.weak_refs, 1,
             "dangling weak ref counted, not rejected"
+        );
+    }
+
+    #[test]
+    fn rule4_phantom_reverse_ref_flags_are_rejected() {
+        // Asm's only composite attribute is exclusive+dependent; a reverse
+        // reference claiming an independent-shared (IS) edge from an Asm
+        // parent is a phantom reference type no attribute could produce.
+        // A single IS reference passes Rules 1–3, so only the Rule-4
+        // extension can catch it.
+        let mut db = Database::new();
+        let part = db.define_class(ClassBuilder::new("Part")).unwrap();
+        let asm = db
+            .define_class(ClassBuilder::new("Asm").attr_composite(
+                "part",
+                Domain::Class(part),
+                CompositeSpec {
+                    exclusive: true,
+                    dependent: true,
+                },
+            ))
+            .unwrap();
+        let p = db.make(part, vec![], vec![]).unwrap();
+        let a = db.make(asm, vec![], vec![]).unwrap();
+
+        let mut obj = db.get(p).unwrap();
+        obj.reverse_refs
+            .push(crate::refs::ReverseRef::new(a, false, false));
+        db.raw_overwrite_object(&obj).unwrap();
+
+        let err = db.verify_integrity().unwrap_err();
+        assert!(
+            matches!(err, DbError::TopologyViolation { rule: 4, .. }),
+            "expected a rule-4 violation, got {err}"
         );
     }
 

@@ -59,6 +59,7 @@ pub mod oid;
 pub mod persist;
 pub mod query;
 pub mod refs;
+pub mod repair;
 pub mod schema;
 pub mod undo;
 pub mod value;
@@ -66,6 +67,7 @@ pub mod value;
 pub use composite::cache::TraversalCacheStats;
 pub use composite::Filter;
 pub use corion_obs::{MetricsSnapshot, Registry};
+pub use corion_storage::{HealthState, ScrubReport};
 pub use db::{Database, DbConfig, OrphanPolicy};
 pub use error::{DbError, DbResult};
 pub use integrity::IntegrityReport;
@@ -73,6 +75,7 @@ pub use metrics::CoreMetrics;
 pub use object::Object;
 pub use oid::{ClassId, Oid};
 pub use refs::{RefKind, ReverseRef};
+pub use repair::RepairReport;
 pub use schema::attr::{AttributeDef, CompositeSpec, Domain};
 pub use schema::class::{Class, ClassBuilder};
 pub use value::Value;

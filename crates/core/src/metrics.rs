@@ -33,6 +33,19 @@ pub struct CoreMetrics {
     /// `corion_atomic_aborts_total`: outermost autocommit batches rolled
     /// back because the body hit a storage error.
     pub atomic_aborts: corion_obs::Counter,
+    /// `corion_repair_runs_total`: completed [`Database::repair`] passes.
+    ///
+    /// [`Database::repair`]: crate::Database::repair
+    pub repair_runs: corion_obs::Counter,
+    /// `corion_repair_edges_dropped_total`: forward composite references
+    /// dropped by repair (dangling targets plus Topology Rule conflicts).
+    pub repair_edges_dropped: corion_obs::Counter,
+    /// `corion_repair_reverse_refs_fixed_total`: objects whose reverse
+    /// references repair rewrote to match the forward graph.
+    pub repair_reverse_refs_fixed: corion_obs::Counter,
+    /// `corion_repair_orphans_deleted_total`: orphaned dependent components
+    /// cascade-deleted by repair per the Deletion Rule.
+    pub repair_orphans_deleted: corion_obs::Counter,
 }
 
 impl CoreMetrics {
@@ -49,6 +62,10 @@ impl CoreMetrics {
             atomic_latency: registry.histogram("corion_atomic_latency_ns", LATENCY_BOUNDS_NS),
             atomic_commits: registry.counter("corion_atomic_commits_total"),
             atomic_aborts: registry.counter("corion_atomic_aborts_total"),
+            repair_runs: registry.counter("corion_repair_runs_total"),
+            repair_edges_dropped: registry.counter("corion_repair_edges_dropped_total"),
+            repair_reverse_refs_fixed: registry.counter("corion_repair_reverse_refs_fixed_total"),
+            repair_orphans_deleted: registry.counter("corion_repair_orphans_deleted_total"),
         }
     }
 }

@@ -196,9 +196,12 @@ impl Database {
     }
 
     /// Dumps to a file, atomically: the image is written to a sibling
-    /// temporary file and renamed into place, so a crash mid-write never
-    /// clobbers an existing dump with a partial one.
+    /// temporary file, fsynced, and renamed into place, so a crash mid-save
+    /// never clobbers an existing dump with a partial one — the rename only
+    /// happens once every byte is durable, and a failed rename removes the
+    /// temporary instead of leaving an orphan beside the dump.
     pub fn save_to_file(&mut self, path: impl AsRef<std::path::Path>) -> DbResult<()> {
+        use std::io::Write;
         let image = self.dump()?;
         let path = path.as_ref();
         let mut tmp_name = path.as_os_str().to_owned();
@@ -207,8 +210,22 @@ impl Database {
         let io_err = |e: std::io::Error| DbError::SchemaChangeRejected {
             reason: format!("failed to write dump: {e}"),
         };
-        std::fs::write(&tmp, &image).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        let write_synced = |tmp: &std::path::Path| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(tmp)?;
+            f.write_all(&image)?;
+            // Durability point: without this, the rename can land before
+            // the data and a crash leaves a valid name on garbage bytes.
+            f.sync_all()
+        };
+        if let Err(e) = write_synced(&tmp) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(e));
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(e));
+        }
+        Ok(())
     }
 
     /// Restores from a file.
@@ -380,6 +397,53 @@ mod tests {
         let mut back = Database::load_from_file(&path, DbConfig::default()).unwrap();
         back.verify_integrity().unwrap();
         assert_eq!(back.object_count(), db.object_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_rename_cleans_up_the_tmp_file() {
+        // Fault injection via the filesystem: renaming a file over a
+        // non-empty directory fails, exercising the rename-error path.
+        let mut db = populated();
+        let dir = std::env::temp_dir().join(format!("corion_rename_fault_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("db.corion")).unwrap();
+        std::fs::write(dir.join("db.corion").join("occupant"), b"x").unwrap();
+        let target = dir.join("db.corion");
+        assert!(db.save_to_file(&target).is_err());
+        let mut tmp = target.clone().into_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "orphaned .tmp left behind after a failed rename"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_tmp_write_leaves_existing_dump_intact() {
+        // Fault injection: the temporary path is occupied by a directory,
+        // so creating it fails before a single byte of the old dump moves.
+        let mut db = populated();
+        let dir = std::env::temp_dir().join(format!("corion_write_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("db.corion");
+        db.save_to_file(&target).unwrap();
+        let original = std::fs::read(&target).unwrap();
+
+        let mut tmp = target.clone().into_os_string();
+        tmp.push(".tmp");
+        std::fs::create_dir_all(std::path::Path::new(&tmp).join("blocker")).unwrap();
+        assert!(db.save_to_file(&target).is_err());
+        assert_eq!(
+            std::fs::read(&target).unwrap(),
+            original,
+            "failed save must not disturb the existing dump"
+        );
+        // And the previous dump still restores.
+        Database::load_from_file(&target, DbConfig::default())
+            .unwrap()
+            .verify_integrity()
+            .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -123,7 +123,7 @@ impl std::fmt::Display for RefKind {
 /// A reverse composite reference (§2.4): the parent's OID plus the D and X
 /// flags. The attribute name is deliberately *not* stored, matching the
 /// paper's layout; see DESIGN.md §5 for the consequences.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReverseRef {
     /// The parent object holding the forward composite reference.
     pub parent: Oid,

@@ -136,7 +136,7 @@ pub struct CompositeSpec {
 }
 
 impl Default for CompositeSpec {
-    /// Paper §2.3: both keywords default to True, matching [KIM87b]'s
+    /// Paper §2.3: both keywords default to True, matching \[KIM87b\]'s
     /// dependent-exclusive-only model.
     fn default() -> Self {
         CompositeSpec {

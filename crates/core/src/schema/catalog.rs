@@ -1,7 +1,7 @@
 //! The class catalog: class storage, name lookup, effective-attribute
 //! flattening, and IS-A edge maintenance.
 //!
-//! Attribute inheritance follows the ORION rule [BANE87a]: the effective
+//! Attribute inheritance follows the ORION rule \[BANE87a\]: the effective
 //! attribute list of a class is the union of inherited and local attributes;
 //! when two superclasses both provide an attribute of the same name, the
 //! earlier superclass in the `:superclasses` list wins, unless the user has

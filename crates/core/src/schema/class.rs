@@ -3,7 +3,7 @@
 //! A class owns *local* attribute definitions; the catalog flattens local +
 //! inherited definitions into the **effective attribute list** that instance
 //! layouts follow. Name conflicts among superclasses resolve in superclass
-//! order (first wins), the ORION rule from [BANE87a].
+//! order (first wins), the ORION rule from \[BANE87a\].
 
 use corion_storage::SegmentId;
 

@@ -1,7 +1,7 @@
 //! Class model: attributes, classes, the IS-A lattice, and the catalog.
 //!
 //! The composite-object semantics of the paper are defined over ORION's
-//! class model [BANE87a]: classes with typed attributes, multiple
+//! class model \[BANE87a\]: classes with typed attributes, multiple
 //! inheritance over a class lattice, and `(set-of …)` domains. Composite
 //! attribute specifications (`:composite`, `:exclusive`, `:dependent`,
 //! §2.3) live on [`attr::AttributeDef`].

@@ -1,6 +1,6 @@
 //! Object-level undo — the transaction-rollback substrate.
 //!
-//! §7's protocols come from ORION's transaction management [GARZ88], which
+//! §7's protocols come from ORION's transaction management \[GARZ88\], which
 //! pairs locking with the ability to abort. The engine supports that here
 //! with before-image undo scoped to one active transaction:
 //!

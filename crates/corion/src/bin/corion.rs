@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! corion stats [--prometheus | --text] [--docs N] [--no-crash]
+//! corion dump <path> [--docs N]
+//! corion fsck <path> [--repair]
 //! ```
 //!
 //! `corion stats` drives a representative workload through one in-memory
@@ -20,16 +22,24 @@
 //! * `--text` — the snapshot serialisation format of
 //!   `MetricsSnapshot::to_text` (parse it back with `parse_text`, merge
 //!   shards with `merge`).
+//!
+//! `corion dump` writes a document-corpus database image to disk;
+//! `corion fsck` loads an image, scrubs the storage substrate, and verifies
+//! every composite-object invariant, optionally repairing what it can
+//! (`docs/RESILIENCE.md`). Exit status is 0 only for a clean (or cleanly
+//! repaired) database, so the pair works as a CI smoke test.
 
 use std::process::ExitCode;
 
 use corion::workload::{Corpus, CorpusParams};
-use corion::{Database, Filter, LockManager, LockMode, Lockable};
+use corion::{Database, DbConfig, Filter, LockManager, LockMode, Lockable};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("stats") => stats(&args[1..]),
+        Some("dump") => dump(&args[1..]),
+        Some("fsck") => fsck(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -46,11 +56,18 @@ corion — the CORION composite-object database (SIGMOD 1989 reproduction)
 
 USAGE:
     corion stats [--prometheus | --text] [--docs N] [--no-crash]
+    corion dump <path> [--docs N]
+    corion fsck <path> [--repair]
     corion help
 
 SUBCOMMANDS:
     stats    Run a representative workload (documents, traversals, locks,
              crash+recover) and print the engine's metrics.
+    dump     Generate a document corpus and save the database image to
+             <path> (atomic write, fsynced).
+    fsck     Load the image at <path>, scrub pages against their checksums,
+             and verify Topology Rules 1-4, reverse-reference sync, and
+             reference reachability. Exit 0 iff the database is clean.
 
 OPTIONS (stats):
     --prometheus    Print in the Prometheus text exposition format.
@@ -58,7 +75,147 @@ OPTIONS (stats):
     --docs N        Corpus size in documents (default 10).
     --no-crash      Skip the crash/recover cycle (WAL recovery counters
                     will stay zero).
+
+OPTIONS (dump):
+    --docs N        Corpus size in documents (default 10).
+
+OPTIONS (fsck):
+    --repair        Repair what fsck finds — drop dangling composite
+                    references, resolve topology conflicts, rebuild reverse
+                    references, cascade-delete orphaned dependents — then
+                    re-verify and write the repaired image back to <path>.
 ";
+
+fn dump(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut docs = 10usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--docs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => docs = n,
+                None => {
+                    eprintln!("corion dump: --docs needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("corion dump: unexpected argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("corion dump: missing <path>\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut db = Database::new();
+    let corpus = match Corpus::generate(
+        &mut db,
+        CorpusParams {
+            documents: docs,
+            ..CorpusParams::default()
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("corion dump: corpus generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = db.save_to_file(path) {
+        eprintln!("corion dump: saving `{path}` failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "corion dump: wrote {path} ({} documents, {} sections)",
+        corpus.documents.len(),
+        corpus.sections.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn fsck(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut repair = false;
+    for arg in args {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("corion fsck: unexpected argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("corion fsck: missing <path>\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    // A dump that fails to load (truncated file, checksum mismatch from a
+    // flipped bit, malformed records) is unconditionally an fsck failure:
+    // there is no engine to repair.
+    let mut db = match Database::load_from_file(path, DbConfig::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("corion fsck: `{path}` failed to load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scrub = match db.scrub() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("corion fsck: scrub of `{path}` failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "corion fsck: scrub checked {} pages ({} salvaged from the WAL, {} reset)",
+        scrub.pages_checked, scrub.pages_salvaged, scrub.pages_reset
+    );
+    match db.verify_integrity() {
+        Ok(report) => {
+            println!(
+                "corion fsck: clean — {} objects, {} composite edges, {} weak refs",
+                report.objects, report.composite_edges, report.weak_refs
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) if repair => {
+            println!("corion fsck: integrity violation: {e}; repairing");
+            let report = match db.repair() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("corion fsck: repair failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "corion fsck: repair dropped {} dangling + {} conflicting edges, \
+                 rewrote reverse refs on {} objects, deleted {} orphans",
+                report.dangling_edges_dropped,
+                report.conflicting_edges_dropped,
+                report.reverse_refs_fixed,
+                report.orphans_deleted
+            );
+            if let Err(e) = db.verify_integrity() {
+                eprintln!("corion fsck: database still inconsistent after repair: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = db.save_to_file(path) {
+                eprintln!("corion fsck: saving repaired image failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("corion fsck: repaired image written back to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("corion fsck: integrity violation: {e} (rerun with --repair)");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 #[derive(PartialEq)]
 enum Format {

@@ -54,8 +54,8 @@ pub use corion_core::query;
 pub use corion_core::query::{Predicate, Query};
 pub use corion_core::{
     AttributeDef, Class, ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError,
-    DbResult, Domain, MetricsSnapshot, Object, Oid, OrphanPolicy, RefKind, Registry, ReverseRef,
-    TraversalCacheStats, Value,
+    DbResult, Domain, HealthState, IntegrityReport, MetricsSnapshot, Object, Oid, OrphanPolicy,
+    RefKind, Registry, RepairReport, ReverseRef, ScrubReport, TraversalCacheStats, Value,
 };
 pub use corion_lang::Interpreter;
 pub use corion_lock::{

@@ -1,7 +1,7 @@
 //! Incremental locking for long-duration transactions — the paper's stated
 //! open problem, implemented as an extension.
 //!
-//! > "Both the original protocol of [KIM87b] and the extended protocol just
+//! > "Both the original protocol of \[KIM87b\] and the extended protocol just
 //! > presented are appropriate largely for conventional short transactions.
 //! > Unfortunately, they may not be suitable for long-duration
 //! > transactions. For long-duration transactions, it may be better to lock

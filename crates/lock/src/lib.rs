@@ -16,7 +16,7 @@
 //! * [`protocol`] — the composite locking protocols of §7 (lock the root
 //!   class, the root instance, and every component class in the appropriate
 //!   O/OS mode);
-//! * [`rootlock`] — the alternative [GARZ88] root-locking algorithm and a
+//! * [`rootlock`] — the alternative \[GARZ88\] root-locking algorithm and a
 //!   demonstration of why "the algorithm cannot be used for shared
 //!   composite references" (the Figure 5 anomaly);
 //! * [`incremental`] — the paper's stated open problem (locking for

@@ -7,7 +7,7 @@
 //! > respectively."
 //!
 //! The extension for shared references swaps in ISOS / IXOS / SIXOS for
-//! "component class[es] of shared references": "Information needs to be
+//! "component class\[es\] of shared references": "Information needs to be
 //! maintained about the component classes of a composite class hierarchy,
 //! and the nature of the references to the component classes."
 //!

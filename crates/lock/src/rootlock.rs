@@ -1,6 +1,6 @@
-//! The [GARZ88] root-locking algorithm and its shared-reference anomaly.
+//! The \[GARZ88\] root-locking algorithm and its shared-reference anomaly.
 //!
-//! > "[GARZ88] also describes a locking algorithm which makes use of the
+//! > "\[GARZ88\] also describes a locking algorithm which makes use of the
 //! > object identifier of the root of a composite object. The algorithm
 //! > sets a lock on the root of a composite object when a component object
 //! > is directly accessed. **The algorithm cannot be used for shared
@@ -29,7 +29,7 @@ use crate::manager::{LockManager, Lockable, TxnId};
 use crate::modes::{compatible, LockMode};
 
 /// Locks a directly-accessed component by locking the root(s) of every
-/// composite object containing it, per [GARZ88]. Returns the roots locked.
+/// composite object containing it, per \[GARZ88\]. Returns the roots locked.
 ///
 /// Note the algorithm's blind spot: the roots are locked in the *requested*
 /// mode, but components covered by those roots are not individually locked,

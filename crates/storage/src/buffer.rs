@@ -227,7 +227,7 @@ impl BufferPool {
     }
 
     /// Switches the *no-steal* eviction policy on or off. While on, dirty
-    /// frames are pinned in memory: [`BufferPool::evict_one`] considers
+    /// frames are pinned in memory: `BufferPool::evict_one` considers
     /// only clean victims and reports [`StorageError::PoolExhausted`] when
     /// every frame in a full shard is dirty.
     pub fn set_no_steal(&self, on: bool) {
@@ -294,9 +294,30 @@ impl BufferPool {
         self.disk.fail_after(ops);
     }
 
+    /// Arms disk-level *transient* failure injection (see
+    /// [`SimDisk::fail_transient`]).
+    pub fn fail_transient(&self, ops: u64, failures: u64) {
+        self.disk.fail_transient(ops, failures);
+    }
+
     /// Disarms failure injection.
     pub fn heal(&self) {
         self.disk.heal();
+    }
+
+    /// Verifies the on-disk checksum of page `id` (see
+    /// [`SimDisk::verify_page`]). Only meaningful for pages with no dirty
+    /// resident frame — the scrub path drops its cache first.
+    pub fn verify_page(&self, id: u64) -> StorageResult<bool> {
+        self.disk.verify_page(id)
+    }
+
+    /// Injects bit rot into page `id` on disk (see
+    /// [`SimDisk::corrupt_page_byte`]), dropping any resident frame so the
+    /// corruption is observable through the cache.
+    pub fn corrupt_page_byte(&self, id: u64, offset: usize, mask: u8) -> StorageResult<()> {
+        self.shard(id).write().remove(&id);
+        self.disk.corrupt_page_byte(id, offset, mask)
     }
 
     /// Clears both cache and disk counters (used between benchmark phases).

@@ -36,15 +36,38 @@ pub struct DiskStats {
     pub allocations: u64,
 }
 
+/// Armed failure-injection mode of the disk.
+#[derive(Debug, Clone, Copy)]
+enum FailMode {
+    /// After the countdown elapses, every I/O fails permanently until
+    /// healed.
+    Permanent {
+        /// Successful I/Os remaining before the fault.
+        left: u64,
+    },
+    /// After the countdown elapses, the next `failures` I/Os fail with
+    /// [`StorageError::TransientFault`], then the disk heals itself.
+    Transient {
+        /// Successful I/Os remaining before the fault window.
+        left: u64,
+        /// Failing I/Os remaining once the window is open.
+        failures: u64,
+    },
+}
+
 /// An in-memory array of pages with I/O accounting.
 pub struct SimDisk {
     pages: RwLock<Vec<Box<[u8; PAGE_SIZE]>>>,
+    /// Per-page FNV-1a checksums, maintained on every write through the
+    /// normal API. [`SimDisk::corrupt_page_byte`] deliberately skips the
+    /// update, so a scrub pass ([`SimDisk::verify_page`]) can detect the
+    /// rot — the simulated analogue of sector checksums on real media.
+    sums: RwLock<Vec<u64>>,
     reads: AtomicU64,
     writes: AtomicU64,
     allocations: AtomicU64,
-    /// Failure injection: `Some(n)` makes the n-th subsequent I/O (and every
-    /// one after it) fail, for driving error-path tests.
-    fail_after: Mutex<Option<u64>>,
+    /// Failure injection state; `None` = healthy.
+    fail: Mutex<Option<FailMode>>,
 }
 
 impl Default for SimDisk {
@@ -58,10 +81,11 @@ impl SimDisk {
     pub fn new() -> Self {
         SimDisk {
             pages: RwLock::new(Vec::new()),
+            sums: RwLock::new(Vec::new()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             allocations: AtomicU64::new(0),
-            fail_after: Mutex::new(None),
+            fail: Mutex::new(None),
         }
     }
 
@@ -70,6 +94,7 @@ impl SimDisk {
         let mut pages = self.pages.write();
         let id = pages.len() as u64;
         let page = Page::new();
+        self.sums.write().push(crate::wal::fnv1a64(page.as_bytes()));
         pages.push(Box::new(*page.as_bytes()));
         self.allocations.fetch_add(1, Ordering::Relaxed);
         id
@@ -86,8 +111,11 @@ impl SimDisk {
     /// survived the crash).
     pub fn ensure_page_count(&self, count: u64) {
         let mut pages = self.pages.write();
+        let mut sums = self.sums.write();
         while (pages.len() as u64) < count {
-            pages.push(Box::new(*Page::new().as_bytes()));
+            let page = Page::new();
+            sums.push(crate::wal::fnv1a64(page.as_bytes()));
+            pages.push(Box::new(*page.as_bytes()));
         }
     }
 
@@ -95,22 +123,54 @@ impl SimDisk {
     /// read and write fails with [`StorageError::InjectedFault`] until
     /// [`SimDisk::heal`] is called.
     pub fn fail_after(&self, ops: u64) {
-        *self.fail_after.lock() = Some(ops);
+        *self.fail.lock() = Some(FailMode::Permanent { left: ops });
+    }
+
+    /// Arms *transient* failure injection: after `ops` more successful
+    /// I/Os, the next `failures` I/Os fail with
+    /// [`StorageError::TransientFault`], then the disk heals itself.
+    ///
+    /// # Panics
+    /// Panics if `failures` is zero.
+    pub fn fail_transient(&self, ops: u64, failures: u64) {
+        assert!(
+            failures > 0,
+            "transient injection needs at least one failure"
+        );
+        *self.fail.lock() = Some(FailMode::Transient {
+            left: ops,
+            failures,
+        });
     }
 
     /// Disarms failure injection.
     pub fn heal(&self) {
-        *self.fail_after.lock() = None;
+        *self.fail.lock() = None;
     }
 
     fn tick(&self, op: &'static str) -> StorageResult<()> {
-        if let Some(left) = self.fail_after.lock().as_mut() {
-            if *left == 0 {
-                return Err(StorageError::InjectedFault { op });
+        let mut fail = self.fail.lock();
+        match fail.as_mut() {
+            None => Ok(()),
+            Some(FailMode::Permanent { left }) => {
+                if *left == 0 {
+                    return Err(StorageError::InjectedFault { op });
+                }
+                *left -= 1;
+                Ok(())
             }
-            *left -= 1;
+            Some(FailMode::Transient { left, failures }) => {
+                if *left > 0 {
+                    *left -= 1;
+                    return Ok(());
+                }
+                *failures -= 1;
+                if *failures == 0 {
+                    *fail = None;
+                }
+                Err(StorageError::TransientFault { op })
+            }
         }
-        Ok(())
     }
 
     /// Reads page `id` (counted).
@@ -132,7 +192,37 @@ impl SimDisk {
             .get_mut(id as usize)
             .ok_or(StorageError::InvalidPage { page: id })?;
         **slot = *page.as_bytes();
+        self.sums.write()[id as usize] = crate::wal::fnv1a64(page.as_bytes());
         self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Verifies page `id` against its stored checksum. `Ok(true)` = intact,
+    /// `Ok(false)` = the contents no longer match the checksum written with
+    /// them (bit rot). Uncounted: scrubbing is maintenance, not workload
+    /// I/O.
+    pub fn verify_page(&self, id: u64) -> StorageResult<bool> {
+        let pages = self.pages.read();
+        let raw = pages
+            .get(id as usize)
+            .ok_or(StorageError::InvalidPage { page: id })?;
+        Ok(crate::wal::fnv1a64(&raw[..]) == self.sums.read()[id as usize])
+    }
+
+    /// XORs `mask` into one byte of page `id` *without* refreshing the
+    /// page's checksum — simulated bit rot for scrub tests. A zero `mask`
+    /// is rejected (it would corrupt nothing).
+    ///
+    /// # Panics
+    /// Panics if `offset` is out of page bounds or `mask` is zero.
+    pub fn corrupt_page_byte(&self, id: u64, offset: usize, mask: u8) -> StorageResult<()> {
+        assert!(offset < PAGE_SIZE, "corrupt offset out of page bounds");
+        assert!(mask != 0, "a zero mask corrupts nothing");
+        let mut pages = self.pages.write();
+        let raw = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::InvalidPage { page: id })?;
+        raw[offset] ^= mask;
         Ok(())
     }
 
@@ -239,5 +329,49 @@ mod fault_tests {
         ));
         d.heal();
         d.read(id).unwrap();
+    }
+
+    #[test]
+    fn transient_fault_fails_then_self_heals() {
+        let d = SimDisk::new();
+        let id = d.allocate();
+        d.fail_transient(1, 2);
+        d.read(id).unwrap(); // countdown
+        assert!(matches!(
+            d.read(id),
+            Err(StorageError::TransientFault { .. })
+        ));
+        assert!(matches!(
+            d.write(id, &Page::new()),
+            Err(StorageError::TransientFault { .. })
+        ));
+        // Failure budget spent: the disk healed itself, no heal() needed.
+        d.read(id).unwrap();
+        d.write(id, &Page::new()).unwrap();
+    }
+
+    #[test]
+    fn checksums_track_writes_and_catch_rot() {
+        let d = SimDisk::new();
+        let id = d.allocate();
+        assert!(d.verify_page(id).unwrap());
+        let mut p = d.read(id).unwrap();
+        p.insert(b"payload").unwrap();
+        d.write(id, &p).unwrap();
+        assert!(d.verify_page(id).unwrap());
+        d.corrupt_page_byte(id, 100, 0xff).unwrap();
+        assert!(!d.verify_page(id).unwrap());
+        // Rewriting the page refreshes the checksum.
+        d.write(id, &p).unwrap();
+        assert!(d.verify_page(id).unwrap());
+    }
+
+    #[test]
+    fn recovery_grown_pages_have_checksums() {
+        let d = SimDisk::new();
+        d.ensure_page_count(4);
+        for id in 0..4 {
+            assert!(d.verify_page(id).unwrap());
+        }
     }
 }

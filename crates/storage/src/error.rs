@@ -49,6 +49,18 @@ pub enum StorageError {
         /// The operation that hit the fault.
         op: &'static str,
     },
+    /// A *transient* fault fired: the device failed this attempt but is
+    /// expected to succeed if retried (the retryable half of the error
+    /// taxonomy — see [`StorageError::is_transient`]).
+    TransientFault {
+        /// The operation that hit the fault.
+        op: &'static str,
+    },
+    /// The store is degraded to read-only: a committed batch could not be
+    /// fully applied, so reads keep answering from the buffer pool but
+    /// mutations are rejected until [`recover`](crate::ObjectStore::recover)
+    /// promotes the store back to healthy.
+    ReadOnly,
     /// The byte decoder ran off the end of its input.
     Truncated {
         /// What was being decoded when input ran out.
@@ -68,6 +80,15 @@ pub enum StorageError {
     /// The store crashed mid-commit (after its durability point) and must
     /// be recovered before accepting further work.
     NeedsRecovery,
+}
+
+impl StorageError {
+    /// Whether the error is *transient* — the failed operation may succeed
+    /// if simply retried. Everything else is permanent: retrying cannot
+    /// help, the caller must abort, degrade, or recover instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientFault { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -101,6 +122,15 @@ impl fmt::Display for StorageError {
             }
             StorageError::InjectedFault { op } => {
                 write!(f, "injected disk fault during {op}")
+            }
+            StorageError::TransientFault { op } => {
+                write!(f, "transient disk fault during {op} (retryable)")
+            }
+            StorageError::ReadOnly => {
+                write!(
+                    f,
+                    "the store is degraded to read-only until it is recovered"
+                )
             }
             StorageError::Truncated { context } => {
                 write!(f, "decoder ran out of input while reading {context}")
@@ -145,6 +175,17 @@ mod tests {
         assert!(e.to_string().contains("recovered"));
         assert!(StorageError::BatchAlreadyOpen.to_string().contains("open"));
         assert!(StorageError::NoBatchOpen.to_string().contains("no atomic"));
+        let e = StorageError::TransientFault { op: "read" };
+        assert!(e.to_string().contains("retryable"));
+        assert!(StorageError::ReadOnly.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn only_transient_faults_are_transient() {
+        assert!(StorageError::TransientFault { op: "write" }.is_transient());
+        assert!(!StorageError::InjectedFault { op: "write" }.is_transient());
+        assert!(!StorageError::ReadOnly.is_transient());
+        assert!(!StorageError::NeedsRecovery.is_transient());
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! fault then lets only a prefix of the write-ahead log's pending bytes
 //! reach durable storage, modelling a partial sector write at the moment of
 //! power loss.
+//!
+//! A point may instead be armed *transient*
+//! ([`CrashPoints::arm_transient`]): once its countdown elapses it fires
+//! [`StorageError::TransientFault`] for the next `failures` hits and then
+//! heals itself, modelling a device that errors a few times and comes back.
+//! The store's retry layer (see [`crate::retry`]) absorbs transient faults
+//! that heal within the retry budget.
 
 use std::collections::HashMap;
 
@@ -25,11 +32,39 @@ use crate::error::{StorageError, StorageResult};
 
 /// One armed crash point.
 #[derive(Debug, Clone, Copy)]
-struct Arm {
-    /// Fires when the countdown reaches zero; `1` means "on the next hit".
-    countdown: u64,
-    /// For flush points: how many pending WAL bytes survive the crash.
-    torn_keep: Option<usize>,
+enum Arm {
+    /// A permanent fault: fires once when the countdown elapses, then
+    /// disarms.
+    Crash {
+        /// Fires when the countdown reaches zero; `1` means "on the next
+        /// hit".
+        countdown: u64,
+        /// For flush points: how many pending WAL bytes survive the crash.
+        torn_keep: Option<usize>,
+    },
+    /// A transient fault: once the countdown elapses, the next `failures`
+    /// hits fail retryably, then the point heals itself.
+    Transient {
+        /// Clean hits remaining before the fault window opens.
+        countdown: u64,
+        /// Failing hits remaining once the window is open.
+        failures: u64,
+    },
+}
+
+/// What a call to [`CrashPoints::fire`] observed at a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireOutcome {
+    /// The point is unarmed (or its countdown has not elapsed): keep going.
+    Pass,
+    /// A permanent fault fired. `torn` is the torn-write specification for
+    /// flush points: `Some(k)` keeps `k` pending WAL bytes durable.
+    Crash {
+        /// How many pending WAL bytes survive, for torn flush arms.
+        torn: Option<usize>,
+    },
+    /// A transient fault fired: the attempt failed but a retry may succeed.
+    Transient,
 }
 
 /// Registry of armed crash points (interior-mutable, like the disk's
@@ -54,7 +89,7 @@ impl CrashPoints {
         assert!(countdown > 0, "crash-point countdown must be >= 1");
         self.armed.lock().insert(
             point,
-            Arm {
+            Arm::Crash {
                 countdown,
                 torn_keep: None,
             },
@@ -67,9 +102,27 @@ impl CrashPoints {
         assert!(countdown > 0, "crash-point countdown must be >= 1");
         self.armed.lock().insert(
             point,
-            Arm {
+            Arm::Crash {
                 countdown,
                 torn_keep: Some(keep_bytes),
+            },
+        );
+    }
+
+    /// Arms `point` as a *transient* fault: after `countdown - 1` clean
+    /// hits, the next `failures` hits fail with
+    /// [`StorageError::TransientFault`], then the point heals itself.
+    ///
+    /// # Panics
+    /// Panics if `countdown` or `failures` is zero.
+    pub fn arm_transient(&self, point: &'static str, countdown: u64, failures: u64) {
+        assert!(countdown > 0, "crash-point countdown must be >= 1");
+        assert!(failures > 0, "transient arm needs at least one failure");
+        self.armed.lock().insert(
+            point,
+            Arm::Transient {
+                countdown,
+                failures,
             },
         );
     }
@@ -83,33 +136,58 @@ impl CrashPoints {
     /// crash-matrix sweep uses this to detect that a countdown exceeded the
     /// number of hits an operation performs (the point never fired).
     pub fn remaining(&self, point: &'static str) -> Option<u64> {
-        self.armed.lock().get(point).map(|a| a.countdown)
+        self.armed.lock().get(point).map(|a| match a {
+            Arm::Crash { countdown, .. } | Arm::Transient { countdown, .. } => *countdown,
+        })
     }
 
-    /// Decrements `point`'s countdown if armed; returns the torn-write
-    /// specification when the point fires (self-disarming).
-    ///
-    /// `None` = keep going; `Some(None)` = clean crash; `Some(Some(k))` =
-    /// torn crash keeping `k` pending bytes.
-    pub fn fire(&self, point: &'static str) -> Option<Option<usize>> {
+    /// Decrements `point`'s countdown if armed and reports what fired.
+    /// Permanent arms self-disarm when they fire; transient arms keep
+    /// firing until their failure budget is spent, then heal.
+    pub fn fire(&self, point: &'static str) -> FireOutcome {
         let mut armed = self.armed.lock();
-        let arm = armed.get_mut(point)?;
-        arm.countdown -= 1;
-        if arm.countdown == 0 {
-            let torn = arm.torn_keep;
-            armed.remove(point);
-            Some(torn)
-        } else {
-            None
+        let Some(arm) = armed.get_mut(point) else {
+            return FireOutcome::Pass;
+        };
+        match arm {
+            Arm::Crash {
+                countdown,
+                torn_keep,
+            } => {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    let torn = *torn_keep;
+                    armed.remove(point);
+                    FireOutcome::Crash { torn }
+                } else {
+                    FireOutcome::Pass
+                }
+            }
+            Arm::Transient {
+                countdown,
+                failures,
+            } => {
+                if *countdown > 1 {
+                    *countdown -= 1;
+                    return FireOutcome::Pass;
+                }
+                // The fault window is open: spend one failure.
+                *failures -= 1;
+                if *failures == 0 {
+                    armed.remove(point);
+                }
+                FireOutcome::Transient
+            }
         }
     }
 
     /// [`CrashPoints::fire`] for points with no torn-write semantics:
-    /// surfaces the crash as an error.
+    /// surfaces the outcome as an error.
     pub fn hit(&self, point: &'static str) -> StorageResult<()> {
         match self.fire(point) {
-            Some(_) => Err(StorageError::InjectedFault { op: point }),
-            None => Ok(()),
+            FireOutcome::Pass => Ok(()),
+            FireOutcome::Crash { .. } => Err(StorageError::InjectedFault { op: point }),
+            FireOutcome::Transient => Err(StorageError::TransientFault { op: point }),
         }
     }
 }
@@ -145,8 +223,8 @@ mod tests {
     fn torn_spec_is_reported_by_fire() {
         let cp = CrashPoints::new();
         cp.arm_torn("flush", 1, 17);
-        assert_eq!(cp.fire("flush"), Some(Some(17)));
-        assert_eq!(cp.fire("flush"), None);
+        assert_eq!(cp.fire("flush"), FireOutcome::Crash { torn: Some(17) });
+        assert_eq!(cp.fire("flush"), FireOutcome::Pass);
     }
 
     #[test]
@@ -154,9 +232,11 @@ mod tests {
         let cp = CrashPoints::new();
         cp.arm("a", 1);
         cp.arm_torn("b", 1, 0);
+        cp.arm_transient("c", 1, 3);
         cp.heal();
         cp.hit("a").unwrap();
         cp.hit("b").unwrap();
+        cp.hit("c").unwrap();
     }
 
     #[test]
@@ -169,8 +249,40 @@ mod tests {
     }
 
     #[test]
+    fn transient_arm_fails_n_times_then_heals() {
+        let cp = CrashPoints::new();
+        cp.arm_transient("p", 2, 3);
+        // First hit is within the countdown: clean.
+        cp.hit("p").unwrap();
+        // Next three hits fail retryably.
+        for _ in 0..3 {
+            assert!(matches!(
+                cp.hit("p"),
+                Err(StorageError::TransientFault { op: "p" })
+            ));
+        }
+        // Budget spent: the point healed itself.
+        cp.hit("p").unwrap();
+        assert_eq!(cp.remaining("p"), None);
+    }
+
+    #[test]
+    fn transient_fire_reports_transient_outcome() {
+        let cp = CrashPoints::new();
+        cp.arm_transient("p", 1, 1);
+        assert_eq!(cp.fire("p"), FireOutcome::Transient);
+        assert_eq!(cp.fire("p"), FireOutcome::Pass);
+    }
+
+    #[test]
     #[should_panic(expected = "countdown must be >= 1")]
     fn zero_countdown_is_rejected() {
         CrashPoints::new().arm("p", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one failure")]
+    fn zero_failure_transient_is_rejected() {
+        CrashPoints::new().arm_transient("p", 1, 0);
     }
 }

@@ -52,6 +52,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod page;
+pub mod retry;
 pub mod segment;
 pub mod store;
 pub mod wal;
@@ -59,12 +60,13 @@ pub mod wal;
 pub use buffer::{BufferPool, BufferStats};
 pub use disk::{DiskStats, SimDisk};
 pub use error::{StorageError, StorageResult};
-pub use fault::CrashPoints;
+pub use fault::{CrashPoints, FireOutcome};
 pub use metrics::StoreMetrics;
 pub use page::{Page, SlotId, PAGE_SIZE};
+pub use retry::{Clock, RetryPolicy};
 pub use segment::{Segment, SegmentId};
 pub use store::{
-    ObjectStore, PhysId, RecoveryReport, StoreConfig, CP_COMMIT_APPLY, CP_COMMIT_DONE,
-    CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_PAGE_WRITE, CRASH_POINTS,
+    HealthState, ObjectStore, PhysId, RecoveryReport, ScrubReport, StoreConfig, CP_COMMIT_APPLY,
+    CP_COMMIT_DONE, CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_PAGE_WRITE, CRASH_POINTS,
 };
 pub use wal::{fnv1a64, Lsn, Wal, WalRecord, WalStats};

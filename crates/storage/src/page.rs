@@ -90,7 +90,10 @@ impl Page {
     }
 
     fn slot_count(&self) -> u16 {
-        read_u16(&self.bytes[..], 0)
+        // A corrupted header could claim more slots than the directory can
+        // physically hold; clamp so directory address arithmetic stays in
+        // bounds (the per-slot entries are validated separately on read).
+        read_u16(&self.bytes[..], 0).min(((PAGE_SIZE - HEADER) / SLOT_ENTRY) as u16)
     }
 
     fn set_slot_count(&mut self, n: u16) {
@@ -218,6 +221,14 @@ impl Page {
         Ok(slot)
     }
 
+    /// True when the directory entry `(off, len)` points at bytes inside
+    /// the page. Entries written by this module always are; a corrupted
+    /// (bit-rotted) page may not be, and must surface as an error rather
+    /// than an out-of-bounds panic.
+    fn entry_in_bounds(off: u16, len: u16) -> bool {
+        (off as usize) >= HEADER && (off as usize).saturating_add(len as usize) <= PAGE_SIZE
+    }
+
     /// Reads the record in `slot`.
     pub fn read(&self, slot: SlotId) -> StorageResult<&[u8]> {
         if slot >= self.slot_count() {
@@ -226,6 +237,11 @@ impl Page {
         let (off, len) = self.slot_entry(slot);
         if off == TOMBSTONE {
             return Err(StorageError::InvalidSlot { page: 0, slot });
+        }
+        if !Self::entry_in_bounds(off, len) {
+            return Err(StorageError::Corrupt {
+                context: "page slot entry out of bounds",
+            });
         }
         Ok(&self.bytes[off as usize..off as usize + len as usize])
     }
@@ -292,14 +308,17 @@ impl Page {
         slot < self.slot_count() && self.slot_entry(slot).0 != TOMBSTONE
     }
 
-    /// Iterates over `(slot, record)` pairs of live records.
+    /// Iterates over `(slot, record)` pairs of live records. Slots whose
+    /// directory entry points outside the page (possible only under
+    /// corruption) are skipped rather than panicking; [`Page::read`] on
+    /// such a slot reports [`StorageError::Corrupt`].
     pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
         (0..self.slot_count()).filter_map(move |s| {
             let (off, len) = self.slot_entry(s);
-            if off == TOMBSTONE {
+            if off == TOMBSTONE || !Self::entry_in_bounds(off, len) {
                 None
             } else {
-                Some((s, &self.bytes[off as usize..(off + len) as usize]))
+                Some((s, &self.bytes[off as usize..off as usize + len as usize]))
             }
         })
     }
@@ -447,6 +466,32 @@ mod tests {
         assert!(p.update(a, b"y").is_err());
         assert!(p.delete(a).is_err());
         assert!(p.read(99).is_err());
+    }
+
+    #[test]
+    fn corrupt_slot_entry_errors_instead_of_panicking() {
+        let mut p = Page::new();
+        let s = p.insert(b"victim").unwrap();
+        // Point the slot's offset past the end of the page.
+        let mut raw = *p.as_bytes();
+        let dir = PAGE_SIZE - SLOT_ENTRY * (s as usize + 1);
+        raw[dir..dir + 2].copy_from_slice(&0xfff0u16.to_le_bytes());
+        raw[dir + 2..dir + 4].copy_from_slice(&64u16.to_le_bytes());
+        let q = Page::from_bytes(&raw);
+        assert!(matches!(q.read(s), Err(StorageError::Corrupt { .. })));
+        assert_eq!(q.iter().count(), 0, "corrupt slot is skipped by iter");
+    }
+
+    #[test]
+    fn corrupt_slot_count_is_clamped() {
+        let p = Page::new();
+        let mut raw = *p.as_bytes();
+        raw[0..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let q = Page::from_bytes(&raw);
+        // Every claimed slot resolves without a directory-underflow panic.
+        assert!(q.read(5000).is_err());
+        let _ = q.live_records();
+        let _ = q.iter().count();
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Deterministic bounded-backoff retry for transient storage faults.
+//!
+//! The error taxonomy ([`crate::StorageError::is_transient`]) splits faults into
+//! *transient* (the device failed this attempt but may succeed if asked
+//! again — a bus hiccup, a firmware stall) and *permanent* (retrying cannot
+//! help). The store's hot paths wrap their physical I/O in [`run`], which
+//! retries transient faults up to a fixed budget with exponentially growing
+//! delays, and hands everything else straight back to the caller.
+//!
+//! Delays are *simulated*: the policy computes each backoff deterministically
+//! and reports it to an injectable [`Clock`] instead of sleeping. The default
+//! clock only accumulates the total (exposed through the
+//! `corion_storage_retry_backoff_us_total` counter); tests install a
+//! recording clock and assert the exact delay schedule. No wall time, no
+//! jitter, no flaky tests.
+
+use std::sync::Arc;
+
+use crate::error::StorageResult;
+
+/// Where simulated backoff delays are reported. The closure receives each
+/// delay in microseconds; implementations may record it, accumulate it, or
+/// (outside of tests) actually sleep.
+pub type Clock = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// A bounded exponential-backoff retry policy.
+///
+/// Attempt `k` (zero-based) that fails transiently is retried after
+/// `min(base_delay_us << k, max_delay_us)` simulated microseconds, up to
+/// `max_retries` retries; the transient error surfaces to the caller only
+/// once the budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated microseconds.
+    pub base_delay_us: u64,
+    /// Ceiling on any single backoff, in simulated microseconds.
+    pub max_delay_us: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries at 100µs/200µs/400µs — enough to ride out the
+    /// short fault windows the simulator models, small enough that a
+    /// permanent fault is not masked for long.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_us: 100,
+            max_delay_us: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (attempt 0 is the only attempt).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_us: 0,
+            max_delay_us: 0,
+        }
+    }
+
+    /// Simulated backoff before retrying after failed attempt `attempt`
+    /// (zero-based): `min(base << attempt, max)`, saturating.
+    pub fn delay_for(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.min(63);
+        self.base_delay_us
+            .saturating_mul(factor)
+            .min(self.max_delay_us)
+    }
+}
+
+/// Counters the retry loop feeds; a subset of
+/// [`StoreMetrics`](crate::metrics::StoreMetrics).
+pub struct RetryMetrics<'a> {
+    /// Incremented once per retry (not per attempt).
+    pub attempts: &'a corion_obs::Counter,
+    /// Incremented when an operation succeeds after at least one retry.
+    pub successes: &'a corion_obs::Counter,
+    /// Incremented when the retry budget is exhausted and the transient
+    /// error surfaces.
+    pub exhausted: &'a corion_obs::Counter,
+    /// Accumulates simulated backoff microseconds.
+    pub backoff_us: &'a corion_obs::Counter,
+}
+
+/// Runs `op`, retrying transient failures per `policy`. Permanent errors
+/// and successes return immediately; each transient failure costs one
+/// retry and one simulated backoff reported to `clock`, until the budget
+/// is spent and the last transient error surfaces.
+pub fn run<T>(
+    policy: &RetryPolicy,
+    metrics: &RetryMetrics<'_>,
+    clock: &Clock,
+    mut op: impl FnMut() -> StorageResult<T>,
+) -> StorageResult<T> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op() {
+            Ok(v) => {
+                if attempt > 0 {
+                    metrics.successes.inc();
+                }
+                return Ok(v);
+            }
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                metrics.attempts.inc();
+                let delay = policy.delay_for(attempt);
+                metrics.backoff_us.add(delay);
+                clock(delay);
+                attempt += 1;
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    metrics.exhausted.inc();
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// The default clock: does nothing per delay (totals are already
+/// accumulated by the metrics counter). Simulated time never sleeps.
+pub fn noop_clock() -> Clock {
+    Arc::new(|_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StorageError;
+    use corion_obs::Registry;
+    use parking_lot::Mutex;
+
+    fn metrics_on(reg: &Registry) -> [corion_obs::Counter; 4] {
+        [
+            reg.counter("attempts"),
+            reg.counter("successes"),
+            reg.counter("exhausted"),
+            reg.counter("backoff"),
+        ]
+    }
+
+    fn recording_clock() -> (Clock, Arc<Mutex<Vec<u64>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let clock: Clock = Arc::new(move |us| sink.lock().push(us));
+        (clock, seen)
+    }
+
+    #[test]
+    fn delay_schedule_is_bounded_exponential() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay_us: 100,
+            max_delay_us: 1000,
+        };
+        assert_eq!(p.delay_for(0), 100);
+        assert_eq!(p.delay_for(1), 200);
+        assert_eq!(p.delay_for(2), 400);
+        assert_eq!(p.delay_for(3), 800);
+        assert_eq!(p.delay_for(4), 1000); // capped
+        assert_eq!(p.delay_for(63), 1000); // shift overflow saturates
+        assert_eq!(p.delay_for(64), 1000);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_to_success() {
+        let reg = Registry::new();
+        let [attempts, successes, exhausted, backoff] = metrics_on(&reg);
+        let m = RetryMetrics {
+            attempts: &attempts,
+            successes: &successes,
+            exhausted: &exhausted,
+            backoff_us: &backoff,
+        };
+        let (clock, seen) = recording_clock();
+        let mut failures_left = 2;
+        let out = run(&RetryPolicy::default(), &m, &clock, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(StorageError::TransientFault { op: "read" })
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        // Deterministic schedule: 100µs then 200µs (clock recording does
+        // not depend on the obs feature).
+        assert_eq!(*seen.lock(), vec![100, 200]);
+        if cfg!(feature = "obs") {
+            assert_eq!(attempts.get(), 2);
+            assert_eq!(successes.get(), 1);
+            assert_eq!(exhausted.get(), 0);
+            assert_eq!(backoff.get(), 300);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_transient_error() {
+        let reg = Registry::new();
+        let [attempts, successes, exhausted, backoff] = metrics_on(&reg);
+        let m = RetryMetrics {
+            attempts: &attempts,
+            successes: &successes,
+            exhausted: &exhausted,
+            backoff_us: &backoff,
+        };
+        let clock = noop_clock();
+        let out: StorageResult<()> = run(&RetryPolicy::default(), &m, &clock, || {
+            Err(StorageError::TransientFault { op: "write" })
+        });
+        assert!(matches!(out, Err(StorageError::TransientFault { .. })));
+        if cfg!(feature = "obs") {
+            assert_eq!(attempts.get(), 3);
+            assert_eq!(exhausted.get(), 1);
+            assert_eq!(successes.get(), 0);
+        }
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let reg = Registry::new();
+        let [attempts, successes, exhausted, backoff] = metrics_on(&reg);
+        let m = RetryMetrics {
+            attempts: &attempts,
+            successes: &successes,
+            exhausted: &exhausted,
+            backoff_us: &backoff,
+        };
+        let clock = noop_clock();
+        let mut calls = 0;
+        let out: StorageResult<()> = run(&RetryPolicy::default(), &m, &clock, || {
+            calls += 1;
+            Err(StorageError::InjectedFault { op: "write" })
+        });
+        assert!(matches!(out, Err(StorageError::InjectedFault { .. })));
+        assert_eq!(calls, 1);
+        assert_eq!(attempts.get(), 0);
+        assert_eq!(exhausted.get(), 0);
+        let _ = (successes, backoff);
+    }
+
+    #[test]
+    fn no_retries_policy_fails_immediately() {
+        let reg = Registry::new();
+        let [attempts, successes, exhausted, backoff] = metrics_on(&reg);
+        let m = RetryMetrics {
+            attempts: &attempts,
+            successes: &successes,
+            exhausted: &exhausted,
+            backoff_us: &backoff,
+        };
+        let clock = noop_clock();
+        let mut calls = 0;
+        let out: StorageResult<()> = run(&RetryPolicy::no_retries(), &m, &clock, || {
+            calls += 1;
+            Err(StorageError::TransientFault { op: "read" })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(attempts.get(), 0);
+        let _ = (successes, exhausted, backoff);
+    }
+}

@@ -41,9 +41,10 @@ use crate::buffer::{BufferPool, BufferStats};
 use crate::codec::{self, Reader};
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
-use crate::fault::CrashPoints;
+use crate::fault::{CrashPoints, FireOutcome};
 use crate::metrics::StoreMetrics;
 use crate::page::{Page, SlotId, MAX_RECORD};
+use crate::retry::{self, Clock, RetryPolicy};
 use crate::segment::{Segment, SegmentId};
 use crate::wal::{replay, Wal, WalRecord, WalStats};
 
@@ -73,6 +74,9 @@ pub struct StoreConfig {
     /// commit. Every commit logs full page images, so without truncation
     /// the log would grow without bound.
     pub wal_checkpoint_bytes: usize,
+    /// Bounded-backoff policy for retrying transient I/O faults on the
+    /// store's hot paths (page reads/writes, the commit protocol).
+    pub retry: RetryPolicy,
 }
 
 impl Default for StoreConfig {
@@ -83,8 +87,60 @@ impl Default for StoreConfig {
         StoreConfig {
             buffer_capacity: 256,
             wal_checkpoint_bytes: 1 << 20,
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// Health of the store — the three-state replacement for the old
+/// all-or-nothing poison flag.
+///
+/// ```text
+/// Healthy ──(post-durability apply fault / torn flush)──▶ Degraded
+/// Healthy │ Degraded ──(simulated crash)──▶ Poisoned
+/// Degraded │ Poisoned ──(recover)──▶ Healthy
+/// ```
+///
+/// *Degraded* means a committed batch could not be fully applied (or a
+/// torn flush left the log ahead of the disk): reads keep answering —
+/// the buffer pool still holds a consistent view — while mutations fail
+/// fast with [`StorageError::ReadOnly`]. *Poisoned* means the volatile
+/// state is gone (a crash): nothing is trustworthy until
+/// [`ObjectStore::recover`] rebuilds from durable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Fully operational: reads and writes accepted.
+    Healthy,
+    /// Read-only: reads are served from a consistent in-memory view,
+    /// mutations are rejected until recovery.
+    Degraded,
+    /// Unusable: every operation reports
+    /// [`StorageError::NeedsRecovery`] until recovery.
+    Poisoned,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Poisoned => "poisoned",
+        })
+    }
+}
+
+/// What a [`ObjectStore::scrub`] pass found and fixed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pages whose checksum was verified.
+    pub pages_checked: usize,
+    /// Pages whose contents no longer matched their checksum.
+    pub pages_corrupt: usize,
+    /// Corrupt pages restored from a committed WAL after-image.
+    pub pages_salvaged: usize,
+    /// Corrupt pages with no salvageable image, reset to empty (their
+    /// records are lost; run `Database::repair` to mend the object graph).
+    pub pages_reset: usize,
 }
 
 /// Crash point: before each logged page write inside a batch.
@@ -173,11 +229,14 @@ pub struct ObjectStore {
     wal: Wal,
     crash: CrashPoints,
     batch: Option<BatchState>,
-    /// Set when a crash fired after the durability point: the disk may hold
-    /// a partially applied batch (or the log a torn tail), so the store
-    /// refuses further work until [`ObjectStore::recover`] runs.
-    poisoned: bool,
+    /// Current health (see [`HealthState`]): degraded after a
+    /// post-durability apply fault, poisoned after a crash.
+    health: HealthState,
     wal_checkpoint_bytes: usize,
+    retry_policy: RetryPolicy,
+    /// Where simulated retry backoff is reported; tests inject a
+    /// recording clock, the default only lets the counters accumulate.
+    clock: Clock,
     metrics: StoreMetrics,
 }
 
@@ -199,17 +258,57 @@ impl ObjectStore {
     /// Creates a store whose metrics are interned in `registry`, so one
     /// snapshot covers this store alongside the layers above it.
     pub fn with_registry(config: StoreConfig, registry: &Registry) -> Self {
-        ObjectStore {
+        let store = ObjectStore {
             pool: BufferPool::new(SimDisk::new(), config.buffer_capacity),
             segments: HashMap::new(),
             next_segment: 0,
             wal: Wal::new(),
             crash: CrashPoints::new(),
             batch: None,
-            poisoned: false,
+            health: HealthState::Healthy,
             wal_checkpoint_bytes: config.wal_checkpoint_bytes,
+            retry_policy: config.retry,
+            clock: retry::noop_clock(),
             metrics: StoreMetrics::new(registry),
-        }
+        };
+        store.metrics.health.set(0);
+        store
+    }
+
+    /// Current health of the store.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    fn set_health(&mut self, health: HealthState) {
+        self.health = health;
+        self.metrics.health.set(match health {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Poisoned => 2,
+        });
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Replaces the clock that receives simulated retry backoff delays.
+    /// Tests install a recording clock to assert the deterministic
+    /// schedule; the default clock is a no-op.
+    pub fn set_retry_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
+    /// Runs a read of `page` through the retry loop: transient faults
+    /// (from the disk or an armed crash point) are retried per the
+    /// configured [`RetryPolicy`], everything else surfaces at once.
+    fn with_page_retry<R>(&self, page: u64, mut f: impl FnMut(&Page) -> R) -> StorageResult<R> {
+        let rm = self.metrics.retry();
+        retry::run(&self.retry_policy, &rm, &self.clock, || {
+            self.pool.with_page(page, &mut f)
+        })
     }
 
     /// Appends one record to the WAL, counting records and encoded bytes.
@@ -247,14 +346,32 @@ impl ObjectStore {
     /// The write path: every page mutation goes through here so the open
     /// batch learns which after-images to log at commit. Requires an open
     /// batch — public mutators guarantee one via [`ObjectStore::autocommit`].
+    /// Transient faults (an armed [`CP_PAGE_WRITE`] transient arm, or a
+    /// transient disk fault while faulting the page in) are retried per the
+    /// configured [`RetryPolicy`].
     fn page_mut<R>(&mut self, page: u64, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
-        self.crash.hit(CP_PAGE_WRITE)?;
+        if self.batch.is_none() {
+            return Err(StorageError::NoBatchOpen);
+        }
+        let mut f = Some(f);
+        let mut out = None;
+        {
+            let (crash, pool) = (&self.crash, &self.pool);
+            let rm = self.metrics.retry();
+            retry::run(&self.retry_policy, &rm, &self.clock, || {
+                crash.hit(CP_PAGE_WRITE)?;
+                pool.with_page_mut(page, |p| {
+                    let g = f.take().expect("page closure runs at most once");
+                    out = Some(g(p));
+                })
+            })?;
+        }
         self.batch
             .as_mut()
-            .ok_or(StorageError::NoBatchOpen)?
+            .expect("batch checked above")
             .dirty
             .insert(page);
-        self.pool.with_page_mut(page, f)
+        Ok(out.expect("closure ran on the successful attempt"))
     }
 
     /// Runs `f` inside the open batch, or inside a fresh single-call batch
@@ -311,7 +428,7 @@ impl ObjectStore {
                 });
             }
             // The hint was stale; record the truth so we skip next time.
-            let free = self.pool.with_page(page, |p| p.free_space())?;
+            let free = self.with_page_retry(page, |p| p.free_space())?;
             self.segments
                 .get_mut(&segment)
                 .expect("segment checked above")
@@ -415,14 +532,20 @@ impl ObjectStore {
     }
 
     fn read_raw(&self, id: PhysId) -> StorageResult<Vec<u8>> {
+        if self.health == HealthState::Poisoned {
+            return Err(StorageError::NeedsRecovery);
+        }
         self.segment(id.segment)?;
-        let out = self
-            .pool
-            .with_page(id.page, |p| p.read(id.slot).map(|b| b.to_vec()))?;
-        out.map_err(|_| StorageError::DanglingPhysId {
-            segment: id.segment.0,
-            page: id.page,
-            slot: id.slot,
+        let out = self.with_page_retry(id.page, |p| p.read(id.slot).map(|b| b.to_vec()))?;
+        out.map_err(|e| match e {
+            // A bounds-violating slot entry is bit rot, not a dangling
+            // address — let the caller (and `scrub`) see the difference.
+            StorageError::Corrupt { .. } => e,
+            _ => StorageError::DanglingPhysId {
+                segment: id.segment.0,
+                page: id.page,
+                slot: id.slot,
+            },
         })
     }
 
@@ -532,7 +655,7 @@ impl ObjectStore {
                 Err(e) => Err(e),
             })??;
             if in_place {
-                let free = self.pool.with_page(id.page, |p| p.free_space())?;
+                let free = self.with_page_retry(id.page, |p| p.free_space())?;
                 if let Some(seg) = self.segments.get_mut(&id.segment) {
                     seg.set_free_hint(id.page, free);
                 }
@@ -574,10 +697,13 @@ impl ObjectStore {
     /// Scans every live record of a segment, in page order, reassembling
     /// chained records and skipping continuation chunks.
     pub fn scan(&self, segment: SegmentId) -> StorageResult<Vec<(PhysId, Vec<u8>)>> {
+        if self.health == HealthState::Poisoned {
+            return Err(StorageError::NeedsRecovery);
+        }
         let pages: Vec<u64> = self.segment(segment)?.pages().to_vec();
         let mut heads = Vec::new();
         for page in pages {
-            let recs = self.pool.with_page(page, |p| {
+            let recs = self.with_page_retry(page, |p| {
                 p.iter()
                     .filter(|(_, b)| b.first() != Some(&TAG_CHUNK))
                     .map(|(slot, _)| slot)
@@ -630,8 +756,14 @@ impl ObjectStore {
 
     /// Flushes and drops every cached page, so the next access is cold.
     /// Refused while a batch is open — flushing would write uncommitted
-    /// pages to disk.
+    /// pages to disk — and when degraded, where pinned frames are the
+    /// only consistent copy of a half-applied commit.
     pub fn clear_cache(&self) -> StorageResult<()> {
+        match self.health {
+            HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
+            HealthState::Degraded => return Err(StorageError::ReadOnly),
+            HealthState::Healthy => {}
+        }
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
@@ -649,8 +781,10 @@ impl ObjectStore {
     /// [`commit_atomic`]: ObjectStore::commit_atomic
     /// [`abort_atomic`]: ObjectStore::abort_atomic
     pub fn begin_atomic(&mut self) -> StorageResult<()> {
-        if self.poisoned {
-            return Err(StorageError::NeedsRecovery);
+        match self.health {
+            HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
+            HealthState::Degraded => return Err(StorageError::ReadOnly),
+            HealthState::Healthy => {}
         }
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
@@ -686,7 +820,7 @@ impl ObjectStore {
         // pending log. A crash here loses only pending bytes: abort.
         let mut images = Vec::with_capacity(dirty.len());
         for &page in &dirty {
-            match self.pool.with_page(page, |p| p.clone()) {
+            match self.with_page_retry(page, |p| p.clone()) {
                 Ok(image) => images.push((page, image)),
                 Err(e) => {
                     self.abort_open_batch();
@@ -694,7 +828,13 @@ impl ObjectStore {
                 }
             }
         }
-        if let Err(e) = self.crash.hit(CP_COMMIT_LOG) {
+        let logged = {
+            let (crash, rm) = (&self.crash, self.metrics.retry());
+            retry::run(&self.retry_policy, &rm, &self.clock, || {
+                crash.hit(CP_COMMIT_LOG)
+            })
+        };
+        if let Err(e) = logged {
             self.abort_open_batch();
             return Err(e);
         }
@@ -705,45 +845,87 @@ impl ObjectStore {
             });
         }
         self.log_append(&WalRecord::Commit);
-        // Phase 2: the durability point.
-        match self.crash.fire(CP_COMMIT_FLUSH) {
-            None => {
+        // Phase 2: the durability point. A transient flush fault is
+        // retried in place (nothing durable happened yet); only once the
+        // budget is spent does the batch abort.
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            match self.crash.fire(CP_COMMIT_FLUSH) {
+                FireOutcome::Transient if attempt < self.retry_policy.max_retries => {
+                    self.metrics.retry_attempts.inc();
+                    let delay = self.retry_policy.delay_for(attempt);
+                    self.metrics.retry_backoff_us.add(delay);
+                    (self.clock)(delay);
+                    attempt += 1;
+                }
+                other => break other,
+            }
+        };
+        match outcome {
+            FireOutcome::Pass => {
+                if attempt > 0 {
+                    self.metrics.retry_success.inc();
+                }
                 let _flush_timer = self.metrics.wal_flush_latency.start_timer();
                 self.wal.flush();
                 self.metrics.wal_flushes.inc();
             }
-            Some(None) => {
+            FireOutcome::Transient => {
+                // Retry budget exhausted before the durability point:
+                // nothing reached the log device, so abort cleanly.
+                self.metrics.retry_exhausted.inc();
+                self.abort_open_batch();
+                return Err(StorageError::TransientFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+            FireOutcome::Crash { torn: None } => {
                 // Clean crash: nothing reached the log device.
                 self.abort_open_batch();
                 return Err(StorageError::InjectedFault {
                     op: CP_COMMIT_FLUSH,
                 });
             }
-            Some(Some(keep)) => {
-                // Torn crash: a prefix became durable. The log now ends in
-                // a torn tail that only recovery may truncate.
+            FireOutcome::Crash { torn: Some(keep) } => {
+                // Torn crash: a prefix became durable and the log now ends
+                // in a torn tail that only recovery may truncate. The
+                // batch's commit marker did not make it, so the pre-batch
+                // state is the truth: discard the batch's dirty frames and
+                // degrade to read-only over the (consistent) disk state.
                 self.wal.flush_torn(keep);
-                self.poison();
+                self.degrade_discarding_batch();
                 return Err(StorageError::InjectedFault {
                     op: CP_COMMIT_FLUSH,
                 });
             }
         }
         // Phase 3: apply. The commit is durable — any failure from here on
-        // leaves the disk behind the log, so the store must be recovered
-        // (recovery replays these very images idempotently).
+        // leaves the disk behind the log. The buffer pool's frames hold
+        // exactly the committed after-images, so the store degrades to
+        // read-only (reads stay correct from the pool) instead of refusing
+        // all work; recovery replays these very images idempotently.
         for (page, image) in &images {
-            let applied = self
-                .crash
-                .hit(CP_COMMIT_APPLY)
-                .and_then(|()| self.pool.apply_page(*page, image));
+            let applied = {
+                let (crash, pool) = (&self.crash, &self.pool);
+                let rm = self.metrics.retry();
+                retry::run(&self.retry_policy, &rm, &self.clock, || {
+                    crash.hit(CP_COMMIT_APPLY)?;
+                    pool.apply_page(*page, image)
+                })
+            };
             if let Err(e) = applied {
-                self.poison();
+                self.degrade_keeping_frames();
                 return Err(e);
             }
         }
-        if let Err(e) = self.crash.hit(CP_COMMIT_DONE) {
-            self.poison();
+        let done = {
+            let (crash, rm) = (&self.crash, self.metrics.retry());
+            retry::run(&self.retry_policy, &rm, &self.clock, || {
+                crash.hit(CP_COMMIT_DONE)
+            })
+        };
+        if let Err(e) = done {
+            self.degrade_keeping_frames();
             return Err(e);
         }
         self.batch = None;
@@ -787,10 +969,38 @@ impl ObjectStore {
         self.pool.set_no_steal(false);
     }
 
-    fn poison(&mut self) {
+    /// Degrades to read-only after a post-durability apply failure,
+    /// *keeping* the batch's dirty frames pinned: they hold exactly the
+    /// committed after-images (the truth the durable log promises), so
+    /// reads served from the pool remain correct. `no_steal` stays on so
+    /// an unapplied dirty frame can never be evicted over the stale disk
+    /// image.
+    fn degrade_keeping_frames(&mut self) {
         self.batch = None;
+        self.set_health(HealthState::Degraded);
+    }
+
+    /// Degrades to read-only after a torn flush: the commit marker never
+    /// became durable, so the *pre-batch* state is the truth. The batch's
+    /// dirty frames (uncommitted after-images) are discarded; reads then
+    /// fall through to the consistent pre-batch disk pages.
+    fn degrade_discarding_batch(&mut self) {
+        if let Some(batch) = self.batch.take() {
+            self.pool.discard_pages(batch.dirty.iter().copied());
+            for (segment, page) in batch.adopted.into_iter().rev() {
+                if let Some(seg) = self.segments.get_mut(&segment) {
+                    seg.drop_page(page);
+                }
+            }
+            for segment in batch.created.into_iter().rev() {
+                self.segments.remove(&segment);
+                if segment.0 + 1 == self.next_segment {
+                    self.next_segment = segment.0;
+                }
+            }
+        }
         self.pool.set_no_steal(false);
-        self.poisoned = true;
+        self.set_health(HealthState::Degraded);
     }
 
     // ------------------------------------------------------------------
@@ -806,7 +1016,7 @@ impl ObjectStore {
         self.wal.drop_pending();
         self.pool.discard_all();
         self.pool.set_no_steal(false);
-        self.poisoned = true;
+        self.set_health(HealthState::Poisoned);
     }
 
     /// Recovers the store from durable state: scans the log, truncates the
@@ -817,7 +1027,7 @@ impl ObjectStore {
         let _span = corion_obs::span("storage", "recover");
         let _timer = self.metrics.recovery_latency.start_timer();
         self.batch = None;
-        self.poisoned = false;
+        self.set_health(HealthState::Healthy);
         self.pool.set_no_steal(false);
         self.wal.drop_pending();
         self.pool.discard_all();
@@ -864,8 +1074,10 @@ impl ObjectStore {
     /// [`Wal::install_checkpoint`]); runs automatically when the durable
     /// log outgrows [`StoreConfig::wal_checkpoint_bytes`].
     pub fn checkpoint(&mut self) -> StorageResult<()> {
-        if self.poisoned {
-            return Err(StorageError::NeedsRecovery);
+        match self.health {
+            HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
+            HealthState::Degraded => return Err(StorageError::ReadOnly),
+            HealthState::Healthy => {}
         }
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
@@ -887,6 +1099,74 @@ impl ObjectStore {
     }
 
     // ------------------------------------------------------------------
+    // Scrub
+    // ------------------------------------------------------------------
+
+    /// Online scrub: verifies every segment page against its on-media
+    /// checksum and repairs what it can. A corrupt page is restored from
+    /// the newest committed WAL after-image when the log still holds one;
+    /// otherwise it is reset to an empty page (its records are lost — the
+    /// layer above re-checks referential integrity and mends the object
+    /// graph).
+    ///
+    /// Requires a healthy store with no open batch: scrub writes pages,
+    /// which a degraded store must not, and flushes the cache first so
+    /// verification sees the true media bytes.
+    pub fn scrub(&mut self) -> StorageResult<ScrubReport> {
+        match self.health {
+            HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
+            HealthState::Degraded => return Err(StorageError::ReadOnly),
+            HealthState::Healthy => {}
+        }
+        if self.batch.is_some() {
+            return Err(StorageError::BatchAlreadyOpen);
+        }
+        let _span = corion_obs::span("storage", "scrub");
+        // Drop cached frames: a resident clean frame would mask on-media
+        // rot, and salvage writes below must not fight stale frames.
+        self.pool.clear_cache()?;
+        // Committed after-images still in the log are the salvage source.
+        let scan = self.wal.scan();
+        let salvage = replay(&scan);
+        let mut pages: Vec<u64> = self
+            .segments
+            .values()
+            .flat_map(|s| s.pages().iter().copied())
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let mut report = ScrubReport::default();
+        for page in pages {
+            report.pages_checked += 1;
+            if self.pool.verify_page(page)? {
+                continue;
+            }
+            report.pages_corrupt += 1;
+            match salvage.pages.get(&page) {
+                Some(image) => {
+                    self.pool.apply_page(page, image)?;
+                    report.pages_salvaged += 1;
+                }
+                None => {
+                    self.pool.apply_page(page, &Page::new())?;
+                    report.pages_reset += 1;
+                }
+            }
+        }
+        self.metrics.scrub_runs.inc();
+        self.metrics
+            .scrub_pages_checked
+            .add(report.pages_checked as u64);
+        self.metrics
+            .scrub_pages_salvaged
+            .add(report.pages_salvaged as u64);
+        self.metrics
+            .scrub_pages_reset
+            .add(report.pages_reset as u64);
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection & observability
     // ------------------------------------------------------------------
 
@@ -894,6 +1174,38 @@ impl ObjectStore {
     /// `countdown`-th hit.
     pub fn arm_crash_point(&self, point: &'static str, countdown: u64) {
         self.crash.arm(point, countdown);
+    }
+
+    /// Arms `point` as a transient fault: after `countdown - 1` clean
+    /// hits, the next `failures` hits fail retryably, then the point heals
+    /// (see [`CrashPoints::arm_transient`]).
+    pub fn arm_transient_crash(&self, point: &'static str, countdown: u64, failures: u64) {
+        self.crash.arm_transient(point, countdown, failures);
+    }
+
+    /// Arms disk-level *transient* failure injection (see
+    /// [`SimDisk::fail_transient`](crate::disk::SimDisk::fail_transient)).
+    pub fn fail_transient(&self, ops: u64, failures: u64) {
+        self.pool.fail_transient(ops, failures);
+    }
+
+    /// Verifies one page against its on-media checksum (scrub's primitive,
+    /// exposed for tests).
+    pub fn verify_page(&self, page: u64) -> StorageResult<bool> {
+        self.pool.verify_page(page)
+    }
+
+    /// Injects bit rot into one on-disk page byte without refreshing its
+    /// checksum (see
+    /// [`SimDisk::corrupt_page_byte`](crate::disk::SimDisk::corrupt_page_byte)).
+    pub fn corrupt_page_byte(&self, page: u64, offset: usize, mask: u8) -> StorageResult<()> {
+        self.pool.corrupt_page_byte(page, offset, mask)
+    }
+
+    /// The pages of `segment`, in adoption order — what `scrub` walks;
+    /// exposed so tests can pick corruption targets.
+    pub fn pages_of(&self, segment: SegmentId) -> StorageResult<Vec<u64>> {
+        Ok(self.segment(segment)?.pages().to_vec())
     }
 
     /// Arms [`CP_COMMIT_FLUSH`] (the only torn-capable point) so that when
@@ -1385,20 +1697,44 @@ mod recovery_tests {
     }
 
     #[test]
-    fn poisoned_store_refuses_work_until_recovered() {
+    fn mid_apply_fault_degrades_to_read_only_until_recovered() {
         let mut st = ObjectStore::default();
         let seg = st.create_segment().unwrap();
         st.arm_crash_point(CP_COMMIT_APPLY, 1);
         assert!(st.insert(seg, b"x", None).is_err());
+        // The commit was durable but not fully applied: the store is
+        // degraded, not poisoned — reads still answer (from the pinned
+        // frames that hold the committed images), mutations are rejected.
+        assert_eq!(st.health(), HealthState::Degraded);
+        assert!(matches!(
+            st.insert(seg, b"y", None),
+            Err(StorageError::ReadOnly)
+        ));
+        assert!(matches!(st.checkpoint(), Err(StorageError::ReadOnly)));
+        assert_eq!(st.scan(seg).unwrap().len(), 1, "degraded reads still work");
+        st.recover().unwrap();
+        assert_eq!(st.health(), HealthState::Healthy);
+        // The crash hit after the durability point, so "x" committed.
+        st.insert(seg, b"y", None).unwrap();
+        assert_eq!(st.scan(seg).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn poisoned_store_refuses_reads_and_writes_until_recovered() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, b"x", None).unwrap();
+        st.simulate_crash();
+        assert_eq!(st.health(), HealthState::Poisoned);
         assert!(matches!(
             st.insert(seg, b"y", None),
             Err(StorageError::NeedsRecovery)
         ));
+        assert!(matches!(st.scan(seg), Err(StorageError::NeedsRecovery)));
         assert!(matches!(st.checkpoint(), Err(StorageError::NeedsRecovery)));
         st.recover().unwrap();
-        // The crash hit after the durability point, so "x" committed.
-        st.insert(seg, b"y", None).unwrap();
-        assert_eq!(st.scan(seg).unwrap().len(), 2);
+        assert_eq!(st.health(), HealthState::Healthy);
+        assert_eq!(st.scan(seg).unwrap().len(), 1);
     }
 
     #[test]
@@ -1442,6 +1778,7 @@ mod recovery_tests {
         let mut st = ObjectStore::new(StoreConfig {
             buffer_capacity: 64,
             wal_checkpoint_bytes: 64 * 1024,
+            ..StoreConfig::default()
         });
         let seg = st.create_segment().unwrap();
         for i in 0..300 {

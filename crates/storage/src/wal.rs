@@ -137,8 +137,12 @@ pub struct WalScan {
     /// True when the scan stopped at a torn or corrupt record rather than
     /// the clean end of the log.
     pub torn_tail: bool,
-    /// The LSN after the last record accepted by the scan (committed or
-    /// not), i.e. the correct `next_lsn` after recovery.
+    /// The LSN after the last record *retained* by recovery, i.e. the end
+    /// of the committed prefix at `valid_len`. Recovery truncates the log
+    /// to `valid_len` and must continue numbering contiguously from the
+    /// last retained record — counting discarded-tail records here would
+    /// leave an LSN gap that a later scan rejects as out-of-sequence,
+    /// losing every batch committed after the gap.
     pub next_lsn: Lsn,
 }
 
@@ -275,12 +279,16 @@ impl Wal {
             match decode_record(&buf[offset..], expect_lsn) {
                 Ok((lsn, record, consumed)) => {
                     expect_lsn = Some(lsn + 1);
-                    next_lsn = lsn + 1;
                     offset += consumed;
                     match record {
                         WalRecord::Commit => {
                             committed.push(std::mem::take(&mut batch));
                             valid_len = offset;
+                            // Only commits advance the reported next LSN:
+                            // recovery truncates everything past the last
+                            // commit, so LSNs of discarded records must be
+                            // reused to keep the sequence contiguous.
+                            next_lsn = lsn + 1;
                         }
                         rec => batch.push(rec),
                     }
@@ -681,6 +689,34 @@ mod tests {
         assert_eq!(s.records_appended, 4);
         assert_eq!(s.pending_bytes, 0);
         assert_eq!(s.next_lsn, 5);
+    }
+
+    #[test]
+    fn next_lsn_skips_discarded_tail_so_recovery_stays_contiguous() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]); // lsn 1 (image), 2 (commit)
+        wal.append(&WalRecord::PageImage {
+            page: 0,
+            image: Box::new(page_with_byte(2)),
+        }); // lsn 3: flushed but never committed
+        wal.flush();
+
+        let scan = wal.scan();
+        assert_eq!(scan.discarded_records, 1);
+        assert_eq!(
+            scan.next_lsn, 3,
+            "next_lsn must follow the retained prefix, not the discarded tail"
+        );
+
+        // Recovery truncates the tail and renumbers from the scan; the
+        // next committed batch must survive a second scan with no gap.
+        wal.truncate_durable(scan.valid_len);
+        wal.set_next_lsn(scan.next_lsn);
+        committed_batch(&mut wal, &[(1, 9)]);
+        let rescan = wal.scan();
+        assert!(!rescan.torn_tail, "LSN gap after recovery");
+        assert_eq!(rescan.committed.len(), 2);
+        assert_eq!(replay(&rescan).pages[&1].as_bytes()[100], 9);
     }
 
     #[test]

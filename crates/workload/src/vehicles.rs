@@ -59,7 +59,7 @@ impl VehicleSchema {
     }
 
     /// Builds one vehicle bottom-up: parts first, then the vehicle
-    /// assembling them (the capability [KIM87b] lacked).
+    /// assembling them (the capability \[KIM87b\] lacked).
     pub fn build_vehicle(
         &self,
         db: &mut Database,

@@ -256,6 +256,135 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
 }
 
 // ---------------------------------------------------------------------
+// Transient faults
+// ---------------------------------------------------------------------
+
+/// Runs one scenario with a *transient* fault armed at `point`: after
+/// `countdown - 1` clean hits the point fails `failures` times and heals.
+/// With `failures` within the retry budget the batch must complete as if
+/// nothing happened. Returns `false` once the countdown outlives the
+/// operation (sweep of this point exhausted).
+fn transient_once(
+    s: &Scenario,
+    point: &'static str,
+    countdown: u64,
+    failures: u64,
+    post: &[(Oid, Vec<u8>)],
+) -> bool {
+    let (mut db, oids) = (s.build)();
+    let retries_before = db
+        .metrics_snapshot()
+        .counter("corion_storage_retry_attempts_total");
+    db.arm_transient_crash(point, countdown, failures);
+    let result = (s.op)(&mut db, &oids);
+    let fired = db.crash_point_remaining(point).is_none();
+    db.heal_crash_points();
+    if !fired {
+        assert!(
+            result.is_ok(),
+            "{}: op failed with the fault window shut",
+            s.name
+        );
+        return false;
+    }
+    // The whole point of the retry layer: a fault that heals within the
+    // budget is invisible to the caller.
+    result.unwrap_or_else(|e| {
+        panic!(
+            "{}: transient fault at {point}#{countdown}x{failures} leaked to the caller: {e}",
+            s.name
+        )
+    });
+    let snapshot = db.metrics_snapshot();
+    let retries_after = snapshot.counter("corion_storage_retry_attempts_total");
+    assert!(
+        retries_after >= retries_before + failures,
+        "{}: expected at least {failures} retries at {point}, counter went {retries_before} -> \
+         {retries_after}",
+        s.name
+    );
+    assert!(
+        snapshot.counter("corion_storage_retry_success_total") > 0,
+        "{}: a healed transient fault must count as a retry success",
+        s.name
+    );
+    let after = fingerprint(&db);
+    assert!(
+        after == post,
+        "{}: transient fault at {point}#{countdown}x{failures} changed the outcome",
+        s.name
+    );
+    db.verify_integrity().unwrap_or_else(|e| {
+        panic!(
+            "{}: integrity audit failed after transient {point}#{countdown}: {e}",
+            s.name
+        )
+    });
+    true
+}
+
+#[test]
+fn transient_faults_within_the_retry_budget_are_invisible() {
+    // The default policy allows 3 retries; both a single blip and a
+    // worst-case burst that exhausts every retry must be absorbed.
+    for s in scenarios() {
+        let post = post_oracle(&s);
+        for &point in CRASH_POINTS {
+            for failures in [1u64, 3] {
+                let mut fired_at_least_once = false;
+                for countdown in 1..=512u64 {
+                    if !transient_once(&s, point, countdown, failures, &post) {
+                        break;
+                    }
+                    fired_at_least_once = true;
+                    assert!(countdown < 512, "{}: {point} fired 512 times", s.name);
+                }
+                assert!(
+                    fired_at_least_once,
+                    "{}: transient point {point} never fired",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_fault_beyond_the_retry_budget_still_recovers_cleanly() {
+    // Four consecutive failures exceed the 3-retry budget: the error
+    // surfaces, but recovery restores pre-or-post atomicity exactly as for
+    // a permanent fault.
+    for s in scenarios() {
+        let post = post_oracle(&s);
+        let (mut db, oids) = (s.build)();
+        let pre = fingerprint(&db);
+        db.arm_transient_crash(CP_COMMIT_FLUSH, 1, 4);
+        let result = (s.op)(&mut db, &oids);
+        assert!(
+            matches!(result, Err(DbError::Storage(_))),
+            "{}: budget-exhausting fault must surface, got {result:?}",
+            s.name
+        );
+        assert!(
+            db.metrics_snapshot()
+                .counter("corion_storage_retry_exhausted_total")
+                > 0,
+            "{}: exhaustion must be counted",
+            s.name
+        );
+        db.heal_crash_points();
+        db.recover().unwrap();
+        let after = fingerprint(&db);
+        assert!(
+            after == pre || after == post,
+            "{}: exhausted transient fault left a hybrid state",
+            s.name
+        );
+        db.verify_integrity().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Torn flushes
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,215 @@
+//! Exhaustive error-taxonomy coverage.
+//!
+//! Every [`StorageError`] and [`DbError`] variant must (1) render a
+//! nonempty, variant-distinguishing `Display` message and (2) carry an
+//! explicit transient-vs-permanent classification. The census functions
+//! below pair with wildcard-free `match` guards, so adding a variant
+//! without extending this test is a compile error — a new error can never
+//! ship unclassified.
+
+use corion::storage::StorageError;
+use corion::{ClassId, DbError, Oid, RefKind};
+
+/// One instance of every `StorageError` variant.
+fn all_storage_errors() -> Vec<StorageError> {
+    let all = vec![
+        StorageError::RecordTooLarge {
+            len: 9000,
+            max: 4000,
+        },
+        StorageError::InvalidSlot { page: 3, slot: 7 },
+        StorageError::InvalidPage { page: 12 },
+        StorageError::InvalidSegment { segment: 5 },
+        StorageError::PoolExhausted,
+        StorageError::DanglingPhysId {
+            segment: 1,
+            page: 2,
+            slot: 3,
+        },
+        StorageError::InjectedFault { op: "page:write" },
+        StorageError::TransientFault { op: "commit:flush" },
+        StorageError::ReadOnly,
+        StorageError::Truncated {
+            context: "object header",
+        },
+        StorageError::Corrupt {
+            context: "value tag 0xff",
+        },
+        StorageError::BatchAlreadyOpen,
+        StorageError::NoBatchOpen,
+        StorageError::NeedsRecovery,
+    ];
+    // Compile-time exhaustiveness guard: a new variant fails this match
+    // until it is added to the census above (and classified below).
+    for e in &all {
+        match e {
+            StorageError::RecordTooLarge { .. }
+            | StorageError::InvalidSlot { .. }
+            | StorageError::InvalidPage { .. }
+            | StorageError::InvalidSegment { .. }
+            | StorageError::PoolExhausted
+            | StorageError::DanglingPhysId { .. }
+            | StorageError::InjectedFault { .. }
+            | StorageError::TransientFault { .. }
+            | StorageError::ReadOnly
+            | StorageError::Truncated { .. }
+            | StorageError::Corrupt { .. }
+            | StorageError::BatchAlreadyOpen
+            | StorageError::NoBatchOpen
+            | StorageError::NeedsRecovery => {}
+        }
+    }
+    all
+}
+
+/// One instance of every `DbError` variant.
+fn all_db_errors() -> Vec<DbError> {
+    let oid = Oid::new(ClassId(1), 5);
+    let all = vec![
+        DbError::NoSuchClassName("Vehicle".into()),
+        DbError::NoSuchClass(ClassId(9)),
+        DbError::NoSuchAttribute {
+            class: ClassId(1),
+            attr: "Body".into(),
+        },
+        DbError::NoSuchObject(oid),
+        DbError::DuplicateClass("Vehicle".into()),
+        DbError::DuplicateAttribute {
+            class: ClassId(1),
+            attr: "Body".into(),
+        },
+        DbError::DomainMismatch {
+            attr: "Body".into(),
+            expected: "ref to class c2".into(),
+            got: "integer".into(),
+        },
+        DbError::TopologyViolation {
+            rule: 3,
+            object: oid,
+            detail: "demo".into(),
+        },
+        DbError::MakeComponentViolation {
+            object: oid,
+            adding: RefKind::Composite {
+                exclusive: true,
+                dependent: true,
+            },
+            detail: "demo".into(),
+        },
+        DbError::CycleDetected {
+            child: oid,
+            parent: Oid::new(ClassId(1), 6),
+        },
+        DbError::SchemaChangeRejected {
+            reason: "demo".into(),
+        },
+        DbError::LatticeCycle {
+            class: ClassId(1),
+            superclass: ClassId(2),
+        },
+        DbError::NotComposite {
+            class: ClassId(1),
+            attr: "note".into(),
+        },
+        DbError::ReadOnly,
+        DbError::Storage(StorageError::PoolExhausted),
+    ];
+    for e in &all {
+        match e {
+            DbError::NoSuchClassName(_)
+            | DbError::NoSuchClass(_)
+            | DbError::NoSuchAttribute { .. }
+            | DbError::NoSuchObject(_)
+            | DbError::DuplicateClass(_)
+            | DbError::DuplicateAttribute { .. }
+            | DbError::DomainMismatch { .. }
+            | DbError::TopologyViolation { .. }
+            | DbError::MakeComponentViolation { .. }
+            | DbError::CycleDetected { .. }
+            | DbError::SchemaChangeRejected { .. }
+            | DbError::LatticeCycle { .. }
+            | DbError::NotComposite { .. }
+            | DbError::ReadOnly
+            | DbError::Storage(_) => {}
+        }
+    }
+    all
+}
+
+#[test]
+fn every_storage_error_displays_distinctly() {
+    let all = all_storage_errors();
+    let mut rendered: Vec<String> = all.iter().map(|e| e.to_string()).collect();
+    for (e, s) in all.iter().zip(&rendered) {
+        assert!(!s.is_empty(), "{e:?} renders empty");
+        assert!(
+            !s.contains("Error") && !s.starts_with(char::is_uppercase),
+            "{e:?} renders like a Debug dump, not a message: {s}"
+        );
+    }
+    rendered.sort();
+    rendered.dedup();
+    assert_eq!(
+        rendered.len(),
+        all.len(),
+        "two storage variants render identically"
+    );
+}
+
+#[test]
+fn every_db_error_displays_distinctly() {
+    let all = all_db_errors();
+    let mut rendered: Vec<String> = all.iter().map(|e| e.to_string()).collect();
+    for (e, s) in all.iter().zip(&rendered) {
+        assert!(!s.is_empty(), "{e:?} renders empty");
+    }
+    rendered.sort();
+    rendered.dedup();
+    assert_eq!(
+        rendered.len(),
+        all.len(),
+        "two db variants render identically"
+    );
+}
+
+#[test]
+fn transient_classification_is_explicit_for_every_variant() {
+    // Storage taxonomy: exactly the transient-fault variant is retryable.
+    for e in all_storage_errors() {
+        let expect = matches!(e, StorageError::TransientFault { .. });
+        assert_eq!(
+            e.is_transient(),
+            expect,
+            "{e:?} classified {} but the taxonomy says {}",
+            e.is_transient(),
+            expect
+        );
+    }
+    // Engine taxonomy: transience is inherited from the wrapped storage
+    // error and from nothing else — semantic errors never retry.
+    for e in all_db_errors() {
+        let expect = matches!(&e, DbError::Storage(s) if s.is_transient());
+        assert_eq!(e.is_transient(), expect, "{e:?} misclassified");
+    }
+    assert!(DbError::Storage(StorageError::TransientFault { op: "x" }).is_transient());
+}
+
+#[test]
+fn conversion_preserves_the_taxonomy() {
+    // Every storage error converts to a DbError without changing its
+    // transient classification, and the degraded-mode rejection surfaces
+    // as the typed engine variant.
+    for e in all_storage_errors() {
+        let transient = e.is_transient();
+        let converted: DbError = e.clone().into();
+        assert_eq!(
+            converted.is_transient(),
+            transient,
+            "conversion changed transience of {e:?}"
+        );
+        match e {
+            StorageError::ReadOnly => assert_eq!(converted, DbError::ReadOnly),
+            other => assert_eq!(converted, DbError::Storage(other)),
+        }
+    }
+}
