@@ -33,7 +33,7 @@
 //! [`Database`]: crate::db::Database
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use corion_obs::Registry;
@@ -94,6 +94,12 @@ impl Maps {
 /// The per-database traversal cache. See the module docs for the contract.
 pub(crate) struct TraversalCache {
     generation: AtomicU64,
+    /// While a transaction is open the cache stands aside: per-write bumps
+    /// are deferred to one bump at commit/abort, so without suppression a
+    /// mid-transaction traversal could be served a pre-transaction entry
+    /// (stale) or could cache an uncommitted one. Suppressed lookups
+    /// return `None` and suppressed stores drop the value, both uncounted.
+    suppressed: AtomicBool,
     /// Resettable locals behind the deprecated [`TraversalCacheStats`] shim.
     /// Only ever updated while holding a `maps` guard (read for hits/misses
     /// on the fast path, write for the flush), so `reset_stats` can make the
@@ -114,6 +120,7 @@ impl TraversalCache {
     pub(crate) fn new(registry: &Registry) -> Self {
         TraversalCache {
             generation: AtomicU64::new(0),
+            suppressed: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -136,6 +143,11 @@ impl TraversalCache {
     /// The current hierarchy generation.
     pub(crate) fn generation(&self) -> u64 {
         self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Turns transaction-scoped suppression on or off (see the field docs).
+    pub(crate) fn set_suppressed(&self, on: bool) {
+        self.suppressed.store(on, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> TraversalCacheStats {
@@ -166,6 +178,9 @@ impl TraversalCache {
     /// Looks one map up, counting a hit or a miss and flushing stale maps
     /// first. `select` picks the map out of [`Maps`].
     fn lookup<V: Clone>(&self, key: Oid, select: impl Fn(&Maps) -> &HashMap<Oid, V>) -> Option<V> {
+        if self.suppressed.load(Ordering::Relaxed) {
+            return None;
+        }
         let gen = self.generation();
         {
             let maps = self.maps.read();
@@ -203,6 +218,9 @@ impl TraversalCache {
     /// Stores into one map, unless the maps went stale since the lookup
     /// (impossible while readers hold `&Database`, but cheap to re-check).
     fn store<V>(&self, key: Oid, value: V, select: impl Fn(&mut Maps) -> &mut HashMap<Oid, V>) {
+        if self.suppressed.load(Ordering::Relaxed) {
+            return;
+        }
         let gen = self.generation();
         let mut maps = self.maps.write();
         if maps.valid_for == gen {

@@ -70,6 +70,7 @@ pub struct Database {
     pub(crate) next_serial: u64,
     pub(crate) config: DbConfig,
     pub(crate) undo: Option<crate::undo::UndoLog>,
+    pub(crate) txn: Option<crate::txn::TxnState>,
     pub(crate) traversal_cache: crate::composite::cache::TraversalCache,
     pub(crate) registry: corion_obs::Registry,
     pub(crate) metrics: crate::metrics::CoreMetrics,
@@ -111,6 +112,7 @@ impl Database {
             next_serial: 0,
             config,
             undo: None,
+            txn: None,
             traversal_cache: crate::composite::cache::TraversalCache::new(&registry),
             metrics: crate::metrics::CoreMetrics::new(&registry),
             registry,
@@ -139,7 +141,18 @@ impl Database {
     ///   so storage and the in-memory maps stay in step.
     pub(crate) fn atomic<R>(&mut self, f: impl FnOnce(&mut Self) -> DbResult<R>) -> DbResult<R> {
         if self.store.in_atomic_batch() {
-            return f(self);
+            let result = f(self);
+            if let Some(txn) = self.txn.as_mut() {
+                // Joined the open transaction: count the logical operation,
+                // and poison the transaction on a substrate failure — the
+                // batch can no longer commit as a unit, only abort.
+                match &result {
+                    Ok(_) => txn.ops += 1,
+                    Err(DbError::Storage(_) | DbError::ReadOnly) => txn.failed = true,
+                    Err(_) => {}
+                }
+            }
+            return result;
         }
         let _span = corion_obs::span("core", "atomic");
         let _timer = self.metrics.atomic_latency.start_timer();
@@ -240,9 +253,21 @@ impl Database {
         crate::evolution::deferred::apply_pending(self, obj)
     }
 
+    /// Declares that the part hierarchy may have changed. Outside a
+    /// transaction every write invalidates the traversal cache
+    /// immediately; inside one the bumps are deferred to a single bump at
+    /// commit/abort (the cache is suppressed meanwhile, so no stale entry
+    /// can be served).
+    pub(crate) fn note_hierarchy_change(&self) {
+        if self.txn.is_none() {
+            self.traversal_cache.bump();
+        }
+    }
+
     /// Persists an object at its current address (relocating if it grew).
     pub(crate) fn save(&mut self, obj: &Object) -> DbResult<()> {
-        self.traversal_cache.bump();
+        self.note_hierarchy_change();
+        self.txn_note_touch(obj.oid);
         let phys = *self
             .object_table
             .get(&obj.oid)
@@ -262,7 +287,8 @@ impl Database {
 
     /// Inserts a brand-new object, clustered near `near` when possible.
     pub(crate) fn insert_object(&mut self, obj: &Object, near: Option<Oid>) -> DbResult<()> {
-        self.traversal_cache.bump();
+        self.note_hierarchy_change();
+        self.txn_note_touch(obj.oid);
         let segment = self.catalog.class(obj.oid.class)?.segment;
         let near_phys = near.and_then(|o| self.object_table.get(&o).copied());
         let mut buf = Vec::new();
@@ -280,7 +306,8 @@ impl Database {
     /// Removes an object from storage and the object table (no semantics —
     /// the Deletion Rule lives in [`crate::composite::delete`]).
     pub(crate) fn erase(&mut self, oid: Oid) -> DbResult<()> {
-        self.traversal_cache.bump();
+        self.note_hierarchy_change();
+        self.txn_note_touch(oid);
         let phys = self
             .object_table
             .remove(&oid)
@@ -722,6 +749,10 @@ impl Database {
     pub fn recover(&mut self) -> DbResult<corion_storage::RecoveryReport> {
         let report = self.store.recover()?;
         self.undo = None;
+        // A transaction open at the crash never committed; the rebuild
+        // below restores the pre-transaction truth from storage.
+        self.txn = None;
+        self.traversal_cache.set_suppressed(false);
         self.rebuild_derived_state()?;
         Ok(report)
     }
@@ -776,9 +807,18 @@ impl Database {
     }
 
     /// Checkpoints the WAL: the log is compacted to a snapshot of the
-    /// current segment directory, bounding replay work.
+    /// current segment directory, bounding replay work. Refused while a
+    /// transaction is open (the open batch's images are not yet
+    /// committed truth).
     pub fn checkpoint(&mut self) -> DbResult<()> {
         Ok(self.store.checkpoint()?)
+    }
+
+    /// Forces any deferred group-commit window to durability (see
+    /// [`corion_storage::CommitPolicy::Group`]). A no-op under the
+    /// immediate policy; refused while a transaction is open.
+    pub fn sync(&mut self) -> DbResult<()> {
+        Ok(self.store.sync()?)
     }
 
     /// Write-ahead-log counters (durable/pending bytes, records, flushes).
@@ -852,7 +892,8 @@ impl Database {
     /// The object must already exist.
     pub fn raw_overwrite_object(&mut self, obj: &Object) -> DbResult<()> {
         self.atomic(|db| {
-            db.traversal_cache.bump();
+            db.note_hierarchy_change();
+            db.txn_note_touch(obj.oid);
             let phys = *db
                 .object_table
                 .get(&obj.oid)

@@ -92,6 +92,15 @@ pub enum DbError {
         /// The attribute name.
         attr: String,
     },
+    /// A transaction-control request that the engine's current state
+    /// forbids: nested `begin_transaction`, `commit`/`abort` with no
+    /// transaction open, DDL or `make_many` forward references inside a
+    /// transaction, mixing transactions with an undo scope, or committing
+    /// a transaction that already hit a storage fault.
+    TransactionState {
+        /// Explanation.
+        reason: String,
+    },
     /// The engine is degraded to read-only: a committed batch could not be
     /// fully applied, so reads keep answering (from the buffer pool and the
     /// traversal cache) while every mutation fails fast with this error
@@ -165,6 +174,9 @@ impl fmt::Display for DbError {
                     f,
                     "attribute {attr:?} of class {class} is not a composite attribute"
                 )
+            }
+            DbError::TransactionState { reason } => {
+                write!(f, "transaction control rejected: {reason}")
             }
             DbError::ReadOnly => {
                 write!(

@@ -61,6 +61,7 @@ pub mod query;
 pub mod refs;
 pub mod repair;
 pub mod schema;
+pub mod txn;
 pub mod undo;
 pub mod value;
 
@@ -78,4 +79,5 @@ pub use refs::{RefKind, ReverseRef};
 pub use repair::RepairReport;
 pub use schema::attr::{AttributeDef, CompositeSpec, Domain};
 pub use schema::class::{Class, ClassBuilder};
+pub use txn::{MakeSpec, ParentRef};
 pub use value::Value;

@@ -33,6 +33,22 @@ pub struct CoreMetrics {
     /// `corion_atomic_aborts_total`: outermost autocommit batches rolled
     /// back because the body hit a storage error.
     pub atomic_aborts: corion_obs::Counter,
+    /// `corion_txn_begins_total`: transactions opened
+    /// ([`Database::begin_transaction`] or the [`Database::transaction`]
+    /// closure).
+    ///
+    /// [`Database::begin_transaction`]: crate::Database::begin_transaction
+    /// [`Database::transaction`]: crate::Database::transaction
+    pub txn_begins: corion_obs::Counter,
+    /// `corion_txn_commits_total`: transactions committed (one WAL flush
+    /// each, however many operations they grouped).
+    pub txn_commits: corion_obs::Counter,
+    /// `corion_txn_aborts_total`: transactions rolled back — explicit
+    /// aborts, closure errors, and commit-time storage failures.
+    pub txn_aborts: corion_obs::Counter,
+    /// `corion_txn_ops_total`: logical mutations absorbed into
+    /// transactions (each would have been its own autocommit batch).
+    pub txn_ops: corion_obs::Counter,
     /// `corion_repair_runs_total`: completed [`Database::repair`] passes.
     ///
     /// [`Database::repair`]: crate::Database::repair
@@ -62,6 +78,10 @@ impl CoreMetrics {
             atomic_latency: registry.histogram("corion_atomic_latency_ns", LATENCY_BOUNDS_NS),
             atomic_commits: registry.counter("corion_atomic_commits_total"),
             atomic_aborts: registry.counter("corion_atomic_aborts_total"),
+            txn_begins: registry.counter("corion_txn_begins_total"),
+            txn_commits: registry.counter("corion_txn_commits_total"),
+            txn_aborts: registry.counter("corion_txn_aborts_total"),
+            txn_ops: registry.counter("corion_txn_ops_total"),
             repair_runs: registry.counter("corion_repair_runs_total"),
             repair_edges_dropped: registry.counter("corion_repair_edges_dropped_total"),
             repair_reverse_refs_fixed: registry.counter("corion_repair_reverse_refs_fixed_total"),

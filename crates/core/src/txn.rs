@@ -1,0 +1,498 @@
+//! Public transactions — N logical mutations, one durability point.
+//!
+//! Every public mutation of the engine autocommits: `make`, `set_attr`,
+//! `make_component`, `delete` each run one storage-level atomic batch and
+//! pay one WAL flush (`crates/storage`: the durability point). The paper's
+//! workloads, though, are dominated by *multi-object* logical operations —
+//! a bottom-up hierarchy build via `make` with `:parent` clustering (§2.3)
+//! touches hundreds of objects — and per-object flushing makes durability
+//! the bottleneck.
+//!
+//! A transaction amortises that cost. Between [`Database::begin_transaction`]
+//! and [`Database::commit_transaction`] every mutation joins one open
+//! storage batch: pages are logged once (deduplicated by the batch),
+//! one commit marker is appended, one flush happens, and the traversal
+//! cache's hierarchy generation is bumped once instead of per write.
+//! [`Database::abort_transaction`] rolls everything back: the storage
+//! layer rewinds its log and frames (no-steal policy — dirty pages never
+//! reach disk before commit), and the engine restores its derived maps
+//! (object table, class extensions, serial counter) from per-transaction
+//! before-entries.
+//!
+//! Scope mirrors ORION's transaction management \[GARZ88\]: object state
+//! only. DDL is rejected inside a transaction (the catalog is engine
+//! memory, outside the WAL's crash scope), transactions do not nest, and
+//! a transaction excludes the object-level [`undo`](crate::undo) scope —
+//! the two are alternative rollback mechanisms.
+//!
+//! [`Database::begin_transaction`]: Database::begin_transaction
+//! [`Database::commit_transaction`]: Database::commit_transaction
+//! [`Database::abort_transaction`]: Database::abort_transaction
+
+use std::collections::{HashMap, HashSet};
+
+use corion_storage::{HealthState, PhysId};
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::object::Object;
+use crate::oid::{ClassId, Oid};
+use crate::refs::ReverseRef;
+use crate::schema::attr::CompositeSpec;
+use crate::value::Value;
+
+/// Book-keeping for one open transaction.
+pub(crate) struct TxnState {
+    /// Object-table entry of every object touched, at its *first* touch
+    /// (`None` = did not exist). Abort re-installs these; the storage
+    /// rollback makes the recorded `PhysId`s valid again.
+    table_before: HashMap<Oid, Option<PhysId>>,
+    /// Serial counter at begin, restored on abort so rolled-back
+    /// creations don't burn OIDs.
+    next_serial: u64,
+    /// Logical operations absorbed so far (for `corion_txn_ops_total`).
+    pub(crate) ops: u64,
+    /// Set when a joined operation hit a substrate failure: the batch can
+    /// no longer commit as a unit, only abort.
+    pub(crate) failed: bool,
+}
+
+/// A parent reference in a [`MakeSpec`]: either an object that already
+/// exists, or an earlier spec of the same [`Database::make_many`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParentRef {
+    /// An object that existed before the `make_many` call.
+    Existing(Oid),
+    /// The object created by spec `i` (zero-based) of the same call.
+    /// Forward references are rejected — list parents before children,
+    /// which is also the order that lets clustering place each child
+    /// near its parent.
+    Created(usize),
+}
+
+/// One instance to create in a [`Database::make_many`] bulk ingest —
+/// the same shape as a [`Database::make`] call, with parents that may
+/// point at other specs of the batch.
+#[derive(Debug, Clone)]
+pub struct MakeSpec {
+    /// Class to instantiate.
+    pub class: ClassId,
+    /// Attribute assignments by name (unassigned attributes take their
+    /// `:init` default).
+    pub values: Vec<(String, Value)>,
+    /// The `:parent` clause. The new object is clustered near the first
+    /// parent (§2.3).
+    pub parents: Vec<(ParentRef, String)>,
+}
+
+impl MakeSpec {
+    /// A spec with no values and no parents.
+    pub fn new(class: ClassId) -> Self {
+        MakeSpec {
+            class,
+            values: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute assignment.
+    pub fn value(mut self, name: &str, value: Value) -> Self {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Adds a `:parent` pair.
+    pub fn parent(mut self, parent: ParentRef, attr: &str) -> Self {
+        self.parents.push((parent, attr.into()));
+        self
+    }
+}
+
+/// One pre-validated spec of a batched bulk ingest: resolved attribute
+/// values, plus deduplicated `:parent` pairs as (target, attribute index
+/// in the parent's class, composite spec — `None` for a weak reference).
+struct PlannedMake {
+    class: ClassId,
+    change_count: u64,
+    attrs: Vec<Value>,
+    parents: Vec<(ParentRef, usize, Option<CompositeSpec>)>,
+}
+
+impl Database {
+    /// Opens a transaction. Until [`commit_transaction`] (or
+    /// [`abort_transaction`]) every mutation joins one storage batch:
+    /// one WAL commit marker, one flush, one traversal-cache generation
+    /// bump for the whole group.
+    ///
+    /// Transactions do not nest, exclude the [`begin_undo`] scope, and
+    /// reject DDL ([`define_class`] and the schema-evolution entry
+    /// points) — the catalog is engine memory the WAL cannot roll back.
+    ///
+    /// [`commit_transaction`]: Database::commit_transaction
+    /// [`abort_transaction`]: Database::abort_transaction
+    /// [`begin_undo`]: Database::begin_undo
+    /// [`define_class`]: Database::define_class
+    pub fn begin_transaction(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::TransactionState {
+                reason: "a transaction is already open (transactions do not nest)".into(),
+            });
+        }
+        if self.undo.is_some() {
+            return Err(DbError::TransactionState {
+                reason: "a transaction cannot open inside an undo scope".into(),
+            });
+        }
+        self.store.begin_atomic()?;
+        // Defer cache invalidation to one bump at commit/abort; the cache
+        // stands aside meanwhile so mid-transaction traversals are neither
+        // served pre-transaction entries nor cached prematurely.
+        self.traversal_cache.set_suppressed(true);
+        self.txn = Some(TxnState {
+            table_before: HashMap::new(),
+            next_serial: self.next_serial,
+            ops: 0,
+            failed: false,
+        });
+        self.metrics.txn_begins.inc();
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Commits the open transaction: one WAL flush makes every grouped
+    /// mutation durable at once.
+    ///
+    /// If any operation inside the transaction hit a substrate failure
+    /// the commit is refused and the transaction rolls back instead
+    /// (partial durability is exactly what a transaction promises not to
+    /// deliver). On a commit-time storage failure the engine's maps are
+    /// restored when the store rolled back cleanly; a degraded/poisoned
+    /// store needs [`Database::recover`], which rebuilds them wholesale.
+    pub fn commit_transaction(&mut self) -> DbResult<()> {
+        let txn = self.txn.take().ok_or_else(|| DbError::TransactionState {
+            reason: "no transaction is open".into(),
+        })?;
+        if txn.failed {
+            self.txn = Some(txn);
+            self.abort_transaction()?;
+            return Err(DbError::TransactionState {
+                reason: "the transaction hit a storage fault and was rolled back".into(),
+            });
+        }
+        let result = self.store.commit_atomic();
+        self.traversal_cache.set_suppressed(false);
+        self.traversal_cache.bump();
+        match result {
+            Ok(()) => {
+                self.metrics.txn_commits.inc();
+                self.metrics.txn_ops.add(txn.ops);
+                Ok(())
+            }
+            Err(e) => {
+                if self.store.health() == HealthState::Healthy {
+                    // The store aborted the batch cleanly (e.g. a transient
+                    // flush fault that exhausted its retry budget): restore
+                    // the pre-transaction derived maps to match.
+                    self.restore_txn_maps(txn);
+                }
+                self.metrics.txn_aborts.inc();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Rolls the open transaction back: the storage batch aborts (its
+    /// pages never reached disk under the no-steal policy), and the
+    /// engine's derived maps return to their pre-transaction state.
+    pub fn abort_transaction(&mut self) -> DbResult<()> {
+        let txn = self.txn.take().ok_or_else(|| DbError::TransactionState {
+            reason: "no transaction is open".into(),
+        })?;
+        let result = self.store.abort_atomic();
+        if self.store.health() == HealthState::Healthy {
+            self.restore_txn_maps(txn);
+        }
+        self.traversal_cache.set_suppressed(false);
+        self.traversal_cache.bump();
+        self.metrics.txn_aborts.inc();
+        result?;
+        Ok(())
+    }
+
+    /// Runs `f` inside one transaction: commits on `Ok`, aborts on `Err`.
+    ///
+    /// ```
+    /// use corion_core::{ClassBuilder, Database, Domain, Value};
+    ///
+    /// let mut db = Database::new();
+    /// let part = db
+    ///     .define_class(ClassBuilder::new("Part").attr("n", Domain::Integer))
+    ///     .unwrap();
+    /// let oids = db
+    ///     .transaction(|db| {
+    ///         (0..10)
+    ///             .map(|i| db.make(part, vec![("n", Value::Int(i))], vec![]))
+    ///             .collect::<Result<Vec<_>, _>>()
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(oids.len(), 10);
+    /// ```
+    pub fn transaction<R>(&mut self, f: impl FnOnce(&mut Self) -> DbResult<R>) -> DbResult<R> {
+        self.begin_transaction()?;
+        match f(self) {
+            Ok(out) => {
+                self.commit_transaction()?;
+                Ok(out)
+            }
+            Err(e) => {
+                let _ = self.abort_transaction();
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores the derived maps touched by a rolled-back transaction.
+    /// Only valid after the storage batch aborted cleanly: the recorded
+    /// `PhysId`s point at pre-transaction pages.
+    fn restore_txn_maps(&mut self, txn: TxnState) {
+        for (oid, before) in txn.table_before {
+            match before {
+                Some(phys) => {
+                    self.object_table.insert(oid, phys);
+                    self.extensions.entry(oid.class).or_default().insert(oid);
+                }
+                None => {
+                    self.object_table.remove(&oid);
+                    if let Some(ext) = self.extensions.get_mut(&oid.class) {
+                        ext.remove(&oid);
+                    }
+                }
+            }
+        }
+        self.next_serial = txn.next_serial;
+    }
+
+    /// Records the object-table entry of `oid` before its first mutation
+    /// in the open transaction (no-op outside one). Must run *before* the
+    /// mutation changes the table.
+    pub(crate) fn txn_note_touch(&mut self, oid: Oid) {
+        let Database {
+            txn, object_table, ..
+        } = self;
+        if let Some(txn) = txn.as_mut() {
+            txn.table_before
+                .entry(oid)
+                .or_insert_with(|| object_table.get(&oid).copied());
+        }
+    }
+
+    /// Bulk ingest: creates every spec'd instance inside one transaction —
+    /// one WAL flush for the whole hierarchy — with clustering-aware
+    /// placement (each instance is placed near its first parent, the
+    /// `:parent` clustering directive of §2.3). Specs may reference
+    /// earlier specs of the same call via [`ParentRef::Created`], so a
+    /// composite hierarchy builds top-down in one shot. Returns the
+    /// created OIDs in spec order; any failure rolls the whole batch back.
+    ///
+    /// Joins an already-open transaction rather than opening its own (the
+    /// enclosing commit/abort then governs durability).
+    ///
+    /// The common bulk shape — set-valued parent attributes, composite
+    /// attributes that start empty — takes a batched path: each child's
+    /// reverse references are encoded into its initial image (one write
+    /// per child instead of an insert-then-rewrite), and each parent's
+    /// forward references are accumulated in memory and written exactly
+    /// once, instead of one read-modify-write cycle per child. Shapes
+    /// needing the full `make` protocol (scalar parent attributes with
+    /// displacement, composite attributes pre-seeded with references)
+    /// fall back to per-spec `make` calls, still inside one transaction.
+    pub fn make_many(&mut self, specs: &[MakeSpec]) -> DbResult<Vec<Oid>> {
+        if self.in_transaction() {
+            let result = self.make_many_inner(specs);
+            if let (Err(DbError::Storage(_) | DbError::ReadOnly), Some(txn)) =
+                (&result, self.txn.as_mut())
+            {
+                // Match `atomic`'s join bookkeeping: a substrate failure
+                // poisons the enclosing transaction.
+                txn.failed = true;
+            }
+            result
+        } else {
+            self.transaction(|db| db.make_many_inner(specs))
+        }
+    }
+
+    fn make_many_inner(&mut self, specs: &[MakeSpec]) -> DbResult<Vec<Oid>> {
+        match self.plan_bulk_ingest(specs) {
+            Some(plans) => self.run_bulk_ingest(plans),
+            None => self.make_many_general(specs),
+        }
+    }
+
+    /// Validates `specs` for the batched ingest path. `None` means "use
+    /// the general path" — either the shape needs the full `make`
+    /// protocol, or a spec has an error the general path will report with
+    /// its usual diagnostics. The fast path therefore only ever runs on
+    /// fully pre-validated input and cannot fail mid-batch for logical
+    /// reasons, which keeps a joined outer transaction consistent.
+    fn plan_bulk_ingest(&self, specs: &[MakeSpec]) -> Option<Vec<PlannedMake>> {
+        let mut plans = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let class_def = self.catalog.class(spec.class).ok()?;
+            let mut attrs: Vec<Value> = class_def.attrs.iter().map(|a| a.init.clone()).collect();
+            for (name, value) in &spec.values {
+                let idx = class_def.attr_index(name)?;
+                self.check_domain(&class_def.attrs[idx], value).ok()?;
+                attrs[idx] = value.clone();
+            }
+            // A composite attribute that starts with references needs the
+            // attach protocol (cycle checks, reverse refs on the targets).
+            for (idx, def) in class_def.attrs.iter().enumerate() {
+                if def.composite.is_some() && !attrs[idx].refs().is_empty() {
+                    return None;
+                }
+            }
+            let mut parents: Vec<(ParentRef, usize, Option<CompositeSpec>)> = Vec::new();
+            for (pref, pattr) in &spec.parents {
+                let pclass_id = match *pref {
+                    ParentRef::Existing(oid) => {
+                        if !self.exists(oid) {
+                            return None;
+                        }
+                        oid.class
+                    }
+                    ParentRef::Created(j) => {
+                        if j >= i {
+                            return None; // forward reference: general path reports it
+                        }
+                        specs[j].class
+                    }
+                };
+                let pclass = self.catalog.class(pclass_id).ok()?;
+                let idx = pclass.attr_index(pattr)?;
+                let def = &pclass.attrs[idx];
+                if let Some(dc) = def.domain.referenced_class() {
+                    if !self.is_subclass_of(spec.class, dc) {
+                        return None;
+                    }
+                }
+                // Scalar parent attributes displace their previous
+                // component; non-reference attributes are an error. Both
+                // go through the general path.
+                if !def.domain.is_set() || !(def.composite.is_some() || def.is_reference()) {
+                    return None;
+                }
+                if parents.iter().any(|&(p, a, _)| p == *pref && a == idx) {
+                    continue; // duplicate pair: `make` treats the repeat as a no-op
+                }
+                parents.push((*pref, idx, def.composite));
+            }
+            let composite = parents.iter().filter(|(_, _, c)| c.is_some()).count();
+            if composite > 1
+                && parents
+                    .iter()
+                    .any(|(_, _, c)| c.is_some_and(|s| s.exclusive))
+            {
+                return None; // Topology Rule 3 violation: general path reports it
+            }
+            plans.push(PlannedMake {
+                class: spec.class,
+                change_count: class_def.change_count,
+                attrs,
+                parents,
+            });
+        }
+        Some(plans)
+    }
+
+    /// Executes a pre-validated bulk plan. Children are inserted once with
+    /// their reverse references already encoded; parent forward references
+    /// accumulate in a write buffer and each touched parent is saved
+    /// exactly once after the whole batch placed.
+    fn run_bulk_ingest(&mut self, plans: Vec<PlannedMake>) -> DbResult<Vec<Oid>> {
+        fn resolve(p: ParentRef, created: &[Oid]) -> Oid {
+            match p {
+                ParentRef::Existing(oid) => oid,
+                ParentRef::Created(j) => created[j],
+            }
+        }
+        let n = plans.len() as u64;
+        let mut created: Vec<Oid> = Vec::with_capacity(plans.len());
+        // Every object of the batch plus every pre-existing parent touched,
+        // so later specs can keep extending a parent without re-reading it.
+        let mut buffer: HashMap<Oid, Object> = HashMap::new();
+        let mut dirty: Vec<Oid> = Vec::new();
+        let mut dirty_set: HashSet<Oid> = HashSet::new();
+        for plan in plans {
+            let oid = Oid::new(plan.class, self.next_serial);
+            self.next_serial += 1;
+            let mut obj = Object::new(oid, plan.attrs, plan.change_count);
+            for &(pref, _, cspec) in &plan.parents {
+                if let Some(spec) = cspec {
+                    let poid = resolve(pref, &created);
+                    obj.reverse_refs
+                        .push(ReverseRef::new(poid, spec.dependent, spec.exclusive));
+                }
+            }
+            debug_assert!(
+                crate::composite::ParentSets::of(&obj).check(oid).is_ok(),
+                "plan_bulk_ingest admitted a topology violation"
+            );
+            let near = plan.parents.first().map(|&(p, _, _)| resolve(p, &created));
+            self.insert_object(&obj, near)?;
+            for &(pref, idx, _) in &plan.parents {
+                let poid = resolve(pref, &created);
+                let pobj = match buffer.entry(poid) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => e.insert(self.get(poid)?),
+                };
+                pobj.attrs[idx].add_ref(oid, true);
+                if dirty_set.insert(poid) {
+                    dirty.push(poid);
+                }
+            }
+            buffer.insert(oid, obj);
+            created.push(oid);
+        }
+        for poid in dirty {
+            let pobj = buffer.remove(&poid).expect("dirtied parents are buffered");
+            self.save(&pobj)?;
+        }
+        if let Some(txn) = self.txn.as_mut() {
+            txn.ops += n;
+        }
+        Ok(created)
+    }
+
+    fn make_many_general(&mut self, specs: &[MakeSpec]) -> DbResult<Vec<Oid>> {
+        let mut created: Vec<Oid> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let mut parents: Vec<(Oid, &str)> = Vec::with_capacity(spec.parents.len());
+            for (parent, attr) in &spec.parents {
+                let oid = match parent {
+                    ParentRef::Existing(oid) => *oid,
+                    ParentRef::Created(j) => {
+                        *created.get(*j).ok_or_else(|| DbError::TransactionState {
+                            reason: format!(
+                                "make_many spec #{i} references spec #{j}, which is not \
+                                 created yet (forward references are not allowed)"
+                            ),
+                        })?
+                    }
+                };
+                parents.push((oid, attr.as_str()));
+            }
+            let values: Vec<(&str, Value)> = spec
+                .values
+                .iter()
+                .map(|(name, value)| (name.as_str(), value.clone()))
+                .collect();
+            created.push(self.make(spec.class, values, parents)?);
+        }
+        Ok(created)
+    }
+}

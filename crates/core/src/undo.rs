@@ -43,6 +43,14 @@ impl Database {
                 reason: "an undo scope is already open".into(),
             });
         }
+        if self.txn.is_some() {
+            // A transaction already gives all-or-nothing semantics; an undo
+            // scope nested inside it would roll back with compensating
+            // *writes* into a batch that may itself abort.
+            return Err(DbError::TransactionState {
+                reason: "an undo scope cannot open inside a transaction".into(),
+            });
+        }
         self.undo = Some(UndoLog {
             before: HashMap::new(),
             next_serial: self.next_serial,
@@ -107,11 +115,18 @@ impl Database {
     }
 
     /// Guard used by schema-evolution entry points: DDL inside an undo
-    /// scope would make the log unsound, so it is rejected.
+    /// scope would make the log unsound, and DDL inside a transaction
+    /// could not be rolled back (the catalog is engine memory, outside
+    /// the WAL's crash scope) — both are rejected.
     pub(crate) fn undo_forbid_ddl(&self) -> DbResult<()> {
         if self.undo.is_some() {
             return Err(DbError::SchemaChangeRejected {
                 reason: "schema changes are not allowed inside an undo scope".into(),
+            });
+        }
+        if self.txn.is_some() {
+            return Err(DbError::TransactionState {
+                reason: "schema changes are not allowed inside a transaction".into(),
             });
         }
         Ok(())

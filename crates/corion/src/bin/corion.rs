@@ -32,7 +32,7 @@
 use std::process::ExitCode;
 
 use corion::workload::{Corpus, CorpusParams};
-use corion::{Database, DbConfig, Filter, LockManager, LockMode, Lockable};
+use corion::{Database, DbConfig, Filter, LockManager, LockMode, Lockable, MakeSpec, ParentRef};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -314,6 +314,16 @@ fn run_workload(db: &mut Database, corpus: &Corpus, crash: bool) -> Result<(), c
             db.child_of(s, d)?;
         }
     }
+    // Write path: one grouped transaction, one clustered bulk ingest, and
+    // one deliberate abort, so the corion_txn_* counters go live.
+    let extra = db.transaction(|db| db.make(corpus.schema.document, vec![], vec![]))?;
+    db.make_many(&[
+        MakeSpec::new(corpus.schema.section).parent(ParentRef::Existing(extra), "Sections"),
+        MakeSpec::new(corpus.schema.paragraph).parent(ParentRef::Created(0), "Content"),
+    ])?;
+    db.begin_transaction()?;
+    db.make(corpus.schema.paragraph, vec![], vec![])?;
+    db.abort_transaction()?;
     // §7 locks, sharing the engine's registry: one clean 2PL round and one
     // conflict.
     let lm = LockManager::with_registry(db.metrics_registry());

@@ -54,11 +54,13 @@ pub use corion_core::query;
 pub use corion_core::query::{Predicate, Query};
 pub use corion_core::{
     AttributeDef, Class, ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError,
-    DbResult, Domain, HealthState, IntegrityReport, MetricsSnapshot, Object, Oid, OrphanPolicy,
-    RefKind, Registry, RepairReport, ReverseRef, ScrubReport, TraversalCacheStats, Value,
+    DbResult, Domain, HealthState, IntegrityReport, MakeSpec, MetricsSnapshot, Object, Oid,
+    OrphanPolicy, ParentRef, RefKind, Registry, RepairReport, ReverseRef, ScrubReport,
+    TraversalCacheStats, Value,
 };
 pub use corion_lang::Interpreter;
 pub use corion_lock::{
     CompositeLockSet, LockIntent, LockManager, LockMode, Lockable, Transaction, TxnId,
 };
+pub use corion_storage::CommitPolicy;
 pub use corion_versions::VersionManager;

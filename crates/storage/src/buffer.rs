@@ -248,6 +248,37 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Overwrites (or creates) the frame for `id` with `page` *in memory
+    /// only*, leaving it dirty — the disk is not touched. Aborting a batch
+    /// under a deferred-commit window uses this to rewind a frame to the
+    /// window's last committed-but-unflushed image: the disk still holds the
+    /// pre-window contents, so a plain discard would time-travel past
+    /// commits that already returned success. The frame stays dirty (and
+    /// therefore pinned by no-steal) until the window seals and applies it.
+    pub fn install_frame(&self, id: u64, page: &Page) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut frames = self.shard(id).write();
+        match frames.get_mut(&id) {
+            Some(frame) => {
+                frame.page = page.clone();
+                frame.dirty = true;
+                frame.last_used.store(now, Ordering::Relaxed);
+            }
+            None => {
+                // May push a full shard over budget; the overcommit drains
+                // through ordinary eviction once the window seals.
+                frames.insert(
+                    id,
+                    Frame {
+                        page: page.clone(),
+                        dirty: true,
+                        last_used: AtomicU64::new(now),
+                    },
+                );
+            }
+        }
+    }
+
     /// Drops the frames for `pages` *without* writing them back — aborting
     /// a batch discards its uncommitted after-images so the next fetch
     /// re-reads the committed contents from disk.
@@ -472,6 +503,29 @@ mod tests {
         bp.set_no_steal(false);
         let data = bp.with_page(a, |p| p.read(0).unwrap().to_vec()).unwrap();
         assert_eq!(data, b"committed");
+    }
+
+    #[test]
+    fn install_frame_rewinds_in_memory_without_touching_disk() {
+        let bp = pool(4);
+        let a = bp.allocate();
+        // Committed-but-unflushed image of a deferred window.
+        bp.with_page_mut(a, |p| p.insert(b"window").unwrap())
+            .unwrap();
+        let window_image = bp.with_page(a, |p| p.clone()).unwrap();
+        // A later batch scribbles on top, then aborts.
+        bp.with_page_mut(a, |p| p.insert(b"aborted").unwrap())
+            .unwrap();
+        bp.install_frame(a, &window_image);
+        let (first, second) = bp
+            .with_page(a, |p| (p.read(0).unwrap().to_vec(), p.read(1).is_ok()))
+            .unwrap();
+        assert_eq!(first, b"window");
+        assert!(!second, "aborted insert must be gone");
+        assert_eq!(bp.stats().writebacks, 0, "disk untouched");
+        // The frame is dirty again: flushing persists the window image.
+        bp.flush_all().unwrap();
+        assert_eq!(bp.stats().writebacks, 1);
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub use page::{Page, SlotId, PAGE_SIZE};
 pub use retry::{Clock, RetryPolicy};
 pub use segment::{Segment, SegmentId};
 pub use store::{
-    HealthState, ObjectStore, PhysId, RecoveryReport, ScrubReport, StoreConfig, CP_COMMIT_APPLY,
-    CP_COMMIT_DONE, CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_PAGE_WRITE, CRASH_POINTS,
+    CommitPolicy, HealthState, ObjectStore, PhysId, RecoveryReport, ScrubReport, StoreConfig,
+    CP_COMMIT_APPLY, CP_COMMIT_DONE, CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_GROUP_SEAL, CP_PAGE_WRITE,
+    CRASH_POINTS,
 };
-pub use wal::{fnv1a64, Lsn, Wal, WalRecord, WalStats};
+pub use wal::{
+    apply_delta, delta_encoded_len, diff_pages, fnv1a64, Lsn, Wal, WalMark, WalRecord, WalStats,
+};

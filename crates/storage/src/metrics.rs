@@ -22,6 +22,22 @@ pub struct StoreMetrics {
     /// `corion_wal_flushes_total`: durability points — one per committed
     /// batch.
     pub wal_flushes: corion_obs::Counter,
+    /// `corion_wal_group_commits_total`: commits absorbed into a deferred
+    /// group-commit window instead of flushing individually.
+    pub wal_group_commits: corion_obs::Counter,
+    /// `corion_wal_group_seals_total`: group-commit windows sealed (one
+    /// flush each, covering `group_commits / group_seals` commits on
+    /// average).
+    pub wal_group_seals: corion_obs::Counter,
+    /// `corion_wal_delta_records_total`: page records logged as byte-range
+    /// deltas against the last logged image rather than full images.
+    pub wal_delta_records: corion_obs::Counter,
+    /// `corion_wal_delta_bytes_saved_total`: payload bytes the delta
+    /// records above avoided logging (full image minus encoded delta).
+    pub wal_delta_bytes_saved: corion_obs::Counter,
+    /// `corion_wal_dedup_skips_total`: page records skipped entirely
+    /// because the after-image was byte-identical to the last logged one.
+    pub wal_dedup_skips: corion_obs::Counter,
     /// `corion_wal_flush_latency_ns`: time spent in the log flush.
     pub wal_flush_latency: corion_obs::Histogram,
     /// `corion_wal_checkpoints_total`: log truncations (manual or
@@ -84,6 +100,11 @@ impl StoreMetrics {
             wal_append_records: registry.counter("corion_wal_append_records_total"),
             wal_append_bytes: registry.counter("corion_wal_append_bytes_total"),
             wal_flushes: registry.counter("corion_wal_flushes_total"),
+            wal_group_commits: registry.counter("corion_wal_group_commits_total"),
+            wal_group_seals: registry.counter("corion_wal_group_seals_total"),
+            wal_delta_records: registry.counter("corion_wal_delta_records_total"),
+            wal_delta_bytes_saved: registry.counter("corion_wal_delta_bytes_saved_total"),
+            wal_dedup_skips: registry.counter("corion_wal_dedup_skips_total"),
             wal_flush_latency: registry.histogram("corion_wal_flush_latency_ns", LATENCY_BOUNDS_NS),
             wal_checkpoints: registry.counter("corion_wal_checkpoints_total"),
             wal_checkpoint_latency: registry

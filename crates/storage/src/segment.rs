@@ -6,6 +6,8 @@
 //! side only — the pages themselves live on the shared disk behind the
 //! buffer pool, so co-clustered classes simply share a segment id.
 
+use std::collections::{BTreeSet, HashMap};
+
 use crate::page::PAGE_SIZE;
 
 /// Identifier of a segment.
@@ -23,11 +25,18 @@ impl std::fmt::Display for SegmentId {
 ///
 /// The free-space figures are *hints* — the authoritative answer is the page
 /// itself — but they let placement skip pages that certainly will not fit,
-/// the same way free-space maps do in production systems.
+/// the same way free-space maps do in production systems. Both lookups the
+/// write path hammers are indexed: page → position is a hash map, and the
+/// hints are mirrored in a `(free, page)` tree so placement finds a fitting
+/// page in `O(log n)` instead of scanning the whole segment per insert.
 pub struct Segment {
     id: SegmentId,
     pages: Vec<u64>,
     free_hint: Vec<u16>,
+    /// page → position in `pages` (adoption order).
+    index: HashMap<u64, usize>,
+    /// `(free_hint, page)` mirror for best-fit placement queries.
+    by_free: BTreeSet<(u16, u64)>,
 }
 
 impl Segment {
@@ -37,6 +46,8 @@ impl Segment {
             id,
             pages: Vec::new(),
             free_hint: Vec::new(),
+            index: HashMap::new(),
+            by_free: BTreeSet::new(),
         }
     }
 
@@ -57,28 +68,41 @@ impl Segment {
 
     /// Records a newly allocated page as belonging to this segment.
     pub fn adopt_page(&mut self, page: u64) {
+        self.index.insert(page, self.pages.len());
         self.pages.push(page);
         self.free_hint.push(PAGE_SIZE as u16);
+        self.by_free.insert((PAGE_SIZE as u16, page));
     }
 
     /// Removes `page` from the segment (aborting the atomic batch that
     /// adopted it). No-op if the page is not present.
     pub fn drop_page(&mut self, page: u64) {
-        if let Some(i) = self.position_of(page) {
+        if let Some(i) = self.index.remove(&page) {
+            let hint = self.free_hint[i];
             self.pages.remove(i);
             self.free_hint.remove(i);
+            self.by_free.remove(&(hint, page));
+            // Later pages shifted down one position.
+            for (pos, &p) in self.pages.iter().enumerate().skip(i) {
+                self.index.insert(p, pos);
+            }
         }
     }
 
     /// Position of `page` within the segment, if it belongs to it.
     pub fn position_of(&self, page: u64) -> Option<usize> {
-        self.pages.iter().position(|&p| p == page)
+        self.index.get(&page).copied()
     }
 
     /// Updates the free-space hint for `page`.
     pub fn set_free_hint(&mut self, page: u64, free: usize) {
         if let Some(i) = self.position_of(page) {
-            self.free_hint[i] = free.min(PAGE_SIZE) as u16;
+            let new = free.min(PAGE_SIZE) as u16;
+            let old = std::mem::replace(&mut self.free_hint[i], new);
+            if old != new {
+                self.by_free.remove(&(old, page));
+                self.by_free.insert((new, page));
+            }
         }
     }
 
@@ -88,31 +112,38 @@ impl Segment {
         self.position_of(page).map(|i| self.free_hint[i] as usize)
     }
 
-    /// Candidate pages for placing a record of `len` bytes, best-effort
-    /// ordered: pages adjacent to `near` first (clustering), then the rest in
-    /// reverse allocation order (recent pages tend to have room).
-    pub fn placement_candidates(&self, len: usize, near: Option<u64>) -> Vec<u64> {
+    /// The clustering candidates around `near`: the page itself, then its
+    /// neighbours in adoption order, widening — filtered to pages whose
+    /// hint says `len` bytes could fit.
+    pub fn near_candidates(&self, near: u64, len: usize) -> Vec<u64> {
         let mut out = Vec::new();
-        if let Some(near) = near {
-            if let Some(i) = self.position_of(near) {
-                // The hint page itself, then its neighbours, widening.
-                out.push(self.pages[i]);
-                for d in 1..=2usize {
-                    if i >= d {
-                        out.push(self.pages[i - d]);
-                    }
-                    if i + d < self.pages.len() {
-                        out.push(self.pages[i + d]);
-                    }
+        if let Some(i) = self.position_of(near) {
+            out.push(self.pages[i]);
+            for d in 1..=2usize {
+                if i >= d {
+                    out.push(self.pages[i - d]);
+                }
+                if i + d < self.pages.len() {
+                    out.push(self.pages[i + d]);
                 }
             }
-        }
-        for (i, &p) in self.pages.iter().enumerate().rev() {
-            if !out.contains(&p) && (self.free_hint[i] as usize) >= len {
-                out.push(p);
-            }
+            out.retain(|&p| self.free_hint(p).is_some_and(|f| f >= len));
         }
         out
+    }
+
+    /// A page whose hint says a record of `len` bytes fits, skipping
+    /// `tried` (pages whose hints proved stale this placement). Best-fit:
+    /// the tightest sufficient page, so partially-filled pages are packed
+    /// before fresh ones. `O(log n + tried)`.
+    pub fn find_fit(&self, len: usize, tried: &[u64]) -> Option<u64> {
+        if len > PAGE_SIZE {
+            return None;
+        }
+        self.by_free
+            .range((len as u16, 0u64)..)
+            .map(|&(_, page)| page)
+            .find(|page| !tried.contains(page))
     }
 }
 
@@ -131,24 +162,67 @@ mod tests {
     }
 
     #[test]
-    fn near_hint_orders_neighbours_first() {
+    fn near_candidates_order_neighbours_first() {
         let mut s = Segment::new(SegmentId(0));
         for p in 0..6 {
             s.adopt_page(p);
         }
-        let c = s.placement_candidates(10, Some(3));
+        let c = s.near_candidates(3, 10);
         assert_eq!(c[0], 3);
         assert!(c[1..5].contains(&2) && c[1..5].contains(&4));
+        assert!(s.near_candidates(99, 10).is_empty(), "unknown near page");
     }
 
     #[test]
-    fn free_hint_filters_full_pages() {
+    fn near_candidates_skip_pages_that_cannot_fit() {
+        let mut s = Segment::new(SegmentId(0));
+        for p in 0..3 {
+            s.adopt_page(p);
+        }
+        s.set_free_hint(1, 4);
+        assert_eq!(s.near_candidates(1, 100), vec![0, 2]);
+    }
+
+    #[test]
+    fn find_fit_filters_full_pages_and_respects_tried() {
         let mut s = Segment::new(SegmentId(0));
         s.adopt_page(0);
         s.adopt_page(1);
         s.set_free_hint(0, 4);
-        let c = s.placement_candidates(100, None);
-        assert_eq!(c, vec![1], "page 0 is too full to be a candidate");
+        assert_eq!(s.find_fit(100, &[]), Some(1), "page 0 is too full");
+        assert_eq!(s.find_fit(100, &[1]), None, "tried pages are skipped");
+        assert_eq!(s.find_fit(PAGE_SIZE + 1, &[]), None);
+    }
+
+    #[test]
+    fn find_fit_prefers_the_tightest_sufficient_page() {
+        let mut s = Segment::new(SegmentId(0));
+        s.adopt_page(0);
+        s.adopt_page(1);
+        s.set_free_hint(0, 200);
+        s.set_free_hint(1, 3000);
+        assert_eq!(s.find_fit(100, &[]), Some(0), "best fit packs tight pages");
+        assert_eq!(s.find_fit(1000, &[]), Some(1));
+    }
+
+    #[test]
+    fn drop_page_keeps_the_index_consistent() {
+        let mut s = Segment::new(SegmentId(0));
+        for p in [10, 20, 30, 40] {
+            s.adopt_page(p);
+        }
+        s.set_free_hint(20, 50);
+        s.drop_page(20);
+        assert_eq!(s.pages(), &[10, 30, 40]);
+        assert_eq!(s.position_of(30), Some(1));
+        assert_eq!(s.position_of(40), Some(2));
+        assert_eq!(s.position_of(20), None);
+        assert_eq!(s.free_hint(20), None);
+        assert_eq!(s.find_fit(60, &[]), Some(10), "dropped page left the tree");
+        s.set_free_hint(30, 0);
+        s.set_free_hint(40, 0);
+        s.set_free_hint(10, 0);
+        assert_eq!(s.find_fit(1, &[]), None);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! half of the crash model: the disk's pages and the flushed log. Crashes
 //! are injected deterministically at the named [`CRASH_POINTS`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use corion_obs::Registry;
 
@@ -43,10 +43,10 @@ use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
 use crate::fault::{CrashPoints, FireOutcome};
 use crate::metrics::StoreMetrics;
-use crate::page::{Page, SlotId, MAX_RECORD};
+use crate::page::{Page, SlotId, MAX_RECORD, PAGE_SIZE};
 use crate::retry::{self, Clock, RetryPolicy};
 use crate::segment::{Segment, SegmentId};
-use crate::wal::{replay, Wal, WalRecord, WalStats};
+use crate::wal::{self, replay, Wal, WalMark, WalRecord, WalStats};
 
 /// Physical address of a stored record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +65,33 @@ impl std::fmt::Display for PhysId {
     }
 }
 
+/// When a committed batch reaches the log device.
+///
+/// `Immediate` is the classic contract: every [`ObjectStore::commit_atomic`]
+/// flushes before returning, so a successful commit is durable. `Group`
+/// trades a bounded durability lag for throughput: consecutive commits are
+/// absorbed into a deferred *window* — their after-images deduped per page,
+/// their frames pinned dirty — and one flush covers the whole window when it
+/// *seals* (at either threshold, at [`ObjectStore::sync`], or before a
+/// checkpoint/scrub). A crash loses at most the open window, and recovery
+/// always lands on a window boundary, which is by construction a commit
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPolicy {
+    /// Flush and apply at every commit (the default).
+    #[default]
+    Immediate,
+    /// Defer commits into a window sealed by whichever threshold trips
+    /// first.
+    Group {
+        /// Logical commits absorbed before the window seals.
+        max_ops: u64,
+        /// Approximate bytes of deferred after-images before the window
+        /// seals (counted in whole pages).
+        max_bytes: usize,
+    },
+}
+
 /// Tuning knobs for the store.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
@@ -77,6 +104,13 @@ pub struct StoreConfig {
     /// Bounded-backoff policy for retrying transient I/O faults on the
     /// store's hot paths (page reads/writes, the commit protocol).
     pub retry: RetryPolicy,
+    /// When commits reach the log device (see [`CommitPolicy`]).
+    pub commit_policy: CommitPolicy,
+    /// Log page records as byte-range deltas against the last logged image
+    /// where that is smaller than a full image (identical images are
+    /// skipped outright). Replay is equivalent either way; switching this
+    /// off exists for the A/B in the write-throughput bench.
+    pub delta_pages: bool,
 }
 
 impl Default for StoreConfig {
@@ -88,6 +122,8 @@ impl Default for StoreConfig {
             buffer_capacity: 256,
             wal_checkpoint_bytes: 1 << 20,
             retry: RetryPolicy::default(),
+            commit_policy: CommitPolicy::default(),
+            delta_pages: true,
         }
     }
 }
@@ -148,6 +184,10 @@ pub const CP_PAGE_WRITE: &str = "wal:page_write";
 /// Crash point: while assembling the commit's log records (nothing
 /// durable yet).
 pub const CP_COMMIT_LOG: &str = "commit:log";
+/// Crash point: at the start of sealing a deferred group-commit window
+/// (nothing durable yet — the window's commits are still only in memory).
+/// Never hit under [`CommitPolicy::Immediate`].
+pub const CP_GROUP_SEAL: &str = "group:seal";
 /// Crash point: at the durability point itself. The only torn-capable
 /// point — armed torn, a prefix of the pending log bytes survives.
 pub const CP_COMMIT_FLUSH: &str = "commit:flush";
@@ -162,6 +202,7 @@ pub const CP_COMMIT_DONE: &str = "commit:done";
 pub const CRASH_POINTS: &[&str] = &[
     CP_PAGE_WRITE,
     CP_COMMIT_LOG,
+    CP_GROUP_SEAL,
     CP_COMMIT_FLUSH,
     CP_COMMIT_APPLY,
     CP_COMMIT_DONE,
@@ -181,7 +222,6 @@ pub struct RecoveryReport {
 }
 
 /// Book-keeping for one open atomic batch.
-#[derive(Default)]
 struct BatchState {
     /// Pages dirtied by the batch (their after-images are logged at commit).
     dirty: BTreeSet<u64>,
@@ -189,6 +229,21 @@ struct BatchState {
     created: Vec<SegmentId>,
     /// Pages adopted into segments inside the batch (dropped on abort).
     adopted: Vec<(SegmentId, u64)>,
+    /// Log position at `begin_atomic`. Abort rewinds the pending region to
+    /// here — erasing the batch's mid-batch segment records while keeping
+    /// any earlier unsealed group window intact — and reuses the erased
+    /// LSNs so the durable sequence never gaps.
+    wal_mark: WalMark,
+}
+
+/// One deferred group-commit window (see [`CommitPolicy::Group`]).
+#[derive(Default)]
+struct GroupState {
+    /// Latest committed-but-unflushed after-image per page. Later commits
+    /// of the same page overwrite earlier images — the window-level dedup.
+    deferred: BTreeMap<u64, Page>,
+    /// Logical commits absorbed since the last seal.
+    commits: u64,
 }
 
 /// Record tags (first byte of every stored record).
@@ -234,6 +289,15 @@ pub struct ObjectStore {
     health: HealthState,
     wal_checkpoint_bytes: usize,
     retry_policy: RetryPolicy,
+    commit_policy: CommitPolicy,
+    delta_pages: bool,
+    /// Open deferred-commit window (always `None` under
+    /// [`CommitPolicy::Immediate`]).
+    group: Option<GroupState>,
+    /// Delta base map: the last image logged for each page *in the current
+    /// log*. Entries die with the log — cleared at checkpoint, recovery,
+    /// and crash — so a delta record always has a committed base on scan.
+    last_logged: HashMap<u64, Page>,
     /// Where simulated retry backoff is reported; tests inject a
     /// recording clock, the default only lets the counters accumulate.
     clock: Clock,
@@ -268,6 +332,10 @@ impl ObjectStore {
             health: HealthState::Healthy,
             wal_checkpoint_bytes: config.wal_checkpoint_bytes,
             retry_policy: config.retry,
+            commit_policy: config.commit_policy,
+            delta_pages: config.delta_pages,
+            group: None,
+            last_logged: HashMap::new(),
             clock: retry::noop_clock(),
             metrics: StoreMetrics::new(registry),
         };
@@ -318,6 +386,37 @@ impl ObjectStore {
         let appended = self.wal.stats().pending_bytes.saturating_sub(before);
         self.metrics.wal_append_records.inc();
         self.metrics.wal_append_bytes.add(appended as u64);
+    }
+
+    /// Logs the after-image of `page`, choosing the cheapest faithful
+    /// record: nothing when the image is byte-identical to the delta base,
+    /// a [`WalRecord::PageDelta`] when the diff beats a full image by at
+    /// least 2×, a full [`WalRecord::PageImage`] otherwise. The base map is
+    /// *not* updated here — only a successful flush does that, because an
+    /// unflushed record never becomes a committed base.
+    fn log_page_record(&mut self, page: u64, image: &Page) {
+        if self.delta_pages {
+            if let Some(base) = self.last_logged.get(&page) {
+                if base == image {
+                    self.metrics.wal_dedup_skips.inc();
+                    return;
+                }
+                let ranges = wal::diff_pages(base, image);
+                let encoded = wal::delta_encoded_len(&ranges);
+                if encoded < PAGE_SIZE / 2 {
+                    self.log_append(&WalRecord::PageDelta { page, ranges });
+                    self.metrics.wal_delta_records.inc();
+                    self.metrics
+                        .wal_delta_bytes_saved
+                        .add((PAGE_SIZE - encoded) as u64);
+                    return;
+                }
+            }
+        }
+        self.log_append(&WalRecord::PageImage {
+            page,
+            image: Box::new(image.clone()),
+        });
     }
 
     /// Creates a new, empty segment (a logged, atomic operation: segment
@@ -404,35 +503,27 @@ impl ObjectStore {
         near: Option<PhysId>,
     ) -> StorageResult<PhysId> {
         let near_page = near.filter(|n| n.segment == segment).map(|n| n.page);
-        let candidates = self
-            .segment(segment)?
-            .placement_candidates(record.len(), near_page);
-        for page in candidates {
-            let inserted = self.page_mut(page, |p| {
-                if p.fits(record.len()) {
-                    Some((p.insert(record), p.free_space()))
-                } else {
-                    None
-                }
-            })?;
-            if let Some((slot, free)) = inserted {
-                let slot = slot?;
-                self.segments
-                    .get_mut(&segment)
-                    .expect("segment checked above")
-                    .set_free_hint(page, free);
-                return Ok(PhysId {
-                    segment,
-                    page,
-                    slot,
-                });
+        // Clustering first: the hint page and its neighbours. Then the
+        // free-space tree, one best-fit candidate at a time — never a scan
+        // of the whole segment. `tried` records pages whose hints proved
+        // stale (free space that a slotted-page insert cannot actually
+        // use), so the fit query cannot return them again.
+        let mut tried: Vec<u64> = Vec::new();
+        let near_candidates = match near_page {
+            Some(p) => self.segment(segment)?.near_candidates(p, record.len()),
+            None => Vec::new(),
+        };
+        for page in near_candidates {
+            if let Some(id) = self.try_place_on(segment, page, record)? {
+                return Ok(id);
             }
-            // The hint was stale; record the truth so we skip next time.
-            let free = self.with_page_retry(page, |p| p.free_space())?;
-            self.segments
-                .get_mut(&segment)
-                .expect("segment checked above")
-                .set_free_hint(page, free);
+            tried.push(page);
+        }
+        while let Some(page) = self.segment(segment)?.find_fit(record.len(), &tried) {
+            if let Some(id) = self.try_place_on(segment, page, record)? {
+                return Ok(id);
+            }
+            tried.push(page);
         }
         // No existing page fits: grow the segment. The adoption is logged
         // so recovery can rebuild the segment directory, and remembered in
@@ -457,6 +548,43 @@ impl ObjectStore {
             page,
             slot,
         })
+    }
+
+    /// Attempts to insert `record` on `page`. On success returns the new
+    /// address; on a full page records the authoritative free space in the
+    /// segment's hint map and returns `None`.
+    fn try_place_on(
+        &mut self,
+        segment: SegmentId,
+        page: u64,
+        record: &[u8],
+    ) -> StorageResult<Option<PhysId>> {
+        let inserted = self.page_mut(page, |p| {
+            if p.fits(record.len()) {
+                Some((p.insert(record), p.free_space()))
+            } else {
+                None
+            }
+        })?;
+        if let Some((slot, free)) = inserted {
+            let slot = slot?;
+            self.segments
+                .get_mut(&segment)
+                .expect("segment checked above")
+                .set_free_hint(page, free);
+            return Ok(Some(PhysId {
+                segment,
+                page,
+                slot,
+            }));
+        }
+        // The hint was stale; record the truth so the fit query improves.
+        let free = self.with_page_retry(page, |p| p.free_space())?;
+        self.segments
+            .get_mut(&segment)
+            .expect("segment checked above")
+            .set_free_hint(page, free);
+        Ok(None)
     }
 
     /// Inserts `record` into `segment`.
@@ -755,16 +883,18 @@ impl ObjectStore {
     }
 
     /// Flushes and drops every cached page, so the next access is cold.
-    /// Refused while a batch is open — flushing would write uncommitted
-    /// pages to disk — and when degraded, where pinned frames are the
-    /// only consistent copy of a half-applied commit.
+    /// Refused while a batch is open *or a group window is unsealed* —
+    /// flushing would write unlogged pages to disk, violating write-ahead
+    /// ordering (call [`ObjectStore::sync`] first) — and when degraded,
+    /// where pinned frames are the only consistent copy of a half-applied
+    /// commit.
     pub fn clear_cache(&self) -> StorageResult<()> {
         match self.health {
             HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
             HealthState::Degraded => return Err(StorageError::ReadOnly),
             HealthState::Healthy => {}
         }
-        if self.batch.is_some() {
+        if self.batch.is_some() || self.group.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
         self.pool.clear_cache()
@@ -789,7 +919,14 @@ impl ObjectStore {
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
-        self.batch = Some(BatchState::default());
+        self.batch = Some(BatchState {
+            dirty: BTreeSet::new(),
+            created: Vec::new(),
+            adopted: Vec::new(),
+            wal_mark: self.wal.mark(),
+        });
+        // No-steal may already be on when a deferred group window is open
+        // between batches; setting it again is harmless.
         self.pool.set_no_steal(true);
         Ok(())
     }
@@ -838,11 +975,30 @@ impl ObjectStore {
             self.abort_open_batch();
             return Err(e);
         }
+        if let CommitPolicy::Group { max_ops, max_bytes } = self.commit_policy {
+            // Deferred commit: the batch's after-images join the window
+            // (later images of a page replace earlier ones) and the caller
+            // returns without a flush. The batch's mid-batch segment
+            // records stay pending; durability for everything arrives when
+            // the window seals. The dirty frames stay pinned (no-steal
+            // remains on between batches), so the disk never runs ahead of
+            // the log.
+            let group = self.group.get_or_insert_with(GroupState::default);
+            for (page, image) in images {
+                group.deferred.insert(page, image);
+            }
+            group.commits += 1;
+            let full = group.commits >= max_ops || group.deferred.len() * PAGE_SIZE >= max_bytes;
+            self.batch = None;
+            self.metrics.commits.inc();
+            self.metrics.wal_group_commits.inc();
+            if full {
+                self.seal_group(true)?;
+            }
+            return Ok(());
+        }
         for (page, image) in &images {
-            self.log_append(&WalRecord::PageImage {
-                page: *page,
-                image: Box::new(image.clone()),
-            });
+            self.log_page_record(*page, image);
         }
         self.log_append(&WalRecord::Commit);
         // Phase 2: the durability point. A transient flush fault is
@@ -899,6 +1055,13 @@ impl ObjectStore {
                 });
             }
         }
+        // The records above are durable now: their images become the delta
+        // bases for the next commit of the same pages.
+        if self.delta_pages {
+            for (page, image) in &images {
+                self.last_logged.insert(*page, image.clone());
+            }
+        }
         // Phase 3: apply. The commit is durable — any failure from here on
         // leaves the disk behind the log. The buffer pool's frames hold
         // exactly the committed after-images, so the store degrades to
@@ -937,9 +1100,155 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Abandons the open batch: pending log records are dropped, dirty
-    /// frames are discarded (the disk still holds the pre-batch images),
-    /// and segment-directory changes are taken back.
+    /// Seals the deferred group-commit window: logs the deduped after-images
+    /// and one commit marker, reaches the durability point, installs the
+    /// delta bases, and applies the images — one merged batch covering every
+    /// commit the window absorbed. No-op when no window is open. Callers
+    /// guarantee no batch is open (sealing mid-batch would commit the
+    /// batch's pending segment records half-done).
+    fn seal_group(&mut self, auto_checkpoint: bool) -> StorageResult<()> {
+        let Some(group) = self.group.take() else {
+            return Ok(());
+        };
+        debug_assert!(self.batch.is_none(), "seal with a batch open");
+        let _span = corion_obs::span("storage", "seal_group");
+        // CP_GROUP_SEAL: nothing durable yet. A transient fault within
+        // budget retries in place; an exhausted budget puts the intact
+        // window back (a later `sync` retries the whole seal); a hard
+        // injected crash loses the window — the store degrades read-only
+        // *keeping* its frames, so reads keep serving the states callers
+        // saw committed while recovery rewinds to the last sealed
+        // boundary (always a commit boundary).
+        let sealed = {
+            let (crash, rm) = (&self.crash, self.metrics.retry());
+            retry::run(&self.retry_policy, &rm, &self.clock, || {
+                crash.hit(CP_GROUP_SEAL)
+            })
+        };
+        if let Err(e) = sealed {
+            if e.is_transient() {
+                self.group = Some(group);
+            } else {
+                self.set_health(HealthState::Degraded);
+            }
+            return Err(e);
+        }
+        let mark = self.wal.mark();
+        for (page, image) in &group.deferred {
+            self.log_page_record(*page, image);
+        }
+        self.log_append(&WalRecord::Commit);
+        // The durability point, under the same transient-retry contract as
+        // an immediate commit.
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            match self.crash.fire(CP_COMMIT_FLUSH) {
+                FireOutcome::Transient if attempt < self.retry_policy.max_retries => {
+                    self.metrics.retry_attempts.inc();
+                    let delay = self.retry_policy.delay_for(attempt);
+                    self.metrics.retry_backoff_us.add(delay);
+                    (self.clock)(delay);
+                    attempt += 1;
+                }
+                other => break other,
+            }
+        };
+        match outcome {
+            FireOutcome::Pass => {
+                if attempt > 0 {
+                    self.metrics.retry_success.inc();
+                }
+                let _flush_timer = self.metrics.wal_flush_latency.start_timer();
+                self.wal.flush();
+                self.metrics.wal_flushes.inc();
+            }
+            FireOutcome::Transient => {
+                // Budget exhausted before durability: rewind the freshly
+                // appended seal records and put the window back intact — a
+                // later `sync` retries the whole seal.
+                self.metrics.retry_exhausted.inc();
+                self.wal.rollback_to(mark);
+                self.group = Some(group);
+                return Err(StorageError::TransientFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+            FireOutcome::Crash { torn: None } => {
+                // Nothing reached the log device; the window is lost.
+                self.wal.drop_pending();
+                self.set_health(HealthState::Degraded);
+                return Err(StorageError::InjectedFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+            FireOutcome::Crash { torn: Some(keep) } => {
+                // A prefix became durable but the window's commit marker
+                // did not: the durable truth is the pre-window state, and
+                // only recovery may truncate the torn tail.
+                self.wal.flush_torn(keep);
+                self.set_health(HealthState::Degraded);
+                return Err(StorageError::InjectedFault {
+                    op: CP_COMMIT_FLUSH,
+                });
+            }
+        }
+        if self.delta_pages {
+            for (page, image) in &group.deferred {
+                self.last_logged.insert(*page, image.clone());
+            }
+        }
+        for (page, image) in &group.deferred {
+            let applied = {
+                let (crash, pool) = (&self.crash, &self.pool);
+                let rm = self.metrics.retry();
+                retry::run(&self.retry_policy, &rm, &self.clock, || {
+                    crash.hit(CP_COMMIT_APPLY)?;
+                    pool.apply_page(*page, image)
+                })
+            };
+            if let Err(e) = applied {
+                self.set_health(HealthState::Degraded);
+                return Err(e);
+            }
+        }
+        let done = {
+            let (crash, rm) = (&self.crash, self.metrics.retry());
+            retry::run(&self.retry_policy, &rm, &self.clock, || {
+                crash.hit(CP_COMMIT_DONE)
+            })
+        };
+        if let Err(e) = done {
+            self.set_health(HealthState::Degraded);
+            return Err(e);
+        }
+        self.metrics.wal_group_seals.inc();
+        self.pool.set_no_steal(false);
+        if auto_checkpoint && self.wal.stats().durable_bytes > self.wal_checkpoint_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any deferred group-commit window to durability — the
+    /// `fsync` of [`CommitPolicy::Group`]. No-op under the immediate
+    /// policy or with an empty window. Refused while a batch is open
+    /// (commit or abort it first).
+    pub fn sync(&mut self) -> StorageResult<()> {
+        match self.health {
+            HealthState::Poisoned => return Err(StorageError::NeedsRecovery),
+            HealthState::Degraded => return Err(StorageError::ReadOnly),
+            HealthState::Healthy => {}
+        }
+        if self.batch.is_some() {
+            return Err(StorageError::BatchAlreadyOpen);
+        }
+        self.seal_group(true)
+    }
+
+    /// Abandons the open batch: its log records are rewound, dirty
+    /// frames are discarded or restored to the group window's images (the
+    /// disk still holds the pre-batch state otherwise), and
+    /// segment-directory changes are taken back.
     pub fn abort_atomic(&mut self) -> StorageResult<()> {
         if self.batch.is_none() {
             return Err(StorageError::NoBatchOpen);
@@ -953,8 +1262,21 @@ impl ObjectStore {
             return;
         };
         self.metrics.aborts.inc();
-        self.wal.drop_pending();
-        self.pool.discard_pages(batch.dirty.iter().copied());
+        // Rewind the log exactly to where this batch began — an unsealed
+        // group window's records (appended by earlier deferred commits)
+        // stay pending, and the erased LSNs are reused so the durable
+        // sequence stays gapless.
+        self.wal.rollback_to(batch.wal_mark);
+        // Rewind the frames. Under a group window a page may carry a
+        // committed-but-unsealed after-image the disk does not have yet;
+        // reinstall that image in memory. Otherwise drop the frame — the
+        // disk still holds the committed contents.
+        for &page in &batch.dirty {
+            match self.group.as_ref().and_then(|g| g.deferred.get(&page)) {
+                Some(image) => self.pool.install_frame(page, image),
+                None => self.pool.discard_pages([page]),
+            }
+        }
         for (segment, page) in batch.adopted.into_iter().rev() {
             if let Some(seg) = self.segments.get_mut(&segment) {
                 seg.drop_page(page);
@@ -966,7 +1288,8 @@ impl ObjectStore {
                 self.next_segment = segment.0;
             }
         }
-        self.pool.set_no_steal(false);
+        // An open window still pins its unsealed images in memory.
+        self.pool.set_no_steal(self.group.is_some());
     }
 
     /// Degrades to read-only after a post-durability apply failure,
@@ -1013,6 +1336,8 @@ impl ObjectStore {
     /// [`ObjectStore::recover`] to bring it back.
     pub fn simulate_crash(&mut self) {
         self.batch = None;
+        self.group = None;
+        self.last_logged.clear();
         self.wal.drop_pending();
         self.pool.discard_all();
         self.pool.set_no_steal(false);
@@ -1027,6 +1352,8 @@ impl ObjectStore {
         let _span = corion_obs::span("storage", "recover");
         let _timer = self.metrics.recovery_latency.start_timer();
         self.batch = None;
+        self.group = None;
+        self.last_logged.clear();
         self.set_health(HealthState::Healthy);
         self.pool.set_no_steal(false);
         self.wal.drop_pending();
@@ -1082,6 +1409,10 @@ impl ObjectStore {
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
+        // A checkpoint asserts "the disk is current", which an unsealed
+        // group window contradicts — seal it first (without re-entering
+        // the auto-checkpoint path).
+        self.seal_group(false)?;
         let _span = corion_obs::span("storage", "checkpoint");
         let _timer = self.metrics.wal_checkpoint_latency.start_timer();
         // Outside a batch every frame is clean (commit applies eagerly),
@@ -1094,6 +1425,9 @@ impl ObjectStore {
             .collect();
         segments.sort_by_key(|(id, _)| *id);
         self.wal.install_checkpoint(self.next_segment, segments);
+        // The images the delta bases refer to were just truncated out of
+        // the log; the next record for each page must be a full image.
+        self.last_logged.clear();
         self.metrics.wal_checkpoints.inc();
         Ok(())
     }
@@ -1121,6 +1455,9 @@ impl ObjectStore {
         if self.batch.is_some() {
             return Err(StorageError::BatchAlreadyOpen);
         }
+        // Scrub verifies media bytes against the committed truth; an
+        // unsealed window's images are committed truth the media lacks.
+        self.seal_group(false)?;
         let _span = corion_obs::span("storage", "scrub");
         // Drop cached frames: a resident clean frame would mask on-media
         // rot, and salvage writes below must not fight stale frames.
@@ -1778,6 +2115,9 @@ mod recovery_tests {
         let mut st = ObjectStore::new(StoreConfig {
             buffer_capacity: 64,
             wal_checkpoint_bytes: 64 * 1024,
+            // Full images only: this test is about the byte threshold
+            // tripping, and delta records make 300 inserts too cheap.
+            delta_pages: false,
             ..StoreConfig::default()
         });
         let seg = st.create_segment().unwrap();
@@ -1820,6 +2160,258 @@ mod recovery_tests {
             let recs = st.scan(seg).unwrap();
             assert_eq!(recs.len(), 1, "countdown={countdown}");
             assert_eq!(recs[0].1, b"anchor");
+        }
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+
+    fn grouped(max_ops: u64) -> ObjectStore {
+        ObjectStore::new(StoreConfig {
+            commit_policy: CommitPolicy::Group {
+                max_ops,
+                max_bytes: usize::MAX,
+            },
+            ..StoreConfig::default()
+        })
+    }
+
+    fn fingerprint(st: &ObjectStore, seg: SegmentId) -> Vec<Vec<u8>> {
+        let mut recs: Vec<Vec<u8>> = st
+            .scan(seg)
+            .unwrap()
+            .into_iter()
+            .map(|(_, bytes)| bytes)
+            .collect();
+        recs.sort();
+        recs
+    }
+
+    #[test]
+    fn a_window_coalesces_many_commits_into_one_flush() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        for i in 0..10u8 {
+            st.insert(seg, &[i; 100], None).unwrap();
+        }
+        assert_eq!(st.wal_stats().flushes, 0, "no durability point yet");
+        // Reads serve the deferred images from the pinned frames.
+        assert_eq!(st.scan(seg).unwrap().len(), 10);
+        st.sync().unwrap();
+        assert_eq!(st.wal_stats().flushes, 1, "one flush for eleven commits");
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp, "sealed window is durable");
+    }
+
+    #[test]
+    fn the_window_seals_itself_at_max_ops() {
+        // create_segment's commit counts as the window's first op.
+        let mut st = grouped(4);
+        let seg = st.create_segment().unwrap();
+        for i in 0..3u8 {
+            st.insert(seg, &[i; 64], None).unwrap();
+        }
+        assert_eq!(st.wal_stats().flushes, 1, "4th commit sealed the window");
+        assert_eq!(st.wal_stats().pending_bytes, 0);
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn an_unsealed_window_is_lost_at_a_crash_and_recovery_lands_on_the_seal() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, b"sealed", None).unwrap();
+        st.sync().unwrap();
+        let sealed = fingerprint(&st, seg);
+        for i in 0..5u8 {
+            st.insert(seg, &[i; 200], None).unwrap();
+        }
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(
+            fingerprint(&st, seg),
+            sealed,
+            "recovery rewinds to the last sealed boundary, a commit boundary"
+        );
+        // The store is fully usable and the policy still applies.
+        st.insert(seg, b"after", None).unwrap();
+        st.sync().unwrap();
+    }
+
+    #[test]
+    fn an_abort_under_a_window_restores_the_windowed_images() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        let a = st.insert(seg, b"windowed-commit", None).unwrap();
+        // An explicit batch on the same page, then abort: the frame must
+        // rewind to the *windowed* image (disk never saw it), not to the
+        // pre-window disk page.
+        st.begin_atomic().unwrap();
+        st.insert(seg, b"doomed", None).unwrap();
+        st.abort_atomic().unwrap();
+        assert_eq!(st.read(a).unwrap(), b"windowed-commit");
+        assert_eq!(fingerprint(&st, seg), vec![b"windowed-commit".to_vec()]);
+        // Sealing afterwards makes exactly the surviving state durable.
+        st.sync().unwrap();
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn sync_is_refused_mid_batch_and_idempotent_when_empty() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        st.begin_atomic().unwrap();
+        st.insert(seg, b"open", None).unwrap();
+        assert!(matches!(st.sync(), Err(StorageError::BatchAlreadyOpen)));
+        st.commit_atomic().unwrap();
+        st.sync().unwrap();
+        let flushes = st.wal_stats().flushes;
+        st.sync().unwrap();
+        assert_eq!(st.wal_stats().flushes, flushes, "empty sync is a no-op");
+    }
+
+    #[test]
+    fn checkpoint_and_scrub_seal_the_window_first() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, b"pending", None).unwrap();
+        st.checkpoint().unwrap();
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp, "checkpoint captured the window");
+
+        st.insert(seg, b"more", None).unwrap();
+        let report = st.scrub().unwrap();
+        assert_eq!(report.pages_corrupt, 0);
+        assert_eq!(st.wal_stats().pending_bytes, 0, "scrub sealed the window");
+    }
+
+    #[test]
+    fn a_hard_seal_fault_degrades_but_keeps_serving_windowed_reads() {
+        let mut st = grouped(u64::MAX);
+        let seg = st.create_segment().unwrap();
+        st.sync().unwrap();
+        let id = st.insert(seg, b"visible", None).unwrap();
+        st.arm_crash_point(CP_GROUP_SEAL, 1);
+        assert!(st.sync().is_err());
+        assert_eq!(st.health(), HealthState::Degraded);
+        // The windowed image was caller-visible committed state; degraded
+        // reads must keep serving it.
+        assert_eq!(st.read(id).unwrap(), b"visible");
+        // Recovery rewinds to durable truth: the window never sealed.
+        st.heal_crash_points();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn a_transient_seal_fault_keeps_the_window_intact_for_retry() {
+        let mut st = ObjectStore::new(StoreConfig {
+            commit_policy: CommitPolicy::Group {
+                max_ops: u64::MAX,
+                max_bytes: usize::MAX,
+            },
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..StoreConfig::default()
+        });
+        let seg = st.create_segment().unwrap();
+        st.insert(seg, b"kept", None).unwrap();
+        st.arm_transient_crash(CP_GROUP_SEAL, 1, 1);
+        let err = st.sync().unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(st.health(), HealthState::Healthy, "transient faults heal");
+        // The window survived; a later sync seals it.
+        st.sync().unwrap();
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn delta_records_shrink_update_heavy_logs() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        let id = st.insert(seg, &[7u8; 600], None).unwrap();
+        let base = st.wal_stats().durable_bytes;
+        st.update(id, &[8u8; 600]).unwrap();
+        let grew = st.wal_stats().durable_bytes - base;
+        assert!(
+            grew < PAGE_SIZE / 2,
+            "an in-place update should log a delta, grew {grew} bytes"
+        );
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp, "delta replay restores the page");
+    }
+
+    #[test]
+    fn delta_bases_reset_at_checkpoint() {
+        let mut st = ObjectStore::default();
+        let seg = st.create_segment().unwrap();
+        let id = st.insert(seg, &[1u8; 600], None).unwrap();
+        st.checkpoint().unwrap();
+        // The base image was truncated out of the log: this update must log
+        // a full image (a delta would replay against nothing).
+        let base = st.wal_stats().durable_bytes;
+        let id = st.update(id, &[2u8; 600]).unwrap();
+        assert!(st.wal_stats().durable_bytes - base > PAGE_SIZE / 2);
+        // ...and the next one is a delta again.
+        let base = st.wal_stats().durable_bytes;
+        st.update(id, &[3u8; 600]).unwrap();
+        assert!(st.wal_stats().durable_bytes - base < PAGE_SIZE / 2);
+        let fp = fingerprint(&st, seg);
+        st.simulate_crash();
+        st.recover().unwrap();
+        assert_eq!(fingerprint(&st, seg), fp);
+    }
+
+    #[test]
+    fn crash_sweep_over_the_grouped_pipeline_lands_pre_or_post_seal() {
+        // Sweep every crash point over "insert, then sync" under a group
+        // window: recovery must land on the pre-insert (sealed) state or
+        // the post-sync state, never a hybrid.
+        for &point in CRASH_POINTS {
+            for countdown in 1..16 {
+                let mut st = grouped(u64::MAX);
+                let seg = st.create_segment().unwrap();
+                st.insert(seg, b"anchor", None).unwrap();
+                st.sync().unwrap();
+                let pre = fingerprint(&st, seg);
+                st.arm_crash_point(point, countdown);
+                let res = st.insert(seg, b"grouped", None).and_then(|_| st.sync());
+                if st.crash_point_remaining(point).is_some() {
+                    st.heal_crash_points();
+                    res.unwrap();
+                    break;
+                }
+                assert!(res.is_err(), "{point} countdown={countdown}");
+                st.heal_crash_points();
+                st.recover().unwrap();
+                let got = fingerprint(&st, seg);
+                let post = vec![b"anchor".to_vec(), b"grouped".to_vec()];
+                assert!(
+                    got == pre || got == post,
+                    "{point} countdown={countdown}: hybrid state after recovery"
+                );
+                st.insert(seg, b"after", None).unwrap();
+                st.sync().unwrap();
+            }
         }
     }
 }

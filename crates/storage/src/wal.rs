@@ -18,9 +18,10 @@
 //! `len` counts every byte after the length field (so a reader can skip a
 //! record it cannot parse), `lsn` is a strictly increasing log sequence
 //! number, and `checksum` is FNV-1a 64 over `lsn‖kind‖payload`. Record
-//! kinds: page after-image, commit marker, segment create/adopt (metadata
-//! redo), and checkpoint (a segment-directory snapshot that lets the log be
-//! truncated).
+//! kinds: page after-image, page *delta* (byte-range diff against the last
+//! logged image of the same page — cuts log volume on update-heavy mixes),
+//! commit marker, segment create/adopt (metadata redo), and checkpoint (a
+//! segment-directory snapshot that lets the log be truncated).
 //!
 //! ## Crash model
 //!
@@ -35,7 +36,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::codec::{put_u32, put_u64, put_u8, put_varint, Reader};
+use crate::codec::{put_bytes, put_u32, put_u64, put_u8, put_varint, Reader};
 use crate::page::{Page, PAGE_SIZE};
 use crate::segment::SegmentId;
 
@@ -47,6 +48,7 @@ const KIND_COMMIT: u8 = 2;
 const KIND_SEG_CREATE: u8 = 3;
 const KIND_SEG_ADOPT: u8 = 4;
 const KIND_CHECKPOINT: u8 = 5;
+const KIND_PAGE_DELTA: u8 = 6;
 
 /// Bytes of a record that are not payload: length field, lsn, kind,
 /// trailing checksum.
@@ -68,6 +70,19 @@ pub enum WalRecord {
         page: u64,
         /// The page contents at commit time.
         image: Box<Page>,
+    },
+    /// Byte-range diff of a page against its *last logged* image (the most
+    /// recent `PageImage`/`PageDelta` for the same page in this log, which
+    /// a well-formed log always contains — `store.rs` logs a full image
+    /// whenever it has no base). Replay applies the ranges on top of the
+    /// reconstructed base; a delta whose base is missing is skipped, which
+    /// can only happen in a hand-built log.
+    PageDelta {
+        /// Global page number.
+        page: u64,
+        /// Differing byte runs: `(offset, replacement bytes)`, ascending,
+        /// non-overlapping, within [`PAGE_SIZE`].
+        ranges: Vec<(u32, Vec<u8>)>,
     },
     /// Marks every record since the previous commit as one durable batch.
     Commit,
@@ -103,6 +118,72 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Differing byte runs between two page images, in the representation
+/// [`WalRecord::PageDelta`] logs. Runs closer than a few bytes are merged
+/// so the per-range framing overhead never exceeds the bytes it saves.
+pub fn diff_pages(base: &Page, new: &Page) -> Vec<(u32, Vec<u8>)> {
+    /// Equal-byte gaps shorter than this are absorbed into the surrounding
+    /// run (each separate range costs ~4 bytes of framing).
+    const MERGE_GAP: usize = 8;
+    let a = base.as_bytes();
+    let b = new.as_bytes();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < PAGE_SIZE {
+        if a[i] == b[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i + 1;
+        let mut j = i + 1;
+        let mut run_of_equal = 0usize;
+        while j < PAGE_SIZE && run_of_equal < MERGE_GAP {
+            if a[j] == b[j] {
+                run_of_equal += 1;
+            } else {
+                end = j + 1;
+                run_of_equal = 0;
+            }
+            j += 1;
+        }
+        ranges.push((start as u32, b[start..end].to_vec()));
+        i = end;
+    }
+    ranges
+}
+
+/// Applies a [`WalRecord::PageDelta`] range list on top of `base`,
+/// producing the after-image. Ranges are validated at decode time, so this
+/// never reads out of bounds on a scanned record.
+pub fn apply_delta(base: &Page, ranges: &[(u32, Vec<u8>)]) -> Page {
+    let mut raw = *base.as_bytes();
+    for (offset, bytes) in ranges {
+        let start = (*offset as usize).min(PAGE_SIZE);
+        let end = (start + bytes.len()).min(PAGE_SIZE);
+        raw[start..end].copy_from_slice(&bytes[..end - start]);
+    }
+    Page::from_bytes(&raw)
+}
+
+/// Encoded payload size of a delta with these ranges — what `store.rs`
+/// compares against a full image before choosing the record kind.
+pub fn delta_encoded_len(ranges: &[(u32, Vec<u8>)]) -> usize {
+    // page u64 + range count varint + per range (offset varint ≤ 2 bytes
+    // for PAGE_SIZE, length varint ≤ 2, bytes). Slightly conservative.
+    8 + 2 + ranges.iter().map(|(_, b)| 4 + b.len()).sum::<usize>()
+}
+
+/// A position in the pending region plus the LSN counter at that point.
+/// [`Wal::rollback_to`] restores both, so an aborted batch leaves no LSN
+/// gap behind — a gap would make a later scan reject every record after it
+/// as out-of-sequence, silently losing committed batches.
+#[derive(Debug, Clone, Copy)]
+pub struct WalMark {
+    pending_len: usize,
+    next_lsn: Lsn,
 }
 
 /// Counters describing the log, surfaced through
@@ -206,6 +287,29 @@ impl Wal {
     /// Drops the pending region (a crash, or an aborted batch).
     pub fn drop_pending(&mut self) {
         self.pending.clear();
+    }
+
+    /// Captures the current end of the pending region and the LSN counter.
+    /// Invalidated by any flush; only [`Wal::rollback_to`] consumes it.
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            pending_len: self.pending.len(),
+            next_lsn: self.next_lsn,
+        }
+    }
+
+    /// Rewinds the pending region and the LSN counter to `mark`, erasing
+    /// every record appended since. Used by batch abort: unlike
+    /// [`Wal::drop_pending`] it keeps earlier unflushed records (a group
+    /// window) intact and reuses the erased LSNs, so the durable sequence
+    /// stays contiguous without a recovery in between.
+    pub fn rollback_to(&mut self, mark: WalMark) {
+        debug_assert!(
+            mark.pending_len <= self.pending.len() && mark.next_lsn <= self.next_lsn,
+            "mark does not precede the current log position"
+        );
+        self.pending.truncate(mark.pending_len);
+        self.next_lsn = mark.next_lsn;
     }
 
     /// Atomically replaces the whole log with a checkpoint batch. Real
@@ -323,6 +427,15 @@ fn encode_record(buf: &mut Vec<u8>, lsn: Lsn, record: &WalRecord) {
             put_u64(buf, *page);
             buf.extend_from_slice(&image.as_bytes()[..]);
         }
+        WalRecord::PageDelta { page, ranges } => {
+            put_u8(buf, KIND_PAGE_DELTA);
+            put_u64(buf, *page);
+            put_varint(buf, ranges.len() as u64);
+            for (offset, bytes) in ranges {
+                put_varint(buf, u64::from(*offset));
+                put_bytes(buf, bytes);
+            }
+        }
         WalRecord::Commit => put_u8(buf, KIND_COMMIT),
         WalRecord::SegCreate { segment } => {
             put_u8(buf, KIND_SEG_CREATE);
@@ -399,6 +512,23 @@ fn decode_record(
                 image: Box::new(Page::from_bytes(&raw)),
             }
         }
+        KIND_PAGE_DELTA => {
+            let page = r.u64("wal page").map_err(|_| "short body")?;
+            let nranges = r.varint("wal delta").map_err(|_| "short body")? as usize;
+            if nranges > PAGE_SIZE {
+                return Err("implausible delta range count");
+            }
+            let mut ranges = Vec::with_capacity(nranges);
+            for _ in 0..nranges {
+                let offset = r.varint("wal delta").map_err(|_| "short body")? as usize;
+                let bytes = r.bytes("wal delta").map_err(|_| "short body")?;
+                if offset + bytes.len() > PAGE_SIZE {
+                    return Err("delta range out of bounds");
+                }
+                ranges.push((offset as u32, bytes.to_vec()));
+            }
+            WalRecord::PageDelta { page, ranges }
+        }
         KIND_COMMIT => WalRecord::Commit,
         KIND_SEG_CREATE => WalRecord::SegCreate {
             segment: SegmentId(r.u32("wal seg").map_err(|_| "short body")?),
@@ -441,6 +571,16 @@ pub fn replay(scan: &WalScan) -> ReplayState {
             match rec {
                 WalRecord::PageImage { page, image } => {
                     state.pages.insert(*page, (**image).clone());
+                }
+                WalRecord::PageDelta { page, ranges } => {
+                    // A well-formed log always logs a full image before the
+                    // first delta of a page (and checkpoints truncate both
+                    // together), so the base is present; a delta without
+                    // one is a hand-built log and is skipped.
+                    if let Some(base) = state.pages.get(page) {
+                        let after = apply_delta(base, ranges);
+                        state.pages.insert(*page, after);
+                    }
                 }
                 WalRecord::Commit => {}
                 WalRecord::SegCreate { segment } => {
@@ -717,6 +857,190 @@ mod tests {
         assert!(!rescan.torn_tail, "LSN gap after recovery");
         assert_eq!(rescan.committed.len(), 2);
         assert_eq!(replay(&rescan).pages[&1].as_bytes()[100], 9);
+    }
+
+    /// Deterministic byte-mutator for the delta tests (no external RNG in
+    /// unit tests): a xorshift walk over offsets and values.
+    fn mutate(page: &mut Page, seed: u64, edits: usize) {
+        let mut raw = *page.as_bytes();
+        let mut s = seed | 1;
+        for _ in 0..edits {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let at = (s as usize) % PAGE_SIZE;
+            raw[at] = raw[at].wrapping_add((s >> 32) as u8).wrapping_add(1);
+        }
+        *page = Page::from_bytes(&raw);
+    }
+
+    #[test]
+    fn diff_apply_roundtrips_arbitrary_mutations() {
+        let mut base = page_with_byte(1);
+        for round in 0..64u64 {
+            let mut next = base.clone();
+            mutate(&mut next, round * 7 + 3, (round as usize % 40) + 1);
+            let ranges = diff_pages(&base, &next);
+            assert_eq!(apply_delta(&base, &ranges), next, "round {round}");
+            assert!(
+                delta_encoded_len(&ranges) < PAGE_SIZE,
+                "a {}-edit delta must beat a full image",
+                round % 40 + 1
+            );
+            base = next;
+        }
+        // Identical pages diff to nothing.
+        assert!(diff_pages(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn delta_record_roundtrips_through_the_log() {
+        let mut wal = Wal::new();
+        let base = page_with_byte(1);
+        let mut next = base.clone();
+        mutate(&mut next, 42, 5);
+        wal.append(&WalRecord::PageImage {
+            page: 3,
+            image: Box::new(base.clone()),
+        });
+        wal.append(&WalRecord::PageDelta {
+            page: 3,
+            ranges: diff_pages(&base, &next),
+        });
+        wal.append(&WalRecord::Commit);
+        wal.flush();
+        let scan = wal.scan();
+        assert_eq!(scan.committed.len(), 1);
+        assert!(!scan.torn_tail);
+        assert_eq!(replay(&scan).pages[&3], next);
+    }
+
+    #[test]
+    fn delta_replay_is_equivalent_to_full_image_replay() {
+        // The same mutation history logged twice — full images vs
+        // image-then-deltas — must replay to identical final pages.
+        let mut full = Wal::new();
+        let mut delta = Wal::new();
+        let mut pages: Vec<Page> = (0..4).map(|i| page_with_byte(i as u8)).collect();
+        for (i, p) in pages.iter().enumerate() {
+            for w in [&mut full, &mut delta] {
+                w.append(&WalRecord::PageImage {
+                    page: i as u64,
+                    image: Box::new(p.clone()),
+                });
+            }
+        }
+        for w in [&mut full, &mut delta] {
+            w.append(&WalRecord::Commit);
+            w.flush();
+        }
+        for round in 0..32u64 {
+            let target = (round as usize) % pages.len();
+            let before = pages[target].clone();
+            mutate(&mut pages[target], round + 99, (round as usize % 20) + 1);
+            full.append(&WalRecord::PageImage {
+                page: target as u64,
+                image: Box::new(pages[target].clone()),
+            });
+            delta.append(&WalRecord::PageDelta {
+                page: target as u64,
+                ranges: diff_pages(&before, &pages[target]),
+            });
+            for w in [&mut full, &mut delta] {
+                w.append(&WalRecord::Commit);
+                w.flush();
+            }
+        }
+        let full_state = replay(&full.scan());
+        let delta_state = replay(&delta.scan());
+        assert_eq!(full_state.pages, delta_state.pages);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(&full_state.pages[&(i as u64)], p);
+        }
+        assert!(
+            delta.stats().durable_bytes < full.stats().durable_bytes / 2,
+            "deltas must at least halve the log volume on this mix \
+             ({} vs {} bytes)",
+            delta.stats().durable_bytes,
+            full.stats().durable_bytes
+        );
+    }
+
+    #[test]
+    fn torn_flush_of_a_delta_batch_preserves_the_base_commit() {
+        let base = page_with_byte(1);
+        let mut next = base.clone();
+        mutate(&mut next, 7, 3);
+        let ranges = diff_pages(&base, &next);
+
+        let mut probe = Wal::new();
+        probe.append(&WalRecord::PageDelta {
+            page: 0,
+            ranges: ranges.clone(),
+        });
+        probe.append(&WalRecord::Commit);
+        let full = probe.stats().pending_bytes;
+
+        for keep in 0..full {
+            let mut wal = Wal::new();
+            wal.append(&WalRecord::PageImage {
+                page: 0,
+                image: Box::new(base.clone()),
+            });
+            wal.append(&WalRecord::Commit);
+            wal.flush();
+            wal.append(&WalRecord::PageDelta {
+                page: 0,
+                ranges: ranges.clone(),
+            });
+            wal.append(&WalRecord::Commit);
+            wal.flush_torn(keep);
+            let scan = wal.scan();
+            assert_eq!(scan.committed.len(), 1, "keep={keep}");
+            assert_eq!(replay(&scan).pages[&0], base, "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn delta_without_a_base_is_skipped_not_misapplied() {
+        let mut wal = Wal::new();
+        wal.append(&WalRecord::PageDelta {
+            page: 5,
+            ranges: vec![(100, vec![9])],
+        });
+        wal.append(&WalRecord::Commit);
+        wal.flush();
+        let state = replay(&wal.scan());
+        assert!(!state.pages.contains_key(&5));
+    }
+
+    #[test]
+    fn rollback_to_mark_reuses_lsns_and_keeps_earlier_pending() {
+        let mut wal = Wal::new();
+        committed_batch(&mut wal, &[(0, 1)]); // durable: lsn 1,2
+        wal.append(&WalRecord::SegCreate {
+            segment: SegmentId(1),
+        }); // pending group window: lsn 3
+        let mark = wal.mark();
+        wal.append(&WalRecord::SegAdopt {
+            segment: SegmentId(1),
+            page: 7,
+        }); // lsn 4, about to be aborted
+        wal.rollback_to(mark);
+        assert_eq!(wal.stats().next_lsn, 4, "aborted LSN is reused");
+        // The earlier pending record survived the abort; commit it.
+        wal.append(&WalRecord::Commit); // lsn 4
+        wal.flush();
+        let scan = wal.scan();
+        assert!(!scan.torn_tail, "no LSN gap after an abort");
+        assert_eq!(scan.committed.len(), 2);
+        assert!(matches!(
+            scan.committed[1][0],
+            WalRecord::SegCreate {
+                segment: SegmentId(1)
+            }
+        ));
+        assert_eq!(scan.committed[1].len(), 1, "aborted record not replayed");
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod vehicles;
 
 pub use dag::{DagParams, GeneratedDag};
 pub use documents::{Corpus, CorpusParams, DocumentSchema};
-pub use txmix::{AccessKind, TxMixParams, TxOp};
+pub use txmix::{AccessKind, TxMixParams, TxOp, WriteMixParams, WriteOp};
 pub use vehicles::{Fleet, VehicleSchema};

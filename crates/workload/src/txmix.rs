@@ -74,6 +74,77 @@ pub fn generate(params: TxMixParams) -> Vec<TxOp> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Write mixes (for the write-throughput benchmarks)
+// ---------------------------------------------------------------------
+
+/// One operation in a write-path mix: either a fresh object or an
+/// in-place update of an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Create a new object carrying `payload` bytes of string data.
+    Create {
+        /// String payload length in bytes.
+        payload: usize,
+    },
+    /// Rewrite the payload of existing object `index`.
+    Update {
+        /// Index into the workload's object list.
+        index: usize,
+        /// New string payload length in bytes.
+        payload: usize,
+    },
+}
+
+/// Parameters for a write-path mix.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteMixParams {
+    /// Number of operations.
+    pub ops: usize,
+    /// Number of pre-existing objects updates may target.
+    pub objects: usize,
+    /// Fraction of operations that are updates (the rest create).
+    pub update_fraction: f64,
+    /// Nominal payload length; actual lengths jitter ±50% so repeated
+    /// updates of one object keep changing its size.
+    pub payload: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WriteMixParams {
+    fn default() -> Self {
+        WriteMixParams {
+            ops: 500,
+            objects: 100,
+            update_fraction: 0.8,
+            payload: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a deterministic write mix. An update-heavy mix
+/// (`update_fraction` near 1.0) rewrites the same pages over and over —
+/// the workload where delta-page logging and commit-window deduplication
+/// pay off; a create-heavy mix measures raw ingest.
+pub fn generate_writes(params: WriteMixParams) -> Vec<WriteOp> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.ops)
+        .map(|_| {
+            let payload = rng.gen_range(params.payload / 2..=params.payload * 3 / 2);
+            if params.objects > 0 && rng.gen_bool(params.update_fraction) {
+                WriteOp::Update {
+                    index: rng.gen_range(0..params.objects),
+                    payload,
+                }
+            } else {
+                WriteOp::Create { payload }
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +199,36 @@ mod tests {
             ..TxMixParams::default()
         });
         assert!(mix.iter().all(|op| op.root_index < 3));
+    }
+
+    #[test]
+    fn write_mix_is_deterministic_and_in_range() {
+        let a = generate_writes(WriteMixParams::default());
+        let b = generate_writes(WriteMixParams::default());
+        assert_eq!(a, b);
+        for op in &a {
+            match *op {
+                WriteOp::Create { payload } => assert!((32..=96).contains(&payload)),
+                WriteOp::Update { index, payload } => {
+                    assert!(index < 100);
+                    assert!((32..=96).contains(&payload));
+                }
+            }
+        }
+        let updates = a
+            .iter()
+            .filter(|op| matches!(op, WriteOp::Update { .. }))
+            .count();
+        let frac = updates as f64 / a.len() as f64;
+        assert!((0.7..0.9).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn write_mix_with_no_objects_only_creates() {
+        let mix = generate_writes(WriteMixParams {
+            objects: 0,
+            ..WriteMixParams::default()
+        });
+        assert!(mix.iter().all(|op| matches!(op, WriteOp::Create { .. })));
     }
 }

@@ -14,8 +14,11 @@
 //! oracle is simply a twin database running the same operation with no
 //! faults armed.
 
-use corion::storage::{CP_COMMIT_FLUSH, CRASH_POINTS};
-use corion::{ClassBuilder, CompositeSpec, Database, DbError, DbResult, Domain, Oid, Value};
+use corion::storage::{StoreConfig, CP_COMMIT_FLUSH, CP_GROUP_SEAL, CRASH_POINTS};
+use corion::{
+    ClassBuilder, ClassId, CommitPolicy, CompositeSpec, Database, DbConfig, DbError, DbResult,
+    Domain, Oid, Value,
+};
 
 // ---------------------------------------------------------------------
 // Fingerprinting
@@ -230,6 +233,13 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
     for s in scenarios() {
         let post = post_oracle(&s);
         for &point in CRASH_POINTS {
+            // The group-seal point only exists under `CommitPolicy::Group`;
+            // these scenarios run the default immediate policy, where every
+            // commit flushes inline. The grouped pipeline gets its own sweep
+            // below (`group_commit_crashes_land_on_a_sealed_boundary`).
+            if point == CP_GROUP_SEAL {
+                continue;
+            }
             let mut fired_at_least_once = false;
             for countdown in 1..=512u64 {
                 if !crash_once(&s, point, countdown, &post) {
@@ -330,6 +340,10 @@ fn transient_faults_within_the_retry_budget_are_invisible() {
     for s in scenarios() {
         let post = post_oracle(&s);
         for &point in CRASH_POINTS {
+            if point == CP_GROUP_SEAL {
+                // Immediate policy: the seal point cannot fire (see above).
+                continue;
+            }
             for failures in [1u64, 3] {
                 let mut fired_at_least_once = false;
                 for countdown in 1..=512u64 {
@@ -478,4 +492,163 @@ fn wal_bit_flip_truncates_tail_instead_of_replaying_garbage() {
     let again = db.recover().unwrap();
     assert!(!again.torn_tail, "second recovery sees a clean log");
     assert!(db.exists(a));
+}
+
+// ---------------------------------------------------------------------
+// Transactions and group commit
+// ---------------------------------------------------------------------
+
+/// Parts schema plus one committed assembly for the transaction sweep.
+fn txn_db() -> (Database, ClassId, Oid) {
+    let (mut db, part, asm) = parts_db();
+    let a = db.make(asm, vec![], vec![]).unwrap();
+    (db, part, a)
+}
+
+/// The multi-operation transaction under test: four `make`s joined to one
+/// assembly plus an attribute rewrite — five logical operations, one batch.
+fn txn_op(db: &mut Database, part: ClassId, a: Oid) -> DbResult<()> {
+    db.transaction(|db| {
+        let mut last = None;
+        for i in 0..4 {
+            last = Some(db.make(
+                part,
+                vec![("text", Value::Str(format!("t{i}")))],
+                vec![(a, "parts")],
+            )?);
+        }
+        db.set_attr(last.unwrap(), "text", Value::Str("rewritten".into()))
+    })
+}
+
+#[test]
+fn transaction_crashes_recover_to_pre_or_post_transaction_state() {
+    // A transaction is one batch: wherever its commit pipeline crashes —
+    // including mid-operation, long before commit — recovery must land on
+    // the pre-transaction or post-transaction state, never on a prefix of
+    // the transaction's operations.
+    let post = {
+        let (mut db, part, a) = txn_db();
+        txn_op(&mut db, part, a).unwrap();
+        fingerprint(&db)
+    };
+    for &point in CRASH_POINTS {
+        if point == CP_GROUP_SEAL {
+            continue; // immediate policy: the seal point cannot fire
+        }
+        let mut fired_at_least_once = false;
+        for countdown in 1..=512u64 {
+            let (mut db, part, a) = txn_db();
+            let pre = fingerprint(&db);
+            db.arm_crash_point(point, countdown);
+            let result = txn_op(&mut db, part, a);
+            let fired = db.crash_point_remaining(point).is_none();
+            db.heal_crash_points();
+            if !fired {
+                result.unwrap();
+                break;
+            }
+            fired_at_least_once = true;
+            assert!(
+                matches!(result, Err(DbError::Storage(_))),
+                "txn: crash at {point}#{countdown} must surface as a storage error, got {result:?}"
+            );
+            assert!(!db.in_transaction(), "crash must close the transaction");
+            db.recover().unwrap();
+            let after = fingerprint(&db);
+            assert!(
+                after == pre || after == post,
+                "txn: crash at {point}#{countdown} recovered to a hybrid state \
+                 ({} objects; pre {}, post {})",
+                after.len(),
+                pre.len(),
+                post.len()
+            );
+            db.verify_integrity().unwrap();
+            assert!(countdown < 512, "txn: {point} fired 512 times");
+        }
+        assert!(fired_at_least_once, "txn: crash point {point} never fired");
+    }
+}
+
+/// Engine over a group-commit window so large only an explicit `sync`
+/// seals it. The build window (segment creation plus an anchor object) is
+/// sealed before returning, so every sweep starts from a durable base.
+fn group_db() -> (Database, ClassId) {
+    let mut db = Database::with_config(DbConfig {
+        store: StoreConfig {
+            commit_policy: CommitPolicy::Group {
+                max_ops: u64::MAX,
+                max_bytes: usize::MAX,
+            },
+            ..StoreConfig::default()
+        },
+        ..DbConfig::default()
+    });
+    let part = db
+        .define_class(ClassBuilder::new("Part").attr("text", Domain::String))
+        .unwrap();
+    db.make(part, vec![("text", Value::Str("anchor".into()))], vec![])
+        .unwrap();
+    db.sync().unwrap();
+    (db, part)
+}
+
+/// The grouped write burst under test: three deferred commits, then the
+/// seal (one flush for the whole window).
+fn group_op(db: &mut Database, part: ClassId) -> DbResult<()> {
+    for i in 0..3 {
+        db.make(part, vec![("text", Value::Str(format!("g{i}")))], vec![])?;
+    }
+    db.sync()
+}
+
+#[test]
+fn group_commit_crashes_land_on_a_sealed_boundary() {
+    // Under `CommitPolicy::Group` the durability lag is the open window:
+    // a crash anywhere in the burst-plus-seal pipeline must recover to
+    // the previous sealed boundary (pre) or the new one (post) — a window
+    // is all-or-nothing, and `group:seal` itself fires here.
+    let post = {
+        let (mut db, part) = group_db();
+        group_op(&mut db, part).unwrap();
+        fingerprint(&db)
+    };
+    for &point in CRASH_POINTS {
+        let mut fired_at_least_once = false;
+        for countdown in 1..=512u64 {
+            let (mut db, part) = group_db();
+            let pre = fingerprint(&db);
+            db.arm_crash_point(point, countdown);
+            let result = group_op(&mut db, part);
+            let fired = db.crash_point_remaining(point).is_none();
+            db.heal_crash_points();
+            if !fired {
+                result.unwrap();
+                break;
+            }
+            fired_at_least_once = true;
+            assert!(
+                matches!(result, Err(DbError::Storage(_))),
+                "group: crash at {point}#{countdown} must surface as a storage error, \
+                 got {result:?}"
+            );
+            db.recover().unwrap();
+            let after = fingerprint(&db);
+            assert!(
+                after == pre || after == post,
+                "group: crash at {point}#{countdown} recovered off a sealed boundary \
+                 ({} objects; pre {}, post {})",
+                after.len(),
+                pre.len(),
+                post.len()
+            );
+            db.verify_integrity().unwrap();
+            assert!(countdown < 512, "group: {point} fired 512 times");
+        }
+        assert!(
+            fired_at_least_once,
+            "group: crash point {point} never fired"
+        );
+    }
 }

@@ -111,6 +111,9 @@ fn all_db_errors() -> Vec<DbError> {
             class: ClassId(1),
             attr: "note".into(),
         },
+        DbError::TransactionState {
+            reason: "demo".into(),
+        },
         DbError::ReadOnly,
         DbError::Storage(StorageError::PoolExhausted),
     ];
@@ -129,6 +132,7 @@ fn all_db_errors() -> Vec<DbError> {
             | DbError::SchemaChangeRejected { .. }
             | DbError::LatticeCycle { .. }
             | DbError::NotComposite { .. }
+            | DbError::TransactionState { .. }
             | DbError::ReadOnly
             | DbError::Storage(_) => {}
         }

@@ -138,3 +138,298 @@ fn failed_make_is_already_atomic_without_undo() {
     assert_eq!(db.instances_of(part, false).len(), 0);
     db.verify_integrity().unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Public transactions: N mutations, one durability point
+// ---------------------------------------------------------------------
+
+mod public_txn {
+    use corion::storage::{StorageError, StoreConfig};
+    use corion::{
+        ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError, Domain, MakeSpec,
+        ParentRef, Value,
+    };
+
+    /// Part/Assembly schema in one shared segment.
+    fn schema() -> (Database, ClassId, ClassId) {
+        let mut db = Database::new();
+        let part = db
+            .define_class(ClassBuilder::new("Part").attr("n", Domain::Integer))
+            .unwrap();
+        let asm = db
+            .define_class(
+                ClassBuilder::new("Asm")
+                    .same_segment_as(part)
+                    .attr_composite(
+                        "parts",
+                        Domain::SetOf(Box::new(Domain::Class(part))),
+                        CompositeSpec {
+                            exclusive: false,
+                            dependent: true,
+                        },
+                    ),
+            )
+            .unwrap();
+        (db, part, asm)
+    }
+
+    #[test]
+    fn a_transaction_pays_one_flush_for_all_its_mutations() {
+        let (mut db, part, asm) = schema();
+        let a = db.make(asm, vec![], vec![]).unwrap();
+        let flushes_before = db.wal_stats().flushes;
+        let begins_before = db.metrics_snapshot().counter("corion_txn_begins_total");
+        let oids = db
+            .transaction(|db| {
+                (0..10)
+                    .map(|i| db.make(part, vec![("n", Value::Int(i))], vec![(a, "parts")]))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .unwrap();
+        // The durability point: ten mutations, exactly one WAL flush.
+        assert_eq!(db.wal_stats().flushes, flushes_before + 1);
+        for (i, &o) in oids.iter().enumerate() {
+            assert_eq!(db.get_attr(o, "n").unwrap(), Value::Int(i as i64));
+            assert!(db.child_of(o, a).unwrap());
+        }
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("corion_txn_begins_total"), begins_before + 1);
+        assert_eq!(snap.counter("corion_txn_commits_total"), 1);
+        assert_eq!(snap.counter("corion_txn_ops_total"), 10);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn the_hierarchy_generation_bumps_once_per_transaction() {
+        let (mut db, part, _) = schema();
+        let gen_before = db.hierarchy_generation();
+        db.transaction(|db| {
+            for i in 0..5 {
+                db.make(part, vec![("n", Value::Int(i))], vec![])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Five writes outside a transaction bump five times; inside, once.
+        assert_eq!(db.hierarchy_generation(), gen_before + 1);
+    }
+
+    #[test]
+    fn abort_restores_maps_attributes_and_the_serial_counter() {
+        let (mut db, part, asm) = schema();
+        let p = db.make(part, vec![("n", Value::Int(1))], vec![]).unwrap();
+        let a = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p)]))],
+                vec![],
+            )
+            .unwrap();
+        let objects_before = db.object_count();
+
+        db.begin_transaction().unwrap();
+        db.set_attr(p, "n", Value::Int(99)).unwrap();
+        let ephemeral = db.make(part, vec![("n", Value::Int(7))], vec![]).unwrap();
+        db.delete(a).unwrap(); // cascades into the dependent p
+        assert!(!db.exists(a) && !db.exists(p));
+        db.abort_transaction().unwrap();
+
+        // Every map entry, attribute value and the OID serial are back.
+        assert!(db.exists(a) && db.exists(p));
+        assert!(!db.exists(ephemeral));
+        assert_eq!(db.object_count(), objects_before);
+        assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(1));
+        assert_eq!(
+            db.get_attr(a, "parts").unwrap(),
+            Value::Set(vec![Value::Ref(p)])
+        );
+        assert!(db.child_of(p, a).unwrap());
+        // Rolled-back creations don't burn OIDs: the next make reuses the
+        // serial the aborted one consumed.
+        let reused = db.make(part, vec![("n", Value::Int(8))], vec![]).unwrap();
+        assert_eq!(reused, ephemeral);
+        assert_eq!(db.metrics_snapshot().counter("corion_txn_aborts_total"), 1);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn checkpoints_defer_until_the_transaction_closes() {
+        // A tiny checkpoint threshold plus full-image logging would trip
+        // the auto-checkpoint on nearly every write — but never inside an
+        // open transaction, where the WAL tail is the rollback record.
+        let (mut db, part) = {
+            let mut db = Database::with_config(DbConfig {
+                store: StoreConfig {
+                    wal_checkpoint_bytes: 4096,
+                    delta_pages: false,
+                    ..StoreConfig::default()
+                },
+                ..DbConfig::default()
+            });
+            let part = db
+                .define_class(ClassBuilder::new("Part").attr("n", Domain::Integer))
+                .unwrap();
+            (db, part)
+        };
+        let p = db.make(part, vec![("n", Value::Int(0))], vec![]).unwrap();
+        let checkpoints_at_begin = db.wal_stats().checkpoints;
+        db.begin_transaction().unwrap();
+        for i in 0..64 {
+            db.set_attr(p, "n", Value::Int(i)).unwrap();
+            assert_eq!(
+                db.wal_stats().checkpoints,
+                checkpoints_at_begin,
+                "auto-checkpoint fired inside an open transaction"
+            );
+        }
+        // An explicit checkpoint is refused outright.
+        assert!(matches!(
+            db.checkpoint(),
+            Err(DbError::Storage(StorageError::BatchAlreadyOpen))
+        ));
+        db.commit_transaction().unwrap();
+        // The deferred work flushes at commit; the threshold (far exceeded
+        // by 64 full images) trips on the way out.
+        assert!(db.wal_stats().checkpoints > checkpoints_at_begin);
+        assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(63));
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn a_crash_mid_transaction_recovers_to_the_pre_transaction_state() {
+        let (mut db, part, asm) = schema();
+        let p = db.make(part, vec![("n", Value::Int(1))], vec![]).unwrap();
+        let a = db
+            .make(
+                asm,
+                vec![("parts", Value::Set(vec![Value::Ref(p)]))],
+                vec![],
+            )
+            .unwrap();
+
+        db.begin_transaction().unwrap();
+        db.set_attr(p, "n", Value::Int(99)).unwrap();
+        let ghost = db.make(part, vec![("n", Value::Int(7))], vec![]).unwrap();
+        db.simulate_crash();
+        db.recover().unwrap();
+
+        // The no-steal pool never let uncommitted pages reach disk, so the
+        // crash erased the transaction wholesale.
+        assert!(!db.in_transaction());
+        assert!(!db.exists(ghost));
+        assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(1));
+        assert!(db.child_of(p, a).unwrap());
+        db.verify_integrity().unwrap();
+        // And the engine accepts new work, including fresh transactions.
+        db.transaction(|db| db.make(part, vec![("n", Value::Int(2))], vec![]))
+            .unwrap();
+    }
+
+    #[test]
+    fn make_many_builds_a_clustered_hierarchy_in_one_flush() {
+        let (mut db, part, asm) = schema();
+        let flushes_before = db.wal_stats().flushes;
+        let mut specs = vec![MakeSpec::new(asm)];
+        for i in 0..30 {
+            specs.push(
+                MakeSpec::new(part)
+                    .value("n", Value::Int(i))
+                    .parent(ParentRef::Created(0), "parts"),
+            );
+        }
+        let oids = db.make_many(&specs).unwrap();
+        assert_eq!(oids.len(), 31);
+        assert_eq!(db.wal_stats().flushes, flushes_before + 1);
+        let root = oids[0];
+        for &child in &oids[1..] {
+            assert!(db.child_of(child, root).unwrap());
+        }
+        // Clustering (§2.3): every child was placed near its first parent,
+        // so the whole hierarchy packs into a handful of pages.
+        let segment = db.segment_of(asm).unwrap();
+        let pages = db.pages_of(segment).unwrap();
+        assert!(
+            pages.len() <= 4,
+            "31 clustered objects should pack tightly, used {} pages",
+            pages.len()
+        );
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn make_many_rejects_forward_references_without_side_effects() {
+        let (mut db, part, asm) = schema();
+        let specs = vec![
+            MakeSpec::new(part)
+                .value("n", Value::Int(0))
+                .parent(ParentRef::Created(1), "parts"), // not created yet
+            MakeSpec::new(asm),
+        ];
+        let err = db.make_many(&specs).unwrap_err();
+        assert!(matches!(err, DbError::TransactionState { .. }), "{err:?}");
+        assert_eq!(db.object_count(), 0);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn a_failing_spec_rolls_the_whole_ingest_back() {
+        let (mut db, part, asm) = schema();
+        let specs = vec![
+            MakeSpec::new(asm),
+            MakeSpec::new(part)
+                .value("n", Value::Int(0))
+                .parent(ParentRef::Created(0), "parts"),
+            // Unknown attribute: fails after two objects already exist.
+            MakeSpec::new(part).value("bogus", Value::Int(1)),
+        ];
+        assert!(matches!(
+            db.make_many(&specs),
+            Err(DbError::NoSuchAttribute { .. })
+        ));
+        assert_eq!(db.object_count(), 0, "partial ingest leaked objects");
+        assert_eq!(db.metrics_snapshot().counter("corion_txn_aborts_total"), 1);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn transaction_control_errors_are_typed_and_total() {
+        let (mut db, part, _) = schema();
+        // No transaction open.
+        assert!(matches!(
+            db.commit_transaction(),
+            Err(DbError::TransactionState { .. })
+        ));
+        assert!(matches!(
+            db.abort_transaction(),
+            Err(DbError::TransactionState { .. })
+        ));
+        // No nesting.
+        db.begin_transaction().unwrap();
+        assert!(matches!(
+            db.begin_transaction(),
+            Err(DbError::TransactionState { .. })
+        ));
+        // No DDL inside a transaction (the catalog is outside the WAL's
+        // crash scope).
+        assert!(matches!(
+            db.define_class(ClassBuilder::new("Late")),
+            Err(DbError::TransactionState { .. })
+        ));
+        // No undo scope inside a transaction…
+        assert!(matches!(
+            db.begin_undo(),
+            Err(DbError::TransactionState { .. })
+        ));
+        db.abort_transaction().unwrap();
+        // …and no transaction inside an undo scope.
+        db.begin_undo().unwrap();
+        assert!(matches!(
+            db.begin_transaction(),
+            Err(DbError::TransactionState { .. })
+        ));
+        db.commit_undo().unwrap();
+        // The engine is unharmed by the whole gauntlet.
+        db.make(part, vec![("n", Value::Int(1))], vec![]).unwrap();
+        db.verify_integrity().unwrap();
+    }
+}
