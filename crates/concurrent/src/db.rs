@@ -1,0 +1,243 @@
+//! The concurrent engine handle: shared state, snapshots, write
+//! transactions, recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use corion_core::{Database, DbConfig, DbResult};
+use corion_lock::LockManager;
+use corion_obs::{Counter, Registry};
+use corion_storage::{Lsn, VersionStore};
+use parking_lot::RwLock;
+
+use crate::snapshot::Snapshot;
+use crate::txn::WriteTxn;
+
+/// Engine-level metric handles (`corion_mvcc_txn_*`). The lock manager's
+/// `corion_lock_*` family and the version store's `corion_mvcc_*` family
+/// are interned in the same registry.
+pub(crate) struct EngineMetrics {
+    /// `corion_mvcc_txn_begins_total`: write transactions opened.
+    pub(crate) begins: Counter,
+    /// `corion_mvcc_txn_commits_total`: write transactions committed.
+    pub(crate) commits: Counter,
+    /// `corion_mvcc_txn_aborts_total`: write transactions aborted
+    /// (explicitly, on drop, or as deadlock victims).
+    pub(crate) aborts: Counter,
+    /// `corion_mvcc_txn_deadlocks_total`: transactions aborted as
+    /// deadlock victims (also counted in `aborts`).
+    pub(crate) deadlocks: Counter,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        EngineMetrics {
+            begins: registry.counter("corion_mvcc_txn_begins_total"),
+            commits: registry.counter("corion_mvcc_txn_commits_total"),
+            aborts: registry.counter("corion_mvcc_txn_aborts_total"),
+            deadlocks: registry.counter("corion_mvcc_txn_deadlocks_total"),
+        }
+    }
+}
+
+/// State shared by every handle, snapshot, and transaction of one engine.
+pub(crate) struct Shared {
+    /// The single-threaded engine behind a reader-writer latch. Readers
+    /// (snapshot base fallbacks, lock planning) take the shared side;
+    /// per-operation overlay execution and commit applies take the
+    /// exclusive side *briefly* — transactions never hold it across lock
+    /// waits or between operations.
+    pub(crate) db: RwLock<Database>,
+    /// The §7 lock manager. Lock waits block **outside** the latch.
+    pub(crate) locks: LockManager,
+    /// MVCC version chains + snapshot pins + visible-LSN watermark.
+    pub(crate) versions: VersionStore,
+    /// Bumped by [`ConcurrentDb::recover`]; snapshots and transactions
+    /// capture it at begin and fail fast when it moves (their pinned
+    /// state did not survive the crash-recovery rebuild).
+    pub(crate) epoch: AtomicU64,
+    /// Commits since the last automatic vacuum.
+    pub(crate) commits_since_vacuum: AtomicU64,
+    pub(crate) metrics: EngineMetrics,
+}
+
+/// How many commits between automatic version-store vacuums.
+const VACUUM_INTERVAL: u64 = 64;
+
+/// A thread-safe, cheaply cloneable handle to a CORION engine supporting
+/// concurrent transactions. See the [crate docs](crate) for the
+/// architecture.
+#[derive(Clone)]
+pub struct ConcurrentDb {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl ConcurrentDb {
+    /// Wrap an engine with default configuration.
+    pub fn new() -> Self {
+        Self::from_database(Database::new())
+    }
+
+    /// Wrap an engine with explicit configuration.
+    pub fn with_config(config: DbConfig) -> Self {
+        Self::from_database(Database::with_config(config))
+    }
+
+    /// Wrap an existing engine (e.g. one that already has a schema and
+    /// data). The engine's metrics registry is reused, so the
+    /// `corion_lock_*` / `corion_mvcc_*` families land beside the
+    /// existing `corion_*` metrics.
+    pub fn from_database(db: Database) -> Self {
+        let registry = db.metrics_registry().clone();
+        ConcurrentDb {
+            shared: Arc::new(Shared {
+                db: RwLock::new(db),
+                locks: LockManager::with_registry(&registry),
+                versions: VersionStore::with_registry(&registry),
+                epoch: AtomicU64::new(0),
+                commits_since_vacuum: AtomicU64::new(0),
+                metrics: EngineMetrics::new(&registry),
+            }),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Transactions
+    // ----------------------------------------------------------------
+
+    /// Pin a read [`Snapshot`] at the current visible commit LSN. The
+    /// snapshot observes exactly the transactions that committed at or
+    /// below that LSN; its reads take no locks and never block on
+    /// writers. Dropping it releases the pin (unblocking version GC).
+    pub fn begin_read(&self) -> Snapshot {
+        Snapshot::begin(Arc::clone(&self.shared))
+    }
+
+    /// Open a write transaction. Operations acquire §7 composite locks
+    /// as they go; [`WriteTxn::commit`] applies the write set atomically
+    /// and [`WriteTxn::abort`] (or drop) discards it.
+    pub fn begin_write(&self) -> WriteTxn {
+        self.shared.metrics.begins.inc();
+        WriteTxn::begin(Arc::clone(&self.shared))
+    }
+
+    /// Run `body` in a write transaction with automatic commit and
+    /// retry: a [retryable](corion_core::DbError::is_retryable) failure
+    /// (deadlock victim, transient storage fault) aborts, backs off, and
+    /// reruns `body` in a fresh transaction. Permanent errors abort and
+    /// propagate.
+    pub fn run_write<R>(&self, mut body: impl FnMut(&mut WriteTxn) -> DbResult<R>) -> DbResult<R> {
+        const MAX_ATTEMPTS: u32 = 64;
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.begin_write();
+            let result = body(&mut txn);
+            let outcome = match result {
+                Ok(value) => txn.commit().map(|_| value),
+                Err(e) => {
+                    txn.abort();
+                    Err(e)
+                }
+            };
+            match outcome {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() && attempt < MAX_ATTEMPTS => {
+                    attempt += 1;
+                    // Brief, attempt-scaled backoff so two colliding
+                    // retry loops do not re-deadlock in lockstep.
+                    for _ in 0..attempt {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Escape hatches
+    // ----------------------------------------------------------------
+
+    /// Run `f` with shared read access to the underlying engine. The
+    /// view is the *latest committed base state* (not a snapshot);
+    /// concurrent commits are excluded for the duration. Intended for
+    /// metrics, stats, and test assertions.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.shared.db.read())
+    }
+
+    /// Run `f` with exclusive access to the underlying engine —
+    /// stop-the-world. This is the DDL and maintenance path (schema
+    /// definition, checkpointing, bulk ingest via the single-threaded
+    /// API): it bypasses locking **and** versioning, so run it before
+    /// concurrent work starts or after it quiesces. Mutations made here
+    /// are invisible to version chains; snapshots pinned across an
+    /// exclusive mutation may observe it (the base fallback changes
+    /// under them).
+    pub fn with_exclusive<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.shared.db.write())
+    }
+
+    // ----------------------------------------------------------------
+    // Recovery and maintenance
+    // ----------------------------------------------------------------
+
+    /// Crash-recover the underlying engine: replay the WAL, rebuild
+    /// derived state, clear all version chains, and fence every live
+    /// snapshot and transaction (their epoch check fails from now on).
+    pub fn recover(&self) -> DbResult<corion_storage::RecoveryReport> {
+        let mut db = self.shared.db.write();
+        let report = db.recover()?;
+        self.shared.versions.clear();
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(report)
+    }
+
+    /// Vacuum the version store now (commits are excluded while it
+    /// runs). Returns the number of version entries reclaimed.
+    pub fn vacuum(&self) -> u64 {
+        let _guard = self.shared.db.write();
+        self.shared.versions.vacuum()
+    }
+
+    /// Called by commit under the exclusive latch: periodic vacuum.
+    pub(crate) fn maybe_vacuum_locked(shared: &Shared) {
+        let n = shared.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(VACUUM_INTERVAL) {
+            shared.versions.vacuum();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Introspection
+    // ----------------------------------------------------------------
+
+    /// The highest fully committed (visible) LSN.
+    pub fn visible_lsn(&self) -> Lsn {
+        self.shared.versions.visible_lsn()
+    }
+
+    /// Number of live pinned snapshots.
+    pub fn pinned_snapshots(&self) -> usize {
+        self.shared.versions.pinned_snapshots()
+    }
+
+    /// Snapshot of every metric in the engine's registry (storage, core,
+    /// lock, and MVCC families).
+    pub fn metrics_snapshot(&self) -> corion_obs::MetricsSnapshot {
+        self.with_read(|db| db.metrics_snapshot())
+    }
+}
+
+impl Default for ConcurrentDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The engine handle is shared across threads by design.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentDb>();
+    assert_send_sync::<Snapshot>();
+};

@@ -1,0 +1,226 @@
+//! Lock-free snapshot reads.
+//!
+//! A [`Snapshot`] pins a commit LSN `S` and observes exactly the
+//! transactions that committed with LSN ≤ `S`. Reads resolve against
+//! the version store's chains first — entirely latch- and lock-free —
+//! and fall back to the base store only for objects no concurrent
+//! transaction has versioned. The fallback takes the engine's *shared*
+//! latch and re-checks the chain under it, which closes the race with a
+//! commit in flight: commits mutate the base only under the exclusive
+//! latch, and they seed every pre-image before doing so, so "no chain
+//! under the latch" proves the base value is the snapshot value.
+//!
+//! Snapshots never take lock-manager locks, so they can neither block a
+//! writer nor deadlock; writers never wait for snapshots (only the
+//! version-store vacuum does, by skipping pinned versions).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use corion_core::schema::lattice;
+use corion_core::{ClassId, DbError, DbResult, Object, Oid, Value};
+use corion_storage::{Lsn, Resolution, VersionKey};
+
+use crate::db::Shared;
+
+fn vkey(oid: Oid) -> VersionKey {
+    VersionKey {
+        class: oid.class.0,
+        serial: oid.serial,
+    }
+}
+
+/// A pinned, consistent read view of the database. Obtain with
+/// [`ConcurrentDb::begin_read`](crate::ConcurrentDb::begin_read);
+/// dropping releases the pin. Snapshots are `Send` and independent of
+/// the handle that created them.
+pub struct Snapshot {
+    shared: Arc<Shared>,
+    lsn: Lsn,
+    epoch: u64,
+}
+
+impl Snapshot {
+    pub(crate) fn begin(shared: Arc<Shared>) -> Self {
+        let lsn = shared.versions.pin();
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        Snapshot { shared, lsn, epoch }
+    }
+
+    /// The commit LSN this snapshot observes: every transaction with
+    /// commit LSN at or below this is visible, nothing else is.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    fn ensure_valid(&self) -> DbResult<()> {
+        if self.shared.epoch.load(Ordering::SeqCst) != self.epoch {
+            return Err(DbError::TransactionState {
+                reason: "the engine recovered while this snapshot was pinned".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolve one object at the snapshot LSN: `Ok(None)` means "not
+    /// visible" (never existed, unborn, or deleted by then).
+    fn read(&self, oid: Oid) -> DbResult<Option<Object>> {
+        self.ensure_valid()?;
+        match self.shared.versions.resolve(vkey(oid), self.lsn) {
+            Resolution::Image(bytes) => Ok(Some(Object::decode(&bytes).map_err(DbError::from)?)),
+            Resolution::Deleted | Resolution::Unborn => Ok(None),
+            Resolution::Base => {
+                let db = self.shared.db.read();
+                // Re-check under the latch: a commit may have seeded a
+                // chain (and changed the base) since the lock-free probe.
+                match self.shared.versions.resolve(vkey(oid), self.lsn) {
+                    Resolution::Image(bytes) => {
+                        Ok(Some(Object::decode(&bytes).map_err(DbError::from)?))
+                    }
+                    Resolution::Deleted | Resolution::Unborn => Ok(None),
+                    Resolution::Base => match db.get(oid) {
+                        Ok(obj) => Ok(Some(obj)),
+                        Err(DbError::NoSuchObject(_)) => Ok(None),
+                        Err(e) => Err(e),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Load an object. Errors with `NoSuchObject` if it is not visible
+    /// at this snapshot.
+    pub fn get(&self, oid: Oid) -> DbResult<Object> {
+        self.read(oid)?.ok_or(DbError::NoSuchObject(oid))
+    }
+
+    /// True if the object is visible at this snapshot.
+    pub fn exists(&self, oid: Oid) -> DbResult<bool> {
+        Ok(self.read(oid)?.is_some())
+    }
+
+    /// Read one attribute by name.
+    pub fn get_attr(&self, oid: Oid, attr: &str) -> DbResult<Value> {
+        let obj = self.get(oid)?;
+        let db = self.shared.db.read();
+        let class = db.class(oid.class)?;
+        let idx = class
+            .attr_index(attr)
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: oid.class,
+                attr: attr.into(),
+            })?;
+        obj.attrs
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchAttribute {
+                class: oid.class,
+                attr: attr.into(),
+            })
+    }
+
+    /// Direct (or, with `deep`, subclass-inclusive) instances of `class`
+    /// visible at this snapshot, sorted.
+    pub fn instances_of(&self, class: ClassId, deep: bool) -> DbResult<Vec<Oid>> {
+        self.ensure_valid()?;
+        let (mut base, classes) = {
+            let db = self.shared.db.read();
+            let mut classes = vec![class];
+            if deep {
+                classes.extend(lattice::descendants(db.catalog(), class));
+            }
+            (db.instances_of(class, deep), classes)
+        };
+        base.sort();
+        // Overlay the version chains: objects deleted after base-read
+        // but visible at the snapshot come back; objects in the base
+        // that are unborn or deleted at the snapshot drop out.
+        for c in classes {
+            for (key, res) in self.shared.versions.resolve_class(c.0, self.lsn) {
+                let oid = Oid {
+                    class: ClassId(key.class),
+                    serial: key.serial,
+                };
+                match res {
+                    Resolution::Image(_) => {
+                        if base.binary_search(&oid).is_err() {
+                            base.push(oid);
+                            base.sort();
+                        }
+                    }
+                    Resolution::Deleted | Resolution::Unborn => {
+                        if let Ok(i) = base.binary_search(&oid) {
+                            base.remove(i);
+                        }
+                    }
+                    Resolution::Base => {}
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    /// The direct components of `oid`: every reference held in one of
+    /// its composite attributes, as visible at this snapshot.
+    pub fn components_of(&self, oid: Oid) -> DbResult<Vec<Oid>> {
+        let obj = self.get(oid)?;
+        let db = self.shared.db.read();
+        let class = db.class(oid.class)?;
+        let mut out = Vec::new();
+        for (def, value) in class.attrs.iter().zip(obj.attrs.iter()) {
+            if def.composite.is_some() {
+                out.extend(value.refs());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The composite parents of `oid` (from its reverse references).
+    pub fn parents_of(&self, oid: Oid) -> DbResult<Vec<Oid>> {
+        Ok(self.get(oid)?.composite_parents())
+    }
+
+    /// Every ancestor of `oid` reachable through composite parents
+    /// (transitive closure, `oid` excluded), sorted.
+    pub fn ancestors_of(&self, oid: Oid) -> DbResult<Vec<Oid>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = self.parents_of(oid)?;
+        let mut out = Vec::new();
+        while let Some(p) = queue.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            out.push(p);
+            if let Some(obj) = self.read(p)? {
+                queue.extend(obj.composite_parents());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The full component subtree below `oid` (transitive closure,
+    /// `oid` included), in discovery order.
+    pub fn subtree_of(&self, oid: Oid) -> DbResult<Vec<Oid>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![oid];
+        let mut out = Vec::new();
+        while let Some(o) = queue.pop() {
+            if !seen.insert(o) {
+                continue;
+            }
+            if self.read(o)?.is_none() {
+                continue;
+            }
+            out.push(o);
+            queue.extend(self.components_of(o)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.shared.versions.unpin(self.lsn);
+    }
+}

@@ -1,0 +1,447 @@
+//! Write transactions: §7 composite locking, overlay buffering, strict
+//! two-phase commit.
+//!
+//! Every operation follows the same shape:
+//!
+//! 1. **Plan** the §7 lock set for the objects the operation touches,
+//!    under the engine's shared latch (root discovery through the
+//!    transaction's own overlay).
+//! 2. **Acquire** the locks through the blocking manager, *outside* any
+//!    latch, re-planning to a fixpoint (the topology may shift between
+//!    plan and grant). A waits-for cycle aborts this transaction as the
+//!    victim with the retryable [`DbError::Deadlock`].
+//! 3. **Execute** the operation under the exclusive latch with the
+//!    overlay installed — the full single-threaded semantics (topology
+//!    rules, cascades, clustering hints) run unchanged, writing only the
+//!    overlay. The latch is held for the duration of the operation, not
+//!    the transaction, so transactions on disjoint composites interleave
+//!    freely between operations.
+//!
+//! [`WriteTxn::commit`] is the only point where the shared page store
+//! changes: under the exclusive latch it seeds pre-images into the
+//! version store, replays the overlay as **one** atomic WAL batch,
+//! allocates the commit LSN, publishes after-images, advances the
+//! visible watermark — then drops the latch and releases every lock
+//! (strict 2PL: nothing is released before commit/abort).
+
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use corion_core::{ClassId, Database};
+use corion_core::{DbError, DbResult, Object, Oid, Overlay, Value};
+use corion_lock::{LockError, LockIntent, LockMode, Lockable, TxnId};
+use corion_storage::{Lsn, VersionKey};
+
+use crate::db::{ConcurrentDb, Shared};
+use crate::plan::{plan, subtree_of_view, OpTarget};
+
+fn vkey(oid: Oid) -> VersionKey {
+    VersionKey {
+        class: oid.class.0,
+        serial: oid.serial,
+    }
+}
+
+fn encode_object(obj: &Object) -> Vec<u8> {
+    let mut buf = Vec::new();
+    obj.encode(&mut buf);
+    buf
+}
+
+/// A concurrent write transaction. Obtain with
+/// [`ConcurrentDb::begin_write`]; finish with [`commit`](WriteTxn::commit)
+/// or [`abort`](WriteTxn::abort) (dropping aborts).
+pub struct WriteTxn {
+    shared: Arc<Shared>,
+    txn: TxnId,
+    epoch: u64,
+    /// The private write set. `None` only transiently while installed
+    /// into the engine, and permanently once the transaction is done.
+    overlay: Option<Overlay>,
+    held: HashSet<(Lockable, LockMode)>,
+    /// Set when the transaction aborted (deadlock victim or explicit):
+    /// every further operation fails fast.
+    done: bool,
+    /// Operations executed (for error messages only).
+    ops: u64,
+}
+
+impl WriteTxn {
+    pub(crate) fn begin(shared: Arc<Shared>) -> Self {
+        let txn = shared.locks.begin();
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        WriteTxn {
+            shared,
+            txn,
+            epoch,
+            overlay: Some(Overlay::new()),
+            held: HashSet::new(),
+            done: false,
+            ops: 0,
+        }
+    }
+
+    /// The lock-manager transaction id (diagnostics).
+    pub fn id(&self) -> TxnId {
+        self.txn
+    }
+
+    fn ensure_open(&mut self) -> DbResult<()> {
+        if self.done {
+            return Err(DbError::TransactionState {
+                reason: "the transaction is no longer open (committed or aborted)".into(),
+            });
+        }
+        if self.shared.epoch.load(Ordering::SeqCst) != self.epoch {
+            // A fenced transaction can never commit; holding its locks
+            // any longer would only block post-recovery work.
+            self.abort_internal();
+            return Err(DbError::TransactionState {
+                reason: "the engine recovered while this transaction was open".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Abort internally (release locks, drop the write set) and mark the
+    /// transaction done. Idempotent.
+    fn abort_internal(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.overlay = None;
+        self.shared.locks.release_all(self.txn);
+        self.shared.metrics.aborts.inc();
+    }
+
+    /// Acquire the §7 lock set for `targets`, re-planning to a fixpoint.
+    fn acquire_for(&mut self, targets: &[OpTarget], intent: LockIntent) -> DbResult<()> {
+        // Convergence bound: every iteration but the last acquires at
+        // least one new lock, and plans are finite. The cap turns a
+        // pathological plan/commit race into a retryable error instead
+        // of a livelock.
+        const MAX_ROUNDS: u32 = 64;
+        for _ in 0..MAX_ROUNDS {
+            let wanted: Vec<(Lockable, LockMode)> = {
+                let db = self.shared.db.read();
+                let overlay = self.overlay.as_ref().expect("open txn has an overlay");
+                plan(&db, overlay, targets, intent)
+            };
+            let fresh: Vec<(Lockable, LockMode)> = wanted
+                .into_iter()
+                .filter(|l| !self.held.contains(l))
+                .collect();
+            if fresh.is_empty() {
+                return Ok(());
+            }
+            for (resource, mode) in fresh {
+                match self.shared.locks.lock(self.txn, resource, mode) {
+                    Ok(()) => {
+                        self.held.insert((resource, mode));
+                    }
+                    Err(LockError::Deadlock { cycle, .. }) => {
+                        self.shared.metrics.deadlocks.inc();
+                        self.abort_internal();
+                        let cycle = cycle
+                            .iter()
+                            .map(|t| format!("t{}", t.0))
+                            .collect::<Vec<_>>()
+                            .join(" -> ");
+                        return Err(DbError::Deadlock { cycle });
+                    }
+                    Err(e) => {
+                        self.abort_internal();
+                        return Err(DbError::TransactionState {
+                            reason: format!("lock acquisition failed: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+        self.abort_internal();
+        Err(DbError::Deadlock {
+            cycle: "lock planning did not converge (topology churn)".into(),
+        })
+    }
+
+    /// Run `f` against the engine with this transaction's overlay
+    /// installed, under the exclusive latch.
+    fn with_overlay<R>(&mut self, f: impl FnOnce(&mut Database) -> DbResult<R>) -> DbResult<R> {
+        let mut db = self.shared.db.write();
+        if self.shared.epoch.load(Ordering::SeqCst) != self.epoch {
+            drop(db);
+            self.abort_internal();
+            return Err(DbError::TransactionState {
+                reason: "the engine recovered while this transaction was open".into(),
+            });
+        }
+        let overlay = self.overlay.take().expect("open txn has an overlay");
+        if let Err(e) = db.overlay_install(overlay) {
+            // Can only happen if an exclusive-access user left the
+            // engine in a transaction scope; surface it, keep the txn.
+            self.overlay = Some(Overlay::new());
+            return Err(e);
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut db)));
+        self.overlay = Some(db.overlay_take().expect("overlay still installed"));
+        drop(db);
+        match result {
+            Ok(r) => {
+                self.ops += 1;
+                r
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Plan + acquire + execute one operation.
+    fn run_op<R>(
+        &mut self,
+        targets: &[OpTarget],
+        intent: LockIntent,
+        f: impl FnOnce(&mut Database) -> DbResult<R>,
+    ) -> DbResult<R> {
+        self.ensure_open()?;
+        self.acquire_for(targets, intent)?;
+        self.with_overlay(f)
+    }
+
+    // ----------------------------------------------------------------
+    // Mutations
+    // ----------------------------------------------------------------
+
+    /// Create an instance — the concurrent `make` (§2.3). Locks the
+    /// target class in IX plus the composite lock set of every parent's
+    /// root, then runs the full single-threaded `make` semantics against
+    /// the overlay.
+    pub fn make(
+        &mut self,
+        class: ClassId,
+        values: Vec<(&str, Value)>,
+        parents: Vec<(Oid, &str)>,
+    ) -> DbResult<Oid> {
+        // A parentless make is *direct* access to the class (IX). A make
+        // with composite parents creates the instance through the
+        // composite path: the parents' root locksets already cover its
+        // class in IXO, and a direct IX here would wrongly conflict with
+        // other composite writers of the same hierarchy (§7: O-modes
+        // exclude direct modes, not each other).
+        let mut targets = Vec::new();
+        if parents.is_empty() {
+            targets.push(OpTarget::NewInstance(class));
+        }
+        for (p, _) in &parents {
+            targets.push(OpTarget::Object(*p));
+        }
+        for (_, v) in &values {
+            for r in v.refs() {
+                targets.push(OpTarget::Object(r));
+            }
+        }
+        self.run_op(&targets, LockIntent::Write, |db| {
+            db.make(class, values, parents)
+        })
+    }
+
+    /// Assign an attribute (composite semantics included: detached
+    /// components are handled exactly as in the single-threaded engine).
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        let mut targets = vec![OpTarget::Object(oid)];
+        for r in value.refs() {
+            targets.push(OpTarget::Object(r));
+        }
+        self.run_op(&targets, LockIntent::Write, |db| {
+            db.set_attr(oid, attr, value)
+        })
+    }
+
+    /// Assign a weak (non-composite) reference attribute.
+    pub fn set_attr_weak(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        let mut targets = vec![OpTarget::Object(oid)];
+        for r in value.refs() {
+            targets.push(OpTarget::Object(r));
+        }
+        self.run_op(&targets, LockIntent::Write, |db| {
+            db.set_attr_weak(oid, attr, value)
+        })
+    }
+
+    /// Delete an object and cascade per the Deletion Rule. The lock plan
+    /// covers the whole subtree — shared components of the victim may
+    /// belong to other composite objects, and dropping the reverse
+    /// reference mutates them, so each such root is locked too.
+    pub fn delete(&mut self, root: Oid) -> DbResult<Vec<Oid>> {
+        self.ensure_open()?;
+        let targets: Vec<OpTarget> = {
+            let db = self.shared.db.read();
+            let overlay = self.overlay.as_ref().expect("open txn has an overlay");
+            subtree_of_view(&db, overlay, root)
+                .into_iter()
+                .map(OpTarget::Object)
+                .collect()
+        };
+        self.run_op(&targets, LockIntent::Write, |db| db.delete(root))
+    }
+
+    /// Make `child` a component of `parent` through composite attribute
+    /// `attr` (the Make-Component Rule applies unchanged).
+    pub fn make_component(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+        let targets = [OpTarget::Object(child), OpTarget::Object(parent)];
+        self.run_op(&targets, LockIntent::Write, |db| {
+            db.make_component(child, parent, attr)
+        })
+    }
+
+    /// Remove `child` from `parent`'s composite attribute `attr`
+    /// (orphan policy applies, possibly cascading into the child).
+    pub fn remove_component(&mut self, child: Oid, parent: Oid, attr: &str) -> DbResult<()> {
+        self.ensure_open()?;
+        let targets: Vec<OpTarget> = {
+            let db = self.shared.db.read();
+            let overlay = self.overlay.as_ref().expect("open txn has an overlay");
+            let mut t: Vec<OpTarget> = subtree_of_view(&db, overlay, child)
+                .into_iter()
+                .map(OpTarget::Object)
+                .collect();
+            t.push(OpTarget::Object(parent));
+            t
+        };
+        self.run_op(&targets, LockIntent::Write, |db| {
+            db.remove_component(child, parent, attr)
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // Reads (locking reads — snapshots are the lock-free alternative)
+    // ----------------------------------------------------------------
+
+    /// Read an object, seeing this transaction's own writes. Takes the
+    /// §7 Read lock set for the object's composite (IS/S/ISO…).
+    pub fn get(&mut self, oid: Oid) -> DbResult<Object> {
+        self.run_op(&[OpTarget::Object(oid)], LockIntent::Read, |db| db.get(oid))
+    }
+
+    /// Read one attribute.
+    pub fn get_attr(&mut self, oid: Oid, attr: &str) -> DbResult<Value> {
+        self.run_op(&[OpTarget::Object(oid)], LockIntent::Read, |db| {
+            db.get_attr(oid, attr)
+        })
+    }
+
+    /// Whether `oid` is live in this transaction's view.
+    pub fn exists(&mut self, oid: Oid) -> DbResult<bool> {
+        self.run_op(&[OpTarget::Object(oid)], LockIntent::Read, |db| {
+            Ok(db.exists(oid))
+        })
+    }
+
+    /// Acquire the §7 lock set for the composite rooted at `root` with
+    /// an explicit intent — the scan-then-update entry point:
+    /// `LockIntent::ReadAllWriteSome` takes SIX/SIXO/SIXOS up front so a
+    /// scan that later updates some components needs no upgrades.
+    pub fn lock_composite(&mut self, root: Oid, intent: LockIntent) -> DbResult<()> {
+        self.ensure_open()?;
+        self.acquire_for(&[OpTarget::Object(root)], intent)
+    }
+
+    /// Run an arbitrary closure against the engine with this
+    /// transaction's overlay installed, after taking the §7 Read lock
+    /// set for `roots`. Escape hatch for multi-object read logic
+    /// (traversals, predicates) inside a write transaction.
+    pub fn with_view<R>(
+        &mut self,
+        roots: &[Oid],
+        f: impl FnOnce(&Database) -> DbResult<R>,
+    ) -> DbResult<R> {
+        let targets: Vec<OpTarget> = roots.iter().copied().map(OpTarget::Object).collect();
+        self.run_op(&targets, LockIntent::Read, |db| f(db))
+    }
+
+    // ----------------------------------------------------------------
+    // Commit / abort
+    // ----------------------------------------------------------------
+
+    /// Commit: apply the write set to the base store as one atomic WAL
+    /// batch, publish versions at a freshly allocated commit LSN, then
+    /// release every lock. Returns the commit LSN (the visible watermark
+    /// if the transaction wrote nothing).
+    ///
+    /// On a storage fault the batch rolls back, the transaction aborts,
+    /// and — as with any substrate failure — the engine must be
+    /// [`ConcurrentDb::recover`]ed before further mutations.
+    pub fn commit(mut self) -> DbResult<Lsn> {
+        self.ensure_open()?;
+        let overlay = self.overlay.take().expect("open txn has an overlay");
+        if overlay.is_empty() {
+            self.done = true;
+            self.shared.locks.release_all(self.txn);
+            self.shared.metrics.commits.inc();
+            return Ok(self.shared.versions.visible_lsn());
+        }
+
+        let mut db = self.shared.db.write();
+        if self.shared.epoch.load(Ordering::SeqCst) != self.epoch {
+            drop(db);
+            self.abort_internal();
+            return Err(DbError::TransactionState {
+                reason: "the engine recovered while this transaction was open".into(),
+            });
+        }
+
+        // Capture pre-images (for first-writer seeding) and after-images
+        // (for publication) before the base changes.
+        let mut seeds: Vec<(VersionKey, Vec<u8>)> = Vec::new();
+        let mut publishes: Vec<(VersionKey, Option<Vec<u8>>)> = Vec::new();
+        for (oid, image, created) in overlay.write_set() {
+            if created && image.is_none() {
+                continue; // created-then-deleted: no trace anywhere
+            }
+            if !created {
+                if let Ok(pre) = db.get(oid) {
+                    seeds.push((vkey(oid), encode_object(&pre)));
+                }
+            }
+            publishes.push((vkey(oid), image.map(encode_object)));
+        }
+
+        if let Err(e) = db.overlay_apply(overlay) {
+            drop(db);
+            self.abort_internal();
+            return Err(e);
+        }
+
+        let lsn = self.shared.versions.allocate_lsn();
+        for (key, image) in seeds {
+            self.shared.versions.seed(key, image);
+        }
+        for (key, image) in publishes {
+            self.shared.versions.publish(key, lsn, image);
+        }
+        self.shared.versions.advance(lsn);
+        ConcurrentDb::maybe_vacuum_locked(&self.shared);
+        drop(db);
+
+        self.done = true;
+        self.shared.locks.release_all(self.txn);
+        self.shared.metrics.commits.inc();
+        Ok(lsn)
+    }
+
+    /// Abort: discard the write set and release every lock. The base
+    /// store was never touched. Idempotent (aborting a deadlock victim
+    /// again is a no-op).
+    pub fn abort(&mut self) {
+        self.abort_internal();
+    }
+}
+
+impl Drop for WriteTxn {
+    fn drop(&mut self) {
+        if !self.done {
+            self.abort_internal();
+        }
+    }
+}

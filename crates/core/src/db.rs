@@ -71,6 +71,7 @@ pub struct Database {
     pub(crate) config: DbConfig,
     pub(crate) undo: Option<crate::undo::UndoLog>,
     pub(crate) txn: Option<crate::txn::TxnState>,
+    pub(crate) overlay: Option<crate::overlay::Overlay>,
     pub(crate) traversal_cache: crate::composite::cache::TraversalCache,
     pub(crate) registry: corion_obs::Registry,
     pub(crate) metrics: crate::metrics::CoreMetrics,
@@ -113,6 +114,7 @@ impl Database {
             config,
             undo: None,
             txn: None,
+            overlay: None,
             traversal_cache: crate::composite::cache::TraversalCache::new(&registry),
             metrics: crate::metrics::CoreMetrics::new(&registry),
             registry,
@@ -140,6 +142,12 @@ impl Database {
     ///   half-created instance) — those compensation writes are **committed**
     ///   so storage and the in-memory maps stay in step.
     pub(crate) fn atomic<R>(&mut self, f: impl FnOnce(&mut Self) -> DbResult<R>) -> DbResult<R> {
+        if self.overlay.is_some() {
+            // Overlay writes never reach the page store, so there is
+            // nothing to journal yet; the whole transaction becomes one
+            // batch at `overlay_apply` time.
+            return f(self);
+        }
         if self.store.in_atomic_batch() {
             let result = f(self);
             if let Some(txn) = self.txn.as_mut() {
@@ -224,6 +232,11 @@ impl Database {
 
     /// True if `oid` resolves to a live object.
     pub fn exists(&self, oid: Oid) -> bool {
+        if let Some(ov) = &self.overlay {
+            if let Some(e) = ov.entries.get(&oid) {
+                return e.image.is_some();
+            }
+        }
         self.object_table.contains_key(&oid)
     }
 
@@ -237,6 +250,13 @@ impl Database {
     /// pending log entries on every read until then is idempotent (the
     /// operation log is never pruned, and each flag change is a fixpoint).
     pub fn get(&self, oid: Oid) -> DbResult<Object> {
+        if let Some(ov) = &self.overlay {
+            if let Some(e) = ov.entries.get(&oid) {
+                let mut obj = e.image.clone().ok_or(DbError::NoSuchObject(oid))?;
+                self.apply_pending_changes(&mut obj)?;
+                return Ok(obj);
+            }
+        }
         let phys = *self
             .object_table
             .get(&oid)
@@ -259,13 +279,26 @@ impl Database {
     /// commit/abort (the cache is suppressed meanwhile, so no stale entry
     /// can be served).
     pub(crate) fn note_hierarchy_change(&self) {
-        if self.txn.is_none() {
+        if self.txn.is_none() && self.overlay.is_none() {
             self.traversal_cache.bump();
         }
     }
 
     /// Persists an object at its current address (relocating if it grew).
+    /// With a write overlay installed the image lands in the overlay and
+    /// the base store is untouched.
     pub(crate) fn save(&mut self, obj: &Object) -> DbResult<()> {
+        if let Some(ov) = &mut self.overlay {
+            let live = match ov.entries.get(&obj.oid) {
+                Some(e) => e.image.is_some(),
+                None => self.object_table.contains_key(&obj.oid),
+            };
+            if !live {
+                return Err(DbError::NoSuchObject(obj.oid));
+            }
+            ov.record_save(obj);
+            return Ok(());
+        }
         self.note_hierarchy_change();
         self.txn_note_touch(obj.oid);
         let phys = *self
@@ -286,7 +319,14 @@ impl Database {
     }
 
     /// Inserts a brand-new object, clustered near `near` when possible.
+    /// With a write overlay installed the object lands in the overlay
+    /// (the clustering hint is captured and honoured at commit).
     pub(crate) fn insert_object(&mut self, obj: &Object, near: Option<Oid>) -> DbResult<()> {
+        if let Some(ov) = &mut self.overlay {
+            self.catalog.class(obj.oid.class)?;
+            ov.record_insert(obj, near);
+            return Ok(());
+        }
         self.note_hierarchy_change();
         self.txn_note_touch(obj.oid);
         let segment = self.catalog.class(obj.oid.class)?.segment;
@@ -304,8 +344,21 @@ impl Database {
     }
 
     /// Removes an object from storage and the object table (no semantics —
-    /// the Deletion Rule lives in [`crate::composite::delete`]).
+    /// the Deletion Rule lives in [`crate::composite::delete`]). With a
+    /// write overlay installed this records a private tombstone.
     pub(crate) fn erase(&mut self, oid: Oid) -> DbResult<()> {
+        if let Some(ov) = &mut self.overlay {
+            let in_base = self.object_table.contains_key(&oid);
+            let live = match ov.entries.get(&oid) {
+                Some(e) => e.image.is_some(),
+                None => in_base,
+            };
+            if !live {
+                return Err(DbError::NoSuchObject(oid));
+            }
+            ov.record_erase(oid, in_base);
+            return Ok(());
+        }
         self.note_hierarchy_change();
         self.txn_note_touch(oid);
         let phys = self
@@ -337,12 +390,40 @@ impl Database {
                 }
             }
         }
+        if let Some(ov) = &self.overlay {
+            let in_scope = |c: ClassId| {
+                c == class || (deep && lattice::is_subclass_of(&self.catalog, c, class))
+            };
+            for (oid, e) in &ov.entries {
+                if !in_scope(oid.class) {
+                    continue;
+                }
+                match (&e.image, e.created) {
+                    (Some(_), true) => out.push(*oid),
+                    (None, false) => out.retain(|o| o != oid),
+                    _ => {}
+                }
+            }
+            out.sort();
+            out.dedup();
+        }
         out
     }
 
-    /// Total number of live objects.
+    /// Total number of live objects (overlay-adjusted while a write
+    /// overlay is installed).
     pub fn object_count(&self) -> usize {
-        self.object_table.len()
+        let mut n = self.object_table.len();
+        if let Some(ov) = &self.overlay {
+            for e in ov.entries.values() {
+                match (&e.image, e.created) {
+                    (Some(_), true) => n += 1,
+                    (None, false) => n -= 1,
+                    _ => {}
+                }
+            }
+        }
+        n
     }
 
     // ------------------------------------------------------------------

@@ -101,6 +101,16 @@ pub enum DbError {
         /// Explanation.
         reason: String,
     },
+    /// The transaction was chosen as the deadlock victim: the lock
+    /// manager found a waits-for cycle and aborted the requester (§7's
+    /// protocol is blocking, so cycles are broken by aborting). The
+    /// transaction's effects are rolled back; the operation is safe to
+    /// retry in a fresh transaction — see
+    /// [`is_retryable`](DbError::is_retryable).
+    Deadlock {
+        /// The waits-for cycle, rendered for diagnostics.
+        cycle: String,
+    },
     /// The engine is degraded to read-only: a committed batch could not be
     /// fully applied, so reads keep answering (from the buffer pool and the
     /// traversal cache) while every mutation fails fast with this error
@@ -117,6 +127,16 @@ impl DbError {
     /// permanent: retrying a topology violation cannot help.
     pub fn is_transient(&self) -> bool {
         matches!(self, DbError::Storage(e) if e.is_transient())
+    }
+
+    /// Whether a *transaction* that failed with this error is worth
+    /// retrying from the top. Strictly wider than
+    /// [`is_transient`](DbError::is_transient): a deadlock victim's
+    /// effects are fully rolled back and the cycle is broken, so a
+    /// fresh attempt is expected to succeed once the other party
+    /// finishes.
+    pub fn is_retryable(&self) -> bool {
+        self.is_transient() || matches!(self, DbError::Deadlock { .. })
     }
 }
 
@@ -177,6 +197,12 @@ impl fmt::Display for DbError {
             }
             DbError::TransactionState { reason } => {
                 write!(f, "transaction control rejected: {reason}")
+            }
+            DbError::Deadlock { cycle } => {
+                write!(
+                    f,
+                    "transaction aborted as deadlock victim (waits-for cycle: {cycle}); retry it"
+                )
             }
             DbError::ReadOnly => {
                 write!(

@@ -56,6 +56,7 @@ pub mod integrity;
 pub mod metrics;
 pub mod object;
 pub mod oid;
+pub mod overlay;
 pub mod persist;
 pub mod query;
 pub mod refs;
@@ -75,6 +76,7 @@ pub use integrity::IntegrityReport;
 pub use metrics::CoreMetrics;
 pub use object::Object;
 pub use oid::{ClassId, Oid};
+pub use overlay::Overlay;
 pub use refs::{RefKind, ReverseRef};
 pub use repair::RepairReport;
 pub use schema::attr::{AttributeDef, CompositeSpec, Domain};

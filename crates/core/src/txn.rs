@@ -143,6 +143,12 @@ impl Database {
                 reason: "a transaction cannot open inside an undo scope".into(),
             });
         }
+        if self.overlay.is_some() {
+            return Err(DbError::TransactionState {
+                reason: "a transaction cannot open while a concurrent write overlay is installed"
+                    .into(),
+            });
+        }
         self.store.begin_atomic()?;
         // Defer cache invalidation to one bump at commit/abort; the cache
         // stands aside meanwhile so mid-transaction traversals are neither

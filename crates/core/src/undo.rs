@@ -51,6 +51,12 @@ impl Database {
                 reason: "an undo scope cannot open inside a transaction".into(),
             });
         }
+        if self.overlay.is_some() {
+            return Err(DbError::TransactionState {
+                reason: "an undo scope cannot open while a concurrent write overlay is installed"
+                    .into(),
+            });
+        }
         self.undo = Some(UndoLog {
             before: HashMap::new(),
             next_serial: self.next_serial,

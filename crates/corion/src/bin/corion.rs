@@ -8,8 +8,10 @@
 //!
 //! `corion stats` drives a representative workload through one in-memory
 //! engine — document-corpus generation (§2.3 Example 2), the §3 traversals
-//! and predicates, a lock-manager exercise (§7), and a crash/recover cycle
-//! (DESIGN.md §10) — then prints every metric the engine recorded. It is
+//! and predicates, a lock-manager exercise (§7), a crash/recover cycle
+//! (DESIGN.md §10), and a round of concurrent MVCC transactions with a
+//! pinned snapshot (DESIGN.md §14) — then prints every metric the engine
+//! recorded. It is
 //! the worked example for `docs/OBSERVABILITY.md`: run it to see the full
 //! metric catalog with live values.
 //!
@@ -32,7 +34,9 @@
 use std::process::ExitCode;
 
 use corion::workload::{Corpus, CorpusParams};
-use corion::{Database, DbConfig, Filter, LockManager, LockMode, Lockable, MakeSpec, ParentRef};
+use corion::{
+    ConcurrentDb, Database, DbConfig, Filter, LockManager, LockMode, Lockable, MakeSpec, ParentRef,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -268,7 +272,16 @@ fn stats(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let snapshot = db.metrics_snapshot();
+    // Concurrent engine: wrap the same database (and registry) in the
+    // MVCC + §7-locking spine and run writers against a pinned snapshot
+    // so the `corion_mvcc_*` / `corion_mvcc_txn_*` families go live.
+    let cdb = ConcurrentDb::from_database(db);
+    if let Err(e) = run_concurrent(&cdb, &corpus) {
+        eprintln!("corion stats: concurrent workload failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let snapshot = cdb.with_read(|db| db.metrics_snapshot());
     match format {
         Format::Prometheus => print!("{}", snapshot.render_prometheus()),
         Format::Text => print!("{}", snapshot.to_text()),
@@ -344,6 +357,49 @@ fn run_workload(db: &mut Database, corpus: &Corpus, crash: bool) -> Result<(), c
         db.recover()?;
         db.checkpoint()?;
     }
+    Ok(())
+}
+
+/// Concurrent MVCC transactions (DESIGN.md §14): two writer threads add
+/// a section to different documents while a snapshot pinned beforehand
+/// keeps observing the pre-write state, then a vacuum reclaims the
+/// version chains the dropped snapshot no longer pins.
+fn run_concurrent(cdb: &ConcurrentDb, corpus: &Corpus) -> Result<(), corion::DbError> {
+    // The crash cycle in `run_workload` deletes the last document, so
+    // pick targets from whatever is still alive.
+    let live: Vec<_> = cdb.with_read(|db| {
+        corpus
+            .documents
+            .iter()
+            .copied()
+            .filter(|&d| db.exists(d))
+            .take(2)
+            .collect()
+    });
+    let (doc_a, doc_b) = match live.as_slice() {
+        [a, b] => (*a, *b),
+        [a] => (*a, *a),
+        _ => return Ok(()),
+    };
+    let section = corpus.schema.section;
+    let pinned = cdb.begin_read();
+    let before = pinned.components_of(doc_a)?.len();
+    std::thread::scope(|s| {
+        let writer = |doc| {
+            let cdb = cdb.clone();
+            s.spawn(move || cdb.run_write(|t| t.make(section, vec![], vec![(doc, "Sections")])))
+        };
+        let a = writer(doc_a);
+        let b = writer(doc_b);
+        a.join().expect("writer thread panicked")?;
+        b.join().expect("writer thread panicked")?;
+        Ok::<(), corion::DbError>(())
+    })?;
+    // The pinned snapshot still sees the pre-write component count; the
+    // latest state sees one more.
+    assert_eq!(pinned.components_of(doc_a)?.len(), before);
+    drop(pinned);
+    cdb.vacuum();
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! | [`versions`] | §5 | versions of composite objects (CV rules, ref-counts) |
 //! | [`authz`] | §6 | composite objects as a unit of authorization |
 //! | [`lock`] | §7 | composite objects as a unit of locking (ISO…SIXOS) |
+//! | [`concurrent`] | §7 | concurrent transactions: MVCC snapshots + composite lock protocol |
 //! | [`lang`] | §2.3/§3 | the ORION message syntax as an s-expression language |
 //! | [`workload`] | §1, §2.3 | vehicle / document / random-DAG generators |
 //!
@@ -40,6 +41,7 @@
 //! ```
 
 pub use corion_authz as authz;
+pub use corion_concurrent as concurrent;
 pub use corion_core as core;
 pub use corion_lang as lang;
 pub use corion_lock as lock;
@@ -49,9 +51,11 @@ pub use corion_versions as versions;
 pub use corion_workload as workload;
 
 pub use corion_authz::{AuthObject, AuthStore, AuthType, Authorization, Decision, UserId};
+pub use corion_concurrent::{ConcurrentDb, Snapshot, WriteTxn};
 pub use corion_core::composite::Filter;
 pub use corion_core::query;
 pub use corion_core::query::{Predicate, Query};
+pub use corion_core::Overlay;
 pub use corion_core::{
     AttributeDef, Class, ClassBuilder, ClassId, CompositeSpec, Database, DbConfig, DbError,
     DbResult, Domain, HealthState, IntegrityReport, MakeSpec, MetricsSnapshot, Object, Oid,

@@ -25,6 +25,9 @@
 //!   `commit_atomic` / `recover` boundary;
 //! * [`fault`] — named crash points with countdowns and torn-write
 //!   injection, for deterministic crash-recovery testing;
+//! * [`version`] — copy-on-write object-image version chains keyed by
+//!   commit LSN, with snapshot pins and watermark GC, so the concurrent
+//!   engine's readers never block on writers;
 //! * [`codec`] — little-endian primitive readers/writers used by the object
 //!   serializer in `corion-core`.
 //!
@@ -55,6 +58,7 @@ pub mod page;
 pub mod retry;
 pub mod segment;
 pub mod store;
+pub mod version;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
@@ -70,6 +74,7 @@ pub use store::{
     CP_COMMIT_APPLY, CP_COMMIT_DONE, CP_COMMIT_FLUSH, CP_COMMIT_LOG, CP_GROUP_SEAL, CP_PAGE_WRITE,
     CRASH_POINTS,
 };
+pub use version::{Resolution, VersionKey, VersionStore};
 pub use wal::{
     apply_delta, delta_encoded_len, diff_pages, fnv1a64, Lsn, Wal, WalMark, WalRecord, WalStats,
 };

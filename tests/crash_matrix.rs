@@ -16,8 +16,8 @@
 
 use corion::storage::{StoreConfig, CP_COMMIT_FLUSH, CP_GROUP_SEAL, CRASH_POINTS};
 use corion::{
-    ClassBuilder, ClassId, CommitPolicy, CompositeSpec, Database, DbConfig, DbError, DbResult,
-    Domain, Oid, Value,
+    ClassBuilder, ClassId, CommitPolicy, CompositeSpec, ConcurrentDb, Database, DbConfig, DbError,
+    DbResult, Domain, Oid, Value,
 };
 
 // ---------------------------------------------------------------------
@@ -649,6 +649,188 @@ fn group_commit_crashes_land_on_a_sealed_boundary() {
         assert!(
             fired_at_least_once,
             "group: crash point {point} never fired"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent writers: crash during the second commit with a third
+// transaction still in flight
+// ---------------------------------------------------------------------
+
+/// Concurrent-engine fixture: Part/Asm with *exclusive* composite
+/// references, so writers on disjoint roots hold compatible IXO class
+/// locks and the in-flight third transaction cannot block the one
+/// whose commit we crash. Returns three empty assembly roots.
+fn concurrent_db() -> (ConcurrentDb, ClassId, Vec<Oid>) {
+    let cdb = ConcurrentDb::new();
+    let (part, asm) = cdb.with_exclusive(|db| {
+        let part = db
+            .define_class(ClassBuilder::new("Part").attr("text", Domain::String))
+            .unwrap();
+        let asm = db
+            .define_class(
+                ClassBuilder::new("Asm")
+                    .attr("label", Domain::String)
+                    .attr_composite(
+                        "parts",
+                        Domain::SetOf(Box::new(Domain::Class(part))),
+                        CompositeSpec {
+                            exclusive: true,
+                            dependent: true,
+                        },
+                    ),
+            )
+            .unwrap();
+        (part, asm)
+    });
+    let roots = (0..3)
+        .map(|i| {
+            cdb.run_write(|t| t.make(asm, vec![("label", Value::Str(format!("root{i}")))], vec![]))
+                .unwrap()
+        })
+        .collect();
+    (cdb, part, roots)
+}
+
+/// First committed writer: one part under root 0 plus a label touch.
+fn concurrent_t1(cdb: &ConcurrentDb, part: ClassId, roots: &[Oid]) -> u64 {
+    cdb.run_write(|t| {
+        t.make(
+            part,
+            vec![("text", Value::Str("t1-part".into()))],
+            vec![(roots[0], "parts")],
+        )?;
+        t.set_attr(roots[0], "label", Value::Str("root0-t1".into()))
+    })
+    .unwrap();
+    cdb.visible_lsn()
+}
+
+/// The second writer's operations: a multi-object batch on root 1 so the
+/// crashed commit has several WAL records to tear between.
+fn concurrent_t2_ops(t: &mut corion::WriteTxn, part: ClassId, roots: &[Oid]) {
+    for i in 0..3 {
+        t.make(
+            part,
+            vec![("text", Value::Str(format!("t2-part{i}")))],
+            vec![(roots[1], "parts")],
+        )
+        .unwrap();
+    }
+    t.set_attr(roots[1], "label", Value::Str("root1-t2".into()))
+        .unwrap();
+}
+
+#[test]
+fn concurrent_commit_crashes_recover_to_an_lsn_prefix() {
+    // Commit-LSN order is T1 < T2, with T3 still open (never committed)
+    // when the crash fires inside T2's commit. Recovery must land on a
+    // *prefix* of that order: {T1} (pre) or {T1, T2} (post) — T1's
+    // effects are always present, T2 is all-or-nothing, and T3's
+    // overlay never reaches the base store in any outcome. The builder,
+    // T1, T3's op, and T2's ops run in a fixed single-threaded order,
+    // so the unfaulted twin mints identical OIDs for the post oracle.
+    let post = {
+        let (cdb, part, roots) = concurrent_db();
+        concurrent_t1(&cdb, part, &roots);
+        let mut t3 = cdb.begin_write();
+        t3.make(
+            part,
+            vec![("text", Value::Str("t3-part".into()))],
+            vec![(roots[2], "parts")],
+        )
+        .unwrap();
+        let mut t2 = cdb.begin_write();
+        concurrent_t2_ops(&mut t2, part, &roots);
+        t2.commit().unwrap();
+        t3.abort();
+        cdb.with_read(fingerprint)
+    };
+
+    for &point in CRASH_POINTS {
+        if point == CP_GROUP_SEAL {
+            // The concurrent engine runs the immediate commit policy;
+            // the group-seal point never fires outside a group window.
+            continue;
+        }
+        let mut fired_at_least_once = false;
+        for countdown in 1..=512u64 {
+            let (cdb, part, roots) = concurrent_db();
+            let t1_lsn = concurrent_t1(&cdb, part, &roots);
+            let pre = cdb.with_read(fingerprint);
+
+            // T3: in flight — holds IXO on Part and X on root 2, writes
+            // only its private overlay, and never commits.
+            let mut t3 = cdb.begin_write();
+            t3.make(
+                part,
+                vec![("text", Value::Str("t3-part".into()))],
+                vec![(roots[2], "parts")],
+            )
+            .unwrap();
+
+            cdb.with_exclusive(|db| db.arm_crash_point(point, countdown));
+            let mut t2 = cdb.begin_write();
+            concurrent_t2_ops(&mut t2, part, &roots);
+            let result = t2.commit();
+            let fired = cdb.with_exclusive(|db| {
+                let fired = db.crash_point_remaining(point).is_none();
+                db.heal_crash_points();
+                fired
+            });
+            if !fired {
+                // Countdown outlasted the commit pipeline: the commit
+                // must have succeeded, advancing the watermark past T1.
+                assert!(result.unwrap() > t1_lsn, "commit LSNs must be monotonic");
+                t3.abort();
+                break;
+            }
+            fired_at_least_once = true;
+            assert!(
+                matches!(result, Err(DbError::Storage(_))),
+                "concurrent: crash at {point}#{countdown} must surface as a storage \
+                 error, got {result:?}"
+            );
+
+            cdb.recover().unwrap();
+            let after = cdb.with_read(fingerprint);
+            assert!(
+                after == pre || after == post,
+                "concurrent: crash at {point}#{countdown} recovered off the commit-LSN \
+                 prefix ({} objects; pre {}, post {})",
+                after.len(),
+                pre.len(),
+                post.len()
+            );
+
+            // Recovery fenced the in-flight transaction: the handle
+            // fails fast (and releases its locks) rather than ever
+            // committing into the recovered state.
+            assert!(
+                matches!(
+                    t3.set_attr(roots[2], "label", Value::Str("zombie".into())),
+                    Err(DbError::TransactionState { .. })
+                ),
+                "concurrent: the in-flight transaction must be fenced after recovery"
+            );
+            t3.abort();
+
+            cdb.with_exclusive(|db| db.verify_integrity().unwrap());
+            // Every root accepts a fresh writer: no lock leaked from the
+            // crashed committer or the fenced in-flight transaction.
+            cdb.run_write(|t| {
+                for (i, &r) in roots.iter().enumerate() {
+                    t.set_attr(r, "label", Value::Str(format!("post-recovery{i}")))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            assert!(countdown < 512, "concurrent: {point} fired 512 times");
+        }
+        assert!(
+            fired_at_least_once,
+            "concurrent: crash point {point} never fired"
         );
     }
 }

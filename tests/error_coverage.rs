@@ -114,6 +114,9 @@ fn all_db_errors() -> Vec<DbError> {
         DbError::TransactionState {
             reason: "demo".into(),
         },
+        DbError::Deadlock {
+            cycle: "t1 -> t2 -> t1".into(),
+        },
         DbError::ReadOnly,
         DbError::Storage(StorageError::PoolExhausted),
     ];
@@ -133,6 +136,7 @@ fn all_db_errors() -> Vec<DbError> {
             | DbError::LatticeCycle { .. }
             | DbError::NotComposite { .. }
             | DbError::TransactionState { .. }
+            | DbError::Deadlock { .. }
             | DbError::ReadOnly
             | DbError::Storage(_) => {}
         }
@@ -196,6 +200,23 @@ fn transient_classification_is_explicit_for_every_variant() {
         assert_eq!(e.is_transient(), expect, "{e:?} misclassified");
     }
     assert!(DbError::Storage(StorageError::TransientFault { op: "x" }).is_transient());
+}
+
+#[test]
+fn retryable_classification_is_explicit_for_every_variant() {
+    // Exactly two things invite a retry: transient storage faults and
+    // deadlock-victim aborts. A deadlock is *retryable but not
+    // transient* — the fault is in the schedule, not the substrate, so
+    // degraded-mode accounting must not count it as a storage hiccup.
+    for e in all_db_errors() {
+        let expect = e.is_transient() || matches!(e, DbError::Deadlock { .. });
+        assert_eq!(e.is_retryable(), expect, "{e:?} misclassified");
+    }
+    let victim = DbError::Deadlock {
+        cycle: "t1 -> t2 -> t1".into(),
+    };
+    assert!(victim.is_retryable());
+    assert!(!victim.is_transient());
 }
 
 #[test]
